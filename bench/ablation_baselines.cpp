@@ -1,0 +1,65 @@
+// Ablation: HPCSched versus the related-work solution groups of §II-A.
+//   data distribution      — the application repartitions its own load
+//                            (METIS / dynamic mesh repartitioning style)
+//   resource distribution  — HPCSched steering hardware priorities (ours)
+// plus the combination. The paper's qualitative claims: the app-level fix
+// works but costs repartition time and programmer effort; the scheduler fix
+// is transparent, finer-grained and composes with it.
+
+#include <cstdio>
+
+#include "analysis/paper_experiments.h"
+#include "analysis/sweep.h"
+#include "workloads/repartition.h"
+
+using namespace hpcs;
+using analysis::SchedMode;
+
+int main() {
+  std::printf("=== Solution groups of the related work (paper II-A) ===\n\n");
+
+  // The same intrinsic 4:1 imbalance everywhere.
+  wl::MetBenchConfig plain;
+  plain.iterations = 40;
+  wl::RepartitionConfig repart;
+  repart.iterations = 40;
+
+  wl::RepartitionConfig no_repart = repart;
+  no_repart.period = 0;
+
+  auto base_cfg = analysis::paper_defaults(SchedMode::kBaselineCfs, 1, false);
+  auto hpc_cfg = analysis::paper_defaults(SchedMode::kUniform, 1, false);
+
+  std::vector<analysis::SweepPoint> points;
+  points.push_back(analysis::SweepPoint{"imbalanced baseline", base_cfg,
+                                        [plain] { return wl::make_metbench(plain); }});
+  points.push_back(analysis::SweepPoint{"data redistribution", base_cfg,
+                                        [repart] { return wl::make_repartition(repart); }});
+  points.push_back(analysis::SweepPoint{"HPCSched (ours)", hpc_cfg,
+                                        [plain] { return wl::make_metbench(plain); }});
+  points.push_back(analysis::SweepPoint{"both combined", hpc_cfg,
+                                        [repart] { return wl::make_repartition(repart); }});
+
+  const auto rows = analysis::run_sweep(points);
+  std::printf("%s\n", analysis::render_sweep(rows).c_str());
+
+  std::printf(
+      "data redistribution converges over several periods and pays the repartition\n"
+      "cost; HPCSched reacts within one iteration, needs no source changes, and when\n"
+      "the application repartitions anyway, the scheduler covers the residual\n"
+      "imbalance between periods — the granularity argument of II-A.\n\n");
+
+  // Repartition-period sweep: the app-level knob analogous to our heuristics.
+  std::printf("--- repartition period sweep (data redistribution only) ---\n");
+  std::vector<analysis::SweepPoint> periods;
+  periods.push_back(analysis::SweepPoint{"baseline", base_cfg,
+                                         [plain] { return wl::make_metbench(plain); }});
+  for (const int p : {2, 5, 10, 20}) {
+    wl::RepartitionConfig c = repart;
+    c.period = p;
+    periods.push_back(analysis::SweepPoint{"period " + std::to_string(p), base_cfg,
+                                           [c] { return wl::make_repartition(c); }});
+  }
+  std::printf("%s", analysis::render_sweep(analysis::run_sweep(periods)).c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: heuristic design choices (paper §IV-B / §VI).
+//  1. Adaptive G/L weight sweep on MetBenchVar: aggressive settings adapt
+//     fast but over-react to noise; conservative ones degenerate to Uniform.
+//  2. LOW/HIGH utilization boundary sweep on MetBench.
+//  3. The Hybrid (future work) heuristic vs Uniform and Adaptive on both a
+//     constant and a dynamic application.
+
+#include <cstdio>
+
+#include "analysis/paper_experiments.h"
+
+using namespace hpcs;
+using analysis::SchedMode;
+
+namespace {
+
+analysis::RunResult run_with(const analysis::ExperimentConfig& cfg,
+                             wl::ProgramSet programs) {
+  return analysis::run_experiment(cfg, std::move(programs));
+}
+
+}  // namespace
+
+int main() {
+  // --- 1. Adaptive G weight sweep -----------------------------------------
+  std::printf("=== Ablation 1: Adaptive G (history weight) on MetBenchVar ===\n");
+  auto var = analysis::MetBenchVarExperiment::paper();
+  // Quarter-scale loads for speed; dynamics are unchanged.
+  for (auto& l : var.workload.loads_a) l /= 4.0;
+  for (auto& l : var.workload.loads_b) l /= 4.0;
+  const auto var_base = analysis::run_metbenchvar(var, SchedMode::kBaselineCfs);
+  std::printf("%-8s %-12s %-12s %-10s\n", "G (%)", "exec (s)", "improve (%)", "prio chgs");
+  for (const int g : {0, 10, 30, 50, 70, 90, 100}) {
+    analysis::ExperimentConfig cfg = analysis::paper_defaults(SchedMode::kAdaptive, 1, false);
+    cfg.hpc.adaptive_g_pct = g;
+    const auto r = run_with(cfg, wl::make_metbenchvar(var.workload));
+    std::printf("%-8d %-12.2f %-+12.2f %-10lld\n", g, r.exec_time.sec(),
+                analysis::improvement_pct(var_base, r),
+                static_cast<long long>(r.hw_prio_changes));
+  }
+
+  // --- 2. Utilization boundary sweep ---------------------------------------
+  std::printf("\n=== Ablation 2: LOW/HIGH utilization bounds on MetBench ===\n");
+  auto mb = analysis::MetBenchExperiment::paper();
+  mb.workload.iterations = 20;
+  const auto mb_base = analysis::run_metbench(mb, SchedMode::kBaselineCfs);
+  std::printf("%-12s %-12s %-12s %-10s\n", "low/high", "exec (s)", "improve (%)", "prio chgs");
+  for (const auto& [lo, hi] : {std::pair{50, 95}, {65, 85}, {40, 60}, {20, 95}, {80, 90}}) {
+    analysis::ExperimentConfig cfg = analysis::paper_defaults(SchedMode::kUniform, 1, false);
+    cfg.hpc.low_util = lo;
+    cfg.hpc.high_util = hi;
+    const auto r = run_with(cfg, wl::make_metbench(mb.workload));
+    std::printf("%3d/%-8d %-12.2f %-+12.2f %-10lld\n", lo, hi, r.exec_time.sec(),
+                analysis::improvement_pct(mb_base, r),
+                static_cast<long long>(r.hw_prio_changes));
+  }
+
+  // --- 3. Hybrid heuristic (paper future work) ------------------------------
+  std::printf("\n=== Ablation 3: Hybrid vs Uniform vs Adaptive ===\n");
+  std::printf("%-22s %-10s %-10s %-10s\n", "workload", "uniform", "adaptive", "hybrid");
+  {
+    const auto u = analysis::run_metbench(mb, SchedMode::kUniform);
+    const auto a = analysis::run_metbench(mb, SchedMode::kAdaptive);
+    const auto h = analysis::run_metbench(mb, SchedMode::kHybrid);
+    std::printf("%-22s %-+10.2f %-+10.2f %-+10.2f\n", "MetBench (constant)",
+                analysis::improvement_pct(mb_base, u), analysis::improvement_pct(mb_base, a),
+                analysis::improvement_pct(mb_base, h));
+  }
+  {
+    const auto u = analysis::run_metbenchvar(var, SchedMode::kUniform);
+    const auto a = analysis::run_metbenchvar(var, SchedMode::kAdaptive);
+    const auto h = analysis::run_metbenchvar(var, SchedMode::kHybrid);
+    std::printf("%-22s %-+10.2f %-+10.2f %-+10.2f\n", "MetBenchVar (dynamic)",
+                analysis::improvement_pct(var_base, u), analysis::improvement_pct(var_base, a),
+                analysis::improvement_pct(var_base, h));
+  }
+  std::printf("\n(the paper's future-work goal: one heuristic performing well on both)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: machine-model parameters.
+//  1. The speed(share) curve itself (the characterization of [4]).
+//  2. Idle-contention priority: spin idle (the paper's machine) vs true
+//     snooze — showing how much of the balancing story depends on it.
+//  3. MetBench improvement as a function of the intrinsic load ratio.
+
+#include <cstdio>
+
+#include "analysis/paper_experiments.h"
+#include "power5/throughput.h"
+
+using namespace hpcs;
+using analysis::SchedMode;
+
+int main() {
+  // --- 1. Characterization curve --------------------------------------------
+  std::printf("=== Ablation 1: speed vs decode share (priority pair sweep) ===\n");
+  const p5::ThroughputParams params;
+  std::printf("%-8s %-10s %-10s %-12s %-12s\n", "diff", "share_hi", "speed_hi", "speed_lo",
+              "hi gain / lo loss");
+  for (int diff = 0; diff <= 4; ++diff) {
+    const auto hi = p5::hw_prio_from_int(std::min(6, 4 + diff));
+    const auto lo = p5::hw_prio_from_int(std::min(6, 4 + diff) - diff);
+    const auto s = p5::context_speeds(params, hi, true, lo, true);
+    const auto eq = p5::context_speeds(params, p5::HwPrio::kMedium, true,
+                                       p5::HwPrio::kMedium, true);
+    const double share = diff == 0 ? 0.5 : 1.0 - 1.0 / (1 << (diff + 1));
+    std::printf("%-8d %-10.4f %-10.4f %-12.4f %+.1f%% / %+.1f%%\n", diff, share, s.a, s.b,
+                100.0 * (s.a / eq.a - 1.0), 100.0 * (s.b / eq.b - 1.0));
+  }
+
+  // --- 2. Idle model ----------------------------------------------------------
+  std::printf("\n=== Ablation 2: spin idle vs true snooze (MetBench) ===\n");
+  auto mb = analysis::MetBenchExperiment::paper();
+  mb.workload.iterations = 20;
+  for (const int idle_prio : {4, 2, -1}) {
+    analysis::ExperimentConfig base_cfg =
+        analysis::paper_defaults(SchedMode::kBaselineCfs, 1, false);
+    base_cfg.kernel.throughput.idle_contention_prio = idle_prio;
+    const auto base = analysis::run_experiment(base_cfg, wl::make_metbench(mb.workload));
+    analysis::ExperimentConfig uni_cfg = analysis::paper_defaults(SchedMode::kUniform, 1, false);
+    uni_cfg.kernel.throughput.idle_contention_prio = idle_prio;
+    const auto uni = analysis::run_experiment(uni_cfg, wl::make_metbench(mb.workload));
+    std::printf("idle_prio=%-3d baseline %.2fs  uniform %+.2f%%\n", idle_prio,
+                base.exec_time.sec(), analysis::improvement_pct(base, uni));
+  }
+  std::printf("(with a true snooze the idle sibling donates the core, the baseline\n"
+              " speeds up and prioritization buys much less — the spin-idle machine\n"
+              " is where HPCSched shines, which matches the paper's Table III)\n");
+
+  // --- 3. Load-ratio sweep ------------------------------------------------------
+  std::printf("\n=== Ablation 3: improvement vs intrinsic imbalance ratio ===\n");
+  std::printf("%-8s %-14s %-12s\n", "ratio", "baseline (s)", "uniform (%)");
+  for (const double ratio : {1.5, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+    wl::MetBenchConfig w;
+    w.iterations = 20;
+    const double large = 1.33e9;
+    w.loads = {large / ratio, large, large / ratio, large};
+    analysis::ExperimentConfig bc = analysis::paper_defaults(SchedMode::kBaselineCfs, 1, false);
+    const auto base = analysis::run_experiment(bc, wl::make_metbench(w));
+    analysis::ExperimentConfig uc = analysis::paper_defaults(SchedMode::kUniform, 1, false);
+    const auto uni = analysis::run_experiment(uc, wl::make_metbench(w));
+    std::printf("%-8.1f %-14.2f %+-12.2f\n", ratio, base.exec_time.sec(),
+                analysis::improvement_pct(base, uni));
+  }
+  std::printf("(the +/-2 priority window balances ratios up to ~4:1; beyond that the\n"
+              " scheduler saturates at MAX_PRIO — the paper's conclusion 2 trade-off)\n");
+  return 0;
+}

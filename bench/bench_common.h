@@ -1,0 +1,35 @@
+#pragma once
+// Shared reporting helpers for the table-reproduction benches: print each
+// experiment in the paper's table layout next to the paper's own numbers,
+// and summarize the headline improvements.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/paper_experiments.h"
+#include "analysis/tables.h"
+
+namespace hpcs::bench {
+
+inline void print_side_by_side(const analysis::RunResult& ours,
+                               const analysis::PaperReference& paper) {
+  std::printf("%-18s | %-28s | %-28s\n", paper.label, "measured (this repro)", "paper (POWER5)");
+  for (std::size_t i = 0; i < ours.ranks.size(); ++i) {
+    const double paper_util = i < paper.util_pct.size() ? paper.util_pct[i] : 0.0;
+    std::printf("  P%-15zu | util %6.2f%%                | util %6.2f%%\n", i + 1,
+                ours.ranks[i].util_pct, paper_util);
+  }
+  std::printf("  %-16s | %10.2fs                 | %10.2fs\n", "exec time",
+              ours.exec_time.sec(), paper.exec_time_s);
+}
+
+inline void print_improvement_summary(const char* what, const analysis::RunResult& baseline,
+                                      const analysis::RunResult& candidate,
+                                      double paper_baseline_s, double paper_candidate_s) {
+  const double ours = analysis::improvement_pct(baseline, candidate);
+  const double paper =
+      paper_baseline_s > 0 ? 100.0 * (1.0 - paper_candidate_s / paper_baseline_s) : 0.0;
+  std::printf("%-26s improvement: measured %+6.2f%%   paper %+6.2f%%\n", what, ours, paper);
+}
+
+}  // namespace hpcs::bench

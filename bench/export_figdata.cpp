@@ -1,0 +1,81 @@
+// Exports the machine-readable data behind every figure: per-iteration
+// utilization CSVs, state-interval CSVs, priority timelines and real
+// Paraver .prv/.pcf/.row trace sets for the four workloads — into
+// ./bench_data/. This is how a downstream user regenerates the paper's
+// plots with their own tooling (or opens the traces in wxparaver).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/paper_experiments.h"
+#include "trace/csv.h"
+#include "trace/paraver.h"
+
+using namespace hpcs;
+using analysis::SchedMode;
+
+namespace {
+
+void export_run(const std::string& dir, const std::string& name,
+                const analysis::RunResult& r) {
+  std::vector<Pid> pids;
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < r.ranks.size(); ++i) {
+    pids.push_back(r.ranks[i].pid);
+    labels.push_back("P" + std::to_string(i + 1));
+  }
+  {
+    std::ofstream os(dir + "/" + name + "_iterations.csv");
+    trace::write_iterations_csv(os, *r.tracer, pids, labels);
+  }
+  {
+    std::ofstream os(dir + "/" + name + "_intervals.csv");
+    trace::write_intervals_csv(os, *r.tracer, pids, labels);
+  }
+  {
+    std::ofstream os(dir + "/" + name + "_priorities.csv");
+    trace::write_priorities_csv(os, *r.tracer, pids, labels);
+  }
+  trace::ParaverJob job;
+  job.pids = pids;
+  job.labels = labels;
+  trace::export_paraver(dir + "/" + name, *r.tracer, job);
+  std::printf("  %s: exec %.2fs -> %s/%s_*.csv + .prv/.pcf/.row\n", name.c_str(),
+              r.exec_time.sec(), dir.c_str(), name.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const std::string dir = "bench_data";
+  std::filesystem::create_directories(dir);
+  std::printf("=== exporting figure data to ./%s ===\n", dir.c_str());
+
+  {
+    auto e = analysis::MetBenchExperiment::paper();
+    e.workload.iterations = 12;
+    export_run(dir, "fig3a_metbench_baseline",
+               analysis::run_metbench(e, SchedMode::kBaselineCfs, true));
+    export_run(dir, "fig3c_metbench_uniform",
+               analysis::run_metbench(e, SchedMode::kUniform, true));
+  }
+  {
+    const auto e = analysis::MetBenchVarExperiment::paper();
+    export_run(dir, "fig4c_metbenchvar_uniform",
+               analysis::run_metbenchvar(e, SchedMode::kUniform, true));
+  }
+  {
+    auto e = analysis::BtMzExperiment::paper();
+    e.workload.iterations = 60;
+    export_run(dir, "fig5c_btmz_uniform", analysis::run_btmz(e, SchedMode::kUniform, true));
+  }
+  {
+    auto e = analysis::SiestaExperiment::paper();
+    e.workload.microiters = 8000;
+    export_run(dir, "fig6b_siesta_uniform",
+               analysis::run_siesta(e, SchedMode::kUniform, true));
+  }
+  std::printf("done.\n");
+  return 0;
+}

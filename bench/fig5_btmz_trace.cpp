@@ -1,0 +1,24 @@
+// Reproduces Figure 5: BT-MZ traces (a window of the 200-iteration run, as
+// in the paper: "each trace represents only some iterations").
+
+#include "fig_common.h"
+
+int main() {
+  using namespace hpcs;
+  using analysis::SchedMode;
+
+  auto e = analysis::BtMzExperiment::paper();
+  e.workload.iterations = 60;  // a representative window
+
+  std::printf("=== Figure 5: effect of the proposed solution on BT-MZ ===\n\n");
+  for (const auto& [mode, label] :
+       {std::pair{SchedMode::kBaselineCfs, "(a) baseline execution"},
+        std::pair{SchedMode::kStatic, "(b) static prioritization"},
+        std::pair{SchedMode::kUniform, "(c) Uniform prioritization"},
+        std::pair{SchedMode::kAdaptive, "(d) Adaptive prioritization"}}) {
+    auto r = analysis::run_btmz(e, mode, /*trace=*/true);
+    bench::print_trace_figure(label, r, 120);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Table III: MetBench balanced and imbalanced characterization —
+// Baseline (stock CFS), Static hand-tuned priorities [5], and HPCSched with
+// the Uniform and Adaptive heuristics.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace hpcs;
+  using analysis::SchedMode;
+
+  const auto e = analysis::MetBenchExperiment::paper();
+
+  std::printf("=== Table III: MetBench characterization ===\n\n");
+  auto baseline = analysis::run_metbench(e, SchedMode::kBaselineCfs);
+  auto stat = analysis::run_metbench(e, SchedMode::kStatic);
+  auto uniform = analysis::run_metbench(e, SchedMode::kUniform);
+  auto adaptive = analysis::run_metbench(e, SchedMode::kAdaptive);
+
+  bench::print_side_by_side(baseline, analysis::paper_reference_metbench(SchedMode::kBaselineCfs));
+  std::printf("\n");
+  bench::print_side_by_side(stat, analysis::paper_reference_metbench(SchedMode::kStatic));
+  std::printf("\n");
+  bench::print_side_by_side(uniform, analysis::paper_reference_metbench(SchedMode::kUniform));
+  std::printf("\n");
+  bench::print_side_by_side(adaptive, analysis::paper_reference_metbench(SchedMode::kAdaptive));
+  std::printf("\n");
+
+  bench::print_improvement_summary("Static vs baseline", baseline, stat, 81.78, 70.90);
+  bench::print_improvement_summary("Uniform vs baseline", baseline, uniform, 81.78, 71.74);
+  bench::print_improvement_summary("Adaptive vs baseline", baseline, adaptive, 81.78, 71.65);
+
+  std::printf("\npriority changes: uniform=%lld adaptive=%lld\n",
+              static_cast<long long>(uniform.hw_prio_changes),
+              static_cast<long long>(adaptive.hw_prio_changes));
+
+  // The paper-format table, all four sections.
+  std::vector<analysis::TableSection> sections = {
+      {"Baseline", &baseline, {4, 4, 4, 4}},
+      {"Static", &stat, {4, 6, 4, 6}},
+      {"Uniform", &uniform, {}},
+      {"Adaptive", &adaptive, {}},
+  };
+  std::printf("\n%s\n",
+              analysis::render_characterization_table("Table III (measured)", sections).c_str());
+  return 0;
+}

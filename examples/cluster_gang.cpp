@@ -1,0 +1,56 @@
+// Example: the cluster-level extension — submit a mixed batch of MPI jobs to
+// a multi-node simulated cluster and let the gang scheduler place them while
+// HPCSched balances inside each node (the paper's §VI future work).
+
+#include <cstdio>
+
+#include "cluster/gang.h"
+
+using namespace hpcs;
+
+int main() {
+  std::printf("== gang scheduling a job mix over a 4-node POWER5 cluster ==\n\n");
+
+  // A batch of 4-rank and 2-rank jobs with different intrinsic imbalances.
+  std::vector<cluster::JobSpec> jobs;
+  const struct {
+    const char* name;
+    int ranks;
+    double large;
+    int iters;
+  } specs[] = {
+      {"chem-4", 4, 0.5e9, 8}, {"cfd-4", 4, 0.35e9, 10}, {"post-2", 2, 0.2e9, 6},
+      {"viz-2", 2, 0.1e9, 6},  {"qcd-4", 4, 0.45e9, 8},  {"io-2", 2, 0.05e9, 4},
+  };
+  for (const auto& s : specs) {
+    cluster::JobSpec j;
+    j.name = s.name;
+    j.ranks = s.ranks;
+    wl::MetBenchConfig mc;
+    mc.iterations = s.iters;
+    mc.loads.assign(static_cast<std::size_t>(s.ranks), s.large);
+    for (std::size_t i = 0; i < mc.loads.size(); i += 2) mc.loads[i] = s.large / 4.0;
+    for (const double l : mc.loads) j.load_estimate += l * s.iters;
+    j.make_programs = [mc] { return wl::make_metbench(mc); };
+    jobs.push_back(j);
+  }
+
+  cluster::ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.tunables.rr_slice = Duration::milliseconds(10);
+
+  for (const auto policy : {cluster::GangPolicy::kPacked, cluster::GangPolicy::kRoundRobin,
+                            cluster::GangPolicy::kLeastLoaded}) {
+    const auto res = cluster::run_cluster(cfg, jobs, policy);
+    std::printf("%-14s makespan %6.2fs |", cluster::gang_policy_name(policy),
+                res.makespan.sec());
+    for (const auto& j : res.jobs) {
+      std::printf(" %s->n%d(%.1fs)", j.name.c_str(), j.node, j.exec_time.sec());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\neach node runs HPCSched: the per-job 4:1 intrinsic imbalance is\n"
+              "balanced locally while the gang scheduler works at node granularity.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Example: reproducing the characterization study the paper builds on
+// (reference [4]): run a pair of equal compute kernels on the two contexts
+// of one core at every priority combination and measure both tasks' speeds.
+// This is what motivates HPCSched's design rules:
+//   1. the winner gains little while the loser loses a lot;
+//   2. differences beyond +/-2 only make sense for background work.
+
+#include <cstdio>
+#include <memory>
+
+#include "kernel/kernel.h"
+#include "simcore/simulator.h"
+
+using namespace hpcs;
+
+namespace {
+
+/// Fixed-size compute kernel body.
+class KernelBody final : public kern::TaskBody {
+ public:
+  explicit KernelBody(Work w) : work_(w) {}
+  void step(kern::Kernel& k, kern::Task& t) override {
+    if (done_) {
+      k.body_exit(t);
+      return;
+    }
+    done_ = true;
+    k.body_compute(t, work_);
+  }
+
+ private:
+  Work work_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== POWER5 software-controlled priority characterization ==\n");
+  std::printf("(two identical 100ms kernels on one core; times relative to equal priority)\n\n");
+
+  constexpr Work kWork = 100.0e6;
+
+  // Reference run: both at the default priority 4.
+  double ref_ms = 0.0;
+  {
+    sim::Simulator s;
+    kern::Kernel k(s, {});
+    k.start();
+    auto& a = k.create_task("a", std::make_unique<KernelBody>(kWork), kern::Policy::kNormal, 0);
+    auto& b = k.create_task("b", std::make_unique<KernelBody>(kWork), kern::Policy::kNormal, 1);
+    k.start_task(a);
+    k.start_task(b);
+    s.run(SimTime(std::int64_t{5} * 1000000000));
+    ref_ms = (a.exit_time - a.created).ms();
+  }
+  std::printf("reference (4/4): %.1f ms per task\n\n", ref_ms);
+
+  std::printf("%-10s %-12s %-12s %-14s %-14s\n", "prio A/B", "timeA (ms)", "timeB (ms)",
+              "A vs equal", "B vs equal");
+  for (int pa = 2; pa <= 6; ++pa) {
+    for (int pb = 2; pb <= 6; ++pb) {
+      if (pa < pb) continue;  // symmetric
+      sim::Simulator s;
+      kern::Kernel k(s, {});
+      k.start();
+      auto& a =
+          k.create_task("a", std::make_unique<KernelBody>(kWork), kern::Policy::kNormal, 0);
+      auto& b =
+          k.create_task("b", std::make_unique<KernelBody>(kWork), kern::Policy::kNormal, 1);
+      k.request_hw_prio(a, p5::hw_prio_from_int(pa));
+      k.request_hw_prio(b, p5::hw_prio_from_int(pb));
+      k.start_task(a);
+      k.start_task(b);
+      s.run(SimTime(std::int64_t{20} * 1000000000));
+      const double ta = (a.exit_time - a.created).ms();
+      const double tb = (b.exit_time - b.created).ms();
+      std::printf("%d / %-6d %-12.1f %-12.1f %+-13.1f%% %+-13.1f%%\n", pa, pb, ta, tb,
+                  100.0 * (ref_ms / ta - 1.0), 100.0 * (ref_ms / tb - 1.0));
+    }
+  }
+
+  std::printf(
+      "\nnote the asymmetry (conclusion 1 of [4]): at difference 2 the winner gains\n"
+      "~17%% while the loser runs ~4x slower — which is why HPCSched restricts\n"
+      "itself to priorities [4,6] (max difference +/-2, conclusion 2).\n");
+  return 0;
+}

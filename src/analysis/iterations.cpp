@@ -1,0 +1,76 @@
+#include "analysis/iterations.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hpcs::analysis {
+
+IterationSeries derive_series(const std::vector<mpi::IterationMark>& marks, SimTime start) {
+  IterationSeries out;
+  SimTime prev_when = start;
+  Duration prev_cpu = Duration::zero();
+  for (const mpi::IterationMark& m : marks) {
+    const Duration wall = m.when - prev_when;
+    const Duration cpu = m.cpu_time - prev_cpu;
+    out.duration_s.push_back(wall.sec());
+    out.util_pct.push_back(wall > Duration::zero() ? 100.0 * (cpu / wall) : 0.0);
+    prev_when = m.when;
+    prev_cpu = m.cpu_time;
+  }
+  return out;
+}
+
+std::vector<double> imbalance_factor(const RunResult& r) {
+  std::vector<double> out;
+  if (r.marks.empty()) return out;
+  std::size_t iters = r.marks.front().size();
+  for (const auto& m : r.marks) iters = std::min(iters, m.size());
+  if (iters == 0) return out;
+
+  // Per-rank per-iteration CPU time.
+  std::vector<std::vector<double>> cpu(r.marks.size());
+  for (std::size_t rank = 0; rank < r.marks.size(); ++rank) {
+    Duration prev = Duration::zero();
+    for (std::size_t i = 0; i < iters; ++i) {
+      cpu[rank].push_back((r.marks[rank][i].cpu_time - prev).sec());
+      prev = r.marks[rank][i].cpu_time;
+    }
+  }
+  for (std::size_t i = 0; i < iters; ++i) {
+    double mx = 0.0;
+    double sum = 0.0;
+    for (std::size_t rank = 0; rank < cpu.size(); ++rank) {
+      mx = std::max(mx, cpu[rank][i]);
+      sum += cpu[rank][i];
+    }
+    const double mean = sum / static_cast<double>(cpu.size());
+    out.push_back(mean > 0.0 ? mx / mean - 1.0 : 0.0);
+  }
+  return out;
+}
+
+double mean_imbalance(const RunResult& r) {
+  const auto lambda = imbalance_factor(r);
+  if (lambda.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : lambda) sum += v;
+  return sum / static_cast<double>(lambda.size());
+}
+
+int adaptation_lag(const RunResult& r, int from_iter, double threshold) {
+  const auto lambda = imbalance_factor(r);
+  HPCS_CHECK(from_iter >= 0);
+  for (std::size_t i = static_cast<std::size_t>(from_iter); i < lambda.size(); ++i) {
+    if (lambda[i] >= threshold) continue;
+    // Must stay settled for the remainder of this behaviour period (or at
+    // least two iterations) to count.
+    const std::size_t horizon = std::min(lambda.size(), i + 2);
+    bool stable = true;
+    for (std::size_t j = i; j < horizon; ++j) stable = stable && lambda[j] < threshold;
+    if (stable) return static_cast<int>(i) - from_iter;
+  }
+  return -1;
+}
+
+}  // namespace hpcs::analysis

@@ -1,0 +1,36 @@
+#pragma once
+// Per-iteration statistics derived from workload iteration marks: iteration
+// durations, per-iteration CPU utilization, and the classic load-imbalance
+// factor lambda = max/mean - 1 — the quantities the paper's figures plot.
+
+#include <vector>
+
+#include "analysis/experiment.h"
+
+namespace hpcs::analysis {
+
+/// One rank's derived iteration series.
+struct IterationSeries {
+  std::vector<double> duration_s;  ///< wall time of each iteration
+  std::vector<double> util_pct;    ///< CPU time / wall time per iteration
+};
+
+/// Derive a rank's series from its marks (mark i closes iteration i).
+[[nodiscard]] IterationSeries derive_series(const std::vector<mpi::IterationMark>& marks,
+                                            SimTime start = SimTime::zero());
+
+/// Cross-rank imbalance per iteration: lambda_i = max_r(cpu_i_r)/mean_r - 1,
+/// computed over per-iteration CPU time. 0 = perfectly balanced. Requires
+/// all ranks to have the same number of marks; extra marks are truncated.
+[[nodiscard]] std::vector<double> imbalance_factor(const RunResult& r);
+
+/// Mean of the imbalance series (a single "how imbalanced was this run").
+[[nodiscard]] double mean_imbalance(const RunResult& r);
+
+/// Number of iterations (after a behaviour change at `from_iter`) until the
+/// imbalance drops below `threshold` and stays there: the adaptation-lag
+/// metric of Fig. 4 ("the scheduler needs two more iterations to detect and
+/// correct the new imbalance"). Returns -1 if it never settles.
+[[nodiscard]] int adaptation_lag(const RunResult& r, int from_iter, double threshold = 0.25);
+
+}  // namespace hpcs::analysis

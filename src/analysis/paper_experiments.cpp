@@ -1,0 +1,142 @@
+#include "analysis/paper_experiments.h"
+
+namespace hpcs::analysis {
+
+ExperimentConfig paper_defaults(SchedMode mode, std::uint64_t seed, bool trace) {
+  ExperimentConfig cfg;
+  cfg.mode = mode;
+  cfg.placement = {0, 1, 2, 3};
+  cfg.enable_noise = true;
+  cfg.capture_trace = trace;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// MetBench (Table III / Fig. 3)
+// ---------------------------------------------------------------------------
+
+MetBenchExperiment MetBenchExperiment::paper() {
+  MetBenchExperiment e;
+  e.workload.iterations = 40;
+  return e;
+}
+
+RunResult run_metbench(const MetBenchExperiment& e, SchedMode mode, bool trace,
+                       std::uint64_t seed) {
+  ExperimentConfig cfg = paper_defaults(mode, seed, trace);
+  if (mode == SchedMode::kStatic) cfg.static_prios = e.static_prios;
+  return run_experiment(cfg, wl::make_metbench(e.workload));
+}
+
+PaperReference paper_reference_metbench(SchedMode mode) {
+  switch (mode) {
+    case SchedMode::kBaselineCfs:
+      return {"Baseline 2.6.24", 81.78, {25.34, 99.98, 25.32, 99.97}};
+    case SchedMode::kStatic:
+      return {"Static", 70.90, {99.97, 99.64, 99.95, 99.64}};
+    case SchedMode::kUniform:
+      return {"Uniform", 71.74, {96.17, 98.57, 90.94, 99.57}};
+    case SchedMode::kAdaptive:
+      return {"Adaptive", 71.65, {80.64, 99.52, 87.52, 99.20}};
+    default:
+      return {"(not in paper)", 0.0, {}};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetBenchVar (Table IV / Fig. 4)
+// ---------------------------------------------------------------------------
+
+MetBenchVarExperiment MetBenchVarExperiment::paper() {
+  MetBenchVarExperiment e;
+  e.workload.iterations = 45;
+  e.workload.k = 15;
+  return e;
+}
+
+RunResult run_metbenchvar(const MetBenchVarExperiment& e, SchedMode mode, bool trace,
+                          std::uint64_t seed) {
+  ExperimentConfig cfg = paper_defaults(mode, seed, trace);
+  if (mode == SchedMode::kStatic) cfg.static_prios = e.static_prios;
+  return run_experiment(cfg, wl::make_metbenchvar(e.workload));
+}
+
+PaperReference paper_reference_metbenchvar(SchedMode mode) {
+  switch (mode) {
+    case SchedMode::kBaselineCfs:
+      return {"Baseline 2.6.24", 368.17, {50.24, 75.09, 50.22, 75.08}};
+    case SchedMode::kStatic:
+      return {"Static", 338.40, {99.97, 68.06, 99.94, 68.04}};
+    case SchedMode::kUniform:
+      return {"Uniform", 327.17, {91.47, 95.55, 91.44, 95.33}};
+    case SchedMode::kAdaptive:
+      return {"Adaptive", 326.41, {89.61, 93.08, 89.99, 95.15}};
+    default:
+      return {"(not in paper)", 0.0, {}};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BT-MZ (Table V / Fig. 5)
+// ---------------------------------------------------------------------------
+
+BtMzExperiment BtMzExperiment::paper() {
+  BtMzExperiment e;
+  e.workload.iterations = 200;
+  return e;
+}
+
+RunResult run_btmz(const BtMzExperiment& e, SchedMode mode, bool trace, std::uint64_t seed) {
+  ExperimentConfig cfg = paper_defaults(mode, seed, trace);
+  // Complementary SMT pairing, which Table V's static utilizations imply
+  // (P1 with P4 on core 0, P2 with P3 on core 1): the lightest rank shares a
+  // core with the heaviest.
+  cfg.placement = {0, 2, 3, 1};
+  if (mode == SchedMode::kStatic) cfg.static_prios = e.static_prios;
+  return run_experiment(cfg, wl::make_btmz(e.workload));
+}
+
+PaperReference paper_reference_btmz(SchedMode mode) {
+  switch (mode) {
+    case SchedMode::kBaselineCfs:
+      return {"Baseline 2.6.24", 94.97, {17.63, 29.85, 66.09, 99.85}};
+    case SchedMode::kStatic:
+      return {"Static", 79.63, {70.64, 42.22, 60.96, 99.85}};
+    case SchedMode::kUniform:
+      return {"Uniform", 79.81, {70.31, 37.18, 65.29, 99.85}};
+    case SchedMode::kAdaptive:
+      return {"Adaptive", 79.92, {70.31, 37.30, 65.30, 99.83}};
+    default:
+      return {"(not in paper)", 0.0, {}};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIESTA (Table VI / Fig. 6)
+// ---------------------------------------------------------------------------
+
+SiestaExperiment SiestaExperiment::paper() {
+  SiestaExperiment e;
+  return e;
+}
+
+RunResult run_siesta(const SiestaExperiment& e, SchedMode mode, bool trace, std::uint64_t seed) {
+  ExperimentConfig cfg = paper_defaults(mode, seed, trace);
+  return run_experiment(cfg, wl::make_siesta(e.workload));
+}
+
+PaperReference paper_reference_siesta(SchedMode mode) {
+  switch (mode) {
+    case SchedMode::kBaselineCfs:
+      return {"Baseline 2.6.24", 81.49, {98.90, 52.79, 28.45, 19.99}};
+    case SchedMode::kUniform:
+      return {"Uniform", 76.82, {98.81, 53.38, 31.41, 21.68}};
+    case SchedMode::kAdaptive:
+      return {"Adaptive", 76.91, {98.81, 53.40, 31.47, 21.71}};
+    default:
+      return {"(not in paper)", 0.0, {}};
+  }
+}
+
+}  // namespace hpcs::analysis

@@ -1,0 +1,70 @@
+#pragma once
+// Canonical configurations of the paper's evaluation (§V): one function per
+// benchmark, parameterized by scheduler mode and an iteration scale so tests
+// can run abbreviated versions of the same setups the benches report.
+//
+// Placement follows the paper's machine: ranks 0..3 on logical CPUs 0..3 of
+// one dual-core 2-way-SMT POWER5, so ranks (0,1) share core 0 and (2,3)
+// share core 1.
+
+#include "analysis/experiment.h"
+#include "workloads/btmz.h"
+#include "workloads/metbench.h"
+#include "workloads/metbenchvar.h"
+#include "workloads/siesta.h"
+
+namespace hpcs::analysis {
+
+/// Reference values from the paper for one experiment section, used by
+/// EXPERIMENTS.md generation and the shape checks in tests.
+struct PaperReference {
+  const char* label;
+  double exec_time_s;
+  std::vector<double> util_pct;
+};
+
+// ---- Table III / Fig. 3: MetBench ----
+struct MetBenchExperiment {
+  wl::MetBenchConfig workload{};
+  std::vector<int> static_prios = {4, 6, 4, 6};
+  static MetBenchExperiment paper();  ///< 40 iterations, Table III calibration
+};
+RunResult run_metbench(const MetBenchExperiment& e, SchedMode mode, bool trace = false,
+                       std::uint64_t seed = 1);
+
+// ---- Table IV / Fig. 4: MetBenchVar ----
+struct MetBenchVarExperiment {
+  wl::MetBenchVarConfig workload{};
+  std::vector<int> static_prios = {4, 6, 4, 6};  ///< tuned for the FIRST period
+  static MetBenchVarExperiment paper();  ///< k=15, 45 iterations
+};
+RunResult run_metbenchvar(const MetBenchVarExperiment& e, SchedMode mode, bool trace = false,
+                          std::uint64_t seed = 1);
+
+// ---- Table V / Fig. 5: BT-MZ ----
+struct BtMzExperiment {
+  wl::BtMzConfig workload{};
+  std::vector<int> static_prios = {4, 4, 5, 6};  ///< the paper's hand-tuned set
+  static BtMzExperiment paper();  ///< class A, 200 iterations
+};
+RunResult run_btmz(const BtMzExperiment& e, SchedMode mode, bool trace = false,
+                   std::uint64_t seed = 1);
+
+// ---- Table VI / Fig. 6: SIESTA ----
+struct SiestaExperiment {
+  wl::SiestaConfig workload{};
+  static SiestaExperiment paper();  ///< benzene-like irregular run
+};
+RunResult run_siesta(const SiestaExperiment& e, SchedMode mode, bool trace = false,
+                     std::uint64_t seed = 1);
+
+/// The paper's reported numbers (for side-by-side printing).
+PaperReference paper_reference_metbench(SchedMode mode);
+PaperReference paper_reference_metbenchvar(SchedMode mode);
+PaperReference paper_reference_btmz(SchedMode mode);
+PaperReference paper_reference_siesta(SchedMode mode);
+
+/// Default kernel/noise/network config shared by all paper experiments.
+ExperimentConfig paper_defaults(SchedMode mode, std::uint64_t seed, bool trace);
+
+}  // namespace hpcs::analysis

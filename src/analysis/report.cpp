@@ -1,0 +1,91 @@
+#include "analysis/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/tables.h"
+
+namespace hpcs::analysis {
+namespace {
+
+const char* state_name(kern::TaskState s) {
+  switch (s) {
+    case kern::TaskState::kRunnable: return "R";
+    case kern::TaskState::kSleeping: return "S";
+    case kern::TaskState::kExited: return "X";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string task_report(kern::Kernel& k) {
+  std::ostringstream out;
+  out << fixed("PID", 6) << fixed("NAME", 14) << fixed("POLICY", 17) << fixed("ST", 4)
+      << fixed("CPU", 5) << fixed("HW", 4) << fixed("RUN", 11) << fixed("READY", 11)
+      << fixed("SLEEP", 11) << fixed("UTIL%", 8) << fixed("SW", 6) << fixed("MIG", 5)
+      << fixed("WAKE", 6) << "\n";
+  char buf[64];
+  for (const auto& t : k.tasks()) {
+    k.flush_account(*t);
+    out << fixed(std::to_string(t->pid()), 6) << fixed(t->name(), 14)
+        << fixed(kern::policy_name(t->policy()), 17) << fixed(state_name(t->state()), 4)
+        << fixed(std::to_string(t->cpu), 5)
+        << fixed(std::to_string(p5::to_int(t->hw_prio)), 4)
+        << fixed(format_duration(t->t_run), 11) << fixed(format_duration(t->t_ready), 11)
+        << fixed(format_duration(t->t_sleep), 11);
+    std::snprintf(buf, sizeof(buf), "%.2f", 100.0 * t->cpu_utilization());
+    out << fixed(buf, 8) << fixed(std::to_string(t->nr_switches), 6)
+        << fixed(std::to_string(t->nr_migrations), 5)
+        << fixed(std::to_string(t->nr_wakeups), 6) << "\n";
+  }
+  return out.str();
+}
+
+std::string cpu_report(kern::Kernel& k) {
+  std::ostringstream out;
+  out << fixed("CPU", 5) << fixed("CURR", 14) << fixed("HWPRIO", 8) << fixed("SPEED", 8);
+  for (const auto& cls : k.classes()) out << fixed(cls->name(), 7);
+  out << "\n";
+  char buf[32];
+  for (CpuId cpu = 0; cpu < k.num_cpus(); ++cpu) {
+    kern::Rq& rq = k.rq(cpu);
+    out << fixed(std::to_string(cpu), 5)
+        << fixed(rq.curr != nullptr ? rq.curr->name() : "-", 14)
+        << fixed(std::to_string(p5::to_int(k.chip().cpu_priority(cpu))), 8);
+    std::snprintf(buf, sizeof(buf), "%.3f", k.chip().cpu_speed(cpu));
+    out << fixed(buf, 8);
+    for (std::size_t c = 0; c < k.classes().size(); ++c) {
+      out << fixed(std::to_string(rq.class_count[c]), 7);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string sched_stats_report(const kern::Kernel& k) {
+  std::ostringstream out;
+  out << "context switches: " << k.context_switches() << "\n";
+  out << "migrations:       " << k.migrations() << "\n";
+  out << "balance pulls:    " << k.balance_pulls() << "\n";
+  const RunningStat& lat = k.wakeup_latency_us();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "wakeup latency:   n=%lld avg=%.1fus min=%.1fus max=%.1fus",
+                static_cast<long long>(lat.count()), lat.mean(), lat.min(), lat.max());
+  out << buf << "\n";
+  return out.str();
+}
+
+std::string sysfs_report(const kern::Kernel& k) {
+  std::ostringstream out;
+  // Sysfs reads are logically const; the registry getters are not, so go
+  // through a const_cast confined to this report.
+  auto& fs = const_cast<kern::Kernel&>(k).sysfs();
+  for (const std::string& path : fs.list()) {
+    out << fixed(path, 40) << *fs.read(path) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hpcs::analysis

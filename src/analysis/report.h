@@ -1,0 +1,26 @@
+#pragma once
+// Human-readable system reports — the moral equivalent of /proc for the
+// simulated kernel: a ps-like task table, per-CPU run-queue summary and
+// scheduler statistics. Used by examples and for debugging experiments.
+
+#include <string>
+
+#include "kernel/kernel.h"
+
+namespace hpcs::analysis {
+
+/// ps-like snapshot: pid, name, policy, state, CPU, hw prio, nice/rt prio,
+/// accumulated run/ready/sleep, utilization, switches, migrations, wakeups.
+[[nodiscard]] std::string task_report(kern::Kernel& k);
+
+/// Per-CPU view: current task, runnable counts per scheduling class,
+/// context hardware priority and speed.
+[[nodiscard]] std::string cpu_report(kern::Kernel& k);
+
+/// Global scheduler counters + wakeup latency summary.
+[[nodiscard]] std::string sched_stats_report(const kern::Kernel& k);
+
+/// All sysfs attributes and their current values.
+[[nodiscard]] std::string sysfs_report(const kern::Kernel& k);
+
+}  // namespace hpcs::analysis

@@ -1,0 +1,68 @@
+#include "analysis/sweep.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/iterations.h"
+#include "analysis/tables.h"
+#include "common/check.h"
+
+namespace hpcs::analysis {
+
+std::vector<SweepRow> run_sweep(const std::vector<SweepPoint>& points) {
+  std::vector<SweepRow> rows;
+  double first_exec = 0.0;
+  for (const SweepPoint& p : points) {
+    HPCS_CHECK_MSG(static_cast<bool>(p.workload), "sweep point needs a workload factory");
+    const RunResult r = run_experiment(p.config, p.workload());
+    SweepRow row;
+    row.label = p.label;
+    row.exec_s = r.exec_time.sec();
+    row.min_util = r.min_util();
+    row.max_util = r.max_util();
+    row.mean_imbalance = mean_imbalance(r);
+    row.prio_changes = r.hw_prio_changes;
+    row.ctx_switches = r.context_switches;
+    row.avg_wakeup_latency_us = r.avg_wakeup_latency_us;
+    if (rows.empty()) {
+      first_exec = row.exec_s;
+      row.improvement_vs_first_pct = 0.0;
+    } else {
+      row.improvement_vs_first_pct =
+          first_exec > 0 ? 100.0 * (1.0 - row.exec_s / first_exec) : 0.0;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void write_sweep_csv(std::ostream& os, const std::vector<SweepRow>& rows) {
+  os << "label,exec_s,min_util,max_util,mean_imbalance,prio_changes,ctx_switches,"
+        "avg_wakeup_latency_us,improvement_vs_first_pct\n";
+  for (const SweepRow& r : rows) {
+    os << r.label << ',' << r.exec_s << ',' << r.min_util << ',' << r.max_util << ','
+       << r.mean_imbalance << ',' << r.prio_changes << ',' << r.ctx_switches << ','
+       << r.avg_wakeup_latency_us << ',' << r.improvement_vs_first_pct << '\n';
+  }
+}
+
+std::string render_sweep(const std::vector<SweepRow>& rows) {
+  std::ostringstream out;
+  out << fixed("label", 26) << fixed("exec(s)", 10) << fixed("util(min/max)", 16)
+      << fixed("imbal", 8) << fixed("prio", 6) << fixed("improve", 9) << "\n";
+  char buf[64];
+  for (const SweepRow& r : rows) {
+    out << fixed(r.label, 26);
+    std::snprintf(buf, sizeof(buf), "%.2f", r.exec_s);
+    out << fixed(buf, 10);
+    std::snprintf(buf, sizeof(buf), "%.1f/%.1f", r.min_util, r.max_util);
+    out << fixed(buf, 16);
+    std::snprintf(buf, sizeof(buf), "%.3f", r.mean_imbalance);
+    out << fixed(buf, 8) << fixed(std::to_string(r.prio_changes), 6);
+    std::snprintf(buf, sizeof(buf), "%+.2f%%", r.improvement_vs_first_pct);
+    out << fixed(buf, 9) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hpcs::analysis

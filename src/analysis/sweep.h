@@ -1,0 +1,46 @@
+#pragma once
+// Parameter-sweep harness: run a labelled list of experiment points and
+// collect comparable rows (exec time, utilization spread, imbalance,
+// scheduler counters), with CSV export — the bulk-experimentation layer the
+// ablation benches and downstream studies build on.
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+
+namespace hpcs::analysis {
+
+struct SweepPoint {
+  std::string label;
+  ExperimentConfig config;
+  /// Factory (sweeps reuse workloads across points; programs are one-shot).
+  std::function<std::vector<std::unique_ptr<mpi::RankProgram>>()> workload;
+};
+
+struct SweepRow {
+  std::string label;
+  double exec_s = 0.0;
+  double min_util = 0.0;
+  double max_util = 0.0;
+  double mean_imbalance = 0.0;
+  std::int64_t prio_changes = 0;
+  std::int64_t ctx_switches = 0;
+  double avg_wakeup_latency_us = 0.0;
+  /// Improvement over the sweep's first row (the conventional baseline).
+  double improvement_vs_first_pct = 0.0;
+};
+
+/// Run every point (in order) and derive the rows.
+[[nodiscard]] std::vector<SweepRow> run_sweep(const std::vector<SweepPoint>& points);
+
+/// label,exec_s,min_util,max_util,mean_imbalance,prio_changes,ctx_switches,
+/// avg_wakeup_latency_us,improvement_vs_first_pct
+void write_sweep_csv(std::ostream& os, const std::vector<SweepRow>& rows);
+
+/// Fixed-width text table of the rows.
+[[nodiscard]] std::string render_sweep(const std::vector<SweepRow>& rows);
+
+}  // namespace hpcs::analysis

@@ -1,0 +1,35 @@
+#pragma once
+// Paper-style table formatting: renders RunResults in the layout of
+// Tables III-VI (Test / Proc / %Comp / Priority / Exec. Time) plus generic
+// fixed-width helpers for the benches.
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+
+namespace hpcs::analysis {
+
+/// One experiment's rows of a paper table.
+struct TableSection {
+  std::string label;  ///< "Baseline 2.6.24", "Static", "Uniform", ...
+  const RunResult* result = nullptr;
+  /// Priorities to display for non-dynamic modes (paper prints "-" for the
+  /// dynamic scheduler because priorities change at run time).
+  std::vector<int> display_prios;
+};
+
+/// Render a full characterization table (the Tables III-VI layout).
+[[nodiscard]] std::string render_characterization_table(const std::string& title,
+                                                        const std::vector<TableSection>& sections);
+
+/// Render Table I (decode cycles per priority difference).
+[[nodiscard]] std::string render_decode_table();
+
+/// Render Table II (privilege level and or-nop per priority).
+[[nodiscard]] std::string render_privilege_table();
+
+/// Simple fixed-width row helper used by the benches.
+[[nodiscard]] std::string fixed(const std::string& s, std::size_t width);
+
+}  // namespace hpcs::analysis

@@ -1,0 +1,122 @@
+#include "cluster/gang.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+#include "hpcsched/hpcsched.h"
+#include "kernel/noise.h"
+#include "simcore/simulator.h"
+#include "simmpi/mpi_world.h"
+
+namespace hpcs::cluster {
+
+const char* gang_policy_name(GangPolicy p) {
+  switch (p) {
+    case GangPolicy::kPacked: return "packed";
+    case GangPolicy::kRoundRobin: return "round-robin";
+    case GangPolicy::kLeastLoaded: return "least-loaded";
+  }
+  return "?";
+}
+
+std::vector<int> assign_jobs(const std::vector<JobSpec>& jobs, int nodes, int cpus_per_node,
+                             GangPolicy policy) {
+  HPCS_CHECK(nodes > 0 && cpus_per_node > 0);
+  std::vector<int> assignment(jobs.size(), 0);
+  switch (policy) {
+    case GangPolicy::kPacked: {
+      // First fit by free CPU count; overflow wraps to the next node.
+      std::vector<int> free_cpus(static_cast<std::size_t>(nodes), cpus_per_node);
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        int chosen = nodes - 1;
+        for (int n = 0; n < nodes; ++n) {
+          if (free_cpus[static_cast<std::size_t>(n)] >= jobs[j].ranks) {
+            chosen = n;
+            break;
+          }
+        }
+        assignment[j] = chosen;
+        free_cpus[static_cast<std::size_t>(chosen)] -= jobs[j].ranks;
+      }
+      break;
+    }
+    case GangPolicy::kRoundRobin:
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        assignment[j] = static_cast<int>(j) % nodes;
+      }
+      break;
+    case GangPolicy::kLeastLoaded: {
+      std::vector<double> load(static_cast<std::size_t>(nodes), 0.0);
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const auto it = std::min_element(load.begin(), load.end());
+        assignment[j] = static_cast<int>(it - load.begin());
+        *it += jobs[j].load_estimate;
+      }
+      break;
+    }
+  }
+  return assignment;
+}
+
+ClusterResult run_cluster(const ClusterConfig& cfg, const std::vector<JobSpec>& jobs,
+                          GangPolicy policy) {
+  sim::Simulator simulator;
+
+  // Bring up the nodes: one full kernel each, sharing the event loop.
+  std::vector<std::unique_ptr<kern::Kernel>> kernels;
+  Rng noise_rng(cfg.seed ^ 0xC1A5ull);
+  for (int n = 0; n < cfg.nodes; ++n) {
+    auto k = std::make_unique<kern::Kernel>(simulator, cfg.node_kernel);
+    if (cfg.hpcsched) {
+      hpc::HpcSchedConfig hc;
+      hc.tunables = cfg.tunables;
+      hpc::install_hpcsched(*k, hc);
+    }
+    k->start();
+    if (cfg.noise) kern::spawn_noise_daemons(*k, cfg.noise_config, noise_rng);
+    kernels.push_back(std::move(k));
+  }
+
+  const int cpus = kernels.front()->num_cpus();
+  const std::vector<int> assignment = assign_jobs(jobs, cfg.nodes, cpus, policy);
+
+  // Create all worlds (gangs start simultaneously — space sharing).
+  std::vector<std::unique_ptr<mpi::MpiWorld>> worlds;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    mpi::MpiWorldConfig wc;
+    wc.policy = cfg.hpcsched ? kern::Policy::kHpcRr : kern::Policy::kNormal;
+    wc.net = cfg.net;
+    wc.seed = cfg.seed + j;
+    wc.name_prefix = jobs[j].name + "/r";
+    // Round-robin the gang's ranks over the node's CPUs.
+    for (int r = 0; r < jobs[j].ranks; ++r) wc.placement.push_back(r % cpus);
+    worlds.push_back(std::make_unique<mpi::MpiWorld>(
+        *kernels[static_cast<std::size_t>(assignment[j])], wc, jobs[j].make_programs()));
+  }
+  for (auto& w : worlds) w->start();
+
+  // Run until every job is done.
+  const auto all_done = [&worlds] {
+    return std::all_of(worlds.begin(), worlds.end(),
+                       [](const auto& w) { return w->done(); });
+  };
+  const SimTime deadline = SimTime(std::int64_t{8} * 3600 * 1000000000);
+  while (!all_done() && simulator.now() < deadline && simulator.step()) {
+  }
+  HPCS_CHECK_MSG(all_done(), "cluster jobs did not complete before the deadline");
+
+  ClusterResult res;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    JobResult jr;
+    jr.name = jobs[j].name;
+    jr.node = assignment[j];
+    jr.finish = worlds[j]->finish_time();
+    jr.exec_time = jr.finish - SimTime::zero();
+    res.jobs.push_back(jr);
+    res.makespan = std::max(res.makespan, jr.exec_time);
+  }
+  return res;
+}
+
+}  // namespace hpcs::cluster

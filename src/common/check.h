@@ -1,0 +1,22 @@
+#pragma once
+// Always-on invariant checking for the simulator. Simulation bugs silently
+// corrupt results, so checks stay enabled in release builds; they are cheap
+// relative to event-queue work.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hpcs::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "HPCS_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace hpcs::detail
+
+#define HPCS_CHECK(expr) \
+  ((expr) ? void(0) : ::hpcs::detail::check_failed(#expr, __FILE__, __LINE__, ""))
+
+#define HPCS_CHECK_MSG(expr, msg) \
+  ((expr) ? void(0) : ::hpcs::detail::check_failed(#expr, __FILE__, __LINE__, (msg)))

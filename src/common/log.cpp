@@ -1,0 +1,34 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace hpcs {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s][%s] ", level_name(level), tag);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace hpcs

@@ -1,0 +1,53 @@
+#pragma once
+// Streaming statistics helpers used by the tracer, the imbalance detector and
+// the benchmark harness.
+
+#include <cstdint>
+#include <vector>
+
+namespace hpcs {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket. Used for wakeup-latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void add(double x);
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<std::int64_t>& buckets() const { return counts_; }
+  /// Value below which the given fraction (0..1) of samples fall
+  /// (bucket-midpoint approximation).
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace hpcs

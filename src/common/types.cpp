@@ -1,0 +1,24 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace hpcs {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const double abs_ns = d.ns() < 0 ? -static_cast<double>(d.ns()) : static_cast<double>(d.ns());
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", d.sec());
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", d.ms());
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", d.us());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d.ns()));
+  }
+  return buf;
+}
+
+std::string format_time(SimTime t) { return format_duration(t - SimTime::zero()); }
+
+}  // namespace hpcs

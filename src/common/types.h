@@ -1,0 +1,101 @@
+#pragma once
+// Fundamental value types shared by every layer of the simulation.
+//
+// All simulated time is kept in integer nanoseconds. Using a strong type for
+// both instants (SimTime) and spans (Duration) prevents the classic
+// instant/span mix-up bugs and keeps unit conversions explicit.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace hpcs {
+
+/// A span of simulated time, in nanoseconds. Signed so that differences and
+/// backward corrections are representable; negative durations are legal as
+/// intermediate values but never as event delays.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) * 1e-3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) * 1e-9; }
+
+  [[nodiscard]] static constexpr Duration nanoseconds(std::int64_t v) { return Duration(v); }
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t v) { return Duration(v * 1000); }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t v) { return Duration(v * 1000000); }
+  [[nodiscard]] static constexpr Duration seconds(double v) {
+    return Duration(static_cast<std::int64_t>(v * 1e9));
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0); }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.ns_ + b.ns_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.ns_ - b.ns_); }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration(a.ns_ * k); }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return Duration(a.ns_ * k); }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration(a.ns_ / k); }
+  /// Ratio of two spans as a double (e.g. utilization computations).
+  friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An instant of simulated time (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime(0); }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) { return SimTime(t.ns_ + d.ns()); }
+  friend constexpr SimTime operator-(SimTime t, Duration d) { return SimTime(t.ns_ - d.ns()); }
+  friend constexpr Duration operator-(SimTime a, SimTime b) { return Duration(a.ns_ - b.ns_); }
+  constexpr SimTime& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Abstract computational work, in "work units". One work unit takes one
+/// nanosecond on a context running at speed 1.0 (single-thread mode), so a
+/// task's intrinsic load is directly its ST execution time in nanoseconds.
+using Work = double;
+
+/// Index of a logical CPU (an SMT context as seen by the OS).
+using CpuId = int;
+/// Index of a physical core.
+using CoreId = int;
+/// Process identifier of a simulated task.
+using Pid = int;
+
+inline constexpr CpuId kInvalidCpu = -1;
+inline constexpr Pid kInvalidPid = -1;
+
+[[nodiscard]] std::string format_time(SimTime t);
+[[nodiscard]] std::string format_duration(Duration d);
+
+}  // namespace hpcs

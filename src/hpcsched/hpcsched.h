@@ -1,0 +1,25 @@
+#pragma once
+// Public entry point of the HPCSched library: install the SCHED_HPC class
+// into a simulated kernel and expose its tunables through sysfs. This is the
+// header a downstream user includes; see examples/quickstart.cpp.
+
+#include "hpcsched/hpc_class.h"
+
+namespace hpcs::hpc {
+
+struct HpcSchedConfig {
+  HpcTunables tunables{};
+  HeuristicKind heuristic = HeuristicKind::kUniform;
+  /// Use the POWER5 hardware-priority mechanism; false selects the Null
+  /// mechanism (non-POWER architecture: policy benefits only, §IV-C).
+  bool power5_mechanism = true;
+};
+
+/// Create the HPC scheduling class, insert it between the real-time and CFS
+/// classes (paper Fig. 1b) and register its sysfs tunables
+/// (hpcsched/low_util, hpcsched/high_util, hpcsched/min_prio,
+/// hpcsched/max_prio, hpcsched/adaptive_g_pct, hpcsched/reset_after).
+/// Must be called before Kernel::start().
+HpcSchedClass& install_hpcsched(kern::Kernel& k, const HpcSchedConfig& cfg = {});
+
+}  // namespace hpcs::hpc

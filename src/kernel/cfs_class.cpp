@@ -1,0 +1,148 @@
+#include "kernel/cfs_class.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "kernel/kernel.h"
+
+namespace hpcs::kern {
+namespace {
+
+CfsKey key_of(const Task& t) { return {t.vruntime.ns(), t.pid()}; }
+
+}  // namespace
+
+CfsRq& CfsClass::crq(Rq& rq, int index) {
+  return static_cast<CfsRq&>(*rq.class_rqs[static_cast<std::size_t>(index)]);
+}
+
+std::int64_t CfsClass::nice_to_weight(int nice) {
+  // The canonical kernel prio_to_weight[] table (nice -20 .. +19).
+  static constexpr std::int64_t kWeights[40] = {
+      88761, 71755, 56483, 46273, 36291, 29154, 23254, 18705, 14949, 11916,
+      9548,  7620,  6100,  4904,  3906,  3121,  2501,  1991,  1586,  1277,
+      1024,  820,   655,   526,   423,   335,   272,   215,   172,   137,
+      110,   87,    70,    56,    45,    36,    29,    23,    18,    15};
+  const int idx = std::clamp(nice, -20, 19) + 20;
+  return kWeights[idx];
+}
+
+Duration CfsClass::calc_delta_fair(Duration delta, int nice) {
+  if (nice == 0) return delta;  // weight 1024 / 1024
+  const std::int64_t w = nice_to_weight(nice);
+  return Duration(delta.ns() * 1024 / w);
+}
+
+Duration CfsClass::slice_for(int nr_running) const {
+  if (nr_running <= 0) nr_running = 1;
+  const Duration slice = tun_.latency / nr_running;
+  return std::max(slice, tun_.min_granularity);
+}
+
+void CfsClass::update_min_vruntime(CfsRq& c, const Task* curr_of_class) const {
+  Duration candidate = Duration::max();
+  if (curr_of_class != nullptr) candidate = curr_of_class->vruntime;
+  if (const CfsKey* lk = c.tree.leftmost_key()) {
+    candidate = std::min(candidate, Duration(lk->first));
+  }
+  if (candidate != Duration::max()) {
+    c.min_vruntime = std::max(c.min_vruntime, candidate);
+  }
+}
+
+void CfsClass::enqueue(Kernel& k, Rq& rq, Task& t, bool wakeup) {
+  (void)k;
+  CfsRq& c = crq(rq, index());
+  if (wakeup && tun_.sleeper_fairness) {
+    // Sleeper credit: grant a waking task up to half a latency period of
+    // vruntime headroom so interactive tasks get scheduled promptly, but
+    // never let vruntime move backwards.
+    const Duration floor = c.min_vruntime - tun_.latency / 2;
+    t.vruntime = std::max(t.vruntime, floor);
+  } else {
+    // Migrated or policy-switched task: normalize into this queue's window.
+    t.vruntime = std::max(t.vruntime, c.min_vruntime - tun_.latency / 2);
+  }
+  const bool inserted = c.tree.insert(key_of(t), &t);
+  HPCS_CHECK_MSG(inserted, "duplicate task in CFS tree");
+  update_min_vruntime(c, nullptr);
+}
+
+void CfsClass::dequeue(Kernel& k, Rq& rq, Task& t, bool sleep) {
+  (void)k;
+  (void)sleep;
+  CfsRq& c = crq(rq, index());
+  // A running task was already removed from the tree by pick_next.
+  c.tree.erase(key_of(t));
+  const Task* curr = (rq.curr != nullptr && owns(rq.curr->policy()) && rq.curr != &t)
+                         ? rq.curr
+                         : nullptr;
+  update_min_vruntime(c, curr);
+}
+
+Task* CfsClass::pick_next(Kernel& k, Rq& rq) {
+  (void)k;
+  CfsRq& c = crq(rq, index());
+  Task** leftmost = c.tree.leftmost();
+  if (leftmost == nullptr) return nullptr;
+  Task* t = *leftmost;
+  c.tree.erase(key_of(*t));
+  return t;
+}
+
+void CfsClass::put_prev(Kernel& k, Rq& rq, Task& t) {
+  (void)k;
+  CfsRq& c = crq(rq, index());
+  const bool inserted = c.tree.insert(key_of(t), &t);
+  HPCS_CHECK_MSG(inserted, "put_prev: duplicate task in CFS tree");
+  update_min_vruntime(c, nullptr);
+}
+
+void CfsClass::task_tick(Kernel& k, Rq& rq, Task& t) {
+  CfsRq& c = crq(rq, index());
+  update_min_vruntime(c, &t);
+  const int nr = static_cast<int>(c.tree.size()) + 1;
+  if (nr < 2) return;  // nothing else to run
+  const Duration slice = slice_for(nr);
+  const Duration delta_exec = k.now() - t.last_dispatch;
+  if (delta_exec > slice) {
+    rq.need_resched = true;
+    return;
+  }
+  // Bound the wait of a markedly "more deserving" leftmost task.
+  if (const CfsKey* lk = c.tree.leftmost_key()) {
+    const Duration vdiff = t.vruntime - Duration(lk->first);
+    if (vdiff > slice && delta_exec > tun_.min_granularity) rq.need_resched = true;
+  }
+}
+
+bool CfsClass::wakeup_preempt(Kernel& k, Rq& rq, Task& curr, Task& woken) {
+  (void)k;
+  (void)rq;
+  if (curr.policy() == Policy::kBatch && woken.policy() == Policy::kNormal) return true;
+  if (woken.policy() == Policy::kBatch) return false;  // batch never wakeup-preempts
+  const Duration vdiff = curr.vruntime - woken.vruntime;
+  return vdiff > tun_.wakeup_granularity;
+}
+
+void CfsClass::yield(Kernel& k, Rq& rq, Task& t) {
+  // Charge the yielding task the slice it declined so it moves rightward.
+  (void)k;
+  CfsRq& c = crq(rq, index());
+  const int nr = static_cast<int>(c.tree.size()) + 1;
+  t.vruntime += slice_for(nr);
+}
+
+Task* CfsClass::steal_candidate(Kernel& k, Rq& rq) {
+  (void)k;
+  CfsRq& c = crq(rq, index());
+  // Pull from the tail (largest vruntime): the task that would run last here
+  // loses the least by migrating — mirrors the kernel pulling cache-cold work.
+  Task* best = nullptr;
+  c.tree.for_each([&](const CfsKey&, Task* const& t) {
+    if (t->pinned_cpu == kInvalidCpu) best = t;
+  });
+  return best;
+}
+
+}  // namespace hpcs::kern

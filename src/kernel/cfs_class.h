@@ -1,0 +1,77 @@
+#pragma once
+// The Completely Fair Scheduler class (paper §III): tasks ordered in a
+// red-black tree by virtual runtime; the leftmost task runs next. No fixed
+// time quantum — each task gets a slice proportional to the latency target
+// divided by the number of runnable tasks.
+
+#include <cstdint>
+#include <utility>
+
+#include "kernel/rbtree.h"
+#include "kernel/sched_class.h"
+
+namespace hpcs::kern {
+
+struct CfsTunables {
+  Duration latency = Duration::milliseconds(20);       ///< target max wait (paper: 20 ms)
+  Duration min_granularity = Duration::milliseconds(4);
+  Duration wakeup_granularity = Duration::milliseconds(10);
+  /// Sleeper credit: a waking task is placed at min_vruntime - latency/2.
+  bool sleeper_fairness = true;
+  /// Scheduler-path cost of a CFS wakeup (see SchedClass::wakeup_cost).
+  Duration wakeup_cost = Duration::microseconds(25);
+};
+
+/// Key of the CFS tree: (vruntime ns, pid) — pid breaks ties so keys are
+/// unique.
+using CfsKey = std::pair<std::int64_t, Pid>;
+
+struct CfsRq final : ClassRq {
+  RbTree<CfsKey, Task*> tree;
+  Duration min_vruntime = Duration::zero();
+  int nr_queued = 0;  ///< tasks in the tree (excludes the running task)
+};
+
+class CfsClass final : public SchedClass {
+ public:
+  explicit CfsClass(CfsTunables tunables = {}) : tun_(tunables) {}
+
+  [[nodiscard]] const char* name() const override { return "fair"; }
+  [[nodiscard]] bool owns(Policy p) const override {
+    return p == Policy::kNormal || p == Policy::kBatch;
+  }
+  [[nodiscard]] std::unique_ptr<ClassRq> make_rq() const override {
+    return std::make_unique<CfsRq>();
+  }
+
+  void enqueue(Kernel& k, Rq& rq, Task& t, bool wakeup) override;
+  void dequeue(Kernel& k, Rq& rq, Task& t, bool sleep) override;
+  Task* pick_next(Kernel& k, Rq& rq) override;
+  void put_prev(Kernel& k, Rq& rq, Task& t) override;
+  void task_tick(Kernel& k, Rq& rq, Task& t) override;
+  [[nodiscard]] bool wakeup_preempt(Kernel& k, Rq& rq, Task& curr, Task& woken) override;
+  void yield(Kernel& k, Rq& rq, Task& t) override;
+  Task* steal_candidate(Kernel& k, Rq& rq) override;
+  [[nodiscard]] bool wants_balance() const override { return true; }
+  [[nodiscard]] Duration wakeup_cost() const override { return tun_.wakeup_cost; }
+
+  [[nodiscard]] const CfsTunables& tunables() const { return tun_; }
+  CfsTunables& tunables() { return tun_; }
+
+  /// CFS load weight for a nice level (-20..19); the canonical kernel table.
+  [[nodiscard]] static std::int64_t nice_to_weight(int nice);
+
+  /// Scale a real-time delta into vruntime for the given nice level.
+  [[nodiscard]] static Duration calc_delta_fair(Duration delta, int nice);
+
+  /// The slice a task would get with `nr_running` competitors.
+  [[nodiscard]] Duration slice_for(int nr_running) const;
+
+ private:
+  static CfsRq& crq(Rq& rq, int index);
+  void update_min_vruntime(CfsRq& c, const Task* curr_of_class) const;
+
+  CfsTunables tun_;
+};
+
+}  // namespace hpcs::kern

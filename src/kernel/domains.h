@@ -1,0 +1,87 @@
+#pragma once
+// Scheduling domains (paper §IV-A): the topology tree the workload balancer
+// walks. On a POWER5 system there are three levels — context, core and chip;
+// a domain at each level partitions its span into groups whose task counts
+// the balancer tries to equalize.
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hpcs::kern {
+
+/// One domain level as seen from a particular CPU: the partition of the
+/// domain's span into balancing groups. The group containing the observing
+/// CPU competes against its sibling groups.
+struct Domain {
+  std::string level;                    ///< "smt", "core", ...
+  std::vector<std::vector<CpuId>> groups;
+};
+
+/// CPU topology of the simulated machine and the per-CPU domain hierarchy.
+class Topology {
+ public:
+  /// A single POWER5-style chip: `num_cores` cores, 2 SMT contexts each.
+  static Topology power5_chip(int num_cores);
+
+  /// A multi-chip POWER5 system: adds the third (chip) domain level the
+  /// paper describes ("in a POWER5 system there are three domain levels:
+  /// chip level, core level and context level").
+  static Topology power5_system(int num_chips, int cores_per_chip);
+
+  [[nodiscard]] int num_cpus() const { return num_cpus_; }
+
+  /// Domain levels for `cpu`, smallest (SMT siblings) first.
+  [[nodiscard]] const std::vector<Domain>& domains_for(CpuId cpu) const {
+    return per_cpu_[static_cast<std::size_t>(cpu)];
+  }
+
+ private:
+  int num_cpus_ = 0;
+  std::vector<std::vector<Domain>> per_cpu_;
+};
+
+inline Topology Topology::power5_chip(int num_cores) {
+  return power5_system(1, num_cores);
+}
+
+inline Topology Topology::power5_system(int num_chips, int cores_per_chip) {
+  Topology t;
+  const int num_cores = num_chips * cores_per_chip;
+  t.num_cpus_ = num_cores * 2;
+  t.per_cpu_.resize(static_cast<std::size_t>(t.num_cpus_));
+
+  // Chip-level domain: groups are whole chips.
+  Domain chip_level;
+  chip_level.level = "chip";
+  for (int chip = 0; chip < num_chips; ++chip) {
+    std::vector<CpuId> cpus;
+    for (int c = 0; c < cores_per_chip * 2; ++c) cpus.push_back(chip * cores_per_chip * 2 + c);
+    chip_level.groups.push_back(std::move(cpus));
+  }
+
+  for (CpuId cpu = 0; cpu < t.num_cpus_; ++cpu) {
+    const CoreId core = cpu / 2;
+    const int chip = core / cores_per_chip;
+
+    Domain smt;
+    smt.level = "smt";
+    smt.groups = {{core * 2}, {core * 2 + 1}};
+
+    // Core-level domain within this CPU's chip: groups are that chip's cores.
+    Domain core_level;
+    core_level.level = "core";
+    for (int c = chip * cores_per_chip; c < (chip + 1) * cores_per_chip; ++c) {
+      core_level.groups.push_back({c * 2, c * 2 + 1});
+    }
+
+    auto& levels = t.per_cpu_[static_cast<std::size_t>(cpu)];
+    levels.push_back(std::move(smt));
+    if (cores_per_chip > 1) levels.push_back(std::move(core_level));
+    if (num_chips > 1) levels.push_back(chip_level);
+  }
+  return t;
+}
+
+}  // namespace hpcs::kern

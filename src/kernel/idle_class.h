@@ -1,0 +1,28 @@
+#pragma once
+// The idle class: always last in the chain, always able to supply the
+// per-CPU idle task, so the Scheduler Core "cannot fail in its search"
+// (paper §III).
+
+#include "kernel/sched_class.h"
+
+namespace hpcs::kern {
+
+struct IdleRq final : ClassRq {};
+
+class IdleClass final : public SchedClass {
+ public:
+  [[nodiscard]] const char* name() const override { return "idle"; }
+  [[nodiscard]] bool owns(Policy p) const override { return p == Policy::kIdle; }
+  [[nodiscard]] std::unique_ptr<ClassRq> make_rq() const override {
+    return std::make_unique<IdleRq>();
+  }
+
+  void enqueue(Kernel&, Rq&, Task&, bool) override {}
+  void dequeue(Kernel&, Rq&, Task&, bool) override {}
+  Task* pick_next(Kernel&, Rq& rq) override { return rq.idle; }
+  void put_prev(Kernel&, Rq&, Task&) override {}
+  void task_tick(Kernel&, Rq&, Task&) override {}
+  [[nodiscard]] bool wakeup_preempt(Kernel&, Rq&, Task&, Task&) override { return true; }
+};
+
+}  // namespace hpcs::kern

@@ -1,0 +1,207 @@
+#pragma once
+// The Scheduler Core plus the execution engine: the facade tying together the
+// POWER5 machine model, the scheduling-class chain, per-CPU run queues, the
+// timer tick, wakeups and the per-class workload balancer.
+//
+// Tasks "execute" by owning compute segments: while a task with remaining
+// work sits on a CPU, a completion event is scheduled at
+// now + remaining / context_speed. Any change of the context's speed (the
+// SMT sibling starting/stopping, a hardware-priority write) re-linearizes
+// the remaining work and re-arms the event — this is how the POWER5
+// prioritization couples into task progress.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "kernel/cfs_class.h"
+#include "kernel/domains.h"
+#include "kernel/o1_class.h"
+#include "kernel/sched_class.h"
+#include "kernel/sysfs.h"
+#include "kernel/task.h"
+#include "kernel/trace_hooks.h"
+#include "power5/chip.h"
+#include "power5/priority_isa.h"
+#include "simcore/simulator.h"
+
+namespace hpcs::kern {
+
+/// Which generation of the fair scheduler handles SCHED_NORMAL/SCHED_BATCH:
+/// the Completely Fair Scheduler of 2.6.23+ or the old O(1) scheduler the
+/// paper's §III contrasts it with.
+enum class FairScheduler { kCfs, kO1 };
+
+struct KernelConfig {
+  int num_cores = 2;   ///< cores per chip (POWER5: two cores, 2-way SMT)
+  int num_chips = 1;   ///< chips in the system (adds the chip domain level)
+  p5::ThroughputParams throughput{};
+  /// Linux/POWER5 smt_snooze_delay: how long the idle loop spins before
+  /// ceding the core to the sibling (single-thread mode). Negative =
+  /// never snooze (the HPC setting the paper's numbers imply, see
+  /// DESIGN.md §2); zero = immediate snooze.
+  Duration smt_snooze_delay = Duration(-1);
+  Duration tick = Duration::milliseconds(1);  ///< HZ=1000
+  Duration rt_rr_slice = Duration::milliseconds(100);
+  FairScheduler fair_scheduler = FairScheduler::kCfs;
+  CfsTunables cfs{};
+  O1Tunables o1{};
+  /// Ticks between periodic balancer runs on each CPU.
+  int balance_interval_ticks = 64;
+  /// When false the machine ignores hardware-priority writes (a non-POWER
+  /// architecture): the HPC class still works but only its policy effect
+  /// remains (paper §IV-C).
+  bool hw_prio_enabled = true;
+};
+
+class Kernel {
+ public:
+  Kernel(sim::Simulator& sim, const KernelConfig& cfg);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Insert an additional scheduling class between the real-time and CFS
+  /// classes (this is where HPCSched sits, paper Fig. 1b). Must be called
+  /// before start(). Returns the registered class.
+  SchedClass& add_class_before_cfs(std::unique_ptr<SchedClass> cls);
+
+  /// Finalize the class chain, create idle tasks and start the timer tick.
+  void start();
+  [[nodiscard]] bool started() const { return started_; }
+
+  // ---- task management ----
+
+  /// Create a task (initially sleeping) placed on `initial_cpu`.
+  Task& create_task(std::string name, std::unique_ptr<TaskBody> body, Policy policy,
+                    CpuId initial_cpu);
+  /// First wakeup of a freshly created task.
+  void start_task(Task& t);
+
+  // ---- syscalls ----
+
+  /// sched_setscheduler(2): move a task to a new policy (and class).
+  bool sched_setscheduler(Task& t, Policy policy, int rt_prio = 0);
+  /// Pin a task to one CPU (kInvalidCpu clears the pin). Migrates if needed.
+  bool sched_setaffinity(Task& t, CpuId cpu);
+  /// nice(2): adjust the CFS weight.
+  void set_nice(Task& t, int nice);
+
+  // ---- body API (valid only inside TaskBody::step) ----
+
+  void body_compute(Task& t, Work work);
+  void body_block(Task& t);
+  void body_sleep(Task& t, Duration d);
+  void body_yield(Task& t);
+  void body_exit(Task& t);
+
+  /// Wake a sleeping task (message arrival, timer, ...). Safe on tasks that
+  /// are already runnable or exited (no-op).
+  void wake(Task& t);
+
+  /// Set a task's requested hardware thread priority; applied to the SMT
+  /// context immediately if the task is running, otherwise at next dispatch.
+  /// This is the entry point the HPCSched Mechanism uses.
+  void request_hw_prio(Task& t, p5::HwPrio prio);
+
+  // ---- accessors ----
+
+  [[nodiscard]] SimTime now() const { return sim_->now(); }
+  [[nodiscard]] sim::Simulator& sim() { return *sim_; }
+  [[nodiscard]] p5::Chip& chip() { return chip_; }
+  [[nodiscard]] p5::PriorityIsa& isa() { return isa_; }
+  [[nodiscard]] Sysfs& sysfs() { return sysfs_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] Duration tick_period() const { return cfg_.tick; }
+  [[nodiscard]] int num_cpus() const { return topo_.num_cpus(); }
+  [[nodiscard]] Rq& rq(CpuId cpu);
+  [[nodiscard]] SchedClass* class_for(Policy p) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<SchedClass>>& classes() const {
+    return classes_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+  [[nodiscard]] Task* find_task(Pid pid) const;
+
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] TraceSink* trace() const { return trace_; }
+
+  [[nodiscard]] std::int64_t context_switches() const { return ctx_switches_; }
+  [[nodiscard]] std::int64_t migrations() const { return migrations_; }
+  [[nodiscard]] std::int64_t balance_pulls() const { return balance_pulls_; }
+  [[nodiscard]] const RunningStat& wakeup_latency_us() const { return wakeup_latency_us_; }
+
+  /// Trigger a reschedule of `cpu` (deferred to a zero-delay event).
+  void resched_cpu(CpuId cpu);
+
+  /// Flush pending run/ready/sleep accounting of a task up to now().
+  void flush_account(Task& t);
+
+ private:
+  struct CpuState {
+    Rq rq;
+    std::unique_ptr<Task> idle_task;
+    bool exec_active = false;
+    SimTime seg_start = SimTime::zero();
+    double seg_speed = 0.0;
+    sim::EventHandle exec_event;
+    bool resched_pending = false;
+    sim::EventHandle tick_event;
+    sim::EventHandle snooze_event;
+    std::int64_t ticks = 0;
+  };
+
+  CpuState& cs(CpuId cpu);
+  [[nodiscard]] int class_index(Policy p) const;
+
+  // Run-queue plumbing.
+  void enqueue_task(Task& t, bool wakeup);
+  void dequeue_task(Task& t, bool sleep);
+  void maybe_preempt(CpuId cpu, Task& woken);
+  Task* pick_next(Rq& rq);
+  void schedule_cpu(CpuId cpu);
+  void set_acc_state(Task& t, AccState s);
+
+  // Execution engine.
+  void arm_snooze(CpuId cpu);
+  void accrue_exec(CpuId cpu);
+  void stop_exec(CpuId cpu);
+  void start_exec(CpuId cpu);
+  void arm_exec_event(CpuId cpu);
+  void on_exec_event(CpuId cpu);
+  void on_speed_change(CoreId core);
+
+  // Wakeups.
+  void do_wake(Task& t);
+
+  // Tick + balancing.
+  void on_tick(CpuId cpu);
+  bool balance_pull(CpuId cpu, SchedClass& cls);
+  void migrate(Task& t, CpuId dst);
+
+  sim::Simulator* sim_;
+  KernelConfig cfg_;
+  p5::Chip chip_;
+  p5::PriorityIsa isa_;
+  Topology topo_;
+  Sysfs sysfs_;
+  TraceSink* trace_ = nullptr;
+
+  std::vector<std::unique_ptr<SchedClass>> classes_;  ///< priority order
+  int cfs_index_ = -1;
+  std::vector<CpuState> cpus_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  Pid next_pid_ = 1;
+  bool started_ = false;
+  bool in_balance_ = false;
+
+  std::int64_t ctx_switches_ = 0;
+  std::int64_t migrations_ = 0;
+  std::int64_t balance_pulls_ = 0;
+  RunningStat wakeup_latency_us_;
+};
+
+}  // namespace hpcs::kern

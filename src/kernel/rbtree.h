@@ -1,0 +1,387 @@
+#pragma once
+// From-scratch red-black tree, the data structure behind the CFS run queue
+// (paper §III). Classic CLRS algorithms with a shared nil sentinel per tree.
+//
+// Keys must be unique under Compare (CFS guarantees this by keying on
+// (vruntime, pid)). The tree tracks its leftmost node so that "pick next
+// task" is O(1), mirroring the kernel's cached leftmost pointer.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace hpcs::kern {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class RbTree {
+ public:
+  RbTree() {
+    nil_ = new Node();
+    nil_->color = Color::kBlack;
+    nil_->left = nil_->right = nil_->parent = nil_;
+    root_ = nil_;
+    leftmost_ = nil_;
+  }
+
+  ~RbTree() {
+    clear();
+    delete nil_;
+  }
+
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Insert a unique key. Returns false (and leaves the tree unchanged) if
+  /// the key already exists.
+  bool insert(const Key& key, Value value) {
+    Node* parent = nil_;
+    Node* cur = root_;
+    bool is_leftmost_path = true;
+    while (cur != nil_) {
+      parent = cur;
+      if (cmp_(key, cur->key)) {
+        cur = cur->left;
+      } else if (cmp_(cur->key, key)) {
+        is_leftmost_path = false;
+        cur = cur->right;
+      } else {
+        return false;  // duplicate
+      }
+    }
+    Node* n = new Node();
+    n->key = key;
+    n->value = std::move(value);
+    n->color = Color::kRed;
+    n->left = n->right = nil_;
+    n->parent = parent;
+    if (parent == nil_) {
+      root_ = n;
+    } else if (cmp_(key, parent->key)) {
+      parent->left = n;
+    } else {
+      parent->right = n;
+    }
+    if (is_leftmost_path) leftmost_ = n;
+    insert_fixup(n);
+    ++size_;
+    return true;
+  }
+
+  /// Remove a key. Returns false if absent.
+  bool erase(const Key& key) {
+    Node* n = find_node(key);
+    if (n == nil_) return false;
+    if (n == leftmost_) leftmost_ = successor(n);
+    erase_node(n);
+    --size_;
+    return true;
+  }
+
+  /// Pointer to the value stored under the minimum key, or nullptr if empty.
+  [[nodiscard]] Value* leftmost() {
+    return leftmost_ == nil_ ? nullptr : &leftmost_->value;
+  }
+
+  [[nodiscard]] const Key* leftmost_key() const {
+    return leftmost_ == nil_ ? nullptr : &leftmost_->key;
+  }
+
+  [[nodiscard]] Value* find(const Key& key) {
+    Node* n = find_node(key);
+    return n == nil_ ? nullptr : &n->value;
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const {
+    return const_cast<RbTree*>(this)->find_node(key) != nil_;
+  }
+
+  /// In-order traversal (ascending key order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for_each_node(root_, fn);
+  }
+
+  void clear() {
+    destroy(root_);
+    root_ = nil_;
+    leftmost_ = nil_;
+    size_ = 0;
+  }
+
+  /// Verify every red-black invariant; aborts on violation. Returns the
+  /// black-height. Used by property tests and (cheaply) by debug assertions.
+  int validate() const {
+    HPCS_CHECK_MSG(root_->color == Color::kBlack, "root must be black");
+    // leftmost cache must match the true minimum
+    if (size_ == 0) {
+      HPCS_CHECK(leftmost_ == nil_);
+    } else {
+      Node* m = root_;
+      while (m->left != nil_) m = m->left;
+      HPCS_CHECK_MSG(m == leftmost_, "leftmost cache out of date");
+    }
+    std::size_t count = 0;
+    const int bh = validate_node(root_, count);
+    HPCS_CHECK_MSG(count == size_, "size mismatch");
+    return bh;
+  }
+
+ private:
+  enum class Color : unsigned char { kRed, kBlack };
+
+  struct Node {
+    Key key{};
+    Value value{};
+    Color color = Color::kRed;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+  };
+
+  Node* find_node(const Key& key) {
+    Node* cur = root_;
+    while (cur != nil_) {
+      if (cmp_(key, cur->key)) {
+        cur = cur->left;
+      } else if (cmp_(cur->key, key)) {
+        cur = cur->right;
+      } else {
+        return cur;
+      }
+    }
+    return nil_;
+  }
+
+  Node* successor(Node* n) const {
+    if (n->right != nil_) {
+      Node* c = n->right;
+      while (c->left != nil_) c = c->left;
+      return c;
+    }
+    Node* p = n->parent;
+    while (p != nil_ && n == p->right) {
+      n = p;
+      p = p->parent;
+    }
+    return p;
+  }
+
+  void rotate_left(Node* x) {
+    Node* y = x->right;
+    x->right = y->left;
+    if (y->left != nil_) y->left->parent = x;
+    y->parent = x->parent;
+    if (x->parent == nil_) {
+      root_ = y;
+    } else if (x == x->parent->left) {
+      x->parent->left = y;
+    } else {
+      x->parent->right = y;
+    }
+    y->left = x;
+    x->parent = y;
+  }
+
+  void rotate_right(Node* x) {
+    Node* y = x->left;
+    x->left = y->right;
+    if (y->right != nil_) y->right->parent = x;
+    y->parent = x->parent;
+    if (x->parent == nil_) {
+      root_ = y;
+    } else if (x == x->parent->right) {
+      x->parent->right = y;
+    } else {
+      x->parent->left = y;
+    }
+    y->right = x;
+    x->parent = y;
+  }
+
+  void insert_fixup(Node* z) {
+    while (z->parent->color == Color::kRed) {
+      Node* gp = z->parent->parent;
+      if (z->parent == gp->left) {
+        Node* uncle = gp->right;
+        if (uncle->color == Color::kRed) {
+          z->parent->color = Color::kBlack;
+          uncle->color = Color::kBlack;
+          gp->color = Color::kRed;
+          z = gp;
+        } else {
+          if (z == z->parent->right) {
+            z = z->parent;
+            rotate_left(z);
+          }
+          z->parent->color = Color::kBlack;
+          gp->color = Color::kRed;
+          rotate_right(gp);
+        }
+      } else {
+        Node* uncle = gp->left;
+        if (uncle->color == Color::kRed) {
+          z->parent->color = Color::kBlack;
+          uncle->color = Color::kBlack;
+          gp->color = Color::kRed;
+          z = gp;
+        } else {
+          if (z == z->parent->left) {
+            z = z->parent;
+            rotate_right(z);
+          }
+          z->parent->color = Color::kBlack;
+          gp->color = Color::kRed;
+          rotate_left(gp);
+        }
+      }
+    }
+    root_->color = Color::kBlack;
+  }
+
+  void transplant(Node* u, Node* v) {
+    if (u->parent == nil_) {
+      root_ = v;
+    } else if (u == u->parent->left) {
+      u->parent->left = v;
+    } else {
+      u->parent->right = v;
+    }
+    v->parent = u->parent;
+  }
+
+  void erase_node(Node* z) {
+    Node* y = z;
+    Color y_orig = y->color;
+    Node* x;
+    if (z->left == nil_) {
+      x = z->right;
+      transplant(z, z->right);
+    } else if (z->right == nil_) {
+      x = z->left;
+      transplant(z, z->left);
+    } else {
+      y = z->right;
+      while (y->left != nil_) y = y->left;
+      y_orig = y->color;
+      x = y->right;
+      if (y->parent == z) {
+        x->parent = y;  // x may be nil_; CLRS relies on this assignment
+      } else {
+        transplant(y, y->right);
+        y->right = z->right;
+        y->right->parent = y;
+      }
+      transplant(z, y);
+      y->left = z->left;
+      y->left->parent = y;
+      y->color = z->color;
+    }
+    delete z;
+    if (y_orig == Color::kBlack) erase_fixup(x);
+    nil_->parent = nil_;  // undo any temporary parent stitching on the sentinel
+  }
+
+  void erase_fixup(Node* x) {
+    while (x != root_ && x->color == Color::kBlack) {
+      if (x == x->parent->left) {
+        Node* w = x->parent->right;
+        if (w->color == Color::kRed) {
+          w->color = Color::kBlack;
+          x->parent->color = Color::kRed;
+          rotate_left(x->parent);
+          w = x->parent->right;
+        }
+        if (w->left->color == Color::kBlack && w->right->color == Color::kBlack) {
+          w->color = Color::kRed;
+          x = x->parent;
+        } else {
+          if (w->right->color == Color::kBlack) {
+            w->left->color = Color::kBlack;
+            w->color = Color::kRed;
+            rotate_right(w);
+            w = x->parent->right;
+          }
+          w->color = x->parent->color;
+          x->parent->color = Color::kBlack;
+          w->right->color = Color::kBlack;
+          rotate_left(x->parent);
+          x = root_;
+        }
+      } else {
+        Node* w = x->parent->left;
+        if (w->color == Color::kRed) {
+          w->color = Color::kBlack;
+          x->parent->color = Color::kRed;
+          rotate_right(x->parent);
+          w = x->parent->left;
+        }
+        if (w->right->color == Color::kBlack && w->left->color == Color::kBlack) {
+          w->color = Color::kRed;
+          x = x->parent;
+        } else {
+          if (w->left->color == Color::kBlack) {
+            w->right->color = Color::kBlack;
+            w->color = Color::kRed;
+            rotate_left(w);
+            w = x->parent->left;
+          }
+          w->color = x->parent->color;
+          x->parent->color = Color::kBlack;
+          w->left->color = Color::kBlack;
+          rotate_right(x->parent);
+          x = root_;
+        }
+      }
+    }
+    x->color = Color::kBlack;
+  }
+
+  template <typename Fn>
+  void for_each_node(Node* n, Fn& fn) const {
+    if (n == nil_) return;
+    for_each_node(n->left, fn);
+    fn(n->key, n->value);
+    for_each_node(n->right, fn);
+  }
+
+  void destroy(Node* n) {
+    if (n == nil_) return;
+    destroy(n->left);
+    destroy(n->right);
+    delete n;
+  }
+
+  int validate_node(Node* n, std::size_t& count) const {
+    if (n == nil_) return 1;
+    ++count;
+    if (n->color == Color::kRed) {
+      HPCS_CHECK_MSG(n->left->color == Color::kBlack && n->right->color == Color::kBlack,
+                     "red node with red child");
+    }
+    if (n->left != nil_) {
+      HPCS_CHECK_MSG(cmp_(n->left->key, n->key), "left child key not smaller");
+      HPCS_CHECK(n->left->parent == n);
+    }
+    if (n->right != nil_) {
+      HPCS_CHECK_MSG(cmp_(n->key, n->right->key), "right child key not larger");
+      HPCS_CHECK(n->right->parent == n);
+    }
+    const int lh = validate_node(n->left, count);
+    const int rh = validate_node(n->right, count);
+    HPCS_CHECK_MSG(lh == rh, "black-height mismatch");
+    return lh + (n->color == Color::kBlack ? 1 : 0);
+  }
+
+  Node* root_;
+  Node* nil_;
+  Node* leftmost_;
+  std::size_t size_ = 0;
+  Compare cmp_{};
+};
+
+}  // namespace hpcs::kern

@@ -1,0 +1,42 @@
+#pragma once
+// Tracing interface the kernel (and the HPC scheduler) emit events through.
+// The trace module implements this to build PARAVER-style interval traces;
+// tests implement it to observe scheduler behaviour.
+
+#include "common/types.h"
+#include "power5/hw_priority.h"
+
+namespace hpcs::kern {
+
+class Task;
+enum class TaskState : std::uint8_t;
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Context switch on `cpu`; either pointer may be the idle task.
+  virtual void on_switch(SimTime t, CpuId cpu, const Task* prev, const Task* next) {
+    (void)t; (void)cpu; (void)prev; (void)next;
+  }
+  /// Task lifecycle transition (runnable/sleeping/exited).
+  virtual void on_state(SimTime t, const Task& task, TaskState new_state) {
+    (void)t; (void)task; (void)new_state;
+  }
+  /// A task's requested hardware priority changed.
+  virtual void on_hw_prio(SimTime t, const Task& task, p5::HwPrio prio) {
+    (void)t; (void)task; (void)prio;
+  }
+  /// Measured wakeup→dispatch latency for a task.
+  virtual void on_wakeup_latency(SimTime t, const Task& task, Duration latency) {
+    (void)t; (void)task; (void)latency;
+  }
+  /// Emitted by the HPC scheduler when a task completes an iteration
+  /// (run phase + wait phase), with its last-iteration and global utilization.
+  virtual void on_iteration(SimTime t, const Task& task, int iteration, double util_last,
+                            double util_global) {
+    (void)t; (void)task; (void)iteration; (void)util_last; (void)util_global;
+  }
+};
+
+}  // namespace hpcs::kern

@@ -1,0 +1,77 @@
+#include "power5/cycle_sim.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hpcs::p5 {
+namespace {
+
+/// Deterministic stall pattern: thread stalls on the granted cycles whose
+/// phase accumulator wraps — an even spread with exactly `rate` density.
+struct StallClock {
+  double rate;
+  double acc = 0.0;
+  bool tick() {
+    acc += rate;
+    if (acc >= 1.0) {
+      acc -= 1.0;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+CycleSimResult run_decode_sim(HwPrio a, HwPrio b, const ThreadModel& ta, const ThreadModel& tb,
+                              std::int64_t cycles, bool steal) {
+  const DecodeAllocation alloc = decode_allocation(a, b);
+  HPCS_CHECK_MSG(!alloc.special, "cycle simulator covers regular priorities (2..6)");
+  HPCS_CHECK(cycles > 0);
+
+  CycleSimResult res;
+  res.cycles = cycles;
+  StallClock stall_a{ta.stall_rate};
+  StallClock stall_b{tb.stall_rate};
+
+  // Accrued-but-not-yet-decoded work per thread, capped by the buffer.
+  double buf_a = 0.0;
+  double buf_b = 0.0;
+
+  // Within each window of R cycles the high-priority context owns the first
+  // R-1 slots and the low one the last (an arbitrary but fixed phase; only
+  // the ratio matters).
+  const int window = (to_int(a) == to_int(b)) ? 2 : alloc.window;
+  const int slots_a = (to_int(a) == to_int(b)) ? 1 : alloc.cycles_a;
+
+  auto issue = [](double& buf, double& issued) {
+    const double n = std::min(1.0, buf);
+    buf -= n;
+    issued += n;
+    return n > 0.0;
+  };
+
+  for (std::int64_t c = 0; c < cycles; ++c) {
+    // Work generation: each thread produces demand_ipc of decodable work.
+    buf_a = std::min(buf_a + ta.demand_ipc, ta.buffer_depth * window);
+    buf_b = std::min(buf_b + tb.demand_ipc, tb.buffer_depth * window);
+
+    const int phase = static_cast<int>(c % window);
+    const bool slot_for_a = phase < slots_a;
+    if (slot_for_a) {
+      ++res.decode_a;
+      bool used = false;
+      if (!stall_a.tick()) used = issue(buf_a, res.issued_a);
+      if (!used && steal && !stall_b.tick()) issue(buf_b, res.issued_b);
+    } else {
+      ++res.decode_b;
+      bool used = false;
+      if (!stall_b.tick()) used = issue(buf_b, res.issued_b);
+      if (!used && steal && !stall_a.tick()) issue(buf_a, res.issued_a);
+    }
+  }
+  return res;
+}
+
+}  // namespace hpcs::p5

@@ -1,0 +1,99 @@
+#include "power5/hw_priority.h"
+
+#include "common/check.h"
+
+namespace hpcs::p5 {
+
+HwPrio hw_prio_from_int(int v) {
+  HPCS_CHECK_MSG(v >= 0 && v <= 7, "hardware priority out of range");
+  return static_cast<HwPrio>(v);
+}
+
+std::string_view hw_prio_name(HwPrio p) {
+  switch (p) {
+    case HwPrio::kOff: return "Thread off";
+    case HwPrio::kVeryLow: return "Very low";
+    case HwPrio::kLow: return "Low";
+    case HwPrio::kMediumLow: return "Medium-Low";
+    case HwPrio::kMedium: return "Medium";
+    case HwPrio::kMediumHigh: return "Medium-high";
+    case HwPrio::kHigh: return "High";
+    case HwPrio::kVeryHigh: return "Very high";
+  }
+  return "?";
+}
+
+DecodeAllocation decode_allocation(HwPrio a, HwPrio b) {
+  const int pa = to_int(a);
+  const int pb = to_int(b);
+  DecodeAllocation alloc;
+  // Table I only covers "regular" priorities; 0, 1 and 7 bypass the window
+  // arbitration entirely (paper §II-B).
+  if (pa <= 1 || pb <= 1 || pa == 7 || pb == 7) {
+    alloc.special = true;
+    return alloc;
+  }
+  const int diff = pa - pb;
+  alloc.window = decode_window(diff);
+  if (diff == 0) {
+    alloc.cycles_a = 1;
+    alloc.cycles_b = 1;
+  } else if (diff > 0) {
+    alloc.cycles_a = alloc.window - 1;
+    alloc.cycles_b = 1;
+  } else {
+    alloc.cycles_a = 1;
+    alloc.cycles_b = alloc.window - 1;
+  }
+  return alloc;
+}
+
+std::optional<int> or_nop_register(HwPrio p) {
+  switch (p) {
+    case HwPrio::kOff: return std::nullopt;  // set via hypervisor call, not or-nop
+    case HwPrio::kVeryLow: return 31;
+    case HwPrio::kLow: return 1;
+    case HwPrio::kMediumLow: return 6;
+    case HwPrio::kMedium: return 2;
+    case HwPrio::kMediumHigh: return 5;
+    case HwPrio::kHigh: return 3;
+    case HwPrio::kVeryHigh: return 7;
+  }
+  return std::nullopt;
+}
+
+std::optional<HwPrio> prio_for_or_nop(int reg) {
+  switch (reg) {
+    case 31: return HwPrio::kVeryLow;
+    case 1: return HwPrio::kLow;
+    case 6: return HwPrio::kMediumLow;
+    case 2: return HwPrio::kMedium;
+    case 5: return HwPrio::kMediumHigh;
+    case 3: return HwPrio::kHigh;
+    case 7: return HwPrio::kVeryHigh;
+    default: return std::nullopt;
+  }
+}
+
+Privilege required_privilege(HwPrio p) {
+  switch (p) {
+    case HwPrio::kOff:
+    case HwPrio::kVeryHigh:
+      return Privilege::kHypervisor;
+    case HwPrio::kVeryLow:
+    case HwPrio::kMediumHigh:
+    case HwPrio::kHigh:
+      return Privilege::kSupervisor;
+    case HwPrio::kLow:
+    case HwPrio::kMediumLow:
+    case HwPrio::kMedium:
+      return Privilege::kUser;
+  }
+  return Privilege::kHypervisor;
+}
+
+bool can_set(Privilege level, HwPrio p) {
+  return static_cast<int>(level) >= static_cast<int>(required_privilege(p));
+}
+
+}  // namespace hpcs::p5

@@ -1,0 +1,72 @@
+#pragma once
+// IBM POWER5 hardware thread priorities (paper §II-B, Tables I and II).
+//
+// Each SMT context carries an integer priority 0..7. The core arbitrates
+// decode slots between its two contexts: over a window of R cycles the lower
+// priority context receives 1 decode cycle and the higher priority context
+// R-1, with R = 2^(|PrioA-PrioB|+1). Priorities 0 (thread off), 1
+// (background) and 7 (single-thread mode) have special semantics.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hpcs::p5 {
+
+/// Hardware thread priority. Values mirror the POWER5 encoding exactly.
+enum class HwPrio : std::uint8_t {
+  kOff = 0,        ///< context switched off
+  kVeryLow = 1,    ///< background thread: gets only leftover resources
+  kLow = 2,
+  kMediumLow = 3,
+  kMedium = 4,     ///< default priority for every task
+  kMediumHigh = 5,
+  kHigh = 6,
+  kVeryHigh = 7,   ///< single-thread mode: the sibling context is off
+};
+
+[[nodiscard]] constexpr int to_int(HwPrio p) { return static_cast<int>(p); }
+[[nodiscard]] HwPrio hw_prio_from_int(int v);  // checks 0..7
+[[nodiscard]] std::string_view hw_prio_name(HwPrio p);
+
+/// Default priority assigned to each task at the beginning (paper §IV-B).
+inline constexpr HwPrio kDefaultPrio = HwPrio::kMedium;
+
+/// Result of the Table I decode arbitration for one priority pair.
+struct DecodeAllocation {
+  int window = 2;    ///< R: length of the decode window in cycles
+  int cycles_a = 1;  ///< decode cycles granted to context A per window
+  int cycles_b = 1;  ///< decode cycles granted to context B per window
+  bool special = false;  ///< true when Table I does not apply (prio 0/1/7)
+};
+
+/// Table I: decode cycles assigned per window for regular priorities
+/// (both in 2..6). `special` is set when either priority is 0, 1 or 7.
+[[nodiscard]] DecodeAllocation decode_allocation(HwPrio a, HwPrio b);
+
+/// R = 2^(|a-b|+1) for a priority difference d >= 0.
+[[nodiscard]] constexpr int decode_window(int priority_difference) {
+  int d = priority_difference < 0 ? -priority_difference : priority_difference;
+  return 1 << (d + 1);
+}
+
+// --- Table II: the or-nop priority-setting interface -----------------------
+
+/// Privilege level attempting a priority change.
+enum class Privilege : std::uint8_t { kUser = 0, kSupervisor = 1, kHypervisor = 2 };
+
+/// The register number X of the `or X,X,X` no-op that sets a given priority
+/// (Table II), or nullopt for priority 0 which has no or-nop encoding.
+[[nodiscard]] std::optional<int> or_nop_register(HwPrio p);
+
+/// Inverse mapping: which priority does `or X,X,X` set, if any.
+[[nodiscard]] std::optional<HwPrio> prio_for_or_nop(int reg);
+
+/// Minimum privilege required to set a priority (Table II): user may set
+/// 2,3,4; supervisor additionally 1,5,6; hypervisor everything.
+[[nodiscard]] Privilege required_privilege(HwPrio p);
+
+/// True when `level` is allowed to set `p`.
+[[nodiscard]] bool can_set(Privilege level, HwPrio p);
+
+}  // namespace hpcs::p5

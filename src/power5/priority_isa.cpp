@@ -1,0 +1,21 @@
+#include "power5/priority_isa.h"
+
+namespace hpcs::p5 {
+
+IsaResult PriorityIsa::issue_or_nop(CpuId cpu, int reg, Privilege level) {
+  const auto prio = prio_for_or_nop(reg);
+  if (!prio) return IsaResult::kBadEncoding;
+  return set_priority(cpu, *prio, level);
+}
+
+IsaResult PriorityIsa::set_priority(CpuId cpu, HwPrio p, Privilege level) {
+  if (!can_set(level, p)) {
+    ++rejected_;
+    return IsaResult::kNoPermission;
+  }
+  chip_->set_cpu_priority(cpu, p);
+  ++writes_;
+  return IsaResult::kOk;
+}
+
+}  // namespace hpcs::p5

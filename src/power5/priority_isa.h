@@ -1,0 +1,43 @@
+#pragma once
+// The software-visible priority-setting interface: issuing `or X,X,X`
+// (Table II) on a context, subject to privilege checks. This is the
+// "Mechanism" boundary the HPC scheduler talks to (paper §IV-C).
+
+#include "power5/chip.h"
+#include "power5/hw_priority.h"
+
+namespace hpcs::p5 {
+
+/// Outcome of attempting a priority change.
+enum class IsaResult {
+  kOk,             ///< priority applied
+  kNoPermission,   ///< privilege level too low: the or-nop is executed as a
+                   ///< plain no-op and the priority is unchanged (real HW
+                   ///< behaviour: silently ignored, not trapped)
+  kBadEncoding,    ///< register number is not a priority encoding
+};
+
+class PriorityIsa {
+ public:
+  explicit PriorityIsa(Chip& chip) : chip_(&chip) {}
+
+  /// Execute `or reg,reg,reg` on the given CPU at the given privilege.
+  IsaResult issue_or_nop(CpuId cpu, int reg, Privilege level);
+
+  /// Convenience wrapper: set a priority value directly (still privilege
+  /// checked). This is what the kernel-side Mechanism uses.
+  IsaResult set_priority(CpuId cpu, HwPrio p, Privilege level);
+
+  [[nodiscard]] HwPrio read_priority(CpuId cpu) const { return chip_->cpu_priority(cpu); }
+
+  /// Counters for test/diagnostic purposes.
+  [[nodiscard]] std::int64_t writes() const { return writes_; }
+  [[nodiscard]] std::int64_t rejected() const { return rejected_; }
+
+ private:
+  Chip* chip_;
+  std::int64_t writes_ = 0;
+  std::int64_t rejected_ = 0;
+};
+
+}  // namespace hpcs::p5

@@ -1,0 +1,80 @@
+#include "simcore/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace hpcs::sim {
+
+EventHandle EventQueue::schedule(SimTime when, EventCallback cb) {
+  std::uint64_t id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = slots_.size();
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[id];
+  slot.cb = std::move(cb);
+  slot.live = true;
+  ++slot.gen;
+  ++live_count_;
+  heap_.push(HeapEntry{when, next_seq_++, id});
+  return EventHandle{id, slot.gen};
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (!pending(h)) return false;
+  Slot& slot = slots_[h.id_];
+  slot.live = false;
+  slot.cb = nullptr;
+  --live_count_;
+  // The heap entry stays behind and is skipped lazily; the slot is recycled
+  // only when its heap entry surfaces, so generations stay unambiguous.
+  return true;
+}
+
+bool EventQueue::pending(EventHandle h) const {
+  return h.valid() && h.id_ < slots_.size() && slots_[h.id_].live &&
+         slots_[h.id_].gen == h.gen_;
+}
+
+void EventQueue::drop_stale() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.top();
+    if (slots_[top.id].live) return;
+    free_slots_.push_back(top.id);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_stale();
+  HPCS_CHECK_MSG(!heap_.empty(), "next_time() on empty event queue");
+  return heap_.top().when;
+}
+
+SimTime EventQueue::pop_and_run() {
+  drop_stale();
+  HPCS_CHECK_MSG(!heap_.empty(), "pop_and_run() on empty event queue");
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  Slot& slot = slots_[top.id];
+  EventCallback cb = std::move(slot.cb);
+  slot.cb = nullptr;
+  slot.live = false;
+  --live_count_;
+  free_slots_.push_back(top.id);
+  cb();
+  return top.when;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  slots_.clear();
+  free_slots_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace hpcs::sim

@@ -1,0 +1,88 @@
+#pragma once
+// Cancellable discrete-event queue.
+//
+// Events are (time, sequence, callback) triples ordered by time then by
+// insertion sequence, which makes simultaneous events fire in a deterministic
+// FIFO order. Cancellation is O(1): each event carries a generation counter
+// and an EventHandle remembers the id/generation it was issued for; stale
+// heap entries are skipped lazily at pop time.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hpcs::sim {
+
+using EventCallback = std::function<void()>;
+
+/// Opaque reference to a scheduled event; safe to keep after the event fired
+/// or was cancelled (operations on a stale handle are no-ops).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return id_ != kNoId; }
+
+ private:
+  friend class EventQueue;
+  static constexpr std::uint64_t kNoId = ~std::uint64_t{0};
+  EventHandle(std::uint64_t id, std::uint64_t gen) : id_(id), gen_(gen) {}
+  std::uint64_t id_ = kNoId;
+  std::uint64_t gen_ = 0;
+};
+
+class EventQueue {
+ public:
+  /// Schedule `cb` to fire at absolute time `when` (must not be in the past
+  /// relative to the last popped event).
+  EventHandle schedule(SimTime when, EventCallback cb);
+
+  /// Cancel a previously scheduled event. Returns true if the event was
+  /// still pending; false if it already fired, was cancelled, or the handle
+  /// is stale.
+  bool cancel(EventHandle h);
+
+  /// True if an event scheduled through `h` is still pending.
+  [[nodiscard]] bool pending(EventHandle h) const;
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event. Requires !empty().
+  [[nodiscard]] SimTime next_time();
+
+  /// Pop and run the earliest pending event; returns its time.
+  SimTime pop_and_run();
+
+  /// Drop all pending events.
+  void clear();
+
+ private:
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    bool operator>(const HeapEntry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+  struct Slot {
+    EventCallback cb;
+    std::uint64_t gen = 0;
+    bool live = false;
+  };
+
+  void drop_stale();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint64_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace hpcs::sim

@@ -1,0 +1,39 @@
+#include "simcore/simulator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace hpcs::sim {
+
+EventHandle Simulator::schedule_in(Duration delay, EventCallback cb) {
+  HPCS_CHECK_MSG(delay >= Duration::zero(), "negative event delay");
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, EventCallback cb) {
+  HPCS_CHECK_MSG(when >= now_, "event scheduled in the past");
+  return queue_.schedule(when, std::move(cb));
+}
+
+SimTime Simulator::run(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    // Advance the clock before dispatching so the callback observes now().
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++executed_;
+  }
+  if (queue_.empty()) return now_;
+  now_ = deadline;
+  return now_;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  queue_.pop_and_run();
+  ++executed_;
+  return true;
+}
+
+}  // namespace hpcs::sim

@@ -1,0 +1,41 @@
+#pragma once
+// The simulation clock + event loop. Single-threaded and deterministic: the
+// only sources of ordering are event times and insertion sequence.
+
+#include <functional>
+
+#include "common/types.h"
+#include "simcore/event_queue.h"
+
+namespace hpcs::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` to run `delay` from now. Delay must be >= 0.
+  EventHandle schedule_in(Duration delay, EventCallback cb);
+
+  /// Schedule `cb` at an absolute instant (>= now()).
+  EventHandle schedule_at(SimTime when, EventCallback cb);
+
+  bool cancel(EventHandle h) { return queue_.cancel(h); }
+  [[nodiscard]] bool pending(EventHandle h) const { return queue_.pending(h); }
+
+  /// Run until the queue drains or `deadline` passes; returns the final time.
+  SimTime run(SimTime deadline = SimTime::max());
+
+  /// Execute at most one event; returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hpcs::sim

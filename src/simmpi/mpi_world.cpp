@@ -1,0 +1,421 @@
+#include "simmpi/mpi_world.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace hpcs::mpi {
+namespace {
+
+bool spec_matches(int spec_src, int spec_tag, int src, int tag) {
+  return (spec_src == kAnySource || spec_src == src) && (spec_tag == kAnyTag || spec_tag == tag);
+}
+
+/// The kernel-side body of one rank: forwards interaction points to the
+/// world's interpreter.
+class RankBody final : public kern::TaskBody {
+ public:
+  RankBody(MpiWorld& world, int rank) : world_(&world), rank_(rank) {}
+  void step(kern::Kernel& k, kern::Task& t) override {
+    (void)k;
+    world_->step_rank(rank_, t);
+  }
+
+ private:
+  MpiWorld* world_;
+  int rank_;
+};
+
+}  // namespace
+
+MpiWorld::MpiWorld(kern::Kernel& k, MpiWorldConfig cfg,
+                   std::vector<std::unique_ptr<RankProgram>> programs)
+    : kernel_(&k), cfg_(std::move(cfg)), net_(cfg_.net, Rng(cfg_.seed ^ 0xD1CEull)) {
+  HPCS_CHECK_MSG(!programs.empty(), "an MPI world needs at least one rank");
+  ranks_.resize(programs.size());
+  for (std::size_t r = 0; r < programs.size(); ++r) {
+    RankState& rs = ranks_[r];
+    rs.program = std::move(programs[r]);
+    const CpuId cpu = r < cfg_.placement.size() ? cfg_.placement[r]
+                                                : static_cast<CpuId>(r) % k.num_cpus();
+    rs.task = &k.create_task(cfg_.name_prefix + std::to_string(r),
+                             std::make_unique<RankBody>(*this, static_cast<int>(r)),
+                             cfg_.policy, cpu);
+    if (r < cfg_.static_hw_prio.size()) {
+      k.request_hw_prio(*rs.task, p5::hw_prio_from_int(cfg_.static_hw_prio[r]));
+    }
+  }
+}
+
+std::size_t MpiWorld::check_rank(int rank) const {
+  HPCS_CHECK(rank >= 0 && rank < size());
+  return static_cast<std::size_t>(rank);
+}
+
+void MpiWorld::start() {
+  for (auto& rs : ranks_) kernel_->start_task(*rs.task);
+}
+
+void MpiWorld::release_rendezvous(const Message& m) {
+  if (m.rv_sender < 0) return;
+  RankState& sender = ranks_[check_rank(m.rv_sender)];
+  --sender.pending_rv_sends;
+  if (!sender.exited && sender.waiting == WaitKind::kSendRendezvous) {
+    kernel_->wake(*sender.task);
+  }
+}
+
+bool MpiWorld::try_consume(RankState& rs, int src, int tag) {
+  for (auto it = rs.mailbox.begin(); it != rs.mailbox.end(); ++it) {
+    if (spec_matches(src, tag, it->src, it->tag)) {
+      release_rendezvous(*it);
+      rs.mailbox.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MpiWorld::match_irecv(RankState& rs, const Message& m) {
+  for (auto it = rs.pending_irecvs.begin(); it != rs.pending_irecvs.end(); ++it) {
+    if (spec_matches(it->first, it->second, m.src, m.tag)) {
+      rs.pending_irecvs.erase(it);
+      release_rendezvous(m);
+      return true;
+    }
+  }
+  return false;
+}
+
+void MpiWorld::deliver(int dst, Message m) {
+  RankState& rs = ranks_[check_rank(dst)];
+  if (rs.exited) {
+    // Nobody will ever consume this message; do not strand a rendezvous
+    // sender behind an exited peer.
+    release_rendezvous(m);
+    return;
+  }
+  ++messages_;
+  ++rs.msgs_received;
+  // Messages matching a posted irecv complete the request directly; others
+  // sit in the mailbox for a (blocking or future non-blocking) receive.
+  if (!match_irecv(rs, m)) rs.mailbox.push_back(m);
+  // Wake the rank if this arrival may satisfy its wait; the body re-checks
+  // its condition when stepped, so spurious wakeups are harmless.
+  if (rs.waiting == WaitKind::kRecv || rs.waiting == WaitKind::kWaitAll) {
+    kernel_->wake(*rs.task);
+  }
+}
+
+void MpiWorld::barrier_arrive(int rank) {
+  (void)rank;
+  ++barrier_waiting_;
+  maybe_release_barrier();
+}
+
+void MpiWorld::maybe_release_barrier() {
+  if (barrier_release_pending_) return;
+  if (barrier_waiting_ == 0 || barrier_waiting_ < size() - exited_) return;
+  // Every live rank has arrived: release after the notification round-trip.
+  barrier_release_pending_ = true;
+  const Duration delay = net_.delay(64) + net_.delay(64);
+  kernel_->sim().schedule_in(delay, [this] {
+    barrier_release_pending_ = false;
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    for (auto& rs : ranks_) {
+      if (!rs.exited && rs.waiting == WaitKind::kBarrier) kernel_->wake(*rs.task);
+    }
+  });
+}
+
+Duration MpiWorld::tree_delay(std::int64_t bytes, int phases) {
+  int live = size() - exited_;
+  if (live < 2) live = 2;
+  int levels = 0;
+  for (int span = 1; span < live; span *= 2) ++levels;
+  Duration total = Duration::zero();
+  for (int p = 0; p < phases * levels; ++p) total += net_.delay(bytes);
+  return std::max(total, Duration(1));
+}
+
+void MpiWorld::wake_waiters(WaitKind kind) {
+  for (auto& rs : ranks_) {
+    if (!rs.exited && rs.waiting == kind) kernel_->wake(*rs.task);
+  }
+}
+
+void MpiWorld::maybe_release_allreduce(std::int64_t bytes) {
+  if (allreduce_.release_pending) return;
+  if (allreduce_.waiting == 0 || allreduce_.waiting < size() - exited_) return;
+  allreduce_.release_pending = true;
+  // Reduce phase + broadcast phase over a binary tree.
+  kernel_->sim().schedule_in(tree_delay(bytes, 2), [this] {
+    allreduce_.release_pending = false;
+    allreduce_.waiting = 0;
+    ++allreduce_.generation;
+    wake_waiters(WaitKind::kAllreduce);
+  });
+}
+
+void MpiWorld::step_rank(int rank, kern::Task& t) {
+  RankState& rs = ranks_[check_rank(rank)];
+  kern::Kernel& k = *kernel_;
+
+  // Re-check a pending wait condition first (we may have been woken
+  // spuriously or by the matching event).
+  switch (rs.waiting) {
+    case WaitKind::kBarrier:
+      if (rs.barrier_gen > barrier_generation_) {
+        k.body_block(t);  // not released yet
+        return;
+      }
+      rs.waiting = WaitKind::kNone;
+      break;
+    case WaitKind::kRecv:
+      if (!try_consume(rs, rs.recv_src, rs.recv_tag)) {
+        k.body_block(t);
+        return;
+      }
+      rs.waiting = WaitKind::kNone;
+      break;
+    case WaitKind::kWaitAll:
+      if (!rs.pending_irecvs.empty() || rs.pending_isends > 0) {
+        k.body_block(t);
+        return;
+      }
+      rs.waiting = WaitKind::kNone;
+      break;
+    case WaitKind::kAllreduce:
+      if (rs.allreduce_gen > allreduce_.generation) {
+        k.body_block(t);
+        return;
+      }
+      rs.waiting = WaitKind::kNone;
+      break;
+    case WaitKind::kBcast:
+      if (rs.bcast_taken >= bcast_rounds_delivered_) {
+        k.body_block(t);
+        return;
+      }
+      ++rs.bcast_taken;
+      rs.waiting = WaitKind::kNone;
+      break;
+    case WaitKind::kReduceRoot:
+      if (rs.reduce_round >= reduce_rounds_ready_) {
+        k.body_block(t);
+        return;
+      }
+      ++rs.reduce_round;
+      rs.waiting = WaitKind::kNone;
+      break;
+    case WaitKind::kSendRendezvous:
+      if (rs.pending_rv_sends > 0) {
+        k.body_block(t);
+        return;
+      }
+      rs.waiting = WaitKind::kNone;
+      break;
+    case WaitKind::kNone:
+      break;
+  }
+
+  // Interpret ops until one needs the kernel.
+  for (;;) {
+    MpiOp op = rs.program->next();
+
+    if (auto* c = std::get_if<OpCompute>(&op)) {
+      if (c->work <= 0.0) continue;  // empty segment: skip
+      k.body_compute(t, c->work);
+      return;
+    }
+    if (std::get_if<OpBarrier>(&op) != nullptr) {
+      // Every rank blocks, including the last arriver: the release is a
+      // message round-trip (MetBench uses a master-coordinated barrier), so
+      // even the slowest rank sleeps briefly — which is also what lets the
+      // HPC scheduler observe an iteration boundary on every rank.
+      rs.waiting = WaitKind::kBarrier;
+      rs.barrier_gen = barrier_generation_ + 1;
+      barrier_arrive(rank);
+      k.body_block(t);
+      return;
+    }
+    if (auto* s = std::get_if<OpSend>(&op)) {
+      ++rs.msgs_sent;
+      rs.bytes_sent += s->bytes;
+      const int dst = s->dst;
+      const bool rendezvous =
+          cfg_.net.eager_threshold > 0 && s->bytes > cfg_.net.eager_threshold;
+      Message m{rank, s->tag, s->bytes, rendezvous ? rank : -1};
+      kernel_->sim().schedule_in(net_.delay(s->bytes),
+                                 [this, dst, m] { deliver(dst, m); });
+      if (rendezvous) {
+        // Rendezvous: the send only completes once the receiver consumes it.
+        ++rs.pending_rv_sends;
+        rs.waiting = WaitKind::kSendRendezvous;
+        k.body_block(t);
+        return;
+      }
+      continue;
+    }
+    if (auto* s = std::get_if<OpIsend>(&op)) {
+      // Unlike the eager OpSend, an isend is a tracked request: OpWaitAll
+      // also waits for its delivery to complete (the rendezvous/progress
+      // behaviour of large-message MPI sends).
+      ++rs.msgs_sent;
+      rs.bytes_sent += s->bytes;
+      const Message m{rank, s->tag, s->bytes, -1};
+      const int dst = s->dst;
+      ++rs.pending_isends;
+      kernel_->sim().schedule_in(net_.delay(s->bytes), [this, rank, dst, m] {
+        RankState& sender = ranks_[check_rank(rank)];
+        --sender.pending_isends;
+        deliver(dst, m);
+        if (!sender.exited && sender.waiting == WaitKind::kWaitAll) {
+          kernel_->wake(*sender.task);
+        }
+      });
+      continue;
+    }
+    if (auto* r = std::get_if<OpRecv>(&op)) {
+      if (try_consume(rs, r->src, r->tag)) continue;
+      rs.waiting = WaitKind::kRecv;
+      rs.recv_src = r->src;
+      rs.recv_tag = r->tag;
+      k.body_block(t);
+      return;
+    }
+    if (auto* r = std::get_if<OpIrecv>(&op)) {
+      // If the message already arrived it is in the mailbox: consume it now,
+      // otherwise post the request.
+      if (!try_consume(rs, r->src, r->tag)) {
+        rs.pending_irecvs.emplace_back(r->src, r->tag);
+      }
+      continue;
+    }
+    if (std::get_if<OpWaitAll>(&op) != nullptr) {
+      if (rs.pending_irecvs.empty() && rs.pending_isends == 0) continue;
+      rs.waiting = WaitKind::kWaitAll;
+      k.body_block(t);
+      return;
+    }
+    if (auto* ar = std::get_if<OpAllreduce>(&op)) {
+      rs.waiting = WaitKind::kAllreduce;
+      rs.allreduce_gen = allreduce_.generation + 1;
+      ++allreduce_.waiting;
+      maybe_release_allreduce(ar->bytes);
+      k.body_block(t);
+      return;
+    }
+    if (auto* bc = std::get_if<OpBcast>(&op)) {
+      if (bc->root == rank) {
+        // Eager tree send: the root continues; the round lands after the
+        // tree latency and releases the waiters.
+        ++bcast_rounds_posted_;
+        ++rs.bcast_taken;  // the root trivially has its own round
+        const Duration d = tree_delay(bc->bytes, 1);
+        kernel_->sim().schedule_in(d, [this] {
+          ++bcast_rounds_delivered_;
+          wake_waiters(WaitKind::kBcast);
+        });
+        continue;
+      }
+      if (rs.bcast_taken < bcast_rounds_delivered_) {
+        ++rs.bcast_taken;  // round already delivered: no wait
+        continue;
+      }
+      rs.waiting = WaitKind::kBcast;
+      k.body_block(t);
+      return;
+    }
+    if (auto* rd = std::get_if<OpReduce>(&op)) {
+      if (rd->root != rank) {
+        // Contribute and continue (eager leaf send).
+        ++reduce_contributions_;
+        const int live_nonroot = size() - exited_ - 1;
+        // When the last contribution of the root's next round is in, the
+        // tree combines after its latency.
+        const std::int64_t target_round = reduce_rounds_ready_ + 1;
+        if (reduce_contributions_ >= target_round * live_nonroot) {
+          const Duration d = tree_delay(rd->bytes, 1);
+          kernel_->sim().schedule_in(d, [this] {
+            ++reduce_rounds_ready_;
+            wake_waiters(WaitKind::kReduceRoot);
+          });
+        }
+        continue;
+      }
+      if (rs.reduce_round < reduce_rounds_ready_) {
+        ++rs.reduce_round;
+        continue;
+      }
+      rs.waiting = WaitKind::kReduceRoot;
+      k.body_block(t);
+      return;
+    }
+    if (std::get_if<OpMarkIteration>(&op) != nullptr) {
+      k.flush_account(t);
+      rs.marks.push_back(IterationMark{k.now(), t.t_run});
+      continue;
+    }
+    if (auto* s = std::get_if<OpSleep>(&op)) {
+      k.body_sleep(t, s->d);
+      return;
+    }
+    if (std::get_if<OpExit>(&op) != nullptr) {
+      rs.exited = true;
+      ++exited_;
+      finish_time_ = std::max(finish_time_, k.now());
+      // Unconsumed mailbox entries will never be received: release any
+      // rendezvous senders stranded behind them.
+      for (const Message& m : rs.mailbox) release_rendezvous(m);
+      rs.mailbox.clear();
+      // Ranks sitting in a collective must not deadlock on an exited peer.
+      maybe_release_barrier();
+      maybe_release_allreduce(8);
+      k.body_exit(t);
+      return;
+    }
+    HPCS_CHECK_MSG(false, "unhandled MPI op");
+  }
+}
+
+std::string MpiWorld::debug_state() const {
+  std::string out;
+  for (int r = 0; r < size(); ++r) {
+    const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    const char* wait = "none";
+    switch (rs.waiting) {
+      case WaitKind::kNone: wait = "none"; break;
+      case WaitKind::kBarrier: wait = "barrier"; break;
+      case WaitKind::kRecv: wait = "recv"; break;
+      case WaitKind::kWaitAll: wait = "waitall"; break;
+      case WaitKind::kAllreduce: wait = "allreduce"; break;
+      case WaitKind::kBcast: wait = "bcast"; break;
+      case WaitKind::kReduceRoot: wait = "reduce"; break;
+      case WaitKind::kSendRendezvous: wait = "rendezvous-send"; break;
+    }
+    out += "rank" + std::to_string(r) + ": " + (rs.exited ? "exited" : wait) +
+           " mailbox=" + std::to_string(rs.mailbox.size()) +
+           " irecvs=" + std::to_string(rs.pending_irecvs.size()) +
+           " isends=" + std::to_string(rs.pending_isends) + "\n";
+  }
+  out += "barrier_waiting=" + std::to_string(barrier_waiting_) +
+         " allreduce_waiting=" + std::to_string(allreduce_.waiting) + "\n";
+  return out;
+}
+
+SimTime run_to_completion(sim::Simulator& s, MpiWorld& world, SimTime deadline) {
+  while (!world.done() && s.now() < deadline && s.step()) {
+  }
+  if (!world.done()) {
+    std::fprintf(stderr, "MPI world stuck at t=%s:\n%s", format_time(s.now()).c_str(),
+                 world.debug_state().c_str());
+    HPCS_CHECK_MSG(world.done(), "simulation deadline reached before the MPI world completed");
+  }
+  return world.finish_time();
+}
+
+}  // namespace hpcs::mpi

@@ -1,0 +1,170 @@
+#pragma once
+// The MPI-like runtime: binds one RankProgram per rank to a simulated kernel
+// task and interprets the op stream — compute segments, global barriers,
+// eager point-to-point messages with a latency/bandwidth network model, and
+// isend/irecv/waitall request tracking.
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "kernel/kernel.h"
+#include "simmpi/network.h"
+#include "simmpi/ops.h"
+
+namespace hpcs::mpi {
+
+/// Recorded at every OpMarkIteration: when it happened and the rank's
+/// cumulative CPU time, so per-iteration utilization can be derived.
+struct IterationMark {
+  SimTime when = SimTime::zero();
+  Duration cpu_time = Duration::zero();
+};
+
+struct MpiWorldConfig {
+  kern::Policy policy = kern::Policy::kNormal;
+  /// rank -> initial CPU; empty = round-robin over the machine.
+  std::vector<CpuId> placement;
+  /// Optional static hardware priorities per rank (the hand-tuned approach
+  /// of [5]); empty = default priority 4 for everyone.
+  std::vector<int> static_hw_prio;
+  NetworkParams net{};
+  std::uint64_t seed = 1;
+  std::string name_prefix = "rank";
+};
+
+class MpiWorld {
+ public:
+  MpiWorld(kern::Kernel& k, MpiWorldConfig cfg,
+           std::vector<std::unique_ptr<RankProgram>> programs);
+
+  /// Wake every rank task (call after Kernel::start()).
+  void start();
+
+  [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
+  [[nodiscard]] bool done() const { return exited_ == size(); }
+  [[nodiscard]] kern::Task& task(int rank) const { return *ranks_[check_rank(rank)].task; }
+  /// Completion time of the whole application (max over rank exits).
+  [[nodiscard]] SimTime finish_time() const { return finish_time_; }
+  [[nodiscard]] const std::vector<IterationMark>& marks(int rank) const {
+    return ranks_[check_rank(rank)].marks;
+  }
+  [[nodiscard]] std::int64_t messages_delivered() const { return messages_; }
+  [[nodiscard]] std::int64_t barriers_completed() const { return barrier_generation_; }
+
+  /// Diagnostic snapshot of every rank's wait state — printed when a run
+  /// fails to complete, so deadlocks are debuggable from the abort message.
+  [[nodiscard]] std::string debug_state() const;
+
+  /// Per-rank traffic counters.
+  struct RankTraffic {
+    std::int64_t msgs_sent = 0;
+    std::int64_t msgs_received = 0;
+    std::int64_t bytes_sent = 0;
+  };
+  [[nodiscard]] RankTraffic traffic(int rank) const {
+    const RankState& rs = ranks_[check_rank(rank)];
+    return {rs.msgs_sent, rs.msgs_received, rs.bytes_sent};
+  }
+
+  /// Interpreter entry point used by the per-rank task body; drives `rank`
+  /// until an op requires the kernel (compute/block/exit). Not part of the
+  /// user-facing API.
+  void step_rank(int rank, kern::Task& t);
+
+ private:
+
+  struct Message {
+    int src = 0;
+    int tag = 0;
+    std::int64_t bytes = 0;
+    /// Rank blocked in a rendezvous send until this message is consumed
+    /// (-1 = eager, nobody waits).
+    int rv_sender = -1;
+  };
+
+  enum class WaitKind {
+    kNone,
+    kBarrier,
+    kRecv,
+    kWaitAll,
+    kAllreduce,
+    kBcast,
+    kReduceRoot,
+    kSendRendezvous,
+  };
+
+  struct RankState {
+    kern::Task* task = nullptr;
+    std::unique_ptr<RankProgram> program;
+    std::deque<Message> mailbox;
+    std::vector<std::pair<int, int>> pending_irecvs;  ///< (src, tag) posted, unmatched
+    int pending_isends = 0;    ///< isends whose delivery has not completed yet
+    int pending_rv_sends = 0;  ///< rendezvous sends not yet consumed by the peer
+    // Per-rank traffic statistics.
+    std::int64_t msgs_sent = 0;
+    std::int64_t msgs_received = 0;
+    std::int64_t bytes_sent = 0;
+    WaitKind waiting = WaitKind::kNone;
+    int recv_src = kAnySource;
+    int recv_tag = kAnyTag;
+    std::int64_t barrier_gen = 0;  ///< generation the rank is waiting for
+    std::int64_t allreduce_gen = 0;
+    std::int64_t bcast_taken = 0;   ///< broadcast rounds this rank consumed
+    std::int64_t reduce_round = 0;  ///< reduce rounds this (root) rank completed
+    std::vector<IterationMark> marks;
+    bool exited = false;
+  };
+
+  /// Shared bookkeeping of a barrier-like collective.
+  struct CollectiveState {
+    int waiting = 0;
+    std::int64_t generation = 0;
+    bool release_pending = false;
+  };
+
+  [[nodiscard]] std::size_t check_rank(int rank) const;
+
+  /// Release a sender blocked in a rendezvous send of `m` (no-op for eager).
+  void release_rendezvous(const Message& m);
+
+  /// True if a message matching (src, tag) is in the mailbox; consumes it.
+  bool try_consume(RankState& rs, int src, int tag);
+  /// Try to match the message against pending irecvs; returns true if used.
+  bool match_irecv(RankState& rs, const Message& m);
+
+  void deliver(int dst, Message m);
+  void barrier_arrive(int rank);
+  void maybe_release_barrier();
+  void maybe_release_allreduce(std::int64_t bytes);
+  /// Tree-phase latency of a collective over the live ranks.
+  [[nodiscard]] Duration tree_delay(std::int64_t bytes, int phases);
+  void wake_waiters(WaitKind kind);
+
+  kern::Kernel* kernel_;
+  MpiWorldConfig cfg_;
+  NetworkModel net_;
+  std::vector<RankState> ranks_;
+  std::int64_t barrier_generation_ = 0;
+  int barrier_waiting_ = 0;
+  bool barrier_release_pending_ = false;
+  CollectiveState allreduce_;
+  std::int64_t bcast_rounds_posted_ = 0;     ///< bcast rounds the root issued
+  std::int64_t bcast_rounds_delivered_ = 0;  ///< rounds that finished the tree
+  std::int64_t reduce_contributions_ = 0;    ///< total non-root contributions
+  std::int64_t reduce_rounds_ready_ = 0;     ///< rounds whose tree completed
+  int exited_ = 0;
+  SimTime finish_time_ = SimTime::zero();
+  std::int64_t messages_ = 0;
+};
+
+/// Run the simulator until the world completes (or `deadline` passes).
+/// Returns the world's finish time.
+SimTime run_to_completion(sim::Simulator& s, MpiWorld& world,
+                          SimTime deadline = SimTime(std::int64_t{3600} * 1000000000));
+
+}  // namespace hpcs::mpi

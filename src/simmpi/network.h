@@ -1,0 +1,34 @@
+#pragma once
+// Intra-node message transport model: fixed base latency plus a bandwidth
+// term and optional uniform jitter. MPICH-over-shared-memory scale defaults.
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace hpcs::mpi {
+
+struct NetworkParams {
+  Duration base_latency = Duration::microseconds(5);
+  double bytes_per_us = 1000.0;  ///< ~1 GB/s
+  double jitter_frac = 0.1;      ///< uniform +/- fraction of the deterministic delay
+  /// Messages above this size use the rendezvous protocol: a blocking send
+  /// completes only once the receiver has posted a matching receive (real
+  /// MPI eager/rendezvous switch). Non-positive = everything eager.
+  std::int64_t eager_threshold = 256 * 1024;
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(const NetworkParams& p, Rng rng) : p_(p), rng_(std::move(rng)) {}
+
+  /// Transfer delay for one message of `bytes` payload.
+  [[nodiscard]] Duration delay(std::int64_t bytes);
+
+  [[nodiscard]] const NetworkParams& params() const { return p_; }
+
+ private:
+  NetworkParams p_;
+  Rng rng_;
+};
+
+}  // namespace hpcs::mpi

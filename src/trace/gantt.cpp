@@ -1,0 +1,66 @@
+#include "trace/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hpcs::trace {
+namespace {
+
+SimTime auto_end(const Tracer& tracer, const std::vector<Pid>& pids) {
+  SimTime end = SimTime::zero();
+  for (const Pid pid : pids) {
+    for (const Interval& iv : tracer.intervals(pid)) end = std::max(end, iv.end);
+  }
+  return end;
+}
+
+}  // namespace
+
+std::string render_gantt(const Tracer& tracer, const std::vector<Pid>& pids,
+                         const std::vector<std::string>& labels, const GanttOptions& opt) {
+  HPCS_CHECK(pids.size() == labels.size());
+  GanttOptions o = opt;
+  if (o.end <= o.begin) o.end = auto_end(tracer, pids);
+  if (o.end <= o.begin) return "(empty trace)\n";
+
+  const Duration span = o.end - o.begin;
+  const Duration cell = span / o.width;
+  std::ostringstream out;
+
+  std::size_t label_w = 4;
+  for (const auto& l : labels) label_w = std::max(label_w, l.size());
+
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    const Pid pid = pids[i];
+    out << labels[i] << std::string(label_w - labels[i].size(), ' ') << " |";
+    for (int c = 0; c < o.width; ++c) {
+      const SimTime lo = o.begin + cell * c;
+      const SimTime hi = (c == o.width - 1) ? o.end : o.begin + cell * (c + 1);
+      const double frac = tracer.compute_fraction(pid, lo, hi);
+      out << (frac >= 0.5 ? '#' : (frac > 0.05 ? '+' : '.'));
+    }
+    out << "|\n";
+
+    if (o.show_priorities && !tracer.prio_events(pid).empty()) {
+      out << std::string(label_w, ' ') << " |";
+      const auto& prios = tracer.prio_events(pid);
+      for (int c = 0; c < o.width; ++c) {
+        const SimTime lo = o.begin + cell * c;
+        // Priority in effect at the start of the cell (default 4).
+        int prio = 4;
+        for (const PrioEvent& e : prios) {
+          if (e.when <= lo) prio = e.prio;
+        }
+        out << (prio == 4 ? ' ' : static_cast<char>('0' + prio));
+      }
+      out << "| (hw prio when != 4)\n";
+    }
+  }
+  out << std::string(label_w, ' ') << "  ^" << format_time(o.begin) << " ... "
+      << format_time(o.end) << "  ('#'=computing, '.'=waiting)\n";
+  return out.str();
+}
+
+}  // namespace hpcs::trace

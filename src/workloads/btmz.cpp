@@ -1,0 +1,57 @@
+#include "workloads/btmz.h"
+
+#include "common/check.h"
+
+namespace hpcs::wl {
+namespace {
+
+/// compute -> irecv(left) -> irecv(right) -> isend(left) -> isend(right)
+/// -> waitall -> mark, per iteration.
+class BtMzRank final : public mpi::RankProgram {
+ public:
+  BtMzRank(int rank, int ranks, double load, std::int64_t bytes, int iterations)
+      : rank_(rank), ranks_(ranks), load_(load), bytes_(bytes), iterations_(iterations) {}
+
+  mpi::MpiOp next() override {
+    if (iter_ >= iterations_) return mpi::OpExit{};
+    const int left = (rank_ + ranks_ - 1) % ranks_;
+    const int right = (rank_ + 1) % ranks_;
+    switch (phase_++) {
+      case 0: return mpi::OpCompute{load_};
+      case 1: return mpi::OpIrecv{left, 0};
+      case 2: return mpi::OpIrecv{right, 0};
+      case 3: return mpi::OpIsend{left, 0, bytes_};
+      case 4: return mpi::OpIsend{right, 0, bytes_};
+      case 5: return mpi::OpWaitAll{};
+      default:
+        phase_ = 0;
+        ++iter_;
+        return mpi::OpMarkIteration{};
+    }
+  }
+
+ private:
+  int rank_;
+  int ranks_;
+  double load_;
+  std::int64_t bytes_;
+  int iterations_;
+  int iter_ = 0;
+  int phase_ = 0;
+};
+
+}  // namespace
+
+ProgramSet make_btmz(const BtMzConfig& cfg) {
+  HPCS_CHECK_MSG(cfg.zone_loads.size() >= 2, "BT-MZ needs at least two ranks");
+  ProgramSet out;
+  const int n = static_cast<int>(cfg.zone_loads.size());
+  for (int r = 0; r < n; ++r) {
+    HPCS_CHECK(cfg.zone_loads[static_cast<std::size_t>(r)] > 0.0);
+    out.push_back(std::make_unique<BtMzRank>(r, n, cfg.zone_loads[static_cast<std::size_t>(r)],
+                                             cfg.exchange_bytes, cfg.iterations));
+  }
+  return out;
+}
+
+}  // namespace hpcs::wl

@@ -1,0 +1,54 @@
+#include "workloads/metbenchvar.h"
+
+#include "common/check.h"
+
+namespace hpcs::wl {
+namespace {
+
+class MetBenchVarWorker final : public mpi::RankProgram {
+ public:
+  MetBenchVarWorker(double load_a, double load_b, int k, int iterations)
+      : load_a_(load_a), load_b_(load_b), k_(k), iterations_(iterations) {}
+
+  mpi::MpiOp next() override {
+    if (iter_ >= iterations_) return mpi::OpExit{};
+    switch (phase_) {
+      case 0: {
+        phase_ = 1;
+        // Periods alternate: iterations [0,k) run load A, [k,2k) load B, ...
+        const bool period_a = (iter_ / k_) % 2 == 0;
+        return mpi::OpCompute{period_a ? load_a_ : load_b_};
+      }
+      case 1:
+        phase_ = 2;
+        return mpi::OpBarrier{};
+      default:
+        phase_ = 0;
+        ++iter_;
+        return mpi::OpMarkIteration{};
+    }
+  }
+
+ private:
+  double load_a_;
+  double load_b_;
+  int k_;
+  int iterations_;
+  int iter_ = 0;
+  int phase_ = 0;
+};
+
+}  // namespace
+
+ProgramSet make_metbenchvar(const MetBenchVarConfig& cfg) {
+  HPCS_CHECK(cfg.loads_a.size() == cfg.loads_b.size() && !cfg.loads_a.empty());
+  HPCS_CHECK(cfg.k > 0);
+  ProgramSet out;
+  for (std::size_t i = 0; i < cfg.loads_a.size(); ++i) {
+    out.push_back(std::make_unique<MetBenchVarWorker>(cfg.loads_a[i], cfg.loads_b[i], cfg.k,
+                                                      cfg.iterations));
+  }
+  return out;
+}
+
+}  // namespace hpcs::wl

@@ -1,0 +1,31 @@
+#pragma once
+// MetBenchVar (paper §V-B): MetBench with workers that reverse their loads
+// every k iterations, making the application's behaviour dynamic. With k=15
+// and 45 iterations the load imbalance flips at iterations 15 and 30 — the
+// scenario where a static prioritization backfires in the middle period
+// while the dynamic scheduler re-balances within a few iterations.
+//
+// Calibration (Table IV): with three periods (small,large,small for P1), a
+// rank's whole-run baseline utilization is (2r+1)/3 for load ratio r; the
+// paper's 50.24% / 75.09% pin r = 1/4 — the same 4:1 ratio as MetBench.
+// 368.17 s over 45 iterations gives ~8.18 s per baseline iteration (large
+// load 5.32e9 work units).
+
+#include <memory>
+#include <vector>
+
+#include "workloads/metbench.h"
+
+namespace hpcs::wl {
+
+struct MetBenchVarConfig {
+  int iterations = 45;
+  int k = 15;  ///< iterations per behaviour period
+  /// Phase-A per-worker loads; phase B swaps each core pair's loads.
+  std::vector<double> loads_a = {1.33e9, 5.32e9, 1.33e9, 5.32e9};
+  std::vector<double> loads_b = {5.32e9, 1.33e9, 5.32e9, 1.33e9};
+};
+
+ProgramSet make_metbenchvar(const MetBenchVarConfig& cfg);
+
+}  // namespace hpcs::wl

@@ -1,0 +1,76 @@
+#include "workloads/repartition.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace hpcs::wl {
+
+std::vector<double> repartition_loads_at(const RepartitionConfig& cfg, int iter) {
+  std::vector<double> loads = cfg.initial_loads;
+  if (cfg.period <= 0) return loads;
+  const double mean = std::accumulate(loads.begin(), loads.end(), 0.0) /
+                      static_cast<double>(loads.size());
+  const int repartitions = iter / cfg.period;
+  double keep = 1.0;
+  for (int r = 0; r < repartitions; ++r) keep *= (1.0 - cfg.efficiency);
+  for (double& l : loads) l = mean + (l - mean) * keep;
+  return loads;
+}
+
+namespace {
+
+class RepartitionRank final : public mpi::RankProgram {
+ public:
+  RepartitionRank(int rank, const RepartitionConfig& cfg) : rank_(rank), cfg_(cfg) {}
+
+  mpi::MpiOp next() override {
+    if (iter_ >= cfg_.iterations) return mpi::OpExit{};
+    const bool repartition_now =
+        cfg_.period > 0 && iter_ > 0 && iter_ % cfg_.period == 0 && !repartitioned_;
+    switch (phase_) {
+      case 0:
+        if (repartition_now) {
+          // Pay the redistribution: pack/unpack compute + the mesh exchange.
+          repartitioned_ = true;
+          phase_ = 1;
+          return mpi::OpCompute{cfg_.repartition_work};
+        }
+        phase_ = 2;
+        return mpi::OpCompute{
+            repartition_loads_at(cfg_, iter_)[static_cast<std::size_t>(rank_)]};
+      case 1:
+        phase_ = 0;  // back to the (now rebalanced) compute
+        return mpi::OpAllreduce{cfg_.exchange_bytes};
+      case 2:
+        phase_ = 3;
+        return mpi::OpBarrier{};
+      default:
+        phase_ = 0;
+        ++iter_;
+        repartitioned_ = false;
+        return mpi::OpMarkIteration{};
+    }
+  }
+
+ private:
+  int rank_;
+  RepartitionConfig cfg_;
+  int iter_ = 0;
+  int phase_ = 0;
+  bool repartitioned_ = false;
+};
+
+}  // namespace
+
+ProgramSet make_repartition(const RepartitionConfig& cfg) {
+  HPCS_CHECK(!cfg.initial_loads.empty());
+  HPCS_CHECK(cfg.efficiency >= 0.0 && cfg.efficiency <= 1.0);
+  ProgramSet out;
+  for (int r = 0; r < static_cast<int>(cfg.initial_loads.size()); ++r) {
+    out.push_back(std::make_unique<RepartitionRank>(r, cfg));
+  }
+  return out;
+}
+
+}  // namespace hpcs::wl

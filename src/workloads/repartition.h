@@ -1,0 +1,40 @@
+#pragma once
+// Data-redistribution baseline (paper §II-A, the "data distribution" group
+// of related work: METIS-style partitioning / dynamic mesh repartitioning).
+// The application itself re-balances: every `period` iterations the ranks
+// redistribute load toward the mean (with configurable efficiency) and pay a
+// repartitioning cost (data movement + synchronization).
+//
+// This gives the benches an honest comparator for the paper's argument that
+// processor-resource distribution is finer-grained and transparent: the
+// app-level fix converges too, but costs repartition time, needs source
+// changes, and cannot react between periods.
+
+#include <memory>
+#include <vector>
+
+#include "workloads/metbench.h"
+
+namespace hpcs::wl {
+
+struct RepartitionConfig {
+  int iterations = 40;
+  /// Initial per-rank loads (work units per iteration).
+  std::vector<double> initial_loads = {0.3325e9, 1.33e9, 0.3325e9, 1.33e9};
+  /// Repartition every N iterations (0 = never: degenerates to MetBench).
+  int period = 5;
+  /// How much of the imbalance one repartition removes (0..1).
+  double efficiency = 0.8;
+  /// Cost of one repartition per rank: extra compute (data packing) plus an
+  /// allreduce of `exchange_bytes` (the mesh migration).
+  double repartition_work = 50.0e6;
+  std::int64_t exchange_bytes = 4 * 1024 * 1024;
+};
+
+/// Per-rank load at a given iteration (pure function; every rank computes
+/// the same schedule deterministically).
+[[nodiscard]] std::vector<double> repartition_loads_at(const RepartitionConfig& cfg, int iter);
+
+ProgramSet make_repartition(const RepartitionConfig& cfg);
+
+}  // namespace hpcs::wl

@@ -1,0 +1,69 @@
+#include "workloads/wavefront.h"
+
+#include "common/check.h"
+
+namespace hpcs::wl {
+namespace {
+
+/// Forward sweep: recv from r-1 (except r=0), compute, send to r+1 (except
+/// last). Backward sweep: mirror. Then mark and repeat.
+class WavefrontRank final : public mpi::RankProgram {
+ public:
+  WavefrontRank(int rank, const WavefrontConfig& cfg) : rank_(rank), cfg_(cfg) {
+    work_ = cfg.block_work;
+    if (static_cast<std::size_t>(rank) < cfg.weights.size()) {
+      work_ *= cfg.weights[static_cast<std::size_t>(rank)];
+    }
+  }
+
+  mpi::MpiOp next() override {
+    if (iter_ >= cfg_.iterations) return mpi::OpExit{};
+    const int last = cfg_.ranks - 1;
+    switch (phase_++) {
+      // ---- forward sweep (0 -> last) ----
+      case 0:
+        if (rank_ == 0) { ++phase_; return mpi::OpCompute{work_}; }
+        return mpi::OpRecv{rank_ - 1, 0};
+      case 1:
+        return mpi::OpCompute{work_};
+      case 2:
+        if (rank_ == last) { ++phase_; return next(); }
+        return mpi::OpSend{rank_ + 1, 0, cfg_.msg_bytes};
+      // ---- backward sweep (last -> 0) ----
+      case 3:
+        if (rank_ == last) { ++phase_; return mpi::OpCompute{work_}; }
+        return mpi::OpRecv{rank_ + 1, 1};
+      case 4:
+        return mpi::OpCompute{work_};
+      case 5:
+        if (rank_ == 0) { ++phase_; return next(); }
+        return mpi::OpSend{rank_ - 1, 1, cfg_.msg_bytes};
+      default:
+        phase_ = 0;
+        ++iter_;
+        return mpi::OpMarkIteration{};
+    }
+  }
+
+ private:
+  int rank_;
+  WavefrontConfig cfg_;
+  double work_;
+  int iter_ = 0;
+  int phase_ = 0;
+};
+
+}  // namespace
+
+ProgramSet make_wavefront(const WavefrontConfig& cfg) {
+  HPCS_CHECK(cfg.ranks >= 2);
+  HPCS_CHECK(cfg.weights.empty() ||
+             static_cast<int>(cfg.weights.size()) == cfg.ranks);
+  ProgramSet out;
+  for (int r = 0; r < cfg.ranks; ++r) {
+    out.push_back(std::make_unique<WavefrontRank>(r, cfg));
+  }
+  return out;
+}
+
+}  // namespace hpcs::wl

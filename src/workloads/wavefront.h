@@ -1,0 +1,29 @@
+#pragma once
+// Wavefront workload (Sweep3D-style): ranks form a 1-D pipeline; each
+// iteration sweeps the pipeline forward then backward — rank r computes its
+// block only after receiving the upstream rank's block. The imbalance here
+// is POSITIONAL (pipeline fill/drain), not load-based, which makes it a
+// stress test for iteration-based heuristics: per-rank utilization depends
+// on the pipeline depth, and no static priority assignment fixes it.
+
+#include <memory>
+#include <vector>
+
+#include "workloads/metbench.h"
+
+namespace hpcs::wl {
+
+struct WavefrontConfig {
+  int ranks = 4;
+  int iterations = 50;
+  /// Compute per rank per sweep direction (work units).
+  double block_work = 50.0e6;
+  /// Optional per-rank multiplier (adds load imbalance on top of the
+  /// pipeline structure); empty = uniform blocks.
+  std::vector<double> weights;
+  std::int64_t msg_bytes = 16 * 1024;
+};
+
+ProgramSet make_wavefront(const WavefrontConfig& cfg);
+
+}  // namespace hpcs::wl

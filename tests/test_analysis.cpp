@@ -1,0 +1,189 @@
+// Tests for the analysis/report layer and the common utilities that back it:
+// ps-like reports, sysfs dumps, improvement computation, formatting helpers,
+// running statistics, histograms, RNG stream independence, and the POWER6
+// parameter preset.
+
+#include <gtest/gtest.h>
+
+#include "analysis/paper_experiments.h"
+#include "analysis/report.h"
+#include "analysis/experiment.h"
+#include "common/log.h"
+#include "common/stats.h"
+#include "power5/throughput.h"
+#include "test_util.h"
+#include "workloads/metbench.h"
+
+namespace hpcs::test {
+namespace {
+
+TEST(Report, TaskAndCpuReports) {
+  KernelFixture f;
+  f.k().start();
+  auto& t = f.k().create_task("worker", std::make_unique<HogBody>(), kern::Policy::kNormal, 2);
+  f.k().start_task(t);
+  f.run_until(Duration::milliseconds(50));
+
+  const std::string tasks = analysis::task_report(f.k());
+  EXPECT_NE(tasks.find("worker"), std::string::npos);
+  EXPECT_NE(tasks.find("SCHED_NORMAL"), std::string::npos);
+  EXPECT_NE(tasks.find("PID"), std::string::npos);
+
+  const std::string cpus = analysis::cpu_report(f.k());
+  EXPECT_NE(cpus.find("worker"), std::string::npos) << cpus;
+  EXPECT_NE(cpus.find("0.650"), std::string::npos) << "running context speed";
+
+  const std::string stats = analysis::sched_stats_report(f.k());
+  EXPECT_NE(stats.find("context switches"), std::string::npos);
+  EXPECT_NE(stats.find("wakeup latency"), std::string::npos);
+}
+
+TEST(Report, SysfsDumpListsKnobs) {
+  KernelFixture f;
+  f.k().start();
+  const std::string s = analysis::sysfs_report(f.k());
+  EXPECT_NE(s.find("kernel/sched_latency_ns"), std::string::npos);
+  EXPECT_NE(s.find("20000000"), std::string::npos);
+}
+
+TEST(Analysis, ImprovementPct) {
+  analysis::RunResult base;
+  base.exec_time = Duration::seconds(100.0);
+  analysis::RunResult faster;
+  faster.exec_time = Duration::seconds(88.0);
+  EXPECT_NEAR(improvement_pct(base, faster), 12.0, 1e-9);
+  analysis::RunResult slower;
+  slower.exec_time = Duration::seconds(110.0);
+  EXPECT_NEAR(improvement_pct(base, slower), -10.0, 1e-9);
+}
+
+TEST(Analysis, MinMaxUtil) {
+  analysis::RunResult r;
+  r.ranks.push_back({.name = "a", .util_pct = 25.0});
+  r.ranks.push_back({.name = "b", .util_pct = 99.0});
+  EXPECT_DOUBLE_EQ(r.min_util(), 25.0);
+  EXPECT_DOUBLE_EQ(r.max_util(), 99.0);
+}
+
+TEST(CommonFormat, Durations) {
+  EXPECT_EQ(format_duration(Duration::seconds(1.5)), "1.500s");
+  EXPECT_EQ(format_duration(Duration::milliseconds(12)), "12.000ms");
+  EXPECT_EQ(format_duration(Duration::microseconds(7)), "7.000us");
+  EXPECT_EQ(format_duration(Duration(42)), "42ns");
+  EXPECT_EQ(format_time(SimTime(2500000000)), "2.500s");
+}
+
+TEST(CommonStats, RunningStat) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0);
+}
+
+TEST(CommonStats, Histogram) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.total(), 100);
+  for (const auto c : h.buckets()) EXPECT_EQ(c, 10);
+  EXPECT_NEAR(h.percentile(0.5), 45.0, 10.0);
+  h.add(-50.0);   // clamps to first bucket
+  h.add(1000.0);  // clamps to last bucket
+  EXPECT_EQ(h.buckets().front(), 11);
+  EXPECT_EQ(h.buckets().back(), 11);
+}
+
+TEST(CommonRng, ForkedStreamsAreIndependent) {
+  Rng root(99);
+  Rng a = root.fork();
+  Rng b = root.fork();
+  bool differ = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.uniform() != b.uniform()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+  // Re-deriving from the same seed reproduces the same child stream.
+  Rng root2(99);
+  Rng a2 = root2.fork();
+  Rng a3(0);
+  (void)a3;
+  Rng check(99);
+  Rng c = check.fork();
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(a2.uniform(), c.uniform());
+}
+
+TEST(CommonLog, LevelFiltering) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kOff);
+  HPCS_LOG_ERROR("test", "suppressed %d", 1);  // must not crash, goes nowhere
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(old);
+}
+
+TEST(Power6, PresetIsSteeperThanPower5) {
+  const p5::ThroughputParams p5_params;
+  const p5::ThroughputParams p6 = p5::power6_params();
+  // In-order core: lower equal-share point, stronger lever both ways.
+  EXPECT_LT(p5::speed_for_share(p6, 0.5), p5::speed_for_share(p5_params, 0.5));
+  EXPECT_GT(p5::speed_for_share(p6, 0.875), p5::speed_for_share(p6, 0.5) * 1.3);
+  EXPECT_LT(p5::speed_for_share(p6, 0.125), p5::speed_for_share(p5_params, 0.125));
+  // Monotone.
+  double prev = -1.0;
+  for (double s = 0.0; s <= 1.0; s += 1.0 / 64) {
+    const double v = p5::speed_for_share(p6, s);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Power6, WorksAsMachineModel) {
+  kern::KernelConfig cfg;
+  cfg.throughput = p5::power6_params();
+  analysis::ExperimentConfig ec;
+  ec.kernel = cfg;
+  ec.mode = analysis::SchedMode::kUniform;
+  wl::MetBenchConfig w;
+  w.iterations = 6;
+  w.loads = {0.1e9, 0.4e9, 0.1e9, 0.4e9};
+  const auto uni = analysis::run_experiment(ec, wl::make_metbench(w));
+  ec.mode = analysis::SchedMode::kBaselineCfs;
+  const auto base = analysis::run_experiment(ec, wl::make_metbench(w));
+  // The steeper lever balances at least as well.
+  EXPECT_GT(analysis::improvement_pct(base, uni), 8.0);
+}
+
+
+TEST(PaperReferences, CoverEveryReportedMode) {
+  using analysis::SchedMode;
+  EXPECT_NEAR(analysis::paper_reference_metbench(SchedMode::kBaselineCfs).exec_time_s, 81.78,
+              1e-9);
+  EXPECT_EQ(analysis::paper_reference_metbench(SchedMode::kStatic).util_pct.size(), 4u);
+  EXPECT_NEAR(analysis::paper_reference_metbenchvar(SchedMode::kUniform).exec_time_s, 327.17,
+              1e-9);
+  EXPECT_NEAR(analysis::paper_reference_btmz(SchedMode::kAdaptive).exec_time_s, 79.92, 1e-9);
+  EXPECT_NEAR(analysis::paper_reference_siesta(SchedMode::kBaselineCfs).exec_time_s, 81.49,
+              1e-9);
+  // SIESTA has no static run in the paper.
+  EXPECT_EQ(analysis::paper_reference_siesta(SchedMode::kStatic).exec_time_s, 0.0);
+}
+
+TEST(PolicyNames, AllDistinct) {
+  using kern::Policy;
+  EXPECT_STREQ(kern::policy_name(Policy::kFifo), "SCHED_FIFO");
+  EXPECT_STREQ(kern::policy_name(Policy::kHpcRr), "SCHED_HPC(RR)");
+  EXPECT_STREQ(kern::policy_name(Policy::kHpcFifo), "SCHED_HPC(FIFO)");
+  EXPECT_STREQ(kern::policy_name(Policy::kNormal), "SCHED_NORMAL");
+  EXPECT_TRUE(kern::is_hpc_policy(Policy::kHpcRr));
+  EXPECT_FALSE(kern::is_hpc_policy(Policy::kNormal));
+}
+
+}  // namespace
+}  // namespace hpcs::test

@@ -1,0 +1,158 @@
+// CFS class behaviour: fairness between competing hogs, nice weighting,
+// vruntime mechanics, wakeup preemption, slice computation, min_vruntime
+// monotonicity.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hpcs::test {
+namespace {
+
+using kern::CfsClass;
+using kern::Policy;
+
+TEST(CfsWeights, CanonicalTable) {
+  EXPECT_EQ(CfsClass::nice_to_weight(0), 1024);
+  EXPECT_EQ(CfsClass::nice_to_weight(-20), 88761);
+  EXPECT_EQ(CfsClass::nice_to_weight(19), 15);
+  // Each nice step is ~1.25x.
+  for (int n = -20; n < 19; ++n) {
+    const double ratio = static_cast<double>(CfsClass::nice_to_weight(n)) /
+                         static_cast<double>(CfsClass::nice_to_weight(n + 1));
+    EXPECT_NEAR(ratio, 1.25, 0.07) << "nice " << n;
+  }
+}
+
+TEST(CfsWeights, CalcDeltaFair) {
+  const Duration d = Duration::milliseconds(10);
+  EXPECT_EQ(CfsClass::calc_delta_fair(d, 0), d);                    // weight 1024
+  EXPECT_LT(CfsClass::calc_delta_fair(d, -5).ns(), d.ns());         // heavier: slower vruntime
+  EXPECT_GT(CfsClass::calc_delta_fair(d, 5).ns(), d.ns());          // lighter: faster vruntime
+}
+
+TEST(CfsClassTest, SliceShrinksWithLoad) {
+  CfsClass cfs;
+  EXPECT_EQ(cfs.slice_for(1), Duration::milliseconds(20));
+  EXPECT_EQ(cfs.slice_for(2), Duration::milliseconds(10));
+  EXPECT_EQ(cfs.slice_for(5), Duration::milliseconds(4));
+  // Floor at min_granularity.
+  EXPECT_EQ(cfs.slice_for(50), Duration::milliseconds(4));
+}
+
+TEST(CfsFairness, TwoHogsShareOneCpuEvenly) {
+  KernelFixture f;
+  f.k().start();
+  auto& a = f.k().create_task("a", std::make_unique<HogBody>(), Policy::kNormal, 0);
+  auto& b = f.k().create_task("b", std::make_unique<HogBody>(), Policy::kNormal, 0);
+  f.k().sched_setaffinity(a, 0);
+  f.k().sched_setaffinity(b, 0);
+  f.k().start_task(a);
+  f.k().start_task(b);
+  f.run_until(Duration::seconds(1.0));
+  f.k().flush_account(a);
+  f.k().flush_account(b);
+  const double share_a = a.t_run / (a.t_run + b.t_run);
+  EXPECT_NEAR(share_a, 0.5, 0.03);
+  EXPECT_GT(a.nr_switches, 10);
+}
+
+TEST(CfsFairness, ThreeHogsShareOneCpuEvenly) {
+  KernelFixture f;
+  f.k().start();
+  std::vector<kern::Task*> tasks;
+  for (int i = 0; i < 3; ++i) {
+    auto& t = f.k().create_task("hog" + std::to_string(i), std::make_unique<HogBody>(),
+                                Policy::kNormal, 0);
+    f.k().sched_setaffinity(t, 0);
+    f.k().start_task(t);
+    tasks.push_back(&t);
+  }
+  f.run_until(Duration::seconds(1.5));
+  Duration total = Duration::zero();
+  for (auto* t : tasks) {
+    f.k().flush_account(*t);
+    total += t->t_run;
+  }
+  for (auto* t : tasks) {
+    EXPECT_NEAR(t->t_run / total, 1.0 / 3.0, 0.04) << t->name();
+  }
+}
+
+TEST(CfsFairness, NiceWeightsBiasCpuShare) {
+  KernelFixture f;
+  f.k().start();
+  auto& heavy = f.k().create_task("heavy", std::make_unique<HogBody>(), Policy::kNormal, 0);
+  auto& light = f.k().create_task("light", std::make_unique<HogBody>(), Policy::kNormal, 0);
+  f.k().sched_setaffinity(heavy, 0);
+  f.k().sched_setaffinity(light, 0);
+  f.k().set_nice(heavy, -5);
+  f.k().set_nice(light, 5);
+  f.k().start_task(heavy);
+  f.k().start_task(light);
+  f.run_until(Duration::seconds(2.0));
+  f.k().flush_account(heavy);
+  f.k().flush_account(light);
+  // weight(-5)/weight(5) = 3121/335 ~ 9.3.
+  const double ratio = heavy.t_run / light.t_run;
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 15.0);
+}
+
+TEST(CfsLatency, SleeperGetsCpuQuicklyUnderLoad) {
+  KernelFixture f;
+  f.k().start();
+  auto& hog = f.k().create_task("hog", std::make_unique<HogBody>(), Policy::kNormal, 0);
+  auto& sleeper = f.k().create_task(
+      "sleeper", std::make_unique<PeriodicBody>(0.2e6, Duration::milliseconds(20)),
+      Policy::kNormal, 0);
+  f.k().sched_setaffinity(hog, 0);
+  f.k().sched_setaffinity(sleeper, 0);
+  f.k().start_task(hog);
+  f.k().start_task(sleeper);
+  f.run_until(Duration::seconds(1.0));
+  EXPECT_GT(sleeper.wakeup_latency_us.count(), 10);
+  // Sleeper credit + tick preemption bound the latency to a few ms.
+  EXPECT_LT(sleeper.wakeup_latency_us.mean(), 6000.0);
+  EXPECT_FALSE(sleeper.exited());
+  f.k().flush_account(sleeper);
+  EXPECT_GT(sleeper.t_run, Duration::milliseconds(5));
+}
+
+TEST(CfsLatency, NoStarvationWithManyTasks) {
+  KernelFixture f;
+  f.k().start();
+  std::vector<kern::Task*> tasks;
+  for (int i = 0; i < 8; ++i) {
+    auto& t = f.k().create_task("t" + std::to_string(i), std::make_unique<HogBody>(),
+                                Policy::kNormal, 0);
+    f.k().sched_setaffinity(t, 0);
+    f.k().start_task(t);
+    tasks.push_back(&t);
+  }
+  f.run_until(Duration::seconds(2.0));
+  for (auto* t : tasks) {
+    f.k().flush_account(*t);
+    EXPECT_GT(t->t_run, Duration::milliseconds(100)) << t->name() << " starved";
+  }
+}
+
+TEST(CfsBatch, BatchYieldsToNormal) {
+  KernelFixture f;
+  f.k().start();
+  auto& batch = f.k().create_task("batch", std::make_unique<HogBody>(), Policy::kBatch, 0);
+  auto& normal = f.k().create_task(
+      "normal", std::make_unique<PeriodicBody>(0.2e6, Duration::milliseconds(5)),
+      Policy::kNormal, 0);
+  f.k().sched_setaffinity(batch, 0);
+  f.k().sched_setaffinity(normal, 0);
+  f.k().start_task(batch);
+  f.k().start_task(normal);
+  f.run_until(Duration::seconds(1.0));
+  // The interactive task wakes ~200x and always preempts batch promptly.
+  EXPECT_GT(normal.nr_wakeups, 100);
+  EXPECT_LT(normal.wakeup_latency_us.mean(), 2000.0);
+}
+
+}  // namespace
+}  // namespace hpcs::test

@@ -1,0 +1,115 @@
+// Tests of the cluster-level gang-scheduling extension: assignment policies
+// (pure logic) and full cluster simulations (isolation between nodes,
+// makespan ordering, in-node HPCSched still balancing).
+
+#include <gtest/gtest.h>
+
+#include "cluster/gang.h"
+
+namespace hpcs::cluster {
+namespace {
+
+JobSpec job(const std::string& name, int ranks, double load) {
+  JobSpec j;
+  j.name = name;
+  j.ranks = ranks;
+  j.load_estimate = load;
+  wl::MetBenchConfig cfg;
+  cfg.iterations = 5;
+  cfg.loads.assign(static_cast<std::size_t>(ranks), load > 0 ? load / 5.0 : 1.0e6);
+  j.make_programs = [cfg] { return wl::make_metbench(cfg); };
+  return j;
+}
+
+TEST(GangAssign, PackedFillsFirstNode) {
+  const std::vector<JobSpec> jobs = {job("a", 2, 1), job("b", 2, 1), job("c", 2, 1)};
+  const auto a = assign_jobs(jobs, 2, 4, GangPolicy::kPacked);
+  EXPECT_EQ(a, (std::vector<int>{0, 0, 1}));
+}
+
+TEST(GangAssign, PackedOverflowsToLastNode) {
+  // No node has room: the job lands on the last node rather than failing.
+  const std::vector<JobSpec> jobs = {job("a", 4, 1), job("b", 4, 1), job("c", 4, 1)};
+  const auto a = assign_jobs(jobs, 2, 4, GangPolicy::kPacked);
+  EXPECT_EQ(a, (std::vector<int>{0, 1, 1}));
+}
+
+TEST(GangAssign, RoundRobinCycles) {
+  const std::vector<JobSpec> jobs = {job("a", 1, 1), job("b", 1, 1), job("c", 1, 1),
+                                     job("d", 1, 1)};
+  const auto a = assign_jobs(jobs, 3, 4, GangPolicy::kRoundRobin);
+  EXPECT_EQ(a, (std::vector<int>{0, 1, 2, 0}));
+}
+
+TEST(GangAssign, LeastLoadedBalancesEstimates) {
+  const std::vector<JobSpec> jobs = {job("big", 2, 100), job("s1", 2, 10), job("s2", 2, 10),
+                                     job("s3", 2, 10)};
+  const auto a = assign_jobs(jobs, 2, 4, GangPolicy::kLeastLoaded);
+  // big -> node 0; everything else piles onto node 1 until it catches up.
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(a[1], 1);
+  EXPECT_EQ(a[2], 1);
+  EXPECT_EQ(a[3], 1);
+}
+
+TEST(ClusterRun, IsolatedJobsDontInterfere) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  // One job per node: each should finish as if alone.
+  const std::vector<JobSpec> jobs = {job("a", 4, 1.0e8), job("b", 4, 1.0e8)};
+  const auto res = run_cluster(cfg, jobs, GangPolicy::kRoundRobin);
+  ASSERT_EQ(res.jobs.size(), 2u);
+  EXPECT_NE(res.jobs[0].node, res.jobs[1].node);
+  // Identical jobs on identical nodes: nearly identical completion times.
+  const double a = res.jobs[0].exec_time.sec();
+  const double b = res.jobs[1].exec_time.sec();
+  EXPECT_NEAR(a, b, 0.05 * a);
+}
+
+TEST(ClusterRun, OversubscribedNodeIsSlowerThanSpreading) {
+  // Two 4-rank jobs: on a single node they oversubscribe the 4 CPUs
+  // (2 tasks per context); on two nodes each job gets a full machine.
+  const std::vector<JobSpec> jobs = {job("a", 4, 2.0e8), job("b", 4, 2.0e8)};
+  ClusterConfig one_node;
+  one_node.nodes = 1;
+  one_node.tunables.rr_slice = Duration::milliseconds(10);
+  const auto shared = run_cluster(one_node, jobs, GangPolicy::kPacked);
+  ClusterConfig two_nodes = one_node;
+  two_nodes.nodes = 2;
+  const auto spread = run_cluster(two_nodes, jobs, GangPolicy::kRoundRobin);
+  EXPECT_NE(spread.jobs[0].node, spread.jobs[1].node);
+  EXPECT_GT(shared.makespan.sec(), spread.makespan.sec() * 1.5);
+}
+
+TEST(ClusterRun, HpcschedBalancesInsideEachNode) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  // Imbalanced 4-rank job per node (MetBench-style 4:1): HPCSched should
+  // beat stock CFS on makespan.
+  auto imbalanced = [](const std::string& name) {
+    JobSpec j;
+    j.name = name;
+    j.ranks = 4;
+    wl::MetBenchConfig mc;
+    mc.iterations = 8;
+    mc.loads = {0.5e8, 2.0e8, 0.5e8, 2.0e8};
+    j.load_estimate = 5.0e8;
+    j.make_programs = [mc] { return wl::make_metbench(mc); };
+    return j;
+  };
+  const std::vector<JobSpec> jobs = {imbalanced("a"), imbalanced("b")};
+  const auto with = run_cluster(cfg, jobs, GangPolicy::kRoundRobin);
+  ClusterConfig stock = cfg;
+  stock.hpcsched = false;
+  const auto without = run_cluster(stock, jobs, GangPolicy::kRoundRobin);
+  EXPECT_LT(with.makespan.sec(), without.makespan.sec() * 0.95);
+}
+
+TEST(ClusterRun, PolicyNames) {
+  EXPECT_STREQ(gang_policy_name(GangPolicy::kPacked), "packed");
+  EXPECT_STREQ(gang_policy_name(GangPolicy::kRoundRobin), "round-robin");
+  EXPECT_STREQ(gang_policy_name(GangPolicy::kLeastLoaded), "least-loaded");
+}
+
+}  // namespace
+}  // namespace hpcs::cluster

@@ -1,0 +1,186 @@
+// Collective-operation tests: allreduce synchronization + cost model, bcast
+// root/non-root semantics, reduce root blocking, repeated rounds, PARAVER
+// export of the resulting traces.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "simmpi/mpi_world.h"
+#include "test_util.h"
+#include "trace/paraver.h"
+
+namespace hpcs::test {
+namespace {
+
+using mpi::MpiOp;
+using mpi::RankProgram;
+
+class OpListProgram final : public RankProgram {
+ public:
+  explicit OpListProgram(std::vector<MpiOp> ops) : ops_(std::move(ops)) {}
+  MpiOp next() override {
+    if (i_ >= ops_.size()) return mpi::OpExit{};
+    return ops_[i_++];
+  }
+
+ private:
+  std::vector<MpiOp> ops_;
+  std::size_t i_ = 0;
+};
+
+std::vector<std::unique_ptr<RankProgram>> programs(
+    std::initializer_list<std::vector<MpiOp>> lists) {
+  std::vector<std::unique_ptr<RankProgram>> out;
+  for (const auto& l : lists) out.push_back(std::make_unique<OpListProgram>(l));
+  return out;
+}
+
+struct WorldFixture : KernelFixture {
+  WorldFixture() { k().start(); }
+};
+
+TEST(Collectives, AllreduceSynchronizesLikeBarrier) {
+  WorldFixture f;
+  // Rank 1 computes 10x longer; rank 0's mark must wait for it.
+  mpi::MpiWorld w(f.k(), {},
+                  programs({
+                      {mpi::OpCompute{1.0e6}, mpi::OpAllreduce{64}, mpi::OpMarkIteration{}},
+                      {mpi::OpCompute{10.0e6}, mpi::OpAllreduce{64}, mpi::OpMarkIteration{}},
+                  }));
+  w.start();
+  mpi::run_to_completion(f.sim, w);
+  EXPECT_GT(w.marks(0)[0].when, SimTime::zero() + Duration::milliseconds(15));
+}
+
+TEST(Collectives, AllreduceRepeatedRounds) {
+  WorldFixture f;
+  std::vector<MpiOp> ops;
+  for (int i = 0; i < 5; ++i) {
+    ops.push_back(mpi::OpCompute{1.0e6});
+    ops.push_back(mpi::OpAllreduce{8});
+    ops.push_back(mpi::OpMarkIteration{});
+  }
+  mpi::MpiWorld w(f.k(), {}, programs({ops, ops, ops}));
+  w.start();
+  mpi::run_to_completion(f.sim, w);
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(w.marks(r).size(), 5u);
+}
+
+TEST(Collectives, BcastRootDoesNotBlock) {
+  WorldFixture f;
+  // The root computes, broadcasts, computes again without waiting; the
+  // receiver blocks until delivery.
+  mpi::MpiWorld w(f.k(), {},
+                  programs({
+                      {mpi::OpCompute{1.0e6}, mpi::OpBcast{0, 4096}, mpi::OpCompute{1.0e6},
+                       mpi::OpMarkIteration{}},
+                      {mpi::OpBcast{0, 4096}, mpi::OpMarkIteration{}},
+                  }));
+  w.start();
+  mpi::run_to_completion(f.sim, w);
+  // Receiver's mark: after root's first compute (~1.54 ms) + tree latency.
+  EXPECT_GT(w.marks(1)[0].when, SimTime::zero() + Duration::microseconds(1500));
+  // Root never waited: its second compute followed immediately (its mark is
+  // about two compute segments in).
+  EXPECT_LT(w.marks(0)[0].when, SimTime::zero() + Duration::milliseconds(4));
+}
+
+TEST(Collectives, BcastLateJoinerGetsBufferedRound) {
+  WorldFixture f;
+  // The receiver reaches the bcast long after the root posted it.
+  mpi::MpiWorld w(f.k(), {},
+                  programs({
+                      {mpi::OpBcast{0, 64}},
+                      {mpi::OpCompute{20.0e6}, mpi::OpBcast{0, 64}, mpi::OpMarkIteration{}},
+                  }));
+  w.start();
+  mpi::run_to_completion(f.sim, w);
+  // No deadlock, and the late receiver barely waited beyond its compute.
+  EXPECT_LT(w.marks(1)[0].when, SimTime::zero() + Duration::milliseconds(32));
+}
+
+TEST(Collectives, ReduceRootWaitsForContributions) {
+  WorldFixture f;
+  mpi::MpiWorld w(f.k(), {},
+                  programs({
+                      {mpi::OpReduce{0, 64}, mpi::OpMarkIteration{}},
+                      {mpi::OpCompute{8.0e6}, mpi::OpReduce{0, 64}},
+                      {mpi::OpCompute{2.0e6}, mpi::OpReduce{0, 64}},
+                  }));
+  w.start();
+  mpi::run_to_completion(f.sim, w);
+  // The root's mark waits for the slowest contributor (~12.3 ms at 0.65).
+  EXPECT_GT(w.marks(0)[0].when, SimTime::zero() + Duration::milliseconds(11));
+}
+
+TEST(Collectives, ReduceNonRootDoesNotBlock) {
+  WorldFixture f;
+  mpi::MpiWorld w(f.k(), {},
+                  programs({
+                      {mpi::OpCompute{20.0e6}, mpi::OpReduce{0, 64}},
+                      {mpi::OpReduce{0, 64}, mpi::OpMarkIteration{}, mpi::OpCompute{1.0e6},
+                       mpi::OpMarkIteration{}},
+                  }));
+  w.start();
+  mpi::run_to_completion(f.sim, w);
+  // Rank 1 contributed and moved on immediately.
+  EXPECT_LT(w.marks(1)[0].when, SimTime::zero() + Duration::milliseconds(1));
+}
+
+TEST(Paraver, ExportFormats) {
+  WorldFixture f;
+  auto tracer = std::make_unique<trace::Tracer>();
+  f.k().set_trace(tracer.get());
+  mpi::MpiWorld w(f.k(), {},
+                  programs({
+                      {mpi::OpCompute{1.0e6}, mpi::OpBarrier{}},
+                      {mpi::OpCompute{2.0e6}, mpi::OpBarrier{}},
+                  }));
+  w.start();
+  mpi::run_to_completion(f.sim, w);
+  tracer->finalize(w.finish_time());
+
+  trace::ParaverJob job;
+  job.pids = {w.task(0).pid(), w.task(1).pid()};
+  job.labels = {"rank0", "rank1"};
+  job.cpus = 4;
+
+  std::ostringstream prv;
+  trace::write_prv(prv, *tracer, job);
+  const std::string s = prv.str();
+  EXPECT_EQ(s.rfind("#Paraver", 0), 0u) << "header must lead";
+  EXPECT_NE(s.find(":1(4):1:2("), std::string::npos);  // 1 node of 4 cpus, 1 appl, 2 tasks
+  EXPECT_NE(s.find(":1\n"), std::string::npos);     // running state records
+  EXPECT_NE(s.find(":6\n"), std::string::npos);     // waiting state records
+
+  std::ostringstream pcf;
+  trace::write_pcf(pcf);
+  EXPECT_NE(pcf.str().find("STATES"), std::string::npos);
+  EXPECT_NE(pcf.str().find("Waiting a message"), std::string::npos);
+
+  std::ostringstream row;
+  trace::write_row(row, job);
+  EXPECT_NE(row.str().find("LEVEL TASK SIZE 2"), std::string::npos);
+  EXPECT_NE(row.str().find("rank1"), std::string::npos);
+}
+
+TEST(Paraver, ExportToFiles) {
+  WorldFixture f;
+  auto tracer = std::make_unique<trace::Tracer>();
+  f.k().set_trace(tracer.get());
+  mpi::MpiWorld w(f.k(), {}, programs({{mpi::OpCompute{1.0e6}}}));
+  w.start();
+  mpi::run_to_completion(f.sim, w);
+  tracer->finalize(w.finish_time());
+  trace::ParaverJob job;
+  job.pids = {w.task(0).pid()};
+  job.labels = {"rank0"};
+  EXPECT_TRUE(trace::export_paraver("/tmp/hpcs_prv_test", *tracer, job));
+  std::ifstream check("/tmp/hpcs_prv_test.prv");
+  EXPECT_TRUE(check.good());
+}
+
+}  // namespace
+}  // namespace hpcs::test

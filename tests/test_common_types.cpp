@@ -1,0 +1,94 @@
+// Foundation-type tests: Duration/SimTime arithmetic and ordering, event
+// queue clearing, simulator counters — the invariants everything else
+// silently relies on.
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "simcore/simulator.h"
+
+namespace hpcs {
+namespace {
+
+TEST(DurationMath, ConstructorsAndAccessors) {
+  EXPECT_EQ(Duration::microseconds(3).ns(), 3000);
+  EXPECT_EQ(Duration::milliseconds(2).ns(), 2000000);
+  EXPECT_EQ(Duration::seconds(1.5).ns(), 1500000000);
+  EXPECT_DOUBLE_EQ(Duration::milliseconds(2).us(), 2000.0);
+  EXPECT_DOUBLE_EQ(Duration::milliseconds(2).ms(), 2.0);
+  EXPECT_DOUBLE_EQ(Duration::milliseconds(2).sec(), 0.002);
+}
+
+TEST(DurationMath, Arithmetic) {
+  const Duration a = Duration::milliseconds(10);
+  const Duration b = Duration::milliseconds(4);
+  EXPECT_EQ((a + b).ms(), 14.0);
+  EXPECT_EQ((a - b).ms(), 6.0);
+  EXPECT_EQ((b - a).ms(), -6.0);  // signed
+  EXPECT_EQ((a * 3).ms(), 30.0);
+  EXPECT_EQ((3 * a).ms(), 30.0);
+  EXPECT_EQ((a / 2).ms(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);  // ratio
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c.ms(), 14.0);
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(DurationMath, Ordering) {
+  EXPECT_LT(Duration::microseconds(999), Duration::milliseconds(1));
+  EXPECT_GT(Duration::zero(), Duration(-5));
+  EXPECT_EQ(Duration::max().ns(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(SimTimeMath, InstantsAndSpans) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + Duration::milliseconds(5);
+  EXPECT_EQ((t1 - t0).ms(), 5.0);
+  EXPECT_EQ((t1 - Duration::milliseconds(2)).ns(), 3000000);
+  SimTime t = t0;
+  t += Duration::microseconds(7);
+  EXPECT_EQ(t.ns(), 7000);
+  EXPECT_LT(t0, t1);
+  EXPECT_DOUBLE_EQ(t1.ms(), 5.0);
+  EXPECT_DOUBLE_EQ(t1.sec(), 0.005);
+}
+
+TEST(EventQueueExtra, ClearDropsEverything) {
+  sim::EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) q.schedule(SimTime(i), [&] { ++fired; });
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  // The queue is fully usable afterwards.
+  q.schedule(SimTime(1), [&] { ++fired; });
+  q.pop_and_run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorExtra, Counters) {
+  sim::Simulator s;
+  EXPECT_TRUE(s.idle());
+  auto h = s.schedule_in(Duration(10), [] {});
+  s.schedule_in(Duration(20), [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  EXPECT_TRUE(s.pending(h));
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.pending(h));
+  s.run();
+  EXPECT_EQ(s.events_executed(), 1u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(SimulatorExtra, ScheduleInPastAborts) {
+  sim::Simulator s;
+  s.schedule_in(Duration(100), [] {});
+  s.run();
+  EXPECT_DEATH(s.schedule_at(SimTime(5), [] {}), "past");
+  EXPECT_DEATH(s.schedule_in(Duration(-1), [] {}), "negative");
+}
+
+}  // namespace
+}  // namespace hpcs

@@ -1,0 +1,106 @@
+// Cycle-level decode simulator tests: the delivered decode shares must equal
+// Table I exactly for every priority pair, and the issue throughput must
+// exhibit the monotonicity/asymmetry the fluid throughput curve encodes.
+
+#include <gtest/gtest.h>
+
+#include "power5/cycle_sim.h"
+#include "power5/throughput.h"
+
+namespace hpcs::p5 {
+namespace {
+
+constexpr std::int64_t kCycles = 64 * 1000;  // multiple of every window size
+
+TEST(CycleSim, SharesMatchTableIExactly) {
+  const ThreadModel ideal;  // no stalls, full demand
+  for (int pa = 2; pa <= 6; ++pa) {
+    for (int pb = 2; pb <= 6; ++pb) {
+      const auto r = run_decode_sim(hw_prio_from_int(pa), hw_prio_from_int(pb), ideal, ideal,
+                                    kCycles);
+      const double expect = pa == pb ? 0.5 : decode_share_a(hw_prio_from_int(pa),
+                                                            hw_prio_from_int(pb));
+      EXPECT_NEAR(r.share_a(), expect, 1e-9) << pa << " vs " << pb;
+      EXPECT_EQ(r.decode_a + r.decode_b, kCycles);
+    }
+  }
+}
+
+TEST(CycleSim, IdealThreadsIssueTheirShare) {
+  const ThreadModel ideal;
+  const auto r = run_decode_sim(HwPrio::kHigh, HwPrio::kMedium, ideal, ideal, kCycles);
+  EXPECT_NEAR(r.ipc_a(), 7.0 / 8.0, 1e-9);
+  EXPECT_NEAR(r.ipc_b(), 1.0 / 8.0, 1e-9);
+}
+
+TEST(CycleSim, StallsReduceThroughput) {
+  ThreadModel stally;
+  stally.stall_rate = 0.3;
+  const ThreadModel ideal;
+  const auto r = run_decode_sim(HwPrio::kMedium, HwPrio::kMedium, stally, ideal, kCycles,
+                                /*steal=*/false);
+  EXPECT_NEAR(r.ipc_a(), 0.5 * 0.7, 0.01);
+  EXPECT_NEAR(r.ipc_b(), 0.5, 1e-9);
+}
+
+TEST(CycleSim, SiblingStealsStalledSlots) {
+  ThreadModel stally;
+  stally.stall_rate = 0.5;
+  const ThreadModel ideal;
+  const auto no_steal =
+      run_decode_sim(HwPrio::kMedium, HwPrio::kMedium, stally, ideal, kCycles, false);
+  const auto with_steal =
+      run_decode_sim(HwPrio::kMedium, HwPrio::kMedium, stally, ideal, kCycles, true);
+  EXPECT_GT(with_steal.ipc_b(), no_steal.ipc_b() + 0.1)
+      << "the sibling must pick up stalled decode slots";
+  EXPECT_NEAR(with_steal.ipc_a(), no_steal.ipc_a(), 1e-6);
+}
+
+TEST(CycleSim, MonotoneInPriorityDifference) {
+  const ThreadModel ideal;
+  double prev_a = 0.0;
+  for (int pa = 4; pa <= 6; ++pa) {
+    const auto r = run_decode_sim(hw_prio_from_int(pa), HwPrio::kMedium, ideal, ideal, kCycles);
+    EXPECT_GE(r.ipc_a(), prev_a);
+    prev_a = r.ipc_a();
+  }
+}
+
+TEST(CycleSim, WinnerSaturatesAtItsDemand) {
+  ThreadModel ilp_bound;
+  ilp_bound.demand_ipc = 0.65;  // the thread only generates 0.65 inst/cycle
+  const auto d2 =
+      run_decode_sim(HwPrio::kHigh, HwPrio::kMedium, ilp_bound, ilp_bound, kCycles, false);
+  // Winner: granted 7/8 of the slots but can only issue its demand.
+  EXPECT_NEAR(d2.ipc_a(), 0.65, 0.01);
+  // Loser: decode-bound at its 1/8 share.
+  EXPECT_NEAR(d2.ipc_b(), 0.125, 0.01);
+}
+
+TEST(CycleSim, AsymmetryMatchesFluidModelDirection) {
+  // ILP-bound threads (demand < 1): the winner's gain saturates while the
+  // loser keeps losing — the qualitative shape the interpolated curve
+  // encodes (conclusion 1 of [4]).
+  ThreadModel ilp_bound;
+  ilp_bound.demand_ipc = 0.65;
+  const auto eq = run_decode_sim(HwPrio::kMedium, HwPrio::kMedium, ilp_bound, ilp_bound,
+                                 kCycles, false);
+  const auto d2 = run_decode_sim(HwPrio::kHigh, HwPrio::kMedium, ilp_bound, ilp_bound,
+                                 kCycles, false);
+  const double winner_gain = d2.ipc_a() / eq.ipc_a() - 1.0;
+  const double loser_loss = 1.0 - d2.ipc_b() / eq.ipc_b();
+  EXPECT_GT(winner_gain, 0.0);
+  EXPECT_GT(loser_loss, winner_gain) << "the loser must lose more than the winner gains";
+  EXPECT_GT(loser_loss / winner_gain, 2.0);
+}
+
+TEST(CycleSim, RejectsSpecialPriorities) {
+  const ThreadModel ideal;
+  EXPECT_DEATH((void)run_decode_sim(HwPrio::kVeryHigh, HwPrio::kMedium, ideal, ideal, 100),
+               "");
+  EXPECT_DEATH((void)run_decode_sim(HwPrio::kVeryLow, HwPrio::kMedium, ideal, ideal, 100),
+               "");
+}
+
+}  // namespace
+}  // namespace hpcs::p5

@@ -1,0 +1,86 @@
+// Additional rendering tests: Gantt windows, multi-task alignment, partial
+// compute cells, and end-to-end Gantt output from real scheduler runs.
+
+#include <gtest/gtest.h>
+
+#include "analysis/paper_experiments.h"
+#include "trace/gantt.h"
+
+namespace hpcs::trace {
+namespace {
+
+SimTime at_ms(std::int64_t ms) { return SimTime(ms * 1000000); }
+
+struct TwoTasks {
+  kern::Task a{1, "a", kern::Policy::kNormal};
+  kern::Task b{2, "b", kern::Policy::kNormal};
+  Tracer tracer;
+};
+
+TEST(GanttExtra, WindowSelectsSubrange) {
+  TwoTasks f;
+  f.tracer.on_state(at_ms(0), f.a, kern::TaskState::kRunnable);
+  f.tracer.on_state(at_ms(100), f.a, kern::TaskState::kSleeping);
+  f.tracer.finalize(at_ms(200));
+  GanttOptions opt;
+  opt.width = 10;
+  opt.show_priorities = false;
+  opt.begin = at_ms(100);
+  opt.end = at_ms(200);
+  const std::string g = render_gantt(f.tracer, {1}, {"a"}, opt);
+  // Entirely waiting within the window (the row, not the legend line).
+  EXPECT_NE(g.find("|..........|"), std::string::npos) << g;
+}
+
+TEST(GanttExtra, PartialCellsUsePlus) {
+  TwoTasks f;
+  // Computing 20% of each cell -> '+' marker.
+  for (int i = 0; i < 10; ++i) {
+    f.tracer.on_state(at_ms(i * 10), f.a, kern::TaskState::kRunnable);
+    f.tracer.on_state(at_ms(i * 10 + 2), f.a, kern::TaskState::kSleeping);
+  }
+  f.tracer.finalize(at_ms(100));
+  GanttOptions opt;
+  opt.width = 10;
+  opt.show_priorities = false;
+  opt.end = at_ms(100);
+  const std::string g = render_gantt(f.tracer, {1}, {"a"}, opt);
+  EXPECT_NE(g.find("++++++++++"), std::string::npos) << g;
+}
+
+TEST(GanttExtra, MultipleTasksShareTimeAxis) {
+  TwoTasks f;
+  f.tracer.on_state(at_ms(0), f.a, kern::TaskState::kRunnable);
+  f.tracer.on_state(at_ms(50), f.a, kern::TaskState::kSleeping);
+  f.tracer.on_state(at_ms(50), f.b, kern::TaskState::kRunnable);
+  f.tracer.on_state(at_ms(100), f.b, kern::TaskState::kExited);
+  f.tracer.finalize(at_ms(100));
+  GanttOptions opt;
+  opt.width = 10;
+  opt.show_priorities = false;
+  const std::string g = render_gantt(f.tracer, {1, 2}, {"a", "b"}, opt);
+  // Complementary halves.
+  EXPECT_NE(g.find("#####....."), std::string::npos) << g;
+  EXPECT_NE(g.find(".....#####"), std::string::npos) << g;
+}
+
+TEST(GanttExtra, EndToEndFromRealRun) {
+  auto e = analysis::MetBenchExperiment::paper();
+  e.workload.iterations = 4;
+  for (auto& l : e.workload.loads) l /= 8.0;
+  const auto r = analysis::run_metbench(e, analysis::SchedMode::kUniform, /*trace=*/true);
+  std::vector<Pid> pids;
+  std::vector<std::string> labels;
+  for (const auto& rank : r.ranks) {
+    pids.push_back(rank.pid);
+    labels.push_back(rank.name);
+  }
+  const std::string g = render_gantt(*r.tracer, pids, labels);
+  // All four rank rows present, time axis annotated, priorities overlaid.
+  for (const auto& l : labels) EXPECT_NE(g.find(l), std::string::npos);
+  EXPECT_NE(g.find("'#'=computing"), std::string::npos);
+  EXPECT_NE(g.find("666"), std::string::npos) << "heavy ranks must show priority 6";
+}
+
+}  // namespace
+}  // namespace hpcs::trace

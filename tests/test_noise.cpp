@@ -1,0 +1,100 @@
+// OS-noise daemon tests: per-CPU spawning and pinning, duty-cycle sanity,
+// jitter determinism, and interference characteristics (CFS tasks suffer,
+// HPC tasks are shielded).
+
+#include <gtest/gtest.h>
+
+#include "hpcsched/hpcsched.h"
+#include "kernel/noise.h"
+#include "test_util.h"
+
+namespace hpcs::test {
+namespace {
+
+using kern::NoiseConfig;
+using kern::Policy;
+
+TEST(Noise, SpawnsOnePinnedDaemonPerCpu) {
+  KernelFixture f;
+  f.k().start();
+  Rng rng(1);
+  const auto daemons = kern::spawn_noise_daemons(f.k(), NoiseConfig{}, rng);
+  ASSERT_EQ(daemons.size(), 4u);
+  for (CpuId cpu = 0; cpu < 4; ++cpu) {
+    EXPECT_EQ(daemons[static_cast<std::size_t>(cpu)]->pinned_cpu, cpu);
+    EXPECT_EQ(daemons[static_cast<std::size_t>(cpu)]->cpu, cpu);
+  }
+}
+
+TEST(Noise, DutyCycleMatchesConfig) {
+  KernelFixture f;
+  f.k().start();
+  NoiseConfig cfg;
+  cfg.period = Duration::milliseconds(10);
+  cfg.burst = Duration::microseconds(50);
+  Rng rng(2);
+  const auto daemons = kern::spawn_noise_daemons(f.k(), cfg, rng);
+  f.run_until(Duration::seconds(5.0));
+  for (auto* d : daemons) {
+    f.k().flush_account(*d);
+    // ~50us of work (at SMT speed ~0.65 -> ~77us CPU) every ~10ms: a duty of
+    // roughly 0.5-1%.
+    const double duty = d->t_run / (d->t_run + d->t_ready + d->t_sleep);
+    EXPECT_GT(duty, 0.002) << d->name();
+    EXPECT_LT(duty, 0.02) << d->name();
+    EXPECT_GT(d->nr_wakeups, 300) << d->name();  // ~500 periods in 5s
+  }
+}
+
+TEST(Noise, DeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    KernelFixture f;
+    f.k().start();
+    NoiseConfig cfg;
+    Rng rng(seed);
+    auto daemons = kern::spawn_noise_daemons(f.k(), cfg, rng);
+    f.run_until(Duration::seconds(1.0));
+    f.k().flush_account(*daemons[0]);
+    return daemons[0]->t_run.ns();
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(Noise, StealsFromCfsButNotFromHpc) {
+  // Identical compute tasks, one SCHED_NORMAL and one SCHED_HPC, each sharing
+  // its CPU with a noise daemon: the HPC task must finish first because the
+  // daemon cannot preempt it.
+  sim::Simulator s;
+  kern::Kernel k(s, {});
+  hpc::install_hpcsched(k, {});
+  k.start();
+  NoiseConfig heavy;
+  heavy.period = Duration::milliseconds(2);
+  heavy.burst = Duration::microseconds(500);  // ~25% duty: exaggerated noise
+  Rng rng(3);
+  kern::spawn_noise_daemons(k, heavy, rng);
+
+  auto& cfs_task = k.create_task("cfs", std::make_unique<ScriptBody>(std::vector<Act>{
+                                             Act::compute(200.0e6)}),
+                                 Policy::kNormal, 0);
+  auto& hpc_task = k.create_task("hpc", std::make_unique<ScriptBody>(std::vector<Act>{
+                                             Act::compute(200.0e6)}),
+                                 Policy::kHpcRr, 2);
+  k.sched_setaffinity(cfs_task, 0);
+  k.sched_setaffinity(hpc_task, 2);
+  k.start_task(cfs_task);
+  k.start_task(hpc_task);
+  s.run(SimTime(std::int64_t{5} * 1000000000));
+  ASSERT_TRUE(cfs_task.exited());
+  ASSERT_TRUE(hpc_task.exited());
+  const double cfs_ms = (cfs_task.exit_time - cfs_task.created).ms();
+  const double hpc_ms = (hpc_task.exit_time - hpc_task.created).ms();
+  EXPECT_LT(hpc_ms, cfs_ms * 0.90) << "HPC class must shield against noise";
+  // The CFS task lost roughly the daemon's share on top.
+  EXPECT_GT(cfs_task.t_ready, Duration::milliseconds(10));
+  EXPECT_LT(hpc_task.t_ready, Duration::milliseconds(1));
+}
+
+}  // namespace
+}  // namespace hpcs::test

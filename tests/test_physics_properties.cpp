@@ -1,0 +1,121 @@
+// Physics-level property tests of the whole co-simulation: results must be
+// (approximately) invariant to the timer-tick frequency, scale linearly with
+// load, and behave sanely across machine presets (POWER5 / POWER6 / CELL).
+// Also covers runtime heuristic switching via sysfs and the MetBench master
+// mode.
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "hpcsched/hpcsched.h"
+#include "test_util.h"
+#include "workloads/metbench.h"
+
+namespace hpcs::test {
+namespace {
+
+wl::MetBenchConfig small_metbench() {
+  wl::MetBenchConfig w;
+  w.iterations = 8;
+  w.loads = {0.05e9, 0.2e9, 0.05e9, 0.2e9};
+  return w;
+}
+
+TEST(PhysicsProps, TickFrequencyInvariance) {
+  // The execution engine is event-driven; ticks only drive CFS accounting
+  // and RR slices. Baseline MetBench exec time must barely move between
+  // 0.5 ms and 4 ms ticks.
+  auto run_with_tick = [](Duration tick) {
+    analysis::ExperimentConfig cfg;
+    cfg.mode = analysis::SchedMode::kBaselineCfs;
+    cfg.kernel.tick = tick;
+    cfg.enable_noise = false;
+    return analysis::run_experiment(cfg, wl::make_metbench(small_metbench())).exec_time.sec();
+  };
+  const double t_05 = run_with_tick(Duration::microseconds(500));
+  const double t_1 = run_with_tick(Duration::milliseconds(1));
+  const double t_4 = run_with_tick(Duration::milliseconds(4));
+  EXPECT_NEAR(t_05, t_1, t_1 * 0.01);
+  EXPECT_NEAR(t_4, t_1, t_1 * 0.01);
+}
+
+TEST(PhysicsProps, ExecutionTimeScalesLinearlyWithLoad) {
+  auto run_scaled = [](double scale) {
+    analysis::ExperimentConfig cfg;
+    cfg.mode = analysis::SchedMode::kBaselineCfs;
+    cfg.enable_noise = false;
+    auto w = small_metbench();
+    for (auto& l : w.loads) l *= scale;
+    return analysis::run_experiment(cfg, wl::make_metbench(w)).exec_time.sec();
+  };
+  const double t1 = run_scaled(1.0);
+  const double t2 = run_scaled(2.0);
+  const double t4 = run_scaled(4.0);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.02);
+  EXPECT_NEAR(t4 / t1, 4.0, 0.04);
+}
+
+TEST(PhysicsProps, MachinePresetsAllBalance) {
+  // HPCSched must improve the imbalanced workload on every machine preset;
+  // the magnitude varies with the lever's strength.
+  for (const auto& [name, params] :
+       {std::pair<const char*, p5::ThroughputParams>{"power5", p5::ThroughputParams{}},
+        {"power6", p5::power6_params()},
+        {"cell", p5::cell_params()}}) {
+    analysis::ExperimentConfig base;
+    base.mode = analysis::SchedMode::kBaselineCfs;
+    base.kernel.throughput = params;
+    base.enable_noise = false;
+    const auto b = analysis::run_experiment(base, wl::make_metbench(small_metbench()));
+    analysis::ExperimentConfig uni = base;
+    uni.mode = analysis::SchedMode::kUniform;
+    const auto u = analysis::run_experiment(uni, wl::make_metbench(small_metbench()));
+    EXPECT_GT(analysis::improvement_pct(b, u), 3.0) << name;
+    EXPECT_LT(analysis::improvement_pct(b, u), 30.0) << name;
+  }
+}
+
+TEST(PhysicsProps, MasterModeMetBenchCompletes) {
+  // The paper's framework has a master process; with 5 tasks on 4 CPUs the
+  // balancer and scheduler must still converge and complete every iteration.
+  analysis::ExperimentConfig cfg;
+  cfg.mode = analysis::SchedMode::kUniform;
+  auto w = small_metbench();
+  w.include_master = true;
+  const auto r = analysis::run_experiment(cfg, wl::make_metbench(w));
+  ASSERT_EQ(r.ranks.size(), 5u);
+  for (const auto& marks : r.marks) EXPECT_EQ(marks.size(), 8u);
+  // The master computes almost nothing.
+  EXPECT_LT(r.ranks[4].util_pct, 5.0);
+}
+
+TEST(RuntimeHeuristicSwitch, SysfsSwapsTheHeuristic) {
+  sim::Simulator s;
+  kern::Kernel k(s, {});
+  auto& cls = hpc::install_hpcsched(k, {});
+  k.start();
+  EXPECT_STREQ(cls.heuristic().name(), "uniform");
+  EXPECT_EQ(k.sysfs().read("hpcsched/heuristic"), 0);
+  ASSERT_TRUE(k.sysfs().write("hpcsched/heuristic", 1));
+  EXPECT_STREQ(cls.heuristic().name(), "adaptive");
+  ASSERT_TRUE(k.sysfs().write("hpcsched/heuristic", 2));
+  EXPECT_STREQ(cls.heuristic().name(), "hybrid");
+  EXPECT_EQ(k.sysfs().read("hpcsched/heuristic"), 2);
+  EXPECT_FALSE(k.sysfs().write("hpcsched/heuristic", 9));
+  // The scheduler keeps working after a hot swap.
+  auto& light = k.create_task("light", std::make_unique<PeriodicBody>(
+                                            10.0e6, Duration::milliseconds(55)),
+                              kern::Policy::kHpcRr, 0);
+  auto& heavy = k.create_task("heavy", std::make_unique<PeriodicBody>(
+                                            40.0e6, Duration::milliseconds(2)),
+                              kern::Policy::kHpcRr, 1);
+  k.sched_setaffinity(light, 0);
+  k.sched_setaffinity(heavy, 1);
+  k.start_task(light);
+  k.start_task(heavy);
+  s.run(SimTime(std::int64_t{2} * 1000000000));
+  EXPECT_EQ(p5::to_int(heavy.hw_prio), 6);
+}
+
+}  // namespace
+}  // namespace hpcs::test

@@ -1,0 +1,150 @@
+// Cross-cutting property sweeps (parameterized): invariants that must hold
+// for ANY randomly generated workload — priority-range containment,
+// accounting conservation, no-harm of the HPC scheduler on synchronized
+// workloads, determinism, and heuristic convergence on constant imbalances.
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "common/rng.h"
+#include "workloads/metbench.h"
+
+namespace hpcs::analysis {
+namespace {
+
+/// Randomized MetBench-style workload: 4 workers with random loads.
+wl::MetBenchConfig random_metbench(Rng& rng) {
+  wl::MetBenchConfig cfg;
+  cfg.iterations = static_cast<int>(rng.uniform_int(5, 12));
+  cfg.loads.clear();
+  for (int i = 0; i < 4; ++i) {
+    cfg.loads.push_back(rng.uniform(0.05e9, 0.5e9));
+  }
+  return cfg;
+}
+
+class RandomWorkloadProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWorkloadProps, SchedulerInvariantsHold) {
+  Rng rng(GetParam());
+  const auto workload = random_metbench(rng);
+
+  ExperimentConfig cfg;
+  cfg.mode = SchedMode::kUniform;
+  cfg.seed = GetParam();
+  const auto uni = run_experiment(cfg, wl::make_metbench(workload));
+
+  // 1. Hardware priorities always within the supervisor-safe HPC window.
+  for (const auto& r : uni.ranks) {
+    EXPECT_GE(r.final_hw_prio, cfg.hpc.min_prio) << r.name;
+    EXPECT_LE(r.final_hw_prio, cfg.hpc.max_prio) << r.name;
+  }
+  // 2. Every rank completed all its iterations (no starvation/deadlock).
+  for (const auto& marks : uni.marks) {
+    EXPECT_EQ(marks.size(), static_cast<std::size_t>(workload.iterations));
+  }
+  // 3. Utilization is a valid percentage.
+  for (const auto& r : uni.ranks) {
+    EXPECT_GE(r.util_pct, 0.0);
+    EXPECT_LE(r.util_pct, 100.0 + 1e-6);
+  }
+
+  // 4. No-harm: on a barrier-synchronized workload the dynamic scheduler
+  // never loses more than a whisker against the baseline.
+  ExperimentConfig base_cfg = cfg;
+  base_cfg.mode = SchedMode::kBaselineCfs;
+  const auto base = run_experiment(base_cfg, wl::make_metbench(workload));
+  EXPECT_LT(uni.exec_time.ns(), static_cast<double>(base.exec_time.ns()) * 1.05)
+      << "uniform must not significantly hurt (base " << base.exec_time.sec() << "s, uniform "
+      << uni.exec_time.sec() << "s)";
+
+  // 5. Determinism: the identical configuration reproduces exactly.
+  const auto replay = run_experiment(cfg, wl::make_metbench(workload));
+  EXPECT_EQ(replay.exec_time.ns(), uni.exec_time.ns());
+  EXPECT_EQ(replay.hw_prio_changes, uni.hw_prio_changes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadProps,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+class ConvergenceProps : public ::testing::TestWithParam<double> {};
+
+// For any constant pairwise imbalance ratio, the Uniform heuristic reaches a
+// stable priority assignment quickly and stops changing it (the paper's
+// "stable state" requirement).
+TEST_P(ConvergenceProps, UniformReachesStableState) {
+  const double ratio = GetParam();
+  wl::MetBenchConfig w;
+  w.iterations = 20;
+  const double large = 0.4e9;
+  w.loads = {large / ratio, large, large / ratio, large};
+
+  ExperimentConfig cfg;
+  cfg.mode = SchedMode::kUniform;
+  cfg.seed = 5;
+  const auto r = run_experiment(cfg, wl::make_metbench(w));
+  // Ratios the +/-2 window can represent settle after a couple of writes.
+  // In-between ratios (e.g. 3:1, between the diff-1 and diff-2 operating
+  // points) oscillate between two solutions — the paper acknowledges this
+  // regime — but the churn stays bounded (<~1 write per iteration, not a
+  // write per wakeup).
+  // Clean operating points: ratios matching the diff-1 / diff-2 speed
+  // ratios (or mild enough to need nothing), plus extreme ratios where the
+  // light task's utilization stays unambiguously in the low band. Ratios in
+  // between (3:1, 6:1) boundary-ride a classification edge and oscillate.
+  const bool representable = ratio <= 2.0 || ratio == 4.0 || ratio >= 10.0;
+  EXPECT_LE(r.hw_prio_changes, representable ? 12 : 2 * w.iterations) << "ratio " << ratio;
+  // The heavy ranks must end prioritized for ratios the window can address.
+  if (ratio >= 2.0) {
+    EXPECT_GT(r.ranks[1].final_hw_prio, 4) << "ratio " << ratio;
+    EXPECT_GT(r.ranks[3].final_hw_prio, 4) << "ratio " << ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ConvergenceProps,
+                         ::testing::Values(1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 10.0));
+
+class NoiseLevelProps : public ::testing::TestWithParam<int> {};
+
+// The scheduler must stay stable (no runaway priority churn) across OS-noise
+// intensities.
+TEST_P(NoiseLevelProps, PriorityChurnBounded) {
+  wl::MetBenchConfig w;
+  w.iterations = 15;
+  w.loads = {0.1e9, 0.4e9, 0.1e9, 0.4e9};
+
+  ExperimentConfig cfg;
+  cfg.mode = SchedMode::kUniform;
+  cfg.seed = 17;
+  cfg.noise.burst = Duration::microseconds(GetParam());
+  const auto r = run_experiment(cfg, wl::make_metbench(w));
+  EXPECT_LE(r.hw_prio_changes, 4 * w.iterations)
+      << "burst " << GetParam() << "us caused priority churn";
+  for (const auto& marks : r.marks) EXPECT_EQ(marks.size(), 15u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BurstUs, NoiseLevelProps, ::testing::Values(0, 20, 50, 200, 1000));
+
+TEST(FailureInjection, DeadlineAbortsCleanly) {
+  // A workload that cannot finish by the deadline must abort loudly (the
+  // harness refuses to return bogus results).
+  wl::MetBenchConfig w;
+  w.iterations = 1000000;
+  ExperimentConfig cfg;
+  cfg.deadline = SimTime(1000000);  // 1 ms
+  EXPECT_DEATH(run_experiment(cfg, wl::make_metbench(w)), "deadline");
+}
+
+TEST(FailureInjection, MismatchedStaticPriosAreIgnoredBeyondRanks) {
+  wl::MetBenchConfig w;
+  w.iterations = 3;
+  ExperimentConfig cfg;
+  cfg.mode = SchedMode::kStatic;
+  cfg.static_prios = {4, 6};  // fewer entries than ranks: rest default
+  const auto r = run_experiment(cfg, wl::make_metbench(w));
+  EXPECT_EQ(r.ranks[1].final_hw_prio, 6);
+  EXPECT_EQ(r.ranks[2].final_hw_prio, 4);
+}
+
+}  // namespace
+}  // namespace hpcs::analysis

@@ -1,0 +1,151 @@
+// Property tests of the CFS red-black tree: RB invariants hold after
+// arbitrary insert/erase sequences, in-order traversal is sorted, the cached
+// leftmost pointer always matches the true minimum.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernel/rbtree.h"
+
+namespace hpcs::kern {
+namespace {
+
+using Tree = RbTree<int, int>;
+
+TEST(RbTree, EmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.leftmost(), nullptr);
+  EXPECT_EQ(t.leftmost_key(), nullptr);
+  t.validate();
+}
+
+TEST(RbTree, InsertFindErase) {
+  Tree t;
+  EXPECT_TRUE(t.insert(5, 50));
+  EXPECT_TRUE(t.insert(3, 30));
+  EXPECT_TRUE(t.insert(8, 80));
+  EXPECT_FALSE(t.insert(5, 99));  // duplicate rejected
+  EXPECT_EQ(t.size(), 3u);
+  ASSERT_NE(t.find(3), nullptr);
+  EXPECT_EQ(*t.find(3), 30);
+  EXPECT_EQ(t.find(4), nullptr);
+  EXPECT_TRUE(t.erase(3));
+  EXPECT_FALSE(t.erase(3));
+  EXPECT_EQ(t.size(), 2u);
+  t.validate();
+}
+
+TEST(RbTree, LeftmostTracksMinimum) {
+  Tree t;
+  t.insert(10, 0);
+  ASSERT_NE(t.leftmost_key(), nullptr);
+  EXPECT_EQ(*t.leftmost_key(), 10);
+  t.insert(5, 0);
+  EXPECT_EQ(*t.leftmost_key(), 5);
+  t.insert(7, 0);
+  EXPECT_EQ(*t.leftmost_key(), 5);
+  t.erase(5);
+  EXPECT_EQ(*t.leftmost_key(), 7);
+  t.erase(7);
+  EXPECT_EQ(*t.leftmost_key(), 10);
+  t.erase(10);
+  EXPECT_EQ(t.leftmost_key(), nullptr);
+}
+
+TEST(RbTree, InOrderTraversalSorted) {
+  Tree t;
+  const std::vector<int> keys = {41, 38, 31, 12, 19, 8, 45, 99, 1};
+  for (int k : keys) t.insert(k, k * 10);
+  std::vector<int> seen;
+  t.for_each([&](const int& k, const int& v) {
+    seen.push_back(k);
+    EXPECT_EQ(v, k * 10);
+  });
+  std::vector<int> expect = keys;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(RbTree, AscendingInsertStaysBalanced) {
+  Tree t;
+  for (int i = 0; i < 4096; ++i) t.insert(i, i);
+  const int bh = t.validate();
+  // A red-black tree of n nodes has height <= 2*log2(n+1); black-height is
+  // at most log2(n+1)+1.
+  EXPECT_LE(bh, 14);
+  ASSERT_NE(t.leftmost_key(), nullptr);
+  EXPECT_EQ(*t.leftmost_key(), 0);
+}
+
+TEST(RbTree, DescendingInsertStaysBalanced) {
+  Tree t;
+  for (int i = 4096; i > 0; --i) t.insert(i, i);
+  t.validate();
+  EXPECT_EQ(*t.leftmost_key(), 1);
+}
+
+TEST(RbTree, ClearResets) {
+  Tree t;
+  for (int i = 0; i < 100; ++i) t.insert(i, i);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.leftmost(), nullptr);
+  t.validate();
+  EXPECT_TRUE(t.insert(1, 1));
+}
+
+// Property test: random interleaved inserts and erases mirrored against a
+// std::map oracle, with full invariant validation along the way.
+class RbTreeRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RbTreeRandomTest, MatchesMapOracle) {
+  Rng rng(GetParam());
+  Tree t;
+  std::map<int, int> oracle;
+  for (int round = 0; round < 4000; ++round) {
+    const int key = static_cast<int>(rng.uniform_int(0, 500));
+    if (rng.uniform() < 0.55) {
+      const int val = static_cast<int>(rng.uniform_int(0, 1 << 20));
+      const bool inserted = t.insert(key, val);
+      const bool expect = oracle.emplace(key, val).second;
+      EXPECT_EQ(inserted, expect);
+    } else {
+      EXPECT_EQ(t.erase(key), oracle.erase(key) > 0);
+    }
+    if (round % 97 == 0) {
+      t.validate();
+      EXPECT_EQ(t.size(), oracle.size());
+      if (!oracle.empty()) {
+        ASSERT_NE(t.leftmost_key(), nullptr);
+        EXPECT_EQ(*t.leftmost_key(), oracle.begin()->first);
+        EXPECT_EQ(*t.leftmost(), oracle.begin()->second);
+      } else {
+        EXPECT_EQ(t.leftmost_key(), nullptr);
+      }
+    }
+  }
+  t.validate();
+  // Full content check at the end.
+  std::vector<std::pair<int, int>> contents;
+  t.for_each([&](const int& k, const int& v) { contents.emplace_back(k, v); });
+  EXPECT_EQ(contents.size(), oracle.size());
+  auto it = oracle.begin();
+  for (const auto& [k, v] : contents) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbTreeRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace hpcs::kern

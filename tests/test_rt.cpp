@@ -1,0 +1,149 @@
+// Real-time class semantics: strict class ordering over CFS, FIFO
+// run-to-block, RR rotation on slice expiry, priority ordering within the
+// class, wakeup preemption rules.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hpcs::test {
+namespace {
+
+using kern::Policy;
+
+TEST(RtClass, RtStarvesCfsWhileRunnable) {
+  KernelFixture f;
+  f.k().start();
+  auto& rt = f.k().create_task("rt", std::make_unique<HogBody>(), Policy::kFifo, 0);
+  auto& cfs = f.k().create_task("cfs", std::make_unique<HogBody>(), Policy::kNormal, 0);
+  f.k().sched_setaffinity(rt, 0);
+  f.k().sched_setaffinity(cfs, 0);
+  f.k().start_task(cfs);
+  f.k().start_task(rt);
+  f.run_until(Duration::seconds(1.0));
+  f.k().flush_account(rt);
+  f.k().flush_account(cfs);
+  EXPECT_GT(rt.t_run, Duration::milliseconds(950));
+  EXPECT_LT(cfs.t_run, Duration::milliseconds(10));
+}
+
+TEST(RtClass, HigherRtPriorityWins) {
+  KernelFixture f;
+  f.k().start();
+  auto& hi = f.k().create_task("hi", std::make_unique<HogBody>(), Policy::kFifo, 0);
+  auto& lo = f.k().create_task("lo", std::make_unique<HogBody>(), Policy::kFifo, 0);
+  f.k().sched_setaffinity(hi, 0);
+  f.k().sched_setaffinity(lo, 0);
+  f.k().sched_setscheduler(hi, Policy::kFifo, 10);
+  f.k().sched_setscheduler(lo, Policy::kFifo, 20);  // numerically larger = lower prio
+  f.k().start_task(lo);
+  f.k().start_task(hi);
+  f.run_until(Duration::milliseconds(500));
+  f.k().flush_account(hi);
+  f.k().flush_account(lo);
+  EXPECT_GT(hi.t_run, Duration::milliseconds(490));
+  EXPECT_LT(lo.t_run, Duration::milliseconds(5));
+}
+
+TEST(RtClass, FifoRunsToBlockNoRotation) {
+  KernelFixture f;
+  f.k().start();
+  auto& a = f.k().create_task("a", std::make_unique<HogBody>(), Policy::kFifo, 0);
+  auto& b = f.k().create_task("b", std::make_unique<HogBody>(), Policy::kFifo, 0);
+  f.k().sched_setaffinity(a, 0);
+  f.k().sched_setaffinity(b, 0);
+  f.k().start_task(a);
+  f.k().start_task(b);
+  f.run_until(Duration::seconds(1.0));
+  f.k().flush_account(a);
+  f.k().flush_account(b);
+  // SCHED_FIFO: first task keeps the CPU; the peer never runs.
+  EXPECT_GT(a.t_run, Duration::milliseconds(990));
+  EXPECT_EQ(b.nr_switches, 0);
+}
+
+TEST(RtClass, RrRotatesOnSliceExpiry) {
+  kern::KernelConfig cfg;
+  cfg.rt_rr_slice = Duration::milliseconds(20);
+  KernelFixture f(cfg);
+  f.k().start();
+  auto& a = f.k().create_task("a", std::make_unique<HogBody>(), Policy::kRr, 0);
+  auto& b = f.k().create_task("b", std::make_unique<HogBody>(), Policy::kRr, 0);
+  f.k().sched_setaffinity(a, 0);
+  f.k().sched_setaffinity(b, 0);
+  f.k().start_task(a);
+  f.k().start_task(b);
+  f.run_until(Duration::seconds(1.0));
+  f.k().flush_account(a);
+  f.k().flush_account(b);
+  const double share = a.t_run / (a.t_run + b.t_run);
+  EXPECT_NEAR(share, 0.5, 0.05);
+  EXPECT_GT(a.nr_switches, 15);  // ~25 rotations/second each
+}
+
+TEST(RtClass, RtWakeupPreemptsCfsImmediately) {
+  KernelFixture f;
+  f.k().start();
+  auto& cfs = f.k().create_task("cfs", std::make_unique<HogBody>(), Policy::kNormal, 0);
+  auto& rt = f.k().create_task("rt", std::make_unique<PeriodicBody>(
+                                          0.1e6, Duration::milliseconds(10)),
+                               Policy::kFifo, 0);
+  f.k().sched_setaffinity(cfs, 0);
+  f.k().sched_setaffinity(rt, 0);
+  f.k().start_task(cfs);
+  f.k().start_task(rt);
+  f.run_until(Duration::seconds(1.0));
+  EXPECT_GT(rt.nr_wakeups, 50);
+  // RT wakeup cost is 2 us; preemption of CFS is immediate.
+  EXPECT_LT(rt.wakeup_latency_us.mean(), 10.0);
+}
+
+TEST(RtClass, EqualRtPriorityDoesNotWakeupPreempt) {
+  KernelFixture f;
+  f.k().start();
+  auto& runner = f.k().create_task("runner", std::make_unique<HogBody>(), Policy::kFifo, 0);
+  auto& waker = f.k().create_task("waker", std::make_unique<PeriodicBody>(
+                                               0.1e6, Duration::milliseconds(10)),
+                                  Policy::kFifo, 0);
+  f.k().sched_setaffinity(runner, 0);
+  f.k().sched_setaffinity(waker, 0);
+  f.k().start_task(runner);
+  f.k().start_task(waker);
+  f.run_until(Duration::seconds(1.0));
+  // Same priority FIFO: the waker never gets the CPU back from the hog.
+  f.k().flush_account(waker);
+  EXPECT_LT(waker.t_run, Duration::milliseconds(5));
+}
+
+TEST(RtClass, SetschedulerSwitchesClassAtRuntime) {
+  KernelFixture f;
+  f.k().start();
+  auto& a = f.k().create_task("a", std::make_unique<HogBody>(), Policy::kNormal, 0);
+  auto& b = f.k().create_task("b", std::make_unique<HogBody>(), Policy::kNormal, 0);
+  f.k().sched_setaffinity(a, 0);
+  f.k().sched_setaffinity(b, 0);
+  f.k().start_task(a);
+  f.k().start_task(b);
+  f.run_until(Duration::milliseconds(200));
+  // Promote b to RT: it must take over the CPU entirely.
+  EXPECT_TRUE(f.k().sched_setscheduler(b, Policy::kFifo, 10));
+  f.k().flush_account(a);
+  const Duration a_before = a.t_run;
+  f.run_until(Duration::milliseconds(700));
+  f.k().flush_account(a);
+  f.k().flush_account(b);
+  EXPECT_LT((a.t_run - a_before).ms(), 5.0);
+  EXPECT_GT(b.t_run, Duration::milliseconds(300));
+}
+
+TEST(RtClass, InvalidPriorityRejected) {
+  KernelFixture f;
+  f.k().start();
+  auto& t = f.k().create_task("t", std::make_unique<HogBody>(), Policy::kNormal, 0);
+  EXPECT_FALSE(f.k().sched_setscheduler(t, Policy::kFifo, -1));
+  EXPECT_FALSE(f.k().sched_setscheduler(t, Policy::kFifo, 100));
+  EXPECT_TRUE(f.k().sched_setscheduler(t, Policy::kFifo, 99));
+}
+
+}  // namespace
+}  // namespace hpcs::test

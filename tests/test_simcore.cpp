@@ -1,0 +1,183 @@
+// Unit and property tests of the discrete-event core: ordering, FIFO
+// tie-breaking, cancellation semantics, determinism.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "simcore/simulator.h"
+
+namespace hpcs::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime(30), [&] { order.push_back(3); });
+  q.schedule(SimTime(10), [&] { order.push_back(1); });
+  q.schedule(SimTime(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule(SimTime(10), [&] { fired = true; });
+  EXPECT_TRUE(q.pending(h));
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.pending(h));
+  EXPECT_FALSE(q.cancel(h));  // second cancel is a no-op
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  EventHandle h = q.schedule(SimTime(1), [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(q.pending(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, SlotRecyclingKeepsHandlesDistinct) {
+  EventQueue q;
+  EventHandle h1 = q.schedule(SimTime(1), [] {});
+  q.pop_and_run();
+  // The recycled slot must not make the stale handle valid again.
+  EventHandle h2 = q.schedule(SimTime(2), [] {});
+  EXPECT_FALSE(q.pending(h1));
+  EXPECT_TRUE(q.pending(h2));
+  EXPECT_FALSE(q.cancel(h1));
+  EXPECT_TRUE(q.cancel(h2));
+}
+
+TEST(EventQueue, SizeCountsLiveEventsOnly) {
+  EventQueue q;
+  EventHandle a = q.schedule(SimTime(1), [] {});
+  q.schedule(SimTime(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), SimTime(2));
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator s;
+  SimTime seen = SimTime::zero();
+  s.schedule_in(Duration(100), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, SimTime(100));
+  EXPECT_EQ(s.now(), SimTime(100));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 5) s.schedule_in(Duration(10), recur);
+  };
+  s.schedule_in(Duration(10), recur);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), SimTime(50));
+}
+
+TEST(Simulator, RunRespectsDeadline) {
+  Simulator s;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_in(Duration(i * 10), [&] { ++fired; });
+  }
+  s.run(SimTime(50));
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(s.now(), SimTime(50));
+  s.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator s;
+  SimTime when = SimTime::max();
+  s.schedule_in(Duration(5), [&] {
+    s.schedule_in(Duration::zero(), [&] { when = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(when, SimTime(5));
+}
+
+// Property: a random schedule/cancel workload never fires cancelled events,
+// fires everything else exactly once, and in non-decreasing time order.
+TEST(EventQueueProperty, RandomScheduleCancelStress) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    EventQueue q;
+    std::vector<EventHandle> handles;
+    std::vector<int> fired_count(2000, 0);
+    std::vector<bool> cancelled(2000, false);
+    SimTime last_fired = SimTime::zero();
+    int next_id = 0;
+
+    for (int round = 0; round < 2000; ++round) {
+      const double dice = rng.uniform();
+      if (dice < 0.6 || q.empty()) {
+        const int id = next_id++;
+        const SimTime when(rng.uniform_int(0, 100000));
+        if (id < 2000) {
+          handles.push_back(q.schedule(when, [&fired_count, id] { ++fired_count[static_cast<std::size_t>(id)]; }));
+        }
+      } else if (dice < 0.8 && !handles.empty()) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(handles.size()) - 1));
+        if (q.cancel(handles[pick])) {
+          cancelled[pick] = true;
+        }
+      }
+    }
+    // Drain; events may be in the "past" relative to each other but must pop
+    // in non-decreasing order.
+    while (!q.empty()) {
+      const SimTime t = q.next_time();
+      EXPECT_GE(t, last_fired);
+      last_fired = t;
+      q.pop_and_run();
+    }
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (cancelled[i]) {
+        EXPECT_EQ(fired_count[i], 0) << "cancelled event " << i << " fired";
+      } else {
+        EXPECT_EQ(fired_count[i], 1) << "event " << i << " fired " << fired_count[i] << " times";
+      }
+    }
+  }
+}
+
+// Determinism: two identical runs produce the identical firing order.
+TEST(EventQueueProperty, DeterministicReplay) {
+  auto run_once = [](std::uint64_t seed) {
+    Rng rng(seed);
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 500; ++i) {
+      s.schedule_at(SimTime(rng.uniform_int(0, 1000)), [&order, i] { order.push_back(i); });
+    }
+    s.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+}  // namespace
+}  // namespace hpcs::sim

@@ -1,0 +1,61 @@
+// Sweep-harness tests: row derivation, baseline-relative improvement, CSV
+// format, text rendering.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/sweep.h"
+#include "workloads/metbench.h"
+
+namespace hpcs::analysis {
+namespace {
+
+SweepPoint point(const std::string& label, SchedMode mode) {
+  SweepPoint p;
+  p.label = label;
+  p.config.mode = mode;
+  p.config.seed = 4;
+  if (mode == SchedMode::kStatic) p.config.static_prios = {4, 6, 4, 6};
+  wl::MetBenchConfig w;
+  w.iterations = 6;
+  w.loads = {0.1e9, 0.4e9, 0.1e9, 0.4e9};
+  p.workload = [w] { return wl::make_metbench(w); };
+  return p;
+}
+
+TEST(Sweep, RowsAndImprovement) {
+  const auto rows = run_sweep({point("baseline", SchedMode::kBaselineCfs),
+                               point("static", SchedMode::kStatic),
+                               point("uniform", SchedMode::kUniform)});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].label, "baseline");
+  EXPECT_DOUBLE_EQ(rows[0].improvement_vs_first_pct, 0.0);
+  EXPECT_GT(rows[1].improvement_vs_first_pct, 5.0);
+  EXPECT_GT(rows[2].improvement_vs_first_pct, 5.0);
+  EXPECT_GT(rows[2].prio_changes, 0);
+  EXPECT_LT(rows[0].min_util, 35.0);
+  EXPECT_GT(rows[0].max_util, 95.0);
+  EXPECT_GT(rows[0].mean_imbalance, rows[2].mean_imbalance);
+}
+
+TEST(Sweep, CsvFormat) {
+  const auto rows = run_sweep({point("base", SchedMode::kBaselineCfs)});
+  std::ostringstream os;
+  write_sweep_csv(os, rows);
+  const std::string s = os.str();
+  EXPECT_EQ(s.rfind("label,exec_s,", 0), 0u);
+  EXPECT_NE(s.find("\nbase,"), std::string::npos);
+}
+
+TEST(Sweep, TextRendering) {
+  const auto rows = run_sweep({point("base", SchedMode::kBaselineCfs),
+                               point("uni", SchedMode::kUniform)});
+  const std::string s = render_sweep(rows);
+  EXPECT_NE(s.find("base"), std::string::npos);
+  EXPECT_NE(s.find("uni"), std::string::npos);
+  EXPECT_NE(s.find("improve"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcs::analysis
