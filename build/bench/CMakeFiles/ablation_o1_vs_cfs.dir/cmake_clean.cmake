@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_o1_vs_cfs.dir/ablation_o1_vs_cfs.cpp.o"
+  "CMakeFiles/ablation_o1_vs_cfs.dir/ablation_o1_vs_cfs.cpp.o.d"
+  "ablation_o1_vs_cfs"
+  "ablation_o1_vs_cfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_o1_vs_cfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_throughput.dir/ablation_throughput.cpp.o"
+  "CMakeFiles/ablation_throughput.dir/ablation_throughput.cpp.o.d"
+  "ablation_throughput"
+  "ablation_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

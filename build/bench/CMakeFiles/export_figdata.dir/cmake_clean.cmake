@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_figdata.dir/export_figdata.cpp.o"
+  "CMakeFiles/export_figdata.dir/export_figdata.cpp.o.d"
+  "export_figdata"
+  "export_figdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_figdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cluster_gang.dir/ext_cluster_gang.cpp.o"
+  "CMakeFiles/ext_cluster_gang.dir/ext_cluster_gang.cpp.o.d"
+  "ext_cluster_gang"
+  "ext_cluster_gang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cluster_gang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

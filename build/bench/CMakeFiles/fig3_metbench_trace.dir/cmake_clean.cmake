@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_metbench_trace.dir/fig3_metbench_trace.cpp.o"
+  "CMakeFiles/fig3_metbench_trace.dir/fig3_metbench_trace.cpp.o.d"
+  "fig3_metbench_trace"
+  "fig3_metbench_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_metbench_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_decode_cycles.dir/table1_decode_cycles.cpp.o"
+  "CMakeFiles/table1_decode_cycles.dir/table1_decode_cycles.cpp.o.d"
+  "table1_decode_cycles"
+  "table1_decode_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_decode_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_metbench.dir/table3_metbench.cpp.o"
+  "CMakeFiles/table3_metbench.dir/table3_metbench.cpp.o.d"
+  "table3_metbench"
+  "table3_metbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_metbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

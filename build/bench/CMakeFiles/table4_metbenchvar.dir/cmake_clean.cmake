@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_metbenchvar.dir/table4_metbenchvar.cpp.o"
+  "CMakeFiles/table4_metbenchvar.dir/table4_metbenchvar.cpp.o.d"
+  "table4_metbenchvar"
+  "table4_metbenchvar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_metbenchvar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

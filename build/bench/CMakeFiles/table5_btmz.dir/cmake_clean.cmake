@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_btmz.dir/table5_btmz.cpp.o"
+  "CMakeFiles/table5_btmz.dir/table5_btmz.cpp.o.d"
+  "table5_btmz"
+  "table5_btmz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_btmz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

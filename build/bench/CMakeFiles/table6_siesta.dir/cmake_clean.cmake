@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_siesta.dir/table6_siesta.cpp.o"
+  "CMakeFiles/table6_siesta.dir/table6_siesta.cpp.o.d"
+  "table6_siesta"
+  "table6_siesta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_siesta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

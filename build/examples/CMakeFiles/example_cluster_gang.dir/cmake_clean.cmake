@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cluster_gang.dir/cluster_gang.cpp.o"
+  "CMakeFiles/example_cluster_gang.dir/cluster_gang.cpp.o.d"
+  "example_cluster_gang"
+  "example_cluster_gang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cluster_gang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

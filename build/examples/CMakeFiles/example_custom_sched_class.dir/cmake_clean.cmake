@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_sched_class.dir/custom_sched_class.cpp.o"
+  "CMakeFiles/example_custom_sched_class.dir/custom_sched_class.cpp.o.d"
+  "example_custom_sched_class"
+  "example_custom_sched_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_sched_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

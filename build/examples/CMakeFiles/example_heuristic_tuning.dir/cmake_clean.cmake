@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heuristic_tuning.dir/heuristic_tuning.cpp.o"
+  "CMakeFiles/example_heuristic_tuning.dir/heuristic_tuning.cpp.o.d"
+  "example_heuristic_tuning"
+  "example_heuristic_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heuristic_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

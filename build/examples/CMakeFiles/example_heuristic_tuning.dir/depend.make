@@ -1,0 +1,2 @@
+# Empty dependencies file for example_heuristic_tuning.
+# This may be replaced when dependencies are built.

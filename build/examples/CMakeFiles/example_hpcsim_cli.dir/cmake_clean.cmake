@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hpcsim_cli.dir/hpcsim_cli.cpp.o"
+  "CMakeFiles/example_hpcsim_cli.dir/hpcsim_cli.cpp.o.d"
+  "example_hpcsim_cli"
+  "example_hpcsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hpcsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

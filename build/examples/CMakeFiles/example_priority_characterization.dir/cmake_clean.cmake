@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_priority_characterization.dir/priority_characterization.cpp.o"
+  "CMakeFiles/example_priority_characterization.dir/priority_characterization.cpp.o.d"
+  "example_priority_characterization"
+  "example_priority_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_priority_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

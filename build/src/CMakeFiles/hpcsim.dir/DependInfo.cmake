@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/experiment.cpp" "src/CMakeFiles/hpcsim.dir/analysis/experiment.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/analysis/experiment.cpp.o.d"
+  "/root/repo/src/analysis/iterations.cpp" "src/CMakeFiles/hpcsim.dir/analysis/iterations.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/analysis/iterations.cpp.o.d"
+  "/root/repo/src/analysis/paper_experiments.cpp" "src/CMakeFiles/hpcsim.dir/analysis/paper_experiments.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/analysis/paper_experiments.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/hpcsim.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "src/CMakeFiles/hpcsim.dir/analysis/sweep.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/analysis/sweep.cpp.o.d"
+  "/root/repo/src/analysis/tables.cpp" "src/CMakeFiles/hpcsim.dir/analysis/tables.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/analysis/tables.cpp.o.d"
+  "/root/repo/src/cluster/gang.cpp" "src/CMakeFiles/hpcsim.dir/cluster/gang.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/cluster/gang.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/hpcsim.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/hpcsim.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/CMakeFiles/hpcsim.dir/common/types.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/common/types.cpp.o.d"
+  "/root/repo/src/hpcsched/heuristics.cpp" "src/CMakeFiles/hpcsim.dir/hpcsched/heuristics.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/hpcsched/heuristics.cpp.o.d"
+  "/root/repo/src/hpcsched/hpc_class.cpp" "src/CMakeFiles/hpcsim.dir/hpcsched/hpc_class.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/hpcsched/hpc_class.cpp.o.d"
+  "/root/repo/src/hpcsched/hpcsched.cpp" "src/CMakeFiles/hpcsim.dir/hpcsched/hpcsched.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/hpcsched/hpcsched.cpp.o.d"
+  "/root/repo/src/hpcsched/imbalance_detector.cpp" "src/CMakeFiles/hpcsim.dir/hpcsched/imbalance_detector.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/hpcsched/imbalance_detector.cpp.o.d"
+  "/root/repo/src/hpcsched/iteration_tracker.cpp" "src/CMakeFiles/hpcsim.dir/hpcsched/iteration_tracker.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/hpcsched/iteration_tracker.cpp.o.d"
+  "/root/repo/src/hpcsched/mechanism.cpp" "src/CMakeFiles/hpcsim.dir/hpcsched/mechanism.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/hpcsched/mechanism.cpp.o.d"
+  "/root/repo/src/kernel/cfs_class.cpp" "src/CMakeFiles/hpcsim.dir/kernel/cfs_class.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/kernel/cfs_class.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/CMakeFiles/hpcsim.dir/kernel/kernel.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/kernel/kernel.cpp.o.d"
+  "/root/repo/src/kernel/noise.cpp" "src/CMakeFiles/hpcsim.dir/kernel/noise.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/kernel/noise.cpp.o.d"
+  "/root/repo/src/kernel/o1_class.cpp" "src/CMakeFiles/hpcsim.dir/kernel/o1_class.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/kernel/o1_class.cpp.o.d"
+  "/root/repo/src/kernel/rt_class.cpp" "src/CMakeFiles/hpcsim.dir/kernel/rt_class.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/kernel/rt_class.cpp.o.d"
+  "/root/repo/src/kernel/sysfs.cpp" "src/CMakeFiles/hpcsim.dir/kernel/sysfs.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/kernel/sysfs.cpp.o.d"
+  "/root/repo/src/power5/chip.cpp" "src/CMakeFiles/hpcsim.dir/power5/chip.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/power5/chip.cpp.o.d"
+  "/root/repo/src/power5/cycle_sim.cpp" "src/CMakeFiles/hpcsim.dir/power5/cycle_sim.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/power5/cycle_sim.cpp.o.d"
+  "/root/repo/src/power5/hw_priority.cpp" "src/CMakeFiles/hpcsim.dir/power5/hw_priority.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/power5/hw_priority.cpp.o.d"
+  "/root/repo/src/power5/priority_isa.cpp" "src/CMakeFiles/hpcsim.dir/power5/priority_isa.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/power5/priority_isa.cpp.o.d"
+  "/root/repo/src/power5/smt_core.cpp" "src/CMakeFiles/hpcsim.dir/power5/smt_core.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/power5/smt_core.cpp.o.d"
+  "/root/repo/src/power5/throughput.cpp" "src/CMakeFiles/hpcsim.dir/power5/throughput.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/power5/throughput.cpp.o.d"
+  "/root/repo/src/simcore/event_queue.cpp" "src/CMakeFiles/hpcsim.dir/simcore/event_queue.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/simcore/event_queue.cpp.o.d"
+  "/root/repo/src/simcore/simulator.cpp" "src/CMakeFiles/hpcsim.dir/simcore/simulator.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/simcore/simulator.cpp.o.d"
+  "/root/repo/src/simmpi/mpi_world.cpp" "src/CMakeFiles/hpcsim.dir/simmpi/mpi_world.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/simmpi/mpi_world.cpp.o.d"
+  "/root/repo/src/simmpi/network.cpp" "src/CMakeFiles/hpcsim.dir/simmpi/network.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/simmpi/network.cpp.o.d"
+  "/root/repo/src/trace/csv.cpp" "src/CMakeFiles/hpcsim.dir/trace/csv.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/trace/csv.cpp.o.d"
+  "/root/repo/src/trace/gantt.cpp" "src/CMakeFiles/hpcsim.dir/trace/gantt.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/trace/gantt.cpp.o.d"
+  "/root/repo/src/trace/paraver.cpp" "src/CMakeFiles/hpcsim.dir/trace/paraver.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/trace/paraver.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/CMakeFiles/hpcsim.dir/trace/tracer.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/trace/tracer.cpp.o.d"
+  "/root/repo/src/workloads/btmz.cpp" "src/CMakeFiles/hpcsim.dir/workloads/btmz.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/workloads/btmz.cpp.o.d"
+  "/root/repo/src/workloads/metbench.cpp" "src/CMakeFiles/hpcsim.dir/workloads/metbench.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/workloads/metbench.cpp.o.d"
+  "/root/repo/src/workloads/metbenchvar.cpp" "src/CMakeFiles/hpcsim.dir/workloads/metbenchvar.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/workloads/metbenchvar.cpp.o.d"
+  "/root/repo/src/workloads/repartition.cpp" "src/CMakeFiles/hpcsim.dir/workloads/repartition.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/workloads/repartition.cpp.o.d"
+  "/root/repo/src/workloads/siesta.cpp" "src/CMakeFiles/hpcsim.dir/workloads/siesta.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/workloads/siesta.cpp.o.d"
+  "/root/repo/src/workloads/wavefront.cpp" "src/CMakeFiles/hpcsim.dir/workloads/wavefront.cpp.o" "gcc" "src/CMakeFiles/hpcsim.dir/workloads/wavefront.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balancer.dir/test_balancer.cpp.o"
+  "CMakeFiles/test_balancer.dir/test_balancer.cpp.o.d"
+  "test_balancer"
+  "test_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

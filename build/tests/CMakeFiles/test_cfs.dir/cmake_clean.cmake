@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfs.dir/test_cfs.cpp.o"
+  "CMakeFiles/test_cfs.dir/test_cfs.cpp.o.d"
+  "test_cfs"
+  "test_cfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

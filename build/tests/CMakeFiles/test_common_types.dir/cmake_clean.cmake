@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_types.dir/test_common_types.cpp.o"
+  "CMakeFiles/test_common_types.dir/test_common_types.cpp.o.d"
+  "test_common_types"
+  "test_common_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gantt_extra.dir/test_gantt_extra.cpp.o"
+  "CMakeFiles/test_gantt_extra.dir/test_gantt_extra.cpp.o.d"
+  "test_gantt_extra"
+  "test_gantt_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gantt_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

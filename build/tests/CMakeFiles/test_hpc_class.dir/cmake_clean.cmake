@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpc_class.dir/test_hpc_class.cpp.o"
+  "CMakeFiles/test_hpc_class.dir/test_hpc_class.cpp.o.d"
+  "test_hpc_class"
+  "test_hpc_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpc_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpcsched_unit.dir/test_hpcsched_unit.cpp.o"
+  "CMakeFiles/test_hpcsched_unit.dir/test_hpcsched_unit.cpp.o.d"
+  "test_hpcsched_unit"
+  "test_hpcsched_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpcsched_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

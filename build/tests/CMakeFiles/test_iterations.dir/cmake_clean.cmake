@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iterations.dir/test_iterations.cpp.o"
+  "CMakeFiles/test_iterations.dir/test_iterations.cpp.o.d"
+  "test_iterations"
+  "test_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_basic.dir/test_kernel_basic.cpp.o"
+  "CMakeFiles/test_kernel_basic.dir/test_kernel_basic.cpp.o.d"
+  "test_kernel_basic"
+  "test_kernel_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

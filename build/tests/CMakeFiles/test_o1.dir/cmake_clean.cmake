@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_o1.dir/test_o1.cpp.o"
+  "CMakeFiles/test_o1.dir/test_o1.cpp.o.d"
+  "test_o1"
+  "test_o1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_o1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power5.dir/test_power5.cpp.o"
+  "CMakeFiles/test_power5.dir/test_power5.cpp.o.d"
+  "test_power5"
+  "test_power5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
