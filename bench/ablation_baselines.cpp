@@ -10,12 +10,15 @@
 
 #include "analysis/paper_experiments.h"
 #include "analysis/sweep.h"
+#include "bench_json.h"
+#include "exp/parallel_runner.h"
 #include "workloads/repartition.h"
 
 using namespace hpcs;
 using analysis::SchedMode;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   std::printf("=== Solution groups of the related work (paper II-A) ===\n\n");
 
   // The same intrinsic 4:1 imbalance everywhere.
@@ -40,7 +43,7 @@ int main() {
   points.push_back(analysis::SweepPoint{"both combined", hpc_cfg,
                                         [repart] { return wl::make_repartition(repart); }});
 
-  const auto rows = analysis::run_sweep(points);
+  const auto rows = analysis::run_sweep(points, jobs);
   std::printf("%s\n", analysis::render_sweep(rows).c_str());
 
   std::printf(
@@ -60,6 +63,25 @@ int main() {
     periods.push_back(analysis::SweepPoint{"period " + std::to_string(p), base_cfg,
                                            [c] { return wl::make_repartition(c); }});
   }
-  std::printf("%s", analysis::render_sweep(analysis::run_sweep(periods)).c_str());
+  const auto period_rows = analysis::run_sweep(periods, jobs);
+  std::printf("%s", analysis::render_sweep(period_rows).c_str());
+
+  auto rows_json = [](const std::vector<analysis::SweepRow>& rs) {
+    std::vector<bench::JsonObject> out;
+    for (const analysis::SweepRow& r : rs) {
+      bench::JsonObject e;
+      e.field("label", r.label)
+          .field("exec_s", r.exec_s)
+          .field("mean_imbalance", r.mean_imbalance)
+          .field("improvement_vs_first_pct", r.improvement_vs_first_pct);
+      out.push_back(std::move(e));
+    }
+    return out;
+  };
+  bench::JsonObject root;
+  root.field("bench", "ablation_baselines").field("jobs", jobs);
+  root.array("solution_groups", rows_json(rows));
+  root.array("repartition_period_sweep", rows_json(period_rows));
+  bench::write_json_file("BENCH_ablation_baselines.json", root);
   return 0;
 }

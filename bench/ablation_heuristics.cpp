@@ -4,76 +4,128 @@
 //  2. LOW/HIGH utilization boundary sweep on MetBench.
 //  3. The Hybrid (future work) heuristic vs Uniform and Adaptive on both a
 //     constant and a dynamic application.
+//
+// Every run is independent, so the whole ablation fans across the parallel
+// experiment engine (--jobs N / HPCS_JOBS); results are collected into fixed
+// slots and printed in the original order afterwards.
 
 #include <cstdio>
+#include <functional>
+#include <utility>
+#include <vector>
 
 #include "analysis/paper_experiments.h"
+#include "bench_json.h"
+#include "exp/parallel_runner.h"
 
 using namespace hpcs;
 using analysis::SchedMode;
 
-namespace {
+int main(int argc, char** argv) {
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
 
-analysis::RunResult run_with(const analysis::ExperimentConfig& cfg,
-                             wl::ProgramSet programs) {
-  return analysis::run_experiment(cfg, std::move(programs));
-}
-
-}  // namespace
-
-int main() {
-  // --- 1. Adaptive G weight sweep -----------------------------------------
-  std::printf("=== Ablation 1: Adaptive G (history weight) on MetBenchVar ===\n");
   auto var = analysis::MetBenchVarExperiment::paper();
   // Quarter-scale loads for speed; dynamics are unchanged.
   for (auto& l : var.workload.loads_a) l /= 4.0;
   for (auto& l : var.workload.loads_b) l /= 4.0;
-  const auto var_base = analysis::run_metbenchvar(var, SchedMode::kBaselineCfs);
+  auto mb = analysis::MetBenchExperiment::paper();
+  mb.workload.iterations = 20;
+
+  const std::vector<int> g_values = {0, 10, 30, 50, 70, 90, 100};
+  const std::vector<std::pair<int, int>> bounds = {{50, 95}, {65, 85}, {40, 60}, {20, 95}, {80, 90}};
+
+  analysis::RunResult var_base, mb_base;
+  std::vector<analysis::RunResult> g_runs(g_values.size());
+  std::vector<analysis::RunResult> bound_runs(bounds.size());
+  analysis::RunResult mb_u, mb_a, mb_h, var_u, var_a, var_h;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&] { var_base = analysis::run_metbenchvar(var, SchedMode::kBaselineCfs); });
+  tasks.push_back([&] { mb_base = analysis::run_metbench(mb, SchedMode::kBaselineCfs); });
+  for (std::size_t i = 0; i < g_values.size(); ++i) {
+    tasks.push_back([&, i] {
+      analysis::ExperimentConfig cfg = analysis::paper_defaults(SchedMode::kAdaptive, 1, false);
+      cfg.hpc.adaptive_g_pct = g_values[i];
+      g_runs[i] = analysis::run_experiment(cfg, wl::make_metbenchvar(var.workload));
+    });
+  }
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    tasks.push_back([&, i] {
+      analysis::ExperimentConfig cfg = analysis::paper_defaults(SchedMode::kUniform, 1, false);
+      cfg.hpc.low_util = bounds[i].first;
+      cfg.hpc.high_util = bounds[i].second;
+      bound_runs[i] = analysis::run_experiment(cfg, wl::make_metbench(mb.workload));
+    });
+  }
+  tasks.push_back([&] { mb_u = analysis::run_metbench(mb, SchedMode::kUniform); });
+  tasks.push_back([&] { mb_a = analysis::run_metbench(mb, SchedMode::kAdaptive); });
+  tasks.push_back([&] { mb_h = analysis::run_metbench(mb, SchedMode::kHybrid); });
+  tasks.push_back([&] { var_u = analysis::run_metbenchvar(var, SchedMode::kUniform); });
+  tasks.push_back([&] { var_a = analysis::run_metbenchvar(var, SchedMode::kAdaptive); });
+  tasks.push_back([&] { var_h = analysis::run_metbenchvar(var, SchedMode::kHybrid); });
+
+  exp::ParallelRunner runner(jobs);
+  runner.run_all(std::move(tasks));
+
+  // --- 1. Adaptive G weight sweep -----------------------------------------
+  std::printf("=== Ablation 1: Adaptive G (history weight) on MetBenchVar ===\n");
   std::printf("%-8s %-12s %-12s %-10s\n", "G (%)", "exec (s)", "improve (%)", "prio chgs");
-  for (const int g : {0, 10, 30, 50, 70, 90, 100}) {
-    analysis::ExperimentConfig cfg = analysis::paper_defaults(SchedMode::kAdaptive, 1, false);
-    cfg.hpc.adaptive_g_pct = g;
-    const auto r = run_with(cfg, wl::make_metbenchvar(var.workload));
-    std::printf("%-8d %-12.2f %-+12.2f %-10lld\n", g, r.exec_time.sec(),
-                analysis::improvement_pct(var_base, r),
-                static_cast<long long>(r.hw_prio_changes));
+  for (std::size_t i = 0; i < g_values.size(); ++i) {
+    std::printf("%-8d %-12.2f %-+12.2f %-10lld\n", g_values[i], g_runs[i].exec_time.sec(),
+                analysis::improvement_pct(var_base, g_runs[i]),
+                static_cast<long long>(g_runs[i].hw_prio_changes));
   }
 
   // --- 2. Utilization boundary sweep ---------------------------------------
   std::printf("\n=== Ablation 2: LOW/HIGH utilization bounds on MetBench ===\n");
-  auto mb = analysis::MetBenchExperiment::paper();
-  mb.workload.iterations = 20;
-  const auto mb_base = analysis::run_metbench(mb, SchedMode::kBaselineCfs);
   std::printf("%-12s %-12s %-12s %-10s\n", "low/high", "exec (s)", "improve (%)", "prio chgs");
-  for (const auto& [lo, hi] : {std::pair{50, 95}, {65, 85}, {40, 60}, {20, 95}, {80, 90}}) {
-    analysis::ExperimentConfig cfg = analysis::paper_defaults(SchedMode::kUniform, 1, false);
-    cfg.hpc.low_util = lo;
-    cfg.hpc.high_util = hi;
-    const auto r = run_with(cfg, wl::make_metbench(mb.workload));
-    std::printf("%3d/%-8d %-12.2f %-+12.2f %-10lld\n", lo, hi, r.exec_time.sec(),
-                analysis::improvement_pct(mb_base, r),
-                static_cast<long long>(r.hw_prio_changes));
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    std::printf("%3d/%-8d %-12.2f %-+12.2f %-10lld\n", bounds[i].first, bounds[i].second,
+                bound_runs[i].exec_time.sec(), analysis::improvement_pct(mb_base, bound_runs[i]),
+                static_cast<long long>(bound_runs[i].hw_prio_changes));
   }
 
   // --- 3. Hybrid heuristic (paper future work) ------------------------------
   std::printf("\n=== Ablation 3: Hybrid vs Uniform vs Adaptive ===\n");
   std::printf("%-22s %-10s %-10s %-10s\n", "workload", "uniform", "adaptive", "hybrid");
-  {
-    const auto u = analysis::run_metbench(mb, SchedMode::kUniform);
-    const auto a = analysis::run_metbench(mb, SchedMode::kAdaptive);
-    const auto h = analysis::run_metbench(mb, SchedMode::kHybrid);
-    std::printf("%-22s %-+10.2f %-+10.2f %-+10.2f\n", "MetBench (constant)",
-                analysis::improvement_pct(mb_base, u), analysis::improvement_pct(mb_base, a),
-                analysis::improvement_pct(mb_base, h));
-  }
-  {
-    const auto u = analysis::run_metbenchvar(var, SchedMode::kUniform);
-    const auto a = analysis::run_metbenchvar(var, SchedMode::kAdaptive);
-    const auto h = analysis::run_metbenchvar(var, SchedMode::kHybrid);
-    std::printf("%-22s %-+10.2f %-+10.2f %-+10.2f\n", "MetBenchVar (dynamic)",
-                analysis::improvement_pct(var_base, u), analysis::improvement_pct(var_base, a),
-                analysis::improvement_pct(var_base, h));
-  }
+  std::printf("%-22s %-+10.2f %-+10.2f %-+10.2f\n", "MetBench (constant)",
+              analysis::improvement_pct(mb_base, mb_u), analysis::improvement_pct(mb_base, mb_a),
+              analysis::improvement_pct(mb_base, mb_h));
+  std::printf("%-22s %-+10.2f %-+10.2f %-+10.2f\n", "MetBenchVar (dynamic)",
+              analysis::improvement_pct(var_base, var_u), analysis::improvement_pct(var_base, var_a),
+              analysis::improvement_pct(var_base, var_h));
   std::printf("\n(the paper's future-work goal: one heuristic performing well on both)\n");
+
+  bench::JsonObject root;
+  root.field("bench", "ablation_heuristics").field("jobs", jobs);
+  std::vector<bench::JsonObject> g_json;
+  for (std::size_t i = 0; i < g_values.size(); ++i) {
+    bench::JsonObject e;
+    e.field("g_pct", g_values[i])
+        .field("exec_s", g_runs[i].exec_time.sec())
+        .field("improvement_pct", analysis::improvement_pct(var_base, g_runs[i]))
+        .field("prio_changes", g_runs[i].hw_prio_changes);
+    g_json.push_back(std::move(e));
+  }
+  root.array("adaptive_g_sweep", g_json);
+  std::vector<bench::JsonObject> b_json;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    bench::JsonObject e;
+    e.field("low", bounds[i].first)
+        .field("high", bounds[i].second)
+        .field("exec_s", bound_runs[i].exec_time.sec())
+        .field("improvement_pct", analysis::improvement_pct(mb_base, bound_runs[i]));
+    b_json.push_back(std::move(e));
+  }
+  root.array("util_bounds_sweep", b_json);
+  bench::JsonObject hybrid;
+  hybrid.field("metbench_uniform_pct", analysis::improvement_pct(mb_base, mb_u))
+      .field("metbench_adaptive_pct", analysis::improvement_pct(mb_base, mb_a))
+      .field("metbench_hybrid_pct", analysis::improvement_pct(mb_base, mb_h))
+      .field("metbenchvar_uniform_pct", analysis::improvement_pct(var_base, var_u))
+      .field("metbenchvar_adaptive_pct", analysis::improvement_pct(var_base, var_a))
+      .field("metbenchvar_hybrid_pct", analysis::improvement_pct(var_base, var_h));
+  root.object("hybrid_comparison", hybrid);
+  bench::write_json_file("BENCH_ablation_heuristics.json", root);
   return 0;
 }

@@ -5,25 +5,44 @@
 //     mechanism — separating the two sources of improvement the paper
 //     identifies (load balance vs responsive policy).
 //  3. Wakeup-cost sensitivity on the latency-bound SIESTA workload.
+//
+// Every run (including the hand-built FIFO world) is a self-contained
+// simulation, so the whole ablation fans across the parallel experiment
+// engine (--jobs N / HPCS_JOBS) and prints in order afterwards.
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "analysis/paper_experiments.h"
+#include "bench_json.h"
+#include "exp/parallel_runner.h"
 
 using namespace hpcs;
 using analysis::SchedMode;
 
-int main() {
-  // --- 1. FIFO vs RR ---------------------------------------------------------
-  std::printf("=== Ablation 1: SCHED_HPC FIFO vs RR (one task per CPU) ===\n");
+int main(int argc, char** argv) {
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
+
   auto mb = analysis::MetBenchExperiment::paper();
   mb.workload.iterations = 20;
-  {
-    sim::Simulator s1;  // separate scopes: run RR and FIFO worlds independently
+  auto siesta = analysis::SiestaExperiment::paper();
+  siesta.workload.microiters = 20000;
+  const std::vector<int> wakeup_costs_us = {5, 15, 25, 50, 100};
+
+  analysis::RunResult rr, base, full, policy_only, mb_base, mb_full, mb_policy;
+  double fifo_s = 0.0;
+  std::vector<analysis::RunResult> wakeup_runs(wakeup_costs_us.size());
+
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&rr, &mb] {
     analysis::ExperimentConfig cfg = analysis::paper_defaults(SchedMode::kUniform, 1, false);
-    const auto rr = analysis::run_experiment(cfg, wl::make_metbench(mb.workload));
+    rr = analysis::run_experiment(cfg, wl::make_metbench(mb.workload));
+  });
+  tasks.push_back([&fifo_s, &mb] {
     // FIFO: same config, but the world is created with the FIFO policy. The
     // harness always uses RR, so build it manually here.
+    analysis::ExperimentConfig cfg = analysis::paper_defaults(SchedMode::kUniform, 1, false);
     sim::Simulator sim;
     kern::Kernel kernel(sim, cfg.kernel);
     hpc::HpcSchedConfig hc;
@@ -38,35 +57,46 @@ int main() {
     mpi::MpiWorld world(kernel, wc, wl::make_metbench(mb.workload));
     world.start();
     mpi::run_to_completion(sim, world);
-    const double fifo_s = world.finish_time().sec();
-    std::printf("RR:   %.3fs\nFIFO: %.3fs\ndelta: %.2f%%  (paper: essentially none)\n",
-                rr.exec_time.sec(), fifo_s,
-                100.0 * (fifo_s - rr.exec_time.sec()) / rr.exec_time.sec());
+    fifo_s = world.finish_time().sec();
+  });
+  tasks.push_back([&base, &siesta] { base = analysis::run_siesta(siesta, SchedMode::kBaselineCfs); });
+  tasks.push_back([&full, &siesta] { full = analysis::run_siesta(siesta, SchedMode::kUniform); });
+  tasks.push_back([&policy_only, &siesta] {
+    // Null mechanism: the HPC class works but cannot touch hardware
+    // priorities -> pure policy effect.
+    analysis::ExperimentConfig cfg = analysis::paper_defaults(SchedMode::kUniform, 1, false);
+    cfg.kernel.hw_prio_enabled = false;
+    policy_only = analysis::run_experiment(cfg, wl::make_siesta(siesta.workload));
+  });
+  tasks.push_back([&mb_base, &mb] { mb_base = analysis::run_metbench(mb, SchedMode::kBaselineCfs); });
+  tasks.push_back([&mb_full, &mb] { mb_full = analysis::run_metbench(mb, SchedMode::kUniform); });
+  tasks.push_back([&mb_policy, &mb] {
+    analysis::ExperimentConfig cfg = analysis::paper_defaults(SchedMode::kUniform, 1, false);
+    cfg.kernel.hw_prio_enabled = false;
+    mb_policy = analysis::run_experiment(cfg, wl::make_metbench(mb.workload));
+  });
+  for (std::size_t i = 0; i < wakeup_costs_us.size(); ++i) {
+    tasks.push_back([&wakeup_runs, i, &wakeup_costs_us, &siesta] {
+      analysis::ExperimentConfig c = analysis::paper_defaults(SchedMode::kBaselineCfs, 1, false);
+      c.kernel.cfs.wakeup_cost = Duration::microseconds(wakeup_costs_us[i]);
+      wakeup_runs[i] = analysis::run_experiment(c, wl::make_siesta(siesta.workload));
+    });
   }
+  exp::ParallelRunner runner(jobs);
+  runner.run_all(std::move(tasks));
+
+  // --- 1. FIFO vs RR ---------------------------------------------------------
+  std::printf("=== Ablation 1: SCHED_HPC FIFO vs RR (one task per CPU) ===\n");
+  std::printf("RR:   %.3fs\nFIFO: %.3fs\ndelta: %.2f%%  (paper: essentially none)\n",
+              rr.exec_time.sec(), fifo_s,
+              100.0 * (fifo_s - rr.exec_time.sec()) / rr.exec_time.sec());
 
   // --- 2. Balance vs policy decomposition ------------------------------------
   std::printf("\n=== Ablation 2: where does the improvement come from? ===\n");
-  auto siesta = analysis::SiestaExperiment::paper();
-  siesta.workload.microiters = 20000;
-  const auto base = analysis::run_siesta(siesta, SchedMode::kBaselineCfs);
-  const auto full = analysis::run_siesta(siesta, SchedMode::kUniform);
-  // Null mechanism: the HPC class works but cannot touch hardware priorities
-  // -> pure policy effect.
-  analysis::ExperimentConfig cfg = analysis::paper_defaults(SchedMode::kUniform, 1, false);
-  cfg.kernel.hw_prio_enabled = false;
-  const auto policy_only = analysis::run_experiment(cfg, wl::make_siesta(siesta.workload));
   std::printf("SIESTA: baseline %.2fs | HPCSched(full) %+.2f%% | policy-only %+.2f%%\n",
               base.exec_time.sec(), analysis::improvement_pct(base, full),
               analysis::improvement_pct(base, policy_only));
   std::printf("(paper §V-D: SIESTA's ~6%% comes from the policy, not the balancing)\n");
-
-  auto mb2 = analysis::MetBenchExperiment::paper();
-  mb2.workload.iterations = 20;
-  const auto mb_base = analysis::run_metbench(mb2, SchedMode::kBaselineCfs);
-  const auto mb_full = analysis::run_metbench(mb2, SchedMode::kUniform);
-  analysis::ExperimentConfig mb_cfg = analysis::paper_defaults(SchedMode::kUniform, 1, false);
-  mb_cfg.kernel.hw_prio_enabled = false;
-  const auto mb_policy = analysis::run_experiment(mb_cfg, wl::make_metbench(mb2.workload));
   std::printf("MetBench: baseline %.2fs | HPCSched(full) %+.2f%% | policy-only %+.2f%%\n",
               mb_base.exec_time.sec(), analysis::improvement_pct(mb_base, mb_full),
               analysis::improvement_pct(mb_base, mb_policy));
@@ -75,11 +105,30 @@ int main() {
   // --- 3. Wakeup-cost sensitivity --------------------------------------------
   std::printf("\n=== Ablation 3: CFS wakeup-cost sensitivity (SIESTA baseline) ===\n");
   std::printf("%-16s %-12s\n", "cfs cost (us)", "exec (s)");
-  for (const int us : {5, 15, 25, 50, 100}) {
-    analysis::ExperimentConfig c = analysis::paper_defaults(SchedMode::kBaselineCfs, 1, false);
-    c.kernel.cfs.wakeup_cost = Duration::microseconds(us);
-    const auto r = analysis::run_experiment(c, wl::make_siesta(siesta.workload));
-    std::printf("%-16d %-12.2f\n", us, r.exec_time.sec());
+  std::vector<bench::JsonObject> wakeup_json;
+  for (std::size_t i = 0; i < wakeup_costs_us.size(); ++i) {
+    std::printf("%-16d %-12.2f\n", wakeup_costs_us[i], wakeup_runs[i].exec_time.sec());
+    bench::JsonObject e;
+    e.field("wakeup_cost_us", wakeup_costs_us[i]).field("exec_s", wakeup_runs[i].exec_time.sec());
+    wakeup_json.push_back(std::move(e));
   }
+
+  bench::JsonObject root;
+  root.field("bench", "ablation_policy").field("jobs", jobs);
+  bench::JsonObject fifo_rr;
+  fifo_rr.field("rr_s", rr.exec_time.sec())
+      .field("fifo_s", fifo_s)
+      .field("delta_pct", 100.0 * (fifo_s - rr.exec_time.sec()) / rr.exec_time.sec());
+  root.object("fifo_vs_rr", fifo_rr);
+  bench::JsonObject decomp;
+  decomp.field("siesta_baseline_s", base.exec_time.sec())
+      .field("siesta_full_pct", analysis::improvement_pct(base, full))
+      .field("siesta_policy_only_pct", analysis::improvement_pct(base, policy_only))
+      .field("metbench_baseline_s", mb_base.exec_time.sec())
+      .field("metbench_full_pct", analysis::improvement_pct(mb_base, mb_full))
+      .field("metbench_policy_only_pct", analysis::improvement_pct(mb_base, mb_policy));
+  root.object("balance_vs_policy", decomp);
+  root.array("wakeup_cost_sweep", wakeup_json);
+  bench::write_json_file("BENCH_ablation_policy.json", root);
   return 0;
 }

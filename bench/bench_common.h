@@ -1,15 +1,53 @@
 #pragma once
 // Shared reporting helpers for the table-reproduction benches: print each
 // experiment in the paper's table layout next to the paper's own numbers,
-// and summarize the headline improvements.
+// summarize the headline improvements, and fan the per-mode runs across the
+// parallel experiment engine (--jobs N / HPCS_JOBS; results are committed in
+// mode order, so output is bit-identical to the serial drivers).
 
 #include <cstdio>
 #include <vector>
 
 #include "analysis/paper_experiments.h"
 #include "analysis/tables.h"
+#include "bench_json.h"
+#include "exp/parallel_runner.h"
 
 namespace hpcs::bench {
+
+/// Run one experiment per mode through the parallel engine; results come
+/// back in mode order regardless of worker interleaving.
+template <typename RunFn>
+std::vector<analysis::RunResult> run_modes(unsigned jobs,
+                                           const std::vector<analysis::SchedMode>& modes,
+                                           RunFn run) {
+  exp::ParallelRunner runner(jobs);
+  return runner.map(modes.size(), [&](std::size_t i) { return run(modes[i]); });
+}
+
+/// BENCH_<name>.json for a table driver: one entry per mode with the
+/// headline exec time and utilization spread.
+inline void write_table_json(const char* name, unsigned jobs,
+                             const std::vector<analysis::SchedMode>& modes,
+                             const std::vector<analysis::RunResult>& results) {
+  JsonObject root;
+  root.field("bench", name).field("jobs", jobs);
+  std::vector<JsonObject> entries;
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const analysis::RunResult& r = results[i];
+    JsonObject e;
+    e.field("mode", analysis::sched_mode_name(modes[i]))
+        .field("exec_s", r.exec_time.sec())
+        .field("min_util_pct", r.min_util())
+        .field("max_util_pct", r.max_util())
+        .field("ctx_switches", r.context_switches)
+        .field("hw_prio_changes", r.hw_prio_changes);
+    if (i > 0) e.field("improvement_vs_first_pct", analysis::improvement_pct(results[0], r));
+    entries.push_back(std::move(e));
+  }
+  root.array("modes", entries);
+  write_json_file(std::string("BENCH_") + name + ".json", root);
+}
 
 inline void print_side_by_side(const analysis::RunResult& ours,
                                const analysis::PaperReference& paper) {

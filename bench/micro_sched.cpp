@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <deque>
 #include <memory>
 #include <vector>
 

@@ -1,0 +1,184 @@
+// Event-loop and parallel-engine micro benchmark. Measures:
+//  1. events/sec on three event-queue hot patterns:
+//       - recurring per-CPU ticks re-armed via the reschedule() fast path
+//       - one-shot events with a 32-byte capture (simmpi send-style; these
+//         exceed std::function's inline buffer — InplaceFunction keeps them
+//         allocation-free)
+//       - timeout churn: schedule a fat-capture guard, cancel before firing
+//  2. wall-clock of an 8-point MetBench sweep run serially (--jobs 1) vs on
+//     all hardware threads, plus a row-for-row equality check (the engine's
+//     bit-identical contract).
+// Emits BENCH_simcore.json. Flags: --jobs N (HPCS_JOBS) for the parallel leg.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/paper_experiments.h"
+#include "analysis/sweep.h"
+#include "bench_json.h"
+#include "exp/parallel_runner.h"
+#include "simcore/simulator.h"
+
+using namespace hpcs;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double bench_tick_loop() {
+  sim::Simulator s;
+  constexpr int kCpus = 4;
+  struct Ctx {
+    sim::Simulator* s;
+    sim::EventHandle h;
+  };
+  std::vector<Ctx> ctx(kCpus);
+  for (int i = 0; i < kCpus; ++i) {
+    ctx[i].s = &s;
+    Ctx* c = &ctx[i];
+    c->h = s.schedule_in(Duration::milliseconds(1), [c] {
+      if (!c->s->reschedule_in(c->h, Duration::milliseconds(1))) std::abort();
+    });
+  }
+  const double t0 = now_s();
+  const std::uint64_t target = 6'000'000;
+  while (s.events_executed() < target) s.step();
+  return double(s.events_executed()) / (now_s() - t0);
+}
+
+double bench_big_capture() {
+  sim::EventQueue q;
+  struct Payload {
+    std::uint64_t a, b, c, d;
+  };
+  std::uint64_t sink = 0;
+  const std::uint64_t kBatches = 60'000;
+  const int kBatch = 64;
+  std::int64_t t = 0;
+  const double t0 = now_s();
+  for (std::uint64_t b = 0; b < kBatches; ++b) {
+    for (int i = 0; i < kBatch; ++i) {
+      Payload p{b, std::uint64_t(i), b ^ std::uint64_t(i), b + std::uint64_t(i)};
+      q.schedule(SimTime(t + i), [p, &sink] { sink += p.a + p.d; });
+    }
+    while (!q.empty()) q.pop_and_run();
+    t += kBatch;
+  }
+  const double rate = double(kBatches * kBatch) / (now_s() - t0);
+  if (sink == 0) std::abort();
+  return rate;
+}
+
+double bench_cancel_churn() {
+  sim::EventQueue q;
+  struct Payload {
+    std::uint64_t a, b, c, d;
+  };
+  std::uint64_t sink = 0;
+  const std::uint64_t kIters = 4'000'000;
+  const double t0 = now_s();
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    Payload p{i, i + 1, i + 2, i + 3};
+    auto h = q.schedule(SimTime(std::int64_t(i + 1000)), [p, &sink] { sink += p.b; });
+    if (!q.cancel(h)) std::abort();
+    if ((i & 63) == 63) {
+      // Drain the lazily-deleted entries, as a real run loop would.
+      q.schedule(SimTime(std::int64_t(i + 1)), [&sink] { ++sink; });
+      q.pop_and_run();
+    }
+  }
+  return double(kIters) / (now_s() - t0);
+}
+
+std::vector<analysis::SweepPoint> make_sweep_points() {
+  std::vector<analysis::SweepPoint> points;
+  const std::vector<analysis::SchedMode> modes = {
+      analysis::SchedMode::kBaselineCfs, analysis::SchedMode::kStatic,
+      analysis::SchedMode::kUniform, analysis::SchedMode::kAdaptive};
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    for (const analysis::SchedMode mode : modes) {
+      auto e = analysis::MetBenchExperiment::paper();
+      e.workload.iterations = 15;
+      analysis::ExperimentConfig cfg = analysis::paper_defaults(mode, seed, false);
+      if (mode == analysis::SchedMode::kStatic) cfg.static_prios = e.static_prios;
+      const wl::MetBenchConfig w = e.workload;
+      points.push_back(analysis::SweepPoint{
+          std::string(analysis::sched_mode_name(mode)) + "/seed" + std::to_string(seed), cfg,
+          [w] { return wl::make_metbench(w); }});
+    }
+  }
+  return points;
+}
+
+bool rows_equal(const std::vector<analysis::SweepRow>& a,
+                const std::vector<analysis::SweepRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label || a[i].exec_s != b[i].exec_s ||
+        a[i].min_util != b[i].min_util || a[i].max_util != b[i].max_util ||
+        a[i].mean_imbalance != b[i].mean_imbalance || a[i].prio_changes != b[i].prio_changes ||
+        a[i].ctx_switches != b[i].ctx_switches ||
+        a[i].avg_wakeup_latency_us != b[i].avg_wakeup_latency_us ||
+        a[i].improvement_vs_first_pct != b[i].improvement_vs_first_pct) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("=== simcore micro: event-loop hot paths ===\n");
+  const double tick = bench_tick_loop();
+  const double big = bench_big_capture();
+  const double cancel = bench_cancel_churn();
+  std::printf("tick loop (reschedule fast path): %8.1fM events/s\n", tick / 1e6);
+  std::printf("32B-capture one-shot events:      %8.1fM events/s\n", big / 1e6);
+  std::printf("schedule+cancel churn:            %8.1fM events/s\n", cancel / 1e6);
+
+  std::printf("\n=== parallel experiment engine: 8-point MetBench sweep ===\n");
+  const auto points = make_sweep_points();
+  const double s0 = now_s();
+  const auto serial_rows = analysis::run_sweep(points, 1);
+  const double serial_s = now_s() - s0;
+  const double p0 = now_s();
+  const auto parallel_rows = analysis::run_sweep(points, jobs);
+  const double parallel_s = now_s() - p0;
+  const bool identical = rows_equal(serial_rows, parallel_rows);
+  std::printf("serial  (--jobs 1): %.3fs\n", serial_s);
+  std::printf("parallel (--jobs %u): %.3fs  speedup %.2fx\n", jobs, parallel_s,
+              parallel_s > 0 ? serial_s / parallel_s : 0.0);
+  std::printf("rows bit-identical: %s\n", identical ? "yes" : "NO — DETERMINISM BUG");
+  std::printf("hardware threads: %u\n", hw);
+
+  bench::JsonObject events;
+  events.field("tick_reschedule_per_s", tick)
+      .field("big_capture_per_s", big)
+      .field("cancel_churn_per_s", cancel);
+  bench::JsonObject sweep;
+  sweep.field("points", static_cast<std::int64_t>(points.size()))
+      .field("serial_s", serial_s)
+      .field("parallel_s", parallel_s)
+      .field("jobs", jobs)
+      .field("speedup", parallel_s > 0 ? serial_s / parallel_s : 0.0)
+      .field("rows_bit_identical", identical);
+  bench::JsonObject root;
+  root.field("bench", "micro_simcore")
+      .field("hardware_concurrency", hw)
+      .object("events_per_sec", events)
+      .object("sweep", sweep);
+  bench::write_json_file("BENCH_simcore.json", root);
+  return identical ? 0 : 1;
+}

@@ -4,17 +4,22 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcs;
   using analysis::SchedMode;
 
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   const auto e = analysis::MetBenchExperiment::paper();
+  const std::vector<SchedMode> modes = {SchedMode::kBaselineCfs, SchedMode::kStatic,
+                                        SchedMode::kUniform, SchedMode::kAdaptive};
 
   std::printf("=== Table III: MetBench characterization ===\n\n");
-  auto baseline = analysis::run_metbench(e, SchedMode::kBaselineCfs);
-  auto stat = analysis::run_metbench(e, SchedMode::kStatic);
-  auto uniform = analysis::run_metbench(e, SchedMode::kUniform);
-  auto adaptive = analysis::run_metbench(e, SchedMode::kAdaptive);
+  auto results = bench::run_modes(jobs, modes,
+                                  [&e](SchedMode m) { return analysis::run_metbench(e, m); });
+  auto& baseline = results[0];
+  auto& stat = results[1];
+  auto& uniform = results[2];
+  auto& adaptive = results[3];
 
   bench::print_side_by_side(baseline, analysis::paper_reference_metbench(SchedMode::kBaselineCfs));
   std::printf("\n");
@@ -42,5 +47,6 @@ int main() {
   };
   std::printf("\n%s\n",
               analysis::render_characterization_table("Table III (measured)", sections).c_str());
+  bench::write_table_json("table3_metbench", jobs, modes, results);
   return 0;
 }

@@ -5,17 +5,22 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcs;
   using analysis::SchedMode;
 
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   const auto e = analysis::MetBenchVarExperiment::paper();
+  const std::vector<SchedMode> modes = {SchedMode::kBaselineCfs, SchedMode::kStatic,
+                                        SchedMode::kUniform, SchedMode::kAdaptive};
 
   std::printf("=== Table IV: MetBenchVar characterization (k=15, 45 iterations) ===\n\n");
-  auto baseline = analysis::run_metbenchvar(e, SchedMode::kBaselineCfs);
-  auto stat = analysis::run_metbenchvar(e, SchedMode::kStatic);
-  auto uniform = analysis::run_metbenchvar(e, SchedMode::kUniform);
-  auto adaptive = analysis::run_metbenchvar(e, SchedMode::kAdaptive);
+  auto results = bench::run_modes(jobs, modes,
+                                  [&e](SchedMode m) { return analysis::run_metbenchvar(e, m); });
+  auto& baseline = results[0];
+  auto& stat = results[1];
+  auto& uniform = results[2];
+  auto& adaptive = results[3];
 
   bench::print_side_by_side(baseline,
                             analysis::paper_reference_metbenchvar(SchedMode::kBaselineCfs));
@@ -44,5 +49,6 @@ int main() {
   };
   std::printf("\n%s\n",
               analysis::render_characterization_table("Table IV (measured)", sections).c_str());
+  bench::write_table_json("table4_metbenchvar", jobs, modes, results);
   return 0;
 }

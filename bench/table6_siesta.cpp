@@ -6,16 +6,21 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcs;
   using analysis::SchedMode;
 
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   const auto e = analysis::SiestaExperiment::paper();
+  const std::vector<SchedMode> modes = {SchedMode::kBaselineCfs, SchedMode::kUniform,
+                                        SchedMode::kAdaptive};
 
   std::printf("=== Table VI: SIESTA characterization ===\n\n");
-  auto baseline = analysis::run_siesta(e, SchedMode::kBaselineCfs);
-  auto uniform = analysis::run_siesta(e, SchedMode::kUniform);
-  auto adaptive = analysis::run_siesta(e, SchedMode::kAdaptive);
+  auto results = bench::run_modes(jobs, modes,
+                                  [&e](SchedMode m) { return analysis::run_siesta(e, m); });
+  auto& baseline = results[0];
+  auto& uniform = results[1];
+  auto& adaptive = results[2];
 
   bench::print_side_by_side(baseline, analysis::paper_reference_siesta(SchedMode::kBaselineCfs));
   std::printf("\n");
@@ -45,5 +50,6 @@ int main() {
   };
   std::printf("\n%s\n",
               analysis::render_characterization_table("Table VI (measured)", sections).c_str());
+  bench::write_table_json("table6_siesta", jobs, modes, results);
   return 0;
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI sanitizer sweep: build the tree and run the tier-1 test suite under
+# ASan+UBSan, then (optionally) under TSan to exercise the parallel
+# experiment engine. Usage:
+#   scripts/ci_sanitizers.sh            # ASan+UBSan only
+#   HPCS_CI_TSAN=1 scripts/ci_sanitizers.sh   # also run the TSan pass
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_pass() {
+  local name="$1" build_dir="$2"; shift 2
+  echo "=== sanitizer pass: ${name} ==="
+  cmake -B "${build_dir}" -S . "$@" >/dev/null
+  cmake --build "${build_dir}" -j "$(nproc)"
+  (cd "${build_dir}" && ctest --output-on-failure)
+}
+
+run_pass "ASan+UBSan" build-asan -DENABLE_SANITIZERS=ON
+
+if [[ "${HPCS_CI_TSAN:-0}" == "1" ]]; then
+  # TSan watches the parallel experiment engine; run the exp tests plus the
+  # integration suites that drive run_sweep.
+  run_pass "TSan" build-tsan -DHPCS_TSAN=ON
+fi
+
+echo "sanitizer sweep passed"

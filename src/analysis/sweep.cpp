@@ -6,14 +6,20 @@
 #include "analysis/iterations.h"
 #include "analysis/tables.h"
 #include "common/check.h"
+#include "exp/parallel_runner.h"
 
 namespace hpcs::analysis {
 
-std::vector<SweepRow> run_sweep(const std::vector<SweepPoint>& points) {
-  std::vector<SweepRow> rows;
-  double first_exec = 0.0;
+std::vector<SweepRow> run_sweep(const std::vector<SweepPoint>& points, unsigned jobs) {
   for (const SweepPoint& p : points) {
     HPCS_CHECK_MSG(static_cast<bool>(p.workload), "sweep point needs a workload factory");
+  }
+  // Each point is a self-contained experiment (own Simulator/Kernel/Rng), so
+  // points commute; map() commits rows in point order and the vs-first
+  // column is derived afterwards — output is identical for every jobs value.
+  exp::ParallelRunner runner(jobs);
+  std::vector<SweepRow> rows = runner.map(points.size(), [&points](std::size_t i) {
+    const SweepPoint& p = points[i];
     const RunResult r = run_experiment(p.config, p.workload());
     SweepRow row;
     row.label = p.label;
@@ -24,14 +30,12 @@ std::vector<SweepRow> run_sweep(const std::vector<SweepPoint>& points) {
     row.prio_changes = r.hw_prio_changes;
     row.ctx_switches = r.context_switches;
     row.avg_wakeup_latency_us = r.avg_wakeup_latency_us;
-    if (rows.empty()) {
-      first_exec = row.exec_s;
-      row.improvement_vs_first_pct = 0.0;
-    } else {
-      row.improvement_vs_first_pct =
-          first_exec > 0 ? 100.0 * (1.0 - row.exec_s / first_exec) : 0.0;
-    }
-    rows.push_back(row);
+    return row;
+  });
+  const double first_exec = rows.empty() ? 0.0 : rows.front().exec_s;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    rows[i].improvement_vs_first_pct =
+        first_exec > 0 ? 100.0 * (1.0 - rows[i].exec_s / first_exec) : 0.0;
   }
   return rows;
 }

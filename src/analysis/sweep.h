@@ -33,8 +33,14 @@ struct SweepRow {
   double improvement_vs_first_pct = 0.0;
 };
 
-/// Run every point (in order) and derive the rows.
-[[nodiscard]] std::vector<SweepRow> run_sweep(const std::vector<SweepPoint>& points);
+/// Run every point and derive the rows, fanning independent points across
+/// `jobs` workers (exp::ParallelRunner). Results are committed in point
+/// order and the improvement-vs-first column is derived after collection,
+/// so the rows are bit-identical for every jobs value; jobs = 1 (the
+/// default) is the plain serial loop. jobs = 0 resolves HPCS_JOBS /
+/// hardware_concurrency (exp::default_jobs()).
+[[nodiscard]] std::vector<SweepRow> run_sweep(const std::vector<SweepPoint>& points,
+                                              unsigned jobs = 1);
 
 /// label,exec_s,min_util,max_util,mean_imbalance,prio_changes,ctx_switches,
 /// avg_wakeup_latency_us,improvement_vs_first_pct

@@ -1,0 +1,54 @@
+#pragma once
+// Minimal fixed-size worker pool for the parallel experiment engine.
+//
+// Workers pull std::function jobs off a mutex-protected queue; submit() never
+// blocks (the queue is unbounded) and wait_idle() blocks until every job
+// submitted so far has finished. The pool deliberately has no futures or
+// cancellation — the experiment layer writes results into caller-owned slots,
+// which keeps result ordering independent of execution order (the engine's
+// determinism contract, see docs/performance.md).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpcs::exp {
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` threads. `workers == 0` is allowed and means "no
+  /// threads": jobs then run inline inside wait_idle() on the caller's
+  /// thread, so a jobs=1 runner needs no synchronization at all.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Enqueue a job. Jobs must not throw — wrap exception capture inside the
+  /// callable (ParallelRunner does).
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and every worker is idle. With zero
+  /// workers, drains the queue on the calling thread instead.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signalled when a job is queued / shutting down
+  std::condition_variable idle_cv_;   ///< signalled when a job finishes
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< jobs popped but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hpcs::exp

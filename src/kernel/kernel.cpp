@@ -66,6 +66,7 @@ void Kernel::start() {
     }
     c.idle_task = std::make_unique<Task>(-(cpu + 1), "idle/" + std::to_string(cpu),
                                          Policy::kIdle);
+    c.idle_task->class_idx_ = class_index(Policy::kIdle);
     c.idle_task->cpu = cpu;
     c.rq.idle = c.idle_task.get();
     c.rq.curr = c.idle_task.get();
@@ -141,6 +142,7 @@ Task& Kernel::create_task(std::string name, std::unique_ptr<TaskBody> body, Poli
                  "no scheduling class registered for this policy");
   HPCS_CHECK(initial_cpu >= 0 && initial_cpu < topo_.num_cpus());
   auto t = std::make_unique<Task>(next_pid_++, std::move(name), policy);
+  t->class_idx_ = class_index(policy);
   t->body_ = std::move(body);
   t->cpu = initial_cpu;
   t->created = now();
@@ -186,7 +188,7 @@ void Kernel::set_acc_state(Task& t, AccState s) {
 
 void Kernel::enqueue_task(Task& t, bool wakeup) {
   Rq& r = rq(t.cpu);
-  const int idx = class_index(t.policy());
+  const int idx = t.class_idx_;
   classes_[static_cast<std::size_t>(idx)]->enqueue(*this, r, t, wakeup);
   t.on_rq = true;
   ++r.class_count[static_cast<std::size_t>(idx)];
@@ -195,7 +197,7 @@ void Kernel::enqueue_task(Task& t, bool wakeup) {
 
 void Kernel::dequeue_task(Task& t, bool sleep) {
   Rq& r = rq(t.cpu);
-  const int idx = class_index(t.policy());
+  const int idx = t.class_idx_;
   classes_[static_cast<std::size_t>(idx)]->dequeue(*this, r, t, sleep);
   t.on_rq = false;
   --r.class_count[static_cast<std::size_t>(idx)];
@@ -209,8 +211,8 @@ void Kernel::maybe_preempt(CpuId cpu, Task& woken) {
     resched_cpu(cpu);
     return;
   }
-  const int wi = class_index(woken.policy());
-  const int ci = class_index(curr->policy());
+  const int wi = woken.class_idx_;
+  const int ci = curr->class_idx_;
   if (wi < ci) {
     // Class ordering: a higher-priority class always preempts (paper §III).
     resched_cpu(cpu);
@@ -246,7 +248,7 @@ void Kernel::schedule_cpu(CpuId cpu) {
   Task* prev = r.curr;
   if (prev != nullptr && prev != r.idle && prev->state() == TaskState::kRunnable) {
     set_acc_state(*prev, AccState::kReady);
-    classes_[static_cast<std::size_t>(class_index(prev->policy()))]->put_prev(*this, r, *prev);
+    classes_[static_cast<std::size_t>(prev->class_idx_)]->put_prev(*this, r, *prev);
   }
 
   Task* next = pick_next(r);
@@ -301,7 +303,7 @@ void Kernel::arm_snooze(CpuId cpu) {
   // sibling context (Linux/POWER5 snooze).
   if (cfg_.smt_snooze_delay < Duration::zero()) return;
   CpuState& c = cs(cpu);
-  sim_->cancel(c.snooze_event);
+  if (sim_->reschedule_in(c.snooze_event, cfg_.smt_snooze_delay)) return;
   c.snooze_event =
       sim_->schedule_in(cfg_.smt_snooze_delay, [this, cpu] { chip_.set_cpu_snoozed(cpu, true); });
 }
@@ -336,16 +338,22 @@ void Kernel::start_exec(CpuId cpu) {
 
 void Kernel::arm_exec_event(CpuId cpu) {
   CpuState& c = cs(cpu);
-  sim_->cancel(c.exec_event);
   Task* t = c.rq.curr;
   HPCS_CHECK(t != nullptr && t != c.rq.idle);
+  Duration delay = Duration::zero();
   if (t->remaining > 0.0) {
-    if (c.seg_speed <= 0.0) return;  // context stalled; re-armed on speed change
-    const auto ns = static_cast<std::int64_t>(std::ceil(t->remaining / c.seg_speed));
-    c.exec_event = sim_->schedule_in(Duration(ns), [this, cpu] { on_exec_event(cpu); });
-  } else {
-    c.exec_event = sim_->schedule_in(Duration::zero(), [this, cpu] { on_exec_event(cpu); });
+    if (c.seg_speed <= 0.0) {
+      // Context stalled; re-armed on speed change.
+      sim_->cancel(c.exec_event);
+      return;
+    }
+    delay = Duration(static_cast<std::int64_t>(std::ceil(t->remaining / c.seg_speed)));
   }
+  // Completion events are re-armed constantly (every speed change, every
+  // compute segment): move the pending/firing event instead of paying the
+  // cancel + slot-allocate + closure-construct cycle.
+  if (sim_->reschedule_in(c.exec_event, delay)) return;
+  c.exec_event = sim_->schedule_in(delay, [this, cpu] { on_exec_event(cpu); });
 }
 
 void Kernel::on_exec_event(CpuId cpu) {
@@ -384,7 +392,7 @@ void Kernel::on_exec_event(CpuId cpu) {
       break;
     }
     case Task::Req::kYield:
-      classes_[static_cast<std::size_t>(class_index(t->policy()))]->yield(*this, c.rq, *t);
+      classes_[static_cast<std::size_t>(t->class_idx_)]->yield(*this, c.rq, *t);
       schedule_cpu(cpu);
       break;
     case Task::Req::kExit:
@@ -502,17 +510,18 @@ bool Kernel::sched_setscheduler(Task& t, Policy policy, int rt_prio) {
   Rq& r = rq(t.cpu);
   const bool running = (r.curr == &t);
   const bool queued = t.on_rq && !running;
-  const int old_idx = class_index(t.policy());
+  const int old_idx = t.class_idx_;
 
   if (queued) dequeue_task(t, false);
   if (running) --r.class_count[static_cast<std::size_t>(old_idx)];
 
   t.policy_ = policy;
+  t.class_idx_ = class_index(policy);
   t.rt_prio = rt_prio;
   t.slice_left = Duration::zero();
 
   if (queued) enqueue_task(t, false);
-  if (running) ++r.class_count[static_cast<std::size_t>(class_index(policy))];
+  if (running) ++r.class_count[static_cast<std::size_t>(t.class_idx_)];
   if (queued || running) resched_cpu(t.cpu);
   return true;
 }
@@ -546,8 +555,7 @@ void Kernel::on_tick(CpuId cpu) {
   Task* curr = c.rq.curr;
   if (curr != nullptr && curr != c.rq.idle) {
     flush_account(*curr);
-    classes_[static_cast<std::size_t>(class_index(curr->policy()))]->task_tick(*this, c.rq,
-                                                                               *curr);
+    classes_[static_cast<std::size_t>(curr->class_idx_)]->task_tick(*this, c.rq, *curr);
   }
   if (cfg_.balance_interval_ticks > 0 &&
       (c.ticks + cpu) % cfg_.balance_interval_ticks == 0) {
@@ -555,7 +563,11 @@ void Kernel::on_tick(CpuId cpu) {
       if (cls->wants_balance()) balance_pull(cpu, *cls);
     }
   }
-  c.tick_event = sim_->schedule_in(cfg_.tick, [this, cpu] { on_tick(cpu); });
+  // Recurring tick: re-arm the firing event in place (no slot churn). This
+  // is the highest-volume event in the simulator — one per CPU per 1 ms.
+  if (!sim_->reschedule_in(c.tick_event, cfg_.tick)) {
+    c.tick_event = sim_->schedule_in(cfg_.tick, [this, cpu] { on_tick(cpu); });
+  }
   if (c.rq.need_resched) {
     c.rq.need_resched = false;
     resched_cpu(cpu);

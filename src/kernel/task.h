@@ -112,6 +112,10 @@ class Task {
   std::string name_;
   Policy policy_;
   TaskState state_ = TaskState::kSleeping;
+  /// Index of the scheduling class owning policy_, cached by the kernel at
+  /// creation / sched_setscheduler() so the per-tick and per-switch paths
+  /// skip the owns() scan over the class chain.
+  int class_idx_ = -1;
 
   std::unique_ptr<TaskBody> body_;
 

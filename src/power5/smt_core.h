@@ -21,7 +21,8 @@ class SmtCore {
   /// Called whenever the speed of either context may have changed.
   using SpeedChangeListener = std::function<void(CoreId)>;
 
-  SmtCore(CoreId id, const ThroughputParams& params) : id_(id), params_(params) {
+  SmtCore(CoreId id, const ThroughputParams& params)
+      : id_(id), params_(params), lut_(params_) {
     prio_.fill(kDefaultPrio);
     active_.fill(false);
     snoozed_.fill(false);
@@ -57,6 +58,9 @@ class SmtCore {
 
   CoreId id_;
   ThroughputParams params_;
+  /// Share->speed curve, precompiled once; recompute() runs on every
+  /// priority write and activity transition, so the anchor scan matters.
+  SpeedLut lut_;
   std::array<HwPrio, 2> prio_{};
   std::array<bool, 2> active_{};
   std::array<bool, 2> snoozed_{};

@@ -23,6 +23,41 @@ double speed_for_share(const ThroughputParams& p, double share) {
   return ys.back();
 }
 
+namespace {
+/// Grid resolution. 512 cells keeps the walk inside one cell to at most a
+/// couple of anchor comparisons for any plausible curve while the table stays
+/// cache-resident (2 KiB of segment indices).
+constexpr std::size_t kLutCells = 512;
+}  // namespace
+
+SpeedLut::SpeedLut(const ThroughputParams& p) : xs_(p.share_points), ys_(p.speed_points) {
+  HPCS_CHECK_MSG(xs_.size() == ys_.size() && xs_.size() >= 2, "malformed throughput curve");
+  HPCS_CHECK_MSG(std::is_sorted(xs_.begin(), xs_.end()), "share anchors must be sorted");
+  scale_ = static_cast<double>(kLutCells);
+  seg_.resize(kLutCells);
+  std::uint32_t i = 1;
+  for (std::size_t c = 0; c < kLutCells; ++c) {
+    const double cell_left = static_cast<double>(c) / scale_;
+    while (i + 1 < xs_.size() && xs_[i] < cell_left) ++i;
+    seg_[c] = i;
+  }
+}
+
+double SpeedLut::operator()(double share) const {
+  share = std::clamp(share, 0.0, 1.0);
+  if (share <= xs_.front()) return ys_.front();
+  if (share >= xs_.back()) return ys_.back();
+  // Jump straight to the cell's first candidate segment, then advance past
+  // any anchors inside the cell. Comparisons and interpolation match the
+  // linear scan in speed_for_share exactly, so values are bit-identical.
+  auto c = static_cast<std::size_t>(share * scale_);
+  if (c >= seg_.size()) c = seg_.size() - 1;
+  std::size_t i = seg_[c];
+  while (i + 1 < xs_.size() && share > xs_[i]) ++i;
+  const double t = (share - xs_[i - 1]) / (xs_[i] - xs_[i - 1]);
+  return ys_[i - 1] + t * (ys_[i] - ys_[i - 1]);
+}
+
 ThroughputParams power6_params() {
   ThroughputParams p;
   p.share_points = {0.0,  1.0 / 64, 1.0 / 32, 1.0 / 16, 0.125, 0.25,
@@ -42,23 +77,25 @@ ThroughputParams cell_params() {
   return p;
 }
 
-namespace {
-
-/// Speeds of a regular-priority SMT pair (both active, priorities 2..6).
-CoreSpeeds smt_pair_speeds(const ThroughputParams& p, double share_a) {
-  return {speed_for_share(p, share_a), speed_for_share(p, 1.0 - share_a)};
-}
-
-}  // namespace
-
 double decode_share_a(HwPrio a, HwPrio b) {
   const DecodeAllocation alloc = decode_allocation(a, b);
   HPCS_CHECK_MSG(!alloc.special, "decode_share_a on special priorities");
   return static_cast<double>(alloc.cycles_a) / static_cast<double>(alloc.window);
 }
 
-CoreSpeeds context_speeds(const ThroughputParams& p, HwPrio a, bool a_active, HwPrio b,
-                          bool b_active, bool a_snoozed, bool b_snoozed) {
+namespace {
+
+/// Shared implementation of context_speeds, parameterized on the share->speed
+/// evaluator (the linear scan or a SpeedLut). Must stay a single code path so
+/// both variants make identical decisions.
+template <typename SpeedFn>
+CoreSpeeds context_speeds_impl(const ThroughputParams& p, const SpeedFn& speed, HwPrio a,
+                               bool a_active, HwPrio b, bool b_active, bool a_snoozed,
+                               bool b_snoozed) {
+  const auto pair_speeds = [&speed](double share_a) -> CoreSpeeds {
+    return {speed(share_a), speed(1.0 - share_a)};
+  };
+
   const bool a_on = a_active && a != HwPrio::kOff;
   const bool b_on = b_active && b != HwPrio::kOff;
 
@@ -69,13 +106,13 @@ CoreSpeeds context_speeds(const ThroughputParams& p, HwPrio a, bool a_active, Hw
     // triggered) and keeps consuming the decode share of
     // `idle_contention_prio`.
     const HwPrio idle = hw_prio_from_int(p.idle_contention_prio);
-    const CoreSpeeds s = context_speeds(p, a, true, idle, true);
+    const CoreSpeeds s = context_speeds_impl(p, speed, a, true, idle, true, false, false);
     return {s.a, 0.0};
   }
   if (!a_on && b_on) {
     if (a_snoozed || p.idle_contention_prio < 0) return {0.0, p.st_speed};
     const HwPrio idle = hw_prio_from_int(p.idle_contention_prio);
-    const CoreSpeeds s = context_speeds(p, idle, true, b, true);
+    const CoreSpeeds s = context_speeds_impl(p, speed, idle, true, b, true, false, false);
     return {0.0, s.b};
   }
 
@@ -84,15 +121,29 @@ CoreSpeeds context_speeds(const ThroughputParams& p, HwPrio a, bool a_active, Hw
   // honor it — treat as equal regular share.
   if (a == HwPrio::kVeryHigh && b != HwPrio::kVeryHigh) return {p.st_speed, 0.0};
   if (b == HwPrio::kVeryHigh && a != HwPrio::kVeryHigh) return {0.0, p.st_speed};
-  if (a == HwPrio::kVeryHigh && b == HwPrio::kVeryHigh) return smt_pair_speeds(p, 0.5);
+  if (a == HwPrio::kVeryHigh && b == HwPrio::kVeryHigh) return pair_speeds(0.5);
 
   // Priority 1 = background: the foreground thread runs near ST speed, the
   // background thread picks up leftovers.
-  if (a == HwPrio::kVeryLow && b == HwPrio::kVeryLow) return smt_pair_speeds(p, 0.5);
+  if (a == HwPrio::kVeryLow && b == HwPrio::kVeryLow) return pair_speeds(0.5);
   if (a == HwPrio::kVeryLow) return {p.background_bg, p.background_fg};
   if (b == HwPrio::kVeryLow) return {p.background_fg, p.background_bg};
 
-  return smt_pair_speeds(p, decode_share_a(a, b));
+  return pair_speeds(decode_share_a(a, b));
+}
+
+}  // namespace
+
+CoreSpeeds context_speeds(const ThroughputParams& p, HwPrio a, bool a_active, HwPrio b,
+                          bool b_active, bool a_snoozed, bool b_snoozed) {
+  const auto scan = [&p](double share) { return speed_for_share(p, share); };
+  return context_speeds_impl(p, scan, a, a_active, b, b_active, a_snoozed, b_snoozed);
+}
+
+CoreSpeeds context_speeds(const ThroughputParams& p, const SpeedLut& lut, HwPrio a,
+                          bool a_active, HwPrio b, bool b_active, bool a_snoozed,
+                          bool b_snoozed) {
+  return context_speeds_impl(p, lut, a, a_active, b, b_active, a_snoozed, b_snoozed);
 }
 
 }  // namespace hpcs::p5

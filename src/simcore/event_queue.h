@@ -6,17 +6,38 @@
 // FIFO order. Cancellation is O(1): each event carries a generation counter
 // and an EventHandle remembers the id/generation it was issued for; stale
 // heap entries are skipped lazily at pop time.
+//
+// Hot-path design (see docs/performance.md):
+//  * Callbacks are InplaceFunction — a fixed 48-byte inline buffer, so
+//    scheduling never allocates and dispatch is one indirect call.
+//  * Slots live in fixed chunks whose addresses never move, so a callback is
+//    invoked in place even if it schedules new events (no per-dispatch
+//    closure moves, unlike a std::vector of slots that may reallocate).
+//  * reschedule() moves a pending event to a new time without touching its
+//    callback, and — crucially for recurring events like the kernel's per-CPU
+//    1 ms tick — may be called from *inside* the firing callback to re-arm
+//    the same slot, keeping the handle valid and skipping the
+//    destroy/construct/slot-allocate cycle entirely.
+//  * run_next() fuses the next_time()/pop_and_run() pair into one stale
+//    sweep and one heap inspection per dispatched event, and the whole
+//    dispatch path is header-inline.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
+#include "simcore/inplace_function.h"
 
 namespace hpcs::sim {
 
-using EventCallback = std::function<void()>;
+/// Inline capacity for event closures. Sized for the largest capture list in
+/// the simulator (simmpi's [this, rank, dst, Message] sends); growing it is
+/// cheap, but audit sizeof(EventQueue::Slot) when you do.
+inline constexpr std::size_t kEventCallbackCapacity = 48;
+
+using EventCallback = InplaceFunction<void(), kEventCallbackCapacity>;
 
 /// Opaque reference to a scheduled event; safe to keep after the event fired
 /// or was cancelled (operations on a stale handle are no-ops).
@@ -38,27 +59,134 @@ class EventQueue {
  public:
   /// Schedule `cb` to fire at absolute time `when` (must not be in the past
   /// relative to the last popped event).
-  EventHandle schedule(SimTime when, EventCallback cb);
+  EventHandle schedule(SimTime when, EventCallback cb) {
+    const std::uint64_t id = alloc_slot();
+    Slot& slot = slot_at(id);
+    slot.cb = std::move(cb);
+    slot.live = true;
+    slot.has_entry = true;
+    slot.seq = next_seq_++;
+    ++slot.gen;
+    ++live_count_;
+    heap_push(HeapEntry{when, slot.seq, id});
+    return EventHandle{id, slot.gen};
+  }
 
   /// Cancel a previously scheduled event. Returns true if the event was
   /// still pending; false if it already fired, was cancelled, or the handle
   /// is stale.
-  bool cancel(EventHandle h);
+  bool cancel(EventHandle h) {
+    if (!pending(h)) return false;
+    Slot& slot = slot_at(h.id_);
+    slot.live = false;
+    slot.cb = nullptr;
+    --live_count_;
+    // The heap entry stays behind and is skipped lazily; the slot is
+    // recycled only when that entry surfaces, so generations stay
+    // unambiguous.
+    return true;
+  }
+
+  /// Move the event behind `h` to fire at `when` instead, reusing its stored
+  /// callback and keeping `h` valid. Also works from inside the event's own
+  /// callback while it is firing (the recurring-event fast path: the slot is
+  /// re-armed instead of freed when the callback returns). Returns false —
+  /// and does nothing — if the handle is stale or cancelled; callers then
+  /// fall back to schedule().
+  bool reschedule(EventHandle h, SimTime when) {
+    if (pending(h)) {
+      Slot& slot = slot_at(h.id_);
+      slot.seq = next_seq_++;
+      slot.has_entry = true;  // the old entry becomes a superseded duplicate
+      heap_push(HeapEntry{when, slot.seq, h.id_});
+      return true;
+    }
+    // Re-arm from inside the firing callback: the slot was taken off the
+    // heap for this dispatch but its callback is still intact.
+    if (h.valid() && h.id_ == firing_slot_ && h.gen_ == firing_gen_) {
+      Slot& slot = slot_at(h.id_);
+      slot.live = true;
+      slot.has_entry = true;
+      slot.seq = next_seq_++;
+      ++live_count_;
+      heap_push(HeapEntry{when, slot.seq, h.id_});
+      return true;
+    }
+    return false;
+  }
 
   /// True if an event scheduled through `h` is still pending.
-  [[nodiscard]] bool pending(EventHandle h) const;
+  [[nodiscard]] bool pending(EventHandle h) const {
+    if (!h.valid() || h.id_ >= slot_count_) return false;
+    const Slot& slot = slot_at(h.id_);
+    return slot.live && slot.gen == h.gen_;
+  }
 
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_count_; }
 
   /// Time of the earliest pending event. Requires !empty().
-  [[nodiscard]] SimTime next_time();
+  [[nodiscard]] SimTime next_time() {
+    drop_stale();
+    HPCS_CHECK_MSG(!heap_.empty(), "next_time() on empty event queue");
+    return heap_.front().when;
+  }
 
   /// Pop and run the earliest pending event; returns its time.
-  SimTime pop_and_run();
+  SimTime pop_and_run() {
+    drop_stale();
+    HPCS_CHECK_MSG(!heap_.empty(), "pop_and_run() on empty event queue");
+    return dispatch_top();
+  }
 
-  /// Drop all pending events.
-  void clear();
+  /// Fused fast path for the simulator loop: if the earliest pending event
+  /// fires at or before `deadline`, store its time into `clock`, run it and
+  /// return true. Returns false (leaving `clock` untouched) when the queue
+  /// is empty or the next event is past the deadline. One stale sweep, one
+  /// slot lookup and one heap inspection per dispatched event.
+  bool run_next(SimTime deadline, SimTime& clock) {
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.front();
+      Slot& slot = slot_at(top.id);
+      if (top.seq != slot.seq) {  // superseded by reschedule(): drop it
+        heap_pop();
+        continue;
+      }
+      if (!slot.live) {  // cancelled; authoritative entry surfaced — recycle
+        slot.has_entry = false;
+        free_slots_.push_back(top.id);
+        heap_pop();
+        continue;
+      }
+      if (top.when > deadline) return false;
+      clock = top.when;  // callbacks observe the event's time as now
+      heap_pop();
+      slot.live = false;
+      slot.has_entry = false;
+      --live_count_;
+      firing_slot_ = top.id;
+      firing_gen_ = slot.gen;
+      slot.cb();  // chunk addresses are stable: runs in place
+      finish_dispatch(top.id);
+      return true;
+    }
+    return false;
+  }
+
+  /// Drop all pending events and reset sequence numbering, so a reused queue
+  /// behaves exactly like a fresh one (tie-break order is part of the
+  /// determinism contract). Must not be called from inside a firing
+  /// callback: closures execute in place, so their storage has to outlive
+  /// the call.
+  void clear() {
+    HPCS_CHECK_MSG(firing_slot_ == kNoSlot, "EventQueue::clear() from inside a callback");
+    heap_.clear();
+    chunks_.clear();
+    slot_count_ = 0;
+    free_slots_.clear();
+    live_count_ = 0;
+    next_seq_ = 0;
+  }
 
  private:
   struct HeapEntry {
@@ -73,16 +201,141 @@ class EventQueue {
   struct Slot {
     EventCallback cb;
     std::uint64_t gen = 0;
+    /// Sequence of the slot's *authoritative* heap entry; entries with any
+    /// other seq are superseded duplicates left behind by reschedule().
+    std::uint64_t seq = 0;
     bool live = false;
+    /// An authoritative heap entry for this slot is still in the heap. The
+    /// slot may be recycled only once that entry has surfaced and been
+    /// dropped (keeps generations unambiguous under lazy deletion).
+    bool has_entry = false;
   };
 
-  void drop_stale();
+  /// Slots are allocated in fixed-size chunks so their addresses are stable:
+  /// a firing callback runs in place even when it schedules new events.
+  static constexpr std::uint64_t kChunkShift = 6;
+  static constexpr std::uint64_t kChunkSize = 1ull << kChunkShift;
+  static constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
-  std::vector<Slot> slots_;
+  [[nodiscard]] Slot& slot_at(std::uint64_t id) {
+    return chunks_[id >> kChunkShift][id & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot_at(std::uint64_t id) const {
+    return chunks_[id >> kChunkShift][id & (kChunkSize - 1)];
+  }
+
+  std::uint64_t alloc_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint64_t id = free_slots_.back();
+      free_slots_.pop_back();
+      return id;
+    }
+    const std::uint64_t id = slot_count_++;
+    if ((id >> kChunkShift) == chunks_.size()) {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
+    return id;
+  }
+
+  // Hand-rolled binary-heap sifts. Unlike std::pop_heap's hole-to-leaf
+  // strategy, sift-down stops as soon as the moved element dominates both
+  // children — for recurring events (N CPUs ticking at the same instant) the
+  // replacement usually belongs right at the top, making this O(1) in
+  // practice. Pop order depends only on the (when, seq) total order, so the
+  // layout is free to differ from std::*_heap without affecting determinism.
+  void heap_push(HeapEntry e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(heap_[parent] > e)) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void heap_pop() {
+    const std::size_t n = heap_.size() - 1;
+    if (n > 0) {
+      const HeapEntry e = heap_[n];
+      // Descend the hole along the smaller-child path to a leaf, then sift
+      // the displaced last element back up — ~1 comparison per level instead
+      // of 2, which wins when draining long runs of stale entries.
+      std::size_t i = 0;
+      std::size_t child = 1;
+      while (child < n) {
+        if (child + 1 < n && heap_[child] > heap_[child + 1]) ++child;
+        heap_[i] = heap_[child];
+        i = child;
+        child = 2 * i + 1;
+      }
+      while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!(heap_[parent] > e)) break;
+        heap_[i] = heap_[parent];
+        i = parent;
+      }
+      heap_[i] = e;
+    }
+    heap_.pop_back();
+  }
+
+  /// Pop superseded / cancelled entries off the heap top.
+  void drop_stale() {
+    while (!heap_.empty()) {
+      const HeapEntry& top = heap_.front();
+      Slot& slot = slot_at(top.id);
+      if (top.seq == slot.seq) {
+        if (slot.live) return;
+        // Cancelled: its authoritative entry has surfaced — recycle.
+        slot.has_entry = false;
+        free_slots_.push_back(top.id);
+      }
+      // else: superseded by reschedule(); drop the duplicate.
+      heap_pop();
+    }
+  }
+
+  /// Pop + dispatch the heap top; requires drop_stale() was just run and the
+  /// heap is non-empty. Returns the event's time.
+  SimTime dispatch_top() {
+    const HeapEntry top = heap_.front();
+    heap_pop();
+    Slot& slot = slot_at(top.id);
+    slot.live = false;
+    slot.has_entry = false;
+    --live_count_;
+    firing_slot_ = top.id;
+    firing_gen_ = slot.gen;
+    // Chunk addresses are stable, so the closure runs in place; scheduling
+    // from inside the callback cannot move it.
+    slot.cb();
+    finish_dispatch(top.id);
+    return top.when;
+  }
+
+  /// Post-callback epilogue: the callback may have re-armed its own slot via
+  /// reschedule(); if it did not, destroy the closure and recycle the slot.
+  void finish_dispatch(std::uint64_t id) {
+    firing_slot_ = kNoSlot;
+    Slot& after = slot_at(id);
+    if (after.gen == firing_gen_ && !after.live && !after.has_entry) {
+      after.cb = nullptr;  // fired for good: destroy the closure, recycle
+      free_slots_.push_back(id);
+    }
+  }
+
+  std::vector<HeapEntry> heap_;  ///< binary min-heap by (when, seq)
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint64_t slot_count_ = 0;
   std::vector<std::uint64_t> free_slots_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_count_ = 0;
+  /// Slot currently executing inside dispatch_top (kNoSlot otherwise); its
+  /// callback may re-arm itself via reschedule().
+  std::uint64_t firing_slot_ = kNoSlot;
+  std::uint64_t firing_gen_ = 0;
 };
 
 }  // namespace hpcs::sim

@@ -16,22 +16,25 @@ EventHandle Simulator::schedule_at(SimTime when, EventCallback cb) {
   return queue_.schedule(when, std::move(cb));
 }
 
+bool Simulator::reschedule_in(EventHandle h, Duration delay) {
+  HPCS_CHECK_MSG(delay >= Duration::zero(), "negative event delay");
+  return queue_.reschedule(h, now_ + delay);
+}
+
+bool Simulator::reschedule_at(EventHandle h, SimTime when) {
+  HPCS_CHECK_MSG(when >= now_, "event rescheduled into the past");
+  return queue_.reschedule(h, when);
+}
+
 SimTime Simulator::run(SimTime deadline) {
-  while (!queue_.empty() && queue_.next_time() <= deadline) {
-    // Advance the clock before dispatching so the callback observes now().
-    now_ = queue_.next_time();
-    queue_.pop_and_run();
-    ++executed_;
-  }
+  while (queue_.run_next(deadline, now_)) ++executed_;
   if (queue_.empty()) return now_;
   now_ = deadline;
   return now_;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  now_ = queue_.next_time();
-  queue_.pop_and_run();
+  if (!queue_.run_next(SimTime::max(), now_)) return false;
   ++executed_;
   return true;
 }

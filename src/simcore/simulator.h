@@ -1,8 +1,8 @@
 #pragma once
 // The simulation clock + event loop. Single-threaded and deterministic: the
-// only sources of ordering are event times and insertion sequence.
-
-#include <functional>
+// only sources of ordering are event times and insertion sequence. Distinct
+// Simulator instances share no state, so independent experiments can run on
+// different threads concurrently (see src/exp/parallel_runner.h).
 
 #include "common/types.h"
 #include "simcore/event_queue.h"
@@ -21,6 +21,14 @@ class Simulator {
 
   bool cancel(EventHandle h) { return queue_.cancel(h); }
   [[nodiscard]] bool pending(EventHandle h) const { return queue_.pending(h); }
+
+  /// Move an existing event to fire `delay` from now, reusing its callback
+  /// (also valid from inside that event's own callback — the recurring-event
+  /// fast path). Returns false if the handle is stale; callers fall back to
+  /// schedule_in().
+  bool reschedule_in(EventHandle h, Duration delay);
+  /// Same, with an absolute target instant (>= now()).
+  bool reschedule_at(EventHandle h, SimTime when);
 
   /// Run until the queue drains or `deadline` passes; returns the final time.
   SimTime run(SimTime deadline = SimTime::max());

@@ -1,0 +1,139 @@
+// Tests of the parallel experiment engine: the thread pool, the runner's
+// ordering/exception semantics, and the headline contract — run_sweep output
+// is bit-identical for every jobs value.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/paper_experiments.h"
+#include "analysis/sweep.h"
+#include "exp/parallel_runner.h"
+#include "exp/thread_pool.h"
+#include "workloads/metbench.h"
+
+namespace hpcs {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  std::atomic<int> count{0};
+  exp::ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInlineOnWaitIdle) {
+  exp::ThreadPool pool(0);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) pool.submit([&order, i] { order.push_back(i); });
+  EXPECT_TRUE(order.empty());  // nothing ran yet: no workers
+  pool.wait_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  std::atomic<int> count{0};
+  exp::ThreadPool pool(2);
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { ++count; });
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelRunner, MapReturnsResultsInIndexOrder) {
+  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    exp::ParallelRunner runner(jobs);
+    const std::vector<int> out = runner.map(64, [](std::size_t i) { return static_cast<int>(i * i); });
+    ASSERT_EQ(out.size(), 64u) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i * i)) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelRunner, RunAllExecutesEveryTask) {
+  std::vector<int> slots(32, 0);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    tasks.push_back([&slots, i] { slots[i] = static_cast<int>(i) + 1; });
+  }
+  exp::ParallelRunner runner(4);
+  runner.run_all(std::move(tasks));
+  for (std::size_t i = 0; i < slots.size(); ++i) EXPECT_EQ(slots[i], static_cast<int>(i) + 1);
+}
+
+TEST(ParallelRunner, FirstExceptionBySubmissionIndexIsRethrown) {
+  for (const unsigned jobs : {1u, 4u}) {
+    exp::ParallelRunner runner(jobs);
+    std::atomic<int> completed{0};
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([&completed] { ++completed; });
+    tasks.push_back([] { throw std::runtime_error("first"); });
+    tasks.push_back([&completed] { ++completed; });
+    tasks.push_back([] { throw std::runtime_error("second"); });
+    try {
+      runner.run_all(std::move(tasks));
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "first") << "jobs=" << jobs;
+    }
+    // All non-throwing tasks still ran to completion.
+    EXPECT_EQ(completed.load(), 2) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelRunner, JobsFlagParsing) {
+  const char* argv1[] = {"prog", "--jobs", "3"};
+  EXPECT_EQ(exp::parse_jobs_flag(3, const_cast<char**>(argv1)), 3u);
+  const char* argv2[] = {"prog", "--jobs=7"};
+  EXPECT_EQ(exp::parse_jobs_flag(2, const_cast<char**>(argv2)), 7u);
+  const char* argv3[] = {"prog"};
+  EXPECT_GE(exp::parse_jobs_flag(1, const_cast<char**>(argv3)), 1u);
+}
+
+// The headline contract: a sweep fanned across N workers produces rows
+// bit-identical to the serial loop, for every N.
+TEST(ParallelSweep, BitIdenticalAcrossJobCounts) {
+  std::vector<analysis::SweepPoint> points;
+  for (const auto mode : {analysis::SchedMode::kBaselineCfs, analysis::SchedMode::kUniform,
+                          analysis::SchedMode::kAdaptive}) {
+    for (const std::uint64_t seed : {1ull, 7ull}) {
+      wl::MetBenchConfig w;
+      w.iterations = 3;
+      points.push_back(analysis::SweepPoint{
+          std::string(analysis::sched_mode_name(mode)) + "-" + std::to_string(seed),
+          analysis::paper_defaults(mode, seed, false), [w] { return wl::make_metbench(w); }});
+    }
+  }
+  const auto reference = analysis::run_sweep(points, 1);
+  ASSERT_EQ(reference.size(), points.size());
+  for (const unsigned jobs : {2u, 3u, 8u}) {
+    const auto rows = analysis::run_sweep(points, jobs);
+    ASSERT_EQ(rows.size(), reference.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].label, reference[i].label) << "jobs=" << jobs;
+      EXPECT_EQ(rows[i].exec_s, reference[i].exec_s) << "jobs=" << jobs << " row " << i;
+      EXPECT_EQ(rows[i].min_util, reference[i].min_util) << "jobs=" << jobs << " row " << i;
+      EXPECT_EQ(rows[i].max_util, reference[i].max_util) << "jobs=" << jobs << " row " << i;
+      EXPECT_EQ(rows[i].mean_imbalance, reference[i].mean_imbalance)
+          << "jobs=" << jobs << " row " << i;
+      EXPECT_EQ(rows[i].prio_changes, reference[i].prio_changes) << "jobs=" << jobs << " row " << i;
+      EXPECT_EQ(rows[i].ctx_switches, reference[i].ctx_switches) << "jobs=" << jobs << " row " << i;
+      EXPECT_EQ(rows[i].avg_wakeup_latency_us, reference[i].avg_wakeup_latency_us)
+          << "jobs=" << jobs << " row " << i;
+      EXPECT_EQ(rows[i].improvement_vs_first_pct, reference[i].improvement_vs_first_pct)
+          << "jobs=" << jobs << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpcs

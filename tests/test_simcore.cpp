@@ -163,6 +163,110 @@ TEST(EventQueueProperty, RandomScheduleCancelStress) {
   }
 }
 
+TEST(EventQueueReschedule, MovesPendingEventWithoutTouchingCallback) {
+  EventQueue q;
+  std::vector<int> order;
+  EventHandle h = q.schedule(SimTime(10), [&] { order.push_back(1); });
+  q.schedule(SimTime(20), [&] { order.push_back(2); });
+  EXPECT_TRUE(q.reschedule(h, SimTime(30)));  // 1 now fires after 2
+  EXPECT_TRUE(q.pending(h));
+  EXPECT_EQ(q.size(), 2u);  // the superseded heap entry is not a live event
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueueReschedule, StaleHandleReturnsFalse) {
+  EventQueue q;
+  EventHandle h = q.schedule(SimTime(1), [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(q.reschedule(h, SimTime(5)));  // already fired
+  EventHandle c = q.schedule(SimTime(1), [] {});
+  q.cancel(c);
+  EXPECT_FALSE(q.reschedule(c, SimTime(5)));  // cancelled
+  EXPECT_FALSE(q.reschedule(EventHandle{}, SimTime(5)));  // default handle
+}
+
+TEST(EventQueueReschedule, RearmFromInsideFiringCallback) {
+  // The recurring-event fast path: the callback re-arms its own slot and the
+  // original handle stays valid across every firing.
+  EventQueue q;
+  struct State {
+    EventQueue* q;
+    EventHandle h;
+    int fired = 0;
+  } st{&q, {}, 0};
+  st.h = q.schedule(SimTime(10), [&st] {
+    if (++st.fired < 5) ASSERT_TRUE(st.q->reschedule(st.h, SimTime(st.fired * 10 + 10)));
+  });
+  SimTime last = SimTime::zero();
+  while (!q.empty()) last = q.pop_and_run();
+  EXPECT_EQ(st.fired, 5);
+  EXPECT_EQ(last, SimTime(50));
+  EXPECT_FALSE(q.pending(st.h));
+}
+
+TEST(EventQueueReschedule, FifoOrderFollowsRescheduleTime) {
+  // A rescheduled event ties with later-scheduled events at the same time:
+  // reschedule() consumes a fresh sequence number, exactly like the
+  // cancel+schedule pair it replaces.
+  EventQueue q;
+  std::vector<int> order;
+  EventHandle h = q.schedule(SimTime(5), [&] { order.push_back(0); });
+  q.schedule(SimTime(10), [&] { order.push_back(1); });
+  EXPECT_TRUE(q.reschedule(h, SimTime(10)));  // now ties with 1, but later seq
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(EventQueueReschedule, CancelThenReuseKeepsGenerationsDistinct) {
+  // A slot whose cancelled entry is still lazily parked in the heap must not
+  // resurrect the old handle when the slot is eventually recycled.
+  EventQueue q;
+  EventHandle old = q.schedule(SimTime(50), [] { FAIL() << "cancelled event fired"; });
+  q.cancel(old);
+  // Drain: the cancelled entry surfaces, the slot is recycled.
+  q.schedule(SimTime(1), [] {});
+  while (!q.empty()) q.pop_and_run();
+  bool fired = false;
+  EventHandle fresh = q.schedule(SimTime(60), [&] { fired = true; });
+  EXPECT_FALSE(q.pending(old));
+  EXPECT_FALSE(q.cancel(old));
+  EXPECT_FALSE(q.reschedule(old, SimTime(70)));
+  EXPECT_TRUE(q.pending(fresh));
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueClear, ResetsSequenceNumbering) {
+  // clear() must reset the FIFO tie-break counter: a reused queue has to
+  // behave exactly like a fresh one (determinism contract).
+  auto tie_break_order = [](EventQueue& q) {
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) q.schedule(SimTime(7), [&order, i] { order.push_back(i); });
+    while (!q.empty()) q.pop_and_run();
+    return order;
+  };
+  EventQueue fresh;
+  const auto expected = tie_break_order(fresh);
+  EventQueue reused;
+  reused.schedule(SimTime(1), [] {});
+  reused.schedule(SimTime(2), [] {});
+  reused.clear();
+  EXPECT_TRUE(reused.empty());
+  EXPECT_EQ(tie_break_order(reused), expected);
+}
+
+TEST(EventQueueClear, DropsPendingEventsAndHandles) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule(SimTime(5), [&] { fired = true; });
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pending(h));
+  EXPECT_FALSE(q.cancel(h));
+  EXPECT_FALSE(fired);
+}
+
 // Determinism: two identical runs produce the identical firing order.
 TEST(EventQueueProperty, DeterministicReplay) {
   auto run_once = [](std::uint64_t seed) {
