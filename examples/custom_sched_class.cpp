@@ -64,6 +64,10 @@ class DeadlineishClass final : public kern::SchedClass {
   }
 };
 
+// Out-of-tree classes get the same compile-time interface check as the
+// built-in ones — see kernel/sched_class.h.
+HPCS_ASSERT_SCHED_CLASS(DeadlineishClass);
+
 /// Fixed-size job body that reports its completion time.
 class Job final : public kern::TaskBody {
  public:

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Smoke-diff bench JSON output against golden ranges.
+
+Usage:
+    scripts/check_bench_json.py <golden.json> <bench_output_dir>
+
+The golden spec maps bench JSON file names to checks keyed by dotted paths
+into the document ("sweep.rows_bit_identical", "modes.1.exec_s" — integer
+segments index arrays). Each check is one of:
+
+    {"equals": <value>}            exact match (bools, strings, counts)
+    {"min": <x>}                   value >= x
+    {"max": <y>}                   value <= y
+    {"min": <x>, "max": <y>}      closed range
+
+Simulated metrics (exec_s, utilisation, ctx_switches) are deterministic
+functions of the config, so their ranges are tight: drifting outside one
+means the scheduler's behaviour changed and the golden file must be
+re-baselined deliberately. Wall-clock throughput numbers get loose one-sided
+bounds only.
+
+Exit status: 0 all checks pass, 1 any failure (missing file, missing path,
+out-of-range value).
+"""
+
+import json
+import sys
+
+
+def lookup(doc, dotted):
+    node = doc
+    for seg in dotted.split("."):
+        if isinstance(node, list):
+            node = node[int(seg)]
+        elif isinstance(node, dict):
+            node = node[seg]
+        else:
+            raise KeyError(seg)
+    return node
+
+
+def run_checks(spec_path, bench_dir):
+    with open(spec_path, encoding="utf-8") as f:
+        spec = json.load(f)
+
+    failures = 0
+    for fname, checks in spec.items():
+        path = f"{bench_dir}/{fname}"
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {fname}: cannot load ({e})")
+            failures += len(checks)
+            continue
+
+        for dotted, rule in checks.items():
+            try:
+                value = lookup(doc, dotted)
+            except (KeyError, IndexError, ValueError):
+                print(f"FAIL {fname}: {dotted} missing")
+                failures += 1
+                continue
+
+            ok = True
+            if "equals" in rule:
+                ok = value == rule["equals"]
+            if ok and "min" in rule:
+                ok = value >= rule["min"]
+            if ok and "max" in rule:
+                ok = value <= rule["max"]
+
+            if ok:
+                print(f"  ok  {fname}: {dotted} = {value}")
+            else:
+                print(f"FAIL {fname}: {dotted} = {value}, expected {rule}")
+                failures += 1
+
+    return failures
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("usage: check_bench_json.py <golden.json> <bench_output_dir>", file=sys.stderr)
+        return 2
+    failures = run_checks(argv[1], argv[2])
+    if failures:
+        print(f"bench smoke-diff: {failures} check(s) FAILED")
+        return 1
+    print("bench smoke-diff: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

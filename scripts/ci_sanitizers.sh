@@ -1,27 +1,90 @@
 #!/usr/bin/env bash
-# CI sanitizer sweep: build the tree and run the tier-1 test suite under
-# ASan+UBSan, then (optionally) under TSan to exercise the parallel
-# experiment engine. Usage:
-#   scripts/ci_sanitizers.sh            # ASan+UBSan only
-#   HPCS_CI_TSAN=1 scripts/ci_sanitizers.sh   # also run the TSan pass
+# CI pipeline: the full static-analysis + sanitizer matrix.
+#
+#   pass 1  release-strict   Release,        -Werror, hpcslint + ctest +
+#                            bench smoke-diff against scripts/bench_golden.json
+#   pass 2  asan-ubsan       RelWithDebInfo, -Werror, ASan+UBSan, ctest
+#   pass 3  tsan             RelWithDebInfo, -Werror, TSan, ctest
+#   pass 4  clang checks     (only if clang++ is installed) -Wthread-safety
+#                            build, the thread-safety negative fixture must
+#                            FAIL to compile, and clang-tidy if available
+#
+# Usage:
+#   scripts/ci_sanitizers.sh              # full matrix
+#   HPCS_CI_TSAN=0 scripts/ci_sanitizers.sh   # skip the TSan pass
+#   HPCS_CI_FAST=1 scripts/ci_sanitizers.sh   # pass 1 only (pre-push check)
+#
+# Any lint finding, warning, test failure, sanitizer report, or golden-range
+# miss fails the pipeline (set -e + -Werror + ctest exit codes).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-run_pass() {
+JOBS="$(nproc)"
+
+configure_and_test() {
   local name="$1" build_dir="$2"; shift 2
-  echo "=== sanitizer pass: ${name} ==="
-  cmake -B "${build_dir}" -S . "$@" >/dev/null
-  cmake --build "${build_dir}" -j "$(nproc)"
+  echo "=== pass: ${name} ==="
+  cmake -B "${build_dir}" -S . -DHPCS_WERROR=ON "$@" >/dev/null
+  cmake --build "${build_dir}" -j "${JOBS}"
   (cd "${build_dir}" && ctest --output-on-failure)
 }
 
-run_pass "ASan+UBSan" build-asan -DENABLE_SANITIZERS=ON
+# --- pass 1: strict release build, lint, tests, bench smoke-diff ----------
+configure_and_test "release-strict" build-ci -DCMAKE_BUILD_TYPE=Release
 
-if [[ "${HPCS_CI_TSAN:-0}" == "1" ]]; then
-  # TSan watches the parallel experiment engine; run the exp tests plus the
-  # integration suites that drive run_sweep.
-  run_pass "TSan" build-tsan -DHPCS_TSAN=ON
+echo "=== hpcslint over src/ bench/ tests/ ==="
+./build-ci/tools/hpcslint/hpcslint src bench tests
+
+echo "=== bench smoke-diff vs golden ranges ==="
+(cd build-ci/bench && ./table3_metbench >/dev/null && ./micro_simcore >/dev/null)
+python3 scripts/check_bench_json.py scripts/bench_golden.json build-ci/bench
+
+if [[ "${HPCS_CI_FAST:-0}" == "1" ]]; then
+  echo "HPCS_CI_FAST=1: skipping sanitizer passes"
+  echo "ci pipeline passed (fast mode)"
+  exit 0
 fi
 
-echo "sanitizer sweep passed"
+# --- pass 2: ASan+UBSan ----------------------------------------------------
+configure_and_test "asan-ubsan" build-asan \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DENABLE_SANITIZERS=ON
+
+# --- pass 3: TSan (watches the parallel experiment engine) ----------------
+if [[ "${HPCS_CI_TSAN:-1}" == "1" ]]; then
+  configure_and_test "tsan" build-tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHPCS_TSAN=ON
+else
+  echo "HPCS_CI_TSAN=0: skipping TSan pass"
+fi
+
+# --- pass 4: clang thread-safety analysis (if clang is available) ---------
+if command -v clang++ >/dev/null 2>&1; then
+  configure_and_test "clang-thread-safety" build-clang \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++
+
+  echo "=== thread-safety negative fixture must FAIL to compile ==="
+  if clang++ -std=c++20 -Isrc -fsyntax-only -Wthread-safety \
+      -Werror=thread-safety tests/fixtures/thread_safety_negative.cpp \
+      2>/tmp/hpcs_ts_negative.log; then
+    echo "ERROR: thread_safety_negative.cpp compiled clean — the analysis is off"
+    exit 1
+  fi
+  grep -q "thread-safety" /tmp/hpcs_ts_negative.log || {
+    echo "ERROR: fixture failed for a reason other than -Wthread-safety:"
+    cat /tmp/hpcs_ts_negative.log
+    exit 1
+  }
+  echo "fixture rejected as expected (unguarded GUARDED_BY access)"
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    scripts/run_clang_tidy.sh build-clang
+  else
+    echo "clang-tidy not installed: skipping"
+  fi
+else
+  echo "clang++ not installed: skipping thread-safety pass (gcc builds ignore the annotations)"
+fi
+
+echo "ci pipeline passed"

@@ -4,12 +4,12 @@
 // scheduler counters), with CSV export — the bulk-experimentation layer the
 // ablation benches and downstream studies build on.
 
-#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "analysis/experiment.h"
+#include "exp/pure_function.h"
 
 namespace hpcs::analysis {
 
@@ -17,7 +17,11 @@ struct SweepPoint {
   std::string label;
   ExperimentConfig config;
   /// Factory (sweeps reuse workloads across points; programs are one-shot).
-  std::function<std::vector<std::unique_ptr<mpi::RankProgram>>()> workload;
+  /// PureFunction enforces the engine's purity contract at compile time:
+  /// run_sweep may invoke this from any worker thread, so stateful factories
+  /// (`mutable` lambdas, functors with a non-const call operator) are
+  /// rejected where the point is built (see src/exp/pure_function.h).
+  exp::PureFunction<std::vector<std::unique_ptr<mpi::RankProgram>>()> workload;
 };
 
 struct SweepRow {

@@ -1,0 +1,85 @@
+#pragma once
+// Clang -Wthread-safety capability annotations, portable across compilers.
+//
+// The experiment engine is the only multi-threaded corner of the codebase
+// (the simulation itself is single-threaded by design), and its determinism
+// contract makes silent races especially costly: a data race does not crash,
+// it produces *almost* bit-identical sweep rows. Capability annotations turn
+// lock-discipline violations into compile errors under Clang
+// (`-Wthread-safety`, added automatically by the top-level CMakeLists when
+// the compiler is Clang); under GCC every macro expands to nothing.
+//
+// Conventions (see docs/static_analysis.md):
+//  * shared fields are declared `GUARDED_BY(mu_)`;
+//  * private helpers that expect the lock held are `REQUIRES(mu_)`;
+//  * public entry points that take the lock themselves are `EXCLUDES(mu_)`;
+//  * use the annotated `Mutex` / `MutexLock` / `CondVar` wrappers below —
+//    raw `std::mutex` is invisible to the analysis because libstdc++ carries
+//    no capability attributes.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define HPCS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HPCS_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+#define CAPABILITY(x) HPCS_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY HPCS_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) HPCS_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) HPCS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define REQUIRES(...) HPCS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) HPCS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ACQUIRE(...) HPCS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) HPCS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) HPCS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) HPCS_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS HPCS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#include <condition_variable>
+#include <mutex>
+
+namespace hpcs {
+
+/// `std::mutex` with the capability attribute the analysis needs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock whose scope the analysis understands (`std::lock_guard` over a
+/// plain `std::mutex` is opaque to it).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over the annotated Mutex. `wait()` is REQUIRES(mu):
+/// the caller holds the lock across the call (the internal unlock/relock is
+/// invisible to the analysis, as in every annotated condvar wrapper).
+class CondVar {
+ public:
+  void wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace hpcs

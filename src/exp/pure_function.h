@@ -1,0 +1,59 @@
+#pragma once
+// Compile-time purity contract for workload factories.
+//
+// The parallel experiment engine re-invokes workload factories on worker
+// threads (one invocation per sweep point / cluster job), so a factory that
+// mutates captured state produces sweeps that *almost* reproduce: rows drift
+// with worker interleaving instead of crashing. PureFunction<R(Args...)>
+// narrows std::function at the type level: it only accepts callables that
+// are invocable through a const reference, which rejects the canonical
+// stateful-factory shapes — `mutable` lambdas and functors with a
+// non-const operator() — at the call site that tries to build the
+// SweepPoint, instead of in a diverged BENCH json three PRs later.
+//
+// What this cannot see: mutation through captured references/pointers. That
+// residue is what the TSan leg of scripts/ci_sanitizers.sh is for; the two
+// checks together implement the ROADMAP's "audit workload factories for
+// hidden shared state" as a standing contract rather than a one-off review.
+
+#include <concepts>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+namespace hpcs::exp {
+
+/// A factory the experiment engine may call from any worker thread:
+/// const-invocable (stateless as far as its own call operator goes),
+/// copyable, and returning R.
+template <typename F, typename R, typename... Args>
+concept PureFactory = std::invocable<const F&, Args...> &&
+                      std::convertible_to<std::invoke_result_t<const F&, Args...>, R> &&
+                      std::copy_constructible<std::decay_t<F>>;
+
+template <typename Signature>
+class PureFunction;
+
+/// Drop-in for std::function<R(Args...)> whose converting constructor is
+/// constrained by PureFactory. Intentionally implicit, like std::function:
+/// existing call sites keep compiling unchanged — unless the lambda is
+/// `mutable`, which now fails overload resolution.
+template <typename R, typename... Args>
+class PureFunction<R(Args...)> {
+ public:
+  PureFunction() = default;
+
+  template <typename F>
+    requires(!std::same_as<std::remove_cvref_t<F>, PureFunction> &&
+             PureFactory<F, R, Args...>)
+  PureFunction(F&& f) : fn_(std::forward<F>(f)) {}  // NOLINT(google-explicit-constructor)
+
+  R operator()(Args... args) const { return fn_(std::forward<Args>(args)...); }
+
+  [[nodiscard]] explicit operator bool() const { return static_cast<bool>(fn_); }
+
+ private:
+  std::function<R(Args...)> fn_;
+};
+
+}  // namespace hpcs::exp

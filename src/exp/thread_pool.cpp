@@ -13,7 +13,7 @@ ThreadPool::ThreadPool(unsigned workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -22,7 +22,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(job));
   }
   work_cv_.notify_one();
@@ -34,7 +34,7 @@ void ThreadPool::wait_idle() {
     for (;;) {
       std::function<void()> job;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (queue_.empty()) return;
         job = std::move(queue_.front());
         queue_.pop_front();
@@ -42,16 +42,16 @@ void ThreadPool::wait_idle() {
       job();
     }
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!idle()) idle_cv_.wait(mu_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.wait(mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to do
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -59,7 +59,7 @@ void ThreadPool::worker_loop() {
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
     }
     idle_cv_.notify_all();

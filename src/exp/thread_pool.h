@@ -7,14 +7,18 @@
 // cancellation — the experiment layer writes results into caller-owned slots,
 // which keeps result ordering independent of execution order (the engine's
 // determinism contract, see docs/performance.md).
+//
+// All shared state is GUARDED_BY(mu_): under Clang, -Wthread-safety rejects
+// any access outside the lock at compile time (see
+// src/common/thread_annotations.h and docs/static_analysis.md).
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace hpcs::exp {
 
@@ -33,22 +37,26 @@ class ThreadPool {
 
   /// Enqueue a job. Jobs must not throw — wrap exception capture inside the
   /// callable (ParallelRunner does).
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) EXCLUDES(mu_);
 
   /// Block until the queue is empty and every worker is idle. With zero
   /// workers, drains the queue on the calling thread instead.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
+  /// One queued job is ready to pop (callers re-check under the lock).
+  [[nodiscard]] bool idle() const REQUIRES(mu_) {
+    return queue_.empty() && in_flight_ == 0;
+  }
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   ///< signalled when a job is queued / shutting down
-  std::condition_variable idle_cv_;   ///< signalled when a job finishes
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;  ///< jobs popped but not yet finished
-  bool stop_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  CondVar work_cv_;  ///< signalled when a job is queued / shutting down
+  CondVar idle_cv_;  ///< signalled when a job finishes
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;  ///< jobs popped but not yet finished
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  ///< written once in the ctor, joined in the dtor
 };
 
 }  // namespace hpcs::exp

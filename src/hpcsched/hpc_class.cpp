@@ -7,6 +7,8 @@
 
 namespace hpcs::hpc {
 
+HPCS_ASSERT_SCHED_CLASS(HpcSchedClass);
+
 HpcSchedClass::HpcSchedClass(HpcTunables tunables, std::unique_ptr<Heuristic> heuristic,
                              std::unique_ptr<Mechanism> mechanism)
     : tun_(tunables), heuristic_(std::move(heuristic)), mechanism_(std::move(mechanism)) {

@@ -6,6 +6,9 @@
 #include "kernel/kernel.h"
 
 namespace hpcs::kern {
+
+HPCS_ASSERT_SCHED_CLASS(CfsClass);
+
 namespace {
 
 CfsKey key_of(const Task& t) { return {t.vruntime.ns(), t.pid()}; }

@@ -25,4 +25,6 @@ class IdleClass final : public SchedClass {
   [[nodiscard]] bool wakeup_preempt(Kernel&, Rq&, Task&, Task&) override { return true; }
 };
 
+HPCS_ASSERT_SCHED_CLASS(IdleClass);
+
 }  // namespace hpcs::kern

@@ -549,6 +549,9 @@ void Kernel::set_nice(Task& t, int nice) { t.nice = std::clamp(nice, -20, 19); }
 // Tick + balancing
 // ---------------------------------------------------------------------------
 
+// HPCS_HOT_BEGIN — the highest-volume event in the simulator (one per CPU
+// per simulated millisecond); the schedule_in fallback below captures only
+// [this, cpu], which fits InplaceFunction's inline buffer.
 void Kernel::on_tick(CpuId cpu) {
   CpuState& c = cs(cpu);
   ++c.ticks;
@@ -573,6 +576,7 @@ void Kernel::on_tick(CpuId cpu) {
     resched_cpu(cpu);
   }
 }
+// HPCS_HOT_END
 
 bool Kernel::balance_pull(CpuId cpu, SchedClass& cls) {
   const auto ci = static_cast<std::size_t>(cls.index());

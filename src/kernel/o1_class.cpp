@@ -7,6 +7,8 @@
 
 namespace hpcs::kern {
 
+HPCS_ASSERT_SCHED_CLASS(O1Class);
+
 O1Rq& O1Class::orq(Rq& rq, int index) {
   return static_cast<O1Rq&>(*rq.class_rqs[static_cast<std::size_t>(index)]);
 }

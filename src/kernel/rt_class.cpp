@@ -7,6 +7,8 @@
 
 namespace hpcs::kern {
 
+HPCS_ASSERT_SCHED_CLASS(RtClass);
+
 RtRq& RtClass::rrq(Rq& rq, int index) {
   return static_cast<RtRq&>(*rq.class_rqs[static_cast<std::size_t>(index)]);
 }

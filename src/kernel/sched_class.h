@@ -4,8 +4,10 @@
 // order — no task from a lower class runs while a higher class has runnable
 // tasks. Each class brings its own run-queue data structure (ClassRq).
 
+#include <concepts>
 #include <memory>
 #include <numeric>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.h"
@@ -93,5 +95,38 @@ class SchedClass {
  private:
   int index_ = -1;
 };
+
+/// Compile-time contract for a concrete scheduling class: derives from
+/// SchedClass, is instantiable (every pure-virtual hook overridden), and its
+/// hooks carry the exact signatures the Scheduler Core calls — a stale
+/// override that silently stopped overriding (e.g. after an interface
+/// change) makes the class abstract or breaks a `requires` clause here, so
+/// the mistake surfaces where the class is defined rather than as a subtly
+/// mis-scheduled run. Pair with hpcslint's missing-override rule, which
+/// catches hook declarations that compile but shadow instead of override.
+template <typename T>
+concept SchedClassImpl =
+    std::derived_from<T, SchedClass> && !std::is_abstract_v<T> &&
+    requires(T& c, const T& cc, Kernel& k, Rq& rq, Task& t) {
+      { cc.name() } -> std::convertible_to<const char*>;
+      { cc.owns(Policy{}) } -> std::same_as<bool>;
+      { cc.make_rq() } -> std::same_as<std::unique_ptr<ClassRq>>;
+      { c.enqueue(k, rq, t, true) } -> std::same_as<void>;
+      { c.dequeue(k, rq, t, true) } -> std::same_as<void>;
+      { c.pick_next(k, rq) } -> std::same_as<Task*>;
+      { c.put_prev(k, rq, t) } -> std::same_as<void>;
+      { c.task_tick(k, rq, t) } -> std::same_as<void>;
+      { c.wakeup_preempt(k, rq, t, t) } -> std::same_as<bool>;
+      { c.yield(k, rq, t) } -> std::same_as<void>;
+      { c.steal_candidate(k, rq) } -> std::same_as<Task*>;
+      { cc.wants_balance() } -> std::same_as<bool>;
+      { cc.wakeup_cost() } -> std::same_as<Duration>;
+    };
+
+/// Place next to a concrete class definition (or in its .cpp) so interface
+/// drift fails the build with the class named in the error.
+#define HPCS_ASSERT_SCHED_CLASS(T)              \
+  static_assert(::hpcs::kern::SchedClassImpl<T>, \
+                #T " does not satisfy the SchedClass contract (kernel/sched_class.h)")
 
 }  // namespace hpcs::kern

@@ -57,6 +57,12 @@ class EventHandle {
 
 class EventQueue {
  public:
+  // HPCS_HOT_BEGIN — the public dispatch surface: every simulated event
+  // passes through here, and none of it may allocate or construct a
+  // std::function (hpcslint enforces; docs/performance.md explains). The
+  // only allocation in the queue lives in alloc_slot(), deliberately outside
+  // the hot regions: it runs once per slot-table growth, not per event.
+
   /// Schedule `cb` to fire at absolute time `when` (must not be in the past
   /// relative to the last popped event).
   EventHandle schedule(SimTime when, EventCallback cb) {
@@ -188,6 +194,8 @@ class EventQueue {
     next_seq_ = 0;
   }
 
+  // HPCS_HOT_END
+
  private:
   struct HeapEntry {
     SimTime when;
@@ -236,6 +244,8 @@ class EventQueue {
     }
     return id;
   }
+
+  // HPCS_HOT_BEGIN — per-event heap maintenance and dispatch.
 
   // Hand-rolled binary-heap sifts. Unlike std::pop_heap's hole-to-leaf
   // strategy, sift-down stops as soon as the moved element dominates both
@@ -325,6 +335,8 @@ class EventQueue {
       free_slots_.push_back(id);
     }
   }
+
+  // HPCS_HOT_END
 
   std::vector<HeapEntry> heap_;  ///< binary min-heap by (when, seq)
   std::vector<std::unique_ptr<Slot[]>> chunks_;

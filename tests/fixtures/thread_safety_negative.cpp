@@ -1,0 +1,52 @@
+// NEGATIVE fixture — this file must NOT compile under clang with
+// -Werror=thread-safety. CI compiles it with
+//   clang++ -std=c++20 -Isrc -fsyntax-only -Wthread-safety -Werror=thread-safety
+// and fails the build if it is *accepted*: that would mean the annotations
+// in common/thread_annotations.h stopped engaging the analysis.
+//
+// It lives under tests/fixtures/ so neither the tests/CMakeLists.txt glob
+// (test_*.cpp) nor hpcslint's tree walk (fixture dirs are skipped) picks it
+// up. Under gcc the annotation macros expand to nothing and the file is
+// ordinary (wrong) code that never gets built.
+//
+// Expected diagnostics, one per violation below:
+//   warning: reading variable 'queue_depth_' requires holding mutex 'mu_'
+//   warning: writing variable 'queue_depth_' requires holding mutex 'mu_'
+//   warning: calling function 'drain' requires holding mutex 'mu_'
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class UnguardedCounter {
+ public:
+  // BAD: reads mu_-guarded state without holding mu_.
+  [[nodiscard]] int peek() const { return queue_depth_; }
+
+  // BAD: writes guarded state lock-free.
+  void bump() { ++queue_depth_; }
+
+  // BAD: calls a REQUIRES(mu_) member without the lock.
+  void flush() { drain(); }
+
+  // Good twin, for contrast: this one the analysis accepts.
+  void bump_locked() {
+    hpcs::MutexLock lock(mu_);
+    ++queue_depth_;
+  }
+
+ private:
+  void drain() REQUIRES(mu_) { queue_depth_ = 0; }
+
+  mutable hpcs::Mutex mu_;
+  int queue_depth_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  UnguardedCounter c;
+  c.bump();
+  c.flush();
+  return c.peek();
+}

@@ -196,7 +196,9 @@ TEST(EventQueueReschedule, RearmFromInsideFiringCallback) {
     int fired = 0;
   } st{&q, {}, 0};
   st.h = q.schedule(SimTime(10), [&st] {
-    if (++st.fired < 5) ASSERT_TRUE(st.q->reschedule(st.h, SimTime(st.fired * 10 + 10)));
+    if (++st.fired < 5) {
+      ASSERT_TRUE(st.q->reschedule(st.h, SimTime(st.fired * 10 + 10)));
+    }
   });
   SimTime last = SimTime::zero();
   while (!q.empty()) last = q.pop_and_run();

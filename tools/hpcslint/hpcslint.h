@@ -1,0 +1,59 @@
+#pragma once
+// hpcslint — the project's determinism & hot-path lint.
+//
+// The whole reproduction stands on one contract: a simulation run is a pure
+// function of its config, so exp::ParallelRunner can fan sweeps across
+// threads with bit-identical results. hpcslint statically rejects the code
+// shapes that quietly break that contract (wall-clock reads, ambient RNG,
+// hash-order iteration, pointer-keyed ordering) plus the allocation patterns
+// the event-loop hot path was rebuilt to avoid. It is a lightweight lexer —
+// no libclang — that blanks comments/strings and pattern-matches token
+// streams; each rule documents its heuristic next to its implementation in
+// hpcslint.cpp, and `// HPCSLINT-ALLOW(rule)` suppresses a finding on the
+// same line (or on the next line when the comment stands alone).
+//
+// Rules (see docs/static_analysis.md for rationale and examples):
+//   wallclock        std::chrono::{system,steady,high_resolution}_clock
+//   rand             rand/srand/rand_r/drand48, std::random_device, time(...)
+//   unordered-iter   range-for / .begin() over unordered_{map,set} variables
+//   pointer-key      map/set/less/greater keyed on a raw pointer type
+//   hot-alloc        new / make_unique / make_shared / malloc / std::function
+//                    inside // HPCS_HOT_BEGIN .. // HPCS_HOT_END regions
+//   missing-override SchedClass hook declared without `override` in a class
+//                    deriving from SchedClass
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcslint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Lint one translation unit given as text. `file_label` is only used to
+/// fill Finding::file — the unit tests feed synthetic sources through this.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& file_label,
+                                               std::string_view source);
+
+/// Lint a file on disk (returns a single io-error finding if unreadable).
+[[nodiscard]] std::vector<Finding> lint_file(const std::filesystem::path& path);
+
+/// Recursively lint every *.h/*.hpp/*.cc/*.cpp under the given roots,
+/// skipping any directory named "fixtures" (fixture files deliberately
+/// violate the rules). Files are visited in sorted path order so output is
+/// deterministic — the lint practices what it preaches.
+[[nodiscard]] std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots);
+
+/// "file:line: [rule] message" — the single line format CI greps.
+[[nodiscard]] std::string format_finding(const Finding& f);
+
+/// Every rule name, for --list-rules and the self-test harness.
+[[nodiscard]] const std::vector<std::string>& rule_names();
+
+}  // namespace hpcslint
