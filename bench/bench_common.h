@@ -6,23 +6,148 @@
 // mode order, so output is bit-identical to the serial drivers).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "analysis/paper_experiments.h"
 #include "analysis/tables.h"
 #include "bench_json.h"
+#include "common/log.h"
 #include "exp/parallel_runner.h"
+#include "obs/chrome_trace.h"
+#include "obs/manifest.h"
 
 namespace hpcs::bench {
 
+/// Observability knobs shared by the bench drivers. Off by default so the
+/// golden numbers are unaffected; switched on by flag or environment:
+///   --obs / HPCS_OBS=1            metrics registry + tracepoint rings,
+///                                 MANIFEST_<name>.json (+ .host.json sidecar)
+///   --obs-trace PATH / HPCS_OBS_TRACE=PATH
+///                                 additionally capture a Chrome-trace /
+///                                 Perfetto JSON view of every run into PATH
+///                                 (implies --obs)
+struct ObsOptions {
+  obs::ObsConfig cfg;
+  std::string trace_path;
+};
+
+inline ObsOptions parse_obs_options(int argc, char** argv) {
+  ObsOptions o;
+  if (const char* env = std::getenv("HPCS_OBS")) {
+    if (env[0] != '\0' && std::strcmp(env, "0") != 0) o.cfg.enabled = true;
+  }
+  if (const char* env = std::getenv("HPCS_OBS_TRACE")) {
+    if (env[0] != '\0') o.trace_path = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--obs") == 0) {
+      o.cfg.enabled = true;
+    } else if (std::strcmp(a, "--obs-trace") == 0 && i + 1 < argc) {
+      o.trace_path = argv[i + 1];
+    } else if (std::strncmp(a, "--obs-trace=", 12) == 0) {
+      o.trace_path = a + 12;
+    }
+  }
+  if (!o.trace_path.empty()) {
+    o.cfg.enabled = true;
+    o.cfg.chrome_trace = true;
+  }
+  return o;
+}
+
+/// Wire the runtime log threshold: HPCS_LOG_LEVEL first, then --log-level
+/// LEVEL / --log-level=LEVEL so the flag wins. Unknown levels warn and keep
+/// the current threshold rather than aborting a long bench run.
+inline void init_logging(int argc, char** argv) {
+  init_log_level_from_env();
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* val = nullptr;
+    if (std::strcmp(a, "--log-level") == 0 && i + 1 < argc) {
+      val = argv[i + 1];
+    } else if (std::strncmp(a, "--log-level=", 12) == 0) {
+      val = a + 12;
+    }
+    if (val != nullptr) {
+      LogLevel lvl;
+      if (parse_log_level(val, lvl)) {
+        set_log_level(lvl);
+      } else {
+        std::fprintf(stderr, "warning: unknown log level '%s'\n", val);
+      }
+    }
+  }
+}
+
 /// Run one experiment per mode through the parallel engine; results come
-/// back in mode order regardless of worker interleaving.
+/// back in mode order regardless of worker interleaving. `host_stats`, when
+/// given, receives the engine's host-side stats for the .host.json sidecar.
 template <typename RunFn>
 std::vector<analysis::RunResult> run_modes(unsigned jobs,
                                            const std::vector<analysis::SchedMode>& modes,
-                                           RunFn run) {
+                                           RunFn run,
+                                           exp::EngineStats* host_stats = nullptr) {
   exp::ParallelRunner runner(jobs);
-  return runner.map(modes.size(), [&](std::size_t i) { return run(modes[i]); });
+  auto results = runner.map(modes.size(), [&](std::size_t i) { return run(modes[i]); });
+  if (host_stats != nullptr) *host_stats = runner.last_stats();
+  return results;
+}
+
+/// MANIFEST_<name>.json: the deterministic per-run metrics manifest (one
+/// entry per mode, fixed metric order — see docs/observability.md). A sweep
+/// run with --jobs N produces a byte-identical file to the serial run.
+inline void write_metrics_manifest(const char* name,
+                                   const std::vector<analysis::SchedMode>& modes,
+                                   const std::vector<analysis::RunResult>& results) {
+  std::vector<obs::ManifestRun> runs;
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    runs.push_back({analysis::sched_mode_name(modes[i]), results[i].metrics});
+  }
+  obs::write_manifest_json(std::string("MANIFEST_") + name + ".json", name, runs);
+}
+
+/// MANIFEST_<name>.host.json: host-side sidecar (pool stats + wall time).
+/// Deliberately a separate file — it is the one place wall-clock appears, so
+/// the main manifest stays byte-comparable across machines and job counts.
+inline void write_host_sidecar(const char* name, unsigned jobs,
+                               const exp::EngineStats& s) {
+  JsonObject root;
+  root.field("schema", "hpcs-obs-host-v1").field("bench", name).field("jobs", jobs);
+  JsonObject engine;
+  engine.field("tasks", s.tasks)
+      .field("workers", s.workers)
+      .field("jobs_submitted", s.jobs_submitted)
+      .field("jobs_executed", s.jobs_executed)
+      .field("max_queue_depth", s.max_queue_depth)
+      .field("wall_ms", s.wall_ms);
+  root.object("engine", engine);
+  write_json_file(std::string("MANIFEST_") + name + ".host.json", root);
+}
+
+/// One-call obs epilogue for a table/ablation driver: manifest + host
+/// sidecar (+ Chrome trace when --obs-trace was given). No-op with obs off.
+inline void write_obs_outputs(const char* name, const ObsOptions& o, unsigned jobs,
+                              const std::vector<analysis::SchedMode>& modes,
+                              const std::vector<analysis::RunResult>& results,
+                              const exp::EngineStats* host_stats = nullptr) {
+  if (!o.cfg.enabled) return;
+  write_metrics_manifest(name, modes, results);
+  if (host_stats != nullptr) write_host_sidecar(name, jobs, *host_stats);
+  if (!o.trace_path.empty()) {
+    std::vector<obs::ChromeTraceRun> runs;
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      if (results[i].chrome) {
+        runs.push_back({analysis::sched_mode_name(modes[i]), results[i].chrome.get()});
+      }
+    }
+    if (obs::write_chrome_trace(o.trace_path, runs)) {
+      std::printf("wrote Chrome trace: %s (open in ui.perfetto.dev)\n", o.trace_path.c_str());
+    }
+  }
 }
 
 /// BENCH_<name>.json for a table driver: one entry per mode with the

@@ -7,8 +7,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <utility>
 
 #include "analysis/paper_experiments.h"
+#include "fig_common.h"
 #include "trace/csv.h"
 #include "trace/paraver.h"
 
@@ -47,35 +49,44 @@ void export_run(const std::string& dir, const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_logging(argc, argv);
+  bench::FigObs fobs("export_figdata", bench::parse_obs_options(argc, argv));
   const std::string dir = "bench_data";
   std::filesystem::create_directories(dir);
   std::printf("=== exporting figure data to ./%s ===\n", dir.c_str());
 
+  // With --obs-trace the same runs additionally land in one Chrome-trace /
+  // Perfetto file (each export as its own "process") next to the CSVs.
+  const auto keep = [&](const char* name, analysis::RunResult r) {
+    export_run(dir, name, r);
+    fobs.keep(name, std::move(r));
+  };
   {
     auto e = analysis::MetBenchExperiment::paper();
     e.workload.iterations = 12;
-    export_run(dir, "fig3a_metbench_baseline",
-               analysis::run_metbench(e, SchedMode::kBaselineCfs, true));
-    export_run(dir, "fig3c_metbench_uniform",
-               analysis::run_metbench(e, SchedMode::kUniform, true));
+    keep("fig3a_metbench_baseline",
+         analysis::run_metbench(e, SchedMode::kBaselineCfs, true, 1, fobs.cfg()));
+    keep("fig3c_metbench_uniform",
+         analysis::run_metbench(e, SchedMode::kUniform, true, 1, fobs.cfg()));
   }
   {
     const auto e = analysis::MetBenchVarExperiment::paper();
-    export_run(dir, "fig4c_metbenchvar_uniform",
-               analysis::run_metbenchvar(e, SchedMode::kUniform, true));
+    keep("fig4c_metbenchvar_uniform",
+         analysis::run_metbenchvar(e, SchedMode::kUniform, true, 1, fobs.cfg()));
   }
   {
     auto e = analysis::BtMzExperiment::paper();
     e.workload.iterations = 60;
-    export_run(dir, "fig5c_btmz_uniform", analysis::run_btmz(e, SchedMode::kUniform, true));
+    keep("fig5c_btmz_uniform", analysis::run_btmz(e, SchedMode::kUniform, true, 1, fobs.cfg()));
   }
   {
     auto e = analysis::SiestaExperiment::paper();
     e.workload.microiters = 8000;
-    export_run(dir, "fig6b_siesta_uniform",
-               analysis::run_siesta(e, SchedMode::kUniform, true));
+    keep("fig6b_siesta_uniform",
+         analysis::run_siesta(e, SchedMode::kUniform, true, 1, fobs.cfg()));
   }
+  fobs.finish();
   std::printf("done.\n");
   return 0;
 }

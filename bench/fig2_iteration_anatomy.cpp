@@ -7,13 +7,17 @@
 #include <cstdio>
 
 #include "analysis/paper_experiments.h"
+#include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcs;
 
+  bench::init_logging(argc, argv);
+  bench::FigObs fobs("fig2_iteration_anatomy", bench::parse_obs_options(argc, argv));
   auto e = analysis::MetBenchExperiment::paper();
   e.workload.iterations = 6;
-  auto r = analysis::run_metbench(e, analysis::SchedMode::kUniform, /*trace=*/true);
+  auto r = analysis::run_metbench(e, analysis::SchedMode::kUniform, /*trace=*/true,
+                                  /*seed=*/1, fobs.cfg());
 
   std::printf("=== Figure 2: HPC application iterative behaviour ===\n\n");
   std::printf("one iteration = computing phase (t_R) + waiting phase (t_W);\n");
@@ -30,5 +34,7 @@ int main() {
   std::printf(
       "\nthe imbalance is visible in iteration 1 (light ~25%%, heavy ~100%%); the\n"
       "heuristic applies priorities before iteration 2 and both settle near 100%%.\n");
+  fobs.keep("Uniform", std::move(r));
+  fobs.finish();
   return 0;
 }

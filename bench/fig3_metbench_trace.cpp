@@ -5,10 +5,12 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcs;
   using analysis::SchedMode;
 
+  bench::init_logging(argc, argv);
+  bench::FigObs fobs("fig3_metbench", bench::parse_obs_options(argc, argv));
   auto e = analysis::MetBenchExperiment::paper();
   e.workload.iterations = 12;  // enough iterations to see the pattern clearly
 
@@ -18,10 +20,12 @@ int main() {
         std::pair{SchedMode::kStatic, "(b) static prioritization"},
         std::pair{SchedMode::kUniform, "(c) Uniform prioritization"},
         std::pair{SchedMode::kAdaptive, "(d) Adaptive prioritization"}}) {
-    auto r = analysis::run_metbench(e, mode, /*trace=*/true);
+    auto r = analysis::run_metbench(e, mode, /*trace=*/true, /*seed=*/1, fobs.cfg());
     bench::print_trace_figure(label, r);
     if (analysis::is_dynamic_mode(mode)) bench::print_iteration_series(r);
     std::printf("\n");
+    fobs.keep(label, std::move(r));
   }
+  fobs.finish();
   return 0;
 }

@@ -6,10 +6,12 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcs;
   using analysis::SchedMode;
 
+  bench::init_logging(argc, argv);
+  bench::FigObs fobs("fig4_metbenchvar", bench::parse_obs_options(argc, argv));
   const auto e = analysis::MetBenchVarExperiment::paper();
 
   std::printf("=== Figure 4: effect of the proposed solution on MetBenchVar ===\n\n");
@@ -18,7 +20,7 @@ int main() {
         std::pair{SchedMode::kStatic, "(b) static prioritization"},
         std::pair{SchedMode::kUniform, "(c) Uniform prioritization"},
         std::pair{SchedMode::kAdaptive, "(d) Adaptive prioritization"}}) {
-    auto r = analysis::run_metbenchvar(e, mode, /*trace=*/true);
+    auto r = analysis::run_metbenchvar(e, mode, /*trace=*/true, /*seed=*/1, fobs.cfg());
     bench::print_trace_figure(label, r, 135);
     if (analysis::is_dynamic_mode(mode)) {
       bench::print_iteration_series(r);
@@ -26,6 +28,8 @@ int main() {
                   static_cast<long long>(r.hpc_history_resets));
     }
     std::printf("\n");
+    fobs.keep(label, std::move(r));
   }
+  fobs.finish();
   return 0;
 }

@@ -3,10 +3,12 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcs;
   using analysis::SchedMode;
 
+  bench::init_logging(argc, argv);
+  bench::FigObs fobs("fig5_btmz", bench::parse_obs_options(argc, argv));
   auto e = analysis::BtMzExperiment::paper();
   e.workload.iterations = 60;  // a representative window
 
@@ -16,9 +18,11 @@ int main() {
         std::pair{SchedMode::kStatic, "(b) static prioritization"},
         std::pair{SchedMode::kUniform, "(c) Uniform prioritization"},
         std::pair{SchedMode::kAdaptive, "(d) Adaptive prioritization"}}) {
-    auto r = analysis::run_btmz(e, mode, /*trace=*/true);
+    auto r = analysis::run_btmz(e, mode, /*trace=*/true, /*seed=*/1, fobs.cfg());
     bench::print_trace_figure(label, r, 120);
     std::printf("\n");
+    fobs.keep(label, std::move(r));
   }
+  fobs.finish();
   return 0;
 }

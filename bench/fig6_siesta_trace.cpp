@@ -6,10 +6,12 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcs;
   using analysis::SchedMode;
 
+  bench::init_logging(argc, argv);
+  bench::FigObs fobs("fig6_siesta", bench::parse_obs_options(argc, argv));
   auto e = analysis::SiestaExperiment::paper();
   e.workload.microiters = 8000;  // a window of the full run
   e.workload.mark_every = 100;
@@ -19,11 +21,13 @@ int main() {
        {std::pair{SchedMode::kBaselineCfs, "(a) standard execution"},
         std::pair{SchedMode::kUniform, "(b) Uniform prioritization"},
         std::pair{SchedMode::kAdaptive, "(c) Adaptive prioritization"}}) {
-    auto r = analysis::run_siesta(e, mode, /*trace=*/true);
+    auto r = analysis::run_siesta(e, mode, /*trace=*/true, /*seed=*/1, fobs.cfg());
     bench::print_trace_figure(label, r, 120);
     std::printf("avg wakeup latency per rank (us):");
     for (const auto& rank : r.ranks) std::printf(" %.1f", rank.avg_wakeup_latency_us);
     std::printf("\n\n");
+    fobs.keep(label, std::move(r));
   }
+  fobs.finish();
   return 0;
 }

@@ -8,14 +8,21 @@ int main(int argc, char** argv) {
   using namespace hpcs;
   using analysis::SchedMode;
 
+  bench::init_logging(argc, argv);
   const unsigned jobs = exp::parse_jobs_flag(argc, argv);
+  const bench::ObsOptions obs = bench::parse_obs_options(argc, argv);
   const auto e = analysis::MetBenchExperiment::paper();
   const std::vector<SchedMode> modes = {SchedMode::kBaselineCfs, SchedMode::kStatic,
                                         SchedMode::kUniform, SchedMode::kAdaptive};
 
   std::printf("=== Table III: MetBench characterization ===\n\n");
-  auto results = bench::run_modes(jobs, modes,
-                                  [&e](SchedMode m) { return analysis::run_metbench(e, m); });
+  exp::EngineStats host{};
+  auto results = bench::run_modes(
+      jobs, modes,
+      [&e, &obs](SchedMode m) {
+        return analysis::run_metbench(e, m, /*trace=*/false, /*seed=*/1, obs.cfg);
+      },
+      &host);
   auto& baseline = results[0];
   auto& stat = results[1];
   auto& uniform = results[2];
@@ -48,5 +55,6 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n",
               analysis::render_characterization_table("Table III (measured)", sections).c_str());
   bench::write_table_json("table3_metbench", jobs, modes, results);
+  bench::write_obs_outputs("table3_metbench", obs, jobs, modes, results, &host);
   return 0;
 }

@@ -9,14 +9,21 @@ int main(int argc, char** argv) {
   using namespace hpcs;
   using analysis::SchedMode;
 
+  bench::init_logging(argc, argv);
   const unsigned jobs = exp::parse_jobs_flag(argc, argv);
+  const bench::ObsOptions obs = bench::parse_obs_options(argc, argv);
   const auto e = analysis::MetBenchVarExperiment::paper();
   const std::vector<SchedMode> modes = {SchedMode::kBaselineCfs, SchedMode::kStatic,
                                         SchedMode::kUniform, SchedMode::kAdaptive};
 
   std::printf("=== Table IV: MetBenchVar characterization (k=15, 45 iterations) ===\n\n");
-  auto results = bench::run_modes(jobs, modes,
-                                  [&e](SchedMode m) { return analysis::run_metbenchvar(e, m); });
+  exp::EngineStats host{};
+  auto results = bench::run_modes(
+      jobs, modes,
+      [&e, &obs](SchedMode m) {
+        return analysis::run_metbenchvar(e, m, /*trace=*/false, /*seed=*/1, obs.cfg);
+      },
+      &host);
   auto& baseline = results[0];
   auto& stat = results[1];
   auto& uniform = results[2];
@@ -50,5 +57,6 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n",
               analysis::render_characterization_table("Table IV (measured)", sections).c_str());
   bench::write_table_json("table4_metbenchvar", jobs, modes, results);
+  bench::write_obs_outputs("table4_metbenchvar", obs, jobs, modes, results, &host);
   return 0;
 }

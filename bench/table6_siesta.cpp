@@ -10,14 +10,21 @@ int main(int argc, char** argv) {
   using namespace hpcs;
   using analysis::SchedMode;
 
+  bench::init_logging(argc, argv);
   const unsigned jobs = exp::parse_jobs_flag(argc, argv);
+  const bench::ObsOptions obs = bench::parse_obs_options(argc, argv);
   const auto e = analysis::SiestaExperiment::paper();
   const std::vector<SchedMode> modes = {SchedMode::kBaselineCfs, SchedMode::kUniform,
                                         SchedMode::kAdaptive};
 
   std::printf("=== Table VI: SIESTA characterization ===\n\n");
-  auto results = bench::run_modes(jobs, modes,
-                                  [&e](SchedMode m) { return analysis::run_siesta(e, m); });
+  exp::EngineStats host{};
+  auto results = bench::run_modes(
+      jobs, modes,
+      [&e, &obs](SchedMode m) {
+        return analysis::run_siesta(e, m, /*trace=*/false, /*seed=*/1, obs.cfg);
+      },
+      &host);
   auto& baseline = results[0];
   auto& uniform = results[1];
   auto& adaptive = results[2];
@@ -51,5 +58,6 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n",
               analysis::render_characterization_table("Table VI (measured)", sections).c_str());
   bench::write_table_json("table6_siesta", jobs, modes, results);
+  bench::write_obs_outputs("table6_siesta", obs, jobs, modes, results, &host);
   return 0;
 }

@@ -19,12 +19,135 @@ means the scheduler's behaviour changed and the golden file must be
 re-baselined deliberately. Wall-clock throughput numbers get loose one-sided
 bounds only.
 
+Besides the golden checks, every MANIFEST_*.json present in the output dir is
+validated against the observability manifest schema (hpcs-obs-manifest-v1):
+run layout, metric kinds, histogram bucket/edge arity, unique metric names,
+and the fixed-layout contract (every run carries the identical metric
+name/kind sequence). Host sidecars (MANIFEST_*.host.json) are checked for
+their own schema tag and engine-stat fields.
+
 Exit status: 0 all checks pass, 1 any failure (missing file, missing path,
-out-of-range value).
+out-of-range value, malformed manifest).
 """
 
+import glob
 import json
+import os
 import sys
+
+MANIFEST_SCHEMA = "hpcs-obs-manifest-v1"
+HOST_SCHEMA = "hpcs-obs-host-v1"
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+def validate_manifest(doc, fname):
+    """Return a list of problem strings for one manifest document."""
+    problems = []
+    if doc.get("schema") != MANIFEST_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {MANIFEST_SCHEMA!r}")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        problems.append("bench must be a non-empty string")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("runs must be a non-empty array")
+        return problems
+
+    layout = None  # (name, kind) sequence every run must share
+    for ri, run in enumerate(runs):
+        where = f"runs.{ri}"
+        if not isinstance(run.get("name"), str) or not run.get("name"):
+            problems.append(f"{where}.name must be a non-empty string")
+        if not isinstance(run.get("sim_end_s"), (int, float)):
+            problems.append(f"{where}.sim_end_s must be a number")
+        metrics = run.get("metrics")
+        if not isinstance(metrics, list) or not metrics:
+            problems.append(f"{where}.metrics must be a non-empty array")
+            continue
+
+        seen = set()
+        this_layout = []
+        for mi, m in enumerate(metrics):
+            mwhere = f"{where}.metrics.{mi}"
+            name, kind = m.get("name"), m.get("kind")
+            if not isinstance(name, str) or not name:
+                problems.append(f"{mwhere}.name must be a non-empty string")
+                continue
+            if name in seen:
+                problems.append(f"{mwhere}: duplicate metric name {name!r}")
+            seen.add(name)
+            this_layout.append((name, kind))
+            if kind not in METRIC_KINDS:
+                problems.append(f"{mwhere} ({name}): kind {kind!r} not in {METRIC_KINDS}")
+                continue
+            if kind == "counter" and not isinstance(m.get("count"), int):
+                problems.append(f"{mwhere} ({name}): counter needs integer count")
+            if kind == "gauge" and not isinstance(m.get("value"), (int, float)):
+                problems.append(f"{mwhere} ({name}): gauge needs numeric value")
+            if kind == "histogram":
+                edges, buckets = m.get("edges"), m.get("buckets")
+                if not isinstance(m.get("count"), int) or not isinstance(
+                    m.get("sum"), (int, float)
+                ):
+                    problems.append(f"{mwhere} ({name}): histogram needs count and sum")
+                if not isinstance(edges, list) or not isinstance(buckets, list):
+                    problems.append(f"{mwhere} ({name}): histogram needs edges and buckets")
+                    continue
+                if len(buckets) != len(edges) + 1:
+                    problems.append(
+                        f"{mwhere} ({name}): {len(buckets)} buckets for "
+                        f"{len(edges)} edges (want edges+1)"
+                    )
+                if any(not a < b for a, b in zip(edges, edges[1:])):
+                    problems.append(f"{mwhere} ({name}): edges not strictly ascending")
+                if any(not isinstance(b, int) or b < 0 for b in buckets):
+                    problems.append(f"{mwhere} ({name}): buckets must be counts >= 0")
+
+        if layout is None:
+            layout = this_layout
+        elif this_layout != layout:
+            problems.append(
+                f"{where}: metric layout differs from runs.0 — the manifest "
+                "contract is one fixed registration order for every run"
+            )
+    return problems
+
+
+def validate_host_sidecar(doc, fname):
+    problems = []
+    if doc.get("schema") != HOST_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {HOST_SCHEMA!r}")
+    engine = doc.get("engine")
+    if not isinstance(engine, dict):
+        problems.append("engine must be an object")
+        return problems
+    for key in ("tasks", "workers", "jobs_submitted", "jobs_executed", "max_queue_depth"):
+        if not isinstance(engine.get(key), int):
+            problems.append(f"engine.{key} must be an integer")
+    if not isinstance(engine.get("wall_ms"), (int, float)):
+        problems.append("engine.wall_ms must be a number")
+    return problems
+
+
+def check_manifests(bench_dir):
+    failures = 0
+    for path in sorted(glob.glob(f"{bench_dir}/MANIFEST_*.json")):
+        fname = os.path.basename(path)
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {fname}: cannot load ({e})")
+            failures += 1
+            continue
+        validate = validate_host_sidecar if fname.endswith(".host.json") else validate_manifest
+        problems = validate(doc, fname)
+        for p in problems:
+            print(f"FAIL {fname}: {p}")
+        failures += len(problems)
+        if not problems:
+            kind = "host sidecar" if fname.endswith(".host.json") else "manifest"
+            print(f"  ok  {fname}: valid {kind}")
+    return failures
 
 
 def lookup(doc, dotted):
@@ -84,6 +207,7 @@ def main(argv):
         print("usage: check_bench_json.py <golden.json> <bench_output_dir>", file=sys.stderr)
         return 2
     failures = run_checks(argv[1], argv[2])
+    failures += check_manifests(argv[2])
     if failures:
         print(f"bench smoke-diff: {failures} check(s) FAILED")
         return 1

@@ -38,6 +38,20 @@ echo "=== hpcslint over src/ bench/ tests/ ==="
 
 echo "=== bench smoke-diff vs golden ranges ==="
 (cd build-ci/bench && ./table3_metbench >/dev/null && ./micro_simcore >/dev/null)
+
+echo "=== observability smoke: manifests + Chrome trace ==="
+# A parallel obs run must emit a schema-valid manifest pair, and a figure
+# driver must produce a loadable Chrome-trace JSON. The manifests land in
+# build-ci/bench where check_bench_json.py schema-validates them below.
+(cd build-ci/bench && ./table3_metbench --jobs 2 --obs >/dev/null &&
+  ./fig3_metbench_trace --obs-trace obs_fig3_trace.json >/dev/null)
+python3 -c "
+import json
+doc = json.load(open('build-ci/bench/obs_fig3_trace.json'))
+assert doc['traceEvents'], 'Chrome trace has no events'
+print(f'Chrome trace loads: {len(doc[\"traceEvents\"])} events')
+"
+
 python3 scripts/check_bench_json.py scripts/bench_golden.json build-ci/bench
 
 if [[ "${HPCS_CI_FAST:-0}" == "1" ]]; then

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "simcore/simulator.h"
+#include "trace/multi_sink.h"
 
 namespace hpcs::analysis {
 
@@ -53,10 +54,23 @@ RunResult run_experiment(const ExperimentConfig& cfg,
   }
 
   std::unique_ptr<trace::Tracer> tracer;
-  if (cfg.capture_trace) {
-    tracer = std::make_unique<trace::Tracer>();
-    kernel.set_trace(tracer.get());
+  if (cfg.capture_trace) tracer = std::make_unique<trace::Tracer>();
+
+  std::unique_ptr<obs::Recorder> recorder;
+  std::unique_ptr<obs::ChromeTraceSink> chrome;
+  if (cfg.obs.enabled) {
+    recorder = std::make_unique<obs::Recorder>(cfg.obs, kernel.num_cpus());
+    kernel.set_obs(recorder.get());
+    if (cfg.obs.chrome_trace) chrome = std::make_unique<obs::ChromeTraceSink>();
   }
+
+  // Every observer shares the kernel's single TraceSink pointer through the
+  // fan-out, so Paraver-style tracing and the Perfetto exporter can record
+  // one run simultaneously.
+  trace::MultiSink sinks;
+  sinks.add(tracer.get());
+  sinks.add(chrome.get());
+  if (!sinks.empty()) kernel.set_trace(&sinks);
 
   kernel.start();
 
@@ -108,8 +122,36 @@ RunResult run_experiment(const ExperimentConfig& cfg,
 
   if (tracer) {
     tracer->finalize(world.finish_time());
-    kernel.set_trace(nullptr);
     res.tracer = std::move(tracer);
+  }
+  if (chrome) {
+    chrome->finalize(world.finish_time());
+    res.chrome = std::move(chrome);
+  }
+  kernel.set_trace(nullptr);
+  if (recorder) {
+    // Fixed-order end-of-run counters (registered in the Recorder ctor).
+    obs::MetricsRegistry& m = recorder->metrics();
+    m.counter("kern.ctx_switches").set(kernel.context_switches());
+    m.counter("kern.migrations").set(kernel.migrations());
+    m.counter("kern.balance_pulls").set(kernel.balance_pulls());
+    const sim::EventQueueStats& qs = simulator.queue_stats();
+    m.counter("sim.events_executed").set(static_cast<std::int64_t>(simulator.events_executed()));
+    m.counter("sim.eq_scheduled").set(qs.scheduled);
+    m.counter("sim.eq_dispatched").set(qs.dispatched);
+    m.counter("sim.eq_resched_inplace").set(qs.resched_inplace);
+    m.counter("sim.eq_resched_pending").set(qs.resched_pending);
+    m.counter("sim.eq_stale_dropped").set(qs.stale_dropped);
+    if (hpc_class != nullptr) {
+      m.counter("hpc.iterations").set(hpc_class->iterations_observed());
+      m.counter("hpc.prio_changes").set(hpc_class->priority_changes());
+      m.counter("hpc.resets").set(hpc_class->history_resets());
+      m.counter("hpc.imbalance_detections").set(hpc_class->imbalance_detections());
+      m.counter("hpc.heuristic_decisions").set(hpc_class->heuristic_decisions());
+    }
+    res.metrics = recorder->snapshot(world.finish_time());
+    kernel.set_obs(nullptr);
+    res.recorder = std::move(recorder);
   }
   return res;
 }

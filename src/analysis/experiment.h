@@ -12,6 +12,8 @@
 #include "hpcsched/hpcsched.h"
 #include "kernel/kernel.h"
 #include "kernel/noise.h"
+#include "obs/chrome_trace.h"
+#include "obs/recorder.h"
 #include "simmpi/mpi_world.h"
 #include "trace/tracer.h"
 
@@ -37,6 +39,10 @@ struct ExperimentConfig {
   bool enable_noise = true;
   kern::NoiseConfig noise{};
   bool capture_trace = false;
+  /// Observability: metrics registry + tracepoint rings (+ optional Chrome
+  /// trace). Off by default; a run pays one null-pointer branch per record
+  /// site when disabled.
+  obs::ObsConfig obs{};
   std::uint64_t seed = 1;
   /// Abort if the workload has not completed by this simulated time.
   SimTime deadline = SimTime(std::int64_t{4} * 3600 * 1000000000);
@@ -65,6 +71,12 @@ struct RunResult {
   std::int64_t hpc_history_resets = 0;
   std::int64_t messages = 0;
   std::unique_ptr<trace::Tracer> tracer;  ///< non-null when capture_trace
+  /// Observability outputs (cfg.obs.enabled): the full recorder (rings +
+  /// registry, per-run so parallel sweeps stay deterministic) and its
+  /// end-of-run snapshot; plus the Chrome-trace view when requested.
+  std::unique_ptr<obs::Recorder> recorder;
+  std::unique_ptr<obs::ChromeTraceSink> chrome;
+  obs::MetricsSnapshot metrics;
 
   /// Lowest/highest rank utilization (the imbalance view).
   [[nodiscard]] double min_util() const;

@@ -2,12 +2,14 @@
 
 namespace hpcs::analysis {
 
-ExperimentConfig paper_defaults(SchedMode mode, std::uint64_t seed, bool trace) {
+ExperimentConfig paper_defaults(SchedMode mode, std::uint64_t seed, bool trace,
+                                const obs::ObsConfig& obs) {
   ExperimentConfig cfg;
   cfg.mode = mode;
   cfg.placement = {0, 1, 2, 3};
   cfg.enable_noise = true;
   cfg.capture_trace = trace;
+  cfg.obs = obs;
   cfg.seed = seed;
   return cfg;
 }
@@ -23,8 +25,8 @@ MetBenchExperiment MetBenchExperiment::paper() {
 }
 
 RunResult run_metbench(const MetBenchExperiment& e, SchedMode mode, bool trace,
-                       std::uint64_t seed) {
-  ExperimentConfig cfg = paper_defaults(mode, seed, trace);
+                       std::uint64_t seed, const obs::ObsConfig& obs) {
+  ExperimentConfig cfg = paper_defaults(mode, seed, trace, obs);
   if (mode == SchedMode::kStatic) cfg.static_prios = e.static_prios;
   return run_experiment(cfg, wl::make_metbench(e.workload));
 }
@@ -56,8 +58,8 @@ MetBenchVarExperiment MetBenchVarExperiment::paper() {
 }
 
 RunResult run_metbenchvar(const MetBenchVarExperiment& e, SchedMode mode, bool trace,
-                          std::uint64_t seed) {
-  ExperimentConfig cfg = paper_defaults(mode, seed, trace);
+                          std::uint64_t seed, const obs::ObsConfig& obs) {
+  ExperimentConfig cfg = paper_defaults(mode, seed, trace, obs);
   if (mode == SchedMode::kStatic) cfg.static_prios = e.static_prios;
   return run_experiment(cfg, wl::make_metbenchvar(e.workload));
 }
@@ -87,8 +89,9 @@ BtMzExperiment BtMzExperiment::paper() {
   return e;
 }
 
-RunResult run_btmz(const BtMzExperiment& e, SchedMode mode, bool trace, std::uint64_t seed) {
-  ExperimentConfig cfg = paper_defaults(mode, seed, trace);
+RunResult run_btmz(const BtMzExperiment& e, SchedMode mode, bool trace, std::uint64_t seed,
+                   const obs::ObsConfig& obs) {
+  ExperimentConfig cfg = paper_defaults(mode, seed, trace, obs);
   // Complementary SMT pairing, which Table V's static utilizations imply
   // (P1 with P4 on core 0, P2 with P3 on core 1): the lightest rank shares a
   // core with the heaviest.
@@ -121,8 +124,9 @@ SiestaExperiment SiestaExperiment::paper() {
   return e;
 }
 
-RunResult run_siesta(const SiestaExperiment& e, SchedMode mode, bool trace, std::uint64_t seed) {
-  ExperimentConfig cfg = paper_defaults(mode, seed, trace);
+RunResult run_siesta(const SiestaExperiment& e, SchedMode mode, bool trace, std::uint64_t seed,
+                     const obs::ObsConfig& obs) {
+  ExperimentConfig cfg = paper_defaults(mode, seed, trace, obs);
   return run_experiment(cfg, wl::make_siesta(e.workload));
 }
 

@@ -30,7 +30,7 @@ struct MetBenchExperiment {
   static MetBenchExperiment paper();  ///< 40 iterations, Table III calibration
 };
 RunResult run_metbench(const MetBenchExperiment& e, SchedMode mode, bool trace = false,
-                       std::uint64_t seed = 1);
+                       std::uint64_t seed = 1, const obs::ObsConfig& obs = {});
 
 // ---- Table IV / Fig. 4: MetBenchVar ----
 struct MetBenchVarExperiment {
@@ -39,7 +39,7 @@ struct MetBenchVarExperiment {
   static MetBenchVarExperiment paper();  ///< k=15, 45 iterations
 };
 RunResult run_metbenchvar(const MetBenchVarExperiment& e, SchedMode mode, bool trace = false,
-                          std::uint64_t seed = 1);
+                          std::uint64_t seed = 1, const obs::ObsConfig& obs = {});
 
 // ---- Table V / Fig. 5: BT-MZ ----
 struct BtMzExperiment {
@@ -48,7 +48,7 @@ struct BtMzExperiment {
   static BtMzExperiment paper();  ///< class A, 200 iterations
 };
 RunResult run_btmz(const BtMzExperiment& e, SchedMode mode, bool trace = false,
-                   std::uint64_t seed = 1);
+                   std::uint64_t seed = 1, const obs::ObsConfig& obs = {});
 
 // ---- Table VI / Fig. 6: SIESTA ----
 struct SiestaExperiment {
@@ -56,7 +56,7 @@ struct SiestaExperiment {
   static SiestaExperiment paper();  ///< benzene-like irregular run
 };
 RunResult run_siesta(const SiestaExperiment& e, SchedMode mode, bool trace = false,
-                     std::uint64_t seed = 1);
+                       std::uint64_t seed = 1, const obs::ObsConfig& obs = {});
 
 /// The paper's reported numbers (for side-by-side printing).
 PaperReference paper_reference_metbench(SchedMode mode);
@@ -65,6 +65,7 @@ PaperReference paper_reference_btmz(SchedMode mode);
 PaperReference paper_reference_siesta(SchedMode mode);
 
 /// Default kernel/noise/network config shared by all paper experiments.
-ExperimentConfig paper_defaults(SchedMode mode, std::uint64_t seed, bool trace);
+ExperimentConfig paper_defaults(SchedMode mode, std::uint64_t seed, bool trace,
+                                const obs::ObsConfig& obs = {});
 
 }  // namespace hpcs::analysis

@@ -1,6 +1,7 @@
 #include "exp/parallel_runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -34,6 +35,12 @@ unsigned parse_jobs_flag(int argc, char** argv) {
 ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(jobs == 0 ? default_jobs() : jobs) {}
 
 void ParallelRunner::run_all(std::vector<std::function<void()>> tasks) {
+  // Host-side engine stats only: batch wall time never feeds back into any
+  // simulation result (runs are pure functions of their configs).
+  const auto wall_begin = std::chrono::steady_clock::now();  // HPCSLINT-ALLOW(wallclock)
+  last_stats_ = EngineStats{};
+  last_stats_.tasks = static_cast<std::int64_t>(tasks.size());
+
   std::vector<std::exception_ptr> errors(tasks.size());
   if (jobs_ <= 1 || tasks.size() <= 1) {
     // Serial reference path: identical code shape, no threads involved.
@@ -44,6 +51,8 @@ void ParallelRunner::run_all(std::vector<std::function<void()>> tasks) {
         errors[i] = std::current_exception();
       }
     }
+    last_stats_.jobs_submitted = last_stats_.tasks;
+    last_stats_.jobs_executed = last_stats_.tasks;
   } else {
     const unsigned workers =
         static_cast<unsigned>(std::min<std::size_t>(jobs_, tasks.size()));
@@ -58,7 +67,16 @@ void ParallelRunner::run_all(std::vector<std::function<void()>> tasks) {
       });
     }
     pool.wait_idle();
+    const PoolStats ps = pool.stats();
+    last_stats_.workers = workers;
+    last_stats_.jobs_submitted = ps.submitted;
+    last_stats_.jobs_executed = ps.executed;
+    last_stats_.max_queue_depth = ps.max_queue_depth;
   }
+  const auto wall_end = std::chrono::steady_clock::now();  // HPCSLINT-ALLOW(wallclock)
+  last_stats_.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_begin).count();
+
   for (std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }

@@ -15,6 +15,7 @@
 // variable; default_jobs() resolves env -> hardware_concurrency.
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <optional>
@@ -24,6 +25,19 @@
 #include "exp/thread_pool.h"
 
 namespace hpcs::exp {
+
+/// Host-side engine stats for the last run_all()/map() batch: how the sweep
+/// executed on this machine. Strictly observational — simulation results are
+/// a pure function of their configs — and therefore reported in the
+/// .host.json sidecar, never in the deterministic metrics manifest.
+struct EngineStats {
+  std::int64_t tasks = 0;            ///< batch size
+  unsigned workers = 0;              ///< pool threads actually spawned (0 = inline)
+  std::int64_t jobs_submitted = 0;   ///< pool submit() calls
+  std::int64_t jobs_executed = 0;    ///< pool jobs completed
+  std::int64_t max_queue_depth = 0;  ///< job-queue high-water mark
+  double wall_ms = 0.0;              ///< batch wall time (host clock)
+};
 
 /// Resolve the default worker count: HPCS_JOBS if set (clamped to >= 1),
 /// else std::thread::hardware_concurrency().
@@ -41,6 +55,9 @@ class ParallelRunner {
   explicit ParallelRunner(unsigned jobs = 0);
 
   [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Stats of the most recent run_all()/map() batch (host-side only).
+  [[nodiscard]] const EngineStats& last_stats() const { return last_stats_; }
 
   /// Run every task to completion, in parallel up to jobs(). Each task is
   /// self-contained and writes its own outputs (typically a captured
@@ -68,6 +85,7 @@ class ParallelRunner {
 
  private:
   unsigned jobs_;
+  EngineStats last_stats_;
 };
 
 }  // namespace hpcs::exp

@@ -24,8 +24,16 @@ void ThreadPool::submit(std::function<void()> job) {
   {
     MutexLock lock(mu_);
     queue_.push_back(std::move(job));
+    ++stats_.submitted;
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    if (depth > stats_.max_queue_depth) stats_.max_queue_depth = depth;
   }
   work_cv_.notify_one();
+}
+
+PoolStats ThreadPool::stats() {
+  MutexLock lock(mu_);
+  return stats_;
 }
 
 void ThreadPool::wait_idle() {
@@ -40,6 +48,10 @@ void ThreadPool::wait_idle() {
         queue_.pop_front();
       }
       job();
+      {
+        MutexLock lock(mu_);
+        ++stats_.executed;
+      }
     }
   }
   MutexLock lock(mu_);
@@ -61,6 +73,7 @@ void ThreadPool::worker_loop() {
     {
       MutexLock lock(mu_);
       --in_flight_;
+      ++stats_.executed;
     }
     idle_cv_.notify_all();
   }

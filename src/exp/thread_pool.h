@@ -13,6 +13,7 @@
 // src/common/thread_annotations.h and docs/static_analysis.md).
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -21,6 +22,15 @@
 #include "common/thread_annotations.h"
 
 namespace hpcs::exp {
+
+/// Host-side pool counters for the run's metrics sidecar. These describe the
+/// machine executing the sweep, not the simulation, so they never enter the
+/// deterministic manifest.
+struct PoolStats {
+  std::int64_t submitted = 0;        ///< jobs handed to submit()
+  std::int64_t executed = 0;         ///< jobs that finished running
+  std::int64_t max_queue_depth = 0;  ///< high-water mark of the job queue
+};
 
 class ThreadPool {
  public:
@@ -43,6 +53,9 @@ class ThreadPool {
   /// workers, drains the queue on the calling thread instead.
   void wait_idle() EXCLUDES(mu_);
 
+  /// Copy of the pool counters (consistent snapshot under the lock).
+  [[nodiscard]] PoolStats stats() EXCLUDES(mu_);
+
  private:
   void worker_loop() EXCLUDES(mu_);
   /// One queued job is ready to pop (callers re-check under the lock).
@@ -56,6 +69,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   std::size_t in_flight_ GUARDED_BY(mu_) = 0;  ///< jobs popped but not yet finished
   bool stop_ GUARDED_BY(mu_) = false;
+  PoolStats stats_ GUARDED_BY(mu_);
   std::vector<std::thread> threads_;  ///< written once in the ctor, joined in the dtor
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "kernel/kernel.h"
+#include "obs/recorder.h"
 
 namespace hpcs::hpc {
 
@@ -43,12 +44,15 @@ void HpcSchedClass::enqueue(kern::Kernel& k, kern::Rq& rq, kern::Task& t, bool w
 void HpcSchedClass::on_iteration_complete(kern::Kernel& k, kern::Task& t,
                                           const IterationSample& sample) {
   ++iterations_;
+  HPCS_TRACEPOINT(k.obs(), obs::TpId::kTpHpcIteration, k.now(), t.cpu, t.pid(),
+                  sample.iteration);
   TaskIterStats* s = tracker_.stats_mutable(t.pid());
   HPCS_CHECK(s != nullptr);
 
   if (detector_.behaviour_changed(*s, tun_)) {
     tracker_.reset_history(t.pid());
     ++resets_;
+    HPCS_TRACEPOINT(k.obs(), obs::TpId::kTpHpcHistoryReset, k.now(), t.cpu, t.pid(), 0);
   }
 
   const double metric = heuristic_->metric(*s, tun_);
@@ -66,9 +70,17 @@ void HpcSchedClass::on_iteration_complete(kern::Kernel& k, kern::Task& t,
   // changes so the scheduler does not oscillate between two solutions.
   if (detector_.balanced(tun_)) return;
 
+  ++imbalance_detections_;
+  HPCS_TRACEPOINT(k.obs(), obs::TpId::kTpHpcImbalance, k.now(), t.cpu, t.pid(),
+                  static_cast<std::int64_t>(sample.util_last * 100.0));
+
   const int target = classify_priority(metric, tun_);
+  ++heuristic_decisions_;
   if (mechanism_->read(t) != target) {
-    if (mechanism_->apply(k, t, target)) ++prio_changes_;
+    if (mechanism_->apply(k, t, target)) {
+      ++prio_changes_;
+      HPCS_TRACEPOINT(k.obs(), obs::TpId::kTpHpcPrioChange, k.now(), t.cpu, t.pid(), target);
+    }
   }
 }
 

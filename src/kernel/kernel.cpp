@@ -8,6 +8,7 @@
 #include "kernel/cfs_class.h"
 #include "kernel/idle_class.h"
 #include "kernel/rt_class.h"
+#include "obs/recorder.h"
 
 namespace hpcs::kern {
 
@@ -268,6 +269,14 @@ void Kernel::schedule_cpu(CpuId cpu) {
     ++ctx_switches_;
     if (next != r.idle) ++next->nr_switches;
     if (trace_ != nullptr) trace_->on_switch(now(), cpu, prev, next);
+    HPCS_TRACEPOINT(obs_, obs::TpId::kTpSchedSwitch, now(), cpu,
+                    next != r.idle ? next->pid() : kInvalidPid,
+                    (prev != nullptr && prev != r.idle) ? prev->pid() : kInvalidPid);
+    if (obs_ != nullptr) {
+      std::int64_t depth = 0;
+      for (const int n : r.class_count) depth += n;
+      obs_->runq_depth().observe(static_cast<double>(depth));
+    }
   }
 
   if (next != r.idle) {
@@ -279,6 +288,7 @@ void Kernel::schedule_cpu(CpuId cpu) {
       wakeup_latency_us_.add(lat.us());
       next->wakeup_latency_us.add(lat.us());
       if (trace_ != nullptr) trace_->on_wakeup_latency(now(), *next, lat);
+      if (obs_ != nullptr) obs_->wakeup_latency_us().observe(lat.us());
     }
     sim_->cancel(c.snooze_event);
     chip_.set_cpu_active(cpu, true);
@@ -484,6 +494,7 @@ void Kernel::do_wake(Task& t) {
   if (t.state_ != TaskState::kSleeping) return;
   t.state_ = TaskState::kRunnable;
   if (trace_ != nullptr) trace_->on_state(now(), t, TaskState::kRunnable);
+  HPCS_TRACEPOINT(obs_, obs::TpId::kTpWake, now(), t.cpu, t.pid(), 0);
   if (t.pinned_cpu != kInvalidCpu) t.cpu = t.pinned_cpu;
   enqueue_task(t, /*wakeup=*/true);
   maybe_preempt(t.cpu, t);
@@ -493,6 +504,8 @@ void Kernel::request_hw_prio(Task& t, p5::HwPrio prio) {
   if (t.hw_prio == prio) return;
   t.hw_prio = prio;
   if (trace_ != nullptr) trace_->on_hw_prio(now(), t, prio);
+  HPCS_TRACEPOINT(obs_, obs::TpId::kTpHwPrio, now(), t.cpu, t.pid(),
+                  static_cast<std::int64_t>(prio));
   if (cfg_.hw_prio_enabled && started_ && rq(t.cpu).curr == &t) {
     isa_.set_priority(t.cpu, prio, p5::Privilege::kSupervisor);
   }
@@ -613,6 +626,7 @@ bool Kernel::balance_pull(CpuId cpu, SchedClass& cls) {
     Task* cand = cls.steal_candidate(*this, rq(src));
     if (cand == nullptr) continue;
     if (cand->pinned_cpu != kInvalidCpu && cand->pinned_cpu != cpu) continue;
+    HPCS_TRACEPOINT(obs_, obs::TpId::kTpBalancePull, now(), cpu, cand->pid(), src);
     migrate(*cand, cpu);
     ++balance_pulls_;
     return true;
@@ -624,6 +638,7 @@ void Kernel::migrate(Task& t, CpuId dst) {
   HPCS_CHECK(t.on_rq);
   HPCS_CHECK_MSG(rq(t.cpu).curr != &t, "cannot migrate a running task");
   dequeue_task(t, false);
+  HPCS_TRACEPOINT(obs_, obs::TpId::kTpMigrate, now(), t.cpu, t.pid(), dst);
   t.cpu = dst;
   ++t.nr_migrations;
   ++migrations_;

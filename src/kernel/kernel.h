@@ -28,6 +28,10 @@
 #include "power5/priority_isa.h"
 #include "simcore/simulator.h"
 
+namespace hpcs::obs {
+class Recorder;
+}
+
 namespace hpcs::kern {
 
 /// Which generation of the fair scheduler handles SCHED_NORMAL/SCHED_BATCH:
@@ -129,6 +133,12 @@ class Kernel {
   void set_trace(TraceSink* sink) { trace_ = sink; }
   [[nodiscard]] TraceSink* trace() const { return trace_; }
 
+  /// Attach the per-run observability recorder (tracepoints + metrics);
+  /// nullptr (the default) disables every record site at the cost of one
+  /// predictable branch.
+  void set_obs(obs::Recorder* rec) { obs_ = rec; }
+  [[nodiscard]] obs::Recorder* obs() const { return obs_; }
+
   [[nodiscard]] std::int64_t context_switches() const { return ctx_switches_; }
   [[nodiscard]] std::int64_t migrations() const { return migrations_; }
   [[nodiscard]] std::int64_t balance_pulls() const { return balance_pulls_; }
@@ -189,6 +199,7 @@ class Kernel {
   Topology topo_;
   Sysfs sysfs_;
   TraceSink* trace_ = nullptr;
+  obs::Recorder* obs_ = nullptr;
 
   std::vector<std::unique_ptr<SchedClass>> classes_;  ///< priority order
   int cfs_index_ = -1;

@@ -1,0 +1,173 @@
+#include "obs/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "kernel/task.h"
+
+namespace hpcs::obs {
+namespace {
+
+[[nodiscard]] bool is_idle(const kern::Task* t) {
+  return t == nullptr || t->policy() == kern::Policy::kIdle;
+}
+
+/// ts/dur in microseconds with fixed precision: integer nanoseconds / 1000
+/// renders exactly, so output is deterministic across platforms.
+[[nodiscard]] std::string us(SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(t.ns()) / 1000.0);
+  return buf;
+}
+
+[[nodiscard]] std::string us(Duration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(d.ns()) / 1000.0);
+  return buf;
+}
+
+[[nodiscard]] std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void append_event(std::string& out, bool& first, const std::string& body) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "  {" + body + "}";
+}
+
+}  // namespace
+
+void ChromeTraceSink::on_switch(SimTime t, CpuId cpu, const kern::Task* prev,
+                                const kern::Task* next) {
+  (void)prev;  // the open slice already knows who is leaving
+  if (cpu >= static_cast<CpuId>(open_.size())) {
+    open_.resize(static_cast<std::size_t>(cpu) + 1);
+  }
+  OpenSlice& o = open_[static_cast<std::size_t>(cpu)];
+  if (o.open) {
+    slices_.push_back(Slice{cpu, o.pid, o.name, o.begin, t});
+    o.open = false;
+  }
+  if (!is_idle(next)) {
+    o.open = true;
+    o.pid = next->pid();
+    o.name = next->name();
+    o.begin = t;
+  }
+}
+
+void ChromeTraceSink::on_hw_prio(SimTime t, const kern::Task& task, p5::HwPrio prio) {
+  prios_.push_back(PrioSample{task.pid(), task.name(), t, static_cast<int>(prio)});
+}
+
+void ChromeTraceSink::on_iteration(SimTime t, const kern::Task& task, int iteration,
+                                   double util_last, double util_metric) {
+  iters_.push_back(IterationMark{task.pid(), task.name(), t, iteration, util_last, util_metric});
+}
+
+void ChromeTraceSink::finalize(SimTime end) {
+  for (std::size_t cpu = 0; cpu < open_.size(); ++cpu) {
+    OpenSlice& o = open_[cpu];
+    if (!o.open) continue;
+    slices_.push_back(Slice{static_cast<CpuId>(cpu), o.pid, o.name, o.begin, end});
+    o.open = false;
+  }
+}
+
+std::string render_chrome_trace(const std::vector<ChromeTraceRun>& runs) {
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  char buf[256];
+
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const int pid = static_cast<int>(r) + 1;
+    const ChromeTraceSink& sink = *runs[r].sink;
+
+    // Process / thread naming metadata.
+    std::snprintf(buf, sizeof(buf),
+                  "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"args\":{\"name\":\"%s\"}",
+                  pid, esc(runs[r].name).c_str());
+    append_event(out, first, buf);
+
+    int max_cpu = -1;
+    for (const ChromeTraceSink::Slice& s : sink.slices()) {
+      if (s.cpu > max_cpu) max_cpu = s.cpu;
+    }
+    for (int cpu = 0; cpu <= max_cpu; ++cpu) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                    "\"args\":{\"name\":\"cpu %d\"}",
+                    pid, cpu, cpu);
+      append_event(out, first, buf);
+    }
+
+    // CPU occupancy slices.
+    for (const ChromeTraceSink::Slice& s : sink.slices()) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
+                    "\"ts\":%s,\"dur\":%s,\"args\":{\"pid\":%d}",
+                    esc(s.name).c_str(), pid, s.cpu, us(s.begin).c_str(),
+                    us(s.end - s.begin).c_str(), s.pid);
+      append_event(out, first, buf);
+    }
+
+    // Hardware-priority staircase as per-task counter tracks.
+    for (const ChromeTraceSink::PrioSample& p : sink.prio_samples()) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"name\":\"hw_prio %s\",\"ph\":\"C\",\"pid\":%d,"
+                    "\"ts\":%s,\"args\":{\"prio\":%d}",
+                    esc(p.task).c_str(), pid, us(p.when).c_str(), p.prio);
+      append_event(out, first, buf);
+    }
+
+    // Iteration completions as instants, one row per task (first-appearance
+    // order keeps the metadata pass deterministic).
+    std::vector<Pid> iter_pids;
+    for (const ChromeTraceSink::IterationMark& m : sink.iterations()) {
+      bool seen = false;
+      for (const Pid p : iter_pids) seen = seen || p == m.pid;
+      if (seen) continue;
+      iter_pids.push_back(m.pid);
+      std::snprintf(buf, sizeof(buf),
+                    "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                    "\"args\":{\"name\":\"%s iterations\"}",
+                    pid, 10000 + m.pid, esc(m.task).c_str());
+      append_event(out, first, buf);
+    }
+    for (const ChromeTraceSink::IterationMark& m : sink.iterations()) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"name\":\"iter %d\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,"
+                    "\"tid\":%d,\"ts\":%s,"
+                    "\"args\":{\"task\":\"%s\",\"util_last\":%.10g,\"util_metric\":%.10g}",
+                    m.iteration, pid, 10000 + m.pid, us(m.when).c_str(),
+                    esc(m.task).c_str(), m.util_last, m.util_metric);
+      append_event(out, first, buf);
+    }
+  }
+
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, const std::vector<ChromeTraceRun>& runs) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "w"), &std::fclose);
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string body = render_chrome_trace(runs);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f.get()) == body.size();
+  if (!ok) std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace hpcs::obs

@@ -1,0 +1,96 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace hpcs::obs {
+namespace {
+
+[[nodiscard]] std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+[[nodiscard]] std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void append_metric(std::string& out, const MetricValue& m) {
+  out += "      {\"name\": \"" + esc(m.name) + "\", \"kind\": \"";
+  out += metric_kind_name(m.kind);
+  out += "\"";
+  switch (m.kind) {
+    case MetricKind::kCounter:
+      out += ", \"count\": " + std::to_string(m.count);
+      break;
+    case MetricKind::kGauge:
+      out += ", \"value\": " + fmt_double(m.value);
+      break;
+    case MetricKind::kHistogram: {
+      out += ", \"count\": " + std::to_string(m.count);
+      out += ", \"sum\": " + fmt_double(m.value);
+      out += ", \"edges\": [";
+      for (std::size_t i = 0; i < m.edges.size(); ++i) {
+        if (i) out += ", ";
+        out += fmt_double(m.edges[i]);
+      }
+      out += "], \"buckets\": [";
+      for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+        if (i) out += ", ";
+        out += std::to_string(m.buckets[i]);
+      }
+      out += "]";
+      break;
+    }
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string render_manifest_json(const std::string& bench,
+                                 const std::vector<ManifestRun>& runs) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"";
+  out += kManifestSchema;
+  out += "\",\n";
+  out += "  \"bench\": \"" + esc(bench) + "\",\n";
+  out += "  \"runs\": [";
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    out += r ? ", {\n" : "{\n";
+    out += "    \"name\": \"" + esc(runs[r].name) + "\",\n";
+    out += "    \"sim_end_s\": " + fmt_double(runs[r].metrics.at.sec()) + ",\n";
+    out += "    \"metrics\": [\n";
+    const std::vector<MetricValue>& ms = runs[r].metrics.metrics;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      append_metric(out, ms[i]);
+      out += i + 1 < ms.size() ? ",\n" : "\n";
+    }
+    out += "    ]\n";
+    out += "  }";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+bool write_manifest_json(const std::string& path, const std::string& bench,
+                         const std::vector<ManifestRun>& runs) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "w"), &std::fclose);
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string body = render_manifest_json(bench, runs);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f.get()) == body.size();
+  if (!ok) std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace hpcs::obs

@@ -1,0 +1,35 @@
+#pragma once
+// Per-run metrics manifest: the deterministic JSON dump of one or more
+// MetricsSnapshots. The renderer lives in src/obs (not bench/) so the tests
+// can assert byte-identity between serial and parallel sweeps without
+// depending on bench headers; bench drivers wrap it to write
+// MANIFEST_<name>.json next to their BENCH_<name>.json.
+//
+// Everything here is a pure function of the snapshots: fixed key order,
+// fixed number formatting (%.10g, matching bench/bench_json.h), no
+// wall-clock anywhere. Host-side engine stats go in a separate .host.json
+// sidecar precisely so this file can be compared byte-for-byte.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hpcs::obs {
+
+inline constexpr const char* kManifestSchema = "hpcs-obs-manifest-v1";
+
+struct ManifestRun {
+  std::string name;  ///< run/mode label, e.g. "hpc_fifo_prio"
+  MetricsSnapshot metrics;
+};
+
+/// Render the manifest document (schema kManifestSchema) for `bench`.
+[[nodiscard]] std::string render_manifest_json(const std::string& bench,
+                                               const std::vector<ManifestRun>& runs);
+
+/// Render + write to `path`. Returns false on I/O error.
+bool write_manifest_json(const std::string& path, const std::string& bench,
+                         const std::vector<ManifestRun>& runs);
+
+}  // namespace hpcs::obs

@@ -1,0 +1,108 @@
+#include "obs/metrics.h"
+
+#include "common/check.h"
+
+namespace hpcs::obs {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  HPCS_CHECK_MSG(!edges_.empty(), "histogram needs at least one bucket edge");
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    HPCS_CHECK_MSG(edges_[i - 1] < edges_[i], "histogram edges must be strictly ascending");
+  }
+  buckets_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  ++count_;
+  sum_ += v;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (v <= edges_[i]) {
+      ++buckets_[i];
+      return;
+    }
+  }
+  ++buckets_.back();  // overflow
+}
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const MetricValue* MetricsSnapshot::find(const std::string& name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_entry(const std::string& name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  if (Entry* e = find_entry(name)) {
+    HPCS_CHECK_MSG(e->kind == MetricKind::kCounter, "metric re-registered as a different kind");
+    return *e->counter;
+  }
+  counters_.emplace_back();
+  entries_.push_back(Entry{name, MetricKind::kCounter, &counters_.back(), nullptr, nullptr});
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  if (Entry* e = find_entry(name)) {
+    HPCS_CHECK_MSG(e->kind == MetricKind::kGauge, "metric re-registered as a different kind");
+    return *e->gauge;
+  }
+  gauges_.emplace_back();
+  entries_.push_back(Entry{name, MetricKind::kGauge, nullptr, &gauges_.back(), nullptr});
+  return gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> edges) {
+  if (Entry* e = find_entry(name)) {
+    HPCS_CHECK_MSG(e->kind == MetricKind::kHistogram,
+                   "metric re-registered as a different kind");
+    return *e->histogram;
+  }
+  histograms_.emplace_back(std::move(edges));
+  entries_.push_back(Entry{name, MetricKind::kHistogram, nullptr, nullptr, &histograms_.back()});
+  return histograms_.back();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(SimTime at) const {
+  MetricsSnapshot snap;
+  snap.at = at;
+  snap.metrics.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricValue v;
+    v.name = e.name;
+    v.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        v.count = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        v.value = e.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        v.count = e.histogram->count();
+        v.value = e.histogram->sum();
+        v.edges = e.histogram->edges();
+        v.buckets = e.histogram->buckets();
+        break;
+    }
+    snap.metrics.push_back(std::move(v));
+  }
+  return snap;
+}
+
+}  // namespace hpcs::obs

@@ -1,0 +1,121 @@
+#pragma once
+// Metrics registry: named counters, gauges and histograms for one simulation
+// run. Determinism is the whole design: metrics register in a fixed order
+// (the order of register calls, which for a Recorder is the order of its
+// constructor), values are driven only by simulated events, and snapshot()
+// walks the registration order — so two runs of the same config produce
+// byte-identical dumps whether they execute serially or on an
+// exp::ParallelRunner worker (the same slot-commit contract as PR 1).
+//
+// Handles returned by counter()/gauge()/histogram() are stable references
+// (metrics live in a deque); record sites keep the reference and never pay a
+// name lookup again.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hpcs::obs {
+
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) { v_ += n; }
+  void set(std::int64_t v) { v_ = v; }
+  [[nodiscard]] std::int64_t value() const { return v_; }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  [[nodiscard]] double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket i (i < edges.size()) counts observations
+/// with value <= edges[i] (first matching edge wins, so an observation equal
+/// to an edge lands in that edge's bucket); the final bucket is the overflow
+/// bucket for values above the last edge.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<std::int64_t>& buckets() const { return buckets_; }
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::vector<double> edges_;           ///< ascending upper bounds
+  std::vector<std::int64_t> buckets_;   ///< edges_.size() + 1 (last = overflow)
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* metric_kind_name(MetricKind k);
+
+/// One metric's value at snapshot time.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t count = 0;  ///< counter value, or histogram observation count
+  double value = 0.0;      ///< gauge value, or histogram sum
+  std::vector<double> edges;
+  std::vector<std::int64_t> buckets;
+};
+
+/// The full registry dump: every metric in registration order, stamped with
+/// the simulated time the snapshot was taken at.
+struct MetricsSnapshot {
+  SimTime at = SimTime::zero();
+  std::vector<MetricValue> metrics;
+
+  [[nodiscard]] bool empty() const { return metrics.empty(); }
+  /// Registration-ordered lookup; nullptr when absent (tests use this).
+  [[nodiscard]] const MetricValue* find(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Register (or fetch the already-registered) metric of that name. A name
+  /// registers as exactly one kind; re-registering under a different kind is
+  /// a programming error (checked).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> edges);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Dump every metric in registration order.
+  [[nodiscard]] MetricsSnapshot snapshot(SimTime at) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  [[nodiscard]] Entry* find_entry(const std::string& name);
+
+  // Deques: handle addresses must survive later registrations.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<Entry> entries_;  ///< registration order
+};
+
+}  // namespace hpcs::obs

@@ -1,0 +1,54 @@
+#include "obs/recorder.h"
+
+#include "common/check.h"
+
+namespace hpcs::obs {
+
+Recorder::Recorder(const ObsConfig& cfg, int num_cpus) {
+  HPCS_CHECK(num_cpus > 0);
+  rings_.reserve(static_cast<std::size_t>(num_cpus));
+  for (int c = 0; c < num_cpus; ++c) rings_.emplace_back(cfg.ring_capacity);
+
+  // Fixed registration order — this IS the manifest layout. Append only.
+  tp_hits_.reserve(kTpCount);
+  for (std::size_t i = 0; i < kTpCount; ++i) {
+    tp_hits_.push_back(
+        &metrics_.counter(std::string("tp.") + tp_name(static_cast<TpId>(i))));
+  }
+  ring_dropped_ = &metrics_.counter("tp.ring_dropped");
+
+  wakeup_latency_us_ = &metrics_.histogram(
+      "kern.wakeup_latency_us", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+  runq_depth_ = &metrics_.histogram("kern.runq_depth", {0, 1, 2, 4, 8, 16, 32});
+
+  // End-of-run counters: instrumentation sets them once before snapshot.
+  metrics_.counter("kern.ctx_switches");
+  metrics_.counter("kern.migrations");
+  metrics_.counter("kern.balance_pulls");
+  metrics_.counter("sim.events_executed");
+  metrics_.counter("sim.eq_scheduled");
+  metrics_.counter("sim.eq_dispatched");
+  metrics_.counter("sim.eq_resched_inplace");
+  metrics_.counter("sim.eq_resched_pending");
+  metrics_.counter("sim.eq_stale_dropped");
+  metrics_.counter("hpc.iterations");
+  metrics_.counter("hpc.prio_changes");
+  metrics_.counter("hpc.resets");
+  metrics_.counter("hpc.imbalance_detections");
+  metrics_.counter("hpc.heuristic_decisions");
+  metrics_.gauge("run.sim_end_s");
+}
+
+std::uint64_t Recorder::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const TraceRing& r : rings_) total += r.dropped();
+  return total;
+}
+
+MetricsSnapshot Recorder::snapshot(SimTime at) {
+  ring_dropped_->set(static_cast<std::int64_t>(total_dropped()));
+  metrics_.gauge("run.sim_end_s").set(at.sec());
+  return metrics_.snapshot(at);
+}
+
+}  // namespace hpcs::obs

@@ -1,0 +1,67 @@
+#pragma once
+// Recorder: one run's observability state — the metrics registry plus the
+// per-CPU tracepoint rings. A Recorder is created per run (never shared), so
+// parallel sweeps keep the PR-1 determinism contract for free: each worker
+// records into its own Recorder and the committed snapshot depends only on
+// the run's config.
+//
+// Every metric the manifest can ever contain is registered here, in the
+// constructor, in one fixed order. Instrumentation only *sets* values; it
+// never registers, so a run that happens to skip a code path still produces
+// a manifest with the same layout (zeros instead of holes).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/tracepoint.h"
+
+namespace hpcs::obs {
+
+/// Knobs for one run's observability, carried inside ExperimentConfig.
+struct ObsConfig {
+  bool enabled = false;          ///< master switch; off = null Recorder, zero cost
+  bool chrome_trace = false;     ///< also capture a Chrome-trace/Perfetto view
+  std::size_t ring_capacity = 4096;  ///< per-CPU tracepoint ring (entries)
+};
+
+class Recorder {
+ public:
+  Recorder(const ObsConfig& cfg, int num_cpus);
+
+  /// Tracepoint hot path (called through HPCS_TRACEPOINT): bump the hit
+  /// counter and append a fixed-size entry to the CPU's ring.
+  void record(TpId id, SimTime t, CpuId cpu, std::int64_t a0, std::int64_t a1) {
+    tp_hits_[static_cast<std::size_t>(id)]->inc();
+    const auto r = (cpu >= 0 && cpu < static_cast<CpuId>(rings_.size()))
+                       ? static_cast<std::size_t>(cpu)
+                       : 0;
+    rings_[r].push(TraceEntry{t, static_cast<std::uint32_t>(id), cpu, a0, a1});
+  }
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] int num_cpus() const { return static_cast<int>(rings_.size()); }
+  [[nodiscard]] const TraceRing& ring(CpuId cpu) const {
+    return rings_[static_cast<std::size_t>(cpu)];
+  }
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+  // Histogram handles for the kernel's inline instrumentation.
+  [[nodiscard]] Histogram& wakeup_latency_us() { return *wakeup_latency_us_; }
+  [[nodiscard]] Histogram& runq_depth() { return *runq_depth_; }
+
+  /// Finalize ring-derived counters and dump every metric in registration
+  /// order, stamped with the simulated end time.
+  [[nodiscard]] MetricsSnapshot snapshot(SimTime at);
+
+ private:
+  MetricsRegistry metrics_;
+  std::vector<TraceRing> rings_;                 ///< one per CPU
+  std::vector<Counter*> tp_hits_;                ///< indexed by TpId
+  Counter* ring_dropped_ = nullptr;
+  Histogram* wakeup_latency_us_ = nullptr;
+  Histogram* runq_depth_ = nullptr;
+};
+
+}  // namespace hpcs::obs

@@ -39,6 +39,17 @@ inline constexpr std::size_t kEventCallbackCapacity = 48;
 
 using EventCallback = InplaceFunction<void(), kEventCallbackCapacity>;
 
+/// Always-on queue counters (plain int64 increments on paths that already
+/// touch the slot — too cheap to gate). Observability snapshots them into
+/// the per-run metrics manifest as the sim.eq_* counters.
+struct EventQueueStats {
+  std::int64_t scheduled = 0;        ///< schedule() calls
+  std::int64_t dispatched = 0;       ///< callbacks actually run
+  std::int64_t resched_pending = 0;  ///< reschedule() moved a pending event
+  std::int64_t resched_inplace = 0;  ///< reschedule() re-armed the firing slot
+  std::int64_t stale_dropped = 0;    ///< superseded/cancelled entries skipped
+};
+
 /// Opaque reference to a scheduled event; safe to keep after the event fired
 /// or was cancelled (operations on a stale handle are no-ops).
 class EventHandle {
@@ -66,6 +77,7 @@ class EventQueue {
   /// Schedule `cb` to fire at absolute time `when` (must not be in the past
   /// relative to the last popped event).
   EventHandle schedule(SimTime when, EventCallback cb) {
+    ++stats_.scheduled;
     const std::uint64_t id = alloc_slot();
     Slot& slot = slot_at(id);
     slot.cb = std::move(cb);
@@ -101,6 +113,7 @@ class EventQueue {
   /// fall back to schedule().
   bool reschedule(EventHandle h, SimTime when) {
     if (pending(h)) {
+      ++stats_.resched_pending;
       Slot& slot = slot_at(h.id_);
       slot.seq = next_seq_++;
       slot.has_entry = true;  // the old entry becomes a superseded duplicate
@@ -110,6 +123,7 @@ class EventQueue {
     // Re-arm from inside the firing callback: the slot was taken off the
     // heap for this dispatch but its callback is still intact.
     if (h.valid() && h.id_ == firing_slot_ && h.gen_ == firing_gen_) {
+      ++stats_.resched_inplace;
       Slot& slot = slot_at(h.id_);
       slot.live = true;
       slot.has_entry = true;
@@ -155,10 +169,12 @@ class EventQueue {
       const HeapEntry top = heap_.front();
       Slot& slot = slot_at(top.id);
       if (top.seq != slot.seq) {  // superseded by reschedule(): drop it
+        ++stats_.stale_dropped;
         heap_pop();
         continue;
       }
       if (!slot.live) {  // cancelled; authoritative entry surfaced — recycle
+        ++stats_.stale_dropped;
         slot.has_entry = false;
         free_slots_.push_back(top.id);
         heap_pop();
@@ -166,6 +182,7 @@ class EventQueue {
       }
       if (top.when > deadline) return false;
       clock = top.when;  // callbacks observe the event's time as now
+      ++stats_.dispatched;
       heap_pop();
       slot.live = false;
       slot.has_entry = false;
@@ -192,7 +209,10 @@ class EventQueue {
     free_slots_.clear();
     live_count_ = 0;
     next_seq_ = 0;
+    stats_ = EventQueueStats{};
   }
+
+  [[nodiscard]] const EventQueueStats& stats() const { return stats_; }
 
   // HPCS_HOT_END
 
@@ -303,6 +323,7 @@ class EventQueue {
         free_slots_.push_back(top.id);
       }
       // else: superseded by reschedule(); drop the duplicate.
+      ++stats_.stale_dropped;
       heap_pop();
     }
   }
@@ -310,6 +331,7 @@ class EventQueue {
   /// Pop + dispatch the heap top; requires drop_stale() was just run and the
   /// heap is non-empty. Returns the event's time.
   SimTime dispatch_top() {
+    ++stats_.dispatched;
     const HeapEntry top = heap_.front();
     heap_pop();
     Slot& slot = slot_at(top.id);
@@ -348,6 +370,7 @@ class EventQueue {
   /// callback may re-arm itself via reschedule().
   std::uint64_t firing_slot_ = kNoSlot;
   std::uint64_t firing_gen_ = 0;
+  EventQueueStats stats_;
 };
 
 }  // namespace hpcs::sim

@@ -39,6 +39,7 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] const EventQueueStats& queue_stats() const { return queue_.stats(); }
 
  private:
   EventQueue queue_;

@@ -14,6 +14,7 @@
 #include "analysis/sweep.h"
 #include "exp/parallel_runner.h"
 #include "exp/thread_pool.h"
+#include "obs/manifest.h"
 #include "workloads/metbench.h"
 
 namespace hpcs {
@@ -132,6 +133,53 @@ TEST(ParallelSweep, BitIdenticalAcrossJobCounts) {
       EXPECT_EQ(rows[i].improvement_vs_first_pct, reference[i].improvement_vs_first_pct)
           << "jobs=" << jobs << " row " << i;
     }
+  }
+}
+
+TEST(ParallelRunner, EngineStatsReflectTheBatch) {
+  exp::ParallelRunner serial(1);
+  (void)serial.map(5, [](std::size_t i) { return i; });
+  EXPECT_EQ(serial.last_stats().tasks, 5);
+  EXPECT_EQ(serial.last_stats().workers, 0u);  // inline, no pool threads
+  EXPECT_EQ(serial.last_stats().jobs_executed, 5);
+
+  exp::ParallelRunner parallel(3);
+  (void)parallel.map(8, [](std::size_t i) { return i; });
+  EXPECT_EQ(parallel.last_stats().tasks, 8);
+  EXPECT_EQ(parallel.last_stats().workers, 3u);
+  EXPECT_EQ(parallel.last_stats().jobs_submitted, 8);
+  EXPECT_EQ(parallel.last_stats().jobs_executed, 8);
+  EXPECT_GE(parallel.last_stats().wall_ms, 0.0);
+}
+
+// The observability extension of the headline contract: the rendered
+// metrics manifest — every counter, gauge and histogram of every run — is
+// byte-identical whether the sweep ran serially or across N workers.
+TEST(ParallelSweep, MetricsManifestByteIdenticalAcrossJobCounts) {
+  auto e = analysis::MetBenchExperiment::paper();
+  e.workload.iterations = 3;
+  obs::ObsConfig obs;
+  obs.enabled = true;
+  const std::vector<analysis::SchedMode> modes = {
+      analysis::SchedMode::kBaselineCfs, analysis::SchedMode::kUniform,
+      analysis::SchedMode::kAdaptive, analysis::SchedMode::kStatic};
+
+  const auto render = [&](unsigned jobs) {
+    exp::ParallelRunner runner(jobs);
+    auto results = runner.map(modes.size(), [&](std::size_t i) {
+      return analysis::run_metbench(e, modes[i], /*trace=*/false, /*seed=*/1, obs);
+    });
+    std::vector<obs::ManifestRun> runs;
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      runs.push_back({analysis::sched_mode_name(modes[i]), results[i].metrics});
+    }
+    return obs::render_manifest_json("exp_parallel", runs);
+  };
+
+  const std::string reference = render(1);
+  EXPECT_FALSE(reference.empty());
+  for (const unsigned jobs : {2u, 4u}) {
+    EXPECT_EQ(render(jobs), reference) << "jobs=" << jobs;
   }
 }
 

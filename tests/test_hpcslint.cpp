@@ -266,8 +266,65 @@ std::uint64_t s = time(nullptr) ^ std::chrono::system_clock::now().time_since_ep
 
 TEST(Hpcslint, RuleNamesAreStable) {
   const auto& names = hpcslint::rule_names();
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 7u);
   EXPECT_NE(std::find(names.begin(), names.end(), "hot-alloc"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "tracepoint-name"), names.end());
+}
+
+// ---------------------------------------------------------------------------
+// tracepoint-name
+
+TEST(HpcslintTracepointName, FiresOnRuntimeId) {
+  const auto fs = lint_source("fx.cpp", R"fx(
+void f(hpcs::obs::Recorder* rec, hpcs::obs::TpId id) {
+  HPCS_TRACEPOINT(rec, id, now(), 0, 1, 2);
+  HPCS_TRACEPOINT(rec, pick_tracepoint(), now(), 0, 1, 2);
+  HPCS_TRACEPOINT(rec, static_cast<hpcs::obs::TpId>(3), now(), 0, 1, 2);
+}
+)fx");
+  EXPECT_EQ(count_rule(fs, "tracepoint-name"), 3);
+  EXPECT_EQ(fs[0].line, 3);
+}
+
+TEST(HpcslintTracepointName, QuietOnCatalogueConstants) {
+  const auto fs = lint_source("fx.cpp", R"fx(
+void f(hpcs::obs::Recorder* rec) {
+  HPCS_TRACEPOINT(rec, obs::TpId::kTpSchedSwitch, now(), 0, 1, 2);
+  HPCS_TRACEPOINT(rec, hpcs::obs::TpId::kTpWake, now(), 0, 1, 2);
+  HPCS_TRACEPOINT(rec,
+                  obs::TpId::kTpMigrate,
+                  now(), 0, 1, 2);
+}
+)fx");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(HpcslintTracepointName, FiresOnTheCountSentinel) {
+  // kTpCount is the catalogue size, not a tracepoint.
+  const auto fs = lint_source("fx.cpp", R"fx(
+void f(hpcs::obs::Recorder* rec) {
+  HPCS_TRACEPOINT(rec, obs::TpId::kTpCount, now(), 0, 1, 2);
+}
+)fx");
+  EXPECT_EQ(count_rule(fs, "tracepoint-name"), 1);
+}
+
+TEST(HpcslintTracepointName, SkipsTheMacroDefinitionItself) {
+  const auto fs = lint_source("fx.cpp", R"fx(
+#define HPCS_TRACEPOINT(rec, id, when, cpu, arg0, arg1) \
+  do {                                                  \
+  } while (0)
+)fx");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(HpcslintTracepointName, AllowSuppresses) {
+  const auto fs = lint_source("fx.cpp", R"fx(
+void f(hpcs::obs::Recorder* rec, hpcs::obs::TpId id) {
+  HPCS_TRACEPOINT(rec, id, now(), 0, 1, 2);  // HPCSLINT-ALLOW(tracepoint-name) generic shim
+}
+)fx");
+  EXPECT_TRUE(fs.empty());
 }
 
 TEST(Hpcslint, BannedTokensInCommentsAndStringsNeverFire) {

@@ -1,0 +1,222 @@
+// Tests of the observability subsystem: metrics registry determinism,
+// histogram bucketing edge cases, tracepoint ring wrap/overflow accounting,
+// the Recorder's fixed manifest layout, and the Chrome-trace / manifest
+// renderers driven end-to-end through a real experiment.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/paper_experiments.h"
+#include "obs/chrome_trace.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/tracepoint.h"
+
+namespace hpcs {
+namespace {
+
+TEST(MetricsRegistry, SnapshotWalksRegistrationOrder) {
+  obs::MetricsRegistry reg;
+  reg.counter("z.last");  // registration order, not name order
+  reg.gauge("a.first");
+  reg.histogram("m.mid", {1.0, 2.0});
+  const obs::MetricsSnapshot snap = reg.snapshot(SimTime::zero());
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "z.last");
+  EXPECT_EQ(snap.metrics[1].name, "a.first");
+  EXPECT_EQ(snap.metrics[2].name, "m.mid");
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossLaterRegistrations) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i));
+  c.inc(7);
+  EXPECT_EQ(reg.counter("c").value(), 7);
+  EXPECT_EQ(&reg.counter("c"), &c);
+}
+
+TEST(MetricsRegistry, FindReturnsNullForUnknownName) {
+  obs::MetricsRegistry reg;
+  reg.counter("known");
+  const obs::MetricsSnapshot snap = reg.snapshot(SimTime::zero());
+  EXPECT_NE(snap.find("known"), nullptr);
+  EXPECT_EQ(snap.find("unknown"), nullptr);
+}
+
+TEST(Histogram, EdgeValueLandsInThatEdgesBucket) {
+  obs::Histogram h({1.0, 5.0, 10.0});
+  h.observe(1.0);   // == first edge -> bucket 0
+  h.observe(5.0);   // == second edge -> bucket 1
+  h.observe(10.0);  // == last edge -> bucket 2
+  h.observe(10.1);  // above last edge -> overflow
+  h.observe(0.0);   // below first edge -> bucket 0
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2);
+  EXPECT_EQ(h.buckets()[1], 1);
+  EXPECT_EQ(h.buckets()[2], 1);
+  EXPECT_EQ(h.buckets()[3], 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 5.0 + 10.0 + 10.1);
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(obs::TraceRing(1).capacity(), 2u);
+  EXPECT_EQ(obs::TraceRing(2).capacity(), 2u);
+  EXPECT_EQ(obs::TraceRing(3).capacity(), 4u);
+  EXPECT_EQ(obs::TraceRing(4096).capacity(), 4096u);
+  EXPECT_EQ(obs::TraceRing(4097).capacity(), 8192u);
+}
+
+TEST(TraceRing, WrapOverwritesOldestAndCountsDrops) {
+  obs::TraceRing ring(4);
+  for (std::int64_t i = 0; i < 7; ++i) {
+    ring.push(obs::TraceEntry{SimTime(i), 0, 0, i, 0});
+  }
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), 7u);
+  EXPECT_EQ(ring.dropped(), 3u);
+  const auto entries = ring.entries();
+  ASSERT_EQ(entries.size(), 4u);
+  // Oldest retained record is #3 (0..2 were overwritten), newest is #6.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].a0, static_cast<std::int64_t>(i) + 3);
+  }
+}
+
+TEST(TraceRing, NoDropsBeforeWrap) {
+  obs::TraceRing ring(8);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    ring.push(obs::TraceEntry{SimTime(i), 0, 0, i, 0});
+  }
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto entries = ring.entries();
+  ASSERT_EQ(entries.size(), 5u);
+  EXPECT_EQ(entries.front().a0, 0);
+  EXPECT_EQ(entries.back().a0, 4);
+}
+
+TEST(Recorder, MacroIsANoOpOnNullRecorder) {
+  obs::Recorder* rec = nullptr;
+  int evaluations = 0;
+  const auto arg = [&evaluations]() -> std::int64_t { return ++evaluations; };
+  HPCS_TRACEPOINT(rec, obs::TpId::kTpWake, SimTime::zero(), 0, arg(), 0);
+  // The operand is only evaluated when the recorder is live.
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Recorder, RecordBumpsHitCounterAndRing) {
+  obs::ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 16;
+  obs::Recorder rec(cfg, 2);
+  obs::Recorder* r = &rec;
+  HPCS_TRACEPOINT(r, obs::TpId::kTpSchedSwitch, SimTime(10), 1, 42, 7);
+  HPCS_TRACEPOINT(r, obs::TpId::kTpSchedSwitch, SimTime(20), 1, 43, 42);
+  HPCS_TRACEPOINT(r, obs::TpId::kTpWake, SimTime(30), 0, 42, 0);
+  // Out-of-range CPU clamps to ring 0 rather than writing out of bounds.
+  HPCS_TRACEPOINT(r, obs::TpId::kTpWake, SimTime(40), 99, 5, 0);
+  EXPECT_EQ(rec.ring(1).size(), 2u);
+  EXPECT_EQ(rec.ring(0).size(), 2u);
+  const obs::MetricsSnapshot snap = rec.snapshot(SimTime(40));
+  EXPECT_EQ(snap.find("tp.sched_switch")->count, 2);
+  EXPECT_EQ(snap.find("tp.sched_wake")->count, 2);
+  EXPECT_EQ(snap.find("tp.sched_migrate")->count, 0);
+}
+
+TEST(Recorder, SnapshotLayoutIsIndependentOfActivity) {
+  obs::ObsConfig cfg;
+  cfg.enabled = true;
+  obs::Recorder idle(cfg, 4);
+  obs::Recorder busy(cfg, 4);
+  obs::Recorder* b = &busy;
+  HPCS_TRACEPOINT(b, obs::TpId::kTpHpcIteration, SimTime(1), 0, 1, 1);
+  busy.wakeup_latency_us().observe(3.0);
+  const auto s1 = idle.snapshot(SimTime::zero());
+  const auto s2 = busy.snapshot(SimTime::zero());
+  ASSERT_EQ(s1.metrics.size(), s2.metrics.size());
+  for (std::size_t i = 0; i < s1.metrics.size(); ++i) {
+    EXPECT_EQ(s1.metrics[i].name, s2.metrics[i].name) << "slot " << i;
+    EXPECT_EQ(s1.metrics[i].kind, s2.metrics[i].kind) << "slot " << i;
+  }
+}
+
+TEST(Recorder, RingDroppedSurfacesInSnapshot) {
+  obs::ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 2;
+  obs::Recorder rec(cfg, 1);
+  obs::Recorder* r = &rec;
+  for (int i = 0; i < 10; ++i) {
+    HPCS_TRACEPOINT(r, obs::TpId::kTpWake, SimTime(i), 0, i, 0);
+  }
+  EXPECT_EQ(rec.total_dropped(), 8u);
+  EXPECT_EQ(rec.snapshot(SimTime(10)).find("tp.ring_dropped")->count, 8);
+}
+
+TEST(Manifest, RenderIsAPureFunctionOfTheSnapshots) {
+  obs::MetricsRegistry reg;
+  reg.counter("events").inc(3);
+  reg.gauge("ratio").set(0.5);
+  reg.histogram("lat", {1.0, 2.0}).observe(1.5);
+  const std::vector<obs::ManifestRun> runs = {{"run-a", reg.snapshot(SimTime(2500000000))}};
+  const std::string a = obs::render_manifest_json("unit", runs);
+  const std::string b = obs::render_manifest_json("unit", runs);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"schema\": \"hpcs-obs-manifest-v1\""), std::string::npos);
+  EXPECT_NE(a.find("\"bench\": \"unit\""), std::string::npos);
+  EXPECT_NE(a.find("\"name\": \"run-a\""), std::string::npos);
+  EXPECT_NE(a.find("\"sim_end_s\": 2.5"), std::string::npos);
+  EXPECT_NE(a.find("\"kind\": \"histogram\""), std::string::npos);
+}
+
+// End-to-end: a real (abbreviated) experiment with obs on produces the
+// instrumented counters and a loadable Chrome trace.
+TEST(ObsEndToEnd, ExperimentPopulatesMetricsAndChromeTrace) {
+  auto e = analysis::MetBenchExperiment::paper();
+  e.workload.iterations = 3;
+  obs::ObsConfig obs;
+  obs.enabled = true;
+  obs.chrome_trace = true;
+  const auto r = analysis::run_metbench(e, analysis::SchedMode::kUniform,
+                                        /*trace=*/false, /*seed=*/1, obs);
+  ASSERT_FALSE(r.metrics.empty());
+  EXPECT_GT(r.metrics.find("tp.sched_switch")->count, 0);
+  EXPECT_GT(r.metrics.find("sim.events_executed")->count, 0);
+  EXPECT_GT(r.metrics.find("hpc.iterations")->count, 0);
+  EXPECT_EQ(r.metrics.find("kern.ctx_switches")->count, r.context_switches);
+  EXPECT_GT(r.metrics.find("kern.wakeup_latency_us")->count, 0);
+
+  ASSERT_NE(r.chrome, nullptr);
+  EXPECT_FALSE(r.chrome->slices().empty());
+  const std::string json =
+      obs::render_chrome_trace({{"Uniform", r.chrome.get()}});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  // Every open slice was closed by finalize(): no dur is negative.
+  EXPECT_EQ(json.find("\"dur\":-"), std::string::npos);
+}
+
+// Determinism: the same config yields a byte-identical manifest on repeat
+// runs (the per-run Recorder never sees host state).
+TEST(ObsEndToEnd, RepeatRunsRenderByteIdenticalManifests) {
+  auto e = analysis::MetBenchExperiment::paper();
+  e.workload.iterations = 2;
+  obs::ObsConfig obs;
+  obs.enabled = true;
+  const auto r1 = analysis::run_metbench(e, analysis::SchedMode::kAdaptive,
+                                         /*trace=*/false, /*seed=*/5, obs);
+  const auto r2 = analysis::run_metbench(e, analysis::SchedMode::kAdaptive,
+                                         /*trace=*/false, /*seed=*/5, obs);
+  EXPECT_EQ(obs::render_manifest_json("repeat", {{"run", r1.metrics}}),
+            obs::render_manifest_json("repeat", {{"run", r2.metrics}}));
+}
+
+}  // namespace
+}  // namespace hpcs

@@ -675,12 +675,85 @@ void rule_missing_override(std::string_view code, const std::vector<Tok>& toks, 
   }
 }
 
+// tracepoint-name: the id argument of an HPCS_TRACEPOINT record site must be
+// a kTp* enumerator (optionally namespace/enum qualified) — a compile-time
+// constant from the tracepoint catalogue in obs/tracepoint.h. A runtime
+// expression there would silently decouple the record site from the
+// per-tracepoint hit counters (whose registration order mirrors the
+// catalogue), and make the set of tracepoints ungreppable.
+void rule_tracepoint_name(std::string_view code, const std::vector<Tok>& toks, Sink& sink) {
+  for (std::size_t ti = 0; ti < toks.size(); ++ti) {
+    if (toks[ti].text != "HPCS_TRACEPOINT") continue;
+    // Skip the macro's own definition (`#define HPCS_TRACEPOINT(...)`).
+    if (ti > 0 && toks[ti - 1].text == "define") continue;
+    const std::size_t open = next_nonspace(code, toks[ti].end);
+    if (open == std::string_view::npos || code[open] != '(') continue;
+
+    // Extract the second top-level argument of the invocation.
+    int paren = 0;
+    int commas = 0;
+    std::size_t arg_begin = std::string_view::npos;
+    std::size_t arg_end = std::string_view::npos;
+    for (std::size_t i = open; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '(') {
+        ++paren;
+      } else if (c == ')') {
+        --paren;
+        if (paren == 0) {
+          if (commas == 1) arg_end = i;
+          break;
+        }
+      } else if (c == ',' && paren == 1) {
+        ++commas;
+        if (commas == 1) {
+          arg_begin = i + 1;
+        } else if (commas == 2) {
+          arg_end = i;
+          break;
+        }
+      }
+    }
+
+    // Valid shape: `(qualifier::)* kTp<ident>` with nothing else.
+    bool ok = false;
+    if (arg_begin != std::string_view::npos && arg_end != std::string_view::npos) {
+      std::string flat;
+      for (std::size_t i = arg_begin; i < arg_end; ++i) {
+        if (!std::isspace(static_cast<unsigned char>(code[i]))) flat.push_back(code[i]);
+      }
+      std::size_t pos = 0;
+      bool segments_ok = !flat.empty();
+      std::size_t q;
+      while (segments_ok && (q = flat.find("::", pos)) != std::string::npos) {
+        segments_ok = q > pos && is_ident_start(flat[pos]);
+        for (std::size_t i = pos; segments_ok && i < q; ++i) {
+          segments_ok = is_ident_char(flat[i]);
+        }
+        pos = q + 2;
+      }
+      if (segments_ok) {
+        const std::string last = flat.substr(pos);
+        ok = last.size() > 3 && last.compare(0, 3, "kTp") == 0 && last != "kTpCount";
+        for (std::size_t i = 0; ok && i < last.size(); ++i) {
+          ok = is_ident_char(last[i]);
+        }
+      }
+    }
+    if (!ok) {
+      sink.report("tracepoint-name", toks[ti].line,
+                  "HPCS_TRACEPOINT id must be a kTp* enumerator from the tracepoint "
+                  "catalogue (obs/tracepoint.h), not a runtime expression");
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kRules = {
       "wallclock", "rand", "unordered-iter", "pointer-key", "hot-alloc",
-      "missing-override"};
+      "missing-override", "tracepoint-name"};
   return kRules;
 }
 
@@ -695,6 +768,7 @@ std::vector<Finding> lint_source(const std::string& file_label, std::string_view
   rule_pointer_key(prep.code, toks, sink);
   rule_hot_alloc(prep.code, toks, sink);
   rule_missing_override(prep.code, toks, sink);
+  rule_tracepoint_name(prep.code, toks, sink);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;
