@@ -29,6 +29,14 @@ namespace hpcs::bench {
 ///                                 additionally capture a Chrome-trace /
 ///                                 Perfetto JSON view of every run into PATH
 ///                                 (implies --obs)
+///   --obs-ring N / HPCS_OBS_RING=N
+///                                 per-CPU tracepoint ring capacity in
+///                                 entries; must be a power of two (the ring
+///                                 wraps with a mask). Default 4096. An
+///                                 invalid value aborts with exit code 2
+///                                 rather than silently rounding — a bench
+///                                 that drops a different number of trace
+///                                 entries than asked for is not comparable.
 struct ObsOptions {
   obs::ObsConfig cfg;
   std::string trace_path;
@@ -36,11 +44,21 @@ struct ObsOptions {
 
 inline ObsOptions parse_obs_options(int argc, char** argv) {
   ObsOptions o;
+  auto set_ring = [&](const char* text, const char* origin) {
+    std::string error;
+    if (!obs::parse_ring_capacity(text, o.cfg.ring_capacity, error)) {
+      std::fprintf(stderr, "error: %s: %s\n", origin, error.c_str());
+      std::exit(2);
+    }
+  };
   if (const char* env = std::getenv("HPCS_OBS")) {
     if (env[0] != '\0' && std::strcmp(env, "0") != 0) o.cfg.enabled = true;
   }
   if (const char* env = std::getenv("HPCS_OBS_TRACE")) {
     if (env[0] != '\0') o.trace_path = env;
+  }
+  if (const char* env = std::getenv("HPCS_OBS_RING")) {
+    if (env[0] != '\0') set_ring(env, "HPCS_OBS_RING");
   }
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -50,6 +68,10 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
       o.trace_path = argv[i + 1];
     } else if (std::strncmp(a, "--obs-trace=", 12) == 0) {
       o.trace_path = a + 12;
+    } else if (std::strcmp(a, "--obs-ring") == 0 && i + 1 < argc) {
+      set_ring(argv[++i], "--obs-ring");
+    } else if (std::strncmp(a, "--obs-ring=", 11) == 0) {
+      set_ring(a + 11, "--obs-ring");
     }
   }
   if (!o.trace_path.empty()) {
@@ -123,6 +145,7 @@ inline void write_host_sidecar(const char* name, unsigned jobs,
       .field("jobs_submitted", s.jobs_submitted)
       .field("jobs_executed", s.jobs_executed)
       .field("max_queue_depth", s.max_queue_depth)
+      .array("per_worker_executed", s.per_worker_executed)
       .field("wall_ms", s.wall_ms);
   root.object("engine", engine);
   write_json_file(std::string("MANIFEST_") + name + ".host.json", root);

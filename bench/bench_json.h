@@ -78,6 +78,14 @@ class JsonObject {
     }
     return add(key, out + "]");
   }
+  JsonObject& array(const std::string& key, const std::vector<std::int64_t>& vs) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      if (i) out += ", ";
+      out += JsonValue::integer(vs[i]).render();
+    }
+    return add(key, out + "]");
+  }
   JsonObject& array(const std::string& key, const std::vector<JsonObject>& objs) {
     std::string out = "[";
     for (std::size_t i = 0; i < objs.size(); ++i) {

@@ -33,8 +33,13 @@ configure_and_test() {
 # --- pass 1: strict release build, lint, tests, bench smoke-diff ----------
 configure_and_test "release-strict" build-ci -DCMAKE_BUILD_TYPE=Release
 
-echo "=== hpcslint over src/ bench/ tests/ ==="
-./build-ci/tools/hpcslint/hpcslint src bench tests
+echo "=== hpcslint over src/ bench/ tests/ tools/ ==="
+./build-ci/tools/hpcslint/hpcslint src bench tests tools
+
+echo "=== hpcslint whole-program (compile_commands.json) vs baseline ==="
+./build-ci/tools/hpcslint/hpcslint \
+  --compile-commands build-ci/compile_commands.json \
+  --baseline tools/hpcslint/baseline.sarif.json
 
 echo "=== bench smoke-diff vs golden ranges ==="
 (cd build-ci/bench && ./table3_metbench >/dev/null && ./micro_simcore >/dev/null)

@@ -72,6 +72,7 @@ void ParallelRunner::run_all(std::vector<std::function<void()>> tasks) {
     last_stats_.jobs_submitted = ps.submitted;
     last_stats_.jobs_executed = ps.executed;
     last_stats_.max_queue_depth = ps.max_queue_depth;
+    last_stats_.per_worker_executed = ps.per_worker_executed;
   }
   const auto wall_end = std::chrono::steady_clock::now();  // HPCSLINT-ALLOW(wallclock)
   last_stats_.wall_ms =

@@ -36,6 +36,10 @@ struct EngineStats {
   std::int64_t jobs_submitted = 0;   ///< pool submit() calls
   std::int64_t jobs_executed = 0;    ///< pool jobs completed
   std::int64_t max_queue_depth = 0;  ///< job-queue high-water mark
+  /// Jobs completed per pool thread (size == workers; empty for the serial
+  /// path). The spread shows how evenly the batch divided across workers —
+  /// one saturated worker and N-1 idle ones means the sweep serialized.
+  std::vector<std::int64_t> per_worker_executed;
   double wall_ms = 0.0;              ///< batch wall time (host clock)
 };
 

@@ -5,9 +5,16 @@
 namespace hpcs::exp {
 
 ThreadPool::ThreadPool(unsigned workers) {
+  // Size the per-worker counters before any thread exists: worker threads
+  // only ever index their own slot, so the vector itself is never resized
+  // concurrently.
+  {
+    MutexLock lock(mu_);
+    stats_.per_worker_executed.assign(workers, 0);
+  }
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -58,7 +65,7 @@ void ThreadPool::wait_idle() {
   while (!idle()) idle_cv_.wait(mu_);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     std::function<void()> job;
     {
@@ -74,6 +81,7 @@ void ThreadPool::worker_loop() {
       MutexLock lock(mu_);
       --in_flight_;
       ++stats_.executed;
+      ++stats_.per_worker_executed[worker_index];
     }
     idle_cv_.notify_all();
   }

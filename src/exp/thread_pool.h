@@ -30,6 +30,11 @@ struct PoolStats {
   std::int64_t submitted = 0;        ///< jobs handed to submit()
   std::int64_t executed = 0;         ///< jobs that finished running
   std::int64_t max_queue_depth = 0;  ///< high-water mark of the job queue
+  /// Jobs finished per pool thread (size == workers(); empty for the
+  /// zero-worker inline pool). Sums to `executed`. The spread across workers
+  /// shows whether a sweep actually parallelized or one long run serialized
+  /// the batch.
+  std::vector<std::int64_t> per_worker_executed;
 };
 
 class ThreadPool {
@@ -57,7 +62,7 @@ class ThreadPool {
   [[nodiscard]] PoolStats stats() EXCLUDES(mu_);
 
  private:
-  void worker_loop() EXCLUDES(mu_);
+  void worker_loop(std::size_t worker_index) EXCLUDES(mu_);
   /// One queued job is ready to pop (callers re-check under the lock).
   [[nodiscard]] bool idle() const REQUIRES(mu_) {
     return queue_.empty() && in_flight_ == 0;

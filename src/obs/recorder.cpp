@@ -1,8 +1,41 @@
 #include "obs/recorder.h"
 
+#include <cctype>
+#include <cstdlib>
+
 #include "common/check.h"
 
 namespace hpcs::obs {
+
+bool parse_ring_capacity(const char* text, std::size_t& out, std::string& error) {
+  if (text == nullptr || text[0] == '\0') {
+    error = "ring capacity is empty; expected a power of two, e.g. 4096";
+    return false;
+  }
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (std::isdigit(static_cast<unsigned char>(*p)) == 0) {
+      error = std::string("ring capacity '") + text +
+              "' is not a number; expected a power of two, e.g. 4096";
+      return false;
+    }
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  constexpr unsigned long long kMax = 1ULL << 30U;
+  if (v < 2 || v > kMax) {
+    error = std::string("ring capacity '") + text +
+            "' is out of range; expected a power of two in [2, 2^30]";
+    return false;
+  }
+  if ((v & (v - 1)) != 0) {
+    error = std::string("ring capacity '") + text +
+            "' is not a power of two; the ring wraps with a mask, use e.g. "
+            "1024, 4096, 65536";
+    return false;
+  }
+  out = static_cast<std::size_t>(v);
+  return true;
+}
 
 Recorder::Recorder(const ObsConfig& cfg, int num_cpus) {
   HPCS_CHECK(num_cpus > 0);

@@ -11,6 +11,7 @@
 // a manifest with the same layout (zeros instead of holes).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -25,6 +26,14 @@ struct ObsConfig {
   bool chrome_trace = false;     ///< also capture a Chrome-trace/Perfetto view
   std::size_t ring_capacity = 4096;  ///< per-CPU tracepoint ring (entries)
 };
+
+/// Parse a per-CPU ring-capacity knob value (--obs-ring N / HPCS_OBS_RING).
+/// Accepts only an exact power of two in [2, 2^30]: TraceRing would silently
+/// round anything else up, and a knob that records a different capacity than
+/// it was given is exactly the kind of surprise the manifest contract bans.
+/// Returns false and fills `error` (including the offending text) otherwise.
+[[nodiscard]] bool parse_ring_capacity(const char* text, std::size_t& out,
+                                       std::string& error);
 
 class Recorder {
  public:

@@ -1,0 +1,15 @@
+// Cross-TU taint fixture, TU 2 of 2: the entry point. scaled_tick() never
+// touches a clock itself — it calls jitter_seed(), defined in
+// taint_source.cpp. Only whole-program taint propagation through the merged
+// call graph can flag it: linting this file alone must stay quiet, linting
+// both TUs together must report det-taint on scaled_tick.
+
+namespace hpcs::kern {
+
+double jitter_seed();
+
+double scaled_tick() { return jitter_seed() * 2.0; }
+
+double pure_tick() { return 42.0; }  // no taint: must stay quiet either way
+
+}  // namespace hpcs::kern

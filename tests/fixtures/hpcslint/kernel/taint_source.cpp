@@ -1,0 +1,17 @@
+// Cross-TU taint fixture, TU 1 of 2: the source. jitter_seed() reads the
+// steady clock — a direct nondeterminism source (it also fires the plain
+// wallclock token rule; the test ignores that and asserts the taint
+// findings). Because this file sits under a kernel/ path component it is
+// itself in the deterministic core, so jitter_seed is reported too; the
+// interesting assertion lives in taint_entry.cpp, which only *calls* this
+// function.
+#include <chrono>
+
+namespace hpcs::kern {
+
+double jitter_seed() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace hpcs::kern

@@ -1,0 +1,23 @@
+// Fixture: every write to the guarded field is covered — either by a
+// MutexLock in scope or by a REQUIRES annotation on the function. Reads are
+// never reported. hpcslint must stay quiet.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+#define GUARDED_BY(x)
+#define REQUIRES(x)
+
+class Counter {
+ public:
+  void locked_bump() {
+    MutexLock l(mu_);
+    hits_ += 1;
+  }
+  void annotated_bump() REQUIRES(mu_) { ++hits_; }
+  long read_only() const { return hits_; }
+
+ private:
+  Mutex mu_;
+  long hits_ GUARDED_BY(mu_) = 0;
+};

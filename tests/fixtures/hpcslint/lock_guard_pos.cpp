@@ -1,0 +1,20 @@
+// Fixture: a GUARDED_BY field written without its mutex held. The write in
+// bad() must be reported; the locked write in good() must not.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+#define GUARDED_BY(x)
+
+class Counter {
+ public:
+  void good() {
+    MutexLock l(mu_);
+    ++hits_;
+  }
+  void bad() { ++hits_; }  // no MutexLock, no REQUIRES
+
+ private:
+  Mutex mu_;
+  long hits_ GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,23 @@
+// Fixture: the same two mutexes acquired from two functions, but always in
+// the same global order (a_ before b_) — no cycle, hpcslint must stay quiet.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+
+class TwoLocks {
+ public:
+  void first() {
+    MutexLock l1(a_);
+    MutexLock l2(b_);
+  }
+  void second() {
+    MutexLock l1(a_);
+    MutexLock l2(b_);
+  }
+  void only_b() { MutexLock l(b_); }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};

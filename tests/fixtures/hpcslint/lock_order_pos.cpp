@@ -1,0 +1,23 @@
+// Fixture: two functions acquire the same pair of mutexes in opposite
+// orders — the classic ABBA deadlock. hpcslint must report a lock-order
+// cycle between TwoLocks::a_ and TwoLocks::b_.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+
+class TwoLocks {
+ public:
+  void ab() {
+    MutexLock l1(a_);
+    MutexLock l2(b_);  // edge a_ -> b_
+  }
+  void ba() {
+    MutexLock l1(b_);
+    MutexLock l2(a_);  // edge b_ -> a_: closes the cycle
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};

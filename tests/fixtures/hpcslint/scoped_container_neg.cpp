@@ -1,0 +1,24 @@
+// Fixture: symbol resolution must keep these quiet — an ordered member
+// iterated in a method, and a local ordered container shadowing an
+// unordered member of the same name.
+#include <map>
+#include <unordered_map>
+
+class Registry {
+ public:
+  double sum() const {
+    double s = 0.0;
+    for (const auto& [pid, v] : util_) s += v;  // ordered member: fine
+    return s;
+  }
+  double local_shadow() const {
+    std::map<int, double> cache;  // shadows the unordered member below
+    double s = 0.0;
+    for (const auto& [k, v] : cache) s += v;
+    return s;
+  }
+
+ private:
+  std::map<int, double> util_;
+  std::unordered_map<int, double> cache;
+};

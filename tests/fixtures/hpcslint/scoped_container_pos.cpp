@@ -1,0 +1,26 @@
+// Fixture: unordered/pointer-keyed containers iterated far from their
+// declarations — the v2 symbol-resolving cases a line-local rule misses.
+// Expected: unordered-iter on the member range-for and the member .begin()
+// call, pointer-key on the iteration over the pointer-keyed map.
+#include <map>
+#include <unordered_map>
+
+struct Task;
+
+class Registry {
+ public:
+  double sum() const {
+    double s = 0.0;
+    for (const auto& [pid, v] : util_) s += v;  // member declared below
+    return s;
+  }
+  auto first() const { return owners_.begin(); }
+  void by_addr() const {
+    for (const auto& [t, n] : by_task_) (void)n;  // pointer-keyed iteration
+  }
+
+ private:
+  std::unordered_map<int, double> util_;
+  std::unordered_map<int, int> owners_;
+  std::map<Task*, int> by_task_;  // HPCSLINT-ALLOW(pointer-key) decl site under test is the iteration
+};

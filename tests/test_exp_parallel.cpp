@@ -152,6 +152,46 @@ TEST(ParallelRunner, EngineStatsReflectTheBatch) {
   EXPECT_GE(parallel.last_stats().wall_ms, 0.0);
 }
 
+TEST(ThreadPool, PerWorkerExecutedCountsSumToExecuted) {
+  exp::ThreadPool pool(3);
+  for (int i = 0; i < 50; ++i) pool.submit([] {});
+  pool.wait_idle();
+  const exp::PoolStats s = pool.stats();
+  ASSERT_EQ(s.per_worker_executed.size(), 3u);
+  std::int64_t sum = 0;
+  for (const std::int64_t n : s.per_worker_executed) {
+    EXPECT_GE(n, 0);
+    sum += n;
+  }
+  EXPECT_EQ(sum, s.executed);
+  EXPECT_EQ(s.executed, 50);
+}
+
+TEST(ThreadPool, InlinePoolHasNoPerWorkerCounters) {
+  exp::ThreadPool pool(0);
+  pool.submit([] {});
+  pool.wait_idle();
+  const exp::PoolStats s = pool.stats();
+  EXPECT_EQ(s.executed, 1);
+  EXPECT_TRUE(s.per_worker_executed.empty());
+}
+
+TEST(ParallelRunner, PerWorkerCountsSurfaceInEngineStats) {
+  // Serial path: no pool, no per-worker breakdown.
+  exp::ParallelRunner serial(1);
+  (void)serial.map(4, [](std::size_t i) { return i; });
+  EXPECT_TRUE(serial.last_stats().per_worker_executed.empty());
+
+  // Parallel path: one slot per worker, summing to the batch size.
+  exp::ParallelRunner parallel(4);
+  (void)parallel.map(32, [](std::size_t i) { return i; });
+  const exp::EngineStats& s = parallel.last_stats();
+  ASSERT_EQ(s.per_worker_executed.size(), 4u);
+  std::int64_t sum = 0;
+  for (const std::int64_t n : s.per_worker_executed) sum += n;
+  EXPECT_EQ(sum, 32);
+}
+
 // The observability extension of the headline contract: the rendered
 // metrics manifest — every counter, gauge and histogram of every run — is
 // byte-identical whether the sweep ran serially or across N workers.

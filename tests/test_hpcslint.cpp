@@ -5,6 +5,10 @@
 // file stays clean when hpcslint scans tests/ (the hpcslint_tree ctest).
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -16,6 +20,25 @@ namespace {
 
 using hpcslint::Finding;
 using hpcslint::lint_source;
+using hpcslint::SourceUnit;
+
+// On-disk fixtures for the symbol-resolving rule families live in
+// tests/fixtures/hpcslint (HPCSLINT_FIXTURE_DIR is set by tests/CMakeLists).
+std::filesystem::path fixture_path(const std::string& name) {
+  return std::filesystem::path(HPCSLINT_FIXTURE_DIR) / name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<Finding> lint_fixture(const std::string& name) {
+  return hpcslint::lint_file(fixture_path(name));
+}
 
 std::vector<std::string> rules_of(const std::vector<Finding>& fs) {
   std::vector<std::string> out;
@@ -266,9 +289,12 @@ std::uint64_t s = time(nullptr) ^ std::chrono::system_clock::now().time_since_ep
 
 TEST(Hpcslint, RuleNamesAreStable) {
   const auto& names = hpcslint::rule_names();
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 10u);
   EXPECT_NE(std::find(names.begin(), names.end(), "hot-alloc"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "tracepoint-name"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "det-taint"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "lock-order"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "lock-guard"), names.end());
 }
 
 // ---------------------------------------------------------------------------
@@ -334,6 +360,224 @@ const char* msg = "call time(nullptr) and srand(7)";
 /* std::map<Task*, int> in a block comment */
 )fx");
   EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// lock-order (v2, on-disk fixtures)
+
+TEST(HpcslintLockOrder, FiresOnAbbaCycle) {
+  const auto fs = lint_fixture("lock_order_pos.cpp");
+  ASSERT_EQ(count_rule(fs, "lock-order"), 1);
+  const Finding& f = fs[0];
+  EXPECT_EQ(f.line, 13);
+  EXPECT_NE(f.message.find("TwoLocks::a_"), std::string::npos);
+  EXPECT_NE(f.message.find("TwoLocks::b_"), std::string::npos);
+  EXPECT_NE(f.message.find("lock_order_pos.cpp:17"), std::string::npos);
+}
+
+TEST(HpcslintLockOrder, QuietOnConsistentOrder) {
+  EXPECT_TRUE(lint_fixture("lock_order_neg.cpp").empty());
+}
+
+TEST(HpcslintLockOrder, FiresOnSelfDeadlock) {
+  const auto fs = lint_source("fx.cpp", R"fx(
+struct Mutex {};
+struct MutexLock { explicit MutexLock(Mutex& m); };
+class C {
+ public:
+  void twice() {
+    MutexLock l1(mu_);
+    MutexLock l2(mu_);
+  }
+ private:
+  Mutex mu_;
+};
+)fx");
+  ASSERT_EQ(count_rule(fs, "lock-order"), 1);
+  EXPECT_EQ(fs[0].line, 8);
+  EXPECT_NE(fs[0].message.find("already held"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// lock-guard (v2, on-disk fixtures)
+
+TEST(HpcslintLockGuard, FiresOnUnlockedWrite) {
+  const auto fs = lint_fixture("lock_guard_pos.cpp");
+  ASSERT_EQ(count_rule(fs, "lock-guard"), 1);
+  EXPECT_EQ(fs[0].line, 15);
+  EXPECT_NE(fs[0].message.find("Counter::hits_"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("mu_"), std::string::npos);
+}
+
+TEST(HpcslintLockGuard, QuietWhenLockedOrAnnotated) {
+  EXPECT_TRUE(lint_fixture("lock_guard_neg.cpp").empty());
+}
+
+TEST(HpcslintLockGuard, WorksAcrossHeaderAndSource) {
+  // Class (with GUARDED_BY field) in a header TU, offending method body in a
+  // separate source TU: only the cross-TU link step can connect them.
+  const std::vector<SourceUnit> units = {
+      {"reg.h", R"fx(
+struct Mutex {};
+struct MutexLock { explicit MutexLock(Mutex& m); };
+namespace hpcs::exp {
+class Reg {
+ public:
+  void locked_bump();
+  void unlocked_bump();
+ private:
+  Mutex mu_;
+  long n_ GUARDED_BY(mu_) = 0;
+};
+}
+)fx"},
+      {"reg.cpp", R"fx(
+#include "reg.h"
+namespace hpcs::exp {
+void Reg::locked_bump() {
+  MutexLock l(mu_);
+  ++n_;
+}
+void Reg::unlocked_bump() { ++n_; }
+}
+)fx"}};
+  const auto fs = hpcslint::lint_units(units);
+  ASSERT_EQ(count_rule(fs, "lock-guard"), 1);
+  EXPECT_EQ(fs[0].file, "reg.cpp");
+  EXPECT_EQ(fs[0].line, 8);
+  EXPECT_NE(fs[0].message.find("hpcs::exp::Reg::n_"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// scoped container rules (v2, on-disk fixtures)
+
+TEST(HpcslintScopedContainer, ResolvesMembersDeclaredAfterUse) {
+  const auto fs = lint_fixture("scoped_container_pos.cpp");
+  EXPECT_EQ(count_rule(fs, "unordered-iter"), 2);
+  EXPECT_EQ(count_rule(fs, "pointer-key"), 1);
+  // The pointer-key finding is the *iteration*, not the (ALLOW'd) decl.
+  for (const Finding& f : fs) {
+    if (f.rule == "pointer-key") {
+      EXPECT_EQ(f.line, 19);
+      EXPECT_NE(f.message.find("Registry::by_task_"), std::string::npos);
+    }
+  }
+}
+
+TEST(HpcslintScopedContainer, QuietOnOrderedMembersAndShadowing) {
+  EXPECT_TRUE(lint_fixture("scoped_container_neg.cpp").empty());
+}
+
+// ---------------------------------------------------------------------------
+// det-taint (v2): whole-program taint propagation
+
+TEST(HpcslintDetTaint, PropagatesAcrossTranslationUnits) {
+  // Linting the entry TU alone: jitter_seed() is only a declaration, no
+  // taint anywhere.
+  const auto alone =
+      hpcslint::lint_source("kernel/taint_entry.cpp", read_fixture("kernel/taint_entry.cpp"));
+  EXPECT_EQ(count_rule(alone, "det-taint"), 0);
+
+  // Linting both TUs as one program: the clock read in taint_source.cpp
+  // taints jitter_seed, and the call edge carries it into scaled_tick.
+  const std::vector<SourceUnit> units = {
+      {"kernel/taint_source.cpp", read_fixture("kernel/taint_source.cpp")},
+      {"kernel/taint_entry.cpp", read_fixture("kernel/taint_entry.cpp")},
+  };
+  const auto fs = hpcslint::lint_units(units);
+  EXPECT_EQ(count_rule(fs, "det-taint"), 2);  // jitter_seed + scaled_tick, not pure_tick
+  bool entry_flagged = false;
+  for (const Finding& f : fs) {
+    if (f.rule == "det-taint" && f.file == "kernel/taint_entry.cpp") {
+      entry_flagged = true;
+      EXPECT_NE(f.message.find("scaled_tick"), std::string::npos);
+      EXPECT_NE(f.message.find("steady_clock"), std::string::npos);
+      EXPECT_NE(f.message.find("jitter_seed"), std::string::npos);  // the path
+    }
+  }
+  EXPECT_TRUE(entry_flagged);
+}
+
+TEST(HpcslintDetTaint, QuietOutsideProtectedScopes) {
+  // Same shape, but in an unprotected namespace/path: only the wallclock
+  // token rule fires, no taint findings.
+  const auto fs = lint_source("util/timer.cpp", R"fx(
+#include <chrono>
+namespace hpcs::bench {
+double seed() {
+  return static_cast<double>(std::chrono::steady_clock::now().time_since_epoch().count());
+}
+double scaled() { return seed() * 2.0; }
+}
+)fx");
+  EXPECT_EQ(count_rule(fs, "det-taint"), 0);
+  EXPECT_EQ(count_rule(fs, "wallclock"), 1);
+}
+
+TEST(HpcslintDetTaint, AllowOnDefinitionSuppresses) {
+  const auto fs = lint_source("kernel/tick.cpp", R"fx(
+#include <chrono>
+namespace hpcs::kern {
+double seed() {  // HPCSLINT-ALLOW(det-taint) reviewed: wall-clock seed is intentional here
+  return static_cast<double>(std::chrono::steady_clock::now().time_since_epoch().count());
+}
+}
+)fx");
+  EXPECT_EQ(count_rule(fs, "det-taint"), 0);
+  EXPECT_EQ(count_rule(fs, "wallclock"), 1);  // the token rule still fires
+}
+
+// ---------------------------------------------------------------------------
+// SARIF + baseline round-trip
+
+TEST(HpcslintSarif, ReportContainsResultsAndFingerprints) {
+  const auto fs = lint_fixture("lock_guard_pos.cpp");
+  ASSERT_FALSE(fs.empty());
+  const std::string sarif = hpcslint::sarif_report(fs);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"hpcslint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"lock-guard\""), std::string::npos);
+  EXPECT_NE(sarif.find("hpcslint/v1"), std::string::npos);
+}
+
+TEST(HpcslintSarif, BaselineRoundTripSuppressesExactlyTheOldFindings) {
+  const auto fs = lint_fixture("scoped_container_pos.cpp");
+  ASSERT_EQ(fs.size(), 3u);
+
+  // Round-trip: emit SARIF, reload it as a baseline, filter — everything
+  // baselined, nothing new.
+  std::set<std::string> baseline;
+  std::string error;
+  ASSERT_TRUE(hpcslint::load_baseline(hpcslint::sarif_report(fs), baseline, error))
+      << error;
+  EXPECT_EQ(baseline.size(), 3u);
+  EXPECT_TRUE(hpcslint::filter_baselined(fs, baseline).empty());
+
+  // A finding that was not in the baseline survives the filter.
+  auto grown = fs;
+  grown.push_back(Finding{"new_file.cpp", 10, "wallclock", "wall-clock read"});
+  const auto fresh = hpcslint::filter_baselined(grown, baseline);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].file, "new_file.cpp");
+}
+
+TEST(HpcslintSarif, FingerprintsIgnoreLinesButCountOccurrences) {
+  const Finding a{"f.cpp", 10, "wallclock", "msg"};
+  const Finding a_moved{"f.cpp", 99, "wallclock", "msg"};
+  const auto one = hpcslint::fingerprints({a});
+  const auto moved = hpcslint::fingerprints({a_moved});
+  EXPECT_EQ(one[0], moved[0]);  // line drift does not invalidate a baseline
+
+  const auto twice = hpcslint::fingerprints({a, a_moved});
+  EXPECT_NE(twice[0], twice[1]);  // but a second occurrence is a new finding
+}
+
+TEST(HpcslintSarif, LoadBaselineRejectsMalformedJson) {
+  std::set<std::string> baseline;
+  std::string error;
+  EXPECT_FALSE(hpcslint::load_baseline("{\"runs\": [", baseline, error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(hpcslint::load_baseline("{\"version\": \"2.1.0\"}", baseline, error));
 }
 
 }  // namespace

@@ -71,6 +71,35 @@ TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(obs::TraceRing(4097).capacity(), 8192u);
 }
 
+TEST(ParseRingCapacity, AcceptsExactPowersOfTwo) {
+  std::size_t cap = 0;
+  std::string error;
+  EXPECT_TRUE(obs::parse_ring_capacity("2", cap, error)) << error;
+  EXPECT_EQ(cap, 2u);
+  EXPECT_TRUE(obs::parse_ring_capacity("4096", cap, error)) << error;
+  EXPECT_EQ(cap, 4096u);
+  EXPECT_TRUE(obs::parse_ring_capacity("1073741824", cap, error)) << error;  // 2^30
+  EXPECT_EQ(cap, 1073741824u);
+}
+
+TEST(ParseRingCapacity, RejectsEverythingElseWithAClearError) {
+  std::size_t cap = 99;
+  std::string error;
+  // Not a power of two: the knob must not silently round like TraceRing does.
+  EXPECT_FALSE(obs::parse_ring_capacity("4097", cap, error));
+  EXPECT_NE(error.find("4097"), std::string::npos);
+  EXPECT_NE(error.find("power of two"), std::string::npos);
+  // Out of range / degenerate.
+  EXPECT_FALSE(obs::parse_ring_capacity("0", cap, error));
+  EXPECT_FALSE(obs::parse_ring_capacity("1", cap, error));
+  EXPECT_FALSE(obs::parse_ring_capacity("2147483648", cap, error));  // 2^31
+  // Not numbers at all.
+  EXPECT_FALSE(obs::parse_ring_capacity("", cap, error));
+  EXPECT_FALSE(obs::parse_ring_capacity("4k", cap, error));
+  EXPECT_FALSE(obs::parse_ring_capacity("-8", cap, error));
+  EXPECT_EQ(cap, 99u);  // out is untouched on failure
+}
+
 TEST(TraceRing, WrapOverwritesOldestAndCountsDrops) {
   obs::TraceRing ring(4);
   for (std::int64_t i = 0; i < 7; ++i) {

@@ -1,0 +1,107 @@
+// compile_commands.json driver: turn CMake's compilation database into the
+// translation-unit set for a whole-program lint. Only the "file" member of
+// each entry is used — hpcslint does not reproduce the compiler's include
+// resolution; instead every header sitting next to an accepted source file
+// (same directory, non-recursive) joins the program, which is where this
+// repo keeps the class definitions the link step needs.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "hpcslint.h"
+#include "json_mini.h"
+
+namespace hpcslint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool has_skipped_component(const fs::path& p) {
+  for (const auto& part : p) {
+    const std::string s = part.string();
+    if (s == "_deps" || s == "external" || s == "fixtures" ||
+        s == "hpcslint_fixtures" || s == "build" || s == "CMakeFiles") {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_source_ext(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp";
+}
+
+bool is_header_ext(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp";
+}
+
+}  // namespace
+
+bool files_from_compile_commands(const fs::path& json_path,
+                                 std::vector<fs::path>& out, std::string& error) {
+  std::ifstream in(json_path, std::ios::binary);
+  if (!in) {
+    error = "cannot read " + json_path.string();
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  json::Value doc;
+  if (!json::parse(text, doc, error)) {
+    error = json_path.string() + ": " + error;
+    return false;
+  }
+  if (!doc.is_array()) {
+    error = json_path.string() + ": expected a top-level array";
+    return false;
+  }
+
+  std::vector<fs::path> files;
+  std::vector<fs::path> dirs;
+  for (const json::Value& entry : doc.arr) {
+    const json::Value* file = entry.get("file");
+    if (file == nullptr || !file->is_string()) continue;
+    fs::path p(file->str);
+    if (!p.is_absolute()) {
+      const json::Value* dir = entry.get("directory");
+      if (dir != nullptr && dir->is_string()) p = fs::path(dir->str) / p;
+    }
+    std::error_code ec;
+    const fs::path canon = fs::weakly_canonical(p, ec);
+    if (!ec) p = canon;
+    if (has_skipped_component(p) || !is_source_ext(p)) continue;
+    files.push_back(p);
+    dirs.push_back(p.parent_path());
+  }
+
+  // Headers never appear in the database; pull in the ones that live beside
+  // the accepted sources.
+  std::sort(dirs.begin(), dirs.end());
+  dirs.erase(std::unique(dirs.begin(), dirs.end()), dirs.end());
+  for (const fs::path& dir : dirs) {
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (it->is_regular_file(ec) && is_header_ext(it->path()) &&
+          !has_skipped_component(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+  }
+
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  if (files.empty()) {
+    error = json_path.string() + ": no usable translation units";
+    return false;
+  }
+  out = std::move(files);
+  return true;
+}
+
+}  // namespace hpcslint

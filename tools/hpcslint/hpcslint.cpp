@@ -1,828 +1,138 @@
-// hpcslint implementation. One pass prepares the source (comments and
-// literal contents blanked so rules cannot fire inside them, lint directives
-// harvested from the comment text); the rules then pattern-match the
-// identifier-token stream of the blanked code. Every heuristic is documented
-// at its implementation — when a rule misfires, the fix is either improving
-// the heuristic here or an explicit `// HPCSLINT-ALLOW(rule)` at the site,
-// both of which leave a reviewable trace.
-
-#include "hpcslint.h"
+// hpcslint v2 driver: per-TU analysis + cross-TU link, shared by every
+// entry point (single source string, unit list, file, tree). The pipeline:
+//
+//   prepare()  blank comments/strings, harvest ALLOW + HPCS_HOT regions
+//   tokenize() identifier/number/punct token stream
+//   token rules (token_rules.cpp)  — v1 pattern rules, unchanged behaviour
+//   parse_tu() (parser.cpp)        — scopes, symbols, per-TU findings
+//   link_program() (project.cpp)   — merge symbols across TUs, resolve
+//                                    pending uses/writes, taint closure,
+//                                    lock-order graph
+//
+// Findings are globally sorted by (file, line, rule, message) so output is
+// reproducible regardless of TU order — the lint practices what it preaches.
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
-#include <iterator>
-#include <set>
 #include <sstream>
-#include <unordered_set>
-#include <utility>
+
+#include "hpcslint.h"
+#include "rules.h"
+#include "tu.h"
 
 namespace hpcslint {
 namespace {
 
-constexpr std::string_view kAllowDirective = "HPCSLINT-ALLOW(";
-constexpr std::string_view kHotBegin = "HPCS_HOT_BEGIN";
-constexpr std::string_view kHotEnd = "HPCS_HOT_END";
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+void sort_findings(std::vector<Finding>& fs) {
+  std::sort(fs.begin(), fs.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
 }
 
-// ---------------------------------------------------------------------------
-// Source preparation: blank comments and literal contents (preserving length
-// and line structure), collect ALLOW directives and HOT regions.
-
-struct Prepared {
-  std::string code;  ///< same length as the input; only lintable code remains
-  std::vector<std::set<std::string, std::less<>>> allow;  ///< per line, 1-based
-  std::vector<char> hot;                                  ///< per line, 1-based
-};
-
-Prepared prepare(std::string_view src) {
-  Prepared p;
-  p.code.assign(src.begin(), src.end());
-
-  struct CommentNote {
-    int line = 0;
-    bool standalone = false;  ///< no code precedes the comment on its line
-    std::vector<std::string> allow_rules;
-    bool hot_begin = false;
-    bool hot_end = false;
-  };
-  std::vector<CommentNote> notes;
-
-  auto note_comment = [&notes](std::string_view text, int comment_line, bool standalone) {
-    CommentNote note;
-    note.line = comment_line;
-    note.standalone = standalone;
-    for (std::size_t a = text.find(kAllowDirective); a != std::string_view::npos;
-         a = text.find(kAllowDirective, a + 1)) {
-      std::size_t pos = a + kAllowDirective.size();
-      std::string rule;
-      while (pos < text.size() && text[pos] != ')') {
-        const char c = text[pos++];
-        if (c == ',') {
-          if (!rule.empty()) note.allow_rules.push_back(std::move(rule));
-          rule.clear();
-        } else if (!std::isspace(static_cast<unsigned char>(c))) {
-          rule += c;
-        }
-      }
-      if (!rule.empty()) note.allow_rules.push_back(std::move(rule));
-    }
-    note.hot_begin = text.find(kHotBegin) != std::string_view::npos;
-    // HPCS_HOT_END contains neither marker as a substring of the other? It
-    // does share the prefix — check END explicitly so BEGIN does not match it.
-    note.hot_end = text.find(kHotEnd) != std::string_view::npos;
-    if (note.hot_begin && note.hot_end) note.hot_begin = false;  // one marker per comment
-    if (!note.allow_rules.empty() || note.hot_begin || note.hot_end) {
-      notes.push_back(std::move(note));
-    }
-  };
-
-  const std::size_t n = src.size();
-  std::size_t i = 0;
-  int line = 1;
-  bool line_has_code = false;
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      line_has_code = false;
-      ++i;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const std::size_t start = i;
-      const int comment_line = line;
-      const bool standalone = !line_has_code;
-      while (i < n && src[i] != '\n') p.code[i++] = ' ';
-      note_comment(src.substr(start, i - start), comment_line, standalone);
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const std::size_t start = i;
-      const int comment_line = line;
-      const bool standalone = !line_has_code;
-      p.code[i] = p.code[i + 1] = ' ';
-      i += 2;
-      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
-        if (src[i] == '\n') {
-          ++line;
-        } else {
-          p.code[i] = ' ';
-        }
-        ++i;
-      }
-      if (i < n) {
-        p.code[i] = p.code[i + 1] = ' ';
-        i += 2;
-      }
-      note_comment(src.substr(start, std::min(i, n) - start), comment_line, standalone);
-      continue;
-    }
-    if (c == '"') {
-      line_has_code = true;
-      const bool raw = i > 0 && src[i - 1] == 'R';
-      if (raw) {
-        std::size_t d = i + 1;
-        std::string delim;
-        while (d < n && src[d] != '(' && src[d] != '\n') delim += src[d++];
-        const std::string closer = ")" + delim + "\"";
-        std::size_t end = src.find(closer, d);
-        end = end == std::string_view::npos ? n : end + closer.size();
-        for (std::size_t j = i; j < end; ++j) {
-          if (src[j] == '\n') {
-            ++line;
-          } else {
-            p.code[j] = ' ';
-          }
-        }
-        i = end;
-        continue;
-      }
-      ++i;
-      while (i < n && src[i] != '"' && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < n) {
-          p.code[i] = ' ';
-          ++i;
-        }
-        p.code[i] = ' ';
-        ++i;
-      }
-      if (i < n && src[i] == '"') ++i;
-      continue;
-    }
-    if (c == '\'') {
-      // Digit separator (1'000'000) vs. char literal: a quote between a digit
-      // and a hex digit is a separator.
-      const bool separator =
-          i > 0 && std::isdigit(static_cast<unsigned char>(src[i - 1])) != 0 &&
-          i + 1 < n && std::isxdigit(static_cast<unsigned char>(src[i + 1])) != 0;
-      if (separator) {
-        ++i;
-        continue;
-      }
-      line_has_code = true;
-      ++i;
-      while (i < n && src[i] != '\'' && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < n) {
-          p.code[i] = ' ';
-          ++i;
-        }
-        p.code[i] = ' ';
-        ++i;
-      }
-      if (i < n && src[i] == '\'') ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) == 0) line_has_code = true;
-    ++i;
-  }
-
-  const int total_lines = line + 1;
-  p.allow.assign(static_cast<std::size_t>(total_lines) + 1, {});
-  p.hot.assign(static_cast<std::size_t>(total_lines) + 1, 0);
-
-  bool hot = false;
-  int hot_from = 0;
-  auto mark_hot = [&p](int from, int to) {
-    for (int l = from; l <= to && l < static_cast<int>(p.hot.size()); ++l) {
-      if (l >= 1) p.hot[static_cast<std::size_t>(l)] = 1;
-    }
-  };
-  for (const CommentNote& note : notes) {
-    for (const std::string& rule : note.allow_rules) {
-      p.allow[static_cast<std::size_t>(note.line)].insert(rule);
-      // A standalone ALLOW comment suppresses on the line that follows it.
-      if (note.standalone && note.line + 1 < static_cast<int>(p.allow.size())) {
-        p.allow[static_cast<std::size_t>(note.line) + 1].insert(rule);
-      }
-    }
-    if (note.hot_begin && !hot) {
-      hot = true;
-      hot_from = note.line;
-    } else if (note.hot_end && hot) {
-      hot = false;
-      mark_hot(hot_from, note.line);
-    }
-  }
-  if (hot) mark_hot(hot_from, total_lines);  // unclosed region runs to EOF
-  return p;
-}
-
-// ---------------------------------------------------------------------------
-// Token stream + char-level context helpers over the blanked code.
-
-struct Tok {
-  std::size_t begin = 0;
-  std::size_t end = 0;
-  int line = 0;
-  std::string_view text;
-};
-
-std::vector<Tok> tokenize(std::string_view code) {
-  std::vector<Tok> out;
-  int line = 1;
-  std::size_t i = 0;
-  while (i < code.size()) {
-    const char c = code[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (is_ident_start(c)) {
-      const std::size_t begin = i;
-      while (i < code.size() && is_ident_char(code[i])) ++i;
-      out.push_back(Tok{begin, i, line, code.substr(begin, i - begin)});
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      while (i < code.size() && (is_ident_char(code[i]) || code[i] == '.')) ++i;
-      continue;  // numeric literal: never a token of interest
-    }
-    ++i;
-  }
-  return out;
-}
-
-std::size_t prev_nonspace(std::string_view code, std::size_t pos) {
-  while (pos > 0) {
-    --pos;
-    if (std::isspace(static_cast<unsigned char>(code[pos])) == 0) return pos;
-  }
-  return std::string_view::npos;
-}
-
-std::size_t next_nonspace(std::string_view code, std::size_t pos) {
-  while (pos < code.size()) {
-    if (std::isspace(static_cast<unsigned char>(code[pos])) == 0) return pos;
-    ++pos;
-  }
-  return std::string_view::npos;
-}
-
-/// True when the char before `pos` (skipping whitespace) ends a member
-/// access: `.` or `->`.
-bool preceded_by_member_access(std::string_view code, std::size_t pos) {
-  const std::size_t p = prev_nonspace(code, pos);
-  if (p == std::string_view::npos) return false;
-  if (code[p] == '.') return true;
-  return code[p] == '>' && p > 0 && code[p - 1] == '-';
-}
-
-/// From `open` (position of '<'), return the position just past the matching
-/// '>', or npos. Tracks nested <> and () so `map<int, pair<a,b>>` works; a
-/// stray comparison operator simply fails the match.
-std::size_t match_angles(std::string_view code, std::size_t open) {
-  int angle = 0;
-  int paren = 0;
-  for (std::size_t i = open; i < code.size(); ++i) {
-    const char c = code[i];
-    if (c == '<') {
-      ++angle;
-    } else if (c == '>') {
-      if (i > 0 && code[i - 1] == '-') continue;  // ->
-      --angle;
-      if (angle == 0) return i + 1;
-    } else if (c == '(') {
-      ++paren;
-    } else if (c == ')') {
-      if (paren == 0) return std::string_view::npos;
-      --paren;
-    } else if (c == ';' || c == '{') {
-      return std::string_view::npos;  // was a comparison, not a template
-    }
-  }
-  return std::string_view::npos;
-}
-
-/// First template argument between '<' at `open` and its matching '>',
-/// whitespace-trimmed; empty when the angles don't match.
-std::string first_template_arg(std::string_view code, std::size_t open) {
-  int angle = 0;
-  int paren = 0;
-  bool complete = false;  // saw the first arg's terminator (',' or final '>')
-  std::string arg;
-  for (std::size_t i = open; i < code.size(); ++i) {
-    const char c = code[i];
-    if (c == '<') {
-      ++angle;
-      if (angle == 1) continue;
-    } else if (c == '>') {
-      if (i > 0 && code[i - 1] == '-') {
-        // '->' inside an argument; fall through and record it
-      } else {
-        --angle;
-        if (angle == 0) {
-          complete = true;
-          break;
-        }
-      }
-    } else if (c == '(') {
-      ++paren;
-    } else if (c == ')') {
-      --paren;
-    } else if (c == ',' && angle == 1 && paren == 0) {
-      complete = true;
-      break;
-    } else if (c == ';' || c == '{') {
-      return {};
-    }
-    if (angle >= 1) arg += c;
-  }
-  while (!arg.empty() && std::isspace(static_cast<unsigned char>(arg.back())) != 0) {
-    arg.pop_back();
-  }
-  while (!arg.empty() && std::isspace(static_cast<unsigned char>(arg.front())) != 0) {
-    arg.erase(arg.begin());
-  }
-  return complete ? arg : std::string{};
-}
-
-// ---------------------------------------------------------------------------
-// Findings sink with ALLOW filtering.
-
-class Sink {
- public:
-  Sink(const std::string& file, const Prepared& prep, std::vector<Finding>& out)
-      : file_(file), prep_(prep), out_(out) {}
-
-  void report(const char* rule, int line, std::string message) {
-    const auto l = static_cast<std::size_t>(line);
-    if (l < prep_.allow.size() && prep_.allow[l].count(rule) != 0) return;
-    out_.push_back(Finding{file_, line, rule, std::move(message)});
-  }
-
-  [[nodiscard]] bool hot(int line) const {
-    const auto l = static_cast<std::size_t>(line);
-    return l < prep_.hot.size() && prep_.hot[l] != 0;
-  }
-
- private:
-  const std::string& file_;
-  const Prepared& prep_;
-  std::vector<Finding>& out_;
-};
-
-// ---------------------------------------------------------------------------
-// Rules.
-
-// wallclock: any mention of a wall/monotonic clock type. Simulated time is
-// the only clock the simulation may observe; benches that legitimately time
-// themselves carry an ALLOW.
-void rule_wallclock(const std::vector<Tok>& toks, Sink& sink) {
-  for (const Tok& t : toks) {
-    if (t.text == "system_clock" || t.text == "steady_clock" ||
-        t.text == "high_resolution_clock") {
-      sink.report("wallclock", t.line,
-                  "wall-clock read (" + std::string(t.text) +
-                      "): simulation code must use SimTime; benches may "
-                      "HPCSLINT-ALLOW(wallclock) their timing harness");
-    }
-  }
-}
-
-// rand: ambient (non-seeded) randomness. Every stochastic draw must come
-// from an hpcs::Rng seeded by the experiment config, or sweeps stop
-// reproducing. `time` only fires when called (`time(`) and not as a member
-// (`x.time(...)`).
-void rule_rand(std::string_view code, const std::vector<Tok>& toks, Sink& sink) {
-  static const std::unordered_set<std::string_view> kBanned = {
-      "rand", "srand", "rand_r", "drand48", "lrand48", "random_device"};
-  for (const Tok& t : toks) {
-    if (kBanned.count(t.text) != 0) {
-      sink.report("rand", t.line,
-                  "ambient randomness (" + std::string(t.text) +
-                      "): draw from a config-seeded hpcs::Rng instead");
-      continue;
-    }
-    if (t.text == "time" && !preceded_by_member_access(code, t.begin)) {
-      const std::size_t nx = next_nonspace(code, t.end);
-      if (nx != std::string_view::npos && code[nx] == '(') {
-        sink.report("rand", t.line,
-                    "time(...) call: wall-clock seeds break run reproducibility");
-      }
-    }
-  }
-}
-
-// unordered-iter: iterating a hash container feeds hash-order — which varies
-// across libstdc++ versions and ASLR — into whatever consumes the loop.
-// Heuristic: remember every identifier declared right after an
-// unordered_map/unordered_set template type in this file, then flag
-// range-fors whose range expression mentions one, and explicit .begin()
-// family calls on one.
-void rule_unordered_iter(std::string_view code, const std::vector<Tok>& toks, Sink& sink) {
-  std::set<std::string_view> uvars;
-  for (const Tok& t : toks) {
-    if (t.text != "unordered_map" && t.text != "unordered_set" &&
-        t.text != "unordered_multimap" && t.text != "unordered_multiset") {
-      continue;
-    }
-    const std::size_t open = next_nonspace(code, t.end);
-    if (open == std::string_view::npos || code[open] != '<') continue;
-    std::size_t after = match_angles(code, open);
-    if (after == std::string_view::npos) continue;
-    // Skip refs/pointers between the type and the declared name.
-    while (true) {
-      after = next_nonspace(code, after);
-      if (after == std::string_view::npos) break;
-      if (code[after] == '&' || code[after] == '*') {
-        ++after;
-        continue;
-      }
-      break;
-    }
-    if (after == std::string_view::npos || !is_ident_start(code[after])) continue;
-    std::size_t end = after;
-    while (end < code.size() && is_ident_char(code[end])) ++end;
-    uvars.insert(code.substr(after, end - after));
-  }
-  if (uvars.empty()) return;
-
-  for (std::size_t ti = 0; ti < toks.size(); ++ti) {
-    const Tok& t = toks[ti];
-    if (t.text == "for") {
-      const std::size_t open = next_nonspace(code, t.end);
-      if (open == std::string_view::npos || code[open] != '(') continue;
-      // Find ':' at paren depth 1 (not '::'), then the closing ')'.
-      int depth = 0;
-      std::size_t colon = std::string_view::npos;
-      std::size_t close = std::string_view::npos;
-      for (std::size_t i = open; i < code.size(); ++i) {
-        const char c = code[i];
-        if (c == '(') {
-          ++depth;
-        } else if (c == ')') {
-          --depth;
-          if (depth == 0) {
-            close = i;
-            break;
-          }
-        } else if (c == ':' && depth == 1 && colon == std::string_view::npos) {
-          const bool dbl = (i + 1 < code.size() && code[i + 1] == ':') ||
-                           (i > 0 && code[i - 1] == ':');
-          if (!dbl) colon = i;
-        } else if (c == ';' && depth == 1) {
-          break;  // classic for loop, not range-for
-        }
-      }
-      if (colon == std::string_view::npos || close == std::string_view::npos) continue;
-      for (std::size_t tj = ti + 1; tj < toks.size() && toks[tj].begin < close; ++tj) {
-        if (toks[tj].begin > colon && uvars.count(toks[tj].text) != 0) {
-          sink.report("unordered-iter", t.line,
-                      "range-for over unordered container '" + std::string(toks[tj].text) +
-                          "': hash order is not deterministic; copy into a sorted "
-                          "container first");
-          break;
-        }
-      }
-    } else if (t.text == "begin" || t.text == "cbegin" || t.text == "rbegin" ||
-               t.text == "crbegin") {
-      if (!preceded_by_member_access(code, t.begin)) continue;
-      // Identifier before the access operator.
-      std::size_t p = prev_nonspace(code, t.begin);
-      if (p != std::string_view::npos && code[p] == '>') --p;  // '->'
-      if (p == std::string_view::npos || p == 0) continue;
-      const std::size_t ident_end = prev_nonspace(code, p);
-      if (ident_end == std::string_view::npos || !is_ident_char(code[ident_end])) continue;
-      std::size_t ident_begin = ident_end;
-      while (ident_begin > 0 && is_ident_char(code[ident_begin - 1])) --ident_begin;
-      const std::string_view ident = code.substr(ident_begin, ident_end + 1 - ident_begin);
-      if (uvars.count(ident) != 0) {
-        sink.report("unordered-iter", t.line,
-                    "iteration over unordered container '" + std::string(ident) +
-                        "' via ." + std::string(t.text) + "(): hash order is not "
-                        "deterministic");
-      }
-    }
-  }
-}
-
-// pointer-key: ordering keyed on a pointer value (map/set key, or a
-// less/greater comparator instantiated on a pointer) depends on allocation
-// addresses, so two runs — let alone two machines — disagree. Key by pid,
-// rank, slot id, or another value-stable identity instead.
-void rule_pointer_key(std::string_view code, const std::vector<Tok>& toks, Sink& sink) {
-  static const std::unordered_set<std::string_view> kKeyed = {
-      "map",      "set",      "multimap",          "multiset", "unordered_map",
-      "unordered_set", "unordered_multimap", "unordered_multiset", "less", "greater"};
-  for (const Tok& t : toks) {
-    if (kKeyed.count(t.text) == 0) continue;
-    if (preceded_by_member_access(code, t.begin)) continue;  // .map(...) member call
-    const std::size_t open = next_nonspace(code, t.end);
-    if (open == std::string_view::npos || code[open] != '<') continue;
-    const std::string arg = first_template_arg(code, open);
-    if (!arg.empty() && arg.back() == '*') {
-      sink.report("pointer-key", t.line,
-                  std::string(t.text) + "<" + arg + ", ...>: pointer values are not a "
-                      "deterministic ordering key; key by a stable id instead");
-    }
-  }
-}
-
-// hot-alloc: inside // HPCS_HOT_BEGIN .. // HPCS_HOT_END regions, no
-// allocation and no type-erased std::function construction. These regions
-// are the event-loop fast paths docs/performance.md documents as
-// allocation-free; this rule keeps them that way. Non-allocating placement
-// new carries an ALLOW at the site.
-void rule_hot_alloc(std::string_view code, const std::vector<Tok>& toks, Sink& sink) {
-  static const std::unordered_set<std::string_view> kAlloc = {
-      "new", "make_unique", "make_shared", "malloc", "calloc", "realloc"};
-  for (const Tok& t : toks) {
-    if (!sink.hot(t.line)) continue;
-    if (kAlloc.count(t.text) != 0) {
-      sink.report("hot-alloc", t.line,
-                  "allocation (" + std::string(t.text) +
-                      ") inside an HPCS_HOT region (docs/performance.md)");
-      continue;
-    }
-    if (t.text == "function") {
-      const std::size_t p = prev_nonspace(code, t.begin);
-      if (p != std::string_view::npos && code[p] == ':') {
-        sink.report("hot-alloc", t.line,
-                    "std::function inside an HPCS_HOT region: use "
-                    "sim::InplaceFunction (non-allocating) instead");
-      }
-    }
-  }
-}
-
-// missing-override: in any class whose base clause names SchedClass, every
-// scheduler hook declaration must say `override` (or `final`) — a hook that
-// merely shadows compiles fine and then silently never runs. The compile-time
-// SchedClassImpl concept (kernel/sched_class.h) catches signature drift;
-// this rule catches the shadowing shape the concept cannot distinguish.
-void rule_missing_override(std::string_view code, const std::vector<Tok>& toks, Sink& sink) {
-  static const std::unordered_set<std::string_view> kHooks = {
-      "name",     "owns",          "make_rq",        "enqueue",       "dequeue",
-      "pick_next", "put_prev",     "task_tick",      "wakeup_preempt", "yield",
-      "steal_candidate", "wants_balance", "wakeup_cost"};
-
-  for (std::size_t ti = 0; ti < toks.size(); ++ti) {
-    if (toks[ti].text != "class" && toks[ti].text != "struct") continue;
-    if (ti > 0 && toks[ti - 1].text == "enum") continue;
-    if (ti + 1 >= toks.size()) continue;
-
-    // Scan the class head: find '{' or ';' and remember whether a base
-    // clause in between names SchedClass.
-    std::size_t head = toks[ti].end;
-    std::size_t body_open = std::string_view::npos;
-    bool derives_sched_class = false;
-    {
-      int angle = 0;
-      bool in_bases = false;
-      for (std::size_t i = head; i < code.size(); ++i) {
-        const char c = code[i];
-        if (c == '<') {
-          ++angle;
-        } else if (c == '>') {
-          if (angle > 0) --angle;
-        } else if (c == ';' && angle == 0) {
-          break;  // forward declaration
-        } else if (c == '{' && angle == 0) {
-          body_open = i;
-          break;
-        } else if (c == ':' && angle == 0) {
-          const bool dbl = (i + 1 < code.size() && code[i + 1] == ':') ||
-                           (i > 0 && code[i - 1] == ':');
-          if (!dbl) {
-            in_bases = true;
-          } else {
-            ++i;  // skip '::'
-          }
-        } else if (in_bases && is_ident_start(c)) {
-          std::size_t e = i;
-          while (e < code.size() && is_ident_char(code[e])) ++e;
-          if (code.substr(i, e - i) == "SchedClass") derives_sched_class = true;
-          i = e - 1;
-        }
-      }
-    }
-    if (!derives_sched_class || body_open == std::string_view::npos) continue;
-
-    // Walk the class body; consider hook-named declarations at depth 1.
-    int depth = 0;
-    for (std::size_t i = body_open; i < code.size(); ++i) {
-      const char c = code[i];
-      if (c == '{') {
-        ++depth;
-      } else if (c == '}') {
-        --depth;
-        if (depth == 0) break;
-      } else if (depth == 1 && is_ident_start(c)) {
-        std::size_t e = i;
-        while (e < code.size() && is_ident_char(code[e])) ++e;
-        const std::string_view word = code.substr(i, e - i);
-        if (kHooks.count(word) == 0) {
-          i = e - 1;
-          continue;
-        }
-        const std::size_t open = next_nonspace(code, e);
-        if (open == std::string_view::npos || code[open] != '(') {
-          i = e - 1;
-          continue;
-        }
-        // Find the parameter list's ')' then scan the declaration tail.
-        int paren = 0;
-        std::size_t close = std::string_view::npos;
-        for (std::size_t j = open; j < code.size(); ++j) {
-          if (code[j] == '(') {
-            ++paren;
-          } else if (code[j] == ')') {
-            --paren;
-            if (paren == 0) {
-              close = j;
-              break;
-            }
-          }
-        }
-        if (close == std::string_view::npos) break;
-        bool has_override = false;
-        std::size_t tail_end = close;
-        for (std::size_t j = close + 1; j < code.size(); ++j) {
-          const char cj = code[j];
-          if (cj == ';' || cj == '{') {
-            tail_end = j;
-            break;
-          }
-          if (is_ident_start(cj)) {
-            std::size_t we = j;
-            while (we < code.size() && is_ident_char(code[we])) ++we;
-            const std::string_view w = code.substr(j, we - j);
-            if (w == "override" || w == "final") has_override = true;
-            j = we - 1;
-          }
-        }
-        if (!has_override) {
-          int line = 1;
-          for (std::size_t j = 0; j < i; ++j) {
-            if (code[j] == '\n') ++line;
-          }
-          sink.report("missing-override", line,
-                      "SchedClass hook '" + std::string(word) +
-                          "' declared without override: a signature mismatch would "
-                          "silently shadow instead of overriding");
-        }
-        i = tail_end;
-      }
-    }
-  }
-}
-
-// tracepoint-name: the id argument of an HPCS_TRACEPOINT record site must be
-// a kTp* enumerator (optionally namespace/enum qualified) — a compile-time
-// constant from the tracepoint catalogue in obs/tracepoint.h. A runtime
-// expression there would silently decouple the record site from the
-// per-tracepoint hit counters (whose registration order mirrors the
-// catalogue), and make the set of tracepoints ungreppable.
-void rule_tracepoint_name(std::string_view code, const std::vector<Tok>& toks, Sink& sink) {
-  for (std::size_t ti = 0; ti < toks.size(); ++ti) {
-    if (toks[ti].text != "HPCS_TRACEPOINT") continue;
-    // Skip the macro's own definition (`#define HPCS_TRACEPOINT(...)`).
-    if (ti > 0 && toks[ti - 1].text == "define") continue;
-    const std::size_t open = next_nonspace(code, toks[ti].end);
-    if (open == std::string_view::npos || code[open] != '(') continue;
-
-    // Extract the second top-level argument of the invocation.
-    int paren = 0;
-    int commas = 0;
-    std::size_t arg_begin = std::string_view::npos;
-    std::size_t arg_end = std::string_view::npos;
-    for (std::size_t i = open; i < code.size(); ++i) {
-      const char c = code[i];
-      if (c == '(') {
-        ++paren;
-      } else if (c == ')') {
-        --paren;
-        if (paren == 0) {
-          if (commas == 1) arg_end = i;
-          break;
-        }
-      } else if (c == ',' && paren == 1) {
-        ++commas;
-        if (commas == 1) {
-          arg_begin = i + 1;
-        } else if (commas == 2) {
-          arg_end = i;
-          break;
-        }
-      }
-    }
-
-    // Valid shape: `(qualifier::)* kTp<ident>` with nothing else.
-    bool ok = false;
-    if (arg_begin != std::string_view::npos && arg_end != std::string_view::npos) {
-      std::string flat;
-      for (std::size_t i = arg_begin; i < arg_end; ++i) {
-        if (!std::isspace(static_cast<unsigned char>(code[i]))) flat.push_back(code[i]);
-      }
-      std::size_t pos = 0;
-      bool segments_ok = !flat.empty();
-      std::size_t q;
-      while (segments_ok && (q = flat.find("::", pos)) != std::string::npos) {
-        segments_ok = q > pos && is_ident_start(flat[pos]);
-        for (std::size_t i = pos; segments_ok && i < q; ++i) {
-          segments_ok = is_ident_char(flat[i]);
-        }
-        pos = q + 2;
-      }
-      if (segments_ok) {
-        const std::string last = flat.substr(pos);
-        ok = last.size() > 3 && last.compare(0, 3, "kTp") == 0 && last != "kTpCount";
-        for (std::size_t i = 0; ok && i < last.size(); ++i) {
-          ok = is_ident_char(last[i]);
-        }
-      }
-    }
-    if (!ok) {
-      sink.report("tracepoint-name", toks[ti].line,
-                  "HPCS_TRACEPOINT id must be a kTp* enumerator from the tracepoint "
-                  "catalogue (obs/tracepoint.h), not a runtime expression");
-    }
-  }
+bool read_file(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
 }
 
 }  // namespace
 
-const std::vector<std::string>& rule_names() {
-  static const std::vector<std::string> kRules = {
-      "wallclock", "rand", "unordered-iter", "pointer-key", "hot-alloc",
-      "missing-override", "tracepoint-name"};
-  return kRules;
-}
+std::vector<Finding> lint_units(const std::vector<SourceUnit>& units) {
+  std::vector<TuIndex> tus;
+  tus.reserve(units.size());
+  for (const SourceUnit& u : units) {
+    TuIndex tu = parse_tu(u.label, u.text);
+    Sink sink(tu.file, tu.prep, tu.local_findings);
+    run_token_rules(tu.prep, tu.toks, sink);
+    tus.push_back(std::move(tu));
+  }
 
-std::vector<Finding> lint_source(const std::string& file_label, std::string_view source) {
-  const Prepared prep = prepare(source);
-  const std::vector<Tok> toks = tokenize(prep.code);
   std::vector<Finding> out;
-  Sink sink(file_label, prep, out);
-  rule_wallclock(toks, sink);
-  rule_rand(prep.code, toks, sink);
-  rule_unordered_iter(prep.code, toks, sink);
-  rule_pointer_key(prep.code, toks, sink);
-  rule_hot_alloc(prep.code, toks, sink);
-  rule_missing_override(prep.code, toks, sink);
-  rule_tracepoint_name(prep.code, toks, sink);
-  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
+  link_program(tus, out);
+  for (TuIndex& tu : tus) {
+    out.insert(out.end(), tu.local_findings.begin(), tu.local_findings.end());
+  }
+  sort_findings(out);
   return out;
 }
 
+std::vector<Finding> lint_source(const std::string& file_label,
+                                 std::string_view source) {
+  return lint_units({SourceUnit{file_label, std::string(source)}});
+}
+
 std::vector<Finding> lint_file(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return {Finding{path.string(), 0, "io-error", "cannot open file"}};
+  std::string text;
+  if (!read_file(path, text)) {
+    return {Finding{path.string(), 0, "io-error", "cannot read file"}};
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return lint_source(path.string(), buf.str());
+  return lint_source(path.string(), text);
 }
 
 std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots) {
-  std::vector<std::filesystem::path> files;
-  const auto lintable = [](const std::filesystem::path& p) {
-    const std::string ext = p.extension().string();
-    return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
-  };
-  const auto in_fixture_dir = [](const std::filesystem::path& p) {
-    for (const auto& part : p) {
-      if (part == "fixtures" || part == "hpcslint_fixtures") return true;
-    }
-    return false;
-  };
-  for (const std::filesystem::path& root : roots) {
-    if (std::filesystem::is_regular_file(root)) {
-      if (lintable(root)) files.push_back(root);
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (!fs::exists(root, ec)) continue;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
       continue;
     }
-    if (!std::filesystem::is_directory(root)) continue;
-    for (const auto& entry : std::filesystem::recursive_directory_iterator(root)) {
-      if (entry.is_regular_file() && lintable(entry.path()) &&
-          !in_fixture_dir(entry.path())) {
-        files.push_back(entry.path());
+    for (auto it = fs::recursive_directory_iterator(root, ec);
+         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (it->is_directory(ec)) {
+        const std::string name = it->path().filename().string();
+        if (name == "fixtures" || name == "hpcslint_fixtures") {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp") {
+        files.push_back(it->path());
       }
     }
   }
   std::sort(files.begin(), files.end());
-  std::vector<Finding> out;
-  for (const std::filesystem::path& f : files) {
-    std::vector<Finding> fs = lint_file(f);
-    out.insert(out.end(), std::make_move_iterator(fs.begin()),
-               std::make_move_iterator(fs.end()));
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<SourceUnit> units;
+  std::vector<Finding> io_errors;
+  units.reserve(files.size());
+  for (const auto& path : files) {
+    std::string text;
+    if (!read_file(path, text)) {
+      io_errors.push_back(Finding{path.string(), 0, "io-error", "cannot read file"});
+      continue;
+    }
+    units.push_back(SourceUnit{path.string(), std::move(text)});
   }
+
+  std::vector<Finding> out = lint_units(units);
+  out.insert(out.end(), io_errors.begin(), io_errors.end());
+  sort_findings(out);
   return out;
 }
 
 std::string format_finding(const Finding& f) {
   return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message;
+}
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "wallclock",        "rand",       "unordered-iter",
+      "pointer-key",      "hot-alloc",  "missing-override",
+      "tracepoint-name",  "det-taint",  "lock-order",
+      "lock-guard",
+  };
+  return kNames;
 }
 
 }  // namespace hpcslint

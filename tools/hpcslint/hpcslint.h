@@ -1,28 +1,47 @@
 #pragma once
-// hpcslint — the project's determinism & hot-path lint.
+// hpcslint v2 — the project's symbol-resolving determinism & hot-path lint.
 //
 // The whole reproduction stands on one contract: a simulation run is a pure
 // function of its config, so exp::ParallelRunner can fan sweeps across
 // threads with bit-identical results. hpcslint statically rejects the code
-// shapes that quietly break that contract (wall-clock reads, ambient RNG,
-// hash-order iteration, pointer-keyed ordering) plus the allocation patterns
-// the event-loop hot path was rebuilt to avoid. It is a lightweight lexer —
-// no libclang — that blanks comments/strings and pattern-matches token
-// streams; each rule documents its heuristic next to its implementation in
-// hpcslint.cpp, and `// HPCSLINT-ALLOW(rule)` suppresses a finding on the
-// same line (or on the next line when the comment stands alone).
+// shapes that quietly break that contract. v1 was a single-pass lexer; v2 is
+// a small dependency-free C++ front end — tokenizer (lexer.h) → tolerant
+// recursive-descent declaration/scope parser with a per-TU symbol table
+// (tu.h, parser.cpp) → cross-TU link step (project.cpp) driven by the file
+// set (optionally from build/compile_commands.json). No libclang: the
+// portable build stays self-contained, and every heuristic is documented at
+// its implementation.
 //
-// Rules (see docs/static_analysis.md for rationale and examples):
+// Rule families (see docs/static_analysis.md for rationale and examples):
+//
+//  token rules (v1, unchanged behaviour):
 //   wallclock        std::chrono::{system,steady,high_resolution}_clock
 //   rand             rand/srand/rand_r/drand48, std::random_device, time(...)
-//   unordered-iter   range-for / .begin() over unordered_{map,set} variables
-//   pointer-key      map/set/less/greater keyed on a raw pointer type
 //   hot-alloc        new / make_unique / make_shared / malloc / std::function
 //                    inside // HPCS_HOT_BEGIN .. // HPCS_HOT_END regions
-//   missing-override SchedClass hook declared without `override` in a class
-//                    deriving from SchedClass
+//   missing-override SchedClass hook declared without `override`
+//   tracepoint-name  HPCS_TRACEPOINT id must be a kTp* catalogue enumerator
+//
+//  scoped container rules (v2: symbol-resolving, incl. class members across
+//  translation units):
+//   unordered-iter   iterating a variable declared as unordered_{map,set}
+//   pointer-key      map/set/less/greater keyed on a pointer type, and
+//                    iteration over a pointer-keyed ordered container
+//
+//  whole-program rules (v2):
+//   det-taint        a function in the deterministic core (simcore/kernel/
+//                    power5/obs) transitively reaches a nondeterminism
+//                    source through the call graph
+//   lock-order       cycle in the MutexLock acquisition-order graph
+//   lock-guard       write to a GUARDED_BY field outside any lock scope
+//
+// `// HPCSLINT-ALLOW(rule)` suppresses a finding on the same line (or the
+// next line when the comment stands alone). Findings can also be baselined:
+// emit SARIF with --sarif, check the file in, and CI gates on *new*
+// findings only (fingerprints not present in the baseline).
 
 #include <filesystem>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,18 +55,31 @@ struct Finding {
   std::string message;
 };
 
-/// Lint one translation unit given as text. `file_label` is only used to
-/// fill Finding::file — the unit tests feed synthetic sources through this.
+/// One in-memory translation unit for lint_units(): `label` is used as
+/// Finding::file and decides path-based protection for det-taint.
+struct SourceUnit {
+  std::string label;
+  std::string text;
+};
+
+/// Lint one translation unit given as text — a single-TU project: all rule
+/// families run, cross-TU resolution simply has nothing extra to see.
 [[nodiscard]] std::vector<Finding> lint_source(const std::string& file_label,
                                                std::string_view source);
+
+/// Lint a set of translation units as one program: per-TU rules on each,
+/// then the link step (symbol merge, call graph, taint, lock graph) across
+/// all of them. This is what lint_tree and the compile_commands driver use;
+/// the multi-TU fixtures call it directly.
+[[nodiscard]] std::vector<Finding> lint_units(const std::vector<SourceUnit>& units);
 
 /// Lint a file on disk (returns a single io-error finding if unreadable).
 [[nodiscard]] std::vector<Finding> lint_file(const std::filesystem::path& path);
 
-/// Recursively lint every *.h/*.hpp/*.cc/*.cpp under the given roots,
-/// skipping any directory named "fixtures" (fixture files deliberately
-/// violate the rules). Files are visited in sorted path order so output is
-/// deterministic — the lint practices what it preaches.
+/// Recursively lint every *.h/*.hpp/*.cc/*.cpp under the given roots as one
+/// program, skipping any directory named "fixtures" (fixture files
+/// deliberately violate the rules). Files are visited in sorted path order
+/// so output is deterministic — the lint practices what it preaches.
 [[nodiscard]] std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots);
 
 /// "file:line: [rule] message" — the single line format CI greps.
@@ -55,5 +87,42 @@ struct Finding {
 
 /// Every rule name, for --list-rules and the self-test harness.
 [[nodiscard]] const std::vector<std::string>& rule_names();
+
+// ---------------------------------------------------------------------------
+// SARIF 2.1.0 + baseline (sarif.cpp)
+
+/// Stable identity of a finding for baseline matching: FNV-1a over
+/// file|rule|message plus a per-identical-tuple occurrence index, so two
+/// findings with the same text on different lines baseline independently but
+/// whole-file line drift does not invalidate the baseline.
+[[nodiscard]] std::vector<std::string> fingerprints(const std::vector<Finding>& fs);
+
+/// Render findings as a SARIF 2.1.0 document (one run, one result per
+/// finding, fingerprint under partialFingerprints."hpcslint/v1").
+[[nodiscard]] std::string sarif_report(const std::vector<Finding>& fs);
+
+/// Extract the fingerprint set from a SARIF document previously written by
+/// sarif_report (or regenerated via scripts/hpcslint_baseline.sh). Returns
+/// false (and fills `error`) on malformed JSON.
+[[nodiscard]] bool load_baseline(std::string_view sarif_text,
+                                 std::set<std::string>& out, std::string& error);
+
+/// Drop findings whose fingerprint is in `baseline`; the remainder are the
+/// *new* findings CI fails on.
+[[nodiscard]] std::vector<Finding> filter_baselined(const std::vector<Finding>& fs,
+                                                    const std::set<std::string>& baseline);
+
+// ---------------------------------------------------------------------------
+// compile_commands.json driver (compile_commands.cpp)
+
+/// Read the translation-unit list from a CMake compile_commands.json:
+/// every "file" entry under the repository (external/_deps and fixture
+/// paths are skipped), plus every header under the source directories those
+/// files live in — headers do not appear in compile commands but carry
+/// class definitions the link step needs. Returns false + `error` when the
+/// file is missing or malformed.
+[[nodiscard]] bool files_from_compile_commands(const std::filesystem::path& json_path,
+                                               std::vector<std::filesystem::path>& out,
+                                               std::string& error);
 
 }  // namespace hpcslint

@@ -1,0 +1,40 @@
+#pragma once
+// Minimal JSON reader/writer helpers for hpcslint (sarif.cpp and
+// compile_commands.cpp). The repo's portable build is dependency-free by
+// design, and the two documents hpcslint consumes — its own SARIF baseline
+// and CMake's compile_commands.json — are machine-written, so a small
+// strict recursive-descent parser is all that is needed. Numbers are kept
+// as doubles; objects preserve insertion order (SARIF baselines diff
+// cleanly when regenerated).
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hpcslint::json {
+
+struct Value {
+  enum class Kind : unsigned char { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* get(std::string_view key) const;
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+};
+
+/// Parse a complete JSON document. Returns false and fills `error` (with a
+/// byte offset) on malformed input.
+[[nodiscard]] bool parse(std::string_view text, Value& out, std::string& error);
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace hpcslint::json

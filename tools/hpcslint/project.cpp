@@ -1,0 +1,530 @@
+// hpcslint front end, stage 3: the cross-TU link step.
+//
+// Input: one TuIndex per file (parser.cpp). This file merges them into a
+// whole-program view and runs the three rule families that need it:
+//
+//  det-taint   A function is *tainted* when its body touches a
+//              nondeterminism source (wall clock, ambient RNG, env read,
+//              hash-order iteration) or calls a tainted function. Taint
+//              propagates callee→caller over the resolved call graph; any
+//              tainted function belonging to the deterministic core
+//              (simcore/kernel/power5/obs, by namespace or path) is an
+//              error. ALLOW'd sources never taint — an allowed source is a
+//              reviewed exception, not a leak.
+//
+//  lock-order  Every `MutexLock b(..)` executed while `a` is held is an
+//              edge a→b; so is every acquisition a callee performs while
+//              the caller holds a lock, and every acquisition inside a
+//              REQUIRES(m) function (m→acquired). A cycle in this graph is
+//              a potential deadlock. Mutex names are normalized to
+//              Class::field when the field is found in the merged class
+//              table, so `mu_` in two classes stays two nodes.
+//
+//  lock-guard  A write to a GUARDED_BY(g) field recorded by the parser
+//              with no matching mutex in its held-set (locks in scope plus
+//              the function's REQUIRES) is reported. This is the portable
+//              subset of Clang's -Wthread-safety, which CI only gets on
+//              one matrix leg.
+//
+// Call resolution is deliberately conservative: unqualified names resolve
+// same-class, then enclosing-namespace, then globally; a name matching more
+// than kMaxCandidates symbols (or one from the std-noise list: push_back,
+// size, find, ...) resolves to nothing rather than to everything.
+
+#include "tu.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+#include <utility>
+
+namespace hpcslint {
+namespace {
+
+constexpr std::size_t kMaxCandidates = 8;
+
+/// Member/free function names so common in std usage that resolving them
+/// through the project symbol table would connect unrelated code.
+bool is_noise_call(const std::string& name) {
+  static const std::unordered_set<std::string_view> k = {
+      "size",      "empty",       "begin",      "end",        "cbegin",
+      "cend",      "rbegin",      "rend",       "push_back",  "emplace_back",
+      "push_front", "emplace_front", "pop_back", "pop_front", "front",
+      "back",      "clear",       "insert",     "erase",      "find",
+      "count",     "at",          "reserve",    "resize",     "capacity",
+      "get",       "reset",       "release",    "c_str",      "data",
+      "str",       "substr",      "append",     "compare",    "load",
+      "store",     "exchange",    "fetch_add",  "notify_all", "notify_one",
+      "wait",      "wait_for",    "join",       "joinable",   "detach",
+      "lock",      "unlock",      "try_lock",   "native",     "min",
+      "max",       "move",        "forward",    "swap",       "to_string",
+      "sort",      "stable_sort", "fill",       "copy",       "transform",
+      "accumulate", "abs",        "floor",      "ceil",       "round",
+      "sqrt",      "pow",         "exp",        "log",        "log2",
+      "make_pair", "make_tuple",  "tie",        "emplace",    "assign",
+      "push",      "pop",         "top",        "first",      "second",
+      "printf",    "fprintf",     "snprintf",   "memcpy",     "memset",
+      "memmove",   "strlen",      "strcmp",     "open",       "close",
+      "good",      "fail",        "eof",        "rdbuf",      "write",
+      "read",      "flush",       "value",      "has_value",  "push_heap",
+      "pop_heap",  "lower_bound", "upper_bound"};
+  return k.count(name) != 0;
+}
+
+/// Last field-ish segment of a mutex expression: "pool.mu_" → "mu_".
+std::string mutex_tail(const std::string& m) {
+  const std::size_t cut = m.find_last_of(".>:");
+  return cut == std::string::npos ? m : m.substr(cut + 1);
+}
+
+std::string join_chain(const std::vector<std::string>& segs) {
+  std::string out;
+  for (const std::string& s : segs) {
+    if (!out.empty()) out += "::";
+    out += s;
+  }
+  return out;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+struct OwnedTaint {
+  std::string origin;  ///< "what at file:line" — pre-rendered for messages
+};
+
+struct OwnedLockEdge {
+  std::string from, to;
+  std::size_t tu = 0;
+  int line = 0;
+};
+
+struct OwnedWrite {
+  PendingFieldWrite w;
+  std::size_t tu = 0;
+};
+
+struct OwnedUse {
+  PendingContainerUse u;
+  std::size_t tu = 0;
+};
+
+struct OwnedCall {
+  CallSite cs;
+  std::size_t tu = 0;
+};
+
+/// One merged symbol: every declaration and body sharing a qualified name
+/// (overload sets collapse into one node — conservative and simple).
+struct Node {
+  std::string qname;
+  std::string name;
+  std::string class_qname;
+  bool has_body = false;
+  bool is_protected = false;
+  std::size_t def_tu = 0;  ///< TU of the first body (finding attribution)
+  int def_line = 0;
+  std::vector<std::string> requires_m;
+  std::vector<OwnedCall> calls;
+  std::vector<OwnedTaint> taints;
+  std::vector<OwnedLockEdge> lock_edges;  ///< normalized at build time
+  std::vector<std::string> acquired;      ///< normalized
+  std::vector<OwnedWrite> writes;
+  std::vector<OwnedUse> uses;
+};
+
+class Linker {
+ public:
+  Linker(std::vector<TuIndex>& tus, std::vector<Finding>& out)
+      : tus_(tus), out_(out) {}
+
+  void run() {
+    merge_classes();
+    merge_functions();
+    resolve_calls_all();
+    resolve_pending_uses();   // may add taints — must precede the closure
+    resolve_pending_writes();
+    build_lock_graph();
+    report_lock_cycles();
+    taint_closure();
+    report_det_taint();
+  }
+
+ private:
+  std::vector<TuIndex>& tus_;
+  std::vector<Finding>& out_;
+  std::map<std::string, ClassInfo> classes_;
+  std::map<std::string, Node> nodes_;
+  std::map<std::string, std::vector<std::string>> by_name_;
+  std::map<std::string, std::vector<std::string>> callees_;  ///< resolved edges
+  std::map<std::string, std::vector<std::string>> callers_;  ///< reverse edges
+  std::map<std::string, std::map<std::string, OwnedLockEdge>> lock_adj_;
+  std::map<std::string, std::set<std::string>> closure_memo_;
+  std::set<std::string> closure_busy_;
+
+  void report(const char* rule, std::size_t tu, int line, std::string msg) {
+    if (tus_[tu].prep.allowed(rule, line)) return;
+    out_.push_back(Finding{tus_[tu].file, line, rule, std::move(msg)});
+  }
+
+  void merge_classes() {
+    for (TuIndex& tu : tus_) {
+      for (ClassInfo& c : tu.classes) {
+        ClassInfo& m = classes_[c.qname];
+        if (m.qname.empty()) {
+          m.qname = c.qname;
+          m.line = c.line;
+        }
+        for (const std::string& b : c.bases) m.bases.push_back(b);
+        for (auto& [name, f] : c.fields) {
+          FieldInfo& mf = m.fields[name];
+          if (mf.name.empty()) mf = f;
+          if (mf.guard.empty()) mf.guard = f.guard;
+          if (mf.container == ContainerKind::kNone) {
+            mf.container = f.container;
+            mf.pointer_key = f.pointer_key;
+          }
+        }
+      }
+    }
+  }
+
+  /// `mu_` → `Class::mu_` when the class (of the function that names it)
+  /// really has that field; otherwise the bare tail.
+  std::string normalize_mutex(const std::string& raw, const std::string& class_qname) {
+    const std::string tail = mutex_tail(raw);
+    const auto c = classes_.find(class_qname);
+    if (c != classes_.end() && c->second.fields.count(tail) != 0) {
+      return class_qname + "::" + tail;
+    }
+    return tail;
+  }
+
+  void merge_functions() {
+    for (std::size_t ti = 0; ti < tus_.size(); ++ti) {
+      TuIndex& tu = tus_[ti];
+      for (FuncInfo& f : tu.funcs) {
+        Node& n = nodes_[f.qname];
+        if (n.qname.empty()) {
+          n.qname = f.qname;
+          n.name = f.name;
+          n.class_qname = f.class_qname;
+        }
+        if (n.class_qname.empty()) n.class_qname = f.class_qname;
+        n.is_protected = n.is_protected || f.in_protected_scope;
+        for (const std::string& r : f.requires_mutexes) n.requires_m.push_back(r);
+        if (f.has_body && !n.has_body) {
+          n.has_body = true;
+          n.def_tu = ti;
+          n.def_line = f.line;
+        }
+        if (!f.has_body) continue;
+        for (CallSite& cs : f.calls) n.calls.push_back(OwnedCall{std::move(cs), ti});
+        for (const TaintSource& t : f.taints) {
+          n.taints.push_back(
+              OwnedTaint{t.what + " at " + tu.file + ":" + std::to_string(t.line)});
+        }
+        for (const LockEdge& e : f.lock_edges) {
+          n.lock_edges.push_back(OwnedLockEdge{
+              normalize_mutex(e.held, f.class_qname),
+              normalize_mutex(e.acquired, f.class_qname), ti, e.line});
+        }
+        for (const std::string& a : f.acquired) {
+          n.acquired.push_back(normalize_mutex(a, f.class_qname));
+        }
+        for (PendingFieldWrite& w : f.pending_writes) {
+          n.writes.push_back(OwnedWrite{std::move(w), ti});
+        }
+        for (PendingContainerUse& u : f.pending_uses) {
+          n.uses.push_back(OwnedUse{std::move(u), ti});
+        }
+      }
+    }
+    for (const auto& [q, n] : nodes_) by_name_[n.name].push_back(q);
+  }
+
+  std::vector<std::string> resolve_call(const Node& caller, const CallSite& cs) {
+    if (cs.chain.empty()) return {};
+    const std::string& last = cs.chain.back();
+    if (is_noise_call(last)) return {};
+    std::vector<std::string> out;
+    if (cs.chain.size() > 1) {
+      // Qualified: match whole-suffix against merged qnames.
+      const std::string joined = join_chain(cs.chain);
+      for (const auto& [q, n] : nodes_) {
+        if (q == joined || ends_with(q, "::" + joined)) {
+          out.push_back(q);
+          if (out.size() > kMaxCandidates) return {};
+        }
+      }
+      return out;
+    }
+    // Unqualified: same class wins outright…
+    if (!caller.class_qname.empty()) {
+      const std::string q = caller.class_qname + "::" + last;
+      if (nodes_.count(q) != 0) return {q};
+    }
+    if (!cs.member_access) {
+      // …then the enclosing namespaces, innermost first…
+      std::string ns = caller.qname;
+      std::size_t cut;
+      while ((cut = ns.rfind("::")) != std::string::npos) {
+        ns.resize(cut);
+        const std::string q = ns + "::" + last;
+        if (nodes_.count(q) != 0) return {q};
+      }
+      if (nodes_.count(last) != 0) return {last};
+    }
+    // …then any symbol with the name, if the set is small enough to trust.
+    const auto it = by_name_.find(last);
+    if (it != by_name_.end() && it->second.size() <= kMaxCandidates) return it->second;
+    return {};
+  }
+
+  void resolve_calls_all() {
+    for (const auto& [q, n] : nodes_) {
+      std::set<std::string> seen;
+      for (const OwnedCall& oc : n.calls) {
+        for (std::string& callee : resolve_call(n, oc.cs)) {
+          if (callee != q && seen.insert(callee).second) {
+            callees_[q].push_back(callee);
+            callers_[callee].push_back(q);
+          }
+        }
+      }
+    }
+  }
+
+  void resolve_pending_uses() {
+    for (auto& [q, n] : nodes_) {
+      const auto c = classes_.find(n.class_qname);
+      if (c == classes_.end()) continue;
+      for (const OwnedUse& ou : n.uses) {
+        const auto f = c->second.fields.find(ou.u.name);
+        if (f == c->second.fields.end()) continue;
+        const FieldInfo& fi = f->second;
+        const std::string shown = n.class_qname + "::" + ou.u.name;
+        if (fi.container == ContainerKind::kUnordered) {
+          if (ou.u.range_for) {
+            report("unordered-iter", ou.tu, ou.u.line,
+                   "range-for over unordered container '" + shown +
+                       "': hash order is not deterministic; copy into a sorted "
+                       "container first");
+          } else {
+            report("unordered-iter", ou.tu, ou.u.line,
+                   "iteration over unordered container '" + shown + "' via ." +
+                       ou.u.via + "(): hash order is not deterministic");
+          }
+          if (!tus_[ou.tu].prep.allowed("unordered-iter", ou.u.line) &&
+              !tus_[ou.tu].prep.allowed("det-taint", ou.u.line)) {
+            n.taints.push_back(OwnedTaint{"iteration over unordered '" + shown +
+                                          "' at " + tus_[ou.tu].file + ":" +
+                                          std::to_string(ou.u.line)});
+          }
+        } else if (fi.container == ContainerKind::kOrdered && fi.pointer_key) {
+          report("pointer-key", ou.tu, ou.u.line,
+                 "iteration over pointer-keyed container '" + shown +
+                     "': traversal follows allocation addresses; key by a stable "
+                     "id instead");
+        }
+      }
+    }
+  }
+
+  void resolve_pending_writes() {
+    for (const auto& [q, n] : nodes_) {
+      const auto c = classes_.find(n.class_qname);
+      if (c == classes_.end()) continue;
+      for (const OwnedWrite& ow : n.writes) {
+        const auto f = c->second.fields.find(ow.w.field);
+        if (f == c->second.fields.end() || f->second.guard.empty()) continue;
+        const std::string want = mutex_tail(f->second.guard);
+        bool held = false;
+        for (const std::string& h : ow.w.held) {
+          if (mutex_tail(h) == want) {
+            held = true;
+            break;
+          }
+        }
+        if (held) continue;
+        report("lock-guard", ow.tu, ow.w.line,
+               "write to '" + n.class_qname + "::" + ow.w.field + "' (GUARDED_BY(" +
+                   f->second.guard + ")) without holding '" + f->second.guard +
+                   "': take a MutexLock or annotate the function REQUIRES(" +
+                   f->second.guard + ")");
+      }
+    }
+  }
+
+  /// Every mutex `q` may acquire, directly or through resolved callees.
+  const std::set<std::string>& acquisition_closure(const std::string& q) {
+    const auto memo = closure_memo_.find(q);
+    if (memo != closure_memo_.end()) return memo->second;
+    if (closure_busy_.count(q) != 0) {
+      static const std::set<std::string> kEmpty;
+      return kEmpty;  // recursion: the cycle's locks surface via its members
+    }
+    closure_busy_.insert(q);
+    std::set<std::string> acc;
+    const auto n = nodes_.find(q);
+    if (n != nodes_.end()) {
+      acc.insert(n->second.acquired.begin(), n->second.acquired.end());
+      const auto ce = callees_.find(q);
+      if (ce != callees_.end()) {
+        for (const std::string& callee : ce->second) {
+          const std::set<std::string>& sub = acquisition_closure(callee);
+          acc.insert(sub.begin(), sub.end());
+        }
+      }
+    }
+    closure_busy_.erase(q);
+    return closure_memo_[q] = std::move(acc);
+  }
+
+  void add_lock_edge(const std::string& from, const std::string& to, std::size_t tu,
+                     int line) {
+    if (from.empty() || to.empty()) return;
+    auto& slot = lock_adj_[from];
+    const auto it = slot.find(to);
+    if (it == slot.end()) {
+      slot.emplace(to, OwnedLockEdge{from, to, tu, line});
+    }
+  }
+
+  void build_lock_graph() {
+    for (const auto& [q, n] : nodes_) {
+      for (const OwnedLockEdge& e : n.lock_edges) add_lock_edge(e.from, e.to, e.tu, e.line);
+      // REQUIRES(m) means m is held on entry: every acquisition is m→a.
+      for (const std::string& r : n.requires_m) {
+        const std::string from = normalize_mutex(r, n.class_qname);
+        for (const std::string& a : n.acquired) {
+          if (a != from) add_lock_edge(from, a, n.def_tu, n.def_line);
+        }
+      }
+      // Calls made while holding locks: held × callee acquisition closure.
+      for (const OwnedCall& oc : n.calls) {
+        if (oc.cs.held.empty()) continue;
+        std::vector<std::string> callees = resolve_call(n, oc.cs);
+        for (const std::string& callee : callees) {
+          for (const std::string& a : acquisition_closure(callee)) {
+            for (const std::string& h : oc.cs.held) {
+              const std::string from = normalize_mutex(h, n.class_qname);
+              if (a != from) add_lock_edge(from, a, oc.tu, oc.cs.line);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool reaches(const std::string& from, const std::string& to) const {
+    std::set<std::string> seen;
+    std::deque<std::string> work{from};
+    while (!work.empty()) {
+      const std::string cur = work.front();
+      work.pop_front();
+      if (cur == to) return true;
+      if (!seen.insert(cur).second) continue;
+      const auto it = lock_adj_.find(cur);
+      if (it == lock_adj_.end()) continue;
+      for (const auto& [next, e] : it->second) work.push_back(next);
+    }
+    return false;
+  }
+
+  void report_lock_cycles() {
+    std::set<std::string> reported;
+    for (const auto& [from, edges] : lock_adj_) {
+      for (const auto& [to, e] : edges) {
+        if (from == to) {
+          if (reported.insert(from + "|" + from).second) {
+            report("lock-order", e.tu, e.line,
+                   "mutex '" + from + "' acquired while already held: "
+                   "self-deadlock on a non-recursive mutex");
+          }
+          continue;
+        }
+        if (!reaches(to, from)) continue;
+        const std::string key = std::min(from, to) + "|" + std::max(from, to);
+        if (!reported.insert(key).second) continue;
+        std::string msg = "lock-order cycle: this site acquires '" + to +
+                          "' while holding '" + from + "'";
+        const auto back = lock_adj_.find(to);
+        if (back != lock_adj_.end()) {
+          const auto be = back->second.find(from);
+          if (be != back->second.end()) {
+            msg += ", but " + tus_[be->second.tu].file + ":" +
+                   std::to_string(be->second.line) + " acquires '" + from +
+                   "' while holding '" + to + "'";
+          }
+        }
+        msg += "; pick one global acquisition order";
+        report("lock-order", e.tu, e.line, std::move(msg));
+      }
+    }
+  }
+
+  struct TaintMark {
+    std::string origin;
+    std::vector<std::string> path;  ///< caller→…→source, callee names
+  };
+  std::map<std::string, TaintMark> tainted_;
+
+  void taint_closure() {
+    std::deque<std::string> work;
+    for (const auto& [q, n] : nodes_) {
+      if (n.taints.empty()) continue;
+      tainted_[q] = TaintMark{n.taints.front().origin, {}};
+      work.push_back(q);
+    }
+    while (!work.empty()) {
+      const std::string cur = work.front();
+      work.pop_front();
+      const auto cs = callers_.find(cur);
+      if (cs == callers_.end()) continue;
+      const TaintMark mark = tainted_[cur];
+      for (const std::string& caller : cs->second) {
+        if (tainted_.count(caller) != 0) continue;
+        TaintMark up;
+        up.origin = mark.origin;
+        up.path.reserve(mark.path.size() + 1);
+        up.path.push_back(cur);
+        up.path.insert(up.path.end(), mark.path.begin(), mark.path.end());
+        tainted_[caller] = std::move(up);
+        work.push_back(caller);
+      }
+    }
+  }
+
+  void report_det_taint() {
+    for (const auto& [q, n] : nodes_) {
+      if (!n.is_protected || !n.has_body) continue;
+      const auto t = tainted_.find(q);
+      if (t == tainted_.end()) continue;
+      std::string msg = "deterministic-core function '" + q +
+                        "' reaches a nondeterminism source (" + t->second.origin + ")";
+      if (!t->second.path.empty()) {
+        msg += " via ";
+        const std::size_t shown = std::min<std::size_t>(t->second.path.size(), 4);
+        for (std::size_t i = 0; i < shown; ++i) {
+          if (i != 0) msg += " -> ";
+          msg += t->second.path[i];
+        }
+        if (shown < t->second.path.size()) msg += " -> ...";
+      }
+      msg += "; derive it from the experiment config or HPCSLINT-ALLOW(det-taint) "
+             "the definition";
+      report("det-taint", n.def_tu, n.def_line, std::move(msg));
+    }
+  }
+};
+
+}  // namespace
+
+void link_program(std::vector<TuIndex>& tus, std::vector<Finding>& out) {
+  Linker(tus, out).run();
+}
+
+}  // namespace hpcslint

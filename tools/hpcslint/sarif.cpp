@@ -1,0 +1,138 @@
+// SARIF 2.1.0 emission and baseline handling.
+//
+// The baseline workflow: `hpcslint --sarif FILE` renders every finding with
+// a stable partialFingerprint ("hpcslint/v1"); the checked-in
+// tools/hpcslint/baseline.sarif.json is simply a previous run's output. CI
+// re-lints, loads the baseline's fingerprint set, and fails only on
+// findings whose fingerprint is new — so pre-existing accepted findings
+// never block a PR, and new nondeterminism cannot slip in.
+//
+// Fingerprints hash file|rule|message (FNV-1a) plus an occurrence index for
+// identical tuples — deliberately NOT the line number, so inserting a
+// comment above a baselined finding does not invalidate the baseline, while
+// a genuinely new second occurrence of the same finding still gates.
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+
+#include "hpcslint.h"
+#include "json_mini.h"
+
+namespace hpcslint {
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string fingerprint_of(const Finding& f, int occurrence) {
+  const std::string key = f.file + "|" + f.rule + "|" + f.message;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a(key)));
+  return std::string(buf) + "-" + std::to_string(occurrence);
+}
+
+}  // namespace
+
+std::vector<std::string> fingerprints(const std::vector<Finding>& fs) {
+  std::vector<std::string> out;
+  out.reserve(fs.size());
+  std::map<std::string, int> seen;
+  for (const Finding& f : fs) {
+    const std::string key = f.file + "|" + f.rule + "|" + f.message;
+    out.push_back(fingerprint_of(f, seen[key]++));
+  }
+  return out;
+}
+
+std::string sarif_report(const std::vector<Finding>& fs) {
+  const std::vector<std::string> fps = fingerprints(fs);
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n";
+  out += "    {\n";
+  out += "      \"tool\": {\n";
+  out += "        \"driver\": {\n";
+  out += "          \"name\": \"hpcslint\",\n";
+  out += "          \"version\": \"2.0.0\",\n";
+  out += "          \"informationUri\": \"docs/static_analysis.md\",\n";
+  out += "          \"rules\": [\n";
+  const std::vector<std::string>& names = rule_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out += "            {\"id\": \"" + json::escape(names[i]) + "\"}";
+    out += i + 1 < names.size() ? ",\n" : "\n";
+  }
+  out += "          ]\n";
+  out += "        }\n";
+  out += "      },\n";
+  out += "      \"results\": [\n";
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    const Finding& f = fs[i];
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + json::escape(f.rule) + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" + json::escape(f.message) + "\"},\n";
+    out += "          \"locations\": [\n";
+    out += "            {\n";
+    out += "              \"physicalLocation\": {\n";
+    out += "                \"artifactLocation\": {\"uri\": \"" + json::escape(f.file) +
+           "\"},\n";
+    out += "                \"region\": {\"startLine\": " + std::to_string(f.line) +
+           "}\n";
+    out += "              }\n";
+    out += "            }\n";
+    out += "          ],\n";
+    out += "          \"partialFingerprints\": {\"hpcslint/v1\": \"" +
+           json::escape(fps[i]) + "\"}\n";
+    out += "        }";
+    out += i + 1 < fs.size() ? ",\n" : "\n";
+  }
+  out += "      ]\n";
+  out += "    }\n";
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool load_baseline(std::string_view sarif_text, std::set<std::string>& out,
+                   std::string& error) {
+  json::Value doc;
+  if (!json::parse(sarif_text, doc, error)) return false;
+  const json::Value* runs = doc.get("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    error = "not a SARIF document: missing \"runs\" array";
+    return false;
+  }
+  for (const json::Value& run : runs->arr) {
+    const json::Value* results = run.get("results");
+    if (results == nullptr || !results->is_array()) continue;
+    for (const json::Value& result : results->arr) {
+      const json::Value* pf = result.get("partialFingerprints");
+      if (pf == nullptr) continue;
+      const json::Value* fp = pf->get("hpcslint/v1");
+      if (fp != nullptr && fp->is_string()) out.insert(fp->str);
+    }
+  }
+  return true;
+}
+
+std::vector<Finding> filter_baselined(const std::vector<Finding>& fs,
+                                      const std::set<std::string>& baseline) {
+  const std::vector<std::string> fps = fingerprints(fs);
+  std::vector<Finding> out;
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    if (baseline.count(fps[i]) == 0) out.push_back(fs[i]);
+  }
+  return out;
+}
+
+}  // namespace hpcslint
