@@ -18,6 +18,7 @@
 #include "exp/parallel_runner.h"
 #include "obs/chrome_trace.h"
 #include "obs/manifest.h"
+#include "obs/ring_dump.h"
 
 namespace hpcs::bench {
 
@@ -37,9 +38,16 @@ namespace hpcs::bench {
 ///                                 rather than silently rounding — a bench
 ///                                 that drops a different number of trace
 ///                                 entries than asked for is not comparable.
+///   --obs-ring-dump PATH / HPCS_OBS_RING_DUMP=PATH
+///                                 dump every run's retained tracepoint ring
+///                                 entries raw (32 bytes each, little-endian,
+///                                 versioned header) into PATH for post-mortem
+///                                 tooling — scripts/obs_ring_decode.py reads
+///                                 it back (implies --obs)
 struct ObsOptions {
   obs::ObsConfig cfg;
   std::string trace_path;
+  std::string ring_dump_path;
 };
 
 inline ObsOptions parse_obs_options(int argc, char** argv) {
@@ -60,6 +68,9 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
   if (const char* env = std::getenv("HPCS_OBS_RING")) {
     if (env[0] != '\0') set_ring(env, "HPCS_OBS_RING");
   }
+  if (const char* env = std::getenv("HPCS_OBS_RING_DUMP")) {
+    if (env[0] != '\0') o.ring_dump_path = env;
+  }
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--obs") == 0) {
@@ -68,6 +79,10 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
       o.trace_path = argv[i + 1];
     } else if (std::strncmp(a, "--obs-trace=", 12) == 0) {
       o.trace_path = a + 12;
+    } else if (std::strcmp(a, "--obs-ring-dump") == 0 && i + 1 < argc) {
+      o.ring_dump_path = argv[i + 1];
+    } else if (std::strncmp(a, "--obs-ring-dump=", 16) == 0) {
+      o.ring_dump_path = a + 16;
     } else if (std::strcmp(a, "--obs-ring") == 0 && i + 1 < argc) {
       set_ring(argv[++i], "--obs-ring");
     } else if (std::strncmp(a, "--obs-ring=", 11) == 0) {
@@ -78,6 +93,7 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
     o.cfg.enabled = true;
     o.cfg.chrome_trace = true;
   }
+  if (!o.ring_dump_path.empty()) o.cfg.enabled = true;
   return o;
 }
 
@@ -169,6 +185,20 @@ inline void write_obs_outputs(const char* name, const ObsOptions& o, unsigned jo
     }
     if (obs::write_chrome_trace(o.trace_path, runs)) {
       std::printf("wrote Chrome trace: %s (open in ui.perfetto.dev)\n", o.trace_path.c_str());
+    }
+  }
+  if (!o.ring_dump_path.empty()) {
+    std::vector<obs::RingDumpRun> runs;
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      runs.push_back({analysis::sched_mode_name(modes[i]), results[i].recorder.get()});
+    }
+    std::string error;
+    if (obs::write_ring_dump(o.ring_dump_path, runs, error)) {
+      std::printf("wrote ring dump: %s (decode with scripts/obs_ring_decode.py)\n",
+                  o.ring_dump_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: --obs-ring-dump: %s\n", error.c_str());
+      std::exit(1);
     }
   }
 }

@@ -1,0 +1,236 @@
+#pragma once
+// --dist glue for the table drivers: the same binary is a local sweep, a
+// fabric coordinator, or a fabric worker depending on one flag (or the
+// HPCS_DIST environment variable):
+//
+//   table3_metbench                          local (serial or --jobs N)
+//   table3_metbench --dist coordinator:7070  shard modes across TCP workers
+//   table3_metbench --dist worker 127.0.0.1:7070   serve a coordinator
+//   table3_metbench --dist coordinator:0 --dist-port-file p.txt
+//                                            ephemeral port, written to p.txt
+//
+// A worker serves ANY registered paper-table job — the coordinator's
+// HELLO_ACK names the job — so `table3_metbench --dist worker ...` happily
+// computes rows for table6_siesta (hpcs-distd is the same loop without the
+// table printing code).
+//
+// Determinism: rows are serialized RunResults (bit-exact doubles, see
+// analysis/run_serialize.h) committed into mode-order slots, so the driver's
+// printed table, BENCH_*.json and MANIFEST_*.json are byte-identical to a
+// local run for any worker count or kill schedule. The fabric's own
+// counters go to MANIFEST_<name>.fabric.host.json — a host-side sidecar,
+// like the engine's .host.json, never part of deterministic output.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "analysis/dist_jobs.h"
+#include "analysis/run_serialize.h"
+#include "bench_common.h"
+#include "common/check.h"
+#include "dist/coordinator.h"
+#include "dist/host/dist_options.h"
+#include "dist/host/service.h"
+#include "dist/host/tcp_transport.h"
+#include "dist/worker.h"
+
+namespace hpcs::bench {
+
+struct DistContext {
+  dist::host::DistOptions opt;
+  [[nodiscard]] bool off() const {
+    return opt.mode == dist::host::DistOptions::Mode::kOff;
+  }
+  [[nodiscard]] bool coordinator() const {
+    return opt.mode == dist::host::DistOptions::Mode::kCoordinator;
+  }
+  [[nodiscard]] bool worker() const {
+    return opt.mode == dist::host::DistOptions::Mode::kWorker;
+  }
+};
+
+/// Parse HPCS_DIST, then --dist SPEC / --dist=SPEC (flag wins) plus
+/// --dist-port-file PATH. Exits with code 2 on a malformed spec — a driver
+/// silently running local when the user asked for a fabric is the worst
+/// failure mode.
+inline DistContext parse_dist_options(int argc, char** argv) {
+  DistContext ctx;
+  std::string err;
+  if (!dist::host::apply_dist_env(ctx.opt, err)) {
+    std::fprintf(stderr, "error: HPCS_DIST: %s\n", err.c_str());
+    std::exit(2);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    std::string spec;
+    if (std::strcmp(a, "--dist") == 0 && i + 1 < argc) {
+      spec = argv[++i];
+      // Two-token worker form: --dist worker HOST:PORT
+      if (spec == "worker" && i + 1 < argc) spec += std::string(" ") + argv[++i];
+    } else if (std::strncmp(a, "--dist=", 7) == 0) {
+      spec = a + 7;
+    } else if (std::strcmp(a, "--dist-port-file") == 0 && i + 1 < argc) {
+      ctx.opt.port_file = argv[++i];
+      continue;
+    } else if (std::strncmp(a, "--dist-port-file=", 17) == 0) {
+      ctx.opt.port_file = a + 17;
+      continue;
+    } else {
+      continue;
+    }
+    if (!dist::host::parse_dist_spec(spec, ctx.opt, err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      std::exit(2);
+    }
+  }
+  return ctx;
+}
+
+/// Refuse flag combinations that cannot keep their promises under --dist:
+/// trace capture produces host-side objects that never cross the fabric.
+inline void reject_dist_incompatible(const DistContext& ctx, const ObsOptions& obs) {
+  if (!ctx.off() && !obs.trace_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --obs-trace requires a local run (traces do not "
+                 "serialize); drop --dist or --obs-trace\n");
+    std::exit(2);
+  }
+  if (!ctx.off() && !obs.ring_dump_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --obs-ring-dump requires a local run (rings do not "
+                 "serialize); drop --dist or --obs-ring-dump\n");
+    std::exit(2);
+  }
+}
+
+/// Worker mode: serve the fabric until BYE, then exit the process (0 clean,
+/// 1 failed). No-op in any other mode.
+// HPCS_HOST_BEGIN — process identity and the connect/serve loop.
+inline void maybe_serve_dist_worker(const DistContext& ctx) {
+  if (!ctx.worker()) return;
+  std::string err;
+  auto conn = dist::host::tcp_connect(ctx.opt.hostname, ctx.opt.port, err);
+  if (conn == nullptr) {
+    std::fprintf(stderr, "error: --dist worker: %s\n", err.c_str());
+    std::exit(1);
+  }
+  dist::JobRegistry reg;
+  analysis::register_paper_table_jobs(reg);
+  dist::WorkerConfig wcfg;
+  wcfg.name = "pid" + std::to_string(::getpid());
+  wcfg.capacity = ctx.opt.capacity;
+  dist::WorkerSession session(wcfg, reg, std::move(conn));
+  if (!dist::host::serve_worker(session, err)) {
+    std::fprintf(stderr, "error: dist worker failed: %s\n", err.c_str());
+    std::exit(1);
+  }
+  std::printf("dist worker done: %lld rows, %lld shards\n",
+              static_cast<long long>(session.rows_sent()),
+              static_cast<long long>(session.shards_done()));
+  std::exit(0);
+}
+// HPCS_HOST_END
+
+/// MANIFEST_<name>.fabric.host.json: the fabric's host-side counters
+/// (schema hpcs-dist-fabric-v1). The CI dist-smoke job asserts on these.
+inline void write_fabric_sidecar(const char* name, std::uint16_t port,
+                                 const dist::FabricStats& s) {
+  JsonObject root;
+  root.field("schema", "hpcs-dist-fabric-v1").field("bench", name).field("port", port);
+  JsonObject fabric;
+  fabric.field("workers_connected", s.workers_connected)
+      .field("workers_rejected", s.workers_rejected)
+      .field("workers_dead", s.workers_dead)
+      .field("shards_total", s.shards_total)
+      .field("shards_assigned", s.shards_assigned)
+      .field("shards_retried", s.shards_retried)
+      .field("shards_stolen", s.shards_stolen)
+      .field("shards_local", s.shards_local)
+      .field("rows_remote", s.rows_remote)
+      .field("rows_local", s.rows_local)
+      .field("rows_stale", s.rows_stale)
+      .field("frames_bad", s.frames_bad)
+      .field("fell_back_local", s.fell_back_local ? 1 : 0);
+  root.object("fabric", fabric);
+  write_json_file(std::string("MANIFEST_") + name + ".fabric.host.json", root);
+}
+
+/// run_modes with a fabric in front: coordinator mode shards the sweep over
+/// TCP workers (degrading to local execution as needed); any other mode is
+/// plain run_modes. Results come back in mode order either way.
+inline std::vector<analysis::RunResult> run_modes_dist(
+    const DistContext& ctx, const char* name, unsigned jobs,
+    const std::vector<analysis::SchedMode>& modes,
+    const std::function<analysis::RunResult(analysis::SchedMode)>& run,
+    exp::EngineStats* host_stats, std::uint64_t seed, const ObsOptions& obs) {
+  if (!ctx.coordinator()) return run_modes(jobs, modes, run, host_stats);
+
+  const analysis::PaperTableJob* job = analysis::find_paper_table_job(name);
+  HPCS_CHECK_MSG(job != nullptr, "driver name missing from paper_table_jobs()");
+  HPCS_CHECK_MSG(job->modes == modes, "driver mode list drifted from dist_jobs.cpp");
+
+  dist::CoordinatorConfig cfg;
+  cfg.job = name;
+  cfg.params = analysis::encode_job_params(seed, obs.cfg);
+  cfg.shard_size = 1;  // one mode per shard: max stealability
+  cfg.local_jobs = jobs;
+  // Host-run timeouts are generous: a point is a whole table run and
+  // sanitizer builds are 10-20x slower.
+  cfg.connect_wait_ms = 15000;
+  cfg.liveness_timeout_ms = 60000;
+  cfg.shard_timeout_ms = 300000;
+  dist::Coordinator coord(cfg, modes.size(), [job, seed, &obs](std::uint32_t i) {
+    return analysis::serialize_run_result(job->run(job->modes[i], seed, obs.cfg));
+  });
+
+  // HPCS_HOST_BEGIN — listener setup + the wall-clock service loop.
+  std::string err;
+  std::uint16_t bound = 0;
+  auto listener = dist::host::tcp_listen(ctx.opt.port, bound, err);
+  if (listener == nullptr) {
+    std::fprintf(stderr, "error: --dist coordinator: %s\n", err.c_str());
+    std::exit(1);
+  }
+  if (!ctx.opt.port_file.empty()) {
+    std::FILE* f = std::fopen(ctx.opt.port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write --dist-port-file %s\n",
+                   ctx.opt.port_file.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(bound));
+    std::fclose(f);
+  }
+  std::fprintf(stderr, "dist: coordinating %zu points on 127.0.0.1:%u\n", modes.size(),
+               static_cast<unsigned>(bound));
+  std::vector<std::string> rows = dist::host::serve_coordinator(coord, *listener);
+  // HPCS_HOST_END
+
+  const dist::FabricStats& s = coord.stats();
+  std::fprintf(stderr,
+               "dist: done — %lld workers, %lld rows remote, %lld local, "
+               "%lld retried, %lld stolen, %lld stale\n",
+               static_cast<long long>(s.workers_connected),
+               static_cast<long long>(s.rows_remote),
+               static_cast<long long>(s.rows_local),
+               static_cast<long long>(s.shards_retried),
+               static_cast<long long>(s.shards_stolen),
+               static_cast<long long>(s.rows_stale));
+  write_fabric_sidecar(name, bound, s);
+
+  std::vector<analysis::RunResult> results;
+  results.reserve(rows.size());
+  for (const std::string& row : rows) {
+    analysis::RunResult r;
+    HPCS_CHECK_MSG(analysis::deserialize_run_result(row, r),
+                   "fabric returned a malformed row");
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace hpcs::bench

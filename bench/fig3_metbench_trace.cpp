@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   using analysis::SchedMode;
 
   bench::init_logging(argc, argv);
+  bench::reject_dist_unsupported(argc, argv);
   bench::FigObs fobs("fig3_metbench", bench::parse_obs_options(argc, argv));
   auto e = analysis::MetBenchExperiment::paper();
   e.workload.iterations = 12;  // enough iterations to see the pattern clearly

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using analysis::SchedMode;
 
   bench::init_logging(argc, argv);
+  bench::reject_dist_unsupported(argc, argv);
   bench::FigObs fobs("fig4_metbenchvar", bench::parse_obs_options(argc, argv));
   const auto e = analysis::MetBenchVarExperiment::paper();
 

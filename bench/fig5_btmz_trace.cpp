@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using analysis::SchedMode;
 
   bench::init_logging(argc, argv);
+  bench::reject_dist_unsupported(argc, argv);
   bench::FigObs fobs("fig5_btmz", bench::parse_obs_options(argc, argv));
   auto e = analysis::BtMzExperiment::paper();
   e.workload.iterations = 60;  // a representative window

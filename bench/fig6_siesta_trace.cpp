@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using analysis::SchedMode;
 
   bench::init_logging(argc, argv);
+  bench::reject_dist_unsupported(argc, argv);
   bench::FigObs fobs("fig6_siesta", bench::parse_obs_options(argc, argv));
   auto e = analysis::SiestaExperiment::paper();
   e.workload.microiters = 8000;  // a window of the full run

@@ -24,7 +24,9 @@ validated against the observability manifest schema (hpcs-obs-manifest-v1):
 run layout, metric kinds, histogram bucket/edge arity, unique metric names,
 and the fixed-layout contract (every run carries the identical metric
 name/kind sequence). Host sidecars (MANIFEST_*.host.json) are checked for
-their own schema tag and engine-stat fields.
+their own schema tag and engine-stat fields; fabric sidecars
+(MANIFEST_*.fabric.host.json, written by --dist coordinator runs) for the
+hpcs-dist-fabric-v1 schema and its counter fields.
 
 Exit status: 0 all checks pass, 1 any failure (missing file, missing path,
 out-of-range value, malformed manifest).
@@ -37,7 +39,26 @@ import sys
 
 MANIFEST_SCHEMA = "hpcs-obs-manifest-v1"
 HOST_SCHEMA = "hpcs-obs-host-v1"
+FABRIC_SCHEMA = "hpcs-dist-fabric-v1"
 METRIC_KINDS = ("counter", "gauge", "histogram")
+
+# Counters in the fabric sidecar's "fabric" object (bench/bench_dist.h
+# write_fabric_sidecar). All non-negative integers; fell_back_local is 0/1.
+FABRIC_COUNTERS = (
+    "workers_connected",
+    "workers_rejected",
+    "workers_dead",
+    "shards_total",
+    "shards_assigned",
+    "shards_retried",
+    "shards_stolen",
+    "shards_local",
+    "rows_remote",
+    "rows_local",
+    "rows_stale",
+    "frames_bad",
+    "fell_back_local",
+)
 
 
 def validate_manifest(doc, fname):
@@ -128,6 +149,35 @@ def validate_host_sidecar(doc, fname):
     return problems
 
 
+def validate_fabric_sidecar(doc, fname):
+    problems = []
+    if doc.get("schema") != FABRIC_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {FABRIC_SCHEMA!r}")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        problems.append("bench must be a non-empty string")
+    if not isinstance(doc.get("port"), int) or not 0 <= doc["port"] <= 65535:
+        problems.append("port must be an integer in [0, 65535]")
+    fabric = doc.get("fabric")
+    if not isinstance(fabric, dict):
+        problems.append("fabric must be an object")
+        return problems
+    for key in FABRIC_COUNTERS:
+        val = fabric.get(key)
+        if not isinstance(val, int) or val < 0:
+            problems.append(f"fabric.{key} must be a non-negative integer")
+    if isinstance(fabric.get("fell_back_local"), int) and fabric["fell_back_local"] not in (0, 1):
+        problems.append("fabric.fell_back_local must be 0 or 1")
+    # Internal consistency: every row came from somewhere, every shard that
+    # ran locally is part of the total.
+    ints = all(isinstance(fabric.get(k), int) for k in FABRIC_COUNTERS)
+    if ints:
+        if fabric["shards_local"] > fabric["shards_total"]:
+            problems.append("fabric.shards_local exceeds shards_total")
+        if fabric["rows_remote"] + fabric["rows_local"] == 0 and fabric["shards_total"] > 0:
+            problems.append("fabric produced no rows for a non-empty sweep")
+    return problems
+
+
 def check_manifests(bench_dir):
     failures = 0
     for path in sorted(glob.glob(f"{bench_dir}/MANIFEST_*.json")):
@@ -139,13 +189,18 @@ def check_manifests(bench_dir):
             print(f"FAIL {fname}: cannot load ({e})")
             failures += 1
             continue
-        validate = validate_host_sidecar if fname.endswith(".host.json") else validate_manifest
+        # Order matters: the fabric sidecar's name also ends in ".host.json".
+        if fname.endswith(".fabric.host.json"):
+            validate, kind = validate_fabric_sidecar, "fabric sidecar"
+        elif fname.endswith(".host.json"):
+            validate, kind = validate_host_sidecar, "host sidecar"
+        else:
+            validate, kind = validate_manifest, "manifest"
         problems = validate(doc, fname)
         for p in problems:
             print(f"FAIL {fname}: {p}")
         failures += len(problems)
         if not problems:
-            kind = "host sidecar" if fname.endswith(".host.json") else "manifest"
             print(f"  ok  {fname}: valid {kind}")
     return failures
 

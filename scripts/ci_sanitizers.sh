@@ -57,6 +57,11 @@ assert doc['traceEvents'], 'Chrome trace has no events'
 print(f'Chrome trace loads: {len(doc[\"traceEvents\"])} events')
 "
 
+echo "=== dist-smoke: coordinator + 2 TCP workers vs serial ==="
+# Byte-identity of the sweep fabric against the serial run, plus the
+# fabric-sidecar schema checks. Full contract in scripts/dist_smoke.sh.
+scripts/dist_smoke.sh build-ci
+
 python3 scripts/check_bench_json.py scripts/bench_golden.json build-ci/bench
 
 if [[ "${HPCS_CI_FAST:-0}" == "1" ]]; then

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# dist-smoke: the sweep fabric's acceptance contract.
+#
+#   scripts/dist_smoke.sh [BUILD_DIR]     # default: build
+#
+# Runs table3_metbench twice — once serially, once as a --dist coordinator
+# fed by two hpcs-distd workers over localhost TCP — and requires the
+# printed table, BENCH_*.json and MANIFEST_*.json to be byte-identical.
+# Then asserts the fabric sidecar shows both workers connected and doing
+# real row work, and schema-validates the fabric output dir (including the
+# hpcs-dist-fabric-v1 sidecar) with scripts/check_bench_json.py.
+#
+# Needs the table3_metbench and hpcs-distd targets already built in
+# BUILD_DIR. Exit status: 0 on success, 1 on any divergence or timeout.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BENCH_ABS="$PWD/${BUILD_DIR}/bench"
+DISTD_ABS="$PWD/${BUILD_DIR}/tools/hpcs-distd/hpcs-distd"
+SMOKE_DIR="${BUILD_DIR}/dist-smoke"
+
+[[ -x "${BENCH_ABS}/table3_metbench" ]] || {
+  echo "ERROR: ${BENCH_ABS}/table3_metbench not built"
+  exit 1
+}
+[[ -x "${DISTD_ABS}" ]] || {
+  echo "ERROR: ${DISTD_ABS} not built"
+  exit 1
+}
+
+rm -rf "${SMOKE_DIR}"
+mkdir -p "${SMOKE_DIR}/serial" "${SMOKE_DIR}/fabric"
+
+echo "--- serial reference run"
+(cd "${SMOKE_DIR}/serial" && "${BENCH_ABS}/table3_metbench" --obs > stdout.txt)
+
+echo "--- coordinator + 2 hpcs-distd workers"
+(
+  cd "${SMOKE_DIR}/fabric"
+  "${BENCH_ABS}/table3_metbench" --obs --dist coordinator:0 \
+    --dist-port-file port.txt > stdout.txt &
+  coord=$!
+  for _ in $(seq 1 150); do
+    [[ -s port.txt ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s port.txt ]]; then
+    echo "ERROR: coordinator never wrote its port"
+    kill "${coord}" 2>/dev/null || true
+    exit 1
+  fi
+  "${DISTD_ABS}" "127.0.0.1:$(cat port.txt)" --name ci-w1 >worker1.log 2>&1 &
+  w1=$!
+  "${DISTD_ABS}" "127.0.0.1:$(cat port.txt)" --name ci-w2 >worker2.log 2>&1 &
+  w2=$!
+  wait "${coord}" && wait "${w1}" && wait "${w2}"
+)
+
+for f in stdout.txt BENCH_table3_metbench.json MANIFEST_table3_metbench.json; do
+  diff "${SMOKE_DIR}/serial/${f}" "${SMOKE_DIR}/fabric/${f}" || {
+    echo "ERROR: ${f} differs between serial and fabric runs"
+    exit 1
+  }
+done
+echo "serial vs fabric: table, BENCH json, metrics manifest all byte-identical"
+
+python3 -c "
+import json
+doc = json.load(open('${SMOKE_DIR}/fabric/MANIFEST_table3_metbench.fabric.host.json'))
+assert doc['schema'] == 'hpcs-dist-fabric-v1', doc
+f = doc['fabric']
+assert f['workers_connected'] == 2, f
+assert f['rows_remote'] + f['rows_local'] == f['shards_total'], f
+assert f['rows_remote'] >= 1, f
+print('fabric sidecar ok:', {k: f[k] for k in ('workers_connected', 'rows_remote', 'rows_local')})
+"
+
+# The fabric dir holds a golden-spec'd BENCH file plus the manifest and both
+# sidecars — run it through the same validator as the main bench output
+# (this is also what exercises the fabric-sidecar schema branch in CI).
+python3 -c "
+import json
+spec = json.load(open('scripts/bench_golden.json'))
+sub = {'BENCH_table3_metbench.json': spec['BENCH_table3_metbench.json']}
+json.dump(sub, open('${SMOKE_DIR}/golden_subset.json', 'w'))
+"
+python3 scripts/check_bench_json.py "${SMOKE_DIR}/golden_subset.json" "${SMOKE_DIR}/fabric"
+
+echo "dist-smoke passed"

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Decode a binary tracepoint ring dump written by --obs-ring-dump.
+
+Format (little-endian, see src/obs/ring_dump.h):
+
+    magic   8 bytes  "HPCSRING"
+    u32     format version (1)
+    u32     run count
+    per run:
+      u32     run-name length, then that many bytes
+      u32     cpu count
+      per cpu:
+        u64     pushed, u64 dropped, u64 retained
+        retained x 32-byte entries { i64 t_ns, u32 tp, i32 cpu, i64 a0, i64 a1 }
+
+Usage:
+    obs_ring_decode.py DUMP            # per-run/per-cpu summary
+    obs_ring_decode.py DUMP --entries  # every retained record, oldest first
+"""
+
+import argparse
+import struct
+import sys
+
+MAGIC = b"HPCSRING"
+VERSION = 1
+
+# Mirrors obs::TpId (append-only catalogue, src/obs/tracepoint.h).
+TP_NAMES = [
+    "sched_switch",
+    "wake",
+    "migrate",
+    "balance_pull",
+    "hw_prio",
+    "hpc_iteration",
+    "hpc_imbalance",
+    "hpc_prio_change",
+    "hpc_history_reset",
+]
+
+
+class Reader:
+    def __init__(self, blob):
+        self.blob = blob
+        self.off = 0
+
+    def take(self, fmt):
+        size = struct.calcsize(fmt)
+        if self.off + size > len(self.blob):
+            raise ValueError(f"truncated dump at offset {self.off}")
+        vals = struct.unpack_from(fmt, self.blob, self.off)
+        self.off += size
+        return vals if len(vals) > 1 else vals[0]
+
+    def take_bytes(self, n):
+        if self.off + n > len(self.blob):
+            raise ValueError(f"truncated dump at offset {self.off}")
+        out = self.blob[self.off : self.off + n]
+        self.off += n
+        return out
+
+
+def tp_name(tp):
+    return TP_NAMES[tp] if tp < len(TP_NAMES) else f"tp{tp}"
+
+
+def decode(blob, show_entries):
+    r = Reader(blob)
+    if r.take_bytes(8) != MAGIC:
+        raise ValueError("not a ring dump (bad magic)")
+    version = r.take("<I")
+    if version != VERSION:
+        raise ValueError(f"unsupported dump version {version} (expected {VERSION})")
+    run_count = r.take("<I")
+    for _ in range(run_count):
+        name_len = r.take("<I")
+        name = r.take_bytes(name_len).decode("utf-8", "replace")
+        cpu_count = r.take("<I")
+        print(f"run {name}: {cpu_count} cpus")
+        for cpu in range(cpu_count):
+            pushed, dropped, retained = r.take("<QQQ")
+            print(f"  cpu {cpu}: pushed={pushed} dropped={dropped} retained={retained}")
+            for _ in range(retained):
+                t_ns, tp, ecpu, a0, a1 = r.take("<qIiqq")
+                if show_entries:
+                    print(f"    {t_ns / 1e9:14.9f}s cpu{ecpu} {tp_name(tp):18s} a0={a0} a1={a1}")
+    if r.off != len(blob):
+        raise ValueError(f"{len(blob) - r.off} trailing bytes after last run")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("dump", help="path written by --obs-ring-dump")
+    ap.add_argument("--entries", action="store_true", help="print every retained record")
+    args = ap.parse_args()
+    with open(args.dump, "rb") as f:
+        blob = f.read()
+    try:
+        decode(blob, args.entries)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # e.g. piped into head
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+#include "analysis/dist_jobs.h"
+
+#include "analysis/paper_experiments.h"
+#include "analysis/run_serialize.h"
+#include "dist/wire.h"
+
+namespace hpcs::analysis {
+
+namespace {
+
+constexpr std::uint32_t kParamsVersion = 1;
+
+RunResult run_table3(SchedMode m, std::uint64_t seed, const obs::ObsConfig& obs) {
+  return run_metbench(MetBenchExperiment::paper(), m, /*trace=*/false, seed, obs);
+}
+RunResult run_table4(SchedMode m, std::uint64_t seed, const obs::ObsConfig& obs) {
+  return run_metbenchvar(MetBenchVarExperiment::paper(), m, /*trace=*/false, seed, obs);
+}
+RunResult run_table5(SchedMode m, std::uint64_t seed, const obs::ObsConfig& obs) {
+  return run_btmz(BtMzExperiment::paper(), m, /*trace=*/false, seed, obs);
+}
+RunResult run_table6(SchedMode m, std::uint64_t seed, const obs::ObsConfig& obs) {
+  return run_siesta(SiestaExperiment::paper(), m, /*trace=*/false, seed, obs);
+}
+
+}  // namespace
+
+const std::vector<PaperTableJob>& paper_table_jobs() {
+  static const std::vector<PaperTableJob> kJobs = {
+      {"table3_metbench",
+       {SchedMode::kBaselineCfs, SchedMode::kStatic, SchedMode::kUniform,
+        SchedMode::kAdaptive},
+       &run_table3},
+      {"table4_metbenchvar",
+       {SchedMode::kBaselineCfs, SchedMode::kStatic, SchedMode::kUniform,
+        SchedMode::kAdaptive},
+       &run_table4},
+      {"table5_btmz",
+       {SchedMode::kBaselineCfs, SchedMode::kStatic, SchedMode::kUniform,
+        SchedMode::kAdaptive},
+       &run_table5},
+      {"table6_siesta",
+       {SchedMode::kBaselineCfs, SchedMode::kUniform, SchedMode::kAdaptive},
+       &run_table6},
+  };
+  return kJobs;
+}
+
+const PaperTableJob* find_paper_table_job(const std::string& name) {
+  for (const PaperTableJob& j : paper_table_jobs()) {
+    if (name == j.name) return &j;
+  }
+  return nullptr;
+}
+
+std::string encode_job_params(std::uint64_t seed, const obs::ObsConfig& obs) {
+  dist::WireWriter w;
+  w.u32(kParamsVersion)
+      .u64(seed)
+      .u8(obs.enabled ? 1 : 0)
+      .u64(obs.ring_capacity);
+  return w.take();
+}
+
+bool decode_job_params(const std::string& blob, std::uint64_t& seed, obs::ObsConfig& obs) {
+  dist::WireReader r(blob);
+  if (r.u32() != kParamsVersion) return false;
+  seed = r.u64();
+  obs.enabled = r.u8() != 0;
+  obs.ring_capacity = r.u64();
+  obs.chrome_trace = false;  // trace capture never crosses the fabric
+  return r.done();
+}
+
+void register_paper_table_jobs(dist::JobRegistry& reg) {
+  for (const PaperTableJob& j : paper_table_jobs()) {
+    const PaperTableJob* job = &j;
+    reg.add(job->name, [job](const std::string& params) {
+      dist::ResolvedJob out;
+      std::uint64_t seed = 1;
+      obs::ObsConfig obs;
+      if (!decode_job_params(params, seed, obs)) return out;  // count=0: reject
+      out.count = job->modes.size();
+      out.fn = [job, seed, obs](std::uint32_t index) {
+        return serialize_run_result(job->run(job->modes[index], seed, obs));
+      };
+      return out;
+    });
+  }
+}
+
+}  // namespace hpcs::analysis

@@ -1,0 +1,47 @@
+#pragma once
+// The paper-table jobs as the sweep fabric sees them: one named job per
+// table driver, whose points are the driver's scheduler modes in driver
+// order. This table is the single source of truth for BOTH sides of a
+// --dist run — the coordinator's local fallback and every worker resolve
+// the same entry, so a point computes byte-identical bytes wherever it runs
+// (the purity requirement dist::Coordinator's retry logic relies on).
+//
+// The opaque params blob carries {seed, obs on/off, ring capacity}: the full
+// run configuration a worker needs to reproduce the driver's lambda.
+// chrome_trace is deliberately NOT carried — trace capture is local-only and
+// the drivers reject --obs-trace under --dist.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "dist/registry.h"
+
+namespace hpcs::analysis {
+
+struct PaperTableJob {
+  const char* name;                  ///< matches the driver/bench name
+  std::vector<SchedMode> modes;      ///< sweep points, driver order
+  /// Pure point function: mode + run config -> full result.
+  RunResult (*run)(SchedMode mode, std::uint64_t seed, const obs::ObsConfig& obs);
+};
+
+/// All four table jobs (table3_metbench, table4_metbenchvar, table5_btmz,
+/// table6_siesta), in table order.
+[[nodiscard]] const std::vector<PaperTableJob>& paper_table_jobs();
+
+/// Lookup by name; nullptr when unknown.
+[[nodiscard]] const PaperTableJob* find_paper_table_job(const std::string& name);
+
+/// Params blob for the fabric's HELLO_ACK (versioned, opaque above here).
+[[nodiscard]] std::string encode_job_params(std::uint64_t seed, const obs::ObsConfig& obs);
+[[nodiscard]] bool decode_job_params(const std::string& blob, std::uint64_t& seed,
+                                     obs::ObsConfig& obs);
+
+/// Register every paper-table job in `reg` (what hpcs-distd and the drivers'
+/// worker mode call): each factory decodes the params blob and returns the
+/// serialize(run(modes[index])) task.
+void register_paper_table_jobs(dist::JobRegistry& reg);
+
+}  // namespace hpcs::analysis

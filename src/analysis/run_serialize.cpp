@@ -1,0 +1,145 @@
+#include "analysis/run_serialize.h"
+
+#include "dist/wire.h"
+
+namespace hpcs::analysis {
+
+namespace {
+
+/// Layout version of the serialized RunResult; bumped on any field change so
+/// a stale worker binary is rejected instead of misread.
+constexpr std::uint32_t kRunResultVersion = 1;
+
+/// Sanity caps: a count above these is a corrupt blob, not a plausible run.
+constexpr std::uint32_t kMaxRanks = 1u << 16;
+constexpr std::uint32_t kMaxMarks = 1u << 24;
+constexpr std::uint32_t kMaxMetrics = 1u << 20;
+constexpr std::uint32_t kMaxBuckets = 1u << 16;
+
+void put_task(dist::WireWriter& w, const TaskResult& t) {
+  w.str(t.name)
+      .i32(t.pid)
+      .f64(t.util_pct)
+      .i32(t.final_hw_prio)
+      .i64(t.cpu_time.ns())
+      .i64(t.wakeups)
+      .f64(t.avg_wakeup_latency_us)
+      .i64(t.iterations);
+}
+
+bool get_task(dist::WireReader& r, TaskResult& t) {
+  t.name = r.str();
+  t.pid = r.i32();
+  t.util_pct = r.f64();
+  t.final_hw_prio = r.i32();
+  t.cpu_time = Duration(r.i64());
+  t.wakeups = r.i64();
+  t.avg_wakeup_latency_us = r.f64();
+  t.iterations = r.i64();
+  return r.ok();
+}
+
+void put_metric(dist::WireWriter& w, const obs::MetricValue& m) {
+  w.str(m.name)
+      .u8(static_cast<std::uint8_t>(m.kind))
+      .i64(m.count)
+      .f64(m.value)
+      .u32(static_cast<std::uint32_t>(m.edges.size()));
+  for (const double e : m.edges) w.f64(e);
+  w.u32(static_cast<std::uint32_t>(m.buckets.size()));
+  for (const std::int64_t b : m.buckets) w.i64(b);
+}
+
+bool get_metric(dist::WireReader& r, obs::MetricValue& m) {
+  m.name = r.str();
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(obs::MetricKind::kHistogram)) return false;
+  m.kind = static_cast<obs::MetricKind>(kind);
+  m.count = r.i64();
+  m.value = r.f64();
+  const std::uint32_t ne = r.u32();
+  if (!r.ok() || ne > kMaxBuckets) return false;
+  m.edges.clear();
+  m.edges.reserve(ne);
+  for (std::uint32_t i = 0; i < ne; ++i) m.edges.push_back(r.f64());
+  const std::uint32_t nb = r.u32();
+  if (!r.ok() || nb > kMaxBuckets) return false;
+  m.buckets.clear();
+  m.buckets.reserve(nb);
+  for (std::uint32_t i = 0; i < nb; ++i) m.buckets.push_back(r.i64());
+  return r.ok();
+}
+
+}  // namespace
+
+std::string serialize_run_result(const RunResult& r) {
+  dist::WireWriter w;
+  w.u32(kRunResultVersion);
+  w.u8(static_cast<std::uint8_t>(r.mode));
+  w.i64(r.exec_time.ns());
+  w.u32(static_cast<std::uint32_t>(r.ranks.size()));
+  for (const TaskResult& t : r.ranks) put_task(w, t);
+  w.u32(static_cast<std::uint32_t>(r.marks.size()));
+  for (const std::vector<mpi::IterationMark>& per_rank : r.marks) {
+    w.u32(static_cast<std::uint32_t>(per_rank.size()));
+    for (const mpi::IterationMark& m : per_rank) {
+      w.i64(m.when.ns()).i64(m.cpu_time.ns());
+    }
+  }
+  w.f64(r.avg_wakeup_latency_us)
+      .i64(r.context_switches)
+      .i64(r.migrations)
+      .i64(r.hw_prio_changes)
+      .i64(r.hpc_history_resets)
+      .i64(r.messages);
+  w.i64(r.metrics.at.ns());
+  w.u32(static_cast<std::uint32_t>(r.metrics.metrics.size()));
+  for (const obs::MetricValue& m : r.metrics.metrics) put_metric(w, m);
+  return w.take();
+}
+
+bool deserialize_run_result(const std::string& bytes, RunResult& out) {
+  dist::WireReader r(bytes);
+  if (r.u32() != kRunResultVersion) return false;
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(SchedMode::kHybrid)) return false;
+  out.mode = static_cast<SchedMode>(mode);
+  out.exec_time = Duration(r.i64());
+  const std::uint32_t nranks = r.u32();
+  if (!r.ok() || nranks > kMaxRanks) return false;
+  out.ranks.assign(nranks, {});
+  for (TaskResult& t : out.ranks) {
+    if (!get_task(r, t)) return false;
+  }
+  const std::uint32_t nmarks = r.u32();
+  if (!r.ok() || nmarks > kMaxRanks) return false;
+  out.marks.assign(nmarks, {});
+  for (std::vector<mpi::IterationMark>& per_rank : out.marks) {
+    const std::uint32_t n = r.u32();
+    if (!r.ok() || n > kMaxMarks) return false;
+    per_rank.assign(n, {});
+    for (mpi::IterationMark& m : per_rank) {
+      m.when = SimTime(r.i64());
+      m.cpu_time = Duration(r.i64());
+    }
+  }
+  out.avg_wakeup_latency_us = r.f64();
+  out.context_switches = r.i64();
+  out.migrations = r.i64();
+  out.hw_prio_changes = r.i64();
+  out.hpc_history_resets = r.i64();
+  out.messages = r.i64();
+  out.metrics.at = SimTime(r.i64());
+  const std::uint32_t nmetrics = r.u32();
+  if (!r.ok() || nmetrics > kMaxMetrics) return false;
+  out.metrics.metrics.assign(nmetrics, {});
+  for (obs::MetricValue& m : out.metrics.metrics) {
+    if (!get_metric(r, m)) return false;
+  }
+  out.tracer.reset();
+  out.recorder.reset();
+  out.chrome.reset();
+  return r.done();
+}
+
+}  // namespace hpcs::analysis

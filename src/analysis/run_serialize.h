@@ -1,0 +1,27 @@
+#pragma once
+// Bit-exact RunResult <-> bytes for the sweep fabric. Doubles travel as
+// IEEE-754 bit patterns (dist::WireWriter::f64), so a row computed on a
+// worker re-prints to the exact same %.10g text as the same row computed
+// locally — that is how BENCH_*.json and MANIFEST_*.json stay byte-identical
+// under --dist.
+//
+// Scope: the value fields only. The host-side handles (tracer, recorder,
+// chrome) do not serialize; runs that need them (--obs-trace,
+// --obs-ring-dump) are explicitly local-only and the drivers reject the
+// combination up front rather than silently dropping data.
+
+#include <string>
+
+#include "analysis/experiment.h"
+
+namespace hpcs::analysis {
+
+/// Serialize the value fields of `r` (version-tagged; tracer/recorder/chrome
+/// excluded).
+[[nodiscard]] std::string serialize_run_result(const RunResult& r);
+
+/// Inverse of serialize_run_result. False on malformed/mismatched bytes;
+/// `out` is unspecified in that case.
+[[nodiscard]] bool deserialize_run_result(const std::string& bytes, RunResult& out);
+
+}  // namespace hpcs::analysis

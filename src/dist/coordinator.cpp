@@ -1,0 +1,378 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "exp/parallel_runner.h"
+
+namespace hpcs::dist {
+
+namespace {
+constexpr const char* kTag = "dist";
+}
+
+Coordinator::Coordinator(CoordinatorConfig cfg, std::size_t count, TaskFn local_fn)
+    : cfg_(std::move(cfg)), local_fn_(std::move(local_fn)) {
+  HPCS_CHECK_MSG(local_fn_ != nullptr, "Coordinator needs a local task function");
+  if (cfg_.shard_size == 0) cfg_.shard_size = 1;
+  rows_.resize(count);
+  row_present_.assign(count, 0);
+  for (std::size_t begin = 0; begin < count; begin += cfg_.shard_size) {
+    Shard s;
+    const std::size_t end = std::min(count, begin + cfg_.shard_size);
+    for (std::size_t i = begin; i < end; ++i) {
+      s.indices.push_back(static_cast<std::uint32_t>(i));
+    }
+    shards_.push_back(std::move(s));
+  }
+  stats_.shards_total = static_cast<std::int64_t>(shards_.size());
+}
+
+void Coordinator::adopt(std::unique_ptr<Connection> conn, std::int64_t now_ms) {
+  WorkerPeer p;
+  p.conn = std::move(conn);
+  p.last_seen_ms = now_ms;
+  workers_.push_back(std::move(p));
+}
+
+int Coordinator::workers_alive() const {
+  int alive = 0;
+  for (const WorkerPeer& w : workers_) {
+    if (!w.dead) ++alive;
+  }
+  return alive;
+}
+
+std::int64_t Coordinator::backoff_ms(int attempts) const {
+  std::int64_t d = cfg_.retry_backoff_base_ms;
+  for (int i = 1; i < attempts && d < cfg_.retry_backoff_cap_ms; ++i) d *= 2;
+  return std::min(d, cfg_.retry_backoff_cap_ms);
+}
+
+void Coordinator::step(std::int64_t now_ms) {
+  if (start_ms_ < 0) start_ms_ = now_ms;
+
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) pump_peer(wi, now_ms);
+
+  // Liveness: silence past the timeout means the worker (or its link) is
+  // gone; its shards go back in the queue.
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    WorkerPeer& w = workers_[wi];
+    if (!w.dead && now_ms - w.last_seen_ms > cfg_.liveness_timeout_ms) {
+      kill_peer(wi, "liveness timeout", now_ms);
+    }
+  }
+
+  // Shard steal: assigned but no row progress for too long — requeue for
+  // someone else while the slow owner grinds on (its late rows are stale).
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& s = shards_[si];
+    if (s.state == ShardState::kAssigned &&
+        now_ms - s.progress_ms > cfg_.shard_timeout_ms) {
+      requeue_shard(si, now_ms, /*stolen=*/true);
+    }
+  }
+
+  // Shards that exhausted their remote attempts run on the coordinator —
+  // the per-shard escape hatch that guarantees termination.
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& s = shards_[si];
+    if (s.state == ShardState::kPending && s.attempts >= cfg_.max_shard_attempts) {
+      run_shard_locally(si);
+    }
+  }
+
+  assign_ready_shards(now_ms);
+
+  // Graceful degradation: out of workers entirely. Either nobody connected
+  // within the window, or everyone who did is dead.
+  if (!done() && workers_alive() == 0) {
+    const bool nobody_ever = stats_.workers_connected == 0;
+    if (!nobody_ever || now_ms - start_ms_ >= cfg_.connect_wait_ms) {
+      if (nobody_ever) {
+        HPCS_LOG_WARN(kTag, "no workers within %lld ms; running %zu points locally",
+                      static_cast<long long>(cfg_.connect_wait_ms),
+                      rows_.size() - committed_);
+      } else {
+        HPCS_LOG_WARN(kTag, "all workers dead; running %zu remaining points locally",
+                      rows_.size() - committed_);
+      }
+      run_remaining_locally();
+    }
+  }
+
+  maybe_finish(now_ms);
+}
+
+void Coordinator::pump_peer(std::size_t wi, std::int64_t now_ms) {
+  WorkerPeer& w = workers_[wi];
+  if (w.dead) return;
+  const std::string bytes = w.conn->poll_recv();
+  if (!bytes.empty()) w.decoder.feed(bytes);
+  Frame f;
+  for (;;) {
+    const FrameDecoder::Result r = w.decoder.next(f);
+    if (r == FrameDecoder::Result::kNeedMore) break;
+    if (r == FrameDecoder::Result::kError) {
+      ++stats_.frames_bad;
+      kill_peer(wi, w.decoder.error().c_str(), now_ms);
+      return;
+    }
+    handle_frame(wi, f, now_ms);
+    if (w.dead) return;
+  }
+  if (w.conn->closed()) {
+    // A closed stream with a partial frame buffered is a truncated frame.
+    if (w.decoder.pending_bytes() != 0) ++stats_.frames_bad;
+    kill_peer(wi, "connection closed", now_ms);
+  }
+}
+
+void Coordinator::handle_frame(std::size_t wi, const Frame& f, std::int64_t now_ms) {
+  WorkerPeer& w = workers_[wi];
+  w.last_seen_ms = now_ms;
+  switch (f.type) {
+    case FrameType::kHello: {
+      Hello h;
+      if (!decode_hello(f, h)) {
+        ++stats_.frames_bad;
+        kill_peer(wi, "malformed HELLO", now_ms);
+        return;
+      }
+      if (h.version != kProtoVersion) {
+        HelloAck nack;
+        nack.accept = false;
+        nack.reason = "protocol version mismatch";
+        (void)w.conn->send(encode_frame(encode_hello_ack(nack)));
+        w.conn->close();
+        w.dead = true;
+        ++stats_.workers_rejected;
+        return;
+      }
+      w.helloed = true;
+      w.name = h.worker_name;
+      w.capacity = std::max<std::uint32_t>(1, h.capacity);
+      ++stats_.workers_connected;
+      HelloAck ack;
+      ack.accept = true;
+      ack.job = cfg_.job;
+      ack.params = cfg_.params;
+      ack.count = rows_.size();
+      if (!w.conn->send(encode_frame(encode_hello_ack(ack)))) {
+        kill_peer(wi, "send failed", now_ms);
+      }
+      return;
+    }
+    case FrameType::kRow: {
+      Row row;
+      if (!decode_row(f, row) || row.index >= rows_.size()) {
+        ++stats_.frames_bad;
+        kill_peer(wi, "malformed ROW", now_ms);
+        return;
+      }
+      commit_row(row.index, std::move(row.payload), /*remote=*/true);
+      if (row.shard < shards_.size()) {
+        Shard& s = shards_[row.shard];
+        if (s.state == ShardState::kAssigned && s.owner == static_cast<int>(wi)) {
+          s.progress_ms = now_ms;
+        }
+      }
+      return;
+    }
+    case FrameType::kDone: {
+      Done d;
+      if (!decode_done(f, d) || d.shard >= shards_.size()) {
+        ++stats_.frames_bad;
+        kill_peer(wi, "malformed DONE", now_ms);
+        return;
+      }
+      Shard& s = shards_[d.shard];
+      if (s.state == ShardState::kAssigned && s.owner == static_cast<int>(wi)) {
+        s.owner = -1;
+        --w.busy_shards;
+        const bool complete = std::all_of(
+            s.indices.begin(), s.indices.end(),
+            [this](std::uint32_t i) { return row_present_[i] != 0; });
+        if (complete) {
+          s.state = ShardState::kDone;
+        } else {
+          // DONE without the rows: treat like a failed attempt.
+          s.state = ShardState::kPending;
+          s.eligible_ms = now_ms + backoff_ms(s.attempts);
+          ++stats_.shards_retried;
+        }
+      } else if (s.stolen_from == static_cast<int>(wi)) {
+        // The slow owner finally finished a stolen shard; free its slot.
+        s.stolen_from = -1;
+        --w.busy_shards;
+      }
+      return;
+    }
+    case FrameType::kHeartbeat:
+      return;  // last_seen refresh is all a heartbeat means
+    case FrameType::kError: {
+      Error e;
+      if (decode_error(f, e)) {
+        HPCS_LOG_WARN(kTag, "worker '%s' error: %s", w.name.c_str(), e.reason.c_str());
+      }
+      kill_peer(wi, "worker reported error", now_ms);
+      return;
+    }
+    case FrameType::kHelloAck:
+    case FrameType::kAssign:
+    case FrameType::kBye:
+      // Coordinator-only frames arriving *at* the coordinator: corrupt peer.
+      ++stats_.frames_bad;
+      kill_peer(wi, "unexpected frame", now_ms);
+      return;
+  }
+}
+
+void Coordinator::kill_peer(std::size_t wi, const char* why, std::int64_t now_ms) {
+  WorkerPeer& w = workers_[wi];
+  if (w.dead) return;
+  HPCS_LOG_INFO(kTag, "worker '%s' removed: %s", w.name.c_str(), why);
+  w.conn->close();
+  w.dead = true;
+  w.busy_shards = 0;
+  ++stats_.workers_dead;
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& s = shards_[si];
+    if (s.state == ShardState::kAssigned && s.owner == static_cast<int>(wi)) {
+      requeue_shard(si, now_ms, /*stolen=*/false);
+    }
+    if (s.stolen_from == static_cast<int>(wi)) s.stolen_from = -1;
+  }
+}
+
+void Coordinator::requeue_shard(std::size_t si, std::int64_t now_ms, bool stolen) {
+  Shard& s = shards_[si];
+  if (stolen) {
+    // Keep the slow owner's slot occupied until it reports DONE or dies —
+    // a worker that cannot finish a shard should not be handed another.
+    s.stolen_from = s.owner;
+    ++stats_.shards_stolen;
+  } else {
+    ++stats_.shards_retried;
+  }
+  s.owner = -1;
+  // Everything already streamed back stays committed (points are pure), so
+  // a retried shard that was fully received is simply done.
+  const bool complete =
+      std::all_of(s.indices.begin(), s.indices.end(),
+                  [this](std::uint32_t i) { return row_present_[i] != 0; });
+  if (complete) {
+    s.state = ShardState::kDone;
+    return;
+  }
+  s.state = ShardState::kPending;
+  s.eligible_ms = now_ms + backoff_ms(s.attempts);
+}
+
+void Coordinator::assign_ready_shards(std::int64_t now_ms) {
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    WorkerPeer& w = workers_[wi];
+    if (w.dead || !w.helloed) continue;
+    while (w.busy_shards < static_cast<int>(w.capacity)) {
+      std::size_t pick = shards_.size();
+      for (std::size_t si = 0; si < shards_.size(); ++si) {
+        Shard& s = shards_[si];
+        if (s.state == ShardState::kPending && s.eligible_ms <= now_ms &&
+            s.attempts < cfg_.max_shard_attempts) {
+          pick = si;
+          break;
+        }
+      }
+      if (pick == shards_.size()) return;
+      Shard& s = shards_[pick];
+      Assign a;
+      a.shard = pick;
+      a.indices = s.indices;
+      if (!w.conn->send(encode_frame(encode_assign(a)))) {
+        kill_peer(wi, "send failed", now_ms);
+        break;
+      }
+      s.state = ShardState::kAssigned;
+      s.owner = static_cast<int>(wi);
+      ++s.attempts;
+      s.progress_ms = now_ms;
+      ++w.busy_shards;
+      ++stats_.shards_assigned;
+    }
+  }
+}
+
+void Coordinator::commit_row(std::uint32_t index, std::string payload, bool remote) {
+  if (row_present_[index] != 0) {
+    // Double delivery (stale row after a steal, or a retry racing the
+    // original). Points are pure, so the bytes are interchangeable; keep the
+    // first and count the rest.
+    ++stats_.rows_stale;
+    return;
+  }
+  rows_[index] = std::move(payload);
+  row_present_[index] = 1;
+  ++committed_;
+  if (remote) {
+    ++stats_.rows_remote;
+  } else {
+    ++stats_.rows_local;
+  }
+}
+
+void Coordinator::run_shard_locally(std::size_t si) {
+  Shard& s = shards_[si];
+  for (const std::uint32_t i : s.indices) {
+    if (row_present_[i] == 0) commit_row(i, local_fn_(i), /*remote=*/false);
+  }
+  s.state = ShardState::kDone;
+  s.owner = -1;
+  ++stats_.shards_local;
+}
+
+void Coordinator::run_remaining_locally() {
+  stats_.fell_back_local = true;
+  std::vector<std::uint32_t> todo;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(rows_.size()); ++i) {
+    if (row_present_[i] == 0) todo.push_back(i);
+  }
+  // Same slot-commit shape as exp::ParallelRunner::map — results land by
+  // index, so local degradation keeps the byte-identity contract.
+  exp::ParallelRunner runner(cfg_.local_jobs == 0 ? 1 : cfg_.local_jobs);
+  std::vector<std::string> out =
+      runner.map(todo.size(), [&](std::size_t k) { return local_fn_(todo[k]); });
+  for (std::size_t k = 0; k < todo.size(); ++k) {
+    commit_row(todo[k], std::move(out[k]), /*remote=*/false);
+  }
+  for (Shard& s : shards_) {
+    if (s.state != ShardState::kDone) {
+      s.state = ShardState::kDone;
+      s.owner = -1;
+      ++stats_.shards_local;
+    }
+  }
+}
+
+void Coordinator::maybe_finish(std::int64_t) {
+  if (!done() || bye_sent_) return;
+  for (WorkerPeer& w : workers_) {
+    if (!w.dead) {
+      (void)w.conn->send(encode_frame(encode_bye()));
+      w.conn->close();
+      // An orderly goodbye, not a death — keep workers_dead honest.
+      w.dead = true;
+    }
+  }
+  bye_sent_ = true;
+}
+
+std::vector<std::string> Coordinator::take_rows() {
+  HPCS_CHECK_MSG(done(), "take_rows() before the fabric completed");
+  row_present_.clear();
+  committed_ = 0;
+  return std::move(rows_);
+}
+
+}  // namespace hpcs::dist

@@ -1,0 +1,144 @@
+#pragma once
+// Sweep-fabric coordinator: shards a deterministic point list across worker
+// connections, streams rows back, and survives every worker failure mode by
+// falling back — first to reassignment, ultimately to running points
+// locally. Pure state machine: no threads, no sockets, no clock. Time is
+// the `now_ms` argument to step(); transports arrive via adopt(). That is
+// what makes the failover tests (tests/test_dist.cpp) deterministic.
+//
+// Determinism contract: every point is a pure function of (job, params,
+// index) — the same exp::PureFunction guarantee the in-process engine relies
+// on — so a point may be executed twice (retry, steal, stale double
+// delivery) and whichever row arrives first is byte-identical to any other.
+// Rows commit into an index-addressed slot vector; take_rows() returns them
+// in index order. The result is byte-identical to a serial run regardless
+// of worker count, shard schedule, or kill schedule.
+//
+// Liveness / retry:
+//   * Any frame from a worker refreshes its liveness; silence past
+//     liveness_timeout_ms (or a closed/corrupt connection) marks it dead and
+//     requeues its assigned shards.
+//   * A shard with no row progress past shard_timeout_ms is *stolen*:
+//     requeued for another worker while the slow owner keeps streaming into
+//     the void (stale rows are counted, never trusted twice).
+//   * Each requeue backs off exponentially (retry_backoff_base_ms * 2^k,
+//     capped); after max_shard_attempts the shard is executed locally.
+//   * With no workers at all — none connected within connect_wait_ms, or
+//     all dead — the remaining points run through the local task function,
+//     so the coordinator always terminates.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.h"
+#include "dist/registry.h"
+#include "dist/transport.h"
+
+namespace hpcs::dist {
+
+/// Host-side fabric counters for the .fabric.host.json sidecar and the CI
+/// smoke assertions. Observational only — never part of deterministic
+/// output.
+struct FabricStats {
+  std::int64_t workers_connected = 0;  ///< HELLOs accepted
+  std::int64_t workers_rejected = 0;   ///< HELLOs refused (version mismatch...)
+  std::int64_t workers_dead = 0;       ///< closed, corrupt, or timed out
+  std::int64_t shards_total = 0;
+  std::int64_t shards_assigned = 0;    ///< ASSIGN frames sent
+  std::int64_t shards_retried = 0;     ///< requeued after worker death
+  std::int64_t shards_stolen = 0;      ///< requeued after shard timeout
+  std::int64_t shards_local = 0;       ///< executed by the local fallback
+  std::int64_t rows_remote = 0;        ///< rows committed from workers
+  std::int64_t rows_local = 0;         ///< rows committed by local fallback
+  std::int64_t rows_stale = 0;         ///< duplicate/late rows discarded
+  std::int64_t frames_bad = 0;         ///< corrupt frames / decode failures
+  bool fell_back_local = false;        ///< the no-workers degradation path ran
+};
+
+struct CoordinatorConfig {
+  std::string job;     ///< job name workers resolve in their registry
+  std::string params;  ///< opaque parameter blob forwarded in HELLO_ACK
+  std::uint32_t shard_size = 1;
+  unsigned local_jobs = 1;  ///< exp::ParallelRunner width for local fallback
+  std::int64_t connect_wait_ms = 10000;
+  std::int64_t liveness_timeout_ms = 5000;
+  std::int64_t shard_timeout_ms = 120000;
+  std::int64_t retry_backoff_base_ms = 100;
+  std::int64_t retry_backoff_cap_ms = 5000;
+  int max_shard_attempts = 4;
+};
+
+class Coordinator {
+ public:
+  /// `count` points; `local_fn` is the pure per-index task used for
+  /// graceful degradation (and must match what workers compute).
+  Coordinator(CoordinatorConfig cfg, std::size_t count, TaskFn local_fn);
+
+  /// Hand a fresh connection (TCP accept or loopback end) to the fabric.
+  void adopt(std::unique_ptr<Connection> conn, std::int64_t now_ms);
+
+  /// Pump the fabric once: drain frames, detect death/timeouts, assign
+  /// eligible shards, degrade to local execution when out of workers.
+  void step(std::int64_t now_ms);
+
+  [[nodiscard]] bool done() const { return committed_ == rows_.size(); }
+
+  /// All rows in index order; valid once done(). Leaves the coordinator
+  /// empty.
+  [[nodiscard]] std::vector<std::string> take_rows();
+
+  [[nodiscard]] const FabricStats& stats() const { return stats_; }
+  /// Live (accepted, not dead) worker count — liveness gauge for the sidecar.
+  [[nodiscard]] int workers_alive() const;
+
+ private:
+  enum class ShardState : std::uint8_t { kPending, kAssigned, kDone };
+
+  struct Shard {
+    std::vector<std::uint32_t> indices;
+    ShardState state = ShardState::kPending;
+    int attempts = 0;             ///< assignments so far
+    std::int64_t eligible_ms = 0; ///< backoff gate for the next assignment
+    std::int64_t progress_ms = 0; ///< last assign/row time while assigned
+    int owner = -1;               ///< index into workers_ while assigned
+    int stolen_from = -1;         ///< previous owner still grinding (steal)
+  };
+
+  struct WorkerPeer {
+    std::unique_ptr<Connection> conn;
+    FrameDecoder decoder;
+    std::string name;
+    std::int64_t last_seen_ms = 0;
+    bool helloed = false;
+    bool dead = false;
+    int busy_shards = 0;  ///< shards currently assigned to this peer
+    std::uint32_t capacity = 1;
+  };
+
+  void pump_peer(std::size_t wi, std::int64_t now_ms);
+  void handle_frame(std::size_t wi, const Frame& f, std::int64_t now_ms);
+  void kill_peer(std::size_t wi, const char* why, std::int64_t now_ms);
+  void requeue_shard(std::size_t si, std::int64_t now_ms, bool stolen);
+  void assign_ready_shards(std::int64_t now_ms);
+  void commit_row(std::uint32_t index, std::string payload, bool remote);
+  void run_shard_locally(std::size_t si);
+  void run_remaining_locally();
+  [[nodiscard]] std::int64_t backoff_ms(int attempts) const;
+  void maybe_finish(std::int64_t now_ms);
+
+  CoordinatorConfig cfg_;
+  TaskFn local_fn_;
+  std::vector<std::string> rows_;       ///< index-addressed slots
+  std::vector<char> row_present_;       ///< slot committed?
+  std::size_t committed_ = 0;
+  std::vector<Shard> shards_;
+  std::vector<WorkerPeer> workers_;
+  FabricStats stats_;
+  std::int64_t start_ms_ = -1;  ///< first step() time (connect-wait anchor)
+  bool bye_sent_ = false;
+};
+
+}  // namespace hpcs::dist

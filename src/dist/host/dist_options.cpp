@@ -1,0 +1,67 @@
+#include "dist/host/dist_options.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace hpcs::dist::host {
+
+namespace {
+
+bool parse_port(const std::string& s, std::uint16_t& out, bool allow_zero) {
+  if (s.empty() || s.size() > 5) return false;
+  long v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  if (v > 65535 || (v == 0 && !allow_zero)) return false;
+  out = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+}  // namespace
+
+bool parse_dist_spec(const std::string& spec, DistOptions& out, std::string& err) {
+  DistOptions o = out;
+  constexpr std::string_view kCoord = "coordinator:";
+  constexpr std::string_view kWorkerColon = "worker:";
+  constexpr std::string_view kWorkerSpace = "worker ";
+  if (spec.rfind(kCoord, 0) == 0) {
+    const std::string port = spec.substr(kCoord.size());
+    if (!parse_port(port, o.port, /*allow_zero=*/true)) {
+      err = "--dist coordinator:PORT — bad port '" + port + "'";
+      return false;
+    }
+    o.mode = DistOptions::Mode::kCoordinator;
+    out = o;
+    return true;
+  }
+  if (spec.rfind(kWorkerColon, 0) == 0 || spec.rfind(kWorkerSpace, 0) == 0) {
+    const std::string rest = spec.substr(kWorkerColon.size());  // same length
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      err = "--dist worker HOST:PORT — missing host or port in '" + rest + "'";
+      return false;
+    }
+    if (!parse_port(rest.substr(colon + 1), o.port, /*allow_zero=*/false)) {
+      err = "--dist worker HOST:PORT — bad port '" + rest.substr(colon + 1) + "'";
+      return false;
+    }
+    o.hostname = rest.substr(0, colon);
+    o.mode = DistOptions::Mode::kWorker;
+    out = o;
+    return true;
+  }
+  err = "--dist expects 'coordinator:PORT' or 'worker HOST:PORT', got '" + spec + "'";
+  return false;
+}
+
+bool apply_dist_env(DistOptions& out, std::string& err) {
+  // HPCS_HOST_BEGIN — env read is host configuration, not run input.
+  const char* v = std::getenv("HPCS_DIST");  // HPCSLINT-ALLOW(det-taint)
+  // HPCS_HOST_END
+  if (v == nullptr || v[0] == '\0') return true;
+  return parse_dist_spec(v, out, err);
+}
+
+}  // namespace hpcs::dist::host

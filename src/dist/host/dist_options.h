@@ -1,0 +1,36 @@
+#pragma once
+// --dist / HPCS_DIST spec parsing shared by every bench driver and
+// hpcs-distd. Accepted forms:
+//
+//   coordinator:PORT        listen on 127.0.0.1:PORT (0 = ephemeral)
+//   worker:HOST:PORT        connect to a coordinator
+//   worker HOST:PORT        same, two-token CLI form (caller joins with ' ')
+//
+// The HPCS_DIST environment variable takes the same spec and is applied
+// before flags, so `HPCS_DIST=worker:127.0.0.1:7070 table3_metbench` turns
+// any driver into a worker without touching its command line.
+
+#include <cstdint>
+#include <string>
+
+namespace hpcs::dist::host {
+
+struct DistOptions {
+  enum class Mode : std::uint8_t { kOff, kCoordinator, kWorker };
+  Mode mode = Mode::kOff;
+  std::string hostname;      ///< worker: coordinator address
+  std::uint16_t port = 0;    ///< listen port (coordinator) / target (worker)
+  std::string port_file;     ///< coordinator: write the bound port here
+  std::uint32_t capacity = 1;///< worker: concurrent shards advertised
+};
+
+/// Parse a spec (see header comment) into `out`. False with `err` set on
+/// junk; `out` is untouched in that case.
+[[nodiscard]] bool parse_dist_spec(const std::string& spec, DistOptions& out,
+                                   std::string& err);
+
+/// Apply the HPCS_DIST environment variable, if set. Returns false with
+/// `err` set when the variable exists but is malformed.
+[[nodiscard]] bool apply_dist_env(DistOptions& out, std::string& err);
+
+}  // namespace hpcs::dist::host

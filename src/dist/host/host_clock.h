@@ -1,0 +1,30 @@
+#pragma once
+// The fabric's one wall-clock source. Everything above src/dist/host takes
+// time as a step() argument; this is where that argument comes from in real
+// multi-process runs.
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace hpcs::dist::host {
+
+// HPCS_HOST_BEGIN — wall-clock reads for liveness timeouts and backoff.
+// Never feeds deterministic output: rows commit by index, timeouts only
+// decide *where* a point runs, not what it computes.
+
+/// Monotonic milliseconds since an arbitrary epoch.
+[[nodiscard]] inline std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Polite poll-loop sleep.
+inline void sleep_ms(std::int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// HPCS_HOST_END
+
+}  // namespace hpcs::dist::host

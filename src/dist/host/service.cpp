@@ -1,0 +1,40 @@
+#include "dist/host/service.h"
+
+#include "dist/host/host_clock.h"
+
+namespace hpcs::dist::host {
+
+// HPCS_HOST_BEGIN — poll loops: wall clock in, liveness out. Row bytes pass
+// through untouched, so determinism is the state machines' problem (solved).
+
+std::vector<std::string> serve_coordinator(Coordinator& coord, Listener& listener) {
+  while (!coord.done()) {
+    bool progressed = false;
+    for (;;) {
+      std::unique_ptr<Connection> conn = listener.poll_accept();
+      if (conn == nullptr) break;
+      coord.adopt(std::move(conn), now_ms());
+      progressed = true;
+    }
+    coord.step(now_ms());
+    if (!progressed) sleep_ms(1);
+  }
+  coord.step(now_ms());  // flush BYE frames to surviving workers
+  return coord.take_rows();
+}
+
+bool serve_worker(WorkerSession& session, std::string& err) {
+  while (session.step(now_ms())) {
+    // One sweep point per step; only idle-wait when no shard is queued.
+    if (!session.mid_shard()) sleep_ms(1);
+  }
+  if (session.phase() == WorkerSession::Phase::kFailed) {
+    err = session.fail_reason();
+    return false;
+  }
+  return true;
+}
+
+// HPCS_HOST_END
+
+}  // namespace hpcs::dist::host

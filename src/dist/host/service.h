@@ -1,0 +1,29 @@
+#pragma once
+// Wall-clock service loops that drive the pure state machines over real
+// transports. Both the bench drivers (--dist ...) and the standalone
+// hpcs-distd worker binary sit on these two functions, so the protocol
+// behaviour cannot drift between them.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/transport.h"
+#include "dist/worker.h"
+
+namespace hpcs::dist::host {
+
+/// Drive a Coordinator until done(): accept connections from `listener`,
+/// step the fabric, sleep politely when idle. Returns the committed rows in
+/// index order (the coordinator is left drained). Always terminates — the
+/// coordinator degrades to local execution when workers never show up.
+[[nodiscard]] std::vector<std::string> serve_coordinator(Coordinator& coord,
+                                                         Listener& listener);
+
+/// Drive a WorkerSession until BYE / failure. Returns true on a clean
+/// finish, false with `err` set when the session failed.
+[[nodiscard]] bool serve_worker(WorkerSession& session, std::string& err);
+
+}  // namespace hpcs::dist::host

@@ -1,0 +1,179 @@
+#include "dist/host/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace hpcs::dist::host {
+
+// HPCS_HOST_BEGIN — raw sockets; nothing here touches deterministic output.
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpConnection::~TcpConnection() { close(); }
+
+void TcpConnection::mark_dead() {
+  dead_ = true;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  out_.clear();
+}
+
+void TcpConnection::close() { mark_dead(); }
+
+void TcpConnection::flush() {
+  while (!out_.empty() && fd_ >= 0) {
+    const ssize_t n = ::send(fd_, out_.data(), out_.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      out_.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    mark_dead();
+    return;
+  }
+}
+
+bool TcpConnection::send(std::string_view bytes) {
+  if (dead_ || fd_ < 0) return false;
+  out_.append(bytes.data(), bytes.size());
+  flush();
+  return !dead_;
+}
+
+std::string TcpConnection::poll_recv() {
+  std::string got;
+  if (fd_ < 0) return got;
+  flush();
+  char buf[65536];
+  for (;;) {
+    if (fd_ < 0) break;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      got.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // orderly peer shutdown
+      mark_dead();
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    mark_dead();
+    break;
+  }
+  return got;
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Connection> TcpListener::poll_accept() {
+  if (fd_ < 0) return nullptr;
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) return nullptr;
+  if (!set_nonblocking(cfd)) {
+    ::close(cfd);
+    return nullptr;
+  }
+  set_nodelay(cfd);
+  return std::make_unique<TcpConnection>(cfd);
+}
+
+std::unique_ptr<TcpListener> tcp_listen(std::uint16_t port, std::uint16_t& bound_port,
+                                        std::string& err) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    err = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    err = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  if (::listen(fd, 64) != 0) {
+    err = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    err = std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  bound_port = ntohs(addr.sin_port);
+  if (!set_nonblocking(fd)) {
+    err = "fcntl(O_NONBLOCK) failed";
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<TcpListener>(fd);
+}
+
+std::unique_ptr<Connection> tcp_connect(const std::string& hostname, std::uint16_t port,
+                                        std::string& err) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(hostname.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    err = std::string("getaddrinfo: ") + ::gai_strerror(rc);
+    return nullptr;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    err = "connect to " + hostname + ":" + port_str + " failed: " + std::strerror(errno);
+    return nullptr;
+  }
+  if (!set_nonblocking(fd)) {
+    err = "fcntl(O_NONBLOCK) failed";
+    ::close(fd);
+    return nullptr;
+  }
+  set_nodelay(fd);
+  return std::make_unique<TcpConnection>(fd);
+}
+
+// HPCS_HOST_END
+
+}  // namespace hpcs::dist::host

@@ -1,0 +1,67 @@
+#pragma once
+// POSIX TCP implementation of the transport seam — the real-world sibling of
+// loopback.h. Non-blocking sockets with an internal outbound buffer, so the
+// single-threaded service loops never stall on a slow peer: send() queues,
+// flush happens opportunistically on every send()/poll_recv().
+//
+// Wall-clock and file descriptors live only here (and in the service loops):
+// the deterministic core never includes this header.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dist/transport.h"
+
+namespace hpcs::dist::host {
+
+class TcpConnection final : public Connection {
+ public:
+  /// Takes ownership of a connected, non-blocking fd.
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection() override;
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  bool send(std::string_view bytes) override;
+  [[nodiscard]] std::string poll_recv() override;
+  [[nodiscard]] bool closed() const override { return dead_ && fd_ < 0; }
+  void close() override;
+
+ private:
+  void flush();
+  void mark_dead();
+
+  int fd_ = -1;
+  std::string out_;   ///< bytes accepted by send() but not yet written
+  bool dead_ = false;
+};
+
+class TcpListener final : public Listener {
+ public:
+  explicit TcpListener(int fd) : fd_(fd) {}
+  ~TcpListener() override;
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::unique_ptr<Connection> poll_accept() override;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on 127.0.0.1:`port` (0 = ephemeral). On success reports the
+/// actual port via `bound_port`. Returns nullptr with `err` set on failure.
+[[nodiscard]] std::unique_ptr<TcpListener> tcp_listen(std::uint16_t port,
+                                                      std::uint16_t& bound_port,
+                                                      std::string& err);
+
+/// Blocking connect to host:port, then switch the socket non-blocking.
+/// Returns nullptr with `err` set on failure.
+[[nodiscard]] std::unique_ptr<Connection> tcp_connect(const std::string& hostname,
+                                                      std::uint16_t port,
+                                                      std::string& err);
+
+}  // namespace hpcs::dist::host

@@ -1,0 +1,78 @@
+#pragma once
+// In-process loopback transport: the deterministic test double for the
+// fabric. A pair shares two byte queues; send() appends, poll_recv() drains.
+// Strictly single-threaded by design — the unit tests interleave
+// coordinator.step() / worker.step() explicitly, which makes every failure
+// schedule (worker killed mid-shard, truncated frame, stale row) exactly
+// reproducible. For cross-thread runs use the TCP transport.
+//
+// Failure injection hooks:
+//   * close() either end — the peer observes closed() after draining.
+//   * send() raw garbage/truncated bytes — frames are only assembled by the
+//     receiver's FrameDecoder, so tests can corrupt the stream directly.
+//   * LoopbackConnection::drop_outgoing(true) — subsequently "sent" bytes
+//     vanish (the classic half-dead worker whose rows never arrive).
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "dist/transport.h"
+
+namespace hpcs::dist {
+
+namespace detail {
+struct LoopbackState {
+  std::string to_a;  ///< bytes in flight toward endpoint A
+  std::string to_b;  ///< bytes in flight toward endpoint B
+  bool a_closed = false;
+  bool b_closed = false;
+};
+}  // namespace detail
+
+class LoopbackConnection final : public Connection {
+ public:
+  LoopbackConnection(std::shared_ptr<detail::LoopbackState> st, bool is_a)
+      : st_(std::move(st)), is_a_(is_a) {}
+
+  bool send(std::string_view bytes) override {
+    if (peer_closed() || self_closed()) return false;
+    if (drop_outgoing_) return true;  // silently lost: half-dead peer
+    (is_a_ ? st_->to_b : st_->to_a).append(bytes.data(), bytes.size());
+    return true;
+  }
+
+  [[nodiscard]] std::string poll_recv() override {
+    std::string& q = is_a_ ? st_->to_a : st_->to_b;
+    return std::exchange(q, {});
+  }
+
+  [[nodiscard]] bool closed() const override {
+    // Like a socket: readable until drained, then EOF once the peer is gone.
+    const std::string& q = is_a_ ? st_->to_a : st_->to_b;
+    return self_closed() || (peer_closed() && q.empty());
+  }
+
+  void close() override { (is_a_ ? st_->a_closed : st_->b_closed) = true; }
+
+  void drop_outgoing(bool on) { drop_outgoing_ = on; }
+
+ private:
+  [[nodiscard]] bool self_closed() const { return is_a_ ? st_->a_closed : st_->b_closed; }
+  [[nodiscard]] bool peer_closed() const { return is_a_ ? st_->b_closed : st_->a_closed; }
+
+  std::shared_ptr<detail::LoopbackState> st_;
+  bool is_a_;
+  bool drop_outgoing_ = false;
+};
+
+/// A connected pair: {A end, B end}.
+[[nodiscard]] inline std::pair<std::unique_ptr<LoopbackConnection>,
+                               std::unique_ptr<LoopbackConnection>>
+loopback_pair() {
+  auto st = std::make_shared<detail::LoopbackState>();
+  return {std::make_unique<LoopbackConnection>(st, true),
+          std::make_unique<LoopbackConnection>(st, false)};
+}
+
+}  // namespace hpcs::dist

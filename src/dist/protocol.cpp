@@ -1,0 +1,107 @@
+#include "dist/protocol.h"
+
+namespace hpcs::dist {
+
+namespace {
+/// Sanity cap on an ASSIGN's index list; a shard bigger than this is not a
+/// plausible plan, it is a corrupt length field.
+constexpr std::uint32_t kMaxShardIndices = 1u << 24;
+}  // namespace
+
+Frame encode_hello(const Hello& m) {
+  WireWriter w;
+  w.u32(m.version).str(m.worker_name).u32(m.capacity);
+  return Frame{FrameType::kHello, w.take()};
+}
+
+Frame encode_hello_ack(const HelloAck& m) {
+  WireWriter w;
+  w.u8(m.accept ? 1 : 0).str(m.reason).str(m.job).str(m.params).u64(m.count);
+  return Frame{FrameType::kHelloAck, w.take()};
+}
+
+Frame encode_assign(const Assign& m) {
+  WireWriter w;
+  w.u64(m.shard).u32(static_cast<std::uint32_t>(m.indices.size()));
+  for (const std::uint32_t i : m.indices) w.u32(i);
+  return Frame{FrameType::kAssign, w.take()};
+}
+
+Frame encode_row(const Row& m) {
+  WireWriter w;
+  w.u64(m.shard).u32(m.index).str(m.payload);
+  return Frame{FrameType::kRow, w.take()};
+}
+
+Frame encode_done(const Done& m) {
+  WireWriter w;
+  w.u64(m.shard);
+  return Frame{FrameType::kDone, w.take()};
+}
+
+Frame encode_heartbeat() { return Frame{FrameType::kHeartbeat, {}}; }
+
+Frame encode_error(const Error& m) {
+  WireWriter w;
+  w.str(m.reason);
+  return Frame{FrameType::kError, w.take()};
+}
+
+Frame encode_bye() { return Frame{FrameType::kBye, {}}; }
+
+bool decode_hello(const Frame& f, Hello& out) {
+  if (f.type != FrameType::kHello) return false;
+  WireReader r(f.payload);
+  out.version = r.u32();
+  out.worker_name = r.str();
+  out.capacity = r.u32();
+  return r.done();
+}
+
+bool decode_hello_ack(const Frame& f, HelloAck& out) {
+  if (f.type != FrameType::kHelloAck) return false;
+  WireReader r(f.payload);
+  out.accept = r.u8() != 0;
+  out.reason = r.str();
+  out.job = r.str();
+  out.params = r.str();
+  out.count = r.u64();
+  return r.done();
+}
+
+bool decode_assign(const Frame& f, Assign& out) {
+  if (f.type != FrameType::kAssign) return false;
+  WireReader r(f.payload);
+  out.shard = r.u64();
+  const std::uint32_t n = r.u32();
+  if (n > kMaxShardIndices) return false;
+  out.indices.clear();
+  out.indices.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.indices.push_back(r.u32());
+  return r.done();
+}
+
+bool decode_row(const Frame& f, Row& out) {
+  if (f.type != FrameType::kRow) return false;
+  WireReader r(f.payload);
+  out.shard = r.u64();
+  out.index = r.u32();
+  out.payload = r.str();
+  return r.done();
+}
+
+bool decode_done(const Frame& f, Done& out) {
+  if (f.type != FrameType::kDone) return false;
+  WireReader r(f.payload);
+  out.shard = r.u64();
+  return r.done();
+}
+
+bool decode_error(const Frame& f, Error& out) {
+  if (f.type != FrameType::kError) return false;
+  WireReader r(f.payload);
+  out.reason = r.str();
+  return r.done();
+}
+
+}  // namespace hpcs::dist

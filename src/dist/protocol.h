@@ -1,0 +1,79 @@
+#pragma once
+// Typed view of the fabric's frames (wire.h carries the bytes; this header
+// carries the meaning). The conversation is:
+//
+//   worker -> HELLO {version, worker name, capacity}
+//   coord  -> HELLO_ACK {accept, reason | job, params blob, point count}
+//   coord  -> ASSIGN {shard id, indices[]}           (repeated)
+//   worker -> ROW {shard id, index, payload}         (streamed per point)
+//   worker -> DONE {shard id}
+//   worker -> HEARTBEAT {}                           (periodic)
+//   either -> ERROR {reason}                         (fatal, then close)
+//   coord  -> BYE {}                                 (run complete)
+//
+// The params blob is opaque to the dist layer: the coordinator forwards
+// whatever the job registered (for the paper-table jobs it is the obs config
+// and seed, encoded in analysis/dist_jobs.cpp), so workers reproduce the
+// exact run configuration without dist knowing what a run is.
+//
+// Every decode_* returns false on a malformed payload (truncated, trailing
+// bytes, absurd counts); the caller treats that as a corrupt peer.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/wire.h"
+
+namespace hpcs::dist {
+
+struct Hello {
+  std::uint32_t version = kProtoVersion;
+  std::string worker_name;
+  std::uint32_t capacity = 1;  ///< shards the worker accepts concurrently
+};
+
+struct HelloAck {
+  bool accept = false;
+  std::string reason;  ///< set when rejected
+  std::string job;     ///< job name the worker must resolve
+  std::string params;  ///< opaque job parameter blob
+  std::uint64_t count = 0;  ///< total sweep points in the job
+};
+
+struct Assign {
+  std::uint64_t shard = 0;
+  std::vector<std::uint32_t> indices;
+};
+
+struct Row {
+  std::uint64_t shard = 0;
+  std::uint32_t index = 0;
+  std::string payload;
+};
+
+struct Done {
+  std::uint64_t shard = 0;
+};
+
+struct Error {
+  std::string reason;
+};
+
+[[nodiscard]] Frame encode_hello(const Hello& m);
+[[nodiscard]] Frame encode_hello_ack(const HelloAck& m);
+[[nodiscard]] Frame encode_assign(const Assign& m);
+[[nodiscard]] Frame encode_row(const Row& m);
+[[nodiscard]] Frame encode_done(const Done& m);
+[[nodiscard]] Frame encode_heartbeat();
+[[nodiscard]] Frame encode_error(const Error& m);
+[[nodiscard]] Frame encode_bye();
+
+[[nodiscard]] bool decode_hello(const Frame& f, Hello& out);
+[[nodiscard]] bool decode_hello_ack(const Frame& f, HelloAck& out);
+[[nodiscard]] bool decode_assign(const Frame& f, Assign& out);
+[[nodiscard]] bool decode_row(const Frame& f, Row& out);
+[[nodiscard]] bool decode_done(const Frame& f, Done& out);
+[[nodiscard]] bool decode_error(const Frame& f, Error& out);
+
+}  // namespace hpcs::dist

@@ -1,0 +1,56 @@
+#pragma once
+// Job registry: how a worker turns the coordinator's (job name, params blob)
+// into actual work. Both sides of the fabric hold the same registration (for
+// the paper tables it is analysis::register_paper_table_jobs), so the
+// coordinator's local fallback and a remote worker compute byte-identical
+// rows for the same index — the purity guarantee the failover logic leans on.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hpcs::dist {
+
+/// One sweep point: pure function of the index, returning the serialized
+/// row. The same callable backs the coordinator's local fallback and the
+/// workers' remote execution.
+using TaskFn = std::function<std::string(std::uint32_t)>;
+
+/// A job instantiated from its params blob: the point count it expects and
+/// the per-index task.
+struct ResolvedJob {
+  std::size_t count = 0;
+  TaskFn fn;
+};
+
+class JobRegistry {
+ public:
+  /// Factory: params blob -> resolved job. Returns count == 0 to signal the
+  /// blob is malformed for this job.
+  using Factory = std::function<ResolvedJob(const std::string& params)>;
+
+  void add(std::string name, Factory make) { jobs_[std::move(name)] = std::move(make); }
+
+  /// False if the name is unknown or the factory rejects the params.
+  [[nodiscard]] bool resolve(const std::string& name, const std::string& params,
+                             ResolvedJob& out) const {
+    const auto it = jobs_.find(name);
+    if (it == jobs_.end()) return false;
+    out = it->second(params);
+    return out.count != 0 && out.fn != nullptr;
+  }
+
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(jobs_.size());
+    for (const auto& [k, v] : jobs_) out.push_back(k);
+    return out;
+  }
+
+ private:
+  std::map<std::string, Factory> jobs_;
+};
+
+}  // namespace hpcs::dist

@@ -1,0 +1,50 @@
+#pragma once
+// The fabric's transport seam: a Connection is an ordered, unreliable-at-
+// the-edges byte stream (frames are reassembled on top by FrameDecoder), a
+// Listener hands out new Connections. Two implementations exist:
+//
+//   * loopback.h — an in-process pair with explicit, test-controlled
+//     delivery. No threads, no wall clock, no sockets: the failover tests
+//     drive coordinator and workers step by step and the whole exchange is
+//     deterministic, including the failure injections.
+//   * host/tcp_transport.h — POSIX TCP for real multi-process runs. Lives
+//     under src/dist/host with the rest of the wall-clock code.
+//
+// Everything above this seam (Coordinator, WorkerSession) is pure state
+// machine: time enters only as the `now_ms` argument to step().
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace hpcs::dist {
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Queue bytes for the peer. Returns false when the connection is gone
+  /// (peer closed or transport error); partial delivery never happens at
+  /// this interface — the transport owns buffering.
+  virtual bool send(std::string_view bytes) = 0;
+
+  /// Drain whatever the peer has delivered so far ("" = nothing pending).
+  /// Fragmentation is arbitrary; callers feed the result to a FrameDecoder.
+  [[nodiscard]] virtual std::string poll_recv() = 0;
+
+  /// True once the peer closed or the transport failed. Bytes already
+  /// delivered remain readable via poll_recv() first.
+  [[nodiscard]] virtual bool closed() const = 0;
+
+  virtual void close() = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Accept one pending connection, or nullptr when none is waiting.
+  [[nodiscard]] virtual std::unique_ptr<Connection> poll_accept() = 0;
+};
+
+}  // namespace hpcs::dist

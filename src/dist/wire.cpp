@@ -1,0 +1,124 @@
+#include "dist/wire.h"
+
+namespace hpcs::dist {
+
+bool frame_type_valid(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kBye);
+}
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kHelloAck: return "HELLO_ACK";
+    case FrameType::kAssign: return "ASSIGN";
+    case FrameType::kRow: return "ROW";
+    case FrameType::kDone: return "DONE";
+    case FrameType::kHeartbeat: return "HEARTBEAT";
+    case FrameType::kError: return "ERROR";
+    case FrameType::kBye: return "BYE";
+  }
+  return "?";
+}
+
+WireWriter& WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  return *this;
+}
+
+WireWriter& WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  return *this;
+}
+
+WireWriter& WireWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+  return *this;
+}
+
+std::uint8_t WireReader::u8() {
+  if (!take(1)) return 0;
+  return static_cast<std::uint8_t>(buf_[pos_++]);
+}
+
+std::uint32_t WireReader::u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(buf_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  if (n > kMaxFrameBytes || !take(n)) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(buf_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+std::string encode_frame(const Frame& f) {
+  const std::uint32_t len = static_cast<std::uint32_t>(f.payload.size()) + 1;
+  std::string out;
+  out.reserve(4 + len);
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  out.push_back(static_cast<char>(f.type));
+  out += f.payload;
+  return out;
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame& out) {
+  if (broken_) return Result::kError;
+  // Compact once the consumed prefix dominates, so a long-lived stream does
+  // not hold every frame it ever saw.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return Result::kNeedMore;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+  }
+  if (len == 0 || len > kMaxFrameBytes) {
+    broken_ = true;
+    error_ = "bad frame length " + std::to_string(len);
+    return Result::kError;
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return Result::kNeedMore;
+  const std::uint8_t type = static_cast<std::uint8_t>(buf_[pos_ + 4]);
+  if (!frame_type_valid(type)) {
+    broken_ = true;
+    error_ = "bad frame type " + std::to_string(type);
+    return Result::kError;
+  }
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(buf_, pos_ + 5, len - 1);
+  pos_ += 4 + static_cast<std::size_t>(len);
+  return Result::kFrame;
+}
+
+}  // namespace hpcs::dist

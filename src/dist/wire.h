@@ -1,0 +1,138 @@
+#pragma once
+// Sweep-fabric wire format: length-prefixed, versioned binary frames.
+//
+// A frame on the byte stream is
+//
+//     u32 len (little-endian)  |  u8 type  |  payload (len - 1 bytes)
+//
+// and every multi-byte scalar inside a payload is little-endian too, written
+// through WireWriter and read back through WireReader. Doubles travel as
+// their IEEE-754 bit pattern (bit_cast through u64), so a row that crosses
+// the wire is byte-for-byte the row the worker computed — the fabric's
+// determinism contract (docs/distributed.md) depends on exactly that.
+//
+// FrameDecoder is the receive half: feed() it whatever the transport
+// delivered (any fragmentation) and pop complete frames. It rejects frames
+// with an unknown type or an absurd length outright — a corrupt peer is
+// detected at the framing layer, before any payload is trusted.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace hpcs::dist {
+
+/// Protocol version carried in HELLO; bumped on any frame-layout change.
+inline constexpr std::uint32_t kProtoVersion = 1;
+
+/// Upper bound on one frame (type byte + payload). A length prefix above
+/// this is treated as stream corruption, not as a request to allocate 4 GB.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,     ///< worker -> coordinator: version, name, capacity
+  kHelloAck,      ///< coordinator -> worker: accept/reject, job, params, count
+  kAssign,        ///< coordinator -> worker: one shard of point indices
+  kRow,           ///< worker -> coordinator: one computed row payload
+  kDone,          ///< worker -> coordinator: shard completed
+  kHeartbeat,     ///< worker -> coordinator: liveness (empty payload)
+  kError,         ///< either direction: fatal condition, reason string
+  kBye,           ///< coordinator -> worker: run complete, disconnect
+};
+
+/// True when `t` is one of the FrameType enumerators above.
+[[nodiscard]] bool frame_type_valid(std::uint8_t t);
+[[nodiscard]] const char* frame_type_name(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// Append-only little-endian payload builder.
+class WireWriter {
+ public:
+  WireWriter& u8(std::uint8_t v) {
+    buf_.push_back(static_cast<char>(v));
+    return *this;
+  }
+  WireWriter& u32(std::uint32_t v);
+  WireWriter& u64(std::uint64_t v);
+  WireWriter& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  WireWriter& i32(std::int32_t v) { return u32(static_cast<std::uint32_t>(v)); }
+  /// IEEE-754 bit pattern: bit-exact round trip, never a decimal format.
+  WireWriter& f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    return u64(bits);
+  }
+  /// u32 length + raw bytes.
+  WireWriter& str(std::string_view s);
+
+  [[nodiscard]] const std::string& data() const { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian payload reader. Any underrun (or an
+/// oversized embedded string) flips ok() to false and every later read
+/// returns zero values — callers check ok() once at the end.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view buf) : buf_(buf) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// ok() and every payload byte consumed — trailing garbage is corruption.
+  [[nodiscard]] bool done() const { return ok_ && pos_ == buf_.size(); }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n) {
+    if (!ok_ || buf_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Render one frame as its on-the-wire bytes (length prefix included).
+[[nodiscard]] std::string encode_frame(const Frame& f);
+
+/// Incremental frame reassembly over an arbitrary byte stream.
+class FrameDecoder {
+ public:
+  enum class Result {
+    kFrame,     ///< `out` holds the next complete frame
+    kNeedMore,  ///< no complete frame buffered yet
+    kError,     ///< stream corrupt (bad type or length); connection is dead
+  };
+
+  void feed(std::string_view bytes) { buf_.append(bytes.data(), bytes.size()); }
+  [[nodiscard]] Result next(Frame& out);
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed (truncated-tail detection).
+  [[nodiscard]] std::size_t pending_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  bool broken_ = false;
+};
+
+}  // namespace hpcs::dist

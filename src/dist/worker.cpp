@@ -1,0 +1,165 @@
+#include "dist/worker.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace hpcs::dist {
+
+namespace {
+constexpr const char* kTag = "dist";
+}
+
+WorkerSession::WorkerSession(WorkerConfig cfg, const JobRegistry& jobs,
+                             std::unique_ptr<Connection> conn)
+    : cfg_(std::move(cfg)), jobs_(jobs), conn_(std::move(conn)) {}
+
+bool WorkerSession::step(std::int64_t now_ms) {
+  if (finished()) return false;
+
+  if (!hello_sent_) {
+    Hello h;
+    h.worker_name = cfg_.name;
+    h.capacity = cfg_.capacity;
+    if (!send_or_fail(encode_hello(h))) return false;
+    hello_sent_ = true;
+    last_send_ms_ = now_ms;
+  }
+
+  const std::string bytes = conn_->poll_recv();
+  if (!bytes.empty()) decoder_.feed(bytes);
+  Frame f;
+  for (;;) {
+    const FrameDecoder::Result r = decoder_.next(f);
+    if (r == FrameDecoder::Result::kNeedMore) break;
+    if (r == FrameDecoder::Result::kError) {
+      fail("corrupt stream from coordinator: " + decoder_.error(), /*tell_peer=*/true);
+      return false;
+    }
+    handle_frame(f);
+    if (finished()) return false;
+  }
+
+  if (conn_->closed()) {
+    // Coordinator gone without BYE. Nothing left to stream rows into.
+    fail("connection closed by coordinator", /*tell_peer=*/false);
+    return false;
+  }
+
+  if (phase_ == Phase::kRunning && !assigns_.empty()) {
+    execute_one();
+    if (!finished()) last_send_ms_ = now_ms;  // rows/done refresh liveness
+    return !finished();
+  }
+
+  if (last_send_ms_ < 0 || now_ms - last_send_ms_ >= cfg_.heartbeat_interval_ms) {
+    if (!send_or_fail(encode_heartbeat())) return false;
+    last_send_ms_ = now_ms;
+  }
+  return true;
+}
+
+void WorkerSession::handle_frame(const Frame& f) {
+  switch (f.type) {
+    case FrameType::kHelloAck: {
+      HelloAck ack;
+      if (!decode_hello_ack(f, ack)) {
+        fail("malformed HELLO_ACK", /*tell_peer=*/true);
+        return;
+      }
+      if (!ack.accept) {
+        fail("coordinator rejected HELLO: " + ack.reason, /*tell_peer=*/false);
+        return;
+      }
+      if (!jobs_.resolve(ack.job, ack.params, job_)) {
+        fail("unknown job '" + ack.job + "' (or bad params)", /*tell_peer=*/true);
+        return;
+      }
+      if (job_.count != ack.count) {
+        fail("point count mismatch for job '" + ack.job + "'", /*tell_peer=*/true);
+        return;
+      }
+      phase_ = Phase::kRunning;
+      return;
+    }
+    case FrameType::kAssign: {
+      Assign a;
+      if (!decode_assign(f, a) || phase_ != Phase::kRunning) {
+        fail("malformed or premature ASSIGN", /*tell_peer=*/true);
+        return;
+      }
+      PendingShard p;
+      p.shard = a.shard;
+      p.indices = std::move(a.indices);
+      for (const std::uint32_t i : p.indices) {
+        if (i >= job_.count) {
+          fail("ASSIGN index out of range", /*tell_peer=*/true);
+          return;
+        }
+      }
+      assigns_.push_back(std::move(p));
+      return;
+    }
+    case FrameType::kBye:
+      phase_ = Phase::kFinished;
+      conn_->close();
+      return;
+    case FrameType::kError: {
+      Error e;
+      if (decode_error(f, e)) {
+        fail("coordinator error: " + e.reason, /*tell_peer=*/false);
+      } else {
+        fail("coordinator error (malformed)", /*tell_peer=*/false);
+      }
+      return;
+    }
+    case FrameType::kHello:
+    case FrameType::kRow:
+    case FrameType::kDone:
+    case FrameType::kHeartbeat:
+      // Worker-only frames arriving *at* the worker: corrupt peer.
+      fail("unexpected frame from coordinator", /*tell_peer=*/true);
+      return;
+  }
+}
+
+void WorkerSession::execute_one() {
+  PendingShard& p = assigns_.front();
+  const std::uint32_t index = p.indices[p.next];
+  Row row;
+  row.shard = p.shard;
+  row.index = index;
+  row.payload = job_.fn(index);
+  if (!send_or_fail(encode_row(row))) return;
+  ++rows_sent_;
+  if (++p.next == p.indices.size()) {
+    Done d;
+    d.shard = p.shard;
+    if (!send_or_fail(encode_done(d))) return;
+    ++shards_done_;
+    assigns_.pop_front();
+  }
+}
+
+void WorkerSession::fail(const std::string& why, bool tell_peer) {
+  if (phase_ == Phase::kFailed) return;
+  HPCS_LOG_WARN(kTag, "worker '%s' failing: %s", cfg_.name.c_str(), why.c_str());
+  fail_reason_ = why;
+  phase_ = Phase::kFailed;
+  if (tell_peer) {
+    Error e;
+    e.reason = why;
+    (void)conn_->send(encode_frame(encode_error(e)));
+  }
+  conn_->close();
+}
+
+bool WorkerSession::send_or_fail(const Frame& f) {
+  if (!conn_->send(encode_frame(f))) {
+    fail("send failed", /*tell_peer=*/false);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hpcs::dist

@@ -1,0 +1,80 @@
+#pragma once
+// Worker side of the sweep fabric. Like the Coordinator, a pure state
+// machine: time is the `now_ms` argument, the connection arrives in the
+// constructor, and step() does a bounded amount of work — drain frames,
+// execute at most ONE sweep point, maybe heartbeat. One point per step keeps
+// the loopback failover tests precise (kill a worker "mid-shard" means:
+// between two step() calls) and lets the host loop interleave heartbeats
+// with long points.
+//
+//   HELLO -> HELLO_ACK {job, params, count} -> registry resolve ->
+//   (ASSIGN -> ROW* -> DONE)* -> BYE
+//
+// Any protocol surprise (reject, unknown job, count mismatch, corrupt frame)
+// sends ERROR where possible and parks the session in kFailed; the host loop
+// exits nonzero and the coordinator survives via retry/fallback.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "dist/protocol.h"
+#include "dist/registry.h"
+#include "dist/transport.h"
+
+namespace hpcs::dist {
+
+struct WorkerConfig {
+  std::string name = "worker";
+  std::uint32_t capacity = 1;  ///< concurrent shards accepted (queued locally)
+  std::int64_t heartbeat_interval_ms = 1000;
+};
+
+class WorkerSession {
+ public:
+  enum class Phase : std::uint8_t { kHello, kRunning, kFinished, kFailed };
+
+  WorkerSession(WorkerConfig cfg, const JobRegistry& jobs,
+                std::unique_ptr<Connection> conn);
+
+  /// Pump once. Returns true while the session wants more steps.
+  bool step(std::int64_t now_ms);
+
+  [[nodiscard]] Phase phase() const { return phase_; }
+  [[nodiscard]] bool finished() const {
+    return phase_ == Phase::kFinished || phase_ == Phase::kFailed;
+  }
+  [[nodiscard]] const std::string& fail_reason() const { return fail_reason_; }
+  [[nodiscard]] std::int64_t rows_sent() const { return rows_sent_; }
+  [[nodiscard]] std::int64_t shards_done() const { return shards_done_; }
+  /// True when an ASSIGN is queued but not fully executed — "mid-shard".
+  [[nodiscard]] bool mid_shard() const { return !assigns_.empty(); }
+
+ private:
+  struct PendingShard {
+    std::uint64_t shard = 0;
+    std::vector<std::uint32_t> indices;
+    std::size_t next = 0;  ///< next position in indices to execute
+  };
+
+  void handle_frame(const Frame& f);
+  void execute_one();
+  void fail(const std::string& why, bool tell_peer);
+  bool send_or_fail(const Frame& f);
+
+  WorkerConfig cfg_;
+  const JobRegistry& jobs_;
+  std::unique_ptr<Connection> conn_;
+  FrameDecoder decoder_;
+  Phase phase_ = Phase::kHello;
+  ResolvedJob job_;
+  std::deque<PendingShard> assigns_;
+  std::string fail_reason_;
+  std::int64_t last_send_ms_ = -1;
+  std::int64_t rows_sent_ = 0;
+  std::int64_t shards_done_ = 0;
+  bool hello_sent_ = false;
+};
+
+}  // namespace hpcs::dist

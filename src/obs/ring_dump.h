@@ -1,0 +1,51 @@
+#pragma once
+// Binary tracepoint ring dump: the post-mortem view of the per-CPU rings.
+//
+// The manifest reduces rings to counters; a Chrome trace re-shapes them for a
+// viewer. This file writes the retained records *raw* — the layout-stable
+// 32-byte TraceEntry structs exactly as they sit in memory — so post-mortem
+// tooling (scripts/obs_ring_decode.py, or anything that can mmap) gets the
+// full event stream without a JSON parse. The format is little-endian and
+// versioned:
+//
+//   magic   8 bytes  "HPCSRING"
+//   u32     format version (kRingDumpVersion)
+//   u32     run count
+//   per run:
+//     u32     run-name length, then that many bytes (no NUL)
+//     u32     cpu count
+//     per cpu:
+//       u64     pushed   (records ever recorded on this ring)
+//       u64     dropped  (records lost to wrapping)
+//       u64     retained (records that follow)
+//       retained x 32-byte TraceEntry { i64 t_ns, u32 tp, i32 cpu, i64 a0, i64 a1 }
+//
+// Simulated time only — no wall clock — so a dump is byte-identical across
+// reruns, machines, and --jobs N, like every other deterministic artifact.
+
+#include <string>
+#include <vector>
+
+namespace hpcs::obs {
+
+class Recorder;
+
+inline constexpr std::uint32_t kRingDumpVersion = 1;
+
+/// One run's worth of rings, labelled like a manifest entry.
+struct RingDumpRun {
+  std::string name;               ///< sched-mode label
+  const Recorder* recorder = nullptr;
+};
+
+/// Serialize runs to the format above. Runs with a null recorder are skipped
+/// (a run without observability has no rings, not empty rings).
+[[nodiscard]] std::string encode_ring_dump(const std::vector<RingDumpRun>& runs);
+
+/// encode_ring_dump + write to `path`. Returns false (and fills `error`) on
+/// I/O failure.
+[[nodiscard]] bool write_ring_dump(const std::string& path,
+                                   const std::vector<RingDumpRun>& runs,
+                                   std::string& error);
+
+}  // namespace hpcs::obs

@@ -86,7 +86,7 @@ class EventQueue {
     slot.seq = next_seq_++;
     ++slot.gen;
     ++live_count_;
-    heap_push(HeapEntry{when, slot.seq, id});
+    heap_push(HeapEntry{when, slot.seq, static_cast<std::uint32_t>(id)});
     return EventHandle{id, slot.gen};
   }
 
@@ -117,7 +117,7 @@ class EventQueue {
       Slot& slot = slot_at(h.id_);
       slot.seq = next_seq_++;
       slot.has_entry = true;  // the old entry becomes a superseded duplicate
-      heap_push(HeapEntry{when, slot.seq, h.id_});
+      heap_push(HeapEntry{when, slot.seq, static_cast<std::uint32_t>(h.id_)});
       return true;
     }
     // Re-arm from inside the firing callback: the slot was taken off the
@@ -129,7 +129,7 @@ class EventQueue {
       slot.has_entry = true;
       slot.seq = next_seq_++;
       ++live_count_;
-      heap_push(HeapEntry{when, slot.seq, h.id_});
+      heap_push(HeapEntry{when, slot.seq, static_cast<std::uint32_t>(h.id_)});
       return true;
     }
     return false;
@@ -217,21 +217,32 @@ class EventQueue {
   // HPCS_HOT_END
 
  private:
+  /// 16 bytes (was 24 with u64 seq/id): two entries per cache line more
+  /// during the sift loops, which are pure HeapEntry traffic. Slot ids fit
+  /// u32 by the alloc_slot() cap; seq is a wrapping 32-bit window — see
+  /// operator> for why wraparound cannot reorder live events.
   struct HeapEntry {
     SimTime when;
-    std::uint64_t seq;
-    std::uint64_t id;
+    std::uint32_t seq;
+    std::uint32_t id;
     bool operator>(const HeapEntry& o) const {
       if (when != o.when) return when > o.when;
-      return seq > o.seq;
+      // Wraparound-aware window compare: correct while same-instant entries
+      // sit within 2^31 schedule() calls of each other. Tie-break order only
+      // matters between LIVE entries at the same `when`, and the simulator's
+      // same-instant fan-out (per-CPU ticks, message deliveries) is bounded
+      // by machine size — nowhere near the 2^31 window.
+      return static_cast<std::int32_t>(seq - o.seq) > 0;
     }
   };
+  static_assert(sizeof(HeapEntry) == 16, "heap entries are two per cache line pair");
   struct Slot {
     EventCallback cb;
     std::uint64_t gen = 0;
-    /// Sequence of the slot's *authoritative* heap entry; entries with any
-    /// other seq are superseded duplicates left behind by reschedule().
-    std::uint64_t seq = 0;
+    /// Sequence of the slot's *authoritative* heap entry (wrapping 32-bit
+    /// window, same domain as HeapEntry::seq); entries with any other seq
+    /// are superseded duplicates left behind by reschedule().
+    std::uint32_t seq = 0;
     bool live = false;
     /// An authoritative heap entry for this slot is still in the heap. The
     /// slot may be recycled only once that entry has surfaced and been
@@ -258,6 +269,11 @@ class EventQueue {
       free_slots_.pop_back();
       return id;
     }
+    // Heap entries address slots with 32 bits. Slots are recycled, so the
+    // count only grows with the peak number of simultaneously pending
+    // events — 2^32 of them would be a runaway workload, not a sweep.
+    HPCS_CHECK_MSG(slot_count_ < (std::uint64_t{1} << 32),
+                   "EventQueue slot table exceeds 32-bit heap-entry ids");
     const std::uint64_t id = slot_count_++;
     if ((id >> kChunkShift) == chunks_.size()) {
       chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
@@ -364,7 +380,8 @@ class EventQueue {
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint64_t slot_count_ = 0;
   std::vector<std::uint64_t> free_slots_;
-  std::uint64_t next_seq_ = 0;
+  /// Wrapping 32-bit sequence window (see HeapEntry::operator>).
+  std::uint32_t next_seq_ = 0;
   std::size_t live_count_ = 0;
   /// Slot currently executing inside dispatch_top (kNoSlot otherwise); its
   /// callback may re-arm itself via reschedule().

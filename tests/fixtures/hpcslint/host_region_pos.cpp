@@ -1,0 +1,20 @@
+// Fixture: HPCS_HOST regions end where the END marker sits — the same
+// host-environment reads AFTER the region must still fire, and a non-exempt
+// rule (hot-alloc) fires even INSIDE a host region.
+#include <chrono>
+
+// HPCS_HOST_BEGIN — poll loop; wall clock is this layer's job.
+static long inside_region_ok() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+// HPCS_HOT_BEGIN — a hot region overlapping the host region: host regions
+// exempt only the host-environment rules, never the hot-path ones.
+static int* inside_region_still_hot_alloc() { return new int(3); }
+// HPCS_HOT_END
+// HPCS_HOST_END
+
+static long outside_region_fires() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+static int outside_region_rand_fires() { return rand(); }

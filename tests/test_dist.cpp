@@ -1,0 +1,685 @@
+// Tests of the sweep fabric (src/dist): wire format round trips, frame
+// reassembly over arbitrary fragmentation, the loopback transport, and —
+// the point of the subsystem — the failover schedules. Every scenario runs
+// the coordinator and workers as pure state machines over loopback pairs
+// with an explicit clock, so "kill a worker mid-shard" or "deliver a stale
+// row after a steal" is a deterministic sequence of step() calls, and the
+// committed rows can be compared byte-for-byte against the serial answer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/dist_jobs.h"
+#include "analysis/paper_experiments.h"
+#include "analysis/run_serialize.h"
+#include "dist/coordinator.h"
+#include "dist/loopback.h"
+#include "dist/protocol.h"
+#include "dist/registry.h"
+#include "dist/wire.h"
+#include "dist/worker.h"
+
+namespace hpcs {
+namespace {
+
+using dist::Coordinator;
+using dist::CoordinatorConfig;
+using dist::Frame;
+using dist::FrameDecoder;
+using dist::FrameType;
+using dist::JobRegistry;
+using dist::LoopbackConnection;
+using dist::loopback_pair;
+using dist::WorkerConfig;
+using dist::WorkerSession;
+
+// The pure point function every fabric test shards: payload depends only on
+// the index, like a real serialized RunResult does.
+std::string task(std::uint32_t i) { return "row[" + std::to_string(i * i + 7) + "]"; }
+
+std::vector<std::string> serial_rows(std::size_t count) {
+  std::vector<std::string> out;
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(task(i));
+  return out;
+}
+
+CoordinatorConfig test_cfg(std::uint32_t shard_size) {
+  CoordinatorConfig cfg;
+  cfg.job = "unit";
+  cfg.params = "unit-params";
+  cfg.shard_size = shard_size;
+  cfg.local_jobs = 1;
+  cfg.connect_wait_ms = 100;
+  cfg.liveness_timeout_ms = 10000;  // scenarios that want liveness kills lower it
+  cfg.shard_timeout_ms = 100000;    // scenarios that want steals lower it
+  cfg.retry_backoff_base_ms = 10;
+  cfg.retry_backoff_cap_ms = 40;
+  return cfg;
+}
+
+JobRegistry unit_registry(std::size_t count) {
+  JobRegistry reg;
+  reg.add("unit", [count](const std::string& params) {
+    dist::ResolvedJob job;
+    if (params != "unit-params") return job;  // count 0: malformed params
+    job.count = count;
+    job.fn = task;
+    return job;
+  });
+  return reg;
+}
+
+/// A hand-driven protocol peer: the test speaks raw frames through one end
+/// of a loopback pair while the coordinator owns the other. This is how the
+/// misbehaving-worker schedules (stale rows, corrupt bytes, truncated
+/// frames, wrong version) are scripted exactly.
+struct FakePeer {
+  std::unique_ptr<LoopbackConnection> conn;
+  FrameDecoder decoder;
+
+  void send(const Frame& f) { (void)conn->send(dist::encode_frame(f)); }
+  void send_raw(std::string_view bytes) { (void)conn->send(bytes); }
+
+  std::vector<Frame> drain() {
+    decoder.feed(conn->poll_recv());
+    std::vector<Frame> out;
+    Frame f;
+    while (decoder.next(f) == FrameDecoder::Result::kFrame) out.push_back(f);
+    return out;
+  }
+};
+
+/// Adopt one end into the coordinator, return the other as a FakePeer.
+FakePeer attach_fake(Coordinator& coord, std::int64_t now_ms) {
+  auto [a, b] = loopback_pair();
+  coord.adopt(std::move(a), now_ms);
+  return FakePeer{std::move(b), {}};
+}
+
+dist::Hello unit_hello(const std::string& name) {
+  dist::Hello h;
+  h.worker_name = name;
+  h.capacity = 1;
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+
+TEST(DistWire, ScalarAndStringRoundTrip) {
+  dist::WireWriter w;
+  w.u8(7).u32(0xdeadbeefu).u64(0x1122334455667788ull).i64(-5).i32(-9).str("abc").str("");
+  dist::WireReader r(w.data());
+  EXPECT_EQ(r.u8(), 7u);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ull);
+  EXPECT_EQ(r.i64(), -5);
+  EXPECT_EQ(r.i32(), -9);
+  EXPECT_EQ(r.str(), "abc");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(DistWire, DoublesTravelBitExact) {
+  // 0.1 is not representable; -0.0 differs from 0.0 only in the sign bit; the
+  // denormal stresses the low mantissa bits. All must round trip bit-exactly.
+  const double values[] = {0.1, -0.0, 5e-324, 123456.789e301};
+  for (const double v : values) {
+    dist::WireWriter w;
+    w.f64(v);
+    dist::WireReader r(w.data());
+    const double back = r.f64();
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0) << v;
+  }
+}
+
+TEST(DistWire, ReaderUnderrunFlipsOkAndReturnsZeros) {
+  dist::WireWriter w;
+  w.u32(42);
+  dist::WireReader r(w.data());
+  EXPECT_EQ(r.u32(), 42u);
+  EXPECT_EQ(r.u64(), 0u);  // past the end
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.done());
+}
+
+TEST(DistWire, DoneRejectsTrailingBytes) {
+  dist::WireWriter w;
+  w.u32(1).u8(0);
+  dist::WireReader r(w.data());
+  EXPECT_EQ(r.u32(), 1u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.done());  // the u8 was never consumed
+}
+
+// ---------------------------------------------------------------------------
+// Frame decoder
+
+TEST(DistFrameDecoder, ReassemblesAcrossByteAtATimeDelivery) {
+  dist::Row row;
+  row.shard = 3;
+  row.index = 9;
+  row.payload = "payload-bytes";
+  const std::string wire =
+      dist::encode_frame(dist::encode_row(row)) + dist::encode_frame(dist::encode_heartbeat());
+  FrameDecoder dec;
+  std::vector<Frame> got;
+  Frame f;
+  for (const char c : wire) {
+    dec.feed(std::string_view(&c, 1));
+    while (dec.next(f) == FrameDecoder::Result::kFrame) got.push_back(f);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  dist::Row back;
+  ASSERT_TRUE(dist::decode_row(got[0], back));
+  EXPECT_EQ(back.shard, 3u);
+  EXPECT_EQ(back.index, 9u);
+  EXPECT_EQ(back.payload, "payload-bytes");
+  EXPECT_EQ(got[1].type, FrameType::kHeartbeat);
+}
+
+TEST(DistFrameDecoder, RejectsUnknownTypeAndAbsurdLength) {
+  {
+    FrameDecoder dec;
+    dec.feed(std::string("\x01\x00\x00\x00\xee", 5));  // len 1, type 0xee
+    Frame f;
+    EXPECT_EQ(dec.next(f), FrameDecoder::Result::kError);
+    EXPECT_FALSE(dec.error().empty());
+  }
+  {
+    FrameDecoder dec;
+    dec.feed(std::string("\xff\xff\xff\xff", 4));  // 4 GB length prefix
+    Frame f;
+    EXPECT_EQ(dec.next(f), FrameDecoder::Result::kError);
+  }
+}
+
+TEST(DistFrameDecoder, TruncatedTailIsPendingNotError) {
+  const std::string wire = dist::encode_frame(dist::encode_heartbeat());
+  FrameDecoder dec;
+  dec.feed(std::string_view(wire).substr(0, wire.size() - 1));
+  Frame f;
+  EXPECT_EQ(dec.next(f), FrameDecoder::Result::kNeedMore);
+  EXPECT_NE(dec.pending_bytes(), 0u);  // what the coordinator checks on close
+}
+
+// ---------------------------------------------------------------------------
+// Protocol encode/decode
+
+TEST(DistProtocol, FramesRoundTrip) {
+  dist::Hello h;
+  h.worker_name = "w-1";
+  h.capacity = 3;
+  dist::Hello h2;
+  ASSERT_TRUE(dist::decode_hello(dist::encode_hello(h), h2));
+  EXPECT_EQ(h2.version, dist::kProtoVersion);
+  EXPECT_EQ(h2.worker_name, "w-1");
+  EXPECT_EQ(h2.capacity, 3u);
+
+  dist::HelloAck ack;
+  ack.accept = true;
+  ack.job = "table3_metbench";
+  ack.params = std::string("\x00\x01raw", 5);
+  ack.count = 4;
+  dist::HelloAck ack2;
+  ASSERT_TRUE(dist::decode_hello_ack(dist::encode_hello_ack(ack), ack2));
+  EXPECT_TRUE(ack2.accept);
+  EXPECT_EQ(ack2.job, "table3_metbench");
+  EXPECT_EQ(ack2.params, ack.params);
+  EXPECT_EQ(ack2.count, 4u);
+
+  dist::Assign a;
+  a.shard = 2;
+  a.indices = {5, 6, 7};
+  dist::Assign a2;
+  ASSERT_TRUE(dist::decode_assign(dist::encode_assign(a), a2));
+  EXPECT_EQ(a2.shard, 2u);
+  EXPECT_EQ(a2.indices, (std::vector<std::uint32_t>{5, 6, 7}));
+
+  dist::Done d;
+  d.shard = 11;
+  dist::Done d2;
+  ASSERT_TRUE(dist::decode_done(dist::encode_done(d), d2));
+  EXPECT_EQ(d2.shard, 11u);
+
+  dist::Error e;
+  e.reason = "why";
+  dist::Error e2;
+  ASSERT_TRUE(dist::decode_error(dist::encode_error(e), e2));
+  EXPECT_EQ(e2.reason, "why");
+}
+
+TEST(DistProtocol, DecodeRejectsWrongTypeAndTrailingBytes) {
+  dist::Done d;
+  d.shard = 1;
+  Frame f = dist::encode_done(d);
+  dist::Row row;
+  EXPECT_FALSE(dist::decode_row(f, row));  // wrong frame type
+  f.payload += '\x00';
+  dist::Done d2;
+  EXPECT_FALSE(dist::decode_done(f, d2));  // trailing garbage
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(DistRegistry, ResolveRejectsUnknownJobAndBadParams) {
+  const JobRegistry reg = unit_registry(4);
+  dist::ResolvedJob job;
+  EXPECT_FALSE(reg.resolve("nope", "unit-params", job));
+  EXPECT_FALSE(reg.resolve("unit", "wrong-params", job));
+  ASSERT_TRUE(reg.resolve("unit", "unit-params", job));
+  EXPECT_EQ(job.count, 4u);
+  EXPECT_EQ(job.fn(2), task(2));
+}
+
+// ---------------------------------------------------------------------------
+// Loopback transport
+
+TEST(DistLoopback, PeerReadsQueuedBytesThenSeesEof) {
+  auto [a, b] = loopback_pair();
+  EXPECT_TRUE(a->send("hello"));
+  a->close();
+  EXPECT_FALSE(b->closed());  // data still queued: readable before EOF
+  EXPECT_EQ(b->poll_recv(), "hello");
+  EXPECT_TRUE(b->closed());
+  EXPECT_FALSE(b->send("into the void"));
+}
+
+TEST(DistLoopback, DropOutgoingLosesBytesSilently) {
+  auto [a, b] = loopback_pair();
+  a->drop_outgoing(true);
+  EXPECT_TRUE(a->send("vanishes"));  // the half-dead worker still "succeeds"
+  EXPECT_EQ(b->poll_recv(), "");
+  a->drop_outgoing(false);
+  EXPECT_TRUE(a->send("arrives"));
+  EXPECT_EQ(b->poll_recv(), "arrives");
+}
+
+// ---------------------------------------------------------------------------
+// Fabric: full runs
+
+// Drive one coordinator and N real worker sessions to completion.
+std::vector<std::string> run_fabric(Coordinator& coord,
+                                    std::vector<WorkerSession*> workers,
+                                    std::int64_t t0 = 0) {
+  std::int64_t t = t0;
+  for (int guard = 0; !coord.done(); ++guard) {
+    EXPECT_LT(guard, 100000) << "fabric did not terminate";
+    if (guard >= 100000) break;
+    coord.step(t);
+    for (WorkerSession* w : workers) {
+      if (!w->finished()) (void)w->step(t);
+    }
+    ++t;
+  }
+  coord.step(t);  // flush BYE
+  return coord.take_rows();
+}
+
+TEST(DistFabric, RowsAreByteIdenticalForAnyWorkerCount) {
+  const std::size_t kCount = 7;
+  const std::vector<std::string> expected = serial_rows(kCount);
+  for (const int nworkers : {1, 2, 3}) {
+    Coordinator coord(test_cfg(/*shard_size=*/2), kCount, task);
+    const JobRegistry reg = unit_registry(kCount);
+    std::vector<std::unique_ptr<WorkerSession>> sessions;
+    std::vector<WorkerSession*> raw;
+    for (int w = 0; w < nworkers; ++w) {
+      auto [a, b] = loopback_pair();
+      coord.adopt(std::move(a), 0);
+      WorkerConfig wc;
+      wc.name = "w" + std::to_string(w);
+      sessions.push_back(std::make_unique<WorkerSession>(wc, reg, std::move(b)));
+      raw.push_back(sessions.back().get());
+    }
+    EXPECT_EQ(run_fabric(coord, raw), expected) << nworkers << " workers";
+    EXPECT_EQ(coord.stats().rows_remote, static_cast<std::int64_t>(kCount));
+    EXPECT_EQ(coord.stats().rows_local, 0);
+    EXPECT_FALSE(coord.stats().fell_back_local);
+    EXPECT_EQ(coord.stats().workers_connected, nworkers);
+    EXPECT_EQ(coord.stats().workers_dead, 0);
+    for (WorkerSession* w : raw) {
+      EXPECT_EQ(w->phase(), WorkerSession::Phase::kFinished) << w->fail_reason();
+    }
+  }
+}
+
+TEST(DistFabric, NoWorkersFallsBackLocallyAfterConnectWait) {
+  const std::size_t kCount = 5;
+  Coordinator coord(test_cfg(/*shard_size=*/2), kCount, task);
+  coord.step(0);
+  EXPECT_FALSE(coord.done());  // still inside the connect window
+  coord.step(99);
+  EXPECT_FALSE(coord.done());
+  coord.step(100);  // connect_wait_ms elapsed: degrade and finish
+  ASSERT_TRUE(coord.done());
+  EXPECT_EQ(coord.take_rows(), serial_rows(kCount));
+  EXPECT_TRUE(coord.stats().fell_back_local);
+  EXPECT_EQ(coord.stats().rows_local, static_cast<std::int64_t>(kCount));
+  EXPECT_EQ(coord.stats().rows_remote, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric: failover schedules (the acceptance scenarios)
+
+TEST(DistFabric, WorkerKilledMidShardRowsStayByteIdentical) {
+  const std::size_t kCount = 6;
+  const std::vector<std::string> expected = serial_rows(kCount);
+  CoordinatorConfig cfg = test_cfg(/*shard_size=*/3);  // 2 shards of 3
+  Coordinator coord(cfg, kCount, task);
+  const JobRegistry reg = unit_registry(kCount);
+
+  auto [a1, b1] = loopback_pair();
+  LoopbackConnection* w1_conn = b1.get();
+  coord.adopt(std::move(a1), 0);
+  WorkerConfig wc1;
+  wc1.name = "victim";
+  WorkerSession w1(wc1, reg, std::move(b1));
+
+  // The replacement is already connected when the victim dies — otherwise
+  // the coordinator would (correctly) degrade to local execution the moment
+  // its last worker disappears, and nothing would get reassigned.
+  auto [a2, b2] = loopback_pair();
+  coord.adopt(std::move(a2), 0);
+  WorkerConfig wc2;
+  wc2.name = "replacement";
+  WorkerSession w2(wc2, reg, std::move(b2));
+
+  (void)w1.step(0);  // HELLO
+  (void)w2.step(0);  // HELLO
+  coord.step(1);     // acks + ASSIGN shard 0 to w1, shard 1 to w2
+  (void)w1.step(2);  // handle ack/assign, execute exactly ONE point
+  ASSERT_EQ(w1.rows_sent(), 1);
+  ASSERT_TRUE(w1.mid_shard());
+  w1_conn->close();  // kill mid-shard: rows 1 and 2 of the shard never happen
+
+  coord.step(3);  // commit the one row, observe the death, requeue the shard
+  EXPECT_EQ(coord.stats().workers_dead, 1);
+  EXPECT_EQ(coord.stats().shards_retried, 1);
+  EXPECT_FALSE(coord.done());
+
+  EXPECT_EQ(run_fabric(coord, {&w2}, 4), expected);
+  // The replacement re-executed the whole shard; the victim's committed row
+  // stays first-wins, so exactly one re-sent row was discarded as stale.
+  EXPECT_EQ(coord.stats().rows_stale, 1);
+  EXPECT_EQ(coord.stats().rows_remote, static_cast<std::int64_t>(kCount));
+  EXPECT_FALSE(coord.stats().fell_back_local);
+  EXPECT_EQ(w2.phase(), WorkerSession::Phase::kFinished) << w2.fail_reason();
+}
+
+TEST(DistFabric, SlowWorkerIsStolenFromAndItsLateRowsAreStale) {
+  const std::size_t kCount = 4;
+  CoordinatorConfig cfg = test_cfg(/*shard_size=*/2);  // shard0={0,1} shard1={2,3}
+  cfg.shard_timeout_ms = 50;
+  Coordinator coord(cfg, kCount, task);
+
+  FakePeer slow = attach_fake(coord, 0);
+  slow.send(dist::encode_hello(unit_hello("slow")));
+  coord.step(1);
+  std::vector<Frame> frames = slow.drain();  // HELLO_ACK + ASSIGN shard0
+  ASSERT_EQ(frames.size(), 2u);
+  dist::Assign assign;
+  ASSERT_TRUE(dist::decode_assign(frames[1], assign));
+  EXPECT_EQ(assign.shard, 0u);
+
+  // One row, then the worker grinds in silence past the shard timeout.
+  slow.send(dist::encode_row({assign.shard, assign.indices[0], task(assign.indices[0])}));
+  coord.step(2);
+  slow.send(dist::encode_heartbeat());  // alive (liveness), just not progressing
+  coord.step(60);                       // 60 - 2 > 50: shard 0 is stolen
+  EXPECT_EQ(coord.stats().shards_stolen, 1);
+  EXPECT_EQ(coord.stats().workers_dead, 0);  // stolen-from, not killed
+
+  // The slow worker finally finishes — a late row for an index nobody has
+  // yet, which commits (points are pure, first wins), and DONE, which frees
+  // its capacity slot.
+  slow.send(dist::encode_row({0, 1, task(1)}));
+  slow.send(dist::encode_done({0}));
+  coord.step(61);
+
+  // A replacement arrives and sweeps up: shard1, plus the re-queued shard0
+  // whose rows are all already committed — its re-sent rows are stale.
+  FakePeer fast = attach_fake(coord, 62);
+  fast.send(dist::encode_hello(unit_hello("fast")));
+  std::int64_t t = 63;
+  for (int guard = 0; !coord.done() && guard < 1000; ++guard, ++t) {
+    coord.step(t);
+    for (const Frame& f : fast.drain()) {
+      if (f.type != FrameType::kAssign) continue;
+      dist::Assign a;
+      ASSERT_TRUE(dist::decode_assign(f, a));
+      for (const std::uint32_t i : a.indices) {
+        fast.send(dist::encode_row({a.shard, i, task(i)}));
+      }
+      fast.send(dist::encode_done({a.shard}));
+    }
+  }
+  coord.step(t);
+  ASSERT_TRUE(coord.done());
+  EXPECT_EQ(coord.take_rows(), serial_rows(kCount));
+  // Both of shard0's rows were re-sent by the replacement after the steal.
+  EXPECT_EQ(coord.stats().rows_stale, 2);
+  EXPECT_FALSE(coord.stats().fell_back_local);
+}
+
+TEST(DistFabric, CorruptFrameKillsPeerAndRunFallsBackLocally) {
+  const std::size_t kCount = 4;
+  Coordinator coord(test_cfg(/*shard_size=*/2), kCount, task);
+  FakePeer evil = attach_fake(coord, 0);
+  evil.send(dist::encode_hello(unit_hello("evil")));
+  coord.step(1);
+  (void)evil.drain();                              // ack + assign
+  evil.send_raw(std::string("\x04\x00\x00\x00\xee\x01\x02\x03", 8));  // type 0xee
+  coord.step(2);
+  // The corrupt stream killed the only worker, so the same step degraded to
+  // local execution and completed the run.
+  ASSERT_TRUE(coord.done());
+  EXPECT_EQ(coord.take_rows(), serial_rows(kCount));
+  EXPECT_GE(coord.stats().frames_bad, 1);
+  EXPECT_EQ(coord.stats().workers_dead, 1);
+  EXPECT_TRUE(coord.stats().fell_back_local);
+}
+
+TEST(DistFabric, TruncatedFrameAtCloseCountsAsBadAndRunCompletes) {
+  const std::size_t kCount = 4;
+  Coordinator coord(test_cfg(/*shard_size=*/2), kCount, task);
+  FakePeer peer = attach_fake(coord, 0);
+  peer.send(dist::encode_hello(unit_hello("flaky")));
+  coord.step(1);
+  (void)peer.drain();
+  // Half a ROW frame, then the connection dies — a torn write.
+  const std::string wire = dist::encode_frame(dist::encode_row({0, 0, task(0)}));
+  peer.send_raw(std::string_view(wire).substr(0, 3));
+  peer.conn->close();
+  coord.step(2);
+  ASSERT_TRUE(coord.done());
+  EXPECT_EQ(coord.take_rows(), serial_rows(kCount));
+  EXPECT_EQ(coord.stats().frames_bad, 1);  // the truncated tail
+  EXPECT_EQ(coord.stats().workers_dead, 1);
+  EXPECT_EQ(coord.stats().rows_remote, 0);  // the torn row was never trusted
+}
+
+TEST(DistFabric, SilentWorkerDiesOfLivenessTimeoutHeartbeatsPreventIt) {
+  CoordinatorConfig cfg = test_cfg(/*shard_size=*/1);
+  cfg.liveness_timeout_ms = 50;
+  Coordinator coord(cfg, /*count=*/2, task);
+  FakePeer peer = attach_fake(coord, 0);
+  peer.send(dist::encode_hello(unit_hello("beating")));
+  coord.step(1);
+  (void)peer.drain();
+  // Heartbeats every 40 ms keep it alive well past the 50 ms timeout...
+  for (std::int64_t t = 40; t <= 200; t += 40) {
+    peer.send(dist::encode_heartbeat());
+    coord.step(t);
+    EXPECT_EQ(coord.workers_alive(), 1) << "t=" << t;
+  }
+  // ...silence does not.
+  coord.step(260);
+  EXPECT_EQ(coord.workers_alive(), 0);
+  EXPECT_EQ(coord.stats().workers_dead, 1);
+  // And the death requeued its shard, then degradation finished the run.
+  ASSERT_TRUE(coord.done());
+  EXPECT_EQ(coord.take_rows(), serial_rows(2));
+}
+
+TEST(DistFabric, VersionMismatchIsRejectedNotAdopted) {
+  Coordinator coord(test_cfg(/*shard_size=*/1), /*count=*/2, task);
+  FakePeer peer = attach_fake(coord, 0);
+  dist::Hello h = unit_hello("time-traveler");
+  h.version = 99;
+  peer.send(dist::encode_hello(h));
+  coord.step(1);
+  const std::vector<Frame> frames = peer.drain();
+  ASSERT_EQ(frames.size(), 1u);
+  dist::HelloAck ack;
+  ASSERT_TRUE(dist::decode_hello_ack(frames[0], ack));
+  EXPECT_FALSE(ack.accept);
+  EXPECT_FALSE(ack.reason.empty());
+  EXPECT_EQ(coord.stats().workers_rejected, 1);
+  EXPECT_EQ(coord.stats().workers_connected, 0);
+  // Nobody real ever connected, so the connect window still applies (it is
+  // anchored at the first step(), t=1).
+  coord.step(101);
+  ASSERT_TRUE(coord.done());
+  EXPECT_EQ(coord.take_rows(), serial_rows(2));
+  EXPECT_TRUE(coord.stats().fell_back_local);
+}
+
+// ---------------------------------------------------------------------------
+// Worker session protocol errors
+
+TEST(DistWorker, UnknownJobFailsTheSessionWithAnErrorFrame) {
+  auto [a, b] = loopback_pair();
+  const JobRegistry reg = unit_registry(4);
+  WorkerSession w({}, reg, std::move(b));
+  (void)w.step(0);
+  FakePeer coord_side{std::move(a), {}};
+  ASSERT_EQ(coord_side.drain().size(), 1u);  // the HELLO
+
+  dist::HelloAck ack;
+  ack.accept = true;
+  ack.job = "not-registered";
+  ack.params = "unit-params";
+  ack.count = 4;
+  coord_side.send(dist::encode_hello_ack(ack));
+  (void)w.step(1);
+  EXPECT_EQ(w.phase(), WorkerSession::Phase::kFailed);
+  EXPECT_NE(w.fail_reason().find("unknown job"), std::string::npos);
+  const std::vector<Frame> frames = coord_side.drain();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kError);
+}
+
+TEST(DistWorker, PointCountMismatchFailsTheSession) {
+  auto [a, b] = loopback_pair();
+  const JobRegistry reg = unit_registry(4);
+  WorkerSession w({}, reg, std::move(b));
+  (void)w.step(0);
+  FakePeer coord_side{std::move(a), {}};
+  (void)coord_side.drain();
+  dist::HelloAck ack;
+  ack.accept = true;
+  ack.job = "unit";
+  ack.params = "unit-params";
+  ack.count = 5;  // registry says 4
+  coord_side.send(dist::encode_hello_ack(ack));
+  (void)w.step(1);
+  EXPECT_EQ(w.phase(), WorkerSession::Phase::kFailed);
+  EXPECT_NE(w.fail_reason().find("count mismatch"), std::string::npos);
+}
+
+TEST(DistWorker, ExecutesExactlyOnePointPerStep) {
+  auto [a, b] = loopback_pair();
+  const JobRegistry reg = unit_registry(4);
+  WorkerSession w({}, reg, std::move(b));
+  (void)w.step(0);
+  FakePeer coord_side{std::move(a), {}};
+  (void)coord_side.drain();
+  dist::HelloAck ack;
+  ack.accept = true;
+  ack.job = "unit";
+  ack.params = "unit-params";
+  ack.count = 4;
+  coord_side.send(dist::encode_hello_ack(ack));
+  coord_side.send(dist::encode_assign({0, {0, 1, 2, 3}}));
+  for (std::int64_t t = 1; t <= 4; ++t) {
+    (void)w.step(t);
+    EXPECT_EQ(w.rows_sent(), t) << "one row per step";
+  }
+  EXPECT_FALSE(w.mid_shard());
+  EXPECT_EQ(w.shards_done(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// RunResult serialization (what real rows carry)
+
+TEST(DistSerialize, RunResultRoundTripsBitExact) {
+  auto e = analysis::MetBenchExperiment::paper();
+  e.workload.iterations = 2;
+  obs::ObsConfig obs;
+  obs.enabled = true;
+  const analysis::RunResult r = analysis::run_metbench(
+      e, analysis::SchedMode::kAdaptive, /*trace=*/false, /*seed=*/5, obs);
+
+  const std::string bytes = analysis::serialize_run_result(r);
+  analysis::RunResult back;
+  ASSERT_TRUE(analysis::deserialize_run_result(bytes, back));
+  EXPECT_EQ(back.exec_time.ns(), r.exec_time.ns());
+  ASSERT_EQ(back.ranks.size(), r.ranks.size());
+  for (std::size_t i = 0; i < r.ranks.size(); ++i) {
+    EXPECT_EQ(back.ranks[i].util_pct, r.ranks[i].util_pct);  // bit-exact, not near
+  }
+  // Fixed point: a second serialization of the decoded result is the same
+  // bytes — nothing was lost or re-interpreted.
+  EXPECT_EQ(analysis::serialize_run_result(back), bytes);
+}
+
+TEST(DistSerialize, RejectsCorruptAndTruncatedBlobs) {
+  auto e = analysis::MetBenchExperiment::paper();
+  e.workload.iterations = 1;
+  const analysis::RunResult r = analysis::run_metbench(
+      e, analysis::SchedMode::kStatic, /*trace=*/false, /*seed=*/1, {});
+  std::string bytes = analysis::serialize_run_result(r);
+  analysis::RunResult out;
+  EXPECT_FALSE(analysis::deserialize_run_result(bytes.substr(0, bytes.size() / 2), out));
+  bytes[0] = static_cast<char>(bytes[0] + 1);  // version byte
+  EXPECT_FALSE(analysis::deserialize_run_result(bytes, out));
+  EXPECT_FALSE(analysis::deserialize_run_result("", out));
+}
+
+// ---------------------------------------------------------------------------
+// Paper-table job registry (both sides of a real --dist run)
+
+TEST(DistJobs, PaperTableJobsResolveWithEncodedParams) {
+  dist::JobRegistry reg;
+  analysis::register_paper_table_jobs(reg);
+  obs::ObsConfig obs;
+  obs.enabled = true;
+  const std::string params = analysis::encode_job_params(/*seed=*/1, obs);
+
+  const auto* job = analysis::find_paper_table_job("table3_metbench");
+  ASSERT_NE(job, nullptr);
+  dist::ResolvedJob resolved;
+  ASSERT_TRUE(reg.resolve("table3_metbench", params, resolved));
+  EXPECT_EQ(resolved.count, job->modes.size());
+
+  EXPECT_FALSE(reg.resolve("table3_metbench", "garbage-params", resolved));
+  EXPECT_FALSE(reg.resolve("no_such_table", params, resolved));
+
+  std::uint64_t seed = 0;
+  obs::ObsConfig obs_back;
+  ASSERT_TRUE(analysis::decode_job_params(params, seed, obs_back));
+  EXPECT_EQ(seed, 1u);
+  EXPECT_TRUE(obs_back.enabled);
+  EXPECT_FALSE(obs_back.chrome_trace);  // traces never cross the fabric
+}
+
+}  // namespace
+}  // namespace hpcs

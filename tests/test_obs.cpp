@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "obs/ring_dump.h"
 #include "obs/tracepoint.h"
 
 namespace hpcs {
@@ -245,6 +248,79 @@ TEST(ObsEndToEnd, RepeatRunsRenderByteIdenticalManifests) {
                                          /*trace=*/false, /*seed=*/5, obs);
   EXPECT_EQ(obs::render_manifest_json("repeat", {{"run", r1.metrics}}),
             obs::render_manifest_json("repeat", {{"run", r2.metrics}}));
+}
+
+// ---------------------------------------------------------------------------
+// Binary ring dump (--obs-ring-dump)
+
+namespace {
+
+// Little-endian field reads against the documented layout (ring_dump.h) —
+// deliberately independent of the encoder's helpers.
+std::uint64_t dump_u64(const std::string& b, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[off + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint32_t dump_u32(const std::string& b, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[off + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+TEST(RingDump, EncodesHeaderRunsAndRawEntries) {
+  obs::ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 8;
+  obs::Recorder rec(cfg, /*num_cpus=*/2);
+  rec.record(obs::TpId::kTpWake, SimTime(1000), /*cpu=*/0, 7, 0);
+  rec.record(obs::TpId::kTpMigrate, SimTime(2000), /*cpu=*/1, 7, 1);
+
+  const std::string blob = obs::encode_ring_dump({{"Adaptive", &rec}});
+  ASSERT_GE(blob.size(), 16u);
+  EXPECT_EQ(blob.substr(0, 8), "HPCSRING");
+  EXPECT_EQ(dump_u32(blob, 8), obs::kRingDumpVersion);
+  EXPECT_EQ(dump_u32(blob, 12), 1u);  // one run
+  std::size_t off = 16;
+  const std::uint32_t name_len = dump_u32(blob, off);
+  off += 4;
+  EXPECT_EQ(blob.substr(off, name_len), "Adaptive");
+  off += name_len;
+  EXPECT_EQ(dump_u32(blob, off), 2u);  // cpus
+  off += 4;
+  // cpu 0: pushed=1, dropped=0, retained=1, then one 32-byte entry.
+  EXPECT_EQ(dump_u64(blob, off), 1u);
+  EXPECT_EQ(dump_u64(blob, off + 8), 0u);
+  EXPECT_EQ(dump_u64(blob, off + 16), 1u);
+  off += 24;
+  EXPECT_EQ(dump_u64(blob, off), 1000u);  // t_ns
+  EXPECT_EQ(dump_u32(blob, off + 8), static_cast<std::uint32_t>(obs::TpId::kTpWake));
+  EXPECT_EQ(dump_u32(blob, off + 12), 0u);  // cpu
+  EXPECT_EQ(dump_u64(blob, off + 16), 7u);  // a0
+  off += 32;
+  // cpu 1 section follows, and the blob ends exactly after its one entry.
+  EXPECT_EQ(dump_u64(blob, off + 16), 1u);  // retained
+  EXPECT_EQ(blob.size(), off + 24 + 32);
+}
+
+TEST(RingDump, NullRecordersAreSkippedAndDumpIsDeterministic) {
+  obs::ObsConfig cfg;
+  cfg.enabled = true;
+  obs::Recorder rec(cfg, /*num_cpus=*/1);
+  rec.record(obs::TpId::kTpSchedSwitch, SimTime(5), 0, 1, -1);
+  const std::string a = obs::encode_ring_dump({{"none", nullptr}, {"run", &rec}});
+  const std::string b = obs::encode_ring_dump({{"run", &rec}});
+  EXPECT_EQ(a, b);  // the null run contributes nothing, not an empty section
+  EXPECT_EQ(dump_u32(a, 12), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+// hpcs-distd: standalone sweep-fabric worker. Connects to a coordinator
+// (any table driver running --dist coordinator:PORT), serves whatever
+// registered paper-table job the coordinator names, exits 0 on BYE.
+//
+//   hpcs-distd HOST:PORT [--name NAME] [--capacity N]
+//
+// This is the same service loop the drivers' own `--dist worker` mode uses
+// (bench/bench_dist.h); the separate binary exists so a fleet machine needs
+// no bench artifacts, just the library and this tool.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "analysis/dist_jobs.h"
+#include "dist/host/dist_options.h"
+#include "dist/host/service.h"
+#include "dist/host/tcp_transport.h"
+#include "dist/registry.h"
+#include "dist/worker.h"
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr, "usage: hpcs-distd HOST:PORT [--name NAME] [--capacity N]\n");
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hpcs;
+
+  // HPCS_HOST_BEGIN — argv/pid plumbing and the blocking serve loop.
+  std::string target;
+  std::string name = "distd-pid" + std::to_string(::getpid());
+  std::uint32_t capacity = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage(0);
+    } else if (std::strcmp(a, "--name") == 0 && i + 1 < argc) {
+      name = argv[++i];
+    } else if (std::strcmp(a, "--capacity") == 0 && i + 1 < argc) {
+      const long v = std::atol(argv[++i]);
+      if (v < 1 || v > 1024) usage(2);
+      capacity = static_cast<std::uint32_t>(v);
+    } else if (a[0] == '-') {
+      usage(2);
+    } else if (target.empty()) {
+      target = a;
+    } else {
+      usage(2);
+    }
+  }
+  if (target.empty()) usage(2);
+
+  // Reuse the worker-spec parser for HOST:PORT validation.
+  dist::host::DistOptions opt;
+  std::string err;
+  if (!dist::host::parse_dist_spec("worker:" + target, opt, err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 2;
+  }
+
+  auto conn = dist::host::tcp_connect(opt.hostname, opt.port, err);
+  if (conn == nullptr) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+
+  dist::JobRegistry reg;
+  analysis::register_paper_table_jobs(reg);
+  dist::WorkerConfig cfg;
+  cfg.name = name;
+  cfg.capacity = capacity;
+  dist::WorkerSession session(cfg, reg, std::move(conn));
+  if (!dist::host::serve_worker(session, err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("hpcs-distd '%s': %lld rows, %lld shards\n", name.c_str(),
+              static_cast<long long>(session.rows_sent()),
+              static_cast<long long>(session.shards_done()));
+  return 0;
+  // HPCS_HOST_END
+}

@@ -9,6 +9,8 @@ namespace {
 constexpr std::string_view kAllowDirective = "HPCSLINT-ALLOW(";
 constexpr std::string_view kHotBegin = "HPCS_HOT_BEGIN";
 constexpr std::string_view kHotEnd = "HPCS_HOT_END";
+constexpr std::string_view kHostBegin = "HPCS_HOST_BEGIN";
+constexpr std::string_view kHostEnd = "HPCS_HOST_END";
 
 }  // namespace
 
@@ -22,6 +24,8 @@ Prepared prepare(std::string_view src) {
     std::vector<std::string> allow_rules;
     bool hot_begin = false;
     bool hot_end = false;
+    bool host_begin = false;
+    bool host_end = false;
   };
   std::vector<CommentNote> notes;
 
@@ -49,7 +53,11 @@ Prepared prepare(std::string_view src) {
     // BEGIN does not match it.
     note.hot_end = text.find(kHotEnd) != std::string_view::npos;
     if (note.hot_begin && note.hot_end) note.hot_begin = false;  // one marker per comment
-    if (!note.allow_rules.empty() || note.hot_begin || note.hot_end) {
+    note.host_begin = text.find(kHostBegin) != std::string_view::npos;
+    note.host_end = text.find(kHostEnd) != std::string_view::npos;
+    if (note.host_begin && note.host_end) note.host_begin = false;
+    if (!note.allow_rules.empty() || note.hot_begin || note.hot_end ||
+        note.host_begin || note.host_end) {
       notes.push_back(std::move(note));
     }
   };
@@ -157,12 +165,16 @@ Prepared prepare(std::string_view src) {
   const int total_lines = line + 1;
   p.allow.assign(static_cast<std::size_t>(total_lines) + 1, {});
   p.hot.assign(static_cast<std::size_t>(total_lines) + 1, 0);
+  p.host.assign(static_cast<std::size_t>(total_lines) + 1, 0);
 
   bool hot = false;
   int hot_from = 0;
-  auto mark_hot = [&p](int from, int to) {
-    for (int l = from; l <= to && l < static_cast<int>(p.hot.size()); ++l) {
-      if (l >= 1) p.hot[static_cast<std::size_t>(l)] = 1;
+  bool host = false;
+  int host_from = 0;
+  auto mark = [total_lines](std::vector<char>& map, int from, int to) {
+    to = std::min(to, total_lines);
+    for (int l = std::max(from, 1); l <= to; ++l) {
+      map[static_cast<std::size_t>(l)] = 1;
     }
   };
   for (const CommentNote& note : notes) {
@@ -178,10 +190,18 @@ Prepared prepare(std::string_view src) {
       hot_from = note.line;
     } else if (note.hot_end && hot) {
       hot = false;
-      mark_hot(hot_from, note.line);
+      mark(p.hot, hot_from, note.line);
+    }
+    if (note.host_begin && !host) {
+      host = true;
+      host_from = note.line;
+    } else if (note.host_end && host) {
+      host = false;
+      mark(p.host, host_from, note.line);
     }
   }
-  if (hot) mark_hot(hot_from, total_lines);  // unclosed region runs to EOF
+  if (hot) mark(p.hot, hot_from, total_lines);    // unclosed region runs to EOF
+  if (host) mark(p.host, host_from, total_lines);
   return p;
 }
 
