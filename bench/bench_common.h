@@ -38,6 +38,10 @@ namespace hpcs::bench {
 ///                                 rather than silently rounding — a bench
 ///                                 that drops a different number of trace
 ///                                 entries than asked for is not comparable.
+///   --obs-trace-stream / HPCS_OBS_TRACE_STREAM=1
+///                                 spool Chrome-trace records to disk during
+///                                 capture instead of buffering them in
+///                                 memory (same bytes out; for long runs)
 ///   --obs-ring-dump PATH / HPCS_OBS_RING_DUMP=PATH
 ///                                 dump every run's retained tracepoint ring
 ///                                 entries raw (32 bytes each, little-endian,
@@ -65,6 +69,9 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
   if (const char* env = std::getenv("HPCS_OBS_TRACE")) {
     if (env[0] != '\0') o.trace_path = env;
   }
+  if (const char* env = std::getenv("HPCS_OBS_TRACE_STREAM")) {
+    if (env[0] != '\0' && std::strcmp(env, "0") != 0) o.cfg.chrome_stream = true;
+  }
   if (const char* env = std::getenv("HPCS_OBS_RING")) {
     if (env[0] != '\0') set_ring(env, "HPCS_OBS_RING");
   }
@@ -79,6 +86,8 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
       o.trace_path = argv[i + 1];
     } else if (std::strncmp(a, "--obs-trace=", 12) == 0) {
       o.trace_path = a + 12;
+    } else if (std::strcmp(a, "--obs-trace-stream") == 0) {
+      o.cfg.chrome_stream = true;
     } else if (std::strcmp(a, "--obs-ring-dump") == 0 && i + 1 < argc) {
       o.ring_dump_path = argv[i + 1];
     } else if (std::strncmp(a, "--obs-ring-dump=", 16) == 0) {

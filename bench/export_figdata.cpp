@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <utility>
 
 #include "analysis/paper_experiments.h"
@@ -51,40 +52,47 @@ void export_run(const std::string& dir, const std::string& name,
 
 int main(int argc, char** argv) {
   bench::init_logging(argc, argv);
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   bench::FigObs fobs("export_figdata", bench::parse_obs_options(argc, argv));
   const std::string dir = "bench_data";
   std::filesystem::create_directories(dir);
   std::printf("=== exporting figure data to ./%s ===\n", dir.c_str());
 
-  // With --obs-trace the same runs additionally land in one Chrome-trace /
-  // Perfetto file (each export as its own "process") next to the CSVs.
-  const auto keep = [&](const char* name, analysis::RunResult r) {
-    export_run(dir, name, r);
-    fobs.keep(name, std::move(r));
+  // The five exports are independent runs: fan them across the parallel
+  // engine (--jobs N / HPCS_JOBS) as index-dispatched closures, then write
+  // the files in the fixed export order so every byte matches the serial
+  // path. With --obs-trace the same runs additionally land in one
+  // Chrome-trace / Perfetto file (each export as its own "process").
+  auto metbench = analysis::MetBenchExperiment::paper();
+  metbench.workload.iterations = 12;
+  const auto metbenchvar = analysis::MetBenchVarExperiment::paper();
+  auto btmz = analysis::BtMzExperiment::paper();
+  btmz.workload.iterations = 60;
+  auto siesta = analysis::SiestaExperiment::paper();
+  siesta.workload.microiters = 8000;
+
+  struct Export {
+    const char* name;
+    std::function<analysis::RunResult()> run;
   };
-  {
-    auto e = analysis::MetBenchExperiment::paper();
-    e.workload.iterations = 12;
-    keep("fig3a_metbench_baseline",
-         analysis::run_metbench(e, SchedMode::kBaselineCfs, true, 1, fobs.cfg()));
-    keep("fig3c_metbench_uniform",
-         analysis::run_metbench(e, SchedMode::kUniform, true, 1, fobs.cfg()));
-  }
-  {
-    const auto e = analysis::MetBenchVarExperiment::paper();
-    keep("fig4c_metbenchvar_uniform",
-         analysis::run_metbenchvar(e, SchedMode::kUniform, true, 1, fobs.cfg()));
-  }
-  {
-    auto e = analysis::BtMzExperiment::paper();
-    e.workload.iterations = 60;
-    keep("fig5c_btmz_uniform", analysis::run_btmz(e, SchedMode::kUniform, true, 1, fobs.cfg()));
-  }
-  {
-    auto e = analysis::SiestaExperiment::paper();
-    e.workload.microiters = 8000;
-    keep("fig6b_siesta_uniform",
-         analysis::run_siesta(e, SchedMode::kUniform, true, 1, fobs.cfg()));
+  const std::vector<Export> exports = {
+      {"fig3a_metbench_baseline",
+       [&] { return analysis::run_metbench(metbench, SchedMode::kBaselineCfs, true, 1, fobs.cfg()); }},
+      {"fig3c_metbench_uniform",
+       [&] { return analysis::run_metbench(metbench, SchedMode::kUniform, true, 1, fobs.cfg()); }},
+      {"fig4c_metbenchvar_uniform",
+       [&] { return analysis::run_metbenchvar(metbenchvar, SchedMode::kUniform, true, 1, fobs.cfg()); }},
+      {"fig5c_btmz_uniform",
+       [&] { return analysis::run_btmz(btmz, SchedMode::kUniform, true, 1, fobs.cfg()); }},
+      {"fig6b_siesta_uniform",
+       [&] { return analysis::run_siesta(siesta, SchedMode::kUniform, true, 1, fobs.cfg()); }},
+  };
+
+  exp::ParallelRunner runner(jobs);
+  auto results = runner.map(exports.size(), [&](std::size_t i) { return exports[i].run(); });
+  for (std::size_t i = 0; i < exports.size(); ++i) {
+    export_run(dir, exports[i].name, results[i]);
+    fobs.keep(exports[i].name, std::move(results[i]));
   }
   fobs.finish();
   std::printf("done.\n");

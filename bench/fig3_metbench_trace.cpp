@@ -2,6 +2,10 @@
 // scheduler, (b) static prioritization, (c) Uniform and (d) Adaptive
 // HPCSched. '#' = computing, '.' = waiting; the digit row shows hardware
 // priorities while they differ from the default 4.
+//
+// The four runs fan across the parallel experiment engine (--jobs N /
+// HPCS_JOBS); printing happens after collection, in figure order, so the
+// output is byte-identical to the serial loop this replaces.
 
 #include "fig_common.h"
 
@@ -11,21 +15,28 @@ int main(int argc, char** argv) {
 
   bench::init_logging(argc, argv);
   bench::reject_dist_unsupported(argc, argv);
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   bench::FigObs fobs("fig3_metbench", bench::parse_obs_options(argc, argv));
   auto e = analysis::MetBenchExperiment::paper();
   e.workload.iterations = 12;  // enough iterations to see the pattern clearly
 
+  const std::vector<std::pair<SchedMode, const char*>> figures = {
+      {SchedMode::kBaselineCfs, "(a) standard execution"},
+      {SchedMode::kStatic, "(b) static prioritization"},
+      {SchedMode::kUniform, "(c) Uniform prioritization"},
+      {SchedMode::kAdaptive, "(d) Adaptive prioritization"}};
+  std::vector<SchedMode> modes;
+  for (const auto& [mode, label] : figures) modes.push_back(mode);
+
   std::printf("=== Figure 3: effect of the proposed solution on MetBench ===\n\n");
-  for (const auto& [mode, label] :
-       {std::pair{SchedMode::kBaselineCfs, "(a) standard execution"},
-        std::pair{SchedMode::kStatic, "(b) static prioritization"},
-        std::pair{SchedMode::kUniform, "(c) Uniform prioritization"},
-        std::pair{SchedMode::kAdaptive, "(d) Adaptive prioritization"}}) {
-    auto r = analysis::run_metbench(e, mode, /*trace=*/true, /*seed=*/1, fobs.cfg());
-    bench::print_trace_figure(label, r);
-    if (analysis::is_dynamic_mode(mode)) bench::print_iteration_series(r);
+  auto results = bench::run_modes(jobs, modes, [&e, &fobs](SchedMode m) {
+    return analysis::run_metbench(e, m, /*trace=*/true, /*seed=*/1, fobs.cfg());
+  });
+  for (std::size_t i = 0; i < figures.size(); ++i) {
+    bench::print_trace_figure(figures[i].second, results[i]);
+    if (analysis::is_dynamic_mode(figures[i].first)) bench::print_iteration_series(results[i]);
     std::printf("\n");
-    fobs.keep(label, std::move(r));
+    fobs.keep(figures[i].second, std::move(results[i]));
   }
   fobs.finish();
   return 0;

@@ -3,6 +3,10 @@
 // but *backwards* in period 2; the dynamic scheduler re-balances within a
 // few iterations of each switch (Uniform needs a couple more as its global
 // history ages; Adaptive always ~2).
+//
+// The four runs fan across the parallel experiment engine (--jobs N /
+// HPCS_JOBS); printing happens after collection, in figure order, so the
+// output is byte-identical to the serial loop this replaces.
 
 #include "fig_common.h"
 
@@ -12,24 +16,31 @@ int main(int argc, char** argv) {
 
   bench::init_logging(argc, argv);
   bench::reject_dist_unsupported(argc, argv);
+  const unsigned jobs = exp::parse_jobs_flag(argc, argv);
   bench::FigObs fobs("fig4_metbenchvar", bench::parse_obs_options(argc, argv));
   const auto e = analysis::MetBenchVarExperiment::paper();
 
+  const std::vector<std::pair<SchedMode, const char*>> figures = {
+      {SchedMode::kBaselineCfs, "(a) standard execution"},
+      {SchedMode::kStatic, "(b) static prioritization"},
+      {SchedMode::kUniform, "(c) Uniform prioritization"},
+      {SchedMode::kAdaptive, "(d) Adaptive prioritization"}};
+  std::vector<SchedMode> modes;
+  for (const auto& [mode, label] : figures) modes.push_back(mode);
+
   std::printf("=== Figure 4: effect of the proposed solution on MetBenchVar ===\n\n");
-  for (const auto& [mode, label] :
-       {std::pair{SchedMode::kBaselineCfs, "(a) standard execution"},
-        std::pair{SchedMode::kStatic, "(b) static prioritization"},
-        std::pair{SchedMode::kUniform, "(c) Uniform prioritization"},
-        std::pair{SchedMode::kAdaptive, "(d) Adaptive prioritization"}}) {
-    auto r = analysis::run_metbenchvar(e, mode, /*trace=*/true, /*seed=*/1, fobs.cfg());
-    bench::print_trace_figure(label, r, 135);
-    if (analysis::is_dynamic_mode(mode)) {
-      bench::print_iteration_series(r);
+  auto results = bench::run_modes(jobs, modes, [&e, &fobs](SchedMode m) {
+    return analysis::run_metbenchvar(e, m, /*trace=*/true, /*seed=*/1, fobs.cfg());
+  });
+  for (std::size_t i = 0; i < figures.size(); ++i) {
+    bench::print_trace_figure(figures[i].second, results[i], 135);
+    if (analysis::is_dynamic_mode(figures[i].first)) {
+      bench::print_iteration_series(results[i]);
       std::printf("history resets (behaviour changes detected): %lld\n",
-                  static_cast<long long>(r.hpc_history_resets));
+                  static_cast<long long>(results[i].hpc_history_resets));
     }
     std::printf("\n");
-    fobs.keep(label, std::move(r));
+    fobs.keep(figures[i].second, std::move(results[i]));
   }
   fobs.finish();
   return 0;

@@ -42,6 +42,23 @@ HOST_SCHEMA = "hpcs-obs-host-v1"
 FABRIC_SCHEMA = "hpcs-dist-fabric-v1"
 METRIC_KINDS = ("counter", "gauge", "histogram")
 
+# Event-queue counter family: a manifest that carries any sim.eq_* metric
+# must carry the whole set (obs/recorder.cpp registers them together — a
+# partial set means the registration order drifted or a counter was dropped).
+EQ_COUNTERS = (
+    "sim.eq_scheduled",
+    "sim.eq_dispatched",
+    "sim.eq_resched_inplace",
+    "sim.eq_resched_pending",
+    "sim.eq_stale_dropped",
+    "sim.eq_wheel_armed",
+    "sim.eq_wheel_hits",
+    "sim.eq_wheel_cascades",
+    "sim.eq_wheel_heap_fallbacks",
+    "sim.eq_wheel_batches",
+    "sim.eq_wheel_max_batch",
+)
+
 # Counters in the fabric sidecar's "fabric" object (bench/bench_dist.h
 # write_fabric_sidecar). All non-negative integers; fell_back_local is 0/1.
 FABRIC_COUNTERS = (
@@ -130,6 +147,14 @@ def validate_manifest(doc, fname):
                 f"{where}: metric layout differs from runs.0 — the manifest "
                 "contract is one fixed registration order for every run"
             )
+
+        names = {n for n, _ in this_layout}
+        if any(n.startswith("sim.eq_") for n in names):
+            missing = [n for n in EQ_COUNTERS if n not in names]
+            if missing:
+                problems.append(
+                    f"{where}: event-queue counter set incomplete, missing {missing}"
+                )
     return problems
 
 

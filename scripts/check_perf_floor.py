@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""CI perf smoke: fail when a bench scenario regresses >30% below its floor.
+
+Usage:
+    scripts/check_perf_floor.py <perf_floor.json> <bench_output_dir>
+
+The floor spec names one bench JSON file, a tolerance in (0, 1], and a map of
+dotted paths (same addressing as check_bench_json.py) to events/sec floors.
+A scenario passes while
+
+    measured >= floor * tolerance
+
+so with tolerance 0.7 a >30% drop below the checked-in floor fails the step.
+Floors are a regression tripwire, not a leaderboard: they are set from the
+slowest machine CI runs on, and re-baselined deliberately (commit + rationale)
+when the event core gets faster.
+
+Exit status: 0 all scenarios pass, 1 any regression/missing value, 2 usage.
+"""
+
+import json
+import sys
+
+
+def lookup(doc, dotted):
+    node = doc
+    for seg in dotted.split("."):
+        if isinstance(node, list):
+            node = node[int(seg)]
+        elif isinstance(node, dict):
+            node = node[seg]
+        else:
+            raise KeyError(seg)
+    return node
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("usage: check_perf_floor.py <perf_floor.json> <bench_output_dir>", file=sys.stderr)
+        return 2
+
+    with open(argv[1], encoding="utf-8") as f:
+        spec = json.load(f)
+    tolerance = spec["tolerance"]
+    if not 0 < tolerance <= 1:
+        print(f"FAIL spec: tolerance {tolerance} not in (0, 1]")
+        return 1
+
+    bench_path = f"{argv[2]}/{spec['file']}"
+    try:
+        with open(bench_path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL {spec['file']}: cannot load ({e})")
+        return 1
+
+    failures = 0
+    for dotted, floor in spec["floors"].items():
+        try:
+            value = lookup(doc, dotted)
+        except (KeyError, IndexError, ValueError):
+            print(f"FAIL {dotted}: missing from {spec['file']}")
+            failures += 1
+            continue
+        threshold = floor * tolerance
+        ratio = value / floor if floor > 0 else 0.0
+        if value >= threshold:
+            print(f"  ok  {dotted}: {value / 1e6:8.1f}M/s  ({ratio:5.2f}x of floor)")
+        else:
+            print(
+                f"FAIL {dotted}: {value / 1e6:8.1f}M/s < {threshold / 1e6:.1f}M/s "
+                f"(floor {floor / 1e6:.1f}M * tolerance {tolerance})"
+            )
+            failures += 1
+
+    if failures:
+        print(f"perf smoke: {failures} scenario(s) regressed >{(1 - tolerance) * 100:.0f}%")
+        return 1
+    print("perf smoke: all scenarios at or above floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

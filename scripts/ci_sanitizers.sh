@@ -64,6 +64,9 @@ scripts/dist_smoke.sh build-ci
 
 python3 scripts/check_bench_json.py scripts/bench_golden.json build-ci/bench
 
+echo "=== bench-smoke: events/sec floors (>30% regression fails) ==="
+python3 scripts/check_perf_floor.py scripts/perf_floor.json build-ci/bench
+
 if [[ "${HPCS_CI_FAST:-0}" == "1" ]]; then
   echo "HPCS_CI_FAST=1: skipping sanitizer passes"
   echo "ci pipeline passed (fast mode)"

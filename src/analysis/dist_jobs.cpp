@@ -69,6 +69,7 @@ bool decode_job_params(const std::string& blob, std::uint64_t& seed, obs::ObsCon
   obs.enabled = r.u8() != 0;
   obs.ring_capacity = r.u64();
   obs.chrome_trace = false;  // trace capture never crosses the fabric
+  obs.chrome_stream = false;
   return r.done();
 }
 

@@ -57,11 +57,17 @@ RunResult run_experiment(const ExperimentConfig& cfg,
   if (cfg.capture_trace) tracer = std::make_unique<trace::Tracer>();
 
   std::unique_ptr<obs::Recorder> recorder;
-  std::unique_ptr<obs::ChromeTraceSink> chrome;
+  std::unique_ptr<obs::ChromeTraceCapture> chrome;
   if (cfg.obs.enabled) {
     recorder = std::make_unique<obs::Recorder>(cfg.obs, kernel.num_cpus());
     kernel.set_obs(recorder.get());
-    if (cfg.obs.chrome_trace) chrome = std::make_unique<obs::ChromeTraceSink>();
+    if (cfg.obs.chrome_trace) {
+      if (cfg.obs.chrome_stream) {
+        chrome = std::make_unique<obs::ChromeTraceStreamSink>();
+      } else {
+        chrome = std::make_unique<obs::ChromeTraceSink>();
+      }
+    }
   }
 
   // Every observer shares the kernel's single TraceSink pointer through the
@@ -142,6 +148,12 @@ RunResult run_experiment(const ExperimentConfig& cfg,
     m.counter("sim.eq_resched_inplace").set(qs.resched_inplace);
     m.counter("sim.eq_resched_pending").set(qs.resched_pending);
     m.counter("sim.eq_stale_dropped").set(qs.stale_dropped);
+    m.counter("sim.eq_wheel_armed").set(qs.wheel_armed);
+    m.counter("sim.eq_wheel_hits").set(qs.wheel_dispatched);
+    m.counter("sim.eq_wheel_cascades").set(qs.wheel_cascades);
+    m.counter("sim.eq_wheel_heap_fallbacks").set(qs.heap_armed);
+    m.counter("sim.eq_wheel_batches").set(qs.wheel_batches);
+    m.counter("sim.eq_wheel_max_batch").set(qs.wheel_max_batch);
     if (hpc_class != nullptr) {
       m.counter("hpc.iterations").set(hpc_class->iterations_observed());
       m.counter("hpc.prio_changes").set(hpc_class->priority_changes());

@@ -71,6 +71,12 @@ void Kernel::start() {
     c.idle_task->cpu = cpu;
     c.rq.idle = c.idle_task.get();
     c.rq.curr = c.idle_task.get();
+    if (cfg_.balance_interval_ticks > 0) {
+      // First tick with (ticks + cpu) % interval == 0, expressed as a
+      // countdown so on_tick never divides.
+      const std::int64_t n = cfg_.balance_interval_ticks;
+      c.balance_countdown = (n - (1 + cpu) % n) % n + 1;
+    }
     c.tick_event = sim_->schedule_in(cfg_.tick, [this, cpu] { on_tick(cpu); });
   }
   chip_.set_listener([this](CoreId core) { on_speed_change(core); });
@@ -573,8 +579,8 @@ void Kernel::on_tick(CpuId cpu) {
     flush_account(*curr);
     classes_[static_cast<std::size_t>(curr->class_idx_)]->task_tick(*this, c.rq, *curr);
   }
-  if (cfg_.balance_interval_ticks > 0 &&
-      (c.ticks + cpu) % cfg_.balance_interval_ticks == 0) {
+  if (cfg_.balance_interval_ticks > 0 && --c.balance_countdown == 0) {
+    c.balance_countdown = cfg_.balance_interval_ticks;
     for (const auto& cls : classes_) {
       if (cls->wants_balance()) balance_pull(cpu, *cls);
     }

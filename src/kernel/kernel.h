@@ -162,6 +162,9 @@ class Kernel {
     sim::EventHandle tick_event;
     sim::EventHandle snooze_event;
     std::int64_t ticks = 0;
+    // Ticks remaining until the next balance pass; replaces the per-tick
+    // `(ticks + cpu) % interval` divide while firing on the same ticks.
+    std::int64_t balance_countdown = 0;
   };
 
   CpuState& cs(CpuId cpu);

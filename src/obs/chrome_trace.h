@@ -1,6 +1,6 @@
 #pragma once
-// Chrome trace-event (Perfetto legacy JSON) exporter. A ChromeTraceSink is a
-// kern::TraceSink that turns scheduler activity into trace events:
+// Chrome trace-event (Perfetto legacy JSON) exporter. A ChromeTraceCapture is
+// a kern::TraceSink that turns scheduler activity into trace events:
 //
 //   - per-CPU "X" slices, one per occupancy of a CPU by a task (from
 //     on_switch), so the CPU rows read like the kernel's sched view;
@@ -8,10 +8,21 @@
 //     the paper's priority staircase as a counter track;
 //   - per-task "i" instants for completed HPC iterations.
 //
+// Two captures implement the interface:
+//
+//   - ChromeTraceSink buffers every record in memory (vectors) — the default,
+//     cheapest for the short figure/table runs;
+//   - ChromeTraceStreamSink spools completed records to an unlinked temporary
+//     file as they are captured, so resident memory stays bounded by the
+//     number of CPUs (open slices) no matter how long the run is. Rendering
+//     replays the spool sequentially; output is byte-identical to the
+//     buffered sink's.
+//
 // write_chrome_trace() lays several runs (e.g. the four modes of a figure
 // driver) into one file, each run as its own "process", and the result opens
 // directly in chrome://tracing or ui.perfetto.dev (docs/observability.md).
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -20,7 +31,9 @@
 
 namespace hpcs::obs {
 
-class ChromeTraceSink final : public kern::TraceSink {
+/// Capture interface shared by the buffered and streaming sinks. Renderers
+/// never see the storage strategy: they replay the records through a Visitor.
+class ChromeTraceCapture : public kern::TraceSink {
  public:
   struct Slice {
     CpuId cpu = 0;
@@ -44,6 +57,27 @@ class ChromeTraceSink final : public kern::TraceSink {
     double util_metric = 0.0;
   };
 
+  /// Receives the capture's records during replay(), grouped by kind.
+  class Visitor {
+   public:
+    virtual ~Visitor() = default;
+    virtual void on_slice(const Slice& s) = 0;
+    virtual void on_prio(const PrioSample& p) = 0;
+    virtual void on_iteration(const IterationMark& m) = 0;
+  };
+
+  /// Close every open CPU slice at `end`. Call once when the run finishes.
+  virtual void finalize(SimTime end) = 0;
+
+  /// Replay every captured record in capture order, grouped by kind: all
+  /// slices first, then all priority samples, then all iteration marks.
+  /// May be called any number of times after finalize().
+  virtual void replay(Visitor& v) = 0;
+};
+
+/// Buffered capture: every record lives in a vector until rendered.
+class ChromeTraceSink final : public ChromeTraceCapture {
+ public:
   // TraceSink implementation.
   void on_switch(SimTime t, CpuId cpu, const kern::Task* prev,
                  const kern::Task* next) override;
@@ -51,8 +85,8 @@ class ChromeTraceSink final : public kern::TraceSink {
   void on_iteration(SimTime t, const kern::Task& task, int iteration, double util_last,
                     double util_metric) override;
 
-  /// Close every open CPU slice at `end`. Call once when the run finishes.
-  void finalize(SimTime end);
+  void finalize(SimTime end) override;
+  void replay(Visitor& v) override;
 
   [[nodiscard]] const std::vector<Slice>& slices() const { return slices_; }
   [[nodiscard]] const std::vector<PrioSample>& prio_samples() const { return prios_; }
@@ -72,10 +106,55 @@ class ChromeTraceSink final : public kern::TraceSink {
   std::vector<OpenSlice> open_;  ///< indexed by cpu
 };
 
+/// Streaming capture: completed records are appended to an unlinked tmpfile
+/// as length-prefixed binary frames; only the per-CPU open slices stay in
+/// memory. replay() rescans the spool once per record kind, preserving the
+/// buffered sink's grouped capture order exactly.
+class ChromeTraceStreamSink final : public ChromeTraceCapture {
+ public:
+  ChromeTraceStreamSink();
+  ~ChromeTraceStreamSink() override;
+  ChromeTraceStreamSink(const ChromeTraceStreamSink&) = delete;
+  ChromeTraceStreamSink& operator=(const ChromeTraceStreamSink&) = delete;
+
+  void on_switch(SimTime t, CpuId cpu, const kern::Task* prev,
+                 const kern::Task* next) override;
+  void on_hw_prio(SimTime t, const kern::Task& task, p5::HwPrio prio) override;
+  void on_iteration(SimTime t, const kern::Task& task, int iteration, double util_last,
+                    double util_metric) override;
+
+  void finalize(SimTime end) override;
+  void replay(Visitor& v) override;
+
+  /// Records spooled to disk so far (completed slices + prios + iterations).
+  [[nodiscard]] std::size_t spooled_records() const { return spooled_records_; }
+  /// Bytes written to the spool file — the memory the buffered sink would
+  /// have kept resident (plus vector headers) lives here instead.
+  [[nodiscard]] std::size_t spool_bytes() const { return spool_bytes_; }
+
+ private:
+  struct OpenSlice {
+    bool open = false;
+    Pid pid = kInvalidPid;
+    std::string name;
+    SimTime begin = SimTime::zero();
+  };
+
+  void put_slice(const Slice& s);
+  void put_prio(const PrioSample& p);
+  void put_iter(const IterationMark& m);
+
+  std::FILE* spool_ = nullptr;  ///< unlinked tmpfile; auto-deleted on close
+  std::size_t spooled_records_ = 0;
+  std::size_t spool_bytes_ = 0;
+  bool replaying_ = false;  ///< capture after first replay is a bug
+  std::vector<OpenSlice> open_;  ///< indexed by cpu — the only unbounded-ish state
+};
+
 /// One run ("process") in the exported file.
 struct ChromeTraceRun {
   std::string name;  ///< process label, e.g. the mode name
-  const ChromeTraceSink* sink = nullptr;
+  ChromeTraceCapture* sink = nullptr;
 };
 
 /// Render the runs as a Chrome trace-event JSON document (deterministic:

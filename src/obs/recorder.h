@@ -24,6 +24,7 @@ namespace hpcs::obs {
 struct ObsConfig {
   bool enabled = false;          ///< master switch; off = null Recorder, zero cost
   bool chrome_trace = false;     ///< also capture a Chrome-trace/Perfetto view
+  bool chrome_stream = false;    ///< spool trace records to disk (bounded memory)
   std::size_t ring_capacity = 4096;  ///< per-CPU tracepoint ring (entries)
 };
 

@@ -1,0 +1,99 @@
+// Differential gate for the timing-wheel event core: every paper workload,
+// run once with the hierarchical wheel and once on the legacy binary heap
+// (EventQueue::set_default_wheel_enabled), must produce byte-identical
+// serialized RunResults. The wheel is a routing optimization — firing order
+// is a pure function of (when, insertion seq) regardless of which container
+// held the event — so ANY byte difference here is an ordering bug.
+//
+// Observability stays off: the sim.eq_wheel_* counters legitimately differ
+// between the two modes (that is their whole point) while everything the
+// scheduler can observe must not.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/paper_experiments.h"
+#include "analysis/run_serialize.h"
+#include "simcore/event_queue.h"
+
+namespace hpcs {
+namespace {
+
+/// Restores the process-wide wheel default even when an assertion bails out.
+class WheelDefaultGuard {
+ public:
+  WheelDefaultGuard() = default;
+  ~WheelDefaultGuard() { sim::EventQueue::set_default_wheel_enabled(true); }
+  WheelDefaultGuard(const WheelDefaultGuard&) = delete;
+  WheelDefaultGuard& operator=(const WheelDefaultGuard&) = delete;
+};
+
+template <typename RunFn>
+void expect_wheel_invariant(const char* label, RunFn run) {
+  WheelDefaultGuard guard;
+  for (const auto mode :
+       {analysis::SchedMode::kBaselineCfs, analysis::SchedMode::kUniform,
+        analysis::SchedMode::kAdaptive}) {
+    sim::EventQueue::set_default_wheel_enabled(true);
+    const std::string with_wheel = analysis::serialize_run_result(run(mode));
+    sim::EventQueue::set_default_wheel_enabled(false);
+    const std::string heap_only = analysis::serialize_run_result(run(mode));
+    sim::EventQueue::set_default_wheel_enabled(true);
+    ASSERT_FALSE(with_wheel.empty()) << label;
+    EXPECT_EQ(with_wheel, heap_only)
+        << label << " mode=" << static_cast<int>(mode)
+        << ": wheel-on and heap-only runs diverged";
+  }
+}
+
+TEST(EventQueueDifferential, MetBenchIdenticalWithAndWithoutWheel) {
+  auto e = analysis::MetBenchExperiment::paper();
+  e.workload.iterations = 4;
+  expect_wheel_invariant("metbench", [&e](analysis::SchedMode m) {
+    return analysis::run_metbench(e, m);
+  });
+}
+
+TEST(EventQueueDifferential, MetBenchVarIdenticalWithAndWithoutWheel) {
+  auto e = analysis::MetBenchVarExperiment::paper();
+  e.workload.iterations = 6;
+  e.workload.k = 3;
+  expect_wheel_invariant("metbenchvar", [&e](analysis::SchedMode m) {
+    return analysis::run_metbenchvar(e, m);
+  });
+}
+
+TEST(EventQueueDifferential, BtMzIdenticalWithAndWithoutWheel) {
+  auto e = analysis::BtMzExperiment::paper();
+  e.workload.iterations = 8;
+  expect_wheel_invariant("btmz", [&e](analysis::SchedMode m) {
+    return analysis::run_btmz(e, m);
+  });
+}
+
+TEST(EventQueueDifferential, SiestaIdenticalWithAndWithoutWheel) {
+  auto e = analysis::SiestaExperiment::paper();
+  e.workload.microiters = 2000;
+  expect_wheel_invariant("siesta", [&e](analysis::SchedMode m) {
+    return analysis::run_siesta(e, m);
+  });
+}
+
+// The static-priority mode exercises the Power5 hardware-priority paths on
+// top of the tick machinery; cover it once on the cheapest workload.
+TEST(EventQueueDifferential, StaticPrioModeIdenticalWithAndWithoutWheel) {
+  WheelDefaultGuard guard;
+  auto e = analysis::MetBenchExperiment::paper();
+  e.workload.iterations = 3;
+  sim::EventQueue::set_default_wheel_enabled(true);
+  const std::string with_wheel = analysis::serialize_run_result(
+      analysis::run_metbench(e, analysis::SchedMode::kStatic));
+  sim::EventQueue::set_default_wheel_enabled(false);
+  const std::string heap_only = analysis::serialize_run_result(
+      analysis::run_metbench(e, analysis::SchedMode::kStatic));
+  EXPECT_EQ(with_wheel, heap_only);
+}
+
+}  // namespace
+}  // namespace hpcs

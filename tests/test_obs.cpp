@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/paper_experiments.h"
+#include "kernel/task.h"
 #include "obs/chrome_trace.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -225,7 +226,14 @@ TEST(ObsEndToEnd, ExperimentPopulatesMetricsAndChromeTrace) {
   EXPECT_GT(r.metrics.find("kern.wakeup_latency_us")->count, 0);
 
   ASSERT_NE(r.chrome, nullptr);
-  EXPECT_FALSE(r.chrome->slices().empty());
+  struct Count final : obs::ChromeTraceCapture::Visitor {
+    int slices = 0;
+    void on_slice(const obs::ChromeTraceCapture::Slice&) override { ++slices; }
+    void on_prio(const obs::ChromeTraceCapture::PrioSample&) override {}
+    void on_iteration(const obs::ChromeTraceCapture::IterationMark&) override {}
+  } count;
+  r.chrome->replay(count);
+  EXPECT_GT(count.slices, 0);
   const std::string json =
       obs::render_chrome_trace({{"Uniform", r.chrome.get()}});
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
@@ -233,6 +241,69 @@ TEST(ObsEndToEnd, ExperimentPopulatesMetricsAndChromeTrace) {
   EXPECT_NE(json.find("\"process_name\""), std::string::npos);
   // Every open slice was closed by finalize(): no dur is negative.
   EXPECT_EQ(json.find("\"dur\":-"), std::string::npos);
+}
+
+// The streaming sink is a drop-in for the buffered one: an identical capture
+// renders to byte-identical JSON, while its records live in the disk spool
+// (resident state is just the per-CPU open slices). ~200k slices exercises
+// well past any realistic figure run.
+TEST(ChromeTraceStream, ByteIdenticalToBufferedAndBoundedMemory) {
+  obs::ChromeTraceSink buffered;
+  obs::ChromeTraceStreamSink streamed;
+
+  kern::Task a(1, "rank0", kern::Policy::kNormal);
+  kern::Task b(2, "rank1", kern::Policy::kNormal);
+  kern::Task* tasks[] = {&a, &b};
+
+  constexpr int kSwitches = 200000;
+  std::int64_t t = 0;
+  for (int i = 0; i < kSwitches; ++i) {
+    const CpuId cpu = i % 4;
+    kern::Task* next = tasks[(i / 4) % 2];
+    buffered.on_switch(SimTime(t), cpu, nullptr, next);
+    streamed.on_switch(SimTime(t), cpu, nullptr, next);
+    if (i % 1000 == 0) {
+      const auto prio = static_cast<p5::HwPrio>(1 + (i / 1000) % 7);
+      buffered.on_hw_prio(SimTime(t), a, prio);
+      streamed.on_hw_prio(SimTime(t), a, prio);
+    }
+    if (i % 2500 == 0) {
+      buffered.on_iteration(SimTime(t), b, i / 2500, 50.0, 60.0);
+      streamed.on_iteration(SimTime(t), b, i / 2500, 50.0, 60.0);
+    }
+    t += 1000;
+  }
+  buffered.finalize(SimTime(t));
+  streamed.finalize(SimTime(t));
+
+  // Every completed record left resident memory for the spool.
+  EXPECT_GT(streamed.spooled_records(), static_cast<std::size_t>(kSwitches) - 8);
+  EXPECT_GE(streamed.spool_bytes(), streamed.spooled_records() * 20);
+
+  const std::string from_buffered = obs::render_chrome_trace({{"run", &buffered}});
+  const std::string from_streamed = obs::render_chrome_trace({{"run", &streamed}});
+  EXPECT_EQ(from_buffered, from_streamed);
+  // replay() is repeatable: a second render reads the spool again.
+  EXPECT_EQ(from_streamed, obs::render_chrome_trace({{"run", &streamed}}));
+}
+
+// End-to-end: the chrome_stream knob produces the same trace bytes as the
+// buffered default for a real experiment.
+TEST(ChromeTraceStream, ExperimentRendersIdenticalJson) {
+  auto e = analysis::MetBenchExperiment::paper();
+  e.workload.iterations = 2;
+  obs::ObsConfig obs;
+  obs.enabled = true;
+  obs.chrome_trace = true;
+  const auto buffered = analysis::run_metbench(e, analysis::SchedMode::kUniform,
+                                               /*trace=*/false, /*seed=*/3, obs);
+  obs.chrome_stream = true;
+  const auto streamed = analysis::run_metbench(e, analysis::SchedMode::kUniform,
+                                               /*trace=*/false, /*seed=*/3, obs);
+  ASSERT_NE(buffered.chrome, nullptr);
+  ASSERT_NE(streamed.chrome, nullptr);
+  EXPECT_EQ(obs::render_chrome_trace({{"Uniform", buffered.chrome.get()}}),
+            obs::render_chrome_trace({{"Uniform", streamed.chrome.get()}}));
 }
 
 // Determinism: the same config yields a byte-identical manifest on repeat

@@ -269,6 +269,198 @@ TEST(EventQueueClear, DropsPendingEventsAndHandles) {
   EXPECT_FALSE(fired);
 }
 
+// --- timing-wheel edge cases ----------------------------------------------
+// The wheel keeps near-future events in hashed slot lists and overflows
+// far-future ones into the legacy heap; these tests pin the seams between
+// the two structures. set_wheel_min_pending(0) forces every in-horizon arm
+// onto the wheel so a tiny test population actually exercises it.
+
+TEST(EventQueueWheel, RescheduleCrossesWheelHeapBoundaryBothWays) {
+  EventQueue q;
+  q.set_wheel_min_pending(0);
+  std::vector<int> order;
+  // `a` arms inside the wheel horizon (~16.8 ms), `b` beyond it (heap).
+  EventHandle a = q.schedule(SimTime(1'000), [&] { order.push_back(1); });
+  EventHandle b = q.schedule(SimTime(50'000'000), [&] { order.push_back(2); });
+  EXPECT_GE(q.stats().wheel_armed, 1);
+  EXPECT_GE(q.stats().heap_armed, 1);
+  // Swap the structures: a goes past the horizon, b comes inside it.
+  EXPECT_TRUE(q.reschedule(a, SimTime(60'000'000)));
+  EXPECT_TRUE(q.reschedule(b, SimTime(2'000)));
+  EXPECT_EQ(q.next_time(), SimTime(2'000));
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueueWheel, CancelOfWheelResidentEventNeverFires) {
+  EventQueue q;
+  q.set_wheel_min_pending(0);
+  std::vector<int> order;
+  EventHandle a = q.schedule(SimTime(500), [&] { order.push_back(1); });
+  q.schedule(SimTime(600), [&] { order.push_back(2); });
+  EXPECT_GE(q.stats().wheel_armed, 2);
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+  // The cancelled wheel node was lazily purged, not dispatched.
+  EXPECT_GE(q.stats().stale_dropped, 1);
+}
+
+TEST(EventQueueWheel, SeqWrapPreservesFifoAcrossCascadeAndHeapMerge) {
+  // 64 simultaneous events whose insertion sequences wrap through
+  // UINT32_MAX mid-batch. With the default arm policy the first ~32 land in
+  // the heap (population below the threshold) and the rest in the wheel's
+  // level-2 slot, so the drain exercises the wrap-aware tiebreak in the
+  // heap's ordering, in the heap-vs-wheel merge, and across a cascade.
+  EventQueue q;
+  q.set_next_seq_for_test(0xFFFFFFE0u);
+  std::vector<int> order;
+  const SimTime when(0x300000);  // level-2 distance from cursor 0
+  for (int i = 0; i < 64; ++i) {
+    q.schedule(when, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_GE(q.stats().heap_armed, 1);
+  EXPECT_GE(q.stats().wheel_armed, 1);
+  while (!q.empty()) q.pop_and_run();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_GE(q.stats().wheel_cascades, 1);
+}
+
+TEST(EventQueueWheel, ClearDropsWheelAndHeapResidents) {
+  EventQueue q;
+  q.set_wheel_min_pending(0);
+  bool fired = false;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(q.schedule(SimTime(100 + i), [&] { fired = true; }));       // wheel
+    handles.push_back(q.schedule(SimTime(50'000'000 + i), [&] { fired = true; }));  // heap
+  }
+  EXPECT_EQ(q.size(), 20u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  for (const EventHandle& h : handles) EXPECT_FALSE(q.pending(h));
+  // The cleared queue behaves like a fresh one.
+  std::vector<int> order;
+  q.schedule(SimTime(20), [&order] { order.push_back(2); });
+  q.schedule(SimTime(10), [&order] { order.push_back(1); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueWheel, InCallbackSameInstantReArmJoinsTheLiveBatch) {
+  // Re-arming the firing event to its own timestamp must dispatch it again
+  // within the same instant, after the events already queued there (its new
+  // insertion sequence is larger) — identically with and without the wheel.
+  auto run = [](bool wheel) {
+    EventQueue q;
+    q.set_wheel_enabled(wheel);
+    q.set_wheel_min_pending(0);
+    std::vector<int> order;
+    int rearms = 0;
+    EventHandle a;
+    a = q.schedule(SimTime(100), [&] {
+      order.push_back(1);
+      if (rearms++ == 0) {
+        ASSERT_TRUE(q.reschedule(a, SimTime(100)));
+      }
+    });
+    q.schedule(SimTime(100), [&] { order.push_back(2); });
+    while (!q.empty()) q.pop_and_run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 1}));
+  };
+  run(true);
+  run(false);
+}
+
+TEST(EventQueueWheel, RoutingPolicyNeverAffectsFiringOrder) {
+  // The adaptive arm policy only picks a container; the dispatch order is a
+  // pure function of (when, seq). Drive an identical random workload through
+  // wheel-always, wheel-never, and the default adaptive routing and demand
+  // the same firing sequence.
+  auto run = [](int flavor) {
+    EventQueue q;
+    if (flavor == 0) q.set_wheel_min_pending(0);
+    if (flavor == 1) q.set_wheel_enabled(false);
+    Rng rng(99);
+    std::vector<int> order;
+    std::vector<EventHandle> handles;
+    std::int64_t now = 0;
+    int next_id = 0;
+    for (int round = 0; round < 3000; ++round) {
+      const double dice = rng.uniform();
+      if (dice < 0.55 || q.empty()) {
+        const int id = next_id++;
+        handles.push_back(q.schedule(SimTime(now + rng.uniform_int(0, 40'000'000)),
+                                     [&order, id] { order.push_back(id); }));
+      } else if (dice < 0.7 && !handles.empty()) {
+        q.cancel(handles[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(handles.size()) - 1))]);
+      } else {
+        now = q.next_time().ns();
+        q.pop_and_run();
+      }
+    }
+    while (!q.empty()) {
+      now = q.next_time().ns();
+      q.pop_and_run();
+    }
+    return order;
+  };
+  const auto wheel_always = run(0);
+  const auto wheel_never = run(1);
+  const auto adaptive = run(2);
+  EXPECT_EQ(wheel_always, wheel_never);
+  EXPECT_EQ(wheel_always, adaptive);
+}
+
+TEST(EventQueueWheel, RandomScheduleCancelStressWheelForced) {
+  // The RandomScheduleCancelStress property with every in-horizon arm forced
+  // onto the wheel: monotone non-decreasing pop order, every live event
+  // fires exactly once, every cancelled one never fires.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    EventQueue q;
+    q.set_wheel_min_pending(0);
+    std::vector<EventHandle> handles;
+    std::vector<int> fired(2000, 0);
+    std::vector<bool> cancelled(2000, false);
+    int next_id = 0;
+    for (int round = 0; round < 2000; ++round) {
+      const double dice = rng.uniform();
+      if (dice < 0.6 || q.empty()) {
+        const int id = next_id++;
+        if (id < 2000) {
+          handles.push_back(q.schedule(SimTime(rng.uniform_int(0, 100000)),
+                                       [&fired, id] { ++fired[static_cast<std::size_t>(id)]; }));
+        }
+      } else if (dice < 0.8 && !handles.empty()) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(handles.size()) - 1));
+        if (q.cancel(handles[pick])) cancelled[pick] = true;
+      }
+    }
+    std::int64_t last = -1;
+    while (!q.empty()) {
+      const SimTime t = q.next_time();
+      EXPECT_GE(t.ns(), last) << "seed " << seed;
+      last = t.ns();
+      q.pop_and_run();
+    }
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (cancelled[i]) {
+        EXPECT_EQ(fired[i], 0) << "seed " << seed << " cancelled event " << i << " fired";
+      } else {
+        EXPECT_EQ(fired[i], 1) << "seed " << seed << " event " << i;
+      }
+    }
+  }
+}
+
 // Determinism: two identical runs produce the identical firing order.
 TEST(EventQueueProperty, DeterministicReplay) {
   auto run_once = [](std::uint64_t seed) {
