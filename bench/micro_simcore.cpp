@@ -12,6 +12,8 @@
 //         the heap overflow (cascade path)
 //       - mixed periodic ticks + sparse far-future timeouts (the kernel's
 //         real population shape)
+//       - sparse horizon: a few dozen ms-scale timers only, so dispatch
+//         leans on the per-level occupancy counts to skip empty bitmap scans
 //  2. wall-clock of an 8-point MetBench sweep run serially (--jobs 1) vs on
 //     all hardware threads, plus a row-for-row equality check (the engine's
 //     bit-identical contract).
@@ -223,6 +225,42 @@ double bench_mixed_periodic_sparse() {
   return double(fired) / (now_s() - t0);
 }
 
+/// Sparse horizon: a few dozen ms-scale timers and nothing else, so the
+/// wheel's 768 slots are ~95% empty and level 0 is empty on almost every
+/// search. Exercises the per-level occupancy counts that let dispatch skip
+/// whole bitmap scans; `stats` reports wheel_level_skips as evidence.
+double bench_sparse_horizon(sim::EventQueueStats* stats = nullptr) {
+  sim::EventQueue q;
+  struct Ctx {
+    sim::EventQueue* q;
+    sim::EventHandle h;
+    std::int64_t when;
+    std::int64_t period;
+  };
+  constexpr int kTimers = 40;  // above kWheelMinPendingDefault: wheel-routed
+  std::vector<Ctx> ctx(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    Ctx* c = &ctx[static_cast<std::size_t>(i)];
+    c->q = &q;
+    c->period = 2'000'000 + std::int64_t(i) * 7'001;  // ~2 ms, mutually prime-ish
+    c->when = c->period;
+    c->h = q.schedule(SimTime(c->when), [c] {
+      c->when += c->period;
+      if (!c->q->reschedule(c->h, SimTime(c->when))) std::abort();
+    });
+  }
+  const double t0 = now_s();
+  const std::uint64_t target = 2'000'000;
+  std::uint64_t fired = 0;
+  while (fired < target) {
+    q.pop_and_run();
+    ++fired;
+  }
+  const double rate = double(fired) / (now_s() - t0);
+  if (stats != nullptr) *stats = q.stats();
+  return rate;
+}
+
 std::vector<analysis::SweepPoint> make_sweep_points() {
   std::vector<analysis::SweepPoint> points;
   const std::vector<analysis::SchedMode> modes = {
@@ -284,6 +322,8 @@ int main(int argc, char** argv) {
   const double burst = bench_same_tick_burst();
   const double cascade = bench_far_future_cascade();
   const double mixed = bench_mixed_periodic_sparse();
+  sim::EventQueueStats sparse_stats;
+  const double sparse = bench_sparse_horizon(&sparse_stats);
   std::printf("tick loop 4cpu (reschedule fast path):  %8.1fM events/s\n", tick / 1e6);
   std::printf("tick loop 64cpu + 16k sparse timers:    %8.1fM events/s\n", tick_scale / 1e6);
   std::printf("32B-capture one-shot events:            %8.1fM events/s\n", big / 1e6);
@@ -291,6 +331,7 @@ int main(int argc, char** argv) {
   std::printf("same-instant bursts (batch dispatch):   %8.1fM events/s\n", burst / 1e6);
   std::printf("far-future cascade timers:              %8.1fM events/s\n", cascade / 1e6);
   std::printf("mixed periodic + sparse timeouts:       %8.1fM events/s\n", mixed / 1e6);
+  std::printf("sparse horizon (40 ms-scale timers):    %8.1fM events/s\n", sparse / 1e6);
 
   std::printf("\n=== parallel experiment engine: 8-point MetBench sweep ===\n");
   const auto points = make_sweep_points();
@@ -314,7 +355,8 @@ int main(int argc, char** argv) {
       .field("cancel_churn_per_s", cancel)
       .field("same_tick_batch_per_s", burst)
       .field("far_future_cascade_per_s", cascade)
-      .field("mixed_periodic_sparse_per_s", mixed);
+      .field("mixed_periodic_sparse_per_s", mixed)
+      .field("sparse_horizon_per_s", sparse);
   // Wheel engagement evidence from the scaled tick scenario: with the wheel
   // on, ticks arm into it and dispatch in batches; with --no-wheel every arm
   // is a heap fallback. check_bench_json.py asserts the wheel side.
@@ -325,7 +367,8 @@ int main(int argc, char** argv) {
       .field("cascades", scale_stats.wheel_cascades)
       .field("heap_fallbacks", scale_stats.heap_armed)
       .field("batches", scale_stats.wheel_batches)
-      .field("max_batch", scale_stats.wheel_max_batch);
+      .field("max_batch", scale_stats.wheel_max_batch)
+      .field("level_skips", sparse_stats.wheel_level_skips);
   bench::JsonObject sweep;
   sweep.field("points", static_cast<std::int64_t>(points.size()))
       .field("serial_s", serial_s)

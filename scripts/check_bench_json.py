@@ -57,6 +57,7 @@ EQ_COUNTERS = (
     "sim.eq_wheel_heap_fallbacks",
     "sim.eq_wheel_batches",
     "sim.eq_wheel_max_batch",
+    "sim.eq_wheel_level_skips",
 )
 
 # Counters in the fabric sidecar's "fabric" object (bench/bench_dist.h

@@ -34,12 +34,23 @@ configure_and_test() {
 configure_and_test "release-strict" build-ci -DCMAKE_BUILD_TYPE=Release
 
 echo "=== hpcslint over src/ bench/ tests/ tools/ ==="
+# Lint runs are wall-clock budgeted (HPCS_LINT_BUDGET seconds): hpcslint's
+# contract is "fast enough to run on every build", and a resolver slipping
+# into quadratic behaviour should fail CI, not quietly rot the dev loop.
+LINT_BUDGET="${HPCS_LINT_BUDGET:-120}"
+lint_t0="$(date +%s)"
 ./build-ci/tools/hpcslint/hpcslint src bench tests tools
 
 echo "=== hpcslint whole-program (compile_commands.json) vs baseline ==="
 ./build-ci/tools/hpcslint/hpcslint \
   --compile-commands build-ci/compile_commands.json \
   --baseline tools/hpcslint/baseline.sarif.json
+lint_elapsed="$(( $(date +%s) - lint_t0 ))"
+echo "hpcslint runtime: ${lint_elapsed}s (budget ${LINT_BUDGET}s)"
+if (( lint_elapsed > LINT_BUDGET )); then
+  echo "ERROR: hpcslint exceeded its runtime budget (${lint_elapsed}s > ${LINT_BUDGET}s)"
+  exit 1
+fi
 
 echo "=== bench smoke-diff vs golden ranges ==="
 (cd build-ci/bench && ./table3_metbench >/dev/null && ./micro_simcore >/dev/null)

@@ -154,6 +154,7 @@ RunResult run_experiment(const ExperimentConfig& cfg,
     m.counter("sim.eq_wheel_heap_fallbacks").set(qs.heap_armed);
     m.counter("sim.eq_wheel_batches").set(qs.wheel_batches);
     m.counter("sim.eq_wheel_max_batch").set(qs.wheel_max_batch);
+    m.counter("sim.eq_wheel_level_skips").set(qs.wheel_level_skips);
     if (hpc_class != nullptr) {
       m.counter("hpc.iterations").set(hpc_class->iterations_observed());
       m.counter("hpc.prio_changes").set(hpc_class->priority_changes());

@@ -70,6 +70,7 @@ Recorder::Recorder(const ObsConfig& cfg, int num_cpus) {
   metrics_.counter("sim.eq_wheel_heap_fallbacks");
   metrics_.counter("sim.eq_wheel_batches");
   metrics_.counter("sim.eq_wheel_max_batch");
+  metrics_.counter("sim.eq_wheel_level_skips");
   metrics_.counter("hpc.iterations");
   metrics_.counter("hpc.prio_changes");
   metrics_.counter("hpc.resets");

@@ -72,6 +72,7 @@ struct EventQueueStats {
   std::int64_t wheel_cascades = 0;   ///< higher-level slots redistributed downward
   std::int64_t wheel_batches = 0;    ///< same-instant wheel batches started
   std::int64_t wheel_max_batch = 0;  ///< largest same-instant batch dispatched
+  std::int64_t wheel_level_skips = 0;  ///< level scans skipped (occupancy count 0)
 };
 
 /// Opaque reference to a scheduled event; safe to keep after the event fired
@@ -384,6 +385,11 @@ class EventQueue {
   struct Level {
     WheelList lists[kLevelSlots];
     std::uint64_t bits[kLevelSlots / 64] = {0, 0, 0, 0};  ///< slot occupancy
+    /// Occupied-slot count: lets dispatch skip a level's bitmap scan outright
+    /// when the horizon is sparse (a handful of ms-scale timers leaves level 0
+    /// and often level 1 completely empty between firings). Invariant: equals
+    /// the popcount of `bits`; a slot's bit is set iff its list is non-empty.
+    int occupied = 0;
   };
 
   [[nodiscard]] Slot& slot_at(std::uint64_t id) {
@@ -486,11 +492,14 @@ class EventQueue {
     WheelList& list = levels_[lvl].lists[slot];
     if (list.tail == kNilNode) {
       list.head = n;
+      // Bit set iff list non-empty, so only the empty→occupied transition
+      // touches the bitmap (and the occupancy count that gates level scans).
+      levels_[lvl].bits[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+      ++levels_[lvl].occupied;
     } else {
       pool_[list.tail].next = n;
     }
     list.tail = n;
-    levels_[lvl].bits[slot >> 6] |= std::uint64_t{1} << (slot & 63);
     link_cache_when_ = node.when_ns;
     link_cache_list_ = &list;
   }
@@ -547,6 +556,7 @@ class EventQueue {
       const int slot =
           static_cast<int>((node.when_ns >> (kLevelBits * lvl)) & (kLevelSlots - 1));
       levels_[lvl].bits[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+      --levels_[lvl].occupied;
     }
   }
 
@@ -560,6 +570,7 @@ class EventQueue {
     WheelList list = levels_[k].lists[s];
     levels_[k].lists[s] = WheelList{};
     levels_[k].bits[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+    --levels_[k].occupied;
     std::uint32_t n = list.head;
     while (n != kNilNode) {
       const std::uint32_t next = pool_[n].next;
@@ -589,8 +600,15 @@ class EventQueue {
   /// retry.
   bool wheel_find_next(std::int64_t limit, std::int64_t& out) {
     for (;;) {
-      // Level 0: first occupied slot in the current 256 ns page.
-      const int s0 = scan_bits(levels_[0].bits, static_cast<int>(cur_ns_ & (kLevelSlots - 1)));
+      // Level 0: first occupied slot in the current 256 ns page. A sparse
+      // horizon (a few ms-scale timers) leaves level 0 empty on almost every
+      // search — the occupancy count skips the bitmap scan entirely.
+      int s0 = -1;
+      if (levels_[0].occupied != 0) {
+        s0 = scan_bits(levels_[0].bits, static_cast<int>(cur_ns_ & (kLevelSlots - 1)));
+      } else {
+        ++stats_.wheel_level_skips;
+      }
       if (s0 >= 0) {
         const std::int64_t w = (cur_ns_ & ~std::int64_t{kLevelSlots - 1}) | s0;
         if (w > limit) return false;
@@ -611,6 +629,10 @@ class EventQueue {
       // (a 1 ms periodic re-arm costs one cascade hop, not level-count).
       bool cascaded = false;
       for (int k = 1; k < kWheelLevels; ++k) {
+        if (levels_[k].occupied == 0) {
+          ++stats_.wheel_level_skips;
+          continue;
+        }
         const int shift = kLevelBits * k;
         const int idx = static_cast<int>((cur_ns_ >> shift) & (kLevelSlots - 1));
         const int s = scan_bits(levels_[k].bits, idx + 1);

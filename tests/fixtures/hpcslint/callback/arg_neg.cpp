@@ -1,0 +1,30 @@
+// Callback value-flow fixture, negative twin of arg_pos.cpp: the same
+// InplaceFunction argument shape, pure lambda body. No det-taint anywhere.
+
+namespace hpcs::sim {
+
+template <typename Sig>
+class InplaceFunction {
+ public:
+  void bind() {}
+};
+
+class Queue {
+ public:
+  void schedule(InplaceFunction<void()> fn);
+  int depth_ = 0;
+};
+
+void Queue::schedule(InplaceFunction<void()> fn) {
+  fn.bind();
+  ++depth_;
+}
+
+void arm(Queue& q) {
+  q.schedule([] {
+    static long long t = 0;
+    t += 7;
+  });
+}
+
+}  // namespace hpcs::sim

@@ -1,0 +1,34 @@
+// Callback value-flow fixture (positive): a clock-reading lambda is passed
+// as an argument to Queue::schedule, whose parameter is an InplaceFunction.
+// The dispatch site (schedule) must be flagged: the callable runs inside it.
+// arm() is flagged too — it holds the callable — but the load-bearing
+// assertion is that taint crosses the argument boundary into the callee.
+#include <chrono>
+
+namespace hpcs::sim {
+
+template <typename Sig>
+class InplaceFunction {
+ public:
+  void bind() {}
+};
+
+class Queue {
+ public:
+  void schedule(InplaceFunction<void()> fn);
+  int depth_ = 0;
+};
+
+void Queue::schedule(InplaceFunction<void()> fn) {
+  fn.bind();
+  ++depth_;
+}
+
+void arm(Queue& q) {
+  q.schedule([] {
+    static long long t = 0;
+    t = std::chrono::steady_clock::now().time_since_epoch().count();
+  });
+}
+
+}  // namespace hpcs::sim

@@ -1,0 +1,22 @@
+// Callback value-flow fixture, negative twin of field_pos.cpp: identical
+// slot/bind/dispatch shape, but the bound lambda is pure arithmetic. No
+// det-taint may be reported anywhere in this TU.
+#include <functional>
+
+namespace hpcs::sim {
+
+class Pump {
+ public:
+  void set_handler();
+  void fire();
+  std::function<void(int)> cb_;
+  long long seen_ = 0;
+};
+
+void Pump::set_handler() {
+  cb_ = [this](int bias) { seen_ += bias; };
+}
+
+void Pump::fire() { cb_(3); }
+
+}  // namespace hpcs::sim

@@ -1,0 +1,27 @@
+// Callback value-flow fixture (positive): a lambda that reads the steady
+// clock is assigned into a std::function field, and a different method
+// invokes the slot. Taint must flow lambda → slot → Pump::fire even though
+// fire() never names the lambda. (The setter holds the callable too, so it
+// is also flagged — the load-bearing assertion is the dispatch site.)
+#include <chrono>
+#include <functional>
+
+namespace hpcs::sim {
+
+class Pump {
+ public:
+  void set_handler();
+  void fire();
+  std::function<void(int)> cb_;
+  long long seen_ = 0;
+};
+
+void Pump::set_handler() {
+  cb_ = [this](int bias) {
+    seen_ = std::chrono::steady_clock::now().time_since_epoch().count() + bias;
+  };
+}
+
+void Pump::fire() { cb_(3); }
+
+}  // namespace hpcs::sim

@@ -1,0 +1,17 @@
+// Virtual-dispatch taint fixture, TU 1 of 3: the interface. TraceSink::emit
+// is virtual with a clean default body; the taint lives only in an override
+// defined in another TU (virtual_impl.cpp). Linting this TU alone (or with
+// the _neg impl) must stay quiet.
+
+namespace hpcs::kern {
+
+class TraceSink {
+ public:
+  virtual void emit(int value);
+  virtual ~TraceSink();
+  int last_ = 0;
+};
+
+void TraceSink::emit(int value) { last_ = value; }
+
+}  // namespace hpcs::kern

@@ -1,0 +1,17 @@
+// Virtual-dispatch taint fixture, TU 3 of 3: the deterministic-core call
+// site. record() calls emit() through a TraceSink reference — never naming
+// any derived class. Only class-hierarchy analysis can connect this site to
+// the WallClockSink override: linted with virtual_impl_pos.cpp it must be
+// flagged det-taint; with virtual_impl_neg.cpp it must stay quiet.
+
+namespace hpcs::kern {
+
+class TraceSink {
+ public:
+  virtual void emit(int value);
+  virtual ~TraceSink();
+};
+
+void record(TraceSink& sink, int value) { sink.emit(value); }
+
+}  // namespace hpcs::kern

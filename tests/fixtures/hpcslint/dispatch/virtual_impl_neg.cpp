@@ -1,0 +1,23 @@
+// Virtual-dispatch taint fixture, negative twin of virtual_impl_pos.cpp:
+// the same override shape, but the body is pure arithmetic. With this impl
+// in the program no det-taint may be reported anywhere.
+
+namespace hpcs::kern {
+class TraceSink {
+ public:
+  virtual void emit(int value);
+  virtual ~TraceSink();
+};
+}  // namespace hpcs::kern
+
+namespace hpcs::hostio {
+
+class CountingSink : public hpcs::kern::TraceSink {
+ public:
+  void emit(int value) override;
+  long long seen_ = 0;
+};
+
+void CountingSink::emit(int value) { seen_ += value; }
+
+}  // namespace hpcs::hostio

@@ -1,0 +1,28 @@
+// Virtual-dispatch taint fixture, TU 2 of 3 (positive): an override that
+// reads the steady clock. It lives outside the deterministic core (namespace
+// hostio, no protected path component), so it is not reported itself — but
+// class-hierarchy analysis must fan the taint out to every kern call site
+// that dispatches through the TraceSink base.
+#include <chrono>
+
+namespace hpcs::kern {
+class TraceSink {
+ public:
+  virtual void emit(int value);
+  virtual ~TraceSink();
+};
+}  // namespace hpcs::kern
+
+namespace hpcs::hostio {
+
+class WallClockSink : public hpcs::kern::TraceSink {
+ public:
+  void emit(int value) override;
+  long long seen_ = 0;
+};
+
+void WallClockSink::emit(int value) {
+  seen_ = std::chrono::steady_clock::now().time_since_epoch().count() + value;
+}
+
+}  // namespace hpcs::hostio

@@ -1,0 +1,32 @@
+// Dist-purity fixture, negative twin of machine_pos.cpp: the same shape,
+// but the state machine is driven from a now_ms parameter and the file
+// write sits inside a declared HPCS_HOST region. Nothing may be reported.
+#include <cstdio>
+
+namespace hpcs::dist {
+
+class Coordinator {
+ public:
+  void step(long long now_ms);
+  void checkpoint();
+  long long deadline_ms_ = 0;
+  int epoch_ = 0;
+};
+
+void Coordinator::step(long long now_ms) {
+  deadline_ms_ = now_ms + 50;
+  ++epoch_;
+}
+
+// HPCS_HOST_BEGIN — checkpoint persistence: writes an already-decided epoch
+// counter to the host filesystem; never feeds back into protocol decisions.
+void Coordinator::checkpoint() {
+  std::FILE* f = std::fopen("epoch.bin", "wb");
+  if (f != nullptr) {
+    std::fwrite(&epoch_, sizeof(epoch_), 1, f);
+    std::fclose(f);
+  }
+}
+// HPCS_HOST_END
+
+}  // namespace hpcs::dist

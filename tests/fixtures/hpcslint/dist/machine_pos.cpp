@@ -1,0 +1,33 @@
+// Dist-purity fixture (positive): a coordinator state machine under a
+// dist/ path segment reads the steady clock and opens a file while driving
+// the protocol. Both step() and checkpoint() must be flagged dist-purity:
+// machine code is replayed from now_ms and the config, so any host
+// environment source makes coordinator and worker disagree.
+#include <chrono>
+#include <cstdio>
+
+namespace hpcs::dist {
+
+class Coordinator {
+ public:
+  void step();
+  void checkpoint();
+  long long deadline_ms_ = 0;
+  int epoch_ = 0;
+};
+
+void Coordinator::step() {
+  deadline_ms_ =
+      std::chrono::steady_clock::now().time_since_epoch().count() + 50;
+  ++epoch_;
+}
+
+void Coordinator::checkpoint() {
+  std::FILE* f = std::fopen("epoch.bin", "wb");
+  if (f != nullptr) {
+    std::fwrite(&epoch_, sizeof(epoch_), 1, f);
+    std::fclose(f);
+  }
+}
+
+}  // namespace hpcs::dist

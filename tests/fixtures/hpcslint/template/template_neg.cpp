@@ -1,0 +1,19 @@
+// Template-member taint fixture, negative twin of template_pos.cpp: the
+// same Sampler<T>/poll() shape, but sample() is pure arithmetic over a
+// counter. No det-taint may be reported anywhere in this TU.
+
+namespace hpcs::kern {
+
+template <typename T>
+class Sampler {
+ public:
+  T sample() {
+    seq_ += 1;
+    return static_cast<T>(seq_);
+  }
+  long long seq_ = 0;
+};
+
+double poll(Sampler<double>& s) { return s.sample(); }
+
+}  // namespace hpcs::kern

@@ -1,0 +1,21 @@
+// Template-member taint fixture (positive): Sampler<T>::sample() reads the
+// steady clock, and poll() calls it through a Sampler<double>& parameter.
+// Template-aware resolution must strip the <double> argument list, resolve
+// the receiver to the Sampler class template, and taint poll() through the
+// member call. This TU sits in the kern namespace, so det-taint applies.
+#include <chrono>
+
+namespace hpcs::kern {
+
+template <typename T>
+class Sampler {
+ public:
+  T sample() {
+    return static_cast<T>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+};
+
+double poll(Sampler<double>& s) { return s.sample(); }
+
+}  // namespace hpcs::kern

@@ -341,12 +341,13 @@ std::uint64_t s = time(nullptr) ^ std::chrono::system_clock::now().time_since_ep
 
 TEST(Hpcslint, RuleNamesAreStable) {
   const auto& names = hpcslint::rule_names();
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 11u);
   EXPECT_NE(std::find(names.begin(), names.end(), "hot-alloc"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "tracepoint-name"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "det-taint"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "lock-order"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "lock-guard"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "dist-purity"), names.end());
 }
 
 // ---------------------------------------------------------------------------
@@ -589,7 +590,7 @@ TEST(HpcslintSarif, ReportContainsResultsAndFingerprints) {
   EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
   EXPECT_NE(sarif.find("\"name\": \"hpcslint\""), std::string::npos);
   EXPECT_NE(sarif.find("\"ruleId\": \"lock-guard\""), std::string::npos);
-  EXPECT_NE(sarif.find("hpcslint/v1"), std::string::npos);
+  EXPECT_NE(sarif.find("hpcslint/v2"), std::string::npos);
 }
 
 TEST(HpcslintSarif, BaselineRoundTripSuppressesExactlyTheOldFindings) {
@@ -630,6 +631,177 @@ TEST(HpcslintSarif, LoadBaselineRejectsMalformedJson) {
   EXPECT_FALSE(hpcslint::load_baseline("{\"runs\": [", baseline, error));
   EXPECT_FALSE(error.empty());
   EXPECT_FALSE(hpcslint::load_baseline("{\"version\": \"2.1.0\"}", baseline, error));
+}
+
+// ---------------------------------------------------------------------------
+// det-taint through virtual dispatch (class-hierarchy analysis)
+
+std::vector<SourceUnit> dispatch_units(const std::string& impl) {
+  return {
+      {"dispatch/virtual_base.cpp", read_fixture("dispatch/virtual_base.cpp")},
+      {impl, read_fixture(impl)},
+      {"dispatch/virtual_entry.cpp", read_fixture("dispatch/virtual_entry.cpp")},
+  };
+}
+
+TEST(HpcslintVirtualDispatch, OverrideTaintReachesBaseCallSite) {
+  // record() calls sink.emit() through the TraceSink base; the only tainted
+  // body is the WallClockSink override in another TU and another namespace.
+  const auto fs = hpcslint::lint_units(dispatch_units("dispatch/virtual_impl_pos.cpp"));
+  ASSERT_EQ(count_rule(fs, "det-taint"), 1);
+  for (const Finding& f : fs) {
+    if (f.rule != "det-taint") continue;
+    EXPECT_EQ(f.file, "dispatch/virtual_entry.cpp");
+    EXPECT_NE(f.message.find("record"), std::string::npos);
+    EXPECT_NE(f.message.find("WallClockSink"), std::string::npos) << f.message;
+  }
+}
+
+TEST(HpcslintVirtualDispatch, CleanOverrideStaysQuiet) {
+  const auto fs = hpcslint::lint_units(dispatch_units("dispatch/virtual_impl_neg.cpp"));
+  EXPECT_EQ(count_rule(fs, "det-taint"), 0);
+}
+
+TEST(HpcslintVirtualDispatch, EntryAloneIsQuiet) {
+  const auto fs = lint_fixture("dispatch/virtual_entry.cpp");
+  EXPECT_EQ(count_rule(fs, "det-taint"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// det-taint through callbacks (value-flow into slots and dispatch arguments)
+
+TEST(HpcslintCallbackFlow, FieldSlotCarriesTaintToInvoker) {
+  // A clock-reading lambda assigned into a std::function field taints the
+  // method that invokes the slot, even though it never names the lambda.
+  const auto fs = lint_fixture("callback/field_pos.cpp");
+  EXPECT_GE(count_rule(fs, "det-taint"), 1);
+  bool fire_flagged = false;
+  for (const Finding& f : fs) {
+    if (f.rule == "det-taint" && f.message.find("fire") != std::string::npos) {
+      fire_flagged = true;
+    }
+  }
+  EXPECT_TRUE(fire_flagged);
+}
+
+TEST(HpcslintCallbackFlow, PureFieldSlotStaysQuiet) {
+  EXPECT_EQ(count_rule(lint_fixture("callback/field_neg.cpp"), "det-taint"), 0);
+}
+
+TEST(HpcslintCallbackFlow, ArgumentBindCarriesTaintIntoDispatcher) {
+  // A clock-reading lambda handed to Queue::schedule(InplaceFunction<...>)
+  // taints the dispatcher: the callable runs inside it.
+  const auto fs = lint_fixture("callback/arg_pos.cpp");
+  bool schedule_flagged = false;
+  for (const Finding& f : fs) {
+    if (f.rule == "det-taint" && f.message.find("schedule") != std::string::npos) {
+      schedule_flagged = true;
+    }
+  }
+  EXPECT_TRUE(schedule_flagged);
+}
+
+TEST(HpcslintCallbackFlow, PureArgumentBindStaysQuiet) {
+  EXPECT_EQ(count_rule(lint_fixture("callback/arg_neg.cpp"), "det-taint"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// det-taint through template members (template-aware resolution)
+
+TEST(HpcslintTemplateMember, TaintFlowsThroughInstantiatedReceiver) {
+  // poll() calls s.sample() on a Sampler<double>& — resolution must strip
+  // the template argument list and land on the Sampler class template.
+  const auto fs = lint_fixture("template/template_pos.cpp");
+  bool poll_flagged = false;
+  for (const Finding& f : fs) {
+    if (f.rule == "det-taint" && f.message.find("poll") != std::string::npos) {
+      poll_flagged = true;
+    }
+  }
+  EXPECT_TRUE(poll_flagged);
+}
+
+TEST(HpcslintTemplateMember, PureTemplateStaysQuiet) {
+  EXPECT_EQ(count_rule(lint_fixture("template/template_neg.cpp"), "det-taint"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// dist-purity
+
+TEST(HpcslintDistPurity, FlagsHostSourcesInMachineCode) {
+  // A dist/ state machine reading the clock and writing a file: both the
+  // clock-driven step and the fopen-driven checkpoint are purity errors.
+  const auto fs = lint_fixture("dist/machine_pos.cpp");
+  EXPECT_EQ(count_rule(fs, "dist-purity"), 2);
+  bool step_flagged = false;
+  bool checkpoint_flagged = false;
+  for (const Finding& f : fs) {
+    if (f.rule != "dist-purity") continue;
+    EXPECT_NE(f.message.find("now_ms"), std::string::npos) << f.message;
+    if (f.message.find("step") != std::string::npos) step_flagged = true;
+    if (f.message.find("checkpoint") != std::string::npos) checkpoint_flagged = true;
+  }
+  EXPECT_TRUE(step_flagged);
+  EXPECT_TRUE(checkpoint_flagged);
+}
+
+TEST(HpcslintDistPurity, HostRegionAndNowMsDrivenTwinIsClean) {
+  const auto fs = lint_fixture("dist/machine_neg.cpp");
+  EXPECT_EQ(count_rule(fs, "dist-purity"), 0);
+  EXPECT_EQ(count_rule(fs, "wallclock"), 0);
+}
+
+TEST(HpcslintDistPurity, SarifRoundTripCoversTheRuleFamily) {
+  const auto fs = lint_fixture("dist/machine_pos.cpp");
+  ASSERT_GE(count_rule(fs, "dist-purity"), 1);
+  const std::string sarif = hpcslint::sarif_report(fs);
+  EXPECT_NE(sarif.find("\"ruleId\": \"dist-purity\""), std::string::npos);
+
+  std::set<std::string> baseline;
+  std::string error;
+  ASSERT_TRUE(hpcslint::load_baseline(sarif, baseline, error)) << error;
+  EXPECT_EQ(baseline.size(), fs.size());
+  EXPECT_TRUE(hpcslint::filter_baselined(fs, baseline).empty());
+}
+
+// ---------------------------------------------------------------------------
+// parallel lint determinism + path-portable fingerprints
+
+TEST(HpcslintParallel, FindingsAreIdenticalToSerial) {
+  const auto units = dispatch_units("dispatch/virtual_impl_pos.cpp");
+  const auto serial = hpcslint::lint_units(units, 1);
+  const auto parallel = hpcslint::lint_units(units, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].file, parallel[i].file);
+    EXPECT_EQ(serial[i].line, parallel[i].line);
+    EXPECT_EQ(serial[i].rule, parallel[i].rule);
+    EXPECT_EQ(serial[i].message, parallel[i].message);
+  }
+}
+
+TEST(HpcslintSarif, FingerprintsArePortableAcrossCheckoutRoots) {
+  // The same finding recorded under two different checkout roots must hash
+  // identically once the root is configured — including paths embedded in
+  // the message (taint origins render "what at file:line").
+  const Finding dev{"/home/dev/repo/src/kern/tick.cpp", 12, "det-taint",
+                    "tainted via clock at /home/dev/repo/src/host/io.cpp:8"};
+  const Finding ci{"/__w/repo/repo/src/kern/tick.cpp", 12, "det-taint",
+                   "tainted via clock at /__w/repo/repo/src/host/io.cpp:8"};
+
+  hpcslint::set_sarif_path_root("/home/dev/repo");
+  const auto dev_fp = hpcslint::fingerprints({dev});
+  EXPECT_EQ(hpcslint::sarif_relative_path(dev.file), "src/kern/tick.cpp");
+  const std::string dev_sarif = hpcslint::sarif_report({dev});
+  EXPECT_NE(dev_sarif.find("\"uri\": \"src/kern/tick.cpp\""), std::string::npos);
+  EXPECT_EQ(dev_sarif.find("/home/dev/repo"), std::string::npos);
+
+  hpcslint::set_sarif_path_root("/__w/repo/repo");
+  const auto ci_fp = hpcslint::fingerprints({ci});
+  EXPECT_EQ(dev_fp, ci_fp);
+
+  hpcslint::set_sarif_path_root("");  // restore: other tests hash raw paths
+  EXPECT_NE(hpcslint::fingerprints({dev}), ci_fp);
 }
 
 }  // namespace

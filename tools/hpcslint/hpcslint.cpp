@@ -1,4 +1,4 @@
-// hpcslint v2 driver: per-TU analysis + cross-TU link, shared by every
+// hpcslint v3 driver: per-TU analysis + cross-TU link, shared by every
 // entry point (single source string, unit list, file, tree). The pipeline:
 //
 //   prepare()  blank comments/strings, harvest ALLOW + HPCS_HOT regions
@@ -6,9 +6,14 @@
 //   token rules (token_rules.cpp)  — v1 pattern rules, unchanged behaviour
 //   parse_tu() (parser.cpp)        — scopes, symbols, per-TU findings
 //   link_program() (project.cpp)   — merge symbols across TUs, resolve
-//                                    pending uses/writes, taint closure,
+//                                    pending uses/writes, dispatch-aware
+//                                    call graph, taint + purity closures,
 //                                    lock-order graph
 //
+// The per-TU stage is embarrassingly parallel: with jobs > 1 it fans out
+// over an exp::ThreadPool into caller-owned slots (one per unit), then the
+// link step runs serially over the slots in unit order — the same recipe as
+// exp::ParallelRunner, so output is byte-identical to the serial run.
 // Findings are globally sorted by (file, line, rule, message) so output is
 // reproducible regardless of TU order — the lint practices what it preaches.
 
@@ -16,6 +21,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "exp/thread_pool.h"
 #include "hpcslint.h"
 #include "rules.h"
 #include "tu.h"
@@ -43,16 +49,27 @@ bool read_file(const std::filesystem::path& path, std::string& out) {
 
 }  // namespace
 
-std::vector<Finding> lint_units(const std::vector<SourceUnit>& units) {
-  std::vector<TuIndex> tus;
-  tus.reserve(units.size());
-  for (const SourceUnit& u : units) {
-    TuIndex tu = parse_tu(u.label, u.text);
+std::vector<Finding> lint_units(const std::vector<SourceUnit>& units, unsigned jobs) {
+  // Per-TU stage: pure function of one unit, written into its own slot.
+  std::vector<TuIndex> tus(units.size());
+  const auto analyze_one = [&](std::size_t i) {
+    TuIndex tu = parse_tu(units[i].label, units[i].text);
     Sink sink(tu.file, tu.prep, tu.local_findings);
     run_token_rules(tu.prep, tu.toks, sink);
-    tus.push_back(std::move(tu));
+    tus[i] = std::move(tu);
+  };
+  if (jobs > 1 && units.size() > 1) {
+    hpcs::exp::ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      pool.submit([&analyze_one, i] { analyze_one(i); });
+    }
+    pool.wait_idle();
+  } else {
+    for (std::size_t i = 0; i < units.size(); ++i) analyze_one(i);
   }
 
+  // Link stage: serial over the slots in unit order — identical inputs in
+  // identical order regardless of how the parse stage was scheduled.
   std::vector<Finding> out;
   link_program(tus, out);
   for (TuIndex& tu : tus) {
@@ -75,7 +92,8 @@ std::vector<Finding> lint_file(const std::filesystem::path& path) {
   return lint_source(path.string(), text);
 }
 
-std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots) {
+std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots,
+                               unsigned jobs) {
   namespace fs = std::filesystem;
   std::vector<fs::path> files;
   for (const auto& root : roots) {
@@ -115,7 +133,7 @@ std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots) 
     units.push_back(SourceUnit{path.string(), std::move(text)});
   }
 
-  std::vector<Finding> out = lint_units(units);
+  std::vector<Finding> out = lint_units(units, jobs);
   out.insert(out.end(), io_errors.begin(), io_errors.end());
   sort_findings(out);
   return out;
@@ -130,7 +148,7 @@ const std::vector<std::string>& rule_names() {
       "wallclock",        "rand",       "unordered-iter",
       "pointer-key",      "hot-alloc",  "missing-override",
       "tracepoint-name",  "det-taint",  "lock-order",
-      "lock-guard",
+      "lock-guard",       "dist-purity",
   };
   return kNames;
 }

@@ -1,16 +1,21 @@
 #pragma once
-// hpcslint v2 — the project's symbol-resolving determinism & hot-path lint.
+// hpcslint v3 — the project's dispatch-aware determinism & hot-path lint.
 //
 // The whole reproduction stands on one contract: a simulation run is a pure
 // function of its config, so exp::ParallelRunner can fan sweeps across
 // threads with bit-identical results. hpcslint statically rejects the code
-// shapes that quietly break that contract. v1 was a single-pass lexer; v2 is
-// a small dependency-free C++ front end — tokenizer (lexer.h) → tolerant
-// recursive-descent declaration/scope parser with a per-TU symbol table
-// (tu.h, parser.cpp) → cross-TU link step (project.cpp) driven by the file
-// set (optionally from build/compile_commands.json). No libclang: the
-// portable build stays self-contained, and every heuristic is documented at
-// its implementation.
+// shapes that quietly break that contract. v1 was a single-pass lexer; v2
+// added a small dependency-free C++ front end — tokenizer (lexer.h) →
+// tolerant recursive-descent declaration/scope parser with a per-TU symbol
+// table (tu.h, parser.cpp) → cross-TU link step (project.cpp) driven by the
+// file set (optionally from build/compile_commands.json). v3 makes the link
+// step dispatch-aware: calls resolve by qualified name (exact-first, never
+// bare suffix), member calls resolve through the class-hierarchy graph with
+// virtual fan-out to every override, lambdas and `&function` values bound
+// into `std::function`/`InplaceFunction` slots become call-graph edges from
+// their dispatch sites, and template bodies are analyzed structurally (one
+// symbol per primary template). No libclang: the portable build stays
+// self-contained, and every heuristic is documented at its implementation.
 //
 // Rule families (see docs/static_analysis.md for rationale and examples):
 //
@@ -28,22 +33,31 @@
 //   pointer-key      map/set/less/greater keyed on a pointer type, and
 //                    iteration over a pointer-keyed ordered container
 //
-//  whole-program rules (v2):
+//  whole-program rules (v2, dispatch-aware since v3):
 //   det-taint        a function in the deterministic core (simcore/kernel/
 //                    power5/obs) transitively reaches a nondeterminism
-//                    source through the call graph
+//                    source through the call graph — including through
+//                    virtual overrides and bound callbacks
 //   lock-order       cycle in the MutexLock acquisition-order graph
 //   lock-guard       write to a GUARDED_BY field outside any lock scope
+//
+//  state-machine purity (v3):
+//   dist-purity      a function in the pure state-machine zone (the
+//                    deterministic core, plus src/dist outside dist/host —
+//                    Coordinator/WorkerSession) reaches a host-environment
+//                    source: file/stream IO, sockets, sleeps, process calls,
+//                    clocks, RNG. Such code must be driven by now_ms and the
+//                    config; deliberate host IO belongs in HPCS_HOST regions.
 //
 // `// HPCSLINT-ALLOW(rule)` suppresses a finding on the same line (or the
 // next line when the comment stands alone). `// HPCS_HOST_BEGIN` ..
 // `// HPCS_HOST_END` marks a *host region* — deliberate host-environment
 // code (wall clocks, sockets, env vars; e.g. src/dist/host) — which
-// blanket-allows exactly the wallclock/rand/det-taint family instead of
-// demanding one ALLOW per line; all other rules still apply inside.
-// Findings can also be baselined: emit SARIF with --sarif, check the file
-// in, and CI gates on *new* findings only (fingerprints not present in the
-// baseline).
+// blanket-allows exactly the wallclock/rand/det-taint/dist-purity family
+// instead of demanding one ALLOW per line; all other rules still apply
+// inside. Findings can also be baselined: emit SARIF with --sarif, check the
+// file in, and CI gates on *new* findings only (fingerprints not present in
+// the baseline).
 
 #include <filesystem>
 #include <set>
@@ -75,8 +89,11 @@ struct SourceUnit {
 /// Lint a set of translation units as one program: per-TU rules on each,
 /// then the link step (symbol merge, call graph, taint, lock graph) across
 /// all of them. This is what lint_tree and the compile_commands driver use;
-/// the multi-TU fixtures call it directly.
-[[nodiscard]] std::vector<Finding> lint_units(const std::vector<SourceUnit>& units);
+/// the multi-TU fixtures call it directly. `jobs > 1` runs the per-TU
+/// lex/parse stage on an exp::ThreadPool; results are merged in unit order
+/// and the link step runs serially, so output is byte-identical to jobs=1.
+[[nodiscard]] std::vector<Finding> lint_units(const std::vector<SourceUnit>& units,
+                                              unsigned jobs = 1);
 
 /// Lint a file on disk (returns a single io-error finding if unreadable).
 [[nodiscard]] std::vector<Finding> lint_file(const std::filesystem::path& path);
@@ -85,7 +102,8 @@ struct SourceUnit {
 /// program, skipping any directory named "fixtures" (fixture files
 /// deliberately violate the rules). Files are visited in sorted path order
 /// so output is deterministic — the lint practices what it preaches.
-[[nodiscard]] std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots);
+[[nodiscard]] std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots,
+                                             unsigned jobs = 1);
 
 /// "file:line: [rule] message" — the single line format CI greps.
 [[nodiscard]] std::string format_finding(const Finding& f);
@@ -96,14 +114,26 @@ struct SourceUnit {
 // ---------------------------------------------------------------------------
 // SARIF 2.1.0 + baseline (sarif.cpp)
 
+/// Root against which finding paths are relativized in fingerprints and in
+/// emitted SARIF locations (and in the messages, which embed paths). Set it
+/// to the repository root so baseline.sarif.json is identical regardless of
+/// where the checkout lives; "" (the default) leaves paths as given.
+void set_sarif_path_root(const std::filesystem::path& root);
+
+/// `file` relative to the configured root when it lies under it ("src/x.cpp"
+/// for "/repo/src/x.cpp" with root "/repo"); otherwise unchanged.
+[[nodiscard]] std::string sarif_relative_path(const std::string& file);
+
 /// Stable identity of a finding for baseline matching: FNV-1a over
-/// file|rule|message plus a per-identical-tuple occurrence index, so two
-/// findings with the same text on different lines baseline independently but
-/// whole-file line drift does not invalidate the baseline.
+/// root-relative file|rule|message plus a per-identical-tuple occurrence
+/// index, so two findings with the same text on different lines baseline
+/// independently, whole-file line drift does not invalidate the baseline,
+/// and the fingerprints survive checkout-location changes.
 [[nodiscard]] std::vector<std::string> fingerprints(const std::vector<Finding>& fs);
 
 /// Render findings as a SARIF 2.1.0 document (one run, one result per
-/// finding, fingerprint under partialFingerprints."hpcslint/v1").
+/// finding with a root-relative artifact URI, fingerprint under
+/// partialFingerprints."hpcslint/v2").
 [[nodiscard]] std::string sarif_report(const std::vector<Finding>& fs);
 
 /// Extract the fingerprint set from a SARIF document previously written by

@@ -38,7 +38,8 @@ struct Prepared {
   /// leaking into the simulation" family. Everything else (hot-alloc,
   /// lock-order, ...) still applies inside host regions.
   [[nodiscard]] static bool host_exempt(std::string_view rule) {
-    return rule == "wallclock" || rule == "rand" || rule == "det-taint";
+    return rule == "wallclock" || rule == "rand" || rule == "det-taint" ||
+           rule == "dist-purity";
   }
 
   /// True when `rule` is ALLOW'd on `line` (trailing or standalone form), or

@@ -11,6 +11,8 @@
 //   hpcslint --baseline FILE         suppress findings whose fingerprint is
 //                                    in this SARIF baseline; exit 1 only on
 //                                    NEW findings
+//   hpcslint --jobs N                parse translation units on N pool
+//                                    threads (output byte-identical to -j1)
 //   hpcslint --list-rules            print rule names, one per line
 //
 // CI runs this over the real tree via ctest (tests/CMakeLists.txt registers
@@ -18,6 +20,7 @@
 // compile_commands.json and gates on tools/hpcslint/baseline.sarif.json.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -48,6 +51,14 @@ int main(int argc, char** argv) {
   std::string sarif_path;
   std::string baseline_path;
   std::string compile_commands;
+  unsigned jobs = 1;
+
+  // Paths in fingerprints, SARIF output, and messages are repo-relative:
+  // relativize against the working directory (CI and the baseline script
+  // both run from the repository root).
+  std::error_code cwd_ec;
+  const std::filesystem::path cwd = std::filesystem::current_path(cwd_ec);
+  if (!cwd_ec) hpcslint::set_sarif_path_root(cwd);
 
   auto need_value = [&](int i) -> const char* {
     if (i + 1 >= argc) {
@@ -65,8 +76,21 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: hpcslint [--list-rules] [--compile-commands FILE]\n"
-          "                [--sarif FILE|-] [--baseline FILE] [roots...]\n");
+          "                [--sarif FILE|-] [--baseline FILE] [--jobs N] "
+          "[roots...]\n");
       return 0;
+    }
+    if (std::strcmp(argv[i], "--jobs") == 0 || std::strcmp(argv[i], "-j") == 0) {
+      const char* v = need_value(i);
+      if (v == nullptr) return 2;
+      const long parsed = std::strtol(v, nullptr, 10);
+      if (parsed < 1 || parsed > 256) {
+        std::fprintf(stderr, "hpcslint: --jobs wants 1..256, got %s\n", v);
+        return 2;
+      }
+      jobs = static_cast<unsigned>(parsed);
+      ++i;
+      continue;
     }
     if (std::strcmp(argv[i], "--sarif") == 0) {
       const char* v = need_value(i);
@@ -127,7 +151,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<hpcslint::Finding> findings = hpcslint::lint_tree(roots);
+  const std::vector<hpcslint::Finding> findings = hpcslint::lint_tree(roots, jobs);
 
   if (!sarif_path.empty()) {
     if (!write_text(sarif_path, hpcslint::sarif_report(findings))) {

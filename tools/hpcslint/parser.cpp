@@ -91,6 +91,37 @@ bool is_mutating_member(std::string_view t) {
   return k.count(t) != 0;
 }
 
+// Type names that carry a stored callable: a declaration of one of these is a
+// callback slot for the value-flow analysis.
+bool is_callback_type(std::string_view t) {
+  if (t == "function" || t == "InplaceFunction" || t == "move_only_function") {
+    return true;
+  }
+  const auto ends = [&](std::string_view suf) {
+    return t.size() > suf.size() && t.substr(t.size() - suf.size()) == suf;
+  };
+  return ends("Fn") || ends("Callback") || ends("Handler");
+}
+
+// Host-environment entry points for the dist-purity rule: file/stream IO,
+// sockets, sleeps, process state. Deliberately NOT here: open/close/read/
+// write/send/recv/bind — those are ubiquitous *member* names (the transport
+// interface itself uses them) and flow through the resolved call graph
+// instead; only the free-function syscall spellings below are direct sources.
+bool is_io_name(std::string_view t) {
+  static const std::unordered_set<std::string_view> k = {
+      "fopen",    "fclose",    "freopen",    "fread",       "fwrite",
+      "fgets",    "fputs",     "fseek",      "ftell",       "printf",
+      "fprintf",  "vfprintf",  "scanf",      "fscanf",      "puts",
+      "putchar",  "getchar",   "perror",     "remove",      "rename",
+      "tmpfile",  "socket",    "connect",    "listen",      "accept",
+      "setsockopt", "getsockopt", "recvfrom", "sendto",     "select",
+      "poll",     "epoll_wait", "ioctl",     "sleep",       "usleep",
+      "nanosleep", "sleep_for", "sleep_until", "system",    "popen",
+      "fork",     "execv",     "execvp",     "getpid",      "gethostname"};
+  return k.count(t) != 0;
+}
+
 }  // namespace
 
 bool is_protected_segment(std::string_view seg) {
@@ -112,6 +143,21 @@ bool is_protected_file(const std::string& file) {
     }
   }
   return false;  // the file name itself is not a directory segment
+}
+
+bool is_pure_machine_file(const std::string& file) {
+  bool dist = false, host = false;
+  std::string seg;
+  for (const char c : file) {
+    if (c == '/' || c == '\\') {
+      if (seg == "dist") dist = true;
+      if (seg == "host") host = true;
+      seg.clear();
+    } else {
+      seg += c;
+    }
+  }
+  return dist && !host;
 }
 
 namespace {
@@ -176,8 +222,31 @@ class Parser {
   ContainerKind pend_container_ = ContainerKind::kNone;
   bool pend_pointer_key_ = false;
   bool pend_mutexlock_ = false;
+  std::string pend_type_;       ///< joined chain of the pending type
+  bool pend_callback_ = false;  ///< pending type is a callback slot type
+  bool pend_virtual_ = false;   ///< `virtual` seen before the current head
   std::string last_decl_name_;  ///< most recent declared name (GUARDED_BY target)
   int last_decl_line_ = 0;
+  int lambda_count_ = 0;  ///< per-TU counter for synthetic lambda names
+
+  // Expression context for the callback value-flow: the stack of call
+  // expressions whose argument lists we are currently inside, and the target
+  // of a pending `slot = ...` assignment. A lambda (or &function) seen while
+  // either is live becomes a CallbackBind.
+  struct ActiveCall {
+    std::string name;  ///< `::`-joined chain of the called expression
+    int depth = 0;     ///< paren depth its argument list opened at
+  };
+  int paren_depth_ = 0;
+  std::vector<ActiveCall> active_calls_;
+  std::string pending_call_name_;  ///< set between the call chain and its '('
+  struct PendAssign {
+    bool active = false;
+    std::string target;
+    std::string recv_type;
+    int line = 0;
+  };
+  PendAssign pend_assign_;
 
   // -- small utilities ------------------------------------------------------
 
@@ -214,6 +283,13 @@ class Parser {
     pend_container_ = ContainerKind::kNone;
     pend_pointer_key_ = false;
     pend_mutexlock_ = false;
+    pend_type_.clear();
+    pend_callback_ = false;
+  }
+
+  [[nodiscard]] bool line_in_host(int line) const {
+    const auto l = static_cast<std::size_t>(line);
+    return l < tu_.prep.host.size() && tu_.prep.host[l] != 0;
   }
 
   [[nodiscard]] FuncInfo* cur_func() {
@@ -463,16 +539,54 @@ class Parser {
   void handle_punct(const Tok& t) {
     const char c = t.text[0];
     if (c == '{') {
+      pend_virtual_ = false;
       push_scope(Scope::kBlock, "");
       ++i_;
       return;
     }
     if (c == '}') {
+      pend_virtual_ = false;
+      pend_assign_.active = false;
+      paren_depth_ = 0;
+      active_calls_.clear();
+      pending_call_name_.clear();
       pop_scope();
       ++i_;
       return;
     }
     if (c == ';' || c == ',') {
+      after_type_ = false;
+      clear_pending_type();
+      if (c == ';') {
+        pend_virtual_ = false;
+        pend_assign_.active = false;
+      }
+      ++i_;
+      return;
+    }
+    if (c == '(') {
+      ++paren_depth_;
+      if (!pending_call_name_.empty()) {
+        active_calls_.push_back(ActiveCall{std::move(pending_call_name_), paren_depth_});
+        pending_call_name_.clear();
+      }
+      after_type_ = false;
+      clear_pending_type();
+      ++i_;
+      return;
+    }
+    if (c == ')') {
+      if (!active_calls_.empty() && active_calls_.back().depth == paren_depth_) {
+        active_calls_.pop_back();
+      }
+      if (paren_depth_ > 0) --paren_depth_;
+      after_type_ = false;
+      clear_pending_type();
+      ++i_;
+      return;
+    }
+    if (c == '[') {
+      if (try_lambda()) return;
       after_type_ = false;
       clear_pending_type();
       ++i_;
@@ -502,6 +616,9 @@ class Parser {
       return;
     }
     if (w == "template") {
+      // Skip only the parameter header `<...>`; the templated entity that
+      // follows (class, function, member) is parsed structurally like any
+      // other declaration — one symbol per primary template, bodies analyzed.
       ++i_;
       const std::size_t nx = next_nonspace(code_, t.end);
       if (nx != std::string_view::npos && code_[nx] == '<') {
@@ -510,6 +627,8 @@ class Parser {
           while (i_ < toks_.size() && toks_[i_].begin < past) ++i_;
         }
       }
+      after_type_ = false;
+      clear_pending_type();
       return;
     }
     if (w == "using" || w == "typedef") {
@@ -533,6 +652,11 @@ class Parser {
     }
     if (w == "GUARDED_BY" && punct_at(i_ + 1, '(')) {
       guard_reactor();
+      return;
+    }
+    if (w == "virtual") {
+      pend_virtual_ = true;
+      ++i_;
       return;
     }
     if (is_skip_keyword(w)) {
@@ -684,6 +808,79 @@ class Parser {
     f->taints.push_back(TaintSource{what, line});
   }
 
+  /// Host-environment source (file/stream IO, sockets, sleeps) for the
+  /// dist-purity closure. Same ALLOW discipline as det-taint sources.
+  void record_io(const Chain& ch, bool member_access) {
+    FuncInfo* f = cur_func();
+    if (f == nullptr) return;
+    if (tu_.prep.allowed("dist-purity", ch.line)) return;
+    for (const std::string& s : ch.segs) {
+      if (s == "ifstream" || s == "ofstream" || s == "fstream") {
+        f->io_taints.push_back(TaintSource{"std::" + s, ch.line});
+        return;
+      }
+    }
+    const std::string& last = ch.segs.back();
+    if (!member_access &&
+        (last == "cout" || last == "cerr" || last == "cin" || last == "clog")) {
+      f->io_taints.push_back(TaintSource{"std::" + last, ch.line});
+      return;
+    }
+    if (!member_access && is_io_name(last) && punct_at(i_, '(')) {
+      f->io_taints.push_back(TaintSource{last + "(...)", ch.line});
+    }
+  }
+
+  /// Identifier immediately before the `.`/`->` that starts a member chain;
+  /// "" when the receiver is a bigger expression.
+  [[nodiscard]] std::string receiver_name(std::size_t chain_begin) const {
+    std::size_t p = prev_nonspace(code_, chain_begin);
+    if (p == std::string_view::npos) return "";
+    if (code_[p] == '>' && p > 0) --p;  // '->'
+    if (p == 0) return "";
+    const std::size_t ident_end = prev_nonspace(code_, p);
+    if (ident_end == std::string_view::npos || !is_ident_char(code_[ident_end])) {
+      return "";
+    }
+    std::size_t b = ident_end;
+    while (b > 0 && is_ident_char(code_[b - 1])) --b;
+    return std::string(code_.substr(b, ident_end + 1 - b));
+  }
+
+  /// Declared type of the receiver of a member access, resolved through the
+  /// scope chain (locals, parameters, same-TU class fields). `this` resolves
+  /// to the enclosing class. "" when unknown — the linker then falls back to
+  /// v2's same-class / small-candidate-set resolution.
+  [[nodiscard]] std::string receiver_type(std::size_t chain_begin) {
+    const std::string name = receiver_name(chain_begin);
+    if (name.empty()) return "";
+    if (name == "this") {
+      const int cls = innermost_class();
+      if (cls >= 0) return tu_.classes[static_cast<std::size_t>(cls)].qname;
+      if (const FuncInfo* f = cur_func()) return f->class_qname;
+      return "";
+    }
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto v = it->vars.find(name);
+      if (v != it->vars.end()) return v->second.type;
+      if (it->kind == Scope::kClass && it->cls_index >= 0) {
+        const ClassInfo& c = tu_.classes[static_cast<std::size_t>(it->cls_index)];
+        const auto fld = c.fields.find(name);
+        if (fld != c.fields.end()) return fld->second.type;
+      }
+    }
+    return "";
+  }
+
+  [[nodiscard]] std::string encl_qname() {
+    const FuncInfo* f = cur_func();
+    return f != nullptr ? f->qname : "";
+  }
+  [[nodiscard]] std::string encl_class() {
+    const FuncInfo* f = cur_func();
+    return f != nullptr ? f->class_qname : "";
+  }
+
   /// Report iteration over a resolved container (shared by the range-for and
   /// .begin reactors). Returns true when something fired.
   bool report_iteration(std::string_view name, ContainerKind kind, bool pointer_key,
@@ -827,15 +1024,39 @@ class Parser {
       f.name = name;
       f.container = pend_container_;
       f.pointer_key = pend_pointer_key_;
+      f.type = pend_type_;
+      f.is_callback = pend_callback_;
       f.line = line;
     } else {
       VarInfo v;
       v.name = name;
       v.kind = pend_container_;
       v.pointer_key = pend_pointer_key_;
+      v.type = pend_type_;
+      v.is_callback = pend_callback_;
       v.line = line;
       scopes_.back().vars[name] = std::move(v);
     }
+  }
+
+  [[nodiscard]] static std::string join_segs(const std::vector<std::string>& segs) {
+    std::string out;
+    for (const std::string& s : segs) {
+      if (!out.empty()) out += "::";
+      out += s;
+    }
+    return out;
+  }
+
+  /// Arm pend_assign_ when `=` (not `==`) directly follows the chain — the
+  /// next callable seen becomes a CallbackBind into this slot.
+  void maybe_arm_assign(const Chain& ch, bool member_access) {
+    if (!in_function()) return;
+    if (!punct_at(i_, '=') || punct_at(i_ + 1, '=')) return;
+    pend_assign_.active = true;
+    pend_assign_.target = ch.segs.back();
+    pend_assign_.recv_type = member_access ? receiver_type(ch.first_begin) : "";
+    pend_assign_.line = ch.line;
   }
 
   void process_chain(const Tok& first) {
@@ -847,6 +1068,7 @@ class Parser {
       return;
     }
     record_taints(ch, member_access);
+    record_io(ch, member_access);
 
     const bool call_follows = punct_at(i_, '(');
 
@@ -864,9 +1086,11 @@ class Parser {
         CallSite cs;
         cs.chain = ch.segs;
         cs.member_access = member_access;
+        if (member_access) cs.recv_type = receiver_type(ch.first_begin);
         cs.held = held_mutexes();
         cs.line = ch.line;
         f->calls.push_back(std::move(cs));
+        pending_call_name_ = join_segs(ch.segs);  // arms active_calls_ at '('
         after_type_ = false;
         clear_pending_type();
         return;  // '(' handled by the main loop as plain punctuation
@@ -875,11 +1099,33 @@ class Parser {
       return;
     }
 
-    // Not a call. Declaration-name bookkeeping:
+    // Not a call. A `&function` (or bare function name) on the right of a
+    // live assignment, or `&function` inside a call's argument list, binds
+    // the named callable into the slot / parameter.
+    if (in_function() && !was_after_type) {
+      const std::size_t pv = prev_nonspace(code_, ch.first_begin);
+      const bool addr_of = pv != std::string_view::npos && code_[pv] == '&' &&
+                           !member_access;
+      if (pend_assign_.active && !member_access) {
+        tu_.binds.push_back(CallbackBind{CallbackBind::Kind::kField,
+                                         pend_assign_.target, pend_assign_.recv_type,
+                                         join_segs(ch.segs), encl_qname(),
+                                         encl_class(), pend_assign_.line});
+        pend_assign_.active = false;
+      } else if (addr_of && !active_calls_.empty()) {
+        tu_.binds.push_back(CallbackBind{CallbackBind::Kind::kArg,
+                                         active_calls_.back().name, "",
+                                         join_segs(ch.segs), encl_qname(),
+                                         encl_class(), ch.line});
+      }
+    }
+
+    // Declaration-name bookkeeping:
     if (!member_access && ch.segs.size() == 1 && was_after_type) {
       declare(ch.segs.back(), ch.line);
       after_type_ = false;
       clear_pending_type();
+      maybe_arm_assign(ch, false);
       return;
     }
 
@@ -895,7 +1141,11 @@ class Parser {
       } else if (ch.segs.size() > 1 || ch.is_mutex_like) {
         clear_pending_type();
       }
+      pend_type_ = join_segs(ch.segs);
+      pend_callback_ = is_callback_type(ch.segs.back());
     }
+
+    maybe_arm_assign(ch, member_access);
 
     if (in_function() && !member_access && ch.segs.size() == 1 && !was_after_type) {
       maybe_pending_write(ch);
@@ -1036,7 +1286,196 @@ class Parser {
     f->pending_writes.push_back(PendingFieldWrite{root, held_mutexes(), ch.line});
   }
 
+  // -- lambdas --------------------------------------------------------------
+
+  /// toks_[i_] is '['. Decide lambda-introducer vs subscript, and on a lambda
+  /// build a synthetic function for the body so its calls and sources get
+  /// their own call-graph node. The enclosing function gets a call edge to it
+  /// (it holds the callable), and a live assignment target or enclosing call
+  /// argument list records a CallbackBind for the value-flow analysis.
+  bool try_lambda() {
+    if (i_ > 0) {
+      const Tok& p = toks_[i_ - 1];
+      bool ok = false;
+      if (p.kind == TokKind::kPunct && p.text.size() == 1) {
+        ok = std::string_view("=,(;{?:&|!+-*/%<>").find(p.text[0]) !=
+             std::string_view::npos;
+      } else if (p.ident()) {
+        ok = p.is("return") || p.is("co_return") || p.is("co_yield") ||
+             p.is("else") || p.is("do");
+      }
+      if (!ok) return false;  // subscript or array declarator
+    }
+    std::size_t k = i_;
+    int depth = 0;
+    for (; k < toks_.size(); ++k) {
+      if (toks_[k].kind == TokKind::kPunct && toks_[k].text.size() == 1) {
+        if (toks_[k].text[0] == '[') ++depth;
+        if (toks_[k].text[0] == ']') {
+          --depth;
+          if (depth == 0) break;
+        }
+      }
+    }
+    if (k + 1 >= toks_.size()) return false;
+    if (!punct_at(k + 1, '(') && !punct_at(k + 1, '{')) return false;
+
+    const std::size_t save = i_;
+    const int line = toks_[i_].line;
+    FuncInfo f;
+    f.qname = "<lambda@" + tu_.file + ":" + std::to_string(line) + "#" +
+              std::to_string(lambda_count_) + ">";
+    f.name = f.qname;
+    f.line = line;
+    f.in_protected_scope = scope_is_protected();
+
+    i_ = k + 1;  // past ']'
+    if (punct_at(i_, '(')) parse_params(f);
+    while (i_ < toks_.size()) {  // mutable / noexcept(...) / -> ret, then body
+      const Tok& t = toks_[i_];
+      if (t.kind == TokKind::kPunct && t.text.size() == 1) {
+        const char c = t.text[0];
+        if (c == '{') break;
+        if (c == '(') {
+          skip_balanced('(', ')');
+          continue;
+        }
+        if (c == ';' || c == ',' || c == ')' || c == '}') {
+          i_ = save;
+          return false;  // no body to model: treat '[' as plain punctuation
+        }
+      }
+      ++i_;
+    }
+    if (i_ >= toks_.size()) {
+      i_ = save;
+      return false;
+    }
+
+    ++lambda_count_;
+    if (FuncInfo* encl = cur_func()) {
+      CallSite cs;
+      cs.chain = {f.qname};
+      cs.held = held_mutexes();
+      cs.line = line;
+      encl->calls.push_back(std::move(cs));
+    }
+    if (pend_assign_.active) {
+      tu_.binds.push_back(CallbackBind{CallbackBind::Kind::kField,
+                                       pend_assign_.target, pend_assign_.recv_type,
+                                       f.qname, encl_qname(), encl_class(),
+                                       pend_assign_.line});
+      pend_assign_.active = false;
+    }
+    if (!active_calls_.empty()) {
+      tu_.binds.push_back(CallbackBind{CallbackBind::Kind::kArg,
+                                       active_calls_.back().name, "", f.qname,
+                                       encl_qname(), encl_class(), line});
+    }
+    f.has_body = true;
+    f.in_host_region = line_in_host(f.line);
+    after_type_ = false;
+    clear_pending_type();
+    std::vector<VarInfo> params = f.params;
+    tu_.funcs.push_back(std::move(f));
+    push_scope(Scope::kFunction, "", -1, static_cast<int>(tu_.funcs.size()) - 1);
+    for (VarInfo& p : params) {
+      const std::string key = p.name;
+      scopes_.back().vars[key] = std::move(p);
+    }
+    ++i_;  // consume the '{'
+    return true;
+  }
+
   // -- function heads -------------------------------------------------------
+
+  /// toks_[i_] is on the '(' opening a parameter list. Collect (type, name)
+  /// pairs tolerantly: per comma-separated parameter, the last single-segment
+  /// chain is the name and the chain before it the type. Default arguments
+  /// and nested parens/brackets/braces are skipped opaquely.
+  void parse_params(FuncInfo& f) {
+    ++i_;
+    std::vector<std::string> chains;
+    std::vector<char> cb;
+    bool in_default = false;
+    const auto flush = [&]() {
+      if (chains.size() >= 2) {
+        const std::string& nm = chains.back();
+        if (!nm.empty() && nm.find(':') == std::string::npos) {
+          VarInfo v;
+          v.name = nm;
+          v.type = chains[chains.size() - 2];
+          v.is_callback = cb[chains.size() - 2] != 0;
+          v.line = f.line;
+          f.params.push_back(std::move(v));
+        }
+      }
+      chains.clear();
+      cb.clear();
+      in_default = false;
+    };
+    while (i_ < toks_.size()) {
+      const Tok& t = toks_[i_];
+      if (t.kind == TokKind::kPunct && t.text.size() == 1) {
+        const char c = t.text[0];
+        if (c == '(') {
+          skip_balanced('(', ')');
+          continue;
+        }
+        if (c == '[') {
+          skip_balanced('[', ']');
+          continue;
+        }
+        if (c == '{') {
+          skip_balanced('{', '}');
+          continue;
+        }
+        if (c == ')') {
+          flush();
+          ++i_;
+          return;
+        }
+        if (c == ',') {
+          flush();
+          ++i_;
+          continue;
+        }
+        if (c == '=') {
+          in_default = true;
+          ++i_;
+          continue;
+        }
+        ++i_;
+        continue;
+      }
+      if (t.kind == TokKind::kNumber) {
+        ++i_;
+        continue;
+      }
+      if (in_default || is_skip_keyword(t.text)) {
+        ++i_;
+        continue;
+      }
+      if (is_type_keyword(t.text)) {
+        chains.emplace_back(t.text);
+        cb.push_back(0);
+        ++i_;
+        continue;
+      }
+      Chain ch = read_chain();
+      if (ch.segs.empty()) {
+        ++i_;
+        continue;
+      }
+      std::string joined;
+      for (const std::string& s : ch.segs) {
+        if (!joined.empty()) joined += "::";
+        joined += s;
+      }
+      chains.push_back(std::move(joined));
+      cb.push_back(is_callback_type(ch.segs.back()) ? 1 : 0);
+    }
+  }
 
   void parse_function_head(const Chain& ch) {
     // i_ is on the '(' of the parameter list.
@@ -1046,7 +1485,6 @@ class Parser {
         return;
       }
     }
-    skip_balanced('(', ')');
 
     FuncInfo f;
     f.name = ch.segs.back();
@@ -1072,12 +1510,21 @@ class Parser {
       f.class_qname = std::move(q);
     }
     f.in_protected_scope = scope_is_protected();
+    f.is_virtual = pend_virtual_;
+    pend_virtual_ = false;
+    parse_params(f);
 
     // Tolerant tail parse.
     while (i_ < toks_.size()) {
       const Tok& t = toks_[i_];
       if (t.ident()) {
         const std::string_view w = t.text;
+        if (w == "override" || w == "final") {
+          f.is_override = true;
+          f.is_virtual = true;
+          ++i_;
+          continue;
+        }
         if (w == "REQUIRES") {
           ++i_;
           if (punct_at(i_, '(')) {
@@ -1162,11 +1609,19 @@ class Parser {
 
   void finish_function(FuncInfo f, bool has_body) {
     f.has_body = has_body;
+    f.in_host_region = line_in_host(f.line);
     after_type_ = false;
     clear_pending_type();
+    std::vector<VarInfo> params = f.params;
     tu_.funcs.push_back(std::move(f));
     if (has_body) {
       push_scope(Scope::kFunction, "", -1, static_cast<int>(tu_.funcs.size()) - 1);
+      // Parameters are in scope inside the body: they resolve receivers for
+      // dispatch (`sink->emit()`), shadow fields, and carry callback types.
+      for (VarInfo& p : params) {
+        const std::string key = p.name;
+        scopes_.back().vars[key] = std::move(p);
+      }
       ++i_;  // consume the '{'
     }
   }

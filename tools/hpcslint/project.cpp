@@ -26,10 +26,29 @@
 //              subset of Clang's -Wthread-safety, which CI only gets on
 //              one matrix leg.
 //
-// Call resolution is deliberately conservative: unqualified names resolve
-// same-class, then enclosing-namespace, then globally; a name matching more
-// than kMaxCandidates symbols (or one from the std-noise list: push_back,
-// size, find, ...) resolves to nothing rather than to everything.
+//  dist-purity A function in the pure state-machine zone (the deterministic
+//              core above, plus everything under src/dist that is not under
+//              dist/host) must be driven by `now_ms` and the config: if it
+//              reaches a host-environment source — a wall clock, RNG, file
+//              or stream IO, socket, sleep, process call — outside an
+//              HPCS_HOST_BEGIN/END region, that is an error. The closure
+//              runs over the same resolved call graph as det-taint but
+//              seeds from IO sources as well as nondeterminism sources.
+//
+// Call resolution (v3) is qualified-name based with dispatch awareness:
+// qualified chains resolve exact-first (then caller-namespace-prefixed,
+// then whole-suffix over the name index); member calls with a known
+// receiver type resolve through the class hierarchy — walking up base
+// classes to the declaring method, then fanning out to every override in
+// derived classes when the anchor is virtual. Callables bound into
+// `InplaceFunction`/`std::function` slots (CallbackBind) become call-graph
+// edges from the slot's invokers — and from callees with callback-typed
+// parameters — to the callable's body, so taint flows through dispatch
+// sites like `EventQueue::schedule`. Unqualified names still resolve
+// same-class, then enclosing-namespace, then globally; a name matching
+// more than kMaxCandidates symbols (or one from the std-noise list:
+// push_back, size, find, ...) resolves to nothing rather than to
+// everything.
 
 #include "tu.h"
 
@@ -124,11 +143,15 @@ struct Node {
   std::string class_qname;
   bool has_body = false;
   bool is_protected = false;
+  bool is_virtual = false;  ///< virtual anywhere in the overload/decl set
+  bool in_host = false;     ///< defining body sits in an HPCS_HOST region
+  bool has_callback_param = false;  ///< takes a std::function/InplaceFunction
   std::size_t def_tu = 0;  ///< TU of the first body (finding attribution)
   int def_line = 0;
   std::vector<std::string> requires_m;
   std::vector<OwnedCall> calls;
   std::vector<OwnedTaint> taints;
+  std::vector<OwnedTaint> io_taints;  ///< host-environment sources (dist-purity)
   std::vector<OwnedLockEdge> lock_edges;  ///< normalized at build time
   std::vector<std::string> acquired;      ///< normalized
   std::vector<OwnedWrite> writes;
@@ -142,7 +165,9 @@ class Linker {
 
   void run() {
     merge_classes();
+    build_hierarchy();
     merge_functions();
+    collect_binds();
     resolve_calls_all();
     resolve_pending_uses();   // may add taints — must precede the closure
     resolve_pending_writes();
@@ -150,6 +175,8 @@ class Linker {
     report_lock_cycles();
     taint_closure();
     report_det_taint();
+    purity_closure();
+    report_purity();
   }
 
  private:
@@ -158,6 +185,11 @@ class Linker {
   std::map<std::string, ClassInfo> classes_;
   std::map<std::string, Node> nodes_;
   std::map<std::string, std::vector<std::string>> by_name_;
+  std::map<std::string, std::vector<std::string>> derived_;  ///< base → direct derived
+  /// Slot key ("Class::field", or "func#name" for locals) → bound callables.
+  std::map<std::string, std::vector<std::string>> slot_bindings_;
+  /// "encl_qname|callee_chain" → callables passed as arguments to that call.
+  std::map<std::string, std::vector<std::string>> arg_binds_;
   std::map<std::string, std::vector<std::string>> callees_;  ///< resolved edges
   std::map<std::string, std::vector<std::string>> callers_;  ///< reverse edges
   std::map<std::string, std::map<std::string, OwnedLockEdge>> lock_adj_;
@@ -186,7 +218,97 @@ class Linker {
             mf.container = f.container;
             mf.pointer_key = f.pointer_key;
           }
+          if (mf.type.empty()) mf.type = f.type;
+          mf.is_callback = mf.is_callback || f.is_callback;
         }
+      }
+    }
+  }
+
+  /// Resolve a type name as written (`TraceSink`, `kern::TraceSink`) to a
+  /// merged class qname: exact, then prefixed with each enclosing namespace
+  /// of `context` (innermost first), then unique whole-suffix match.
+  std::string resolve_class(const std::string& name, const std::string& context) {
+    if (name.empty()) return {};
+    if (classes_.count(name) != 0) return name;
+    std::string ns = context;
+    std::size_t cut;
+    while ((cut = ns.rfind("::")) != std::string::npos) {
+      ns.resize(cut);
+      const std::string q = ns + "::" + name;
+      if (classes_.count(q) != 0) return q;
+    }
+    std::string hit;
+    const std::string suffix = "::" + name;
+    for (const auto& [q, c] : classes_) {
+      if (ends_with(q, suffix)) {
+        if (!hit.empty()) return {};  // ambiguous — resolve to nothing
+        hit = q;
+      }
+    }
+    return hit;
+  }
+
+  void build_hierarchy() {
+    for (const auto& [q, c] : classes_) {
+      const std::size_t cut = q.rfind("::");
+      const std::string ns = cut == std::string::npos ? std::string() : q.substr(0, cut);
+      for (const std::string& b : c.bases) {
+        const std::string bq = resolve_class(b, ns);
+        if (!bq.empty() && bq != q) derived_[bq].push_back(q);
+      }
+    }
+  }
+
+  /// Every class transitively derived from `base`.
+  std::vector<std::string> derived_closure(const std::string& base) {
+    std::vector<std::string> out;
+    std::set<std::string> seen{base};
+    std::deque<std::string> work{base};
+    while (!work.empty()) {
+      const std::string cur = std::move(work.front());
+      work.pop_front();
+      const auto it = derived_.find(cur);
+      if (it == derived_.end()) continue;
+      for (const std::string& d : it->second) {
+        if (seen.insert(d).second) {
+          out.push_back(d);
+          work.push_back(d);
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Find the node for method `name` starting at `cls` and walking up base
+  /// classes — the static-dispatch anchor for a receiver of type `cls`.
+  std::string find_method(const std::string& cls, const std::string& name,
+                          std::set<std::string>& seen) {
+    if (!seen.insert(cls).second) return {};
+    const std::string q = cls + "::" + name;
+    if (nodes_.count(q) != 0) return q;
+    const auto c = classes_.find(cls);
+    if (c == classes_.end()) return {};
+    const std::size_t cut = cls.rfind("::");
+    const std::string ns = cut == std::string::npos ? std::string() : cls.substr(0, cut);
+    for (const std::string& b : c->second.bases) {
+      const std::string bq = resolve_class(b, ns);
+      if (bq.empty()) continue;
+      const std::string r = find_method(bq, name, seen);
+      if (!r.empty()) return r;
+    }
+    return {};
+  }
+
+  /// Add every override of `name` reachable through classes derived from
+  /// `cls` — the dynamic-dispatch fan-out for a virtual anchor.
+  void fan_out(const std::string& cls, const std::string& name,
+               std::vector<std::string>& out) {
+    for (const std::string& d : derived_closure(cls)) {
+      const std::string q = d + "::" + name;
+      if (nodes_.count(q) != 0 &&
+          std::find(out.begin(), out.end(), q) == out.end()) {
+        out.push_back(q);
       }
     }
   }
@@ -214,16 +336,25 @@ class Linker {
         }
         if (n.class_qname.empty()) n.class_qname = f.class_qname;
         n.is_protected = n.is_protected || f.in_protected_scope;
+        n.is_virtual = n.is_virtual || f.is_virtual || f.is_override;
+        for (const VarInfo& p : f.params) {
+          if (p.is_callback) n.has_callback_param = true;
+        }
         for (const std::string& r : f.requires_mutexes) n.requires_m.push_back(r);
         if (f.has_body && !n.has_body) {
           n.has_body = true;
           n.def_tu = ti;
           n.def_line = f.line;
+          n.in_host = f.in_host_region;
         }
         if (!f.has_body) continue;
         for (CallSite& cs : f.calls) n.calls.push_back(OwnedCall{std::move(cs), ti});
         for (const TaintSource& t : f.taints) {
           n.taints.push_back(
+              OwnedTaint{t.what + " at " + tu.file + ":" + std::to_string(t.line)});
+        }
+        for (const TaintSource& t : f.io_taints) {
+          n.io_taints.push_back(
               OwnedTaint{t.what + " at " + tu.file + ":" + std::to_string(t.line)});
         }
         for (const LockEdge& e : f.lock_edges) {
@@ -245,26 +376,146 @@ class Linker {
     for (const auto& [q, n] : nodes_) by_name_[n.name].push_back(q);
   }
 
-  std::vector<std::string> resolve_call(const Node& caller, const CallSite& cs) {
-    if (cs.chain.empty()) return {};
-    const std::string& last = cs.chain.back();
-    if (is_noise_call(last)) return {};
+  /// Resolve the callable side of a bind: lambdas are exact synthetic qnames;
+  /// `&Class::method` / `&free_fn` chains resolve enclosing-context-first,
+  /// then by unique-enough suffix.
+  std::vector<std::string> resolve_callable(const CallbackBind& b) {
+    if (nodes_.count(b.callee) != 0) return {b.callee};
+    if (!b.encl_class.empty() && nodes_.count(b.encl_class + "::" + b.callee) != 0) {
+      return {b.encl_class + "::" + b.callee};
+    }
+    std::string ns = b.encl_qname;
+    std::size_t cut;
+    while ((cut = ns.rfind("::")) != std::string::npos) {
+      ns.resize(cut);
+      if (nodes_.count(ns + "::" + b.callee) != 0) return {ns + "::" + b.callee};
+    }
+    const std::size_t tail = b.callee.rfind("::");
+    const std::string last =
+        tail == std::string::npos ? b.callee : b.callee.substr(tail + 2);
     std::vector<std::string> out;
-    if (cs.chain.size() > 1) {
-      // Qualified: match whole-suffix against merged qnames.
-      const std::string joined = join_chain(cs.chain);
-      for (const auto& [q, n] : nodes_) {
-        if (q == joined || ends_with(q, "::" + joined)) {
+    const auto it = by_name_.find(last);
+    if (it != by_name_.end()) {
+      const std::string suffix = "::" + b.callee;
+      for (const std::string& q : it->second) {
+        if (q == b.callee || ends_with(q, suffix)) {
           out.push_back(q);
           if (out.size() > kMaxCandidates) return {};
         }
       }
+    }
+    return out;
+  }
+
+  /// Walk the hierarchy from `cls` to the class declaring callback field
+  /// `field`; "" when no base declares it as a callback slot.
+  std::string slot_declaring_key(const std::string& cls, const std::string& field,
+                                 std::set<std::string>& seen) {
+    if (!seen.insert(cls).second) return {};
+    const auto c = classes_.find(cls);
+    if (c == classes_.end()) return {};
+    const auto f = c->second.fields.find(field);
+    if (f != c->second.fields.end() && f->second.is_callback) {
+      return cls + "::" + field;
+    }
+    const std::size_t cut = cls.rfind("::");
+    const std::string ns = cut == std::string::npos ? std::string() : cls.substr(0, cut);
+    for (const std::string& b : c->second.bases) {
+      const std::string bq = resolve_class(b, ns);
+      if (bq.empty()) continue;
+      const std::string r = slot_declaring_key(bq, field, seen);
+      if (!r.empty()) return r;
+    }
+    return {};
+  }
+
+  std::string slot_key(const std::string& cls, const std::string& field) {
+    std::set<std::string> seen;
+    return slot_declaring_key(cls, field, seen);
+  }
+
+  void collect_binds() {
+    for (const TuIndex& tu : tus_) {
+      for (const CallbackBind& b : tu.binds) {
+        std::vector<std::string> callables = resolve_callable(b);
+        if (callables.empty()) continue;
+        if (b.kind == CallbackBind::Kind::kArg) {
+          auto& slot = arg_binds_[b.encl_qname + "|" + b.target];
+          slot.insert(slot.end(), callables.begin(), callables.end());
+          continue;
+        }
+        std::string key;
+        if (!b.recv_type.empty()) {
+          const std::string cq = resolve_class(b.recv_type, b.encl_qname);
+          if (!cq.empty()) key = slot_key(cq, b.target);
+        }
+        if (key.empty() && !b.encl_class.empty()) {
+          key = slot_key(b.encl_class, b.target);
+        }
+        // Local callback variables bind and dispatch within one function.
+        if (key.empty()) key = b.encl_qname + "#" + b.target;
+        auto& slot = slot_bindings_[key];
+        slot.insert(slot.end(), callables.begin(), callables.end());
+      }
+    }
+  }
+
+  std::vector<std::string> resolve_call(const Node& caller, const CallSite& cs) {
+    if (cs.chain.empty()) return {};
+    const std::string& last = cs.chain.back();
+    if (is_noise_call(last)) return {};
+    if (cs.chain.size() > 1) {
+      // Qualified: exact qname first, then the caller's enclosing namespaces
+      // prefixed (innermost first), then whole-suffix over the name index.
+      // Explicit qualification never fans out — `Base::f()` means Base::f.
+      const std::string joined = join_chain(cs.chain);
+      if (nodes_.count(joined) != 0) return {joined};
+      std::string ns = caller.qname;
+      std::size_t cut;
+      while ((cut = ns.rfind("::")) != std::string::npos) {
+        ns.resize(cut);
+        const std::string q = ns + "::" + joined;
+        if (nodes_.count(q) != 0) return {q};
+      }
+      std::vector<std::string> out;
+      const auto it = by_name_.find(last);
+      if (it != by_name_.end()) {
+        const std::string suffix = "::" + joined;
+        for (const std::string& q : it->second) {
+          if (ends_with(q, suffix)) {
+            out.push_back(q);
+            if (out.size() > kMaxCandidates) return {};
+          }
+        }
+      }
       return out;
     }
-    // Unqualified: same class wins outright…
+    // Member call with a known receiver type: hierarchy-aware. Anchor on the
+    // declaring method (walking up bases), fan out to derived overrides when
+    // the anchor is virtual.
+    if (cs.member_access && !cs.recv_type.empty()) {
+      const std::string cls = resolve_class(cs.recv_type, caller.qname);
+      if (!cls.empty()) {
+        std::set<std::string> seen;
+        const std::string anchor = find_method(cls, last, seen);
+        if (!anchor.empty()) {
+          std::vector<std::string> out{anchor};
+          const auto a = nodes_.find(anchor);
+          if (a != nodes_.end() && a->second.is_virtual) fan_out(cls, last, out);
+          return out;
+        }
+      }
+    }
+    // Unqualified: same class wins outright (with virtual fan-out — an
+    // unqualified `f()` in a method dispatches dynamically on `this`)…
     if (!caller.class_qname.empty()) {
       const std::string q = caller.class_qname + "::" + last;
-      if (nodes_.count(q) != 0) return {q};
+      const auto it = nodes_.find(q);
+      if (it != nodes_.end()) {
+        std::vector<std::string> out{q};
+        if (it->second.is_virtual) fan_out(caller.class_qname, last, out);
+        return out;
+      }
     }
     if (!cs.member_access) {
       // …then the enclosing namespaces, innermost first…
@@ -283,14 +534,62 @@ class Linker {
     return {};
   }
 
+  /// Call-graph edges a call site contributes through callback slots: a call
+  /// of a bound `std::function`/`InplaceFunction` field (or local) executes
+  /// every callable ever bound into that slot.
+  std::vector<std::string> callback_targets(const Node& caller, const CallSite& cs) {
+    if (cs.chain.size() != 1) return {};
+    const std::string& nm = cs.chain[0];
+    std::vector<std::string> keys;
+    if (cs.member_access && !cs.recv_type.empty()) {
+      const std::string cq = resolve_class(cs.recv_type, caller.qname);
+      if (!cq.empty()) {
+        const std::string k = slot_key(cq, nm);
+        if (!k.empty()) keys.push_back(k);
+      }
+    }
+    if (!caller.class_qname.empty()) {
+      const std::string k = slot_key(caller.class_qname, nm);
+      if (!k.empty()) keys.push_back(k);
+    }
+    keys.push_back(caller.qname + "#" + nm);  // local callback variable
+    std::vector<std::string> out;
+    for (const std::string& k : keys) {
+      const auto it = slot_bindings_.find(k);
+      if (it == slot_bindings_.end()) continue;
+      for (const std::string& c : it->second) {
+        if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  void add_edge(const std::string& from, const std::string& to,
+                std::set<std::string>& seen) {
+    if (to != from && seen.insert(from + "|" + to).second) {
+      callees_[from].push_back(to);
+      callers_[to].push_back(from);
+    }
+  }
+
   void resolve_calls_all() {
+    std::set<std::string> seen;
     for (const auto& [q, n] : nodes_) {
-      std::set<std::string> seen;
       for (const OwnedCall& oc : n.calls) {
-        for (std::string& callee : resolve_call(n, oc.cs)) {
-          if (callee != q && seen.insert(callee).second) {
-            callees_[q].push_back(callee);
-            callers_[callee].push_back(q);
+        const std::vector<std::string> resolved = resolve_call(n, oc.cs);
+        for (const std::string& callee : resolved) add_edge(q, callee, seen);
+        for (const std::string& cb : callback_targets(n, oc.cs)) {
+          add_edge(q, cb, seen);
+        }
+        // A callable passed as an argument runs inside the callee when the
+        // callee takes a callback parameter (dispatch sites like
+        // EventQueue::schedule): edge callee → callable.
+        const auto ab = arg_binds_.find(q + "|" + join_chain(oc.cs.chain));
+        if (ab != arg_binds_.end()) {
+          for (const std::string& callee : resolved) {
+            const auto cn = nodes_.find(callee);
+            if (cn == nodes_.end() || !cn->second.has_callback_param) continue;
+            for (const std::string& cb : ab->second) add_edge(callee, cb, seen);
           }
         }
       }
@@ -517,6 +816,77 @@ class Linker {
       msg += "; derive it from the experiment config or HPCSLINT-ALLOW(det-taint) "
              "the definition";
       report("det-taint", n.def_tu, n.def_line, std::move(msg));
+    }
+  }
+
+  std::map<std::string, TaintMark> impure_;
+
+  /// Like taint_closure(), but seeded from host-environment sources (file and
+  /// stream IO, sockets, sleeps, process calls) as well as nondeterminism
+  /// sources — the dist-purity rule cares about both.
+  void purity_closure() {
+    std::deque<std::string> work;
+    for (const auto& [q, n] : nodes_) {
+      std::string origin;
+      if (!n.io_taints.empty()) {
+        origin = n.io_taints.front().origin;
+      } else if (!n.taints.empty()) {
+        origin = n.taints.front().origin;
+      }
+      if (origin.empty()) continue;
+      impure_[q] = TaintMark{std::move(origin), {}};
+      work.push_back(q);
+    }
+    while (!work.empty()) {
+      const std::string cur = std::move(work.front());
+      work.pop_front();
+      const auto cs = callers_.find(cur);
+      if (cs == callers_.end()) continue;
+      const TaintMark mark = impure_[cur];
+      for (const std::string& caller : cs->second) {
+        if (impure_.count(caller) != 0) continue;
+        TaintMark up;
+        up.origin = mark.origin;
+        up.path.reserve(mark.path.size() + 1);
+        up.path.push_back(cur);
+        up.path.insert(up.path.end(), mark.path.begin(), mark.path.end());
+        impure_[caller] = std::move(up);
+        work.push_back(caller);
+      }
+    }
+  }
+
+  /// Pure state-machine zone: the deterministic core, plus src/dist outside
+  /// dist/host. HPCS_HOST-wrapped definitions are exempt by construction.
+  [[nodiscard]] bool purity_subject(const Node& n) const {
+    if (!n.has_body || n.in_host) return false;
+    if (n.is_protected) return true;
+    return is_pure_machine_file(tus_[n.def_tu].file);
+  }
+
+  void report_purity() {
+    for (const auto& [q, n] : nodes_) {
+      if (!purity_subject(n)) continue;
+      const auto t = impure_.find(q);
+      if (t == impure_.end()) continue;
+      // det-taint already reports this node: one finding per defect.
+      if (n.is_protected && tainted_.count(q) != 0) continue;
+      std::string msg = "state-machine function '" + q +
+                        "' reaches a host-environment source (" + t->second.origin +
+                        ")";
+      if (!t->second.path.empty()) {
+        msg += " via ";
+        const std::size_t shown = std::min<std::size_t>(t->second.path.size(), 4);
+        for (std::size_t i = 0; i < shown; ++i) {
+          if (i != 0) msg += " -> ";
+          msg += t->second.path[i];
+        }
+        if (shown < t->second.path.size()) msg += " -> ...";
+      }
+      msg += "; drive it from now_ms and the config, move the call into an "
+             "HPCS_HOST_BEGIN/END region, or HPCSLINT-ALLOW(dist-purity) the "
+             "definition";
+      report("dist-purity", n.def_tu, n.def_line, std::move(msg));
     }
   }
 };

@@ -1,7 +1,7 @@
 // SARIF 2.1.0 emission and baseline handling.
 //
 // The baseline workflow: `hpcslint --sarif FILE` renders every finding with
-// a stable partialFingerprint ("hpcslint/v1"); the checked-in
+// a stable partialFingerprint ("hpcslint/v2"); the checked-in
 // tools/hpcslint/baseline.sarif.json is simply a previous run's output. CI
 // re-lints, loads the baseline's fingerprint set, and fails only on
 // findings whose fingerprint is new — so pre-existing accepted findings
@@ -10,7 +10,11 @@
 // Fingerprints hash file|rule|message (FNV-1a) plus an occurrence index for
 // identical tuples — deliberately NOT the line number, so inserting a
 // comment above a baselined finding does not invalidate the baseline, while
-// a genuinely new second occurrence of the same finding still gates.
+// a genuinely new second occurrence of the same finding still gates. Since
+// v2 of the fingerprint scheme the file path — and every path embedded in
+// the message (taint origins render "what at file:line") — is relativized
+// against the configured repository root before hashing, so a baseline
+// recorded in /home/dev/repo matches a CI run in /__w/repo/repo.
 
 #include <cstdint>
 #include <cstdio>
@@ -22,6 +26,10 @@
 namespace hpcslint {
 namespace {
 
+/// Repository root paths are relativized against; "" = leave paths alone.
+/// Normalized to generic form with a trailing slash for prefix matching.
+std::string g_path_root;  // NOLINT: set once in main before any linting
+
 std::uint64_t fnv1a(std::string_view s) {
   std::uint64_t h = 1469598103934665603ULL;
   for (const char c : s) {
@@ -31,23 +39,55 @@ std::uint64_t fnv1a(std::string_view s) {
   return h;
 }
 
+/// Strip every occurrence of the root prefix — covers the file field and
+/// paths embedded mid-message ("... at /repo/src/x.cpp:12").
+std::string strip_root(const std::string& s) {
+  if (g_path_root.empty()) return s;
+  std::string out;
+  out.reserve(s.size());
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t hit = s.find(g_path_root, pos);
+    if (hit == std::string::npos) {
+      out.append(s, pos, std::string::npos);
+      break;
+    }
+    out.append(s, pos, hit - pos);
+    pos = hit + g_path_root.size();  // drop the prefix, keep the relative tail
+  }
+  return out;
+}
+
+std::string portable_key(const Finding& f) {
+  return strip_root(f.file) + "|" + f.rule + "|" + strip_root(f.message);
+}
+
 std::string fingerprint_of(const Finding& f, int occurrence) {
-  const std::string key = f.file + "|" + f.rule + "|" + f.message;
   char buf[32];
   std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(fnv1a(key)));
+                static_cast<unsigned long long>(fnv1a(portable_key(f))));
   return std::string(buf) + "-" + std::to_string(occurrence);
 }
 
 }  // namespace
+
+void set_sarif_path_root(const std::filesystem::path& root) {
+  if (root.empty()) {
+    g_path_root.clear();
+    return;
+  }
+  g_path_root = root.generic_string();
+  if (g_path_root.back() != '/') g_path_root += '/';
+}
+
+std::string sarif_relative_path(const std::string& file) { return strip_root(file); }
 
 std::vector<std::string> fingerprints(const std::vector<Finding>& fs) {
   std::vector<std::string> out;
   out.reserve(fs.size());
   std::map<std::string, int> seen;
   for (const Finding& f : fs) {
-    const std::string key = f.file + "|" + f.rule + "|" + f.message;
-    out.push_back(fingerprint_of(f, seen[key]++));
+    out.push_back(fingerprint_of(f, seen[portable_key(f)]++));
   }
   return out;
 }
@@ -63,7 +103,7 @@ std::string sarif_report(const std::vector<Finding>& fs) {
   out += "      \"tool\": {\n";
   out += "        \"driver\": {\n";
   out += "          \"name\": \"hpcslint\",\n";
-  out += "          \"version\": \"2.0.0\",\n";
+  out += "          \"version\": \"3.0.0\",\n";
   out += "          \"informationUri\": \"docs/static_analysis.md\",\n";
   out += "          \"rules\": [\n";
   const std::vector<std::string>& names = rule_names();
@@ -80,18 +120,19 @@ std::string sarif_report(const std::vector<Finding>& fs) {
     out += "        {\n";
     out += "          \"ruleId\": \"" + json::escape(f.rule) + "\",\n";
     out += "          \"level\": \"error\",\n";
-    out += "          \"message\": {\"text\": \"" + json::escape(f.message) + "\"},\n";
+    out += "          \"message\": {\"text\": \"" + json::escape(strip_root(f.message)) +
+           "\"},\n";
     out += "          \"locations\": [\n";
     out += "            {\n";
     out += "              \"physicalLocation\": {\n";
-    out += "                \"artifactLocation\": {\"uri\": \"" + json::escape(f.file) +
-           "\"},\n";
+    out += "                \"artifactLocation\": {\"uri\": \"" +
+           json::escape(strip_root(f.file)) + "\"},\n";
     out += "                \"region\": {\"startLine\": " + std::to_string(f.line) +
            "}\n";
     out += "              }\n";
     out += "            }\n";
     out += "          ],\n";
-    out += "          \"partialFingerprints\": {\"hpcslint/v1\": \"" +
+    out += "          \"partialFingerprints\": {\"hpcslint/v2\": \"" +
            json::escape(fps[i]) + "\"}\n";
     out += "        }";
     out += i + 1 < fs.size() ? ",\n" : "\n";
@@ -118,7 +159,10 @@ bool load_baseline(std::string_view sarif_text, std::set<std::string>& out,
     for (const json::Value& result : results->arr) {
       const json::Value* pf = result.get("partialFingerprints");
       if (pf == nullptr) continue;
-      const json::Value* fp = pf->get("hpcslint/v1");
+      // v2 is current; v1 (absolute-path era) baselines still load so an old
+      // checked-in file degrades to "everything is new" only if paths moved.
+      const json::Value* fp = pf->get("hpcslint/v2");
+      if (fp == nullptr) fp = pf->get("hpcslint/v1");
       if (fp != nullptr && fp->is_string()) out.insert(fp->str);
     }
   }

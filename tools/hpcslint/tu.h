@@ -25,22 +25,49 @@ enum class ContainerKind : unsigned char {
   kUnordered,  ///< unordered_ twins
 };
 
-/// One declared variable (local, parameter-ish, member, or global) that the
-/// container rules care about.
+/// One declared variable (local, parameter, member, or global) that the
+/// container and dispatch rules care about.
 struct VarInfo {
   std::string name;
   ContainerKind kind = ContainerKind::kNone;
   bool pointer_key = false;  ///< first template argument is a pointer type
+  /// Declared type as a `::`-joined chain with template arguments stripped
+  /// ("hpcs::kern::TraceSink" for `TraceSink* s`); "" when unknown. This is
+  /// what lets the linker resolve `s->emit()` to the receiver's class.
+  std::string type;
+  bool is_callback = false;  ///< std::function / InplaceFunction / *Fn / *Callback
   int line = 0;
 };
 
 /// A call expression `name(...)` inside a function body. `chain` keeps the
 /// `::` qualification as written (e.g. {"exp","default_jobs"}); member calls
-/// (`x.f()` / `x->f()`) set `member_access`.
+/// (`x.f()` / `x->f()`) set `member_access` and, when the receiver's declared
+/// type is known in scope, `recv_type` — the hook for class-hierarchy
+/// resolution of virtual dispatch.
 struct CallSite {
   std::vector<std::string> chain;
   bool member_access = false;
+  std::string recv_type;          ///< static type of the receiver ("" unknown)
   std::vector<std::string> held;  ///< mutexes held at the call site (raw names)
+  int line = 0;
+};
+
+/// A callable value captured flowing into a callback slot: a lambda (or
+/// `&`-taken function) assigned into an `InplaceFunction` / `std::function`
+/// field or variable, or passed as a call argument. The link step turns these
+/// into call-graph edges from the slot's invokers (and from callees with
+/// callback-typed parameters) to the callable's body.
+struct CallbackBind {
+  enum class Kind : unsigned char {
+    kField,  ///< `slot_ = <callable>` — target is the slot's field/var name
+    kArg,    ///< `f(..., <callable>, ...)` — target is the called chain
+  };
+  Kind kind = Kind::kField;
+  std::string target;         ///< field name, or `::`-joined callee chain
+  std::string recv_type;      ///< declared type of `obj` in `obj.slot_ = ...`
+  std::string callee;         ///< lambda qname, or `::`-joined function chain
+  std::string encl_qname;     ///< function the bind occurs in (resolution context)
+  std::string encl_class;     ///< its class ("" for free functions)
   int line = 0;
 };
 
@@ -87,9 +114,16 @@ struct FuncInfo {
   int line = 0;
   bool has_body = false;
   bool in_protected_scope = false;  ///< enclosing namespace is a protected subsystem
+  bool is_virtual = false;   ///< declared `virtual`, or marked override/final
+  bool is_override = false;  ///< carries `override`/`final` in the head tail
+  bool in_host_region = false;  ///< definition line sits in HPCS_HOST_BEGIN/END
+  std::vector<VarInfo> params;  ///< parsed parameter list (types for dispatch)
   std::vector<std::string> requires_mutexes;  ///< REQUIRES(...) annotations
   std::vector<CallSite> calls;
   std::vector<TaintSource> taints;
+  /// Host-environment sources for the dist-purity rule: syscalls, file and
+  /// stream IO, sockets, sleeps. Disjoint from `taints` (nondeterminism).
+  std::vector<TaintSource> io_taints;
   std::vector<LockEdge> lock_edges;
   std::vector<std::string> acquired;  ///< every mutex this function locks itself
   std::vector<PendingFieldWrite> pending_writes;
@@ -101,6 +135,8 @@ struct FieldInfo {
   std::string guard;  ///< GUARDED_BY argument ("" = unguarded)
   ContainerKind container = ContainerKind::kNone;
   bool pointer_key = false;
+  std::string type;          ///< declared type chain, template args stripped
+  bool is_callback = false;  ///< std::function / InplaceFunction / *Fn / *Callback
   int line = 0;
 };
 
@@ -118,6 +154,7 @@ struct TuIndex {
   std::vector<Tok> toks;
   std::vector<FuncInfo> funcs;
   std::vector<ClassInfo> classes;
+  std::vector<CallbackBind> binds;      ///< callable values flowing into slots
   std::vector<Finding> local_findings;  ///< findings fully resolved inside the TU
 };
 
@@ -126,6 +163,11 @@ struct TuIndex {
 [[nodiscard]] bool is_protected_segment(std::string_view seg);
 /// True when `file` (a path or label) contains a protected path component.
 [[nodiscard]] bool is_protected_file(const std::string& file);
+/// True when `file` lives in the pure state-machine zone of the sweep fabric:
+/// under a `dist` path component but not under `dist/host`. Functions there
+/// (plus the deterministic core) are subject to the dist-purity rule — they
+/// must be driven by `now_ms` and config, never by the host environment.
+[[nodiscard]] bool is_pure_machine_file(const std::string& file);
 
 /// Parse one TU. `file` becomes Finding::file and decides path-based
 /// protection for the taint rule.
