@@ -48,6 +48,16 @@ namespace hpcs::bench {
 ///                                 versioned header) into PATH for post-mortem
 ///                                 tooling — scripts/obs_ring_decode.py reads
 ///                                 it back (implies --obs)
+///   --obs-window NS / HPCS_OBS_WINDOW=NS
+///                                 sample every registered metric on sim-time
+///                                 window boundaries of NS nanoseconds into
+///                                 the manifest's per-window series (schema
+///                                 hpcs-obs-manifest-v2; implies --obs). The
+///                                 series is byte-identical serial vs --jobs N
+///                                 vs --dist, so scripts/manifest_diff.py can
+///                                 flag mid-run anomalies that identical
+///                                 totals hide. An invalid value aborts with
+///                                 exit code 2.
 struct ObsOptions {
   obs::ObsConfig cfg;
   std::string trace_path;
@@ -59,6 +69,13 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
   auto set_ring = [&](const char* text, const char* origin) {
     std::string error;
     if (!obs::parse_ring_capacity(text, o.cfg.ring_capacity, error)) {
+      std::fprintf(stderr, "error: %s: %s\n", origin, error.c_str());
+      std::exit(2);
+    }
+  };
+  auto set_window = [&](const char* text, const char* origin) {
+    std::string error;
+    if (!obs::parse_window_ns(text, o.cfg.window_ns, error)) {
       std::fprintf(stderr, "error: %s: %s\n", origin, error.c_str());
       std::exit(2);
     }
@@ -78,6 +95,9 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
   if (const char* env = std::getenv("HPCS_OBS_RING_DUMP")) {
     if (env[0] != '\0') o.ring_dump_path = env;
   }
+  if (const char* env = std::getenv("HPCS_OBS_WINDOW")) {
+    if (env[0] != '\0') set_window(env, "HPCS_OBS_WINDOW");
+  }
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--obs") == 0) {
@@ -96,6 +116,10 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
       set_ring(argv[++i], "--obs-ring");
     } else if (std::strncmp(a, "--obs-ring=", 11) == 0) {
       set_ring(a + 11, "--obs-ring");
+    } else if (std::strcmp(a, "--obs-window") == 0 && i + 1 < argc) {
+      set_window(argv[++i], "--obs-window");
+    } else if (std::strncmp(a, "--obs-window=", 13) == 0) {
+      set_window(a + 13, "--obs-window");
     }
   }
   if (!o.trace_path.empty()) {
@@ -103,6 +127,7 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
     o.cfg.chrome_trace = true;
   }
   if (!o.ring_dump_path.empty()) o.cfg.enabled = true;
+  if (o.cfg.window_ns > 0) o.cfg.enabled = true;
   return o;
 }
 
@@ -189,7 +214,8 @@ inline void write_obs_outputs(const char* name, const ObsOptions& o, unsigned jo
     std::vector<obs::ChromeTraceRun> runs;
     for (std::size_t i = 0; i < modes.size(); ++i) {
       if (results[i].chrome) {
-        runs.push_back({analysis::sched_mode_name(modes[i]), results[i].chrome.get()});
+        runs.push_back({analysis::sched_mode_name(modes[i]), results[i].chrome.get(),
+                        &results[i].metrics});
       }
     }
     if (obs::write_chrome_trace(o.trace_path, runs)) {

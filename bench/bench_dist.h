@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <unistd.h>
 #include <vector>
@@ -135,12 +136,16 @@ inline void maybe_serve_dist_worker(const DistContext& ctx) {
 }
 // HPCS_HOST_END
 
-/// MANIFEST_<name>.fabric.host.json: the fabric's host-side counters
-/// (schema hpcs-dist-fabric-v1). The CI dist-smoke job asserts on these.
+/// MANIFEST_<name>.fabric.host.json: the fabric's host-side counters plus,
+/// since v2, the per-shard spans and (when --obs is on) the coordinator's
+/// fabric-tracepoint hit counts (schema hpcs-dist-fabric-v2). The CI
+/// dist-smoke job asserts on these.
 inline void write_fabric_sidecar(const char* name, std::uint16_t port,
-                                 const dist::FabricStats& s) {
+                                 const dist::FabricStats& s,
+                                 const std::vector<dist::ShardSpan>& spans,
+                                 obs::Recorder* rec = nullptr) {
   JsonObject root;
-  root.field("schema", "hpcs-dist-fabric-v1").field("bench", name).field("port", port);
+  root.field("schema", "hpcs-dist-fabric-v2").field("bench", name).field("port", port);
   JsonObject fabric;
   fabric.field("workers_connected", s.workers_connected)
       .field("workers_rejected", s.workers_rejected)
@@ -156,6 +161,29 @@ inline void write_fabric_sidecar(const char* name, std::uint16_t port,
       .field("frames_bad", s.frames_bad)
       .field("fell_back_local", s.fell_back_local ? 1 : 0);
   root.object("fabric", fabric);
+  std::vector<JsonObject> span_objs;
+  for (const dist::ShardSpan& sp : spans) {
+    JsonObject o;
+    o.field("shard", static_cast<std::int64_t>(sp.shard))
+        .field("first_assign_ms", sp.first_assign_ms)
+        .field("done_ms", sp.done_ms)
+        .field("attempts", sp.attempts)
+        .field("done_by", sp.done_by);
+    span_objs.push_back(std::move(o));
+  }
+  root.array("spans", span_objs);
+  if (rec != nullptr) {
+    // Fabric tracepoint hit counts: the coordinator's view of the run
+    // (assign/row/retry/steal/heartbeat). Snapshot at sidecar-write time.
+    JsonObject tps;
+    obs::MetricsRegistry& m = rec->metrics();
+    for (const obs::TpId id :
+         {obs::TpId::kTpDistAssign, obs::TpId::kTpDistRow, obs::TpId::kTpDistRetry,
+          obs::TpId::kTpDistSteal, obs::TpId::kTpDistHeartbeat}) {
+      tps.field(obs::tp_name(id), m.counter(std::string("tp.") + obs::tp_name(id)).value());
+    }
+    root.object("tracepoints", tps);
+  }
   write_json_file(std::string("MANIFEST_") + name + ".fabric.host.json", root);
 }
 
@@ -186,6 +214,18 @@ inline std::vector<analysis::RunResult> run_modes_dist(
   dist::Coordinator coord(cfg, modes.size(), [job, seed, &obs](std::uint32_t i) {
     return analysis::serialize_run_result(job->run(job->modes[i], seed, obs.cfg));
   });
+
+  // Fabric-side recorder: assign/row/retry/steal/heartbeat tracepoints from
+  // the coordinator's perspective, dumped into the host sidecar below. The
+  // per-run Recorders live inside each point's run_experiment; this one only
+  // watches the fabric itself.
+  std::unique_ptr<obs::Recorder> fabric_rec;
+  if (obs.cfg.enabled) {
+    obs::ObsConfig fcfg = obs.cfg;
+    fcfg.window_ns = 0;  // windows are sim-time; the fabric has none
+    fabric_rec = std::make_unique<obs::Recorder>(fcfg, /*num_cpus=*/1);
+    coord.set_obs(fabric_rec.get());
+  }
 
   // HPCS_HOST_BEGIN — listener setup + the wall-clock service loop.
   std::string err;
@@ -220,7 +260,7 @@ inline std::vector<analysis::RunResult> run_modes_dist(
                static_cast<long long>(s.shards_retried),
                static_cast<long long>(s.shards_stolen),
                static_cast<long long>(s.rows_stale));
-  write_fabric_sidecar(name, bound, s);
+  write_fabric_sidecar(name, bound, s, coord.shard_spans(), fabric_rec.get());
 
   std::vector<analysis::RunResult> results;
   results.reserve(rows.size());

@@ -44,7 +44,9 @@ class FigObs {
     if (!opt_.trace_path.empty()) {
       std::vector<obs::ChromeTraceRun> truns;
       for (std::size_t i = 0; i < results_.size(); ++i) {
-        if (results_[i].chrome) truns.push_back({labels_[i], results_[i].chrome.get()});
+        if (results_[i].chrome) {
+          truns.push_back({labels_[i], results_[i].chrome.get(), &results_[i].metrics});
+        }
       }
       if (obs::write_chrome_trace(opt_.trace_path, truns)) {
         std::printf("wrote Chrome trace: %s (open in ui.perfetto.dev)\n",

@@ -20,13 +20,17 @@ re-baselined deliberately. Wall-clock throughput numbers get loose one-sided
 bounds only.
 
 Besides the golden checks, every MANIFEST_*.json present in the output dir is
-validated against the observability manifest schema (hpcs-obs-manifest-v1):
-run layout, metric kinds, histogram bucket/edge arity, unique metric names,
-and the fixed-layout contract (every run carries the identical metric
-name/kind sequence). Host sidecars (MANIFEST_*.host.json) are checked for
-their own schema tag and engine-stat fields; fabric sidecars
-(MANIFEST_*.fabric.host.json, written by --dist coordinator runs) for the
-hpcs-dist-fabric-v1 schema and its counter fields.
+validated against the observability manifest schema (hpcs-obs-manifest-v1 or
+-v2): run layout, metric kinds, histogram bucket/edge arity, unique metric
+names, and the fixed-layout contract (every run carries the identical metric
+name/kind sequence). v2 manifests additionally carry a "windows" object per
+run (the --obs-window time series), checked for column/sample arity,
+strictly-increasing window timestamps, and one fixed column layout across
+runs. Host sidecars (MANIFEST_*.host.json) are checked for their own schema
+tag and engine-stat fields; fabric sidecars (MANIFEST_*.fabric.host.json,
+written by --dist coordinator runs) for the hpcs-dist-fabric-v2 schema, its
+counter fields, the per-shard "spans" array, and the optional "tracepoints"
+hit-count object.
 
 Exit status: 0 all checks pass, 1 any failure (missing file, missing path,
 out-of-range value, malformed manifest).
@@ -37,10 +41,20 @@ import json
 import os
 import sys
 
-MANIFEST_SCHEMA = "hpcs-obs-manifest-v1"
+MANIFEST_SCHEMAS = ("hpcs-obs-manifest-v1", "hpcs-obs-manifest-v2")
 HOST_SCHEMA = "hpcs-obs-host-v1"
-FABRIC_SCHEMA = "hpcs-dist-fabric-v1"
+FABRIC_SCHEMA = "hpcs-dist-fabric-v2"
 METRIC_KINDS = ("counter", "gauge", "histogram")
+
+# Fabric tracepoint names (obs::tp_name, src/obs/tracepoint.cpp) the v2
+# fabric sidecar's optional "tracepoints" object may carry.
+DIST_TRACEPOINTS = (
+    "dist_assign",
+    "dist_row",
+    "dist_retry",
+    "dist_steal",
+    "dist_heartbeat",
+)
 
 # Event-queue counter family: a manifest that carries any sim.eq_* metric
 # must carry the whole set (obs/recorder.cpp registers them together — a
@@ -79,11 +93,73 @@ FABRIC_COUNTERS = (
 )
 
 
+def validate_windows(win, where, window_layout):
+    """Validate one run's v2 "windows" object; returns (problems, layout)."""
+    problems = []
+    if not isinstance(win, dict):
+        return [f"{where}.windows must be an object"], window_layout
+    window_ns = win.get("window_ns")
+    if not isinstance(window_ns, int) or window_ns < 0:
+        problems.append(f"{where}.windows.window_ns must be a non-negative integer")
+    int_cols = win.get("int_columns")
+    real_cols = win.get("real_columns")
+    samples = win.get("samples")
+    for key, val in (("int_columns", int_cols), ("real_columns", real_cols)):
+        if not isinstance(val, list) or any(not isinstance(c, str) or not c for c in val):
+            problems.append(f"{where}.windows.{key} must be an array of names")
+            return problems, window_layout
+    if not isinstance(samples, list):
+        problems.append(f"{where}.windows.samples must be an array")
+        return problems, window_layout
+
+    prev_t = 0
+    for si, s in enumerate(samples):
+        swhere = f"{where}.windows.samples.{si}"
+        if not isinstance(s, dict):
+            problems.append(f"{swhere} must be an object")
+            continue
+        t_ns = s.get("t_ns")
+        if not isinstance(t_ns, int) or t_ns <= prev_t:
+            problems.append(
+                f"{swhere}.t_ns = {t_ns!r} not strictly after previous ({prev_t}) — "
+                "window timestamps must be positive and monotonic"
+            )
+        else:
+            prev_t = t_ns
+        ints, reals = s.get("ints"), s.get("reals")
+        if not isinstance(ints, list) or len(ints) != len(int_cols):
+            problems.append(
+                f"{swhere}.ints has {len(ints) if isinstance(ints, list) else '??'} "
+                f"values for {len(int_cols)} int_columns"
+            )
+        elif any(not isinstance(v, int) for v in ints):
+            problems.append(f"{swhere}.ints must be integers")
+        if not isinstance(reals, list) or len(reals) != len(real_cols):
+            problems.append(
+                f"{swhere}.reals has {len(reals) if isinstance(reals, list) else '??'} "
+                f"values for {len(real_cols)} real_columns"
+            )
+        elif any(not isinstance(v, (int, float)) for v in reals):
+            problems.append(f"{swhere}.reals must be numbers")
+
+    this_layout = (window_ns, tuple(int_cols), tuple(real_cols))
+    if window_layout is None:
+        window_layout = this_layout
+    elif this_layout != window_layout:
+        problems.append(
+            f"{where}.windows: column layout or period differs from runs.0 — "
+            "the windowed series shares the manifest's fixed-layout contract"
+        )
+    return problems, window_layout
+
+
 def validate_manifest(doc, fname):
     """Return a list of problem strings for one manifest document."""
     problems = []
-    if doc.get("schema") != MANIFEST_SCHEMA:
-        problems.append(f"schema is {doc.get('schema')!r}, want {MANIFEST_SCHEMA!r}")
+    schema = doc.get("schema")
+    if schema not in MANIFEST_SCHEMAS:
+        problems.append(f"schema is {schema!r}, want one of {MANIFEST_SCHEMAS}")
+    v2 = schema == "hpcs-obs-manifest-v2"
     if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
         problems.append("bench must be a non-empty string")
     runs = doc.get("runs")
@@ -92,6 +168,7 @@ def validate_manifest(doc, fname):
         return problems
 
     layout = None  # (name, kind) sequence every run must share
+    window_layout = None  # (window_ns, int_columns, real_columns) ditto
     for ri, run in enumerate(runs):
         where = f"runs.{ri}"
         if not isinstance(run.get("name"), str) or not run.get("name"):
@@ -156,6 +233,14 @@ def validate_manifest(doc, fname):
                 problems.append(
                     f"{where}: event-queue counter set incomplete, missing {missing}"
                 )
+
+        if v2:
+            wproblems, window_layout = validate_windows(
+                run.get("windows"), where, window_layout
+            )
+            problems.extend(wproblems)
+        elif "windows" in run:
+            problems.append(f"{where}: a v1 manifest must not carry a windows object")
     return problems
 
 
@@ -201,6 +286,49 @@ def validate_fabric_sidecar(doc, fname):
             problems.append("fabric.shards_local exceeds shards_total")
         if fabric["rows_remote"] + fabric["rows_local"] == 0 and fabric["shards_total"] > 0:
             problems.append("fabric produced no rows for a non-empty sweep")
+
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        problems.append("spans must be an array (v2)")
+    else:
+        if ints and len(spans) != fabric["shards_total"]:
+            problems.append(
+                f"spans has {len(spans)} entries for fabric.shards_total = "
+                f"{fabric['shards_total']}"
+            )
+        for si, span in enumerate(spans):
+            where = f"spans.{si}"
+            if not isinstance(span, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            if span.get("shard") != si:
+                problems.append(f"{where}.shard = {span.get('shard')!r}, want {si}")
+            for key in ("first_assign_ms", "done_ms"):
+                if not isinstance(span.get(key), int) or span[key] < -1:
+                    problems.append(f"{where}.{key} must be an integer >= -1")
+            if not isinstance(span.get("attempts"), int) or span["attempts"] < 0:
+                problems.append(f"{where}.attempts must be a non-negative integer")
+            if not isinstance(span.get("done_by"), str):
+                problems.append(f"{where}.done_by must be a string")
+            if (
+                isinstance(span.get("first_assign_ms"), int)
+                and isinstance(span.get("done_ms"), int)
+                and span["first_assign_ms"] >= 0
+                and span["done_ms"] >= 0
+                and span["done_ms"] < span["first_assign_ms"]
+            ):
+                problems.append(f"{where}: done_ms precedes first_assign_ms")
+
+    tps = doc.get("tracepoints")
+    if tps is not None:  # present only when the coordinator ran with --obs
+        if not isinstance(tps, dict):
+            problems.append("tracepoints must be an object")
+        else:
+            for key, val in tps.items():
+                if key not in DIST_TRACEPOINTS:
+                    problems.append(f"tracepoints.{key}: not a fabric tracepoint")
+                elif not isinstance(val, int) or val < 0:
+                    problems.append(f"tracepoints.{key} must be a non-negative integer")
     return problems
 
 

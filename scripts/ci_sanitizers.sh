@@ -59,7 +59,19 @@ echo "=== observability smoke: manifests + Chrome trace ==="
 # A parallel obs run must emit a schema-valid manifest pair, and a figure
 # driver must produce a loadable Chrome-trace JSON. The manifests land in
 # build-ci/bench where check_bench_json.py schema-validates them below.
-(cd build-ci/bench && ./table3_metbench --jobs 2 --obs >/dev/null &&
+# --obs-window turns on the v2 windowed series, which must be byte-identical
+# for any --jobs value and must match the checked-in golden (tolerantly: the
+# golden pins the trajectory, manifest_diff.py flags mid-run drift even when
+# totals agree).
+(cd build-ci/bench && ./table3_metbench --jobs 2 --obs --obs-window 10000000000 >/dev/null &&
+  mkdir -p obs-j1 && cd obs-j1 &&
+  ../table3_metbench --jobs 1 --obs --obs-window 10000000000 >/dev/null)
+cmp build-ci/bench/MANIFEST_table3_metbench.json \
+    build-ci/bench/obs-j1/MANIFEST_table3_metbench.json
+echo "windowed manifest byte-identical: --jobs 1 vs --jobs 2"
+python3 scripts/manifest_diff.py scripts/manifest_golden_v2.json \
+  build-ci/bench/MANIFEST_table3_metbench.json
+(cd build-ci/bench &&
   ./fig3_metbench_trace --obs-trace obs_fig3_trace.json >/dev/null)
 python3 -c "
 import json

@@ -4,11 +4,13 @@
 #   scripts/dist_smoke.sh [BUILD_DIR]     # default: build
 #
 # Runs table3_metbench twice — once serially, once as a --dist coordinator
-# fed by two hpcs-distd workers over localhost TCP — and requires the
-# printed table, BENCH_*.json and MANIFEST_*.json to be byte-identical.
-# Then asserts the fabric sidecar shows both workers connected and doing
-# real row work, and schema-validates the fabric output dir (including the
-# hpcs-dist-fabric-v1 sidecar) with scripts/check_bench_json.py.
+# fed by two hpcs-distd workers over localhost TCP — with --obs-window on,
+# and requires the printed table, BENCH_*.json and MANIFEST_*.json (v2,
+# windowed series included) to be byte-identical. Then asserts the fabric
+# sidecar shows both workers connected and doing real row work, carries the
+# per-shard spans and fabric tracepoint counts, and schema-validates the
+# fabric output dir (including the hpcs-dist-fabric-v2 sidecar) with
+# scripts/check_bench_json.py.
 #
 # Needs the table3_metbench and hpcs-distd targets already built in
 # BUILD_DIR. Exit status: 0 on success, 1 on any divergence or timeout.
@@ -33,13 +35,19 @@ SMOKE_DIR="${BUILD_DIR}/dist-smoke"
 rm -rf "${SMOKE_DIR}"
 mkdir -p "${SMOKE_DIR}/serial" "${SMOKE_DIR}/fabric"
 
+# 10-second simulated windows: enough boundaries for a real series without
+# bloating the byte-compared manifests.
+OBS_WINDOW=10000000000
+
 echo "--- serial reference run"
-(cd "${SMOKE_DIR}/serial" && "${BENCH_ABS}/table3_metbench" --obs > stdout.txt)
+(cd "${SMOKE_DIR}/serial" &&
+  "${BENCH_ABS}/table3_metbench" --obs --obs-window "${OBS_WINDOW}" > stdout.txt)
 
 echo "--- coordinator + 2 hpcs-distd workers"
 (
   cd "${SMOKE_DIR}/fabric"
-  "${BENCH_ABS}/table3_metbench" --obs --dist coordinator:0 \
+  "${BENCH_ABS}/table3_metbench" --obs --obs-window "${OBS_WINDOW}" \
+    --dist coordinator:0 \
     --dist-port-file port.txt > stdout.txt &
   coord=$!
   for _ in $(seq 1 150); do
@@ -69,12 +77,21 @@ echo "serial vs fabric: table, BENCH json, metrics manifest all byte-identical"
 python3 -c "
 import json
 doc = json.load(open('${SMOKE_DIR}/fabric/MANIFEST_table3_metbench.fabric.host.json'))
-assert doc['schema'] == 'hpcs-dist-fabric-v1', doc
+assert doc['schema'] == 'hpcs-dist-fabric-v2', doc
 f = doc['fabric']
 assert f['workers_connected'] == 2, f
 assert f['rows_remote'] + f['rows_local'] == f['shards_total'], f
 assert f['rows_remote'] >= 1, f
+spans = doc['spans']
+assert len(spans) == f['shards_total'], spans
+done_remote = [s for s in spans if s['done_by'] != 'local']
+assert len(done_remote) == f['rows_remote'], spans
+assert all(s['done_ms'] >= s['first_assign_ms'] >= 0 for s in done_remote), spans
+tp = doc['tracepoints']
+assert tp['dist_assign'] >= f['shards_assigned'] > 0, tp
+assert tp['dist_row'] == f['rows_remote'] + f['rows_stale'], tp
 print('fabric sidecar ok:', {k: f[k] for k in ('workers_connected', 'rows_remote', 'rows_local')})
+print('fabric tracing ok:', tp, '+', len(spans), 'spans')
 "
 
 # The fabric dir holds a golden-spec'd BENCH file plus the manifest and both

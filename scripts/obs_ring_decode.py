@@ -14,28 +14,45 @@ Format (little-endian, see src/obs/ring_dump.h):
         retained x 32-byte entries { i64 t_ns, u32 tp, i32 cpu, i64 a0, i64 a1 }
 
 Usage:
-    obs_ring_decode.py DUMP            # per-run/per-cpu summary
-    obs_ring_decode.py DUMP --entries  # every retained record, oldest first
+    obs_ring_decode.py DUMP                 # per-run/per-cpu summary
+    obs_ring_decode.py DUMP --entries       # every retained record, oldest first
+    obs_ring_decode.py DUMP --chrome out.json
+                                            # convert to Chrome trace-event JSON
+                                            # (load in chrome://tracing / Perfetto)
+
+The --chrome conversion emits one instant event ("ph":"i") per retained
+record — name = tracepoint name, pid = run index, tid = recording cpu,
+ts = t_ns/1000 microseconds, args = {a0, a1} — plus process/thread naming
+metadata, so the ring's view lines up with a --obs-trace capture of the
+same run when both are loaded side by side.
 """
 
 import argparse
+import json
 import struct
 import sys
 
 MAGIC = b"HPCSRING"
 VERSION = 1
 
-# Mirrors obs::TpId (append-only catalogue, src/obs/tracepoint.h).
+# Mirrors obs::TpId <-> obs::tp_name() (append-only catalogue,
+# src/obs/tracepoint.h / tracepoint.cpp). Keep byte-for-byte in sync: the
+# fabric sidecar's "tracepoints" object is keyed by these strings.
 TP_NAMES = [
     "sched_switch",
-    "wake",
-    "migrate",
-    "balance_pull",
+    "sched_wake",
+    "sched_migrate",
+    "sched_balance_pull",
     "hw_prio",
     "hpc_iteration",
     "hpc_imbalance",
     "hpc_prio_change",
     "hpc_history_reset",
+    "dist_assign",
+    "dist_row",
+    "dist_retry",
+    "dist_steal",
+    "dist_heartbeat",
 ]
 
 
@@ -64,39 +81,98 @@ def tp_name(tp):
     return TP_NAMES[tp] if tp < len(TP_NAMES) else f"tp{tp}"
 
 
-def decode(blob, show_entries):
+def parse(blob):
+    """Decode the dump into [(run_name, [(pushed, dropped, entries)])]."""
     r = Reader(blob)
     if r.take_bytes(8) != MAGIC:
         raise ValueError("not a ring dump (bad magic)")
     version = r.take("<I")
     if version != VERSION:
         raise ValueError(f"unsupported dump version {version} (expected {VERSION})")
-    run_count = r.take("<I")
-    for _ in range(run_count):
+    runs = []
+    for _ in range(r.take("<I")):
         name_len = r.take("<I")
         name = r.take_bytes(name_len).decode("utf-8", "replace")
-        cpu_count = r.take("<I")
-        print(f"run {name}: {cpu_count} cpus")
-        for cpu in range(cpu_count):
+        cpus = []
+        for _ in range(r.take("<I")):
             pushed, dropped, retained = r.take("<QQQ")
-            print(f"  cpu {cpu}: pushed={pushed} dropped={dropped} retained={retained}")
-            for _ in range(retained):
-                t_ns, tp, ecpu, a0, a1 = r.take("<qIiqq")
-                if show_entries:
-                    print(f"    {t_ns / 1e9:14.9f}s cpu{ecpu} {tp_name(tp):18s} a0={a0} a1={a1}")
+            entries = [r.take("<qIiqq") for _ in range(retained)]
+            cpus.append((pushed, dropped, entries))
+        runs.append((name, cpus))
     if r.off != len(blob):
         raise ValueError(f"{len(blob) - r.off} trailing bytes after last run")
+    return runs
+
+
+def print_runs(runs, show_entries):
+    for name, cpus in runs:
+        print(f"run {name}: {len(cpus)} cpus")
+        for cpu, (pushed, dropped, entries) in enumerate(cpus):
+            print(f"  cpu {cpu}: pushed={pushed} dropped={dropped} retained={len(entries)}")
+            if show_entries:
+                for t_ns, tp, ecpu, a0, a1 in entries:
+                    print(
+                        f"    {t_ns / 1e9:14.9f}s cpu{ecpu} {tp_name(tp):18s} a0={a0} a1={a1}"
+                    )
+
+
+def chrome_events(runs):
+    """Chrome trace-event objects for the retained records, oldest first."""
+    events = []
+    for ri, (name, cpus) in enumerate(runs):
+        pid = ri + 1
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}}
+        )
+        for cpu in range(len(cpus)):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": cpu,
+                    "args": {"name": f"ring cpu {cpu}"},
+                }
+            )
+        for cpu, (_pushed, _dropped, entries) in enumerate(cpus):
+            for t_ns, tp, ecpu, a0, a1 in entries:
+                events.append(
+                    {
+                        "name": tp_name(tp),
+                        "ph": "i",
+                        "s": "t",
+                        "pid": pid,
+                        "tid": cpu,
+                        "ts": t_ns / 1000.0,
+                        "args": {"cpu": ecpu, "a0": a0, "a1": a1},
+                    }
+                )
+    return events
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("dump", help="path written by --obs-ring-dump")
     ap.add_argument("--entries", action="store_true", help="print every retained record")
+    ap.add_argument(
+        "--chrome",
+        metavar="OUT",
+        help="write a Chrome trace-event JSON conversion to OUT instead of printing",
+    )
     args = ap.parse_args()
     with open(args.dump, "rb") as f:
         blob = f.read()
     try:
-        decode(blob, args.entries)
+        runs = parse(blob)
+        if args.chrome:
+            doc = {"traceEvents": chrome_events(runs), "displayTimeUnit": "ms"}
+            with open(args.chrome, "w", encoding="utf-8") as f:
+                json.dump(doc, f, indent=None, separators=(",", ":"))
+                f.write("\n")
+            total = sum(len(e) for _, cpus in runs for _, _, e in cpus)
+            print(f"wrote {args.chrome}: {total} events from {len(runs)} run(s)")
+        else:
+            print_runs(runs, args.entries)
     except ValueError as e:
         print(f"error: {e}", file=sys.stderr)
         return 1

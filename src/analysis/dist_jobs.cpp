@@ -8,7 +8,9 @@ namespace hpcs::analysis {
 
 namespace {
 
-constexpr std::uint32_t kParamsVersion = 1;
+/// v2: carries obs window_ns so fabric workers reproduce the windowed
+/// series — without it a --dist manifest could never match a local one.
+constexpr std::uint32_t kParamsVersion = 2;
 
 RunResult run_table3(SchedMode m, std::uint64_t seed, const obs::ObsConfig& obs) {
   return run_metbench(MetBenchExperiment::paper(), m, /*trace=*/false, seed, obs);
@@ -58,7 +60,8 @@ std::string encode_job_params(std::uint64_t seed, const obs::ObsConfig& obs) {
   w.u32(kParamsVersion)
       .u64(seed)
       .u8(obs.enabled ? 1 : 0)
-      .u64(obs.ring_capacity);
+      .u64(obs.ring_capacity)
+      .i64(obs.window_ns);
   return w.take();
 }
 
@@ -68,6 +71,7 @@ bool decode_job_params(const std::string& blob, std::uint64_t& seed, obs::ObsCon
   seed = r.u64();
   obs.enabled = r.u8() != 0;
   obs.ring_capacity = r.u64();
+  obs.window_ns = r.i64();
   obs.chrome_trace = false;  // trace capture never crosses the fabric
   obs.chrome_stream = false;
   return r.done();

@@ -8,13 +8,15 @@ namespace {
 
 /// Layout version of the serialized RunResult; bumped on any field change so
 /// a stale worker binary is rejected instead of misread.
-constexpr std::uint32_t kRunResultVersion = 1;
+/// v2: MetricsSnapshot carries the manifest-v2 windowed series.
+constexpr std::uint32_t kRunResultVersion = 2;
 
 /// Sanity caps: a count above these is a corrupt blob, not a plausible run.
 constexpr std::uint32_t kMaxRanks = 1u << 16;
 constexpr std::uint32_t kMaxMarks = 1u << 24;
 constexpr std::uint32_t kMaxMetrics = 1u << 20;
 constexpr std::uint32_t kMaxBuckets = 1u << 16;
+constexpr std::uint32_t kMaxWindows = 1u << 24;
 
 void put_task(dist::WireWriter& w, const TaskResult& t) {
   w.str(t.name)
@@ -70,6 +72,43 @@ bool get_metric(dist::WireReader& r, obs::MetricValue& m) {
   return r.ok();
 }
 
+void put_windows(dist::WireWriter& w, const obs::WindowedSeries& s) {
+  w.i64(s.window_ns);
+  w.u32(static_cast<std::uint32_t>(s.int_columns.size()));
+  for (const std::string& c : s.int_columns) w.str(c);
+  w.u32(static_cast<std::uint32_t>(s.real_columns.size()));
+  for (const std::string& c : s.real_columns) w.str(c);
+  w.u32(static_cast<std::uint32_t>(s.samples.size()));
+  for (const obs::WindowSample& sm : s.samples) {
+    w.i64(sm.end.ns());
+    for (const std::int64_t v : sm.ints) w.i64(v);
+    for (const double v : sm.reals) w.f64(v);
+  }
+}
+
+bool get_windows(dist::WireReader& r, obs::WindowedSeries& s) {
+  s.window_ns = r.i64();
+  const std::uint32_t ni = r.u32();
+  if (!r.ok() || ni > kMaxMetrics) return false;
+  s.int_columns.resize(ni);
+  for (std::string& c : s.int_columns) c = r.str();
+  const std::uint32_t nr = r.u32();
+  if (!r.ok() || nr > kMaxMetrics) return false;
+  s.real_columns.resize(nr);
+  for (std::string& c : s.real_columns) c = r.str();
+  const std::uint32_t ns = r.u32();
+  if (!r.ok() || ns > kMaxWindows) return false;
+  s.samples.assign(ns, {});
+  for (obs::WindowSample& sm : s.samples) {
+    sm.end = SimTime(r.i64());
+    sm.ints.resize(ni);
+    for (std::int64_t& v : sm.ints) v = r.i64();
+    sm.reals.resize(nr);
+    for (double& v : sm.reals) v = r.f64();
+  }
+  return r.ok();
+}
+
 }  // namespace
 
 std::string serialize_run_result(const RunResult& r) {
@@ -95,6 +134,7 @@ std::string serialize_run_result(const RunResult& r) {
   w.i64(r.metrics.at.ns());
   w.u32(static_cast<std::uint32_t>(r.metrics.metrics.size()));
   for (const obs::MetricValue& m : r.metrics.metrics) put_metric(w, m);
+  put_windows(w, r.metrics.windows);
   return w.take();
 }
 
@@ -136,6 +176,7 @@ bool deserialize_run_result(const std::string& bytes, RunResult& out) {
   for (obs::MetricValue& m : out.metrics.metrics) {
     if (!get_metric(r, m)) return false;
   }
+  if (!get_windows(r, out.metrics.windows)) return false;
   out.tracer.reset();
   out.recorder.reset();
   out.chrome.reset();

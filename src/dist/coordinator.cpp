@@ -11,6 +11,13 @@ namespace hpcs::dist {
 
 namespace {
 constexpr const char* kTag = "dist";
+
+/// Tracepoint timestamps: the fabric's only clock is now_ms, scaled to the
+/// nanosecond domain TraceEntry uses. Deterministic whenever now_ms is (the
+/// loopback tests drive an explicit clock).
+[[nodiscard]] SimTime ms_time(std::int64_t now_ms) {
+  return SimTime(now_ms * 1'000'000);
+}
 }
 
 Coordinator::Coordinator(CoordinatorConfig cfg, std::size_t count, TaskFn local_fn)
@@ -80,7 +87,7 @@ void Coordinator::step(std::int64_t now_ms) {
   for (std::size_t si = 0; si < shards_.size(); ++si) {
     Shard& s = shards_[si];
     if (s.state == ShardState::kPending && s.attempts >= cfg_.max_shard_attempts) {
-      run_shard_locally(si);
+      run_shard_locally(si, now_ms);
     }
   }
 
@@ -99,7 +106,7 @@ void Coordinator::step(std::int64_t now_ms) {
         HPCS_LOG_WARN(kTag, "all workers dead; running %zu remaining points locally",
                       rows_.size() - committed_);
       }
-      run_remaining_locally();
+      run_remaining_locally(now_ms);
     }
   }
 
@@ -172,6 +179,9 @@ void Coordinator::handle_frame(std::size_t wi, const Frame& f, std::int64_t now_
         kill_peer(wi, "malformed ROW", now_ms);
         return;
       }
+      HPCS_TRACEPOINT(obs_, obs::TpId::kTpDistRow, ms_time(now_ms),
+                      static_cast<CpuId>(wi), row.index,
+                      static_cast<std::int64_t>(row.shard));
       commit_row(row.index, std::move(row.payload), /*remote=*/true);
       if (row.shard < shards_.size()) {
         Shard& s = shards_[row.shard];
@@ -196,7 +206,7 @@ void Coordinator::handle_frame(std::size_t wi, const Frame& f, std::int64_t now_
             s.indices.begin(), s.indices.end(),
             [this](std::uint32_t i) { return row_present_[i] != 0; });
         if (complete) {
-          s.state = ShardState::kDone;
+          mark_done(s, now_ms, w.name);
         } else {
           // DONE without the rows: treat like a failed attempt.
           s.state = ShardState::kPending;
@@ -211,6 +221,8 @@ void Coordinator::handle_frame(std::size_t wi, const Frame& f, std::int64_t now_
       return;
     }
     case FrameType::kHeartbeat:
+      HPCS_TRACEPOINT(obs_, obs::TpId::kTpDistHeartbeat, ms_time(now_ms),
+                      static_cast<CpuId>(wi), static_cast<std::int64_t>(wi), 0);
       return;  // last_seen refresh is all a heartbeat means
     case FrameType::kError: {
       Error e;
@@ -249,13 +261,20 @@ void Coordinator::kill_peer(std::size_t wi, const char* why, std::int64_t now_ms
 
 void Coordinator::requeue_shard(std::size_t si, std::int64_t now_ms, bool stolen) {
   Shard& s = shards_[si];
+  const int prev_owner = s.owner;
   if (stolen) {
     // Keep the slow owner's slot occupied until it reports DONE or dies —
     // a worker that cannot finish a shard should not be handed another.
     s.stolen_from = s.owner;
     ++stats_.shards_stolen;
+    HPCS_TRACEPOINT(obs_, obs::TpId::kTpDistSteal, ms_time(now_ms),
+                    static_cast<CpuId>(prev_owner), static_cast<std::int64_t>(si),
+                    prev_owner);
   } else {
     ++stats_.shards_retried;
+    HPCS_TRACEPOINT(obs_, obs::TpId::kTpDistRetry, ms_time(now_ms),
+                    static_cast<CpuId>(prev_owner), static_cast<std::int64_t>(si),
+                    s.attempts);
   }
   s.owner = -1;
   // Everything already streamed back stays committed (points are pure), so
@@ -264,7 +283,9 @@ void Coordinator::requeue_shard(std::size_t si, std::int64_t now_ms, bool stolen
       std::all_of(s.indices.begin(), s.indices.end(),
                   [this](std::uint32_t i) { return row_present_[i] != 0; });
   if (complete) {
-    s.state = ShardState::kDone;
+    mark_done(s, now_ms,
+              prev_owner >= 0 ? workers_[static_cast<std::size_t>(prev_owner)].name
+                              : std::string("local"));
     return;
   }
   s.state = ShardState::kPending;
@@ -298,8 +319,12 @@ void Coordinator::assign_ready_shards(std::int64_t now_ms) {
       s.owner = static_cast<int>(wi);
       ++s.attempts;
       s.progress_ms = now_ms;
+      if (s.first_assign_ms < 0) s.first_assign_ms = now_ms;
       ++w.busy_shards;
       ++stats_.shards_assigned;
+      HPCS_TRACEPOINT(obs_, obs::TpId::kTpDistAssign, ms_time(now_ms),
+                      static_cast<CpuId>(wi), static_cast<std::int64_t>(pick),
+                      s.attempts);
     }
   }
 }
@@ -322,17 +347,17 @@ void Coordinator::commit_row(std::uint32_t index, std::string payload, bool remo
   }
 }
 
-void Coordinator::run_shard_locally(std::size_t si) {
+void Coordinator::run_shard_locally(std::size_t si, std::int64_t now_ms) {
   Shard& s = shards_[si];
   for (const std::uint32_t i : s.indices) {
     if (row_present_[i] == 0) commit_row(i, local_fn_(i), /*remote=*/false);
   }
-  s.state = ShardState::kDone;
+  mark_done(s, now_ms, "local");
   s.owner = -1;
   ++stats_.shards_local;
 }
 
-void Coordinator::run_remaining_locally() {
+void Coordinator::run_remaining_locally(std::int64_t now_ms) {
   stats_.fell_back_local = true;
   std::vector<std::uint32_t> todo;
   for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(rows_.size()); ++i) {
@@ -348,11 +373,35 @@ void Coordinator::run_remaining_locally() {
   }
   for (Shard& s : shards_) {
     if (s.state != ShardState::kDone) {
-      s.state = ShardState::kDone;
+      mark_done(s, now_ms, "local");
       s.owner = -1;
       ++stats_.shards_local;
     }
   }
+}
+
+void Coordinator::mark_done(Shard& s, std::int64_t now_ms, const std::string& who) {
+  s.state = ShardState::kDone;
+  if (s.done_ms < 0) {
+    s.done_ms = now_ms;
+    s.done_by = who;
+  }
+}
+
+std::vector<ShardSpan> Coordinator::shard_spans() const {
+  std::vector<ShardSpan> spans;
+  spans.reserve(shards_.size());
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    const Shard& s = shards_[si];
+    ShardSpan sp;
+    sp.shard = static_cast<std::uint32_t>(si);
+    sp.first_assign_ms = s.first_assign_ms;
+    sp.done_ms = s.done_ms;
+    sp.attempts = s.attempts;
+    sp.done_by = s.done_by;
+    spans.push_back(std::move(sp));
+  }
+  return spans;
 }
 
 void Coordinator::maybe_finish(std::int64_t) {

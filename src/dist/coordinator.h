@@ -36,6 +36,7 @@
 #include "dist/protocol.h"
 #include "dist/registry.h"
 #include "dist/transport.h"
+#include "obs/recorder.h"
 
 namespace hpcs::dist {
 
@@ -56,6 +57,19 @@ struct FabricStats {
   std::int64_t rows_stale = 0;         ///< duplicate/late rows discarded
   std::int64_t frames_bad = 0;         ///< corrupt frames / decode failures
   bool fell_back_local = false;        ///< the no-workers degradation path ran
+};
+
+/// One shard's fabric lifetime for the sidecar's "spans" array: when it was
+/// first assigned, when its last row landed, how many assignments it took and
+/// who finished it. Times are the fabric's now_ms (wall-clock under real TCP,
+/// the injected clock under loopback tests) — host-side data, never part of
+/// deterministic output.
+struct ShardSpan {
+  std::uint32_t shard = 0;
+  std::int64_t first_assign_ms = -1;  ///< -1 = never assigned remotely
+  std::int64_t done_ms = -1;          ///< -1 = finished outside step() timing
+  int attempts = 0;
+  std::string done_by;                ///< worker name, or "local"
 };
 
 struct CoordinatorConfig {
@@ -94,6 +108,16 @@ class Coordinator {
   /// Live (accepted, not dead) worker count — liveness gauge for the sidecar.
   [[nodiscard]] int workers_alive() const;
 
+  /// Attach a fabric-side observability recorder: assign/row/retry/steal/
+  /// heartbeat tracepoints fire with `when` = now_ms scaled to nanoseconds
+  /// and `cpu` = worker index. nullptr (the default) keeps every site a
+  /// single branch, exactly like the kernel's seam.
+  void set_obs(obs::Recorder* rec) { obs_ = rec; }
+  [[nodiscard]] obs::Recorder* obs() const { return obs_; }
+
+  /// Per-shard spans in shard order; stable once done().
+  [[nodiscard]] std::vector<ShardSpan> shard_spans() const;
+
  private:
   enum class ShardState : std::uint8_t { kPending, kAssigned, kDone };
 
@@ -105,6 +129,9 @@ class Coordinator {
     std::int64_t progress_ms = 0; ///< last assign/row time while assigned
     int owner = -1;               ///< index into workers_ while assigned
     int stolen_from = -1;         ///< previous owner still grinding (steal)
+    std::int64_t first_assign_ms = -1;  ///< span start (first ASSIGN sent)
+    std::int64_t done_ms = -1;          ///< span end (shard became kDone)
+    std::string done_by;                ///< finisher ("local" or worker name)
   };
 
   struct WorkerPeer {
@@ -124,10 +151,11 @@ class Coordinator {
   void requeue_shard(std::size_t si, std::int64_t now_ms, bool stolen);
   void assign_ready_shards(std::int64_t now_ms);
   void commit_row(std::uint32_t index, std::string payload, bool remote);
-  void run_shard_locally(std::size_t si);
-  void run_remaining_locally();
+  void run_shard_locally(std::size_t si, std::int64_t now_ms);
+  void run_remaining_locally(std::int64_t now_ms);
   [[nodiscard]] std::int64_t backoff_ms(int attempts) const;
   void maybe_finish(std::int64_t now_ms);
+  void mark_done(Shard& s, std::int64_t now_ms, const std::string& who);
 
   CoordinatorConfig cfg_;
   TaskFn local_fn_;
@@ -137,6 +165,7 @@ class Coordinator {
   std::vector<Shard> shards_;
   std::vector<WorkerPeer> workers_;
   FabricStats stats_;
+  obs::Recorder* obs_ = nullptr;
   std::int64_t start_ms_ = -1;  ///< first step() time (connect-wait anchor)
   bool bye_sent_ = false;
 };

@@ -8,6 +8,12 @@ namespace hpcs::dist {
 
 namespace {
 constexpr const char* kTag = "dist";
+
+/// Tracepoint timestamps: now_ms scaled to the TraceEntry nanosecond domain
+/// (deterministic under the loopback transport's explicit clock).
+[[nodiscard]] SimTime ms_time(std::int64_t now_ms) {
+  return SimTime(now_ms * 1'000'000);
+}
 }
 
 WorkerSession::WorkerSession(WorkerConfig cfg, const JobRegistry& jobs,
@@ -36,7 +42,7 @@ bool WorkerSession::step(std::int64_t now_ms) {
       fail("corrupt stream from coordinator: " + decoder_.error(), /*tell_peer=*/true);
       return false;
     }
-    handle_frame(f);
+    handle_frame(f, now_ms);
     if (finished()) return false;
   }
 
@@ -47,19 +53,20 @@ bool WorkerSession::step(std::int64_t now_ms) {
   }
 
   if (phase_ == Phase::kRunning && !assigns_.empty()) {
-    execute_one();
+    execute_one(now_ms);
     if (!finished()) last_send_ms_ = now_ms;  // rows/done refresh liveness
     return !finished();
   }
 
   if (last_send_ms_ < 0 || now_ms - last_send_ms_ >= cfg_.heartbeat_interval_ms) {
     if (!send_or_fail(encode_heartbeat())) return false;
+    HPCS_TRACEPOINT(obs_, obs::TpId::kTpDistHeartbeat, ms_time(now_ms), 0, 0, 0);
     last_send_ms_ = now_ms;
   }
   return true;
 }
 
-void WorkerSession::handle_frame(const Frame& f) {
+void WorkerSession::handle_frame(const Frame& f, std::int64_t now_ms) {
   switch (f.type) {
     case FrameType::kHelloAck: {
       HelloAck ack;
@@ -97,6 +104,9 @@ void WorkerSession::handle_frame(const Frame& f) {
           return;
         }
       }
+      HPCS_TRACEPOINT(obs_, obs::TpId::kTpDistAssign, ms_time(now_ms), 0,
+                      static_cast<std::int64_t>(p.shard),
+                      static_cast<std::int64_t>(p.indices.size()));
       assigns_.push_back(std::move(p));
       return;
     }
@@ -123,7 +133,7 @@ void WorkerSession::handle_frame(const Frame& f) {
   }
 }
 
-void WorkerSession::execute_one() {
+void WorkerSession::execute_one(std::int64_t now_ms) {
   PendingShard& p = assigns_.front();
   const std::uint32_t index = p.indices[p.next];
   Row row;
@@ -131,6 +141,9 @@ void WorkerSession::execute_one() {
   row.index = index;
   row.payload = job_.fn(index);
   if (!send_or_fail(encode_row(row))) return;
+  HPCS_TRACEPOINT(obs_, obs::TpId::kTpDistRow, ms_time(now_ms), 0,
+                  static_cast<std::int64_t>(index),
+                  static_cast<std::int64_t>(p.shard));
   ++rows_sent_;
   if (++p.next == p.indices.size()) {
     Done d;

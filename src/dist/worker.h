@@ -22,6 +22,7 @@
 #include "dist/protocol.h"
 #include "dist/registry.h"
 #include "dist/transport.h"
+#include "obs/recorder.h"
 
 namespace hpcs::dist {
 
@@ -51,6 +52,12 @@ class WorkerSession {
   /// True when an ASSIGN is queued but not fully executed — "mid-shard".
   [[nodiscard]] bool mid_shard() const { return !assigns_.empty(); }
 
+  /// Attach a fabric-side observability recorder (assign/row/heartbeat
+  /// tracepoints, now_ms-driven). Same single-branch-off contract as the
+  /// kernel and Coordinator seams.
+  void set_obs(obs::Recorder* rec) { obs_ = rec; }
+  [[nodiscard]] obs::Recorder* obs() const { return obs_; }
+
  private:
   struct PendingShard {
     std::uint64_t shard = 0;
@@ -58,8 +65,8 @@ class WorkerSession {
     std::size_t next = 0;  ///< next position in indices to execute
   };
 
-  void handle_frame(const Frame& f);
-  void execute_one();
+  void handle_frame(const Frame& f, std::int64_t now_ms);
+  void execute_one(std::int64_t now_ms);
   void fail(const std::string& why, bool tell_peer);
   bool send_or_fail(const Frame& f);
 
@@ -75,6 +82,7 @@ class WorkerSession {
   std::int64_t rows_sent_ = 0;
   std::int64_t shards_done_ = 0;
   bool hello_sent_ = false;
+  obs::Recorder* obs_ = nullptr;
 };
 
 }  // namespace hpcs::dist

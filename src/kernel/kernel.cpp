@@ -574,6 +574,9 @@ void Kernel::set_nice(Task& t, int nice) { t.nice = std::clamp(nice, -20, 19); }
 void Kernel::on_tick(CpuId cpu) {
   CpuState& c = cs(cpu);
   ++c.ticks;
+  // Windowed-snapshot flush rides the tick (sim-time driven, so the series
+  // is exactly as deterministic as the totals). Two compares when inactive.
+  if (obs_ != nullptr) obs_->advance_window(now());
   Task* curr = c.rq.curr;
   if (curr != nullptr && curr != c.rq.idle) {
     flush_account(*curr);

@@ -342,6 +342,43 @@ struct EmitVisitor final : ChromeTraceCapture::Visitor {
   }
 };
 
+/// Windowed-series counter tracks ("C" events, one track per column). Flat
+/// all-zero columns are skipped — most runs exercise a fraction of the
+/// catalogue and 40 dead tracks would bury the interesting ones. Emission
+/// order is the fixed column order, so output stays deterministic.
+void append_counter_tracks(std::string& out, bool& first, int pid,
+                           const MetricsSnapshot& metrics) {
+  const WindowedSeries& w = metrics.windows;
+  if (!w.enabled() || w.samples.empty()) return;
+  char buf[256];
+  for (std::size_t c = 0; c < w.int_columns.size(); ++c) {
+    bool flat = true;
+    for (const WindowSample& s : w.samples) flat = flat && s.ints[c] == 0;
+    if (flat) continue;
+    for (const WindowSample& s : w.samples) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"name\":\"win %s\",\"ph\":\"C\",\"pid\":%d,"
+                    "\"ts\":%s,\"args\":{\"v\":%lld}",
+                    esc(w.int_columns[c]).c_str(), pid, us(s.end).c_str(),
+                    static_cast<long long>(s.ints[c]));
+      append_event(out, first, buf);
+    }
+  }
+  for (std::size_t c = 0; c < w.real_columns.size(); ++c) {
+    bool flat = true;
+    for (const WindowSample& s : w.samples) flat = flat && s.reals[c] == 0.0;
+    if (flat) continue;
+    for (const WindowSample& s : w.samples) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"name\":\"win %s\",\"ph\":\"C\",\"pid\":%d,"
+                    "\"ts\":%s,\"args\":{\"v\":%.10g}",
+                    esc(w.real_columns[c]).c_str(), pid, us(s.end).c_str(),
+                    s.reals[c]);
+      append_event(out, first, buf);
+    }
+  }
+}
+
 }  // namespace
 
 std::string render_chrome_trace(const std::vector<ChromeTraceRun>& runs) {
@@ -373,6 +410,10 @@ std::string render_chrome_trace(const std::vector<ChromeTraceRun>& runs) {
 
     EmitVisitor emit(out, first, pid, info);
     sink.replay(emit);
+
+    if (runs[r].metrics != nullptr) {
+      append_counter_tracks(out, first, pid, *runs[r].metrics);
+    }
   }
 
   out += "\n], \"displayTimeUnit\": \"ms\"}\n";

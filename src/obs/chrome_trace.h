@@ -28,6 +28,7 @@
 
 #include "common/types.h"
 #include "kernel/trace_hooks.h"
+#include "obs/metrics.h"
 
 namespace hpcs::obs {
 
@@ -151,10 +152,15 @@ class ChromeTraceStreamSink final : public ChromeTraceCapture {
   std::vector<OpenSlice> open_;  ///< indexed by cpu — the only unbounded-ish state
 };
 
-/// One run ("process") in the exported file.
+/// One run ("process") in the exported file. When `metrics` carries a
+/// windowed series (manifest v2, --obs-window), every non-flat column is
+/// additionally rendered as a Perfetto counter track ("C" events named
+/// "win <column>") on the run's timeline, so per-window scheduler metrics
+/// line up under the CPU slices.
 struct ChromeTraceRun {
   std::string name;  ///< process label, e.g. the mode name
   ChromeTraceCapture* sink = nullptr;
+  const MetricsSnapshot* metrics = nullptr;  ///< optional windowed series source
 };
 
 /// Render the runs as a Chrome trace-event JSON document (deterministic:

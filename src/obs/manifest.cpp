@@ -53,6 +53,37 @@ void append_metric(std::string& out, const MetricValue& m) {
   out += "}";
 }
 
+void append_windows(std::string& out, const WindowedSeries& w) {
+  out += "    \"windows\": {\"window_ns\": " + std::to_string(w.window_ns);
+  out += ", \"int_columns\": [";
+  for (std::size_t i = 0; i < w.int_columns.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + esc(w.int_columns[i]) + "\"";
+  }
+  out += "], \"real_columns\": [";
+  for (std::size_t i = 0; i < w.real_columns.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + esc(w.real_columns[i]) + "\"";
+  }
+  out += "], \"samples\": [";
+  for (std::size_t s = 0; s < w.samples.size(); ++s) {
+    out += s ? ",\n      {" : "\n      {";
+    out += "\"t_ns\": " + std::to_string(w.samples[s].end.ns());
+    out += ", \"ints\": [";
+    for (std::size_t i = 0; i < w.samples[s].ints.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(w.samples[s].ints[i]);
+    }
+    out += "], \"reals\": [";
+    for (std::size_t i = 0; i < w.samples[s].reals.size(); ++i) {
+      if (i) out += ", ";
+      out += fmt_double(w.samples[s].reals[i]);
+    }
+    out += "]}";
+  }
+  out += w.samples.empty() ? "]}" : "\n    ]}";
+}
+
 }  // namespace
 
 std::string render_manifest_json(const std::string& bench,
@@ -73,8 +104,9 @@ std::string render_manifest_json(const std::string& bench,
       append_metric(out, ms[i]);
       out += i + 1 < ms.size() ? ",\n" : "\n";
     }
-    out += "    ]\n";
-    out += "  }";
+    out += "    ],\n";
+    append_windows(out, runs[r].metrics.windows);
+    out += "\n  }";
   }
   out += "]\n}\n";
   return out;

@@ -17,7 +17,11 @@
 
 namespace hpcs::obs {
 
-inline constexpr const char* kManifestSchema = "hpcs-obs-manifest-v1";
+/// Schema v2 = v1 (totals, fixed metric layout) + a per-run "windows" block
+/// carrying the deterministic windowed time series (empty when --obs-window
+/// was not given). scripts/check_bench_json.py validates both; old v1
+/// baselines stay readable by the tooling.
+inline constexpr const char* kManifestSchema = "hpcs-obs-manifest-v2";
 
 struct ManifestRun {
   std::string name;  ///< run/mode label, e.g. "hpc_fifo_prio"

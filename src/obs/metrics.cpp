@@ -33,6 +33,20 @@ const char* metric_kind_name(MetricKind k) {
   return "?";
 }
 
+int WindowedSeries::int_column(const std::string& name) const {
+  for (std::size_t i = 0; i < int_columns.size(); ++i) {
+    if (int_columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int WindowedSeries::real_column(const std::string& name) const {
+  for (std::size_t i = 0; i < real_columns.size(); ++i) {
+    if (real_columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 const MetricValue* MetricsSnapshot::find(const std::string& name) const {
   for (const MetricValue& m : metrics) {
     if (m.name == name) return &m;
@@ -103,6 +117,50 @@ MetricsSnapshot MetricsRegistry::snapshot(SimTime at) const {
     snap.metrics.push_back(std::move(v));
   }
   return snap;
+}
+
+void MetricsRegistry::window_columns(std::vector<std::string>& int_columns,
+                                     std::vector<std::string>& real_columns) const {
+  int_columns.clear();
+  real_columns.clear();
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        int_columns.push_back(e.name);
+        break;
+      case MetricKind::kGauge:
+        real_columns.push_back(e.name);
+        break;
+      case MetricKind::kHistogram:
+        int_columns.push_back(e.name + ".count");
+        real_columns.push_back(e.name + ".sum");
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::sample_window_values(std::vector<std::int64_t>& ints,
+                                           std::vector<double>& reals,
+                                           std::vector<char>* real_is_point) const {
+  ints.clear();
+  reals.clear();
+  if (real_is_point != nullptr) real_is_point->clear();
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        ints.push_back(e.counter->value());
+        break;
+      case MetricKind::kGauge:
+        reals.push_back(e.gauge->value());
+        if (real_is_point != nullptr) real_is_point->push_back(1);
+        break;
+      case MetricKind::kHistogram:
+        ints.push_back(e.histogram->count());
+        reals.push_back(e.histogram->sum());
+        if (real_is_point != nullptr) real_is_point->push_back(0);
+        break;
+    }
+  }
 }
 
 }  // namespace hpcs::obs

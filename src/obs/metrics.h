@@ -75,11 +75,40 @@ struct MetricValue {
   std::vector<std::int64_t> buckets;
 };
 
+/// One windowed sample: every column's value at a window boundary. `end` is
+/// the sim-time the window closed at; the window covers (previous end, end].
+struct WindowSample {
+  SimTime end = SimTime::zero();
+  std::vector<std::int64_t> ints;  ///< one per WindowedSeries::int_columns
+  std::vector<double> reals;       ///< one per WindowedSeries::real_columns
+};
+
+/// Deterministic per-window time series over the whole registry (manifest
+/// v2). Column layout derives from the registration order — a counter is one
+/// int column, a gauge one real column, a histogram an int `<name>.count`
+/// plus a real `<name>.sum` — so the series layout is as fixed as the
+/// manifest's metric layout. Counter and histogram columns carry per-window
+/// *deltas* (a window with no events samples zeros, never holes); gauge
+/// columns carry the value at the boundary.
+struct WindowedSeries {
+  std::int64_t window_ns = 0;  ///< 0 = windowing off (columns/samples empty)
+  std::vector<std::string> int_columns;
+  std::vector<std::string> real_columns;
+  std::vector<WindowSample> samples;
+
+  [[nodiscard]] bool enabled() const { return window_ns > 0; }
+  /// Column-ordered lookup of an int column index; -1 when absent.
+  [[nodiscard]] int int_column(const std::string& name) const;
+  /// Column-ordered lookup of a real column index; -1 when absent.
+  [[nodiscard]] int real_column(const std::string& name) const;
+};
+
 /// The full registry dump: every metric in registration order, stamped with
 /// the simulated time the snapshot was taken at.
 struct MetricsSnapshot {
   SimTime at = SimTime::zero();
   std::vector<MetricValue> metrics;
+  WindowedSeries windows;  ///< empty unless the run sampled windows
 
   [[nodiscard]] bool empty() const { return metrics.empty(); }
   /// Registration-ordered lookup; nullptr when absent (tests use this).
@@ -99,6 +128,19 @@ class MetricsRegistry {
 
   /// Dump every metric in registration order.
   [[nodiscard]] MetricsSnapshot snapshot(SimTime at) const;
+
+  /// Derive the windowed-series column layout from the registration order
+  /// (see WindowedSeries). Call after every metric is registered.
+  void window_columns(std::vector<std::string>& int_columns,
+                      std::vector<std::string>& real_columns) const;
+
+  /// Sample the *cumulative* value of every column in layout order. The
+  /// window flusher diffs consecutive cumulative samples to get deltas;
+  /// `real_is_point` marks real columns that are point-sampled (gauges)
+  /// rather than diffed (histogram sums).
+  void sample_window_values(std::vector<std::int64_t>& ints,
+                            std::vector<double>& reals,
+                            std::vector<char>* real_is_point = nullptr) const;
 
  private:
   struct Entry {

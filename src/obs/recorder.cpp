@@ -37,6 +37,30 @@ bool parse_ring_capacity(const char* text, std::size_t& out, std::string& error)
   return true;
 }
 
+bool parse_window_ns(const char* text, std::int64_t& out, std::string& error) {
+  if (text == nullptr || text[0] == '\0') {
+    error = "window period is empty; expected simulated nanoseconds, e.g. 100000000";
+    return false;
+  }
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (std::isdigit(static_cast<unsigned char>(*p)) == 0) {
+      error = std::string("window period '") + text +
+              "' is not a number; expected simulated nanoseconds, e.g. 100000000";
+      return false;
+    }
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  constexpr unsigned long long kMax = 1ULL << 62U;
+  if (v < 1 || v > kMax) {
+    error = std::string("window period '") + text +
+            "' is out of range; expected nanoseconds in [1, 2^62]";
+    return false;
+  }
+  out = static_cast<std::int64_t>(v);
+  return true;
+}
+
 Recorder::Recorder(const ObsConfig& cfg, int num_cpus) {
   HPCS_CHECK(num_cpus > 0);
   rings_.reserve(static_cast<std::size_t>(num_cpus));
@@ -77,6 +101,41 @@ Recorder::Recorder(const ObsConfig& cfg, int num_cpus) {
   metrics_.counter("hpc.imbalance_detections");
   metrics_.counter("hpc.heuristic_decisions");
   metrics_.gauge("run.sim_end_s");
+
+  // Windowed-series baseline: the cumulative sample at t=0 (all zeros) the
+  // first flush diffs against. Taken here so a run that closes no windows
+  // still has a consistent column layout for its final partial window.
+  window_ns_ = cfg.window_ns > 0 ? cfg.window_ns : 0;
+  if (window_ns_ > 0) {
+    metrics_.sample_window_values(prev_ints_, prev_reals_, &real_is_point_);
+  }
+}
+
+void Recorder::flush_windows_through(std::int64_t now_ns) {
+  while (window_covered_ns_ + window_ns_ < now_ns) {
+    flush_one_window(window_covered_ns_ + window_ns_);
+  }
+}
+
+void Recorder::flush_one_window(std::int64_t end_ns) {
+  WindowSample s;
+  s.end = SimTime(end_ns);
+  std::vector<double> cur_reals;
+  metrics_.sample_window_values(s.ints, cur_reals);
+  // Counters and histogram counts report per-window deltas; so do histogram
+  // sums. Gauges report the value standing at the boundary.
+  for (std::size_t i = 0; i < s.ints.size(); ++i) {
+    const std::int64_t cum = s.ints[i];
+    s.ints[i] = cum - prev_ints_[i];
+    prev_ints_[i] = cum;
+  }
+  s.reals.resize(cur_reals.size());
+  for (std::size_t i = 0; i < cur_reals.size(); ++i) {
+    s.reals[i] = real_is_point_[i] != 0 ? cur_reals[i] : cur_reals[i] - prev_reals_[i];
+    prev_reals_[i] = cur_reals[i];
+  }
+  samples_.push_back(std::move(s));
+  window_covered_ns_ = end_ns;
 }
 
 std::uint64_t Recorder::total_dropped() const {
@@ -88,7 +147,21 @@ std::uint64_t Recorder::total_dropped() const {
 MetricsSnapshot Recorder::snapshot(SimTime at) {
   ring_dropped_->set(static_cast<std::int64_t>(total_dropped()));
   metrics_.gauge("run.sim_end_s").set(at.sec());
-  return metrics_.snapshot(at);
+  if (window_ns_ > 0) {
+    // Close every boundary the run reached (a boundary exactly at `at` is a
+    // complete window), then a final partial window up to `at` itself.
+    while (window_covered_ns_ + window_ns_ <= at.ns()) {
+      flush_one_window(window_covered_ns_ + window_ns_);
+    }
+    if (at.ns() > window_covered_ns_) flush_one_window(at.ns());
+  }
+  MetricsSnapshot snap = metrics_.snapshot(at);
+  if (window_ns_ > 0) {
+    snap.windows.window_ns = window_ns_;
+    metrics_.window_columns(snap.windows.int_columns, snap.windows.real_columns);
+    snap.windows.samples = samples_;
+  }
+  return snap;
 }
 
 }  // namespace hpcs::obs

@@ -26,6 +26,7 @@ struct ObsConfig {
   bool chrome_trace = false;     ///< also capture a Chrome-trace/Perfetto view
   bool chrome_stream = false;    ///< spool trace records to disk (bounded memory)
   std::size_t ring_capacity = 4096;  ///< per-CPU tracepoint ring (entries)
+  std::int64_t window_ns = 0;    ///< windowed-snapshot period; 0 = off
 };
 
 /// Parse a per-CPU ring-capacity knob value (--obs-ring N / HPCS_OBS_RING).
@@ -35,6 +36,12 @@ struct ObsConfig {
 /// Returns false and fills `error` (including the offending text) otherwise.
 [[nodiscard]] bool parse_ring_capacity(const char* text, std::size_t& out,
                                        std::string& error);
+
+/// Parse a window-period knob value (--obs-window NS / HPCS_OBS_WINDOW):
+/// a positive integer count of simulated nanoseconds. Returns false and
+/// fills `error` (including the offending text) otherwise.
+[[nodiscard]] bool parse_window_ns(const char* text, std::int64_t& out,
+                                   std::string& error);
 
 class Recorder {
  public:
@@ -61,17 +68,47 @@ class Recorder {
   [[nodiscard]] Histogram& wakeup_latency_us() { return *wakeup_latency_us_; }
   [[nodiscard]] Histogram& runq_depth() { return *runq_depth_; }
 
+  /// Window flush hook, driven from the kernel tick (sim-time, so the
+  /// sampled series is as deterministic as the totals). Window w covers
+  /// (w*W, (w+1)*W]: a boundary is closed by the first tick strictly past
+  /// it, so same-instant events AT the boundary always land in the closing
+  /// window regardless of event-queue interleaving with the tick.
+  void advance_window(SimTime now) {
+    if (window_ns_ == 0 || now.ns() <= window_covered_ns_ + window_ns_) return;
+    flush_windows_through(now.ns());
+  }
+
+  [[nodiscard]] std::int64_t window_ns() const { return window_ns_; }
+  /// Windows flushed so far (tests peek mid-run).
+  [[nodiscard]] std::size_t windows_flushed() const { return samples_.size(); }
+
   /// Finalize ring-derived counters and dump every metric in registration
-  /// order, stamped with the simulated end time.
+  /// order, stamped with the simulated end time. With windowing on, any
+  /// boundary <= `at` still pending is flushed first, then a final partial
+  /// window closes at `at` (unless `at` IS the last boundary).
   [[nodiscard]] MetricsSnapshot snapshot(SimTime at);
 
  private:
+  /// Flush every complete window with end < `now_ns` (strict: the boundary
+  /// equal to `now_ns` stays open until a later tick or snapshot()).
+  void flush_windows_through(std::int64_t now_ns);
+  /// Close one window at `end_ns`, sampling deltas vs the previous flush.
+  void flush_one_window(std::int64_t end_ns);
+
   MetricsRegistry metrics_;
   std::vector<TraceRing> rings_;                 ///< one per CPU
   std::vector<Counter*> tp_hits_;                ///< indexed by TpId
   Counter* ring_dropped_ = nullptr;
   Histogram* wakeup_latency_us_ = nullptr;
   Histogram* runq_depth_ = nullptr;
+
+  // Windowed-series state (all zero-cost when window_ns_ == 0).
+  std::int64_t window_ns_ = 0;
+  std::int64_t window_covered_ns_ = 0;  ///< end of the last flushed window
+  std::vector<std::int64_t> prev_ints_;  ///< cumulative at the last flush
+  std::vector<double> prev_reals_;
+  std::vector<char> real_is_point_;      ///< 1 = gauge column (no delta)
+  std::vector<WindowSample> samples_;
 };
 
 }  // namespace hpcs::obs

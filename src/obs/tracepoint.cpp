@@ -15,6 +15,11 @@ const char* tp_name(TpId id) {
     case TpId::kTpHpcImbalance: return "hpc_imbalance";
     case TpId::kTpHpcPrioChange: return "hpc_prio_change";
     case TpId::kTpHpcHistoryReset: return "hpc_history_reset";
+    case TpId::kTpDistAssign: return "dist_assign";
+    case TpId::kTpDistRow: return "dist_row";
+    case TpId::kTpDistRetry: return "dist_retry";
+    case TpId::kTpDistSteal: return "dist_steal";
+    case TpId::kTpDistHeartbeat: return "dist_heartbeat";
     case TpId::kTpCount: break;
   }
   return "?";

@@ -23,6 +23,8 @@
 #include "dist/registry.h"
 #include "dist/wire.h"
 #include "dist/worker.h"
+#include "obs/manifest.h"
+#include "obs/ring_dump.h"
 
 namespace hpcs {
 namespace {
@@ -618,6 +620,106 @@ TEST(DistWorker, ExecutesExactlyOnePointPerStep) {
 }
 
 // ---------------------------------------------------------------------------
+// Fabric tracepoints + shard spans (the sidecar's tracing feed)
+
+TEST(DistFabric, TracepointsAndSpansCoverACleanRun) {
+  const std::size_t kCount = 3;
+  obs::ObsConfig ocfg;
+  ocfg.enabled = true;
+  obs::Recorder crec(ocfg, 1);
+  obs::Recorder wrec(ocfg, 1);
+
+  Coordinator coord(test_cfg(/*shard_size=*/1), kCount, task);
+  coord.set_obs(&crec);
+  const JobRegistry reg = unit_registry(kCount);
+  auto [a, b] = loopback_pair();
+  coord.adopt(std::move(a), 0);
+  WorkerConfig wc;
+  wc.name = "w0";
+  WorkerSession w(wc, reg, std::move(b));
+  w.set_obs(&wrec);
+  EXPECT_EQ(run_fabric(coord, {&w}), serial_rows(kCount));
+
+  // Both sides saw every assignment and every row; nothing failed over.
+  const obs::MetricsSnapshot cs = crec.snapshot(SimTime::zero());
+  EXPECT_EQ(cs.find("tp.dist_assign")->count, 3);
+  EXPECT_EQ(cs.find("tp.dist_row")->count, 3);
+  EXPECT_EQ(cs.find("tp.dist_retry")->count, 0);
+  EXPECT_EQ(cs.find("tp.dist_steal")->count, 0);
+  const obs::MetricsSnapshot ws = wrec.snapshot(SimTime::zero());
+  EXPECT_EQ(ws.find("tp.dist_assign")->count, 3);
+  EXPECT_EQ(ws.find("tp.dist_row")->count, 3);
+
+  // Ring timestamps are now_ms scaled to nanoseconds, so the recorded order
+  // is the step() order: nondecreasing, opening with the first ASSIGN.
+  const auto entries = crec.ring(0).entries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries.front().tp, static_cast<std::uint32_t>(obs::TpId::kTpDistAssign));
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i].t.ns(), entries[i - 1].t.ns());
+  }
+
+  const std::vector<dist::ShardSpan> spans = coord.shard_spans();
+  ASSERT_EQ(spans.size(), kCount);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].shard, static_cast<std::uint32_t>(i));
+    EXPECT_EQ(spans[i].attempts, 1);
+    EXPECT_GE(spans[i].first_assign_ms, 0);
+    EXPECT_GE(spans[i].done_ms, spans[i].first_assign_ms);
+    EXPECT_EQ(spans[i].done_by, "w0");
+  }
+}
+
+TEST(DistFabric, TracepointStreamIsByteIdenticalAcrossIdenticalSchedules) {
+  // Same loopback schedule, fresh recorders: the fabric trace is a pure
+  // function of the step() sequence, so the binary ring dumps match exactly.
+  std::string dumps[2];
+  for (int rep = 0; rep < 2; ++rep) {
+    const std::size_t kCount = 4;
+    obs::ObsConfig ocfg;
+    ocfg.enabled = true;
+    obs::Recorder crec(ocfg, 1);
+    Coordinator coord(test_cfg(/*shard_size=*/2), kCount, task);
+    coord.set_obs(&crec);
+    const JobRegistry reg = unit_registry(kCount);
+    auto [a, b] = loopback_pair();
+    coord.adopt(std::move(a), 0);
+    WorkerSession w({}, reg, std::move(b));
+    EXPECT_EQ(run_fabric(coord, {&w}), serial_rows(kCount));
+    dumps[rep] = obs::encode_ring_dump({{"fabric", &crec}});
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(DistFabric, RetryTracepointFiresWhenAWorkerDiesMidShard) {
+  const std::size_t kCount = 2;
+  obs::ObsConfig ocfg;
+  ocfg.enabled = true;
+  obs::Recorder crec(ocfg, 1);
+  Coordinator coord(test_cfg(/*shard_size=*/2), kCount, task);
+  coord.set_obs(&crec);
+
+  FakePeer peer = attach_fake(coord, 0);
+  peer.send(dist::encode_hello(unit_hello("doomed")));
+  coord.step(1);  // HELLO_ACK + ASSIGN
+  ASSERT_EQ(peer.drain().size(), 2u);
+  peer.conn->close();  // die mid-shard without a single row
+  coord.step(2);       // death observed: requeue fires the retry tracepoint
+  const obs::MetricsSnapshot cs = crec.snapshot(SimTime::zero());
+  EXPECT_EQ(cs.find("tp.dist_retry")->count, 1);
+  EXPECT_EQ(cs.find("tp.dist_steal")->count, 0);
+
+  // Drain to completion (local fallback) and check the span names "local".
+  for (std::int64_t t = 3; !coord.done() && t < 10000; ++t) coord.step(t);
+  ASSERT_TRUE(coord.done());
+  EXPECT_EQ(coord.take_rows(), serial_rows(kCount));
+  const std::vector<dist::ShardSpan> spans = coord.shard_spans();
+  ASSERT_EQ(spans.size(), 1u);  // one shard of two points
+  EXPECT_EQ(spans[0].done_by, "local");
+  EXPECT_GE(spans[0].first_assign_ms, 0);  // it WAS assigned remotely once
+}
+
+// ---------------------------------------------------------------------------
 // RunResult serialization (what real rows carry)
 
 TEST(DistSerialize, RunResultRoundTripsBitExact) {
@@ -638,6 +740,31 @@ TEST(DistSerialize, RunResultRoundTripsBitExact) {
   }
   // Fixed point: a second serialization of the decoded result is the same
   // bytes — nothing was lost or re-interpreted.
+  EXPECT_EQ(analysis::serialize_run_result(back), bytes);
+}
+
+TEST(DistSerialize, WindowedSeriesRoundTripsBitExact) {
+  auto e = analysis::MetBenchExperiment::paper();
+  e.workload.iterations = 2;
+  obs::ObsConfig obs;
+  obs.enabled = true;
+  obs.window_ns = 50'000'000;  // plenty of boundaries inside a short run
+  const analysis::RunResult r = analysis::run_metbench(
+      e, analysis::SchedMode::kAdaptive, /*trace=*/false, /*seed=*/5, obs);
+  ASSERT_TRUE(r.metrics.windows.enabled());
+  ASSERT_FALSE(r.metrics.windows.samples.empty());
+
+  const std::string bytes = analysis::serialize_run_result(r);
+  analysis::RunResult back;
+  ASSERT_TRUE(analysis::deserialize_run_result(bytes, back));
+  EXPECT_EQ(back.metrics.windows.window_ns, r.metrics.windows.window_ns);
+  EXPECT_EQ(back.metrics.windows.int_columns, r.metrics.windows.int_columns);
+  EXPECT_EQ(back.metrics.windows.real_columns, r.metrics.windows.real_columns);
+  ASSERT_EQ(back.metrics.windows.samples.size(), r.metrics.windows.samples.size());
+  // The decoded result renders to the same manifest bytes: nothing in the
+  // series was lost or re-interpreted crossing the wire.
+  EXPECT_EQ(obs::render_manifest_json("unit", {{"run", back.metrics}}),
+            obs::render_manifest_json("unit", {{"run", r.metrics}}));
   EXPECT_EQ(analysis::serialize_run_result(back), bytes);
 }
 
@@ -679,6 +806,63 @@ TEST(DistJobs, PaperTableJobsResolveWithEncodedParams) {
   EXPECT_EQ(seed, 1u);
   EXPECT_TRUE(obs_back.enabled);
   EXPECT_FALSE(obs_back.chrome_trace);  // traces never cross the fabric
+}
+
+// The acceptance gate for the v2 series: a loopback --dist run of a real
+// paper-table job renders the exact manifest bytes of the serial run, with
+// windows on. Rows travel as serialized RunResults, so this exercises the
+// full encode -> wire -> decode -> render chain.
+TEST(DistJobs, WindowedManifestByteIdenticalToSerialOverLoopback) {
+  obs::ObsConfig obs;
+  obs.enabled = true;
+  obs.window_ns = 100'000'000;
+  const std::uint64_t seed = 2;
+  const auto* job = analysis::find_paper_table_job("table3_metbench");
+  ASSERT_NE(job, nullptr);
+
+  std::vector<obs::ManifestRun> serial;
+  for (const analysis::SchedMode m : job->modes) {
+    serial.push_back({analysis::sched_mode_name(m), job->run(m, seed, obs).metrics});
+  }
+  const std::string reference = obs::render_manifest_json("table3_metbench", serial);
+  ASSERT_NE(reference.find("\"window_ns\": 100000000"), std::string::npos);
+
+  CoordinatorConfig cfg = test_cfg(/*shard_size=*/1);
+  cfg.job = "table3_metbench";
+  cfg.params = analysis::encode_job_params(seed, obs);
+  Coordinator coord(cfg, job->modes.size(), [job, seed, &obs](std::uint32_t i) {
+    return analysis::serialize_run_result(job->run(job->modes[i], seed, obs));
+  });
+  dist::JobRegistry reg;
+  analysis::register_paper_table_jobs(reg);
+  auto [a, b] = loopback_pair();
+  coord.adopt(std::move(a), 0);
+  WorkerSession w({}, reg, std::move(b));
+  const std::vector<std::string> rows = run_fabric(coord, {&w});
+  ASSERT_EQ(rows.size(), job->modes.size());
+  EXPECT_GT(coord.stats().rows_remote, 0);
+
+  std::vector<obs::ManifestRun> fabric;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    analysis::RunResult r;
+    ASSERT_TRUE(analysis::deserialize_run_result(rows[i], r));
+    fabric.push_back({analysis::sched_mode_name(job->modes[i]), r.metrics});
+  }
+  EXPECT_EQ(obs::render_manifest_json("table3_metbench", fabric), reference);
+}
+
+TEST(DistJobs, ParamsCarryTheWindowPeriod) {
+  // --obs-window must reach the workers: a remote row computed without the
+  // window period would render a different manifest than the serial run.
+  obs::ObsConfig obs;
+  obs.enabled = true;
+  obs.window_ns = 123456789;
+  const std::string params = analysis::encode_job_params(/*seed=*/9, obs);
+  std::uint64_t seed = 0;
+  obs::ObsConfig back;
+  ASSERT_TRUE(analysis::decode_job_params(params, seed, back));
+  EXPECT_EQ(seed, 9u);
+  EXPECT_EQ(back.window_ns, 123456789);
 }
 
 }  // namespace

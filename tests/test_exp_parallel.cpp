@@ -223,5 +223,38 @@ TEST(ParallelSweep, MetricsManifestByteIdenticalAcrossJobCounts) {
   }
 }
 
+// The v2 windowed series rides the same per-run Recorder, so it must hold
+// the same contract: --obs-window output is byte-identical for any --jobs.
+TEST(ParallelSweep, WindowedManifestByteIdenticalAcrossJobCounts) {
+  auto e = analysis::MetBenchExperiment::paper();
+  e.workload.iterations = 3;
+  obs::ObsConfig obs;
+  obs.enabled = true;
+  obs.window_ns = 50'000'000;
+  const std::vector<analysis::SchedMode> modes = {
+      analysis::SchedMode::kBaselineCfs, analysis::SchedMode::kUniform,
+      analysis::SchedMode::kAdaptive, analysis::SchedMode::kStatic};
+
+  const auto render = [&](unsigned jobs) {
+    exp::ParallelRunner runner(jobs);
+    auto results = runner.map(modes.size(), [&](std::size_t i) {
+      return analysis::run_metbench(e, modes[i], /*trace=*/false, /*seed=*/1, obs);
+    });
+    std::vector<obs::ManifestRun> runs;
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      EXPECT_TRUE(results[i].metrics.windows.enabled());
+      EXPECT_FALSE(results[i].metrics.windows.samples.empty());
+      runs.push_back({analysis::sched_mode_name(modes[i]), results[i].metrics});
+    }
+    return obs::render_manifest_json("exp_parallel", runs);
+  };
+
+  const std::string reference = render(1);
+  EXPECT_NE(reference.find("\"window_ns\": 50000000"), std::string::npos);
+  for (const unsigned jobs : {2u, 4u}) {
+    EXPECT_EQ(render(jobs), reference) << "jobs=" << jobs;
+  }
+}
+
 }  // namespace
 }  // namespace hpcs

@@ -201,7 +201,7 @@ TEST(Manifest, RenderIsAPureFunctionOfTheSnapshots) {
   const std::string a = obs::render_manifest_json("unit", runs);
   const std::string b = obs::render_manifest_json("unit", runs);
   EXPECT_EQ(a, b);
-  EXPECT_NE(a.find("\"schema\": \"hpcs-obs-manifest-v1\""), std::string::npos);
+  EXPECT_NE(a.find("\"schema\": \"hpcs-obs-manifest-v2\""), std::string::npos);
   EXPECT_NE(a.find("\"bench\": \"unit\""), std::string::npos);
   EXPECT_NE(a.find("\"name\": \"run-a\""), std::string::npos);
   EXPECT_NE(a.find("\"sim_end_s\": 2.5"), std::string::npos);
@@ -319,6 +319,170 @@ TEST(ObsEndToEnd, RepeatRunsRenderByteIdenticalManifests) {
                                          /*trace=*/false, /*seed=*/5, obs);
   EXPECT_EQ(obs::render_manifest_json("repeat", {{"run", r1.metrics}}),
             obs::render_manifest_json("repeat", {{"run", r2.metrics}}));
+}
+
+// ---------------------------------------------------------------------------
+// Windowed snapshots (--obs-window)
+
+TEST(ParseWindowNs, AcceptsPositiveNanosecondCounts) {
+  std::int64_t w = 0;
+  std::string error;
+  EXPECT_TRUE(obs::parse_window_ns("1", w, error)) << error;
+  EXPECT_EQ(w, 1);
+  EXPECT_TRUE(obs::parse_window_ns("100000000", w, error)) << error;
+  EXPECT_EQ(w, 100000000);
+}
+
+TEST(ParseWindowNs, RejectsGarbageWithAClearError) {
+  std::int64_t w = 99;
+  std::string error;
+  EXPECT_FALSE(obs::parse_window_ns("", w, error));
+  EXPECT_FALSE(obs::parse_window_ns("0", w, error));
+  EXPECT_FALSE(obs::parse_window_ns("-5", w, error));
+  EXPECT_FALSE(obs::parse_window_ns("10ms", w, error));
+  EXPECT_NE(error.find("10ms"), std::string::npos);
+  EXPECT_EQ(w, 99);  // out is untouched on failure
+}
+
+TEST(RecorderWindows, BoundaryEventLandsInTheClosingWindow) {
+  obs::ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.window_ns = 100;
+  obs::Recorder rec(cfg, 1);
+  obs::Recorder* r = &rec;
+  HPCS_TRACEPOINT(r, obs::TpId::kTpWake, SimTime(50), 0, 0, 0);
+  // The tick AT the boundary must not close the window: a same-instant event
+  // may still be in flight behind the tick in the event queue.
+  rec.advance_window(SimTime(100));
+  EXPECT_EQ(rec.windows_flushed(), 0u);
+  HPCS_TRACEPOINT(r, obs::TpId::kTpWake, SimTime(100), 0, 0, 0);
+  rec.advance_window(SimTime(101));
+  EXPECT_EQ(rec.windows_flushed(), 1u);
+
+  const obs::MetricsSnapshot snap = rec.snapshot(SimTime(150));
+  ASSERT_TRUE(snap.windows.enabled());
+  const int col = snap.windows.int_column("tp.sched_wake");
+  ASSERT_GE(col, 0);
+  ASSERT_EQ(snap.windows.samples.size(), 2u);  // [0,100] plus partial (100,150]
+  EXPECT_EQ(snap.windows.samples[0].end, SimTime(100));
+  EXPECT_EQ(snap.windows.samples[0].ints[static_cast<std::size_t>(col)], 2);
+  EXPECT_EQ(snap.windows.samples[1].end, SimTime(150));
+  EXPECT_EQ(snap.windows.samples[1].ints[static_cast<std::size_t>(col)], 0);
+}
+
+TEST(RecorderWindows, ZeroEventWindowsEmitZerosNotHoles) {
+  obs::ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.window_ns = 100;
+  obs::Recorder rec(cfg, 1);
+  obs::Recorder* r = &rec;
+  HPCS_TRACEPOINT(r, obs::TpId::kTpWake, SimTime(50), 0, 0, 0);
+  // No advance_window at all: snapshot alone closes every reached boundary.
+  const obs::MetricsSnapshot snap = rec.snapshot(SimTime(450));
+  const int col = snap.windows.int_column("tp.sched_wake");
+  ASSERT_GE(col, 0);
+  ASSERT_EQ(snap.windows.samples.size(), 5u);  // 100..400 complete + (400,450]
+  const std::int64_t expect[] = {1, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(snap.windows.samples[i].end, SimTime(static_cast<std::int64_t>(100 * (i + 1)) < 450
+                                                       ? static_cast<std::int64_t>(100 * (i + 1))
+                                                       : 450));
+    EXPECT_EQ(snap.windows.samples[i].ints[static_cast<std::size_t>(col)], expect[i]);
+    ASSERT_EQ(snap.windows.samples[i].ints.size(), snap.windows.int_columns.size());
+    ASSERT_EQ(snap.windows.samples[i].reals.size(), snap.windows.real_columns.size());
+  }
+}
+
+TEST(RecorderWindows, SnapshotAtExactBoundaryEmitsNoPartialWindow) {
+  obs::ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.window_ns = 100;
+  obs::Recorder rec(cfg, 1);
+  const obs::MetricsSnapshot snap = rec.snapshot(SimTime(200));
+  ASSERT_EQ(snap.windows.samples.size(), 2u);
+  EXPECT_EQ(snap.windows.samples[0].end, SimTime(100));
+  EXPECT_EQ(snap.windows.samples[1].end, SimTime(200));
+}
+
+TEST(RecorderWindows, DeltasSumToTotalsAndGaugesArePointSamples) {
+  obs::ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.window_ns = 100;
+  obs::Recorder rec(cfg, 1);
+  obs::Recorder* r = &rec;
+  std::int64_t total_wakes = 0;
+  double total_lat = 0.0;
+  for (std::int64_t t = 10; t < 300; t += 30) {
+    HPCS_TRACEPOINT(r, obs::TpId::kTpWake, SimTime(t), 0, 0, 0);
+    ++total_wakes;
+    rec.wakeup_latency_us().observe(static_cast<double>(t));
+    total_lat += static_cast<double>(t);
+    rec.advance_window(SimTime(t));
+  }
+  const obs::MetricsSnapshot snap = rec.snapshot(SimTime(300));
+  const int wake = snap.windows.int_column("tp.sched_wake");
+  const int lat_n = snap.windows.int_column("kern.wakeup_latency_us.count");
+  const int lat_s = snap.windows.real_column("kern.wakeup_latency_us.sum");
+  const int end_s = snap.windows.real_column("run.sim_end_s");
+  ASSERT_GE(wake, 0);
+  ASSERT_GE(lat_n, 0);
+  ASSERT_GE(lat_s, 0);
+  ASSERT_GE(end_s, 0);
+  std::int64_t wakes = 0, lats = 0;
+  double lat_sum = 0.0;
+  for (const obs::WindowSample& s : snap.windows.samples) {
+    wakes += s.ints[static_cast<std::size_t>(wake)];
+    lats += s.ints[static_cast<std::size_t>(lat_n)];
+    lat_sum += s.reals[static_cast<std::size_t>(lat_s)];
+  }
+  // Counter / histogram columns are per-window deltas: they sum to the totals.
+  EXPECT_EQ(wakes, total_wakes);
+  EXPECT_EQ(lats, snap.find("kern.wakeup_latency_us")->count);
+  EXPECT_DOUBLE_EQ(lat_sum, total_lat);
+  // Gauges are point samples, not deltas: the final window reports the
+  // standing value, not a difference.
+  EXPECT_DOUBLE_EQ(snap.windows.samples.back().reals[static_cast<std::size_t>(end_s)],
+                   SimTime(300).sec());
+}
+
+TEST(RecorderWindows, ManifestRendersTheSeriesUnderV2) {
+  obs::ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.window_ns = 100;
+  obs::Recorder rec(cfg, 1);
+  obs::Recorder* r = &rec;
+  HPCS_TRACEPOINT(r, obs::TpId::kTpWake, SimTime(10), 0, 0, 0);
+  const obs::MetricsSnapshot snap = rec.snapshot(SimTime(250));
+  const std::string json = obs::render_manifest_json("unit", {{"run", snap}});
+  EXPECT_NE(json.find("\"schema\": \"hpcs-obs-manifest-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"windows\": {\"window_ns\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"tp.sched_wake\""), std::string::npos);
+  EXPECT_NE(json.find("\"t_ns\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"t_ns\": 250"), std::string::npos);
+  // Rendering is still a pure function of the snapshot.
+  EXPECT_EQ(json, obs::render_manifest_json("unit", {{"run", snap}}));
+}
+
+TEST(RecorderWindows, ChromeTraceEmitsCounterTracksAndSkipsFlatColumns) {
+  obs::ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.window_ns = 100;
+  obs::Recorder rec(cfg, 1);
+  obs::Recorder* r = &rec;
+  HPCS_TRACEPOINT(r, obs::TpId::kTpWake, SimTime(10), 0, 0, 0);
+  const obs::MetricsSnapshot snap = rec.snapshot(SimTime(200));
+
+  obs::ChromeTraceSink sink;
+  kern::Task t(1, "rank0", kern::Policy::kNormal);
+  sink.on_switch(SimTime(0), 0, nullptr, &t);
+  sink.finalize(SimTime(200));
+  const std::string json = obs::render_chrome_trace({{"run", &sink, &snap}});
+  EXPECT_NE(json.find("\"name\":\"win tp.sched_wake\",\"ph\":\"C\""), std::string::npos);
+  // A column that never moved emits no track at all.
+  EXPECT_EQ(json.find("win tp.sched_migrate"), std::string::npos);
+  // Without the metrics pointer the render is unchanged from the v1 shape.
+  EXPECT_EQ(obs::render_chrome_trace({{"run", &sink}}).find("\"ph\":\"C\""),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
