@@ -39,11 +39,13 @@ echo "=== hpcslint over src/ bench/ tests/ tools/ ==="
 # into quadratic behaviour should fail CI, not quietly rot the dev loop.
 LINT_BUDGET="${HPCS_LINT_BUDGET:-120}"
 lint_t0="$(date +%s)"
-./build-ci/tools/hpcslint/hpcslint src bench tests tools
+./build-ci/tools/hpcslint/hpcslint \
+  --proto-spec tools/hpcslint/dist_protocol_spec.json src bench tests tools
 
 echo "=== hpcslint whole-program (compile_commands.json) vs baseline ==="
 ./build-ci/tools/hpcslint/hpcslint \
   --compile-commands build-ci/compile_commands.json \
+  --proto-spec tools/hpcslint/dist_protocol_spec.json \
   --baseline tools/hpcslint/baseline.sarif.json
 lint_elapsed="$(( $(date +%s) - lint_t0 ))"
 echo "hpcslint runtime: ${lint_elapsed}s (budget ${LINT_BUDGET}s)"

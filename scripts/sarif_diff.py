@@ -49,23 +49,39 @@ def load_results(path):
     return out
 
 
+def group_by_rule(rows):
+    """rule id -> [(uri, line, msg)], rules sorted, rows sorted within each."""
+    groups = {}
+    for rule, uri, line, msg in rows:
+        groups.setdefault(rule, []).append((uri, line, msg))
+    return {rule: sorted(groups[rule]) for rule in sorted(groups)}
+
+
 def emit(title, rows, markdown):
+    # Group by rule id so a new rule family (shared-race, proto-exhaustive,
+    # proto-drift, ...) reads as one block, not findings interleaved by path.
+    groups = group_by_rule(rows)
     if markdown:
         print(f"### {title} ({len(rows)})")
         print()
         if not rows:
             print("_none_")
-        else:
-            print("| rule | location | message |")
-            print("|---|---|---|")
-            for rule, uri, line, msg in rows:
+        for rule, items in groups.items():
+            print(f"**`{rule}`** ({len(items)})")
+            print()
+            print("| location | message |")
+            print("|---|---|")
+            for uri, line, msg in items:
                 msg = msg.replace("|", "\\|")
-                print(f"| `{rule}` | `{uri}:{line}` | {msg} |")
+                print(f"| `{uri}:{line}` | {msg} |")
+            print()
         print()
     else:
         print(f"{title}: {len(rows)}")
-        for rule, uri, line, msg in rows:
-            print(f"  {uri}:{line}: [{rule}] {msg}")
+        for rule, items in groups.items():
+            print(f"  [{rule}] ({len(items)})")
+            for uri, line, msg in items:
+                print(f"    {uri}:{line}: {msg}")
 
 
 def main(argv):

@@ -1,0 +1,35 @@
+// Conforming protocol machine: the switch over MsgType covers every
+// enumerator, so proto-exhaustive stays quiet — and the machine is exactly
+// what the transition-graph extractor should report: per message, the
+// actions called and the Phase transitions taken (declaration order of
+// MsgType, not case order).
+namespace fx::dist {
+
+enum class MsgType : unsigned char { kPing, kPong, kStop };
+
+class Session {
+ public:
+  enum class Phase : unsigned char { kIdle, kLive, kClosed };
+
+  void handle(MsgType m) {
+    switch (m) {
+      case MsgType::kStop:
+        phase_ = Phase::kClosed;
+        break;
+      case MsgType::kPing:
+        phase_ = Phase::kLive;
+        bump();
+        break;
+      case MsgType::kPong:
+        bump();
+        break;
+    }
+  }
+
+ private:
+  void bump() { ++count_; }
+  Phase phase_ = Phase::kIdle;
+  long count_ = 0;
+};
+
+}  // namespace fx::dist

@@ -1,0 +1,21 @@
+// Protocol-state exhaustiveness violation: MsgType is defined in a dist/
+// zone file, so it is a protocol enum and every switch over it must name
+// every enumerator. handle() misses kStop — hpcslint must flag the switch
+// with rule proto-exhaustive, and the default: arm must NOT excuse the gap
+// (a default is exactly how a new message silently falls into "ignore").
+namespace fx::dist {
+
+enum class MsgType : unsigned char { kPing, kPong, kStop };
+
+class Session {
+ public:
+  int handle(MsgType m) {
+    switch (m) {
+      case MsgType::kPing: return 1;
+      case MsgType::kPong: return 2;
+      default: return 0;
+    }
+  }
+};
+
+}  // namespace fx::dist

@@ -1,0 +1,29 @@
+// Lexer regression traps: C++14 digit separators and raw string literals
+// must not desync the comment/string blanking pass. Every literal below
+// used to fragment the token stream (1'000'000 read as number / char /
+// number, 0xFF'FF ending at the first separator, u8'a' read as a digit
+// separator, any identifier ending in R treated as a raw-string prefix).
+// The raw strings mention rand(), srand() and steady_clock in prose; a
+// desynced lexer either reports those or swallows the ONE real finding:
+// the rand() call in jitter() below.
+namespace fx {
+
+inline unsigned long budget() { return 1'000'000; }
+inline unsigned mask() { return 0xFF'FF; }
+inline char tag() { return u8'a'; }
+inline int scalaR = 7;  // identifier ending in R, then a plain string:
+inline const char* nameR = "not a raw string, rand() stays blanked";
+
+inline const char* doc() {
+  return R"(raw string: rand() and srand(1) and steady_clock in prose)";
+}
+
+inline const char* sql() {
+  return R"sep(raw delimiter with "quotes" and rand() inside)sep";
+}
+
+inline int jitter() {
+  return rand();
+}
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+// Seeded lockset race, TU 2 of 2: report() reads hits_ with no lock while
+// the pool lambda in lockset_pos.h writes it under mu_ — an inconsistent
+// lockset on a field reached from two thread contexts. hpcslint must flag
+// THIS access (the bare one) with rule shared-race and suggest
+// GUARDED_BY(mu_).
+#include "lockset_pos.h"
+
+namespace fx {
+
+void Counter::report() {
+  long seen = hits_;
+  (void)seen;
+}
+
+}  // namespace fx

@@ -1,0 +1,32 @@
+// Seeded lockset race, TU 1 of 2: Counter::start() submits a lambda to a
+// thread pool, and the lambda bumps hits_ while holding mu_. The matching
+// bare read lives in lockset_pos.cpp — only the cross-TU link step can see
+// that the locksets disagree.
+struct Mutex {};
+struct MutexLock { explicit MutexLock(Mutex& m); };
+struct ThreadPool {
+  template <class F>
+  void submit(F f);
+};
+
+namespace fx {
+
+class Counter {
+ public:
+  void start();
+  void report();
+
+ private:
+  Mutex mu_;
+  ThreadPool pool_;
+  long hits_ = 0;
+};
+
+inline void Counter::start() {
+  pool_.submit([this] {
+    MutexLock l(mu_);
+    hits_ += 1;
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,51 @@
+// Unguarded shared fields, two spawn shapes. Both classes own a mutex —
+// they opted into internal locking — yet no access path holds it:
+//  * Tally::total_ is written from an exp::ThreadPool-style submission and
+//    read from the main context;
+//  * Gauge::level_ is written from a std::thread body and read from the
+//    main context.
+// hpcslint must flag each field once with rule shared-race and suggest
+// GUARDED_BY(mu_).
+struct Mutex {};
+struct MutexLock { explicit MutexLock(Mutex& m); };
+struct ThreadPool {
+  template <class F>
+  void submit(F f);
+};
+namespace std {
+struct thread {
+  template <class F>
+  explicit thread(F f);
+  void join();
+};
+}  // namespace std
+
+namespace fx {
+
+class Tally {
+ public:
+  void start() {
+    pool_.submit([this] { total_ += 1; });
+  }
+  long read() { return total_; }
+
+ private:
+  Mutex mu_;
+  ThreadPool pool_;
+  long total_ = 0;
+};
+
+class Gauge {
+ public:
+  void start() {
+    std::thread t([this] { level_ += 1; });
+    t.join();
+  }
+  long read() { return level_; }
+
+ private:
+  Mutex mu_;
+  long level_ = 0;
+};
+
+}  // namespace fx

@@ -27,7 +27,6 @@
 #include "tu.h"
 
 namespace hpcslint {
-namespace {
 
 void sort_findings(std::vector<Finding>& fs) {
   std::sort(fs.begin(), fs.end(), [](const Finding& a, const Finding& b) {
@@ -37,6 +36,8 @@ void sort_findings(std::vector<Finding>& fs) {
     return a.message < b.message;
   });
 }
+
+namespace {
 
 bool read_file(const std::filesystem::path& path, std::string& out) {
   std::ifstream in(path, std::ios::binary);
@@ -49,7 +50,7 @@ bool read_file(const std::filesystem::path& path, std::string& out) {
 
 }  // namespace
 
-std::vector<Finding> lint_units(const std::vector<SourceUnit>& units, unsigned jobs) {
+LintResult lint_units_full(const std::vector<SourceUnit>& units, unsigned jobs) {
   // Per-TU stage: pure function of one unit, written into its own slot.
   std::vector<TuIndex> tus(units.size());
   const auto analyze_one = [&](std::size_t i) {
@@ -70,13 +71,18 @@ std::vector<Finding> lint_units(const std::vector<SourceUnit>& units, unsigned j
 
   // Link stage: serial over the slots in unit order — identical inputs in
   // identical order regardless of how the parse stage was scheduled.
-  std::vector<Finding> out;
-  link_program(tus, out);
+  LintResult res;
+  link_program(tus, res.findings, &res.protocol_graph);
   for (TuIndex& tu : tus) {
-    out.insert(out.end(), tu.local_findings.begin(), tu.local_findings.end());
+    res.findings.insert(res.findings.end(), tu.local_findings.begin(),
+                        tu.local_findings.end());
   }
-  sort_findings(out);
-  return out;
+  sort_findings(res.findings);
+  return res;
+}
+
+std::vector<Finding> lint_units(const std::vector<SourceUnit>& units, unsigned jobs) {
+  return lint_units_full(units, jobs).findings;
 }
 
 std::vector<Finding> lint_source(const std::string& file_label,
@@ -92,8 +98,8 @@ std::vector<Finding> lint_file(const std::filesystem::path& path) {
   return lint_source(path.string(), text);
 }
 
-std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots,
-                               unsigned jobs) {
+LintResult lint_tree_full(const std::vector<std::filesystem::path>& roots,
+                          unsigned jobs) {
   namespace fs = std::filesystem;
   std::vector<fs::path> files;
   for (const auto& root : roots) {
@@ -133,10 +139,15 @@ std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots,
     units.push_back(SourceUnit{path.string(), std::move(text)});
   }
 
-  std::vector<Finding> out = lint_units(units, jobs);
-  out.insert(out.end(), io_errors.begin(), io_errors.end());
-  sort_findings(out);
-  return out;
+  LintResult res = lint_units_full(units, jobs);
+  res.findings.insert(res.findings.end(), io_errors.begin(), io_errors.end());
+  sort_findings(res.findings);
+  return res;
+}
+
+std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots,
+                               unsigned jobs) {
+  return lint_tree_full(roots, jobs).findings;
 }
 
 std::string format_finding(const Finding& f) {
@@ -148,7 +159,8 @@ const std::vector<std::string>& rule_names() {
       "wallclock",        "rand",       "unordered-iter",
       "pointer-key",      "hot-alloc",  "missing-override",
       "tracepoint-name",  "det-taint",  "lock-order",
-      "lock-guard",       "dist-purity",
+      "lock-guard",       "dist-purity", "shared-race",
+      "proto-exhaustive", "proto-drift",
   };
   return kNames;
 }

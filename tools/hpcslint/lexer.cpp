@@ -12,6 +12,32 @@ constexpr std::string_view kHotEnd = "HPCS_HOT_END";
 constexpr std::string_view kHostBegin = "HPCS_HOST_BEGIN";
 constexpr std::string_view kHostEnd = "HPCS_HOST_END";
 
+/// True when position `i` (a single quote) sits inside a pp-number: the
+/// maximal identifier/quote run ending just before `i` starts with a digit
+/// at a token boundary. Distinguishes the C++14 digit separator in
+/// 1'000'000 and 0xFF'FF from the char literal in u8'a' (whose run starts
+/// with 'u') and from a quote after an identifier (foo'x').
+bool in_numeric_literal(std::string_view src, std::size_t i) {
+  std::size_t s = i;
+  while (s > 0 && (is_ident_char(src[s - 1]) || src[s - 1] == '\'' ||
+                   src[s - 1] == '.')) {
+    --s;
+  }
+  return s < i && std::isdigit(static_cast<unsigned char>(src[s])) != 0;
+}
+
+/// True when the quote at `i` opens a raw string literal: the identifier
+/// run ending at `i` is exactly one of the raw-string prefixes. A plain
+/// identifier that merely ends in R (FOOBAR"x") is not a raw string.
+bool is_raw_string_prefix(std::string_view src, std::size_t i) {
+  if (i == 0 || src[i - 1] != 'R') return false;
+  std::size_t s = i;
+  while (s > 0 && is_ident_char(src[s - 1])) --s;
+  const std::string_view prefix = src.substr(s, i - s);
+  return prefix == "R" || prefix == "uR" || prefix == "u8R" ||
+         prefix == "UR" || prefix == "LR";
+}
+
 }  // namespace
 
 Prepared prepare(std::string_view src) {
@@ -105,7 +131,7 @@ Prepared prepare(std::string_view src) {
     }
     if (c == '"') {
       line_has_code = true;
-      const bool raw = i > 0 && src[i - 1] == 'R';
+      const bool raw = is_raw_string_prefix(src, i);
       if (raw) {
         std::size_t d = i + 1;
         std::string delim;
@@ -136,11 +162,13 @@ Prepared prepare(std::string_view src) {
       continue;
     }
     if (c == '\'') {
-      // Digit separator (1'000'000) vs. char literal: a quote between a digit
-      // and a hex digit is a separator.
+      // Digit separator (1'000'000, 0xFF'FF) vs. char literal: a quote is a
+      // separator only when it sits inside a pp-number — a prev-digit /
+      // next-xdigit peek misreads 0xFF'FF (prev is a hex letter) and u8'a'
+      // (prev '8' is a digit but the token is a char literal).
       const bool separator =
-          i > 0 && std::isdigit(static_cast<unsigned char>(src[i - 1])) != 0 &&
-          i + 1 < n && std::isxdigit(static_cast<unsigned char>(src[i + 1])) != 0;
+          in_numeric_literal(src, i) && i + 1 < n &&
+          std::isalnum(static_cast<unsigned char>(src[i + 1])) != 0;
       if (separator) {
         ++i;
         continue;
@@ -228,7 +256,14 @@ std::vector<Tok> tokenize(std::string_view code) {
     }
     if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
       const std::size_t begin = i;
-      while (i < code.size() && (is_ident_char(code[i]) || code[i] == '.')) ++i;
+      // A quote inside a number is a C++14 digit separator — keep 1'000'000
+      // a single kNumber token instead of fragmenting at each quote.
+      while (i < code.size() &&
+             (is_ident_char(code[i]) || code[i] == '.' ||
+              (code[i] == '\'' && i + 1 < code.size() &&
+               std::isalnum(static_cast<unsigned char>(code[i + 1])) != 0))) {
+        ++i;
+      }
       out.push_back(Tok{begin, i, line, TokKind::kNumber, code.substr(begin, i - begin)});
       continue;
     }

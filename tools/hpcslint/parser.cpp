@@ -170,6 +170,7 @@ struct Chain {
   bool pointer_key = false;
   bool is_mutexlock = false;
   bool is_mutex_like = false;  ///< Mutex / CondVar / mutex / condition_variable
+  bool is_thread = false;      ///< thread/jthread, or a template arg names one
   int line = 0;
   std::size_t first_begin = 0;
 };
@@ -224,6 +225,7 @@ class Parser {
   bool pend_mutexlock_ = false;
   std::string pend_type_;       ///< joined chain of the pending type
   bool pend_callback_ = false;  ///< pending type is a callback slot type
+  bool pend_thread_ = false;    ///< pending type is std::thread / a thread container
   bool pend_virtual_ = false;   ///< `virtual` seen before the current head
   std::string last_decl_name_;  ///< most recent declared name (GUARDED_BY target)
   int last_decl_line_ = 0;
@@ -234,12 +236,16 @@ class Parser {
   // of a pending `slot = ...` assignment. A lambda (or &function) seen while
   // either is live becomes a CallbackBind.
   struct ActiveCall {
-    std::string name;  ///< `::`-joined chain of the called expression
-    int depth = 0;     ///< paren depth its argument list opened at
+    std::string name;       ///< `::`-joined chain of the called expression
+    std::string recv_name;  ///< receiver identifier of a member call ("" if none)
+    bool spawns = false;    ///< the call constructs a std::thread / fills a thread container
+    int depth = 0;          ///< paren depth its argument list opened at
   };
   int paren_depth_ = 0;
   std::vector<ActiveCall> active_calls_;
   std::string pending_call_name_;  ///< set between the call chain and its '('
+  std::string pending_call_recv_;  ///< receiver of the pending member call
+  bool pending_call_spawns_ = false;  ///< pending call is a thread construction
   struct PendAssign {
     bool active = false;
     std::string target;
@@ -285,6 +291,7 @@ class Parser {
     pend_mutexlock_ = false;
     pend_type_.clear();
     pend_callback_ = false;
+    pend_thread_ = false;
   }
 
   [[nodiscard]] bool line_in_host(int line) const {
@@ -346,6 +353,28 @@ class Parser {
     std::vector<std::string> out;
     for (const Scope& s : scopes_) {
       out.insert(out.end(), s.locked.begin(), s.locked.end());
+    }
+    if (const FuncInfo* f = cur_func()) {
+      out.insert(out.end(), f->requires_mutexes.begin(), f->requires_mutexes.end());
+    }
+    return out;
+  }
+
+  /// Mutexes held by the *current function itself*: scopes inside its own
+  /// body plus its REQUIRES contract. A lambda body must not inherit locks
+  /// held at its definition site — it runs later, possibly on another
+  /// thread, when those scopes are long gone.
+  [[nodiscard]] std::vector<std::string> held_in_current_function() {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t s = scopes_.size(); s-- > 0;) {
+      if (scopes_[s].kind == Scope::kFunction) {
+        start = s;
+        break;
+      }
+    }
+    for (std::size_t s = start; s < scopes_.size(); ++s) {
+      out.insert(out.end(), scopes_[s].locked.begin(), scopes_[s].locked.end());
     }
     if (const FuncInfo* f = cur_func()) {
       out.insert(out.end(), f->requires_mutexes.begin(), f->requires_mutexes.end());
@@ -502,11 +531,14 @@ class Parser {
         const std::size_t past = match_angles(code_, nx);
         if (past != std::string_view::npos) {
           had_args = true;
+          const std::string arg = first_template_arg(code_, nx);
           if (container_kind(t.text) != ContainerKind::kNone) {
             ch.container = container_kind(t.text);
-            const std::string arg = first_template_arg(code_, nx);
             ch.pointer_key = !arg.empty() && arg.back() == '*';
           }
+          // `std::vector<std::thread>` is a thread container: binds into it
+          // cross a thread boundary even though the stripped type is vector.
+          if (arg.find("thread") != std::string::npos) ch.is_thread = true;
           while (i_ < toks_.size() && toks_[i_].begin < past) ++i_;
         }
       }
@@ -530,6 +562,7 @@ class Parser {
       ch.is_mutexlock = last == "MutexLock";
       ch.is_mutex_like = last == "Mutex" || last == "CondVar" || last == "mutex" ||
                          last == "condition_variable";
+      if (last == "thread" || last == "jthread") ch.is_thread = true;
     }
     return ch;
   }
@@ -567,8 +600,12 @@ class Parser {
     if (c == '(') {
       ++paren_depth_;
       if (!pending_call_name_.empty()) {
-        active_calls_.push_back(ActiveCall{std::move(pending_call_name_), paren_depth_});
+        active_calls_.push_back(ActiveCall{std::move(pending_call_name_),
+                                           std::move(pending_call_recv_),
+                                           pending_call_spawns_, paren_depth_});
         pending_call_name_.clear();
+        pending_call_recv_.clear();
+        pending_call_spawns_ = false;
       }
       after_type_ = false;
       clear_pending_type();
@@ -656,6 +693,11 @@ class Parser {
     }
     if (w == "virtual") {
       pend_virtual_ = true;
+      ++i_;
+      return;
+    }
+    if (w == "switch") {
+      switch_reactor(t);  // lookahead only; the body is walked normally after
       ++i_;
       return;
     }
@@ -769,24 +811,67 @@ class Parser {
     }
   }
 
+  /// `enum [class|struct] Name [: base] { enumerators };` — record the
+  /// definition (qualified name + enumerator list) for the link-time
+  /// switch-exhaustiveness check. Initializer expressions are skipped to
+  /// the next top-level comma; anonymous enums are not recorded.
   void parse_enum() {
     ++i_;  // past 'enum'
-    while (i_ < toks_.size() && toks_[i_].ident()) ++i_;  // class/struct, name, base type
-    while (i_ < toks_.size()) {
+    bool scoped = false;
+    std::string name;
+    while (i_ < toks_.size() && toks_[i_].ident()) {
+      if (toks_[i_].is("class") || toks_[i_].is("struct")) {
+        scoped = true;
+      } else {
+        name = std::string(toks_[i_].text);
+      }
+      ++i_;
+    }
+    while (i_ < toks_.size()) {  // underlying type tokens, then { ; or }
       const Tok& t = toks_[i_];
       if (t.kind == TokKind::kPunct && t.text.size() == 1) {
         if (t.text[0] == ';') {
           ++i_;
-          return;
-        }
-        if (t.text[0] == '{') {
-          skip_balanced('{', '}');
-          return;
+          return;  // opaque or forward declaration
         }
         if (t.text[0] == '}') return;
+        if (t.text[0] == '{') break;
       }
       ++i_;
     }
+    if (i_ >= toks_.size()) return;
+
+    EnumInfo e;
+    e.scoped = scoped;
+    e.line = toks_[i_].line;
+    if (!name.empty()) {
+      const std::string prefix = scope_prefix();
+      e.qname = prefix.empty() ? name : prefix + "::" + name;
+    }
+    ++i_;  // consume '{'
+    int depth = 1;
+    bool expect = true;  // the next depth-1 identifier is an enumerator name
+    while (i_ < toks_.size() && depth > 0) {
+      const Tok& t = toks_[i_];
+      if (t.kind == TokKind::kPunct && t.text.size() == 1) {
+        const char c = t.text[0];
+        if (c == '{' || c == '(' || c == '[') ++depth;
+        if (c == '}' || c == ')' || c == ']') --depth;
+        if (c == ',' && depth == 1) expect = true;
+        ++i_;
+        continue;
+      }
+      if (t.ident() && depth == 1 && expect) {
+        e.enumerators.emplace_back(t.text);
+        expect = false;  // tokens until the next ',' belong to an initializer
+      }
+      ++i_;
+    }
+    if (!e.qname.empty() && !e.enumerators.empty()) {
+      tu_.enums.push_back(std::move(e));
+    }
+    after_type_ = false;
+    clear_pending_type();
   }
 
   void parse_operator() {
@@ -870,6 +955,25 @@ class Parser {
       }
     }
     return "";
+  }
+
+  /// True when the receiver of a member access resolves (through the scope
+  /// chain) to a thread or thread-container declaration — the parse-time
+  /// half of thread-spawn detection; fields of classes merged from other
+  /// TUs are settled at link time via CallbackBind::recv_name.
+  [[nodiscard]] bool receiver_is_thread(std::size_t chain_begin) {
+    const std::string name = receiver_name(chain_begin);
+    if (name.empty()) return false;
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto v = it->vars.find(name);
+      if (v != it->vars.end()) return v->second.is_thread;
+      if (it->kind == Scope::kClass && it->cls_index >= 0) {
+        const ClassInfo& c = tu_.classes[static_cast<std::size_t>(it->cls_index)];
+        const auto fld = c.fields.find(name);
+        if (fld != c.fields.end()) return fld->second.is_thread;
+      }
+    }
+    return false;
   }
 
   [[nodiscard]] std::string encl_qname() {
@@ -985,6 +1089,104 @@ class Parser {
     }
   }
 
+  /// `switch (cond) { case A::k…: … }` — record the statement for the
+  /// link-time protocol-exhaustiveness check and the transition-graph
+  /// artifact. Pure lookahead: i_ stays on the `switch` keyword so the
+  /// statement body is still walked normally (calls, taints, locks).
+  /// Per case arm we collect the label chain, the names invoked, and
+  /// `Enum::kValue` references (candidate state transitions); the linker
+  /// resolves and filters them against the merged enum table.
+  void switch_reactor(const Tok& t) {
+    if (!in_function()) return;
+    std::size_t k = i_ + 1;
+    if (!punct_at(k, '(')) return;
+    SwitchInfo sw;
+    sw.line = t.line;
+    int depth = 0;
+    for (; k < toks_.size(); ++k) {
+      const Tok& u = toks_[k];
+      if (u.kind == TokKind::kPunct && u.text.size() == 1) {
+        if (u.text[0] == '(') {
+          ++depth;
+          if (depth == 1) continue;
+        } else if (u.text[0] == ')') {
+          --depth;
+          if (depth == 0) break;
+        }
+      }
+      if (depth >= 1) sw.cond.append(u.text);
+    }
+    if (k >= toks_.size()) return;
+    std::size_t b = k + 1;
+    while (b < toks_.size()) {  // between ')' and '{' nothing belongs
+      if (punct_at(b, '{')) break;
+      if (punct_at(b, ';')) return;  // braceless switch: not modeled
+      ++b;
+    }
+    if (b >= toks_.size()) return;
+
+    depth = 0;
+    int cur = -1;  // index into sw.cases (pointers invalidate on push_back)
+    for (std::size_t j = b; j < toks_.size(); ++j) {
+      const Tok& u = toks_[j];
+      if (u.kind == TokKind::kPunct && u.text.size() == 1) {
+        if (u.text[0] == '{') ++depth;
+        if (u.text[0] == '}') {
+          --depth;
+          if (depth == 0) break;
+        }
+        continue;
+      }
+      if (!u.ident()) continue;
+      if (depth == 1 && u.is("case")) {
+        sw.cases.push_back(SwitchCase{});
+        cur = static_cast<int>(sw.cases.size()) - 1;
+        SwitchCase& sc = sw.cases.back();
+        sc.line = u.line;
+        std::size_t m = j + 1;
+        while (m < toks_.size()) {
+          if (toks_[m].ident()) {
+            sc.label.emplace_back(toks_[m].text);
+            ++m;
+            if (punct_at(m, ':') && punct_at(m + 1, ':')) {
+              m += 2;
+              continue;
+            }
+          }
+          break;
+        }
+        j = m - 1;
+        continue;
+      }
+      if (depth == 1 && u.is("default")) {
+        sw.has_default = true;
+        cur = -1;  // default-arm actions are not part of the transition graph
+        continue;
+      }
+      if (cur < 0 || u.is("for") || is_skip_keyword(u.text) ||
+          is_type_keyword(u.text)) {
+        continue;
+      }
+      // Walk the qualified chain starting here; classify it as a state
+      // reference (…::Enum::kValue) or a call (name directly before '(').
+      std::vector<std::string> segs{std::string(u.text)};
+      std::size_t m = j + 1;
+      while (punct_at(m, ':') && punct_at(m + 1, ':') && tk(m + 2) != nullptr &&
+             tk(m + 2)->ident()) {
+        segs.emplace_back(tk(m + 2)->text);
+        m += 3;
+      }
+      SwitchCase& sc = sw.cases[static_cast<std::size_t>(cur)];
+      if (segs.size() >= 2 && segs.back().size() > 1 && segs.back()[0] == 'k') {
+        sc.state_refs.push_back(segs[segs.size() - 2] + "::" + segs.back());
+      } else if (punct_at(m, '(')) {
+        sc.calls.push_back(segs.back());
+      }
+      j = m - 1;
+    }
+    cur_func()->switches.push_back(std::move(sw));
+  }
+
   /// GUARDED_BY(mu) after a field declaration: attach the guard to the most
   /// recently declared field of the innermost class.
   void guard_reactor() {
@@ -1026,6 +1228,7 @@ class Parser {
       f.pointer_key = pend_pointer_key_;
       f.type = pend_type_;
       f.is_callback = pend_callback_;
+      f.is_thread = pend_thread_;
       f.line = line;
     } else {
       VarInfo v;
@@ -1034,6 +1237,7 @@ class Parser {
       v.pointer_key = pend_pointer_key_;
       v.type = pend_type_;
       v.is_callback = pend_callback_;
+      v.is_thread = pend_thread_;
       v.line = line;
       scopes_.back().vars[name] = std::move(v);
     }
@@ -1091,6 +1295,17 @@ class Parser {
         cs.line = ch.line;
         f->calls.push_back(std::move(cs));
         pending_call_name_ = join_segs(ch.segs);  // arms active_calls_ at '('
+        pending_call_recv_ = member_access ? receiver_name(ch.first_begin) : "";
+        // `std::thread t(<callable>)` — the paren-init of a thread-typed
+        // declared name launches its callable argument on a new thread.
+        // `threads_.emplace_back(<callable>)` resolves thread-ness through
+        // the scope chain here, or at link time via recv_name.
+        pending_call_spawns_ =
+            (!member_access && ch.segs.size() == 1 && was_after_type &&
+             pend_thread_) ||
+            (member_access &&
+             (ch.segs.back() == "emplace_back" || ch.segs.back() == "push_back") &&
+             receiver_is_thread(ch.first_begin));
         after_type_ = false;
         clear_pending_type();
         return;  // '(' handled by the main loop as plain punctuation
@@ -1107,16 +1322,30 @@ class Parser {
       const bool addr_of = pv != std::string_view::npos && code_[pv] == '&' &&
                            !member_access;
       if (pend_assign_.active && !member_access) {
-        tu_.binds.push_back(CallbackBind{CallbackBind::Kind::kField,
-                                         pend_assign_.target, pend_assign_.recv_type,
-                                         join_segs(ch.segs), encl_qname(),
-                                         encl_class(), pend_assign_.line});
+        CallbackBind b;
+        b.kind = CallbackBind::Kind::kField;
+        b.target = pend_assign_.target;
+        b.recv_type = pend_assign_.recv_type;
+        b.callee = join_segs(ch.segs);
+        b.encl_qname = encl_qname();
+        b.encl_class = encl_class();
+        b.line = pend_assign_.line;
+        tu_.binds.push_back(std::move(b));
         pend_assign_.active = false;
-      } else if (addr_of && !active_calls_.empty()) {
-        tu_.binds.push_back(CallbackBind{CallbackBind::Kind::kArg,
-                                         active_calls_.back().name, "",
-                                         join_segs(ch.segs), encl_qname(),
-                                         encl_class(), ch.line});
+      } else if (!active_calls_.empty() &&
+                 (addr_of || (active_calls_.back().spawns && !member_access))) {
+        // `&fn` as a call argument — or any bare callable name handed to a
+        // thread construction (`std::thread t(worker_fn);`).
+        CallbackBind b;
+        b.kind = CallbackBind::Kind::kArg;
+        b.target = active_calls_.back().name;
+        b.callee = join_segs(ch.segs);
+        b.encl_qname = encl_qname();
+        b.encl_class = encl_class();
+        b.recv_name = active_calls_.back().recv_name;
+        b.spawns_thread = active_calls_.back().spawns;
+        b.line = ch.line;
+        tu_.binds.push_back(std::move(b));
       }
     }
 
@@ -1143,6 +1372,7 @@ class Parser {
       }
       pend_type_ = join_segs(ch.segs);
       pend_callback_ = is_callback_type(ch.segs.back());
+      pend_thread_ = ch.is_thread;
     }
 
     maybe_arm_assign(ch, member_access);
@@ -1202,8 +1432,10 @@ class Parser {
     declare(ch.segs.back(), ch.line);  // the guard object itself is a local
   }
 
-  /// Trailing-underscore identifier that resolves to nothing local, written
-  /// to: candidate GUARDED_BY violation, settled at link time.
+  /// Trailing-underscore identifier that resolves to nothing local:
+  /// candidate field access, settled at link time. Writes feed the
+  /// lock-guard rule; reads and writes both feed the shared-race lockset
+  /// analysis.
   void maybe_pending_write(const Chain& ch) {
     const std::string& root = ch.segs.back();
     if (root.empty() || root.back() != '_') return;
@@ -1282,8 +1514,8 @@ class Parser {
       }
       break;
     }
-    if (!write) return;
-    f->pending_writes.push_back(PendingFieldWrite{root, held_mutexes(), ch.line});
+    f->pending_writes.push_back(
+        PendingFieldWrite{root, held_in_current_function(), write, ch.line});
   }
 
   // -- lambdas --------------------------------------------------------------
@@ -1328,6 +1560,14 @@ class Parser {
     f.name = f.qname;
     f.line = line;
     f.in_protected_scope = scope_is_protected();
+    // A lambda inside a member function sees the enclosing class's fields
+    // through the captured `this`: give it that class context so its field
+    // accesses resolve in the lock-guard / shared-race analyses.
+    f.class_qname = encl_class();
+    if (f.class_qname.empty()) {
+      const int cls = innermost_class();
+      if (cls >= 0) f.class_qname = tu_.classes[static_cast<std::size_t>(cls)].qname;
+    }
 
     i_ = k + 1;  // past ']'
     if (punct_at(i_, '(')) parse_params(f);
@@ -1361,16 +1601,28 @@ class Parser {
       encl->calls.push_back(std::move(cs));
     }
     if (pend_assign_.active) {
-      tu_.binds.push_back(CallbackBind{CallbackBind::Kind::kField,
-                                       pend_assign_.target, pend_assign_.recv_type,
-                                       f.qname, encl_qname(), encl_class(),
-                                       pend_assign_.line});
+      CallbackBind b;
+      b.kind = CallbackBind::Kind::kField;
+      b.target = pend_assign_.target;
+      b.recv_type = pend_assign_.recv_type;
+      b.callee = f.qname;
+      b.encl_qname = encl_qname();
+      b.encl_class = encl_class();
+      b.line = pend_assign_.line;
+      tu_.binds.push_back(std::move(b));
       pend_assign_.active = false;
     }
     if (!active_calls_.empty()) {
-      tu_.binds.push_back(CallbackBind{CallbackBind::Kind::kArg,
-                                       active_calls_.back().name, "", f.qname,
-                                       encl_qname(), encl_class(), line});
+      CallbackBind b;
+      b.kind = CallbackBind::Kind::kArg;
+      b.target = active_calls_.back().name;
+      b.callee = f.qname;
+      b.encl_qname = encl_qname();
+      b.encl_class = encl_class();
+      b.recv_name = active_calls_.back().recv_name;
+      b.spawns_thread = active_calls_.back().spawns;
+      b.line = line;
+      tu_.binds.push_back(std::move(b));
     }
     f.has_body = true;
     f.in_host_region = line_in_host(f.line);

@@ -53,9 +53,12 @@
 #include "tu.h"
 
 #include <algorithm>
+#include <cctype>
 #include <deque>
 #include <unordered_set>
 #include <utility>
+
+#include "json_mini.h"
 
 namespace hpcslint {
 namespace {
@@ -110,6 +113,58 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// Last `::` segment of a joined chain ("threads_::emplace_back" → the call).
+std::string chain_tail(const std::string& joined) {
+  const std::size_t cut = joined.rfind("::");
+  return cut == std::string::npos ? joined : joined.substr(cut + 2);
+}
+
+/// HPCS_HOST service code under src/dist/host runs accept/pump loops on
+/// long-lived threads — those functions are concurrency roots for the race
+/// analysis.
+bool in_dist_host_file(const std::string& file) {
+  return file.find("dist/host") != std::string::npos ||
+         file.find("dist\\host") != std::string::npos;
+}
+
+/// ALL_CAPS identifiers in switch arms are macros (tracepoints, asserts) —
+/// noise in the transition graph, dropped at extraction time.
+bool is_macro_like(const std::string& s) {
+  bool has_upper = false;
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isupper(u) != 0) {
+      has_upper = true;
+    } else if (std::isdigit(u) == 0 && c != '_') {
+      return false;
+    }
+  }
+  return has_upper && !s.empty();
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Fields that *are* synchronization objects (or thread handles) are never
+/// race-report candidates themselves: a mutex needs no GUARDED_BY.
+bool is_sync_primitive_field(const FieldInfo& f) {
+  if (f.is_thread) return true;
+  const std::string tail = lower(chain_tail(f.type));
+  return tail.find("mutex") != std::string::npos ||
+         tail.find("condition_variable") != std::string::npos ||
+         tail.find("condvar") != std::string::npos ||
+         tail.find("atomic") != std::string::npos || tail == "thread" ||
+         tail == "jthread";
+}
+
+/// A class-owned lockable member — evidence the class opted into internal
+/// synchronization (and the GUARDED_BY suggestion target).
+bool is_mutex_field(const FieldInfo& f) {
+  return lower(chain_tail(f.type)).find("mutex") != std::string::npos;
+}
+
 struct OwnedTaint {
   std::string origin;  ///< "what at file:line" — pre-rendered for messages
 };
@@ -135,6 +190,16 @@ struct OwnedCall {
   std::size_t tu = 0;
 };
 
+struct OwnedSwitch {
+  SwitchInfo sw;
+  std::size_t tu = 0;
+};
+
+struct OwnedEnum {
+  EnumInfo e;
+  std::size_t tu = 0;  ///< defining TU — decides protocol-enum status by path
+};
+
 /// One merged symbol: every declaration and body sharing a qualified name
 /// (overload sets collapse into one node — conservative and simple).
 struct Node {
@@ -156,17 +221,20 @@ struct Node {
   std::vector<std::string> acquired;      ///< normalized
   std::vector<OwnedWrite> writes;
   std::vector<OwnedUse> uses;
+  std::vector<OwnedSwitch> switches;
 };
 
 class Linker {
  public:
-  Linker(std::vector<TuIndex>& tus, std::vector<Finding>& out)
-      : tus_(tus), out_(out) {}
+  Linker(std::vector<TuIndex>& tus, std::vector<Finding>& out,
+         std::string* protocol_graph)
+      : tus_(tus), out_(out), graph_(protocol_graph) {}
 
   void run() {
     merge_classes();
     build_hierarchy();
     merge_functions();
+    merge_enums();
     collect_binds();
     resolve_calls_all();
     resolve_pending_uses();   // may add taints — must precede the closure
@@ -177,11 +245,14 @@ class Linker {
     report_det_taint();
     purity_closure();
     report_purity();
+    protocol_analysis();
+    race_analysis();
   }
 
  private:
   std::vector<TuIndex>& tus_;
   std::vector<Finding>& out_;
+  std::string* graph_ = nullptr;  ///< receives the transition-graph JSON
   std::map<std::string, ClassInfo> classes_;
   std::map<std::string, Node> nodes_;
   std::map<std::string, std::vector<std::string>> by_name_;
@@ -192,6 +263,16 @@ class Linker {
   std::map<std::string, std::vector<std::string>> arg_binds_;
   std::map<std::string, std::vector<std::string>> callees_;  ///< resolved edges
   std::map<std::string, std::vector<std::string>> callers_;  ///< reverse edges
+  std::map<std::string, OwnedEnum> enums_;  ///< merged enum table (qname keyed)
+  /// Direct resolved call edges with the lockset held at the site — the
+  /// substrate of the interprocedural entry-lockset propagation. Callback
+  /// dispatch edges are deliberately absent: a bound callable's entry
+  /// lockset stays its REQUIRES set (conservative).
+  struct HeldEdge {
+    std::string caller, callee;
+    std::set<std::string> held;  ///< normalized
+  };
+  std::vector<HeldEdge> held_edges_;
   std::map<std::string, std::map<std::string, OwnedLockEdge>> lock_adj_;
   std::map<std::string, std::set<std::string>> closure_memo_;
   std::set<std::string> closure_busy_;
@@ -220,6 +301,7 @@ class Linker {
           }
           if (mf.type.empty()) mf.type = f.type;
           mf.is_callback = mf.is_callback || f.is_callback;
+          mf.is_thread = mf.is_thread || f.is_thread;
         }
       }
     }
@@ -371,9 +453,44 @@ class Linker {
         for (PendingContainerUse& u : f.pending_uses) {
           n.uses.push_back(OwnedUse{std::move(u), ti});
         }
+        for (SwitchInfo& sw : f.switches) {
+          n.switches.push_back(OwnedSwitch{std::move(sw), ti});
+        }
       }
     }
     for (const auto& [q, n] : nodes_) by_name_[n.name].push_back(q);
+  }
+
+  void merge_enums() {
+    for (std::size_t ti = 0; ti < tus_.size(); ++ti) {
+      for (const EnumInfo& e : tus_[ti].enums) {
+        if (enums_.count(e.qname) == 0) enums_[e.qname] = OwnedEnum{e, ti};
+      }
+    }
+  }
+
+  /// Resolve an enum name as written in a case label (`FrameType`,
+  /// `dist::FrameType`) to a merged enum qname — same strategy as
+  /// resolve_class: exact, context-prefixed innermost-first, unique suffix.
+  std::string resolve_enum(const std::string& name, const std::string& context) {
+    if (name.empty()) return {};
+    if (enums_.count(name) != 0) return name;
+    std::string ns = context;
+    std::size_t cut;
+    while ((cut = ns.rfind("::")) != std::string::npos) {
+      ns.resize(cut);
+      const std::string q = ns + "::" + name;
+      if (enums_.count(q) != 0) return q;
+    }
+    std::string hit;
+    const std::string suffix = "::" + name;
+    for (const auto& [q, oe] : enums_) {
+      if (ends_with(q, suffix)) {
+        if (!hit.empty()) return {};  // ambiguous — resolve to nothing
+        hit = q;
+      }
+    }
+    return hit;
   }
 
   /// Resolve the callable side of a bind: lambdas are exact synthetic qnames;
@@ -577,7 +694,14 @@ class Linker {
     for (const auto& [q, n] : nodes_) {
       for (const OwnedCall& oc : n.calls) {
         const std::vector<std::string> resolved = resolve_call(n, oc.cs);
-        for (const std::string& callee : resolved) add_edge(q, callee, seen);
+        for (const std::string& callee : resolved) {
+          add_edge(q, callee, seen);
+          HeldEdge he{q, callee, {}};
+          for (const std::string& h : oc.cs.held) {
+            he.held.insert(normalize_mutex(h, n.class_qname));
+          }
+          held_edges_.push_back(std::move(he));
+        }
         for (const std::string& cb : callback_targets(n, oc.cs)) {
           add_edge(q, cb, seen);
         }
@@ -637,6 +761,7 @@ class Linker {
       const auto c = classes_.find(n.class_qname);
       if (c == classes_.end()) continue;
       for (const OwnedWrite& ow : n.writes) {
+        if (!ow.w.is_write) continue;  // reads feed the race analysis only
         const auto f = c->second.fields.find(ow.w.field);
         if (f == c->second.fields.end() || f->second.guard.empty()) continue;
         const std::string want = mutex_tail(f->second.guard);
@@ -889,12 +1014,614 @@ class Linker {
       report("dist-purity", n.def_tu, n.def_line, std::move(msg));
     }
   }
+
+  // -------------------------------------------------------------------------
+  // v4: protocol-state exhaustiveness + transition-graph extraction
+  //
+  // A *protocol enum* is any enum defined in the pure state-machine zone
+  // (src/dist outside dist/host): FrameType, WorkerSession::Phase,
+  // Coordinator::ShardState, FrameDecoder::Result. Every switch over one —
+  // anywhere in the tree — must name every enumerator explicitly; a
+  // `default:` arm does not count, because it is exactly how a new message
+  // type silently falls into "ignore" when the protocol grows. Switches
+  // whose own definition also lives in the pure zone additionally become
+  // *machines* in the extracted `state × message → action` graph, which CI
+  // diffs against tools/hpcslint/dist_protocol_spec.json (proto-drift).
+
+  [[nodiscard]] bool is_protocol_enum(const std::string& qname) const {
+    const auto it = enums_.find(qname);
+    return it != enums_.end() && is_pure_machine_file(tus_[it->second.tu].file);
+  }
+
+  /// Enum a case label refers to: `FrameType::kHello` resolves the prefix
+  /// chain; a bare `kHello` (unscoped enums) resolves when exactly one known
+  /// enum declares that enumerator.
+  std::string enum_of_label(const std::vector<std::string>& label,
+                            const std::string& context) {
+    if (label.empty()) return {};
+    if (label.size() == 1) {
+      std::string hit;
+      for (const auto& [q, oe] : enums_) {
+        const auto& en = oe.e.enumerators;
+        if (std::find(en.begin(), en.end(), label[0]) != en.end()) {
+          if (!hit.empty()) return {};  // ambiguous enumerator name
+          hit = q;
+        }
+      }
+      return hit;
+    }
+    std::vector<std::string> prefix(label.begin(), label.end() - 1);
+    return resolve_enum(join_chain(prefix), context);
+  }
+
+  void protocol_analysis() {
+    struct Cell {
+      std::set<std::string> calls;
+      std::set<std::string> states;
+    };
+    struct Machine {
+      std::string handler, cls, enum_q, file;
+      bool has_default = false;
+      int line = 0;
+      std::map<std::string, Cell> cells;  ///< enumerator → actions
+    };
+    std::vector<Machine> machines;
+
+    for (const auto& [q, n] : nodes_) {
+      for (const OwnedSwitch& os : n.switches) {
+        // Subject enum: the first case label that resolves to a known enum.
+        std::string subject;
+        for (const SwitchCase& sc : os.sw.cases) {
+          subject = enum_of_label(sc.label, q);
+          if (!subject.empty()) break;
+        }
+        if (subject.empty() || !is_protocol_enum(subject)) continue;
+        const EnumInfo& en = enums_.at(subject).e;
+
+        std::set<std::string> covered;
+        for (const SwitchCase& sc : os.sw.cases) {
+          if (sc.label.empty() || enum_of_label(sc.label, q) != subject) continue;
+          covered.insert(sc.label.back());
+        }
+        std::string missing;
+        for (const std::string& e : en.enumerators) {
+          if (covered.count(e) != 0) continue;
+          if (!missing.empty()) missing += ", ";
+          missing += e;
+        }
+        if (!missing.empty()) {
+          report("proto-exhaustive", os.tu, os.sw.line,
+                 "switch on protocol enum '" + subject + "' does not handle " +
+                     missing + ": every protocol message/state must have an "
+                     "explicit arm (a default: arm hides drift when the enum "
+                     "grows)");
+        }
+
+        if (graph_ == nullptr || !is_pure_machine_file(tus_[os.tu].file)) continue;
+        Machine m;
+        m.handler = q;
+        m.cls = n.class_qname;
+        m.enum_q = subject;
+        m.file = sarif_relative_path(tus_[os.tu].file);
+        m.has_default = os.sw.has_default;
+        m.line = os.sw.line;
+        for (const SwitchCase& sc : os.sw.cases) {
+          if (sc.label.empty() || enum_of_label(sc.label, q) != subject) continue;
+          Cell& cell = m.cells[sc.label.back()];
+          for (const std::string& c : sc.calls) {
+            if (!is_noise_call(c) && !is_macro_like(c)) cell.calls.insert(c);
+          }
+          // A state transition is a reference to an enum nested inside the
+          // machine's own class (Phase::kRunning inside WorkerSession) —
+          // references to foreign enums (obs::kTp…) are not state changes.
+          for (const std::string& s : sc.state_refs) {
+            const std::size_t cut = s.find("::");
+            if (cut == std::string::npos || m.cls.empty()) continue;
+            if (enums_.count(m.cls + "::" + s.substr(0, cut)) != 0) {
+              cell.states.insert(s);
+            }
+          }
+        }
+        machines.push_back(std::move(m));
+      }
+    }
+    if (graph_ == nullptr) return;
+
+    std::sort(machines.begin(), machines.end(),
+              [](const Machine& a, const Machine& b) {
+                if (a.handler != b.handler) return a.handler < b.handler;
+                if (a.enum_q != b.enum_q) return a.enum_q < b.enum_q;
+                return a.line < b.line;
+              });
+
+    // Hand-rolled pretty emitter: the artifact is checked in as the protocol
+    // spec, so the layout must be stable and reviewable. No line numbers —
+    // the spec should survive unrelated edits to the handler files.
+    std::string& g = *graph_;
+    g = "{\n  \"version\": 1,\n  \"machines\": [";
+    const auto emit_list = [&g](const std::set<std::string>& xs) {
+      bool first = true;
+      for (const std::string& x : xs) {
+        if (!first) g += ", ";
+        first = false;
+        g += "\"" + json::escape(x) + "\"";
+      }
+    };
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      const Machine& m = machines[i];
+      g += i == 0 ? "\n" : ",\n";
+      g += "    {\n";
+      g += "      \"handler\": \"" + json::escape(m.handler) + "\",\n";
+      g += "      \"class\": \"" + json::escape(m.cls) + "\",\n";
+      g += "      \"enum\": \"" + json::escape(m.enum_q) + "\",\n";
+      g += "      \"file\": \"" + json::escape(m.file) + "\",\n";
+      g += std::string("      \"has_default\": ") +
+           (m.has_default ? "true" : "false") + ",\n";
+      g += "      \"transitions\": [";
+      // Declaration order of the enum, not case order: reordering arms in
+      // the handler is not protocol drift.
+      const EnumInfo& en = enums_.at(m.enum_q).e;
+      bool first_t = true;
+      for (const std::string& e : en.enumerators) {
+        const auto cell = m.cells.find(e);
+        if (cell == m.cells.end()) continue;
+        g += first_t ? "\n" : ",\n";
+        first_t = false;
+        g += "        {\"message\": \"" + json::escape(e) + "\", \"calls\": [";
+        emit_list(cell->second.calls);
+        g += "], \"states\": [";
+        emit_list(cell->second.states);
+        g += "]}";
+      }
+      g += first_t ? "]\n" : "\n      ]\n";
+      g += "    }";
+    }
+    g += machines.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  }
+
+  // -------------------------------------------------------------------------
+  // v4: thread-root inference + lockset race detection
+  //
+  // Roots: callables submitted to an exp::ThreadPool (`pool.submit(λ)`),
+  // bodies of `std::thread` constructions (direct-init or landing in a
+  // thread container), and HPCS_HOST service loops under src/dist/host.
+  // Everything reachable from a root over the resolved call graph runs in
+  // that root's thread context; code reachable from no root runs in the
+  // main/spawning context. A field touched from ≥2 distinct contexts is
+  // *shared*. Entry locksets propagate interprocedurally: a function's
+  // entry set is its REQUIRES plus the intersection over every call site
+  // of (locks held at the site ∪ caller's entry set) — roots start empty
+  // (a spawned body never inherits its spawner's locks).
+  //
+  // Reporting needs evidence, not just sharing — classes synchronized
+  // externally (Coordinator, driven by one pump loop) stay quiet:
+  //  * inconsistent lockset: some accesses hold a mutex, this one does not;
+  //  * all accesses bare, but the class owns a mutex member (it opted into
+  //    internal locking and missed a spot).
+  // GUARDED_BY'd fields are the lock-guard rule's jurisdiction; sync
+  // primitives themselves are exempt.
+
+  std::set<std::string> race_roots_;
+  std::map<std::string, std::set<std::string>> root_ctx_;  ///< node → roots
+  std::map<std::string, std::set<std::string>> entry_held_;
+  std::set<std::string> entry_top_;  ///< still ⊤ in the fixpoint
+
+  void collect_race_roots() {
+    for (const TuIndex& tu : tus_) {
+      for (const CallbackBind& b : tu.binds) {
+        bool spawn = b.spawns_thread;
+        const std::string tail = chain_tail(b.target);
+        if (!spawn && b.kind == CallbackBind::Kind::kArg && tail == "submit") {
+          spawn = true;  // exp::ThreadPool::submit — the pool runs it
+        }
+        if (!spawn && b.kind == CallbackBind::Kind::kArg && !b.recv_name.empty() &&
+            (tail == "emplace_back" || tail == "push_back")) {
+          // `threads_.emplace_back(λ)` in an out-of-class method body: the
+          // receiver's thread-ness lives in the class merged from the header.
+          const auto c = classes_.find(b.encl_class);
+          if (c != classes_.end()) {
+            const auto f = c->second.fields.find(b.recv_name);
+            spawn = f != c->second.fields.end() && f->second.is_thread;
+          }
+        }
+        if (!spawn) continue;
+        for (const std::string& q : resolve_callable(b)) race_roots_.insert(q);
+      }
+    }
+    for (const auto& [q, n] : nodes_) {
+      if (n.has_body && n.in_host && in_dist_host_file(tus_[n.def_tu].file)) {
+        race_roots_.insert(q);
+      }
+    }
+  }
+
+  void propagate_root_contexts() {
+    for (const std::string& r : race_roots_) {
+      std::deque<std::string> work{r};
+      std::set<std::string> seen;
+      while (!work.empty()) {
+        const std::string cur = std::move(work.front());
+        work.pop_front();
+        if (!seen.insert(cur).second) continue;
+        root_ctx_[cur].insert(r);
+        const auto it = callees_.find(cur);
+        if (it == callees_.end()) continue;
+        for (const std::string& next : it->second) work.push_back(next);
+      }
+    }
+  }
+
+  [[nodiscard]] std::set<std::string> requires_norm(const Node& n) const {
+    std::set<std::string> out;
+    for (const std::string& r : n.requires_m) {
+      // normalize_mutex is non-const only through classes_ lookup; inline it.
+      const std::string tail = mutex_tail(r);
+      const auto c = classes_.find(n.class_qname);
+      if (c != classes_.end() && c->second.fields.count(tail) != 0) {
+        out.insert(n.class_qname + "::" + tail);
+      } else {
+        out.insert(tail);
+      }
+    }
+    return out;
+  }
+
+  /// Optimistic (⊤-initialized) shrinking fixpoint over held_edges_.
+  void entry_lockset_fixpoint() {
+    std::map<std::string, std::vector<const HeldEdge*>> incoming;
+    for (const HeldEdge& e : held_edges_) incoming[e.callee].push_back(&e);
+    for (const auto& [q, n] : nodes_) {
+      if (race_roots_.count(q) != 0 || incoming.count(q) == 0) {
+        entry_held_[q] = requires_norm(n);  // spawned/external entry: REQUIRES only
+      } else {
+        entry_top_.insert(q);
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [q, n] : nodes_) {
+        if (race_roots_.count(q) != 0) continue;
+        const auto in = incoming.find(q);
+        if (in == incoming.end()) continue;
+        std::set<std::string> inter;
+        bool any_known = false;
+        for (const HeldEdge* e : in->second) {
+          if (entry_top_.count(e->caller) != 0) continue;  // ⊤ caller: skip
+          std::set<std::string> site = e->held;
+          const auto ce = entry_held_.find(e->caller);
+          if (ce != entry_held_.end()) {
+            site.insert(ce->second.begin(), ce->second.end());
+          }
+          if (!any_known) {
+            inter = std::move(site);
+            any_known = true;
+          } else {
+            std::set<std::string> keep;
+            for (const std::string& m : inter) {
+              if (site.count(m) != 0) keep.insert(m);
+            }
+            inter = std::move(keep);
+          }
+        }
+        if (!any_known) continue;  // all callers still ⊤
+        std::set<std::string> cand = requires_norm(n);
+        cand.insert(inter.begin(), inter.end());
+        const bool was_top = entry_top_.erase(q) != 0;
+        auto& cur = entry_held_[q];
+        if (was_top || cand != cur) {
+          cur = std::move(cand);
+          changed = true;
+        }
+      }
+    }
+    // Call-graph cycles unreachable from any resolved context stay ⊤:
+    // fall back to REQUIRES only (conservative toward reporting, but such
+    // nodes are also unreachable from roots, so they carry no contexts).
+    for (const std::string& q : entry_top_) {
+      const auto n = nodes_.find(q);
+      if (n != nodes_.end()) entry_held_[q] = requires_norm(n->second);
+    }
+  }
+
+  void race_analysis() {
+    collect_race_roots();
+    if (race_roots_.empty()) return;  // no concurrency, no races
+    propagate_root_contexts();
+    entry_lockset_fixpoint();
+
+    struct Access {
+      std::string file;
+      int line = 0;
+      std::size_t tu = 0;
+      std::set<std::string> held;      ///< effective: site locks ∪ entry set
+      std::set<std::string> contexts;  ///< root qnames, or the main context
+    };
+    // (class, field) → accesses, gathered over the sorted node map.
+    std::map<std::string, std::map<std::string, std::vector<Access>>> by_field;
+    for (const auto& [q, n] : nodes_) {
+      if (n.class_qname.empty()) continue;
+      const auto c = classes_.find(n.class_qname);
+      if (c == classes_.end()) continue;
+      for (const OwnedWrite& ow : n.writes) {
+        const auto f = c->second.fields.find(ow.w.field);
+        if (f == c->second.fields.end()) continue;
+        if (!f->second.guard.empty() || is_sync_primitive_field(f->second)) continue;
+        Access a;
+        a.file = tus_[ow.tu].file;
+        a.line = ow.w.line;
+        a.tu = ow.tu;
+        for (const std::string& h : ow.w.held) {
+          a.held.insert(normalize_mutex(h, n.class_qname));
+        }
+        const auto eh = entry_held_.find(q);
+        if (eh != entry_held_.end()) {
+          a.held.insert(eh->second.begin(), eh->second.end());
+        }
+        const auto ctx = root_ctx_.find(q);
+        if (ctx != root_ctx_.end() && !ctx->second.empty()) {
+          a.contexts = ctx->second;
+        } else {
+          a.contexts.insert("<main>");
+        }
+        by_field[n.class_qname][ow.w.field].push_back(std::move(a));
+      }
+    }
+
+    for (const auto& [cls, fields] : by_field) {
+      for (const auto& [field, accesses] : fields) {
+        std::set<std::string> contexts;
+        for (const Access& a : accesses) {
+          contexts.insert(a.contexts.begin(), a.contexts.end());
+        }
+        if (contexts.size() < 2) continue;  // single thread context: no race
+        std::set<std::string> common = accesses.front().held;
+        for (const Access& a : accesses) {
+          std::set<std::string> keep;
+          for (const std::string& m : common) {
+            if (a.held.count(m) != 0) keep.insert(m);
+          }
+          common = std::move(keep);
+        }
+        if (!common.empty()) continue;  // consistently guarded
+
+        // Most-held mutex = the annotation suggestion; lexicographic min on
+        // ties keeps the message deterministic.
+        std::map<std::string, std::size_t> votes;
+        for (const Access& a : accesses) {
+          for (const std::string& m : a.held) ++votes[m];
+        }
+        std::string best;
+        std::size_t best_n = 0;
+        for (const auto& [m, k] : votes) {
+          if (k > best_n) {
+            best = m;
+            best_n = k;
+          }
+        }
+        const std::string shown = cls + "::" + field;
+        if (best_n > 0) {
+          // Inconsistent lockset: report the first bare access (file/line
+          // order) that misses the majority mutex.
+          const Access* bad = nullptr;
+          for (const Access& a : accesses) {
+            if (a.held.count(best) != 0) continue;
+            if (bad == nullptr || a.file < bad->file ||
+                (a.file == bad->file && a.line < bad->line)) {
+              bad = &a;
+            }
+          }
+          if (bad == nullptr) continue;
+          report("shared-race", bad->tu, bad->line,
+                 "shared field '" + shown + "' (reached from " +
+                     std::to_string(contexts.size()) +
+                     " thread contexts) has an inconsistent lockset: " +
+                     std::to_string(best_n) + " of " +
+                     std::to_string(accesses.size()) + " accesses hold '" +
+                     best + "' but this one does not; annotate the field "
+                     "GUARDED_BY(" + mutex_tail(best) + ") and guard every "
+                     "access");
+        } else {
+          // Every access is bare: only a defect when the class owns a mutex.
+          const auto c = classes_.find(cls);
+          if (c == classes_.end()) continue;
+          std::string mu;
+          for (const auto& [fname, fi] : c->second.fields) {
+            if (is_mutex_field(fi)) {
+              mu = fname;
+              break;
+            }
+          }
+          if (mu.empty()) continue;  // externally synchronized by design
+          const Access* first = &accesses.front();
+          for (const Access& a : accesses) {
+            if (a.file < first->file ||
+                (a.file == first->file && a.line < first->line)) {
+              first = &a;
+            }
+          }
+          report("shared-race", first->tu, first->line,
+                 "shared field '" + shown + "' is reached from " +
+                     std::to_string(contexts.size()) +
+                     " thread contexts with no lock held at any access, but '" +
+                     cls + "' owns mutex '" + mu + "'; annotate the field "
+                     "GUARDED_BY(" + mu + ") and take a MutexLock around each "
+                     "access");
+        }
+      }
+    }
+  }
 };
+
+/// Structural JSON equality (order-sensitive for arrays, as emitted).
+bool json_same(const json::Value& a, const json::Value& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case json::Value::Kind::kNull: return true;
+    case json::Value::Kind::kBool: return a.boolean == b.boolean;
+    case json::Value::Kind::kNumber: return a.number == b.number;
+    case json::Value::Kind::kString: return a.str == b.str;
+    case json::Value::Kind::kArray:
+      if (a.arr.size() != b.arr.size()) return false;
+      for (std::size_t i = 0; i < a.arr.size(); ++i) {
+        if (!json_same(a.arr[i], b.arr[i])) return false;
+      }
+      return true;
+    case json::Value::Kind::kObject:
+      if (a.obj.size() != b.obj.size()) return false;
+      for (std::size_t i = 0; i < a.obj.size(); ++i) {
+        if (a.obj[i].first != b.obj[i].first ||
+            !json_same(a.obj[i].second, b.obj[i].second)) {
+          return false;
+        }
+      }
+      return true;
+  }
+  return false;
+}
+
+std::string str_of(const json::Value* v) { return v != nullptr && v->is_string() ? v->str : std::string(); }
+
+std::string render_name_list(const json::Value* v) {
+  std::string out = "[";
+  if (v != nullptr && v->is_array()) {
+    for (std::size_t i = 0; i < v->arr.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += v->arr[i].str;
+    }
+  }
+  return out + "]";
+}
 
 }  // namespace
 
-void link_program(std::vector<TuIndex>& tus, std::vector<Finding>& out) {
-  Linker(tus, out).run();
+void link_program(std::vector<TuIndex>& tus, std::vector<Finding>& out,
+                  std::string* protocol_graph) {
+  Linker(tus, out, protocol_graph).run();
+}
+
+std::vector<Finding> proto_drift_findings(const std::string& extracted_graph,
+                                          std::string_view spec_text,
+                                          const std::string& spec_label) {
+  std::vector<Finding> out;
+  json::Value ext, spec;
+  std::string err;
+  if (!json::parse(extracted_graph, ext, err)) {
+    out.push_back(Finding{spec_label, 0, "proto-drift",
+                          "internal error: extracted transition graph is not "
+                          "valid JSON: " + err});
+    return out;
+  }
+  if (!json::parse(spec_text, spec, err)) {
+    out.push_back(Finding{spec_label, 0, "proto-drift",
+                          "cannot parse protocol spec: " + err +
+                              "; regenerate it with hpcslint --emit-proto"});
+    return out;
+  }
+  const auto machines_of = [](const json::Value& root) {
+    std::map<std::string, const json::Value*> out_m;
+    const json::Value* ms = root.get("machines");
+    if (ms != nullptr && ms->is_array()) {
+      for (const json::Value& m : ms->arr) {
+        const std::string h = str_of(m.get("handler"));
+        if (!h.empty()) out_m.emplace(h, &m);
+      }
+    }
+    return out_m;
+  };
+  const std::map<std::string, const json::Value*> em = machines_of(ext);
+  const std::map<std::string, const json::Value*> sm = machines_of(spec);
+
+  for (const auto& [h, m] : sm) {
+    if (em.count(h) != 0) continue;
+    out.push_back(Finding{
+        spec_label, 1, "proto-drift",
+        "protocol machine '" + h + "' is in the spec but was not extracted "
+        "from the tree; if the handler was removed deliberately, regenerate "
+        "the spec with hpcslint --emit-proto"});
+  }
+  for (const auto& [h, m] : em) {
+    const std::string file = str_of(m->get("file"));
+    const auto s = sm.find(h);
+    if (s == sm.end()) {
+      out.push_back(Finding{
+          file.empty() ? spec_label : file, 1, "proto-drift",
+          "protocol machine '" + h + "' (switch over '" +
+              str_of(m->get("enum")) + "') is not in the spec; review the new "
+              "state machine and regenerate the spec with hpcslint "
+              "--emit-proto"});
+      continue;
+    }
+    if (json_same(*m, *s->second)) continue;
+
+    // Same machine, different shape: name the first concrete divergence so
+    // the finding reads as a protocol change, not a JSON diff.
+    std::vector<std::string> details;
+    for (const char* key : {"class", "enum", "file"}) {
+      const std::string a = str_of(m->get(key));
+      const std::string b = str_of(s->second->get(key));
+      if (a != b) {
+        details.push_back(std::string(key) + " changed: '" + b + "' -> '" + a + "'");
+      }
+    }
+    const json::Value* ed = m->get("has_default");
+    const json::Value* sd = s->second->get("has_default");
+    if (ed != nullptr && sd != nullptr && ed->boolean != sd->boolean) {
+      details.push_back(std::string("default arm ") +
+                        (ed->boolean ? "added" : "removed"));
+    }
+    const auto cells_of = [](const json::Value* machine) {
+      std::map<std::string, const json::Value*> cells;
+      const json::Value* ts = machine->get("transitions");
+      if (ts != nullptr && ts->is_array()) {
+        for (const json::Value& t : ts->arr) {
+          const std::string msg = str_of(t.get("message"));
+          if (!msg.empty()) cells.emplace(msg, &t);
+        }
+      }
+      return cells;
+    };
+    const std::map<std::string, const json::Value*> ec = cells_of(m);
+    const std::map<std::string, const json::Value*> sc = cells_of(s->second);
+    for (const auto& [msg, t] : sc) {
+      if (ec.count(msg) == 0) details.push_back("no longer handles '" + msg + "'");
+    }
+    for (const auto& [msg, t] : ec) {
+      const auto st = sc.find(msg);
+      if (st == sc.end()) {
+        details.push_back("now handles '" + msg + "'");
+        continue;
+      }
+      if (json_same(*t, *st->second)) continue;
+      const json::Value* eca = t->get("calls");
+      const json::Value* sca = st->second->get("calls");
+      if (eca != nullptr && sca != nullptr && !json_same(*eca, *sca)) {
+        details.push_back("'" + msg + "' actions changed: " +
+                          render_name_list(sca) + " -> " + render_name_list(eca));
+      }
+      const json::Value* est = t->get("states");
+      const json::Value* sst = st->second->get("states");
+      if (est != nullptr && sst != nullptr && !json_same(*est, *sst)) {
+        details.push_back("'" + msg + "' state transitions changed: " +
+                          render_name_list(sst) + " -> " + render_name_list(est));
+      }
+    }
+    if (details.empty()) details.push_back("transition graph differs from the spec");
+    std::string msg = "protocol drift in machine '" + h + "': ";
+    const std::size_t shown = std::min<std::size_t>(details.size(), 3);
+    for (std::size_t i = 0; i < shown; ++i) {
+      if (i != 0) msg += "; ";
+      msg += details[i];
+    }
+    if (shown < details.size()) {
+      msg += "; and " + std::to_string(details.size() - shown) + " more change(s)";
+    }
+    msg += " — update the handler or regenerate the spec with hpcslint "
+           "--emit-proto";
+    out.push_back(Finding{file.empty() ? spec_label : file, 1, "proto-drift",
+                          std::move(msg)});
+  }
+  return out;
 }
 
 }  // namespace hpcslint

@@ -103,7 +103,7 @@ std::string sarif_report(const std::vector<Finding>& fs) {
   out += "      \"tool\": {\n";
   out += "        \"driver\": {\n";
   out += "          \"name\": \"hpcslint\",\n";
-  out += "          \"version\": \"3.0.0\",\n";
+  out += "          \"version\": \"4.0.0\",\n";
   out += "          \"informationUri\": \"docs/static_analysis.md\",\n";
   out += "          \"rules\": [\n";
   const std::vector<std::string>& names = rule_names();

@@ -36,6 +36,7 @@ struct VarInfo {
   /// what lets the linker resolve `s->emit()` to the receiver's class.
   std::string type;
   bool is_callback = false;  ///< std::function / InplaceFunction / *Fn / *Callback
+  bool is_thread = false;    ///< std::thread / jthread, or a thread container
   int line = 0;
 };
 
@@ -68,6 +69,16 @@ struct CallbackBind {
   std::string callee;         ///< lambda qname, or `::`-joined function chain
   std::string encl_qname;     ///< function the bind occurs in (resolution context)
   std::string encl_class;     ///< its class ("" for free functions)
+  /// Receiver identifier of the target call for kArg binds
+  /// (`threads_.emplace_back(..)` → "threads_"); lets the linker decide
+  /// thread-ness when the receiver is a field of a class merged from
+  /// another TU.
+  std::string recv_name;
+  /// The callable crosses a thread boundary: it is the body of a
+  /// `std::thread` construction or lands in a thread container
+  /// (`threads_.emplace_back([..]{..})`). The race analysis treats it as a
+  /// concurrency root.
+  bool spawns_thread = false;
   int line = 0;
 };
 
@@ -88,12 +99,14 @@ struct LockEdge {
   int line = 0;
 };
 
-/// A write to an identifier that did not resolve to a local variable inside
-/// a member function — candidate guarded-field write, checked against the
-/// merged class table at link time.
+/// An access to an identifier that did not resolve to a local variable
+/// inside a member function — candidate field access, checked against the
+/// merged class table at link time. Writes feed the lock-guard rule; both
+/// reads and writes feed the shared-race lockset analysis.
 struct PendingFieldWrite {
   std::string field;
-  std::vector<std::string> held;  ///< mutexes held at the write (raw names)
+  std::vector<std::string> held;  ///< mutexes held at the access (raw names)
+  bool is_write = true;           ///< false: read-only use (race analysis only)
   int line = 0;
 };
 
@@ -104,6 +117,36 @@ struct PendingContainerUse {
   std::string name;
   bool range_for = false;  ///< false = explicit .begin()/.cbegin()/... call
   std::string via;         ///< "begin"/"cbegin"/... for the message
+  int line = 0;
+};
+
+/// One `case` arm of a recorded switch statement: the label as written
+/// (qualification preserved) plus the raw material the protocol analysis
+/// mines from the arm's body — called names and `Enum::kValue` references
+/// (state transitions). Filtering/resolution happens at link time.
+struct SwitchCase {
+  std::vector<std::string> label;       ///< e.g. {"FrameType","kHelloAck"}
+  std::vector<std::string> calls;       ///< identifiers invoked in the arm
+  std::vector<std::string> state_refs;  ///< "Enum::kValue" chains referenced
+  int line = 0;
+};
+
+/// A `switch` statement inside a function body. The linker resolves the
+/// case labels against the merged enum table; switches over protocol/state
+/// enums feed the proto-exhaustive rule and the transition-graph artifact.
+struct SwitchInfo {
+  std::string cond;  ///< condition text as written ("f.type")
+  std::vector<SwitchCase> cases;
+  bool has_default = false;
+  int line = 0;
+};
+
+/// An enum definition (scoped or not) with its enumerators, merged by
+/// qualified name at link time for switch-exhaustiveness checking.
+struct EnumInfo {
+  std::string qname;  ///< fully scope-qualified, e.g. "hpcs::dist::FrameType"
+  std::vector<std::string> enumerators;
+  bool scoped = false;  ///< enum class / enum struct
   int line = 0;
 };
 
@@ -128,6 +171,7 @@ struct FuncInfo {
   std::vector<std::string> acquired;  ///< every mutex this function locks itself
   std::vector<PendingFieldWrite> pending_writes;
   std::vector<PendingContainerUse> pending_uses;
+  std::vector<SwitchInfo> switches;
 };
 
 struct FieldInfo {
@@ -137,6 +181,7 @@ struct FieldInfo {
   bool pointer_key = false;
   std::string type;          ///< declared type chain, template args stripped
   bool is_callback = false;  ///< std::function / InplaceFunction / *Fn / *Callback
+  bool is_thread = false;    ///< std::thread / jthread, or a thread container
   int line = 0;
 };
 
@@ -155,6 +200,7 @@ struct TuIndex {
   std::vector<FuncInfo> funcs;
   std::vector<ClassInfo> classes;
   std::vector<CallbackBind> binds;      ///< callable values flowing into slots
+  std::vector<EnumInfo> enums;          ///< enum definitions (for exhaustiveness)
   std::vector<Finding> local_findings;  ///< findings fully resolved inside the TU
 };
 
@@ -176,8 +222,12 @@ struct TuIndex {
 /// Cross-TU link step (project.cpp): merge classes and functions by
 /// qualified name across all TUs, resolve pending container uses and
 /// guarded-field writes against the merged class table, build the
-/// lock-order graph and the taint closure, and append the resulting
-/// det-taint / lock-order / lock-guard / resolved container findings.
-void link_program(std::vector<TuIndex>& tus, std::vector<Finding>& out);
+/// lock-order graph and the taint closure, run the thread-root/lockset
+/// race analysis and the protocol-state exhaustiveness check, and append
+/// the resulting findings. When `protocol_graph` is non-null it receives
+/// the machine-readable `state × message → action` transition-graph JSON
+/// extracted from switches over protocol enums (see docs/static_analysis.md).
+void link_program(std::vector<TuIndex>& tus, std::vector<Finding>& out,
+                  std::string* protocol_graph = nullptr);
 
 }  // namespace hpcslint
