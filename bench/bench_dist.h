@@ -30,11 +30,14 @@
 #include <vector>
 
 #include "analysis/dist_jobs.h"
+#include "analysis/result_cache_key.h"
 #include "analysis/run_serialize.h"
 #include "bench_common.h"
+#include "cache/store.h"
 #include "common/check.h"
 #include "dist/coordinator.h"
 #include "dist/host/dist_options.h"
+#include "dist/host/host_clock.h"
 #include "dist/host/service.h"
 #include "dist/host/tcp_transport.h"
 #include "dist/worker.h"
@@ -43,6 +46,10 @@ namespace hpcs::bench {
 
 struct DistContext {
   dist::host::DistOptions opt;
+  /// Content-addressed result cache (--cache-dir / HPCS_CACHE_DIR). Works in
+  /// local and coordinator modes: hits replay stored rows, misses compute
+  /// then persist. Empty dir = off.
+  cache::CacheConfig cache;
   [[nodiscard]] bool off() const {
     return opt.mode == dist::host::DistOptions::Mode::kOff;
   }
@@ -52,10 +59,12 @@ struct DistContext {
   [[nodiscard]] bool worker() const {
     return opt.mode == dist::host::DistOptions::Mode::kWorker;
   }
+  [[nodiscard]] bool cache_on() const { return !cache.dir.empty(); }
 };
 
 /// Parse HPCS_DIST, then --dist SPEC / --dist=SPEC (flag wins) plus
-/// --dist-port-file PATH. Exits with code 2 on a malformed spec — a driver
+/// --dist-port-file PATH, --cache-dir DIR (HPCS_CACHE_DIR) and
+/// --cache-budget BYTES. Exits with code 2 on a malformed spec — a driver
 /// silently running local when the user asked for a fabric is the worst
 /// failure mode.
 inline DistContext parse_dist_options(int argc, char** argv) {
@@ -65,6 +74,7 @@ inline DistContext parse_dist_options(int argc, char** argv) {
     std::fprintf(stderr, "error: HPCS_DIST: %s\n", err.c_str());
     std::exit(2);
   }
+  if (const char* env = std::getenv("HPCS_CACHE_DIR")) ctx.cache.dir = env;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     std::string spec;
@@ -80,6 +90,20 @@ inline DistContext parse_dist_options(int argc, char** argv) {
     } else if (std::strncmp(a, "--dist-port-file=", 17) == 0) {
       ctx.opt.port_file = a + 17;
       continue;
+    } else if (std::strcmp(a, "--cache-dir") == 0 && i + 1 < argc) {
+      ctx.cache.dir = argv[++i];
+      continue;
+    } else if (std::strncmp(a, "--cache-dir=", 12) == 0) {
+      ctx.cache.dir = a + 12;
+      continue;
+    } else if (std::strcmp(a, "--cache-budget") == 0 && i + 1 < argc) {
+      const long long v = std::atoll(argv[++i]);
+      if (v < 1) {
+        std::fprintf(stderr, "error: --cache-budget wants a positive byte count\n");
+        std::exit(2);
+      }
+      ctx.cache.budget_bytes = static_cast<std::uint64_t>(v);
+      continue;
     } else {
       continue;
     }
@@ -91,19 +115,27 @@ inline DistContext parse_dist_options(int argc, char** argv) {
   return ctx;
 }
 
-/// Refuse flag combinations that cannot keep their promises under --dist:
-/// trace capture produces host-side objects that never cross the fabric.
+/// Refuse flag combinations that cannot keep their promises under --dist or
+/// --cache-dir: trace capture produces host-side objects that neither cross
+/// the fabric nor survive the cache's serialize round-trip, and a worker
+/// computes rows for someone else's sweep — it has no results to cache.
 inline void reject_dist_incompatible(const DistContext& ctx, const ObsOptions& obs) {
-  if (!ctx.off() && !obs.trace_path.empty()) {
+  if ((!ctx.off() || ctx.cache_on()) && !obs.trace_path.empty()) {
     std::fprintf(stderr,
-                 "error: --obs-trace requires a local run (traces do not "
-                 "serialize); drop --dist or --obs-trace\n");
+                 "error: --obs-trace requires a plain local run (traces do not "
+                 "serialize); drop --dist/--cache-dir or --obs-trace\n");
     std::exit(2);
   }
-  if (!ctx.off() && !obs.ring_dump_path.empty()) {
+  if ((!ctx.off() || ctx.cache_on()) && !obs.ring_dump_path.empty()) {
     std::fprintf(stderr,
-                 "error: --obs-ring-dump requires a local run (rings do not "
-                 "serialize); drop --dist or --obs-ring-dump\n");
+                 "error: --obs-ring-dump requires a plain local run (rings do not "
+                 "serialize); drop --dist/--cache-dir or --obs-ring-dump\n");
+    std::exit(2);
+  }
+  if (ctx.worker() && ctx.cache_on()) {
+    std::fprintf(stderr,
+                 "error: --cache-dir is a coordinator/local concern; a worker "
+                 "holds no sweep of its own to cache\n");
     std::exit(2);
   }
 }
@@ -138,14 +170,16 @@ inline void maybe_serve_dist_worker(const DistContext& ctx) {
 
 /// MANIFEST_<name>.fabric.host.json: the fabric's host-side counters plus,
 /// since v2, the per-shard spans and (when --obs is on) the coordinator's
-/// fabric-tracepoint hit counts (schema hpcs-dist-fabric-v2). The CI
+/// fabric-tracepoint hit counts; since v3, rows_seeded and (when a cache is
+/// attached) the result-cache counters (schema hpcs-dist-fabric-v3). The CI
 /// dist-smoke job asserts on these.
 inline void write_fabric_sidecar(const char* name, std::uint16_t port,
                                  const dist::FabricStats& s,
                                  const std::vector<dist::ShardSpan>& spans,
-                                 obs::Recorder* rec = nullptr) {
+                                 obs::Recorder* rec = nullptr,
+                                 const cache::CacheStats* cstats = nullptr) {
   JsonObject root;
-  root.field("schema", "hpcs-dist-fabric-v2").field("bench", name).field("port", port);
+  root.field("schema", "hpcs-dist-fabric-v3").field("bench", name).field("port", port);
   JsonObject fabric;
   fabric.field("workers_connected", s.workers_connected)
       .field("workers_rejected", s.workers_rejected)
@@ -157,10 +191,20 @@ inline void write_fabric_sidecar(const char* name, std::uint16_t port,
       .field("shards_local", s.shards_local)
       .field("rows_remote", s.rows_remote)
       .field("rows_local", s.rows_local)
+      .field("rows_seeded", s.rows_seeded)
       .field("rows_stale", s.rows_stale)
       .field("frames_bad", s.frames_bad)
       .field("fell_back_local", s.fell_back_local ? 1 : 0);
   root.object("fabric", fabric);
+  if (cstats != nullptr) {
+    JsonObject cj;
+    cj.field("hits", cstats->hits)
+        .field("misses", cstats->misses)
+        .field("stores", cstats->stores)
+        .field("evictions", cstats->evictions)
+        .field("corrupt", cstats->corrupt);
+    root.object("cache", cj);
+  }
   std::vector<JsonObject> span_objs;
   for (const dist::ShardSpan& sp : spans) {
     JsonObject o;
@@ -187,19 +231,88 @@ inline void write_fabric_sidecar(const char* name, std::uint16_t port,
   write_json_file(std::string("MANIFEST_") + name + ".fabric.host.json", root);
 }
 
+/// Local sweep through the result cache: probe every point, compute only
+/// the misses (still honoring --jobs), persist what was computed. Every row
+/// — hit or miss — takes the same serialize->deserialize round trip the
+/// fabric uses, so the driver's output is byte-identical to a plain local
+/// run whatever the hit pattern. Cache counters go to the v3 sidecar.
+inline std::vector<analysis::RunResult> run_modes_cached(
+    const DistContext& ctx, const char* name, unsigned jobs,
+    const std::vector<analysis::SchedMode>& modes,
+    const std::function<analysis::RunResult(analysis::SchedMode)>& run,
+    exp::EngineStats* host_stats, std::uint64_t seed, const ObsOptions& obs) {
+  const std::string params = analysis::encode_job_params(seed, obs.cfg);
+  std::vector<std::string> rows(modes.size());
+  std::vector<bool> seeded(modes.size(), false);
+
+  // HPCS_HOST_BEGIN — cache probes (file IO at the ResultCache leaves).
+  cache::ResultCache store(ctx.cache);
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const std::uint64_t key =
+        analysis::result_cache_key(name, params, static_cast<std::uint32_t>(i));
+    seeded[i] = store.get(key, rows[i]);
+  }
+  // HPCS_HOST_END
+
+  std::vector<analysis::SchedMode> missing;
+  std::vector<std::size_t> missing_at;
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    if (!seeded[i]) {
+      missing.push_back(modes[i]);
+      missing_at.push_back(i);
+    }
+  }
+  const std::vector<analysis::RunResult> fresh = run_modes(jobs, missing, run, host_stats);
+  for (std::size_t m = 0; m < missing_at.size(); ++m) {
+    rows[missing_at[m]] = analysis::serialize_run_result(fresh[m]);
+  }
+
+  // HPCS_HOST_BEGIN — persist the freshly computed rows, report, sidecar.
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    if (seeded[i]) continue;
+    store.put(analysis::result_cache_key(name, params, static_cast<std::uint32_t>(i)),
+              rows[i]);
+  }
+  const cache::CacheStats& cs = store.stats();
+  std::fprintf(stderr, "cache: %lld hits, %lld misses, %lld stores (%s)\n",
+               static_cast<long long>(cs.hits), static_cast<long long>(cs.misses),
+               static_cast<long long>(cs.stores), ctx.cache.dir.c_str());
+  dist::FabricStats s;
+  s.rows_seeded = cs.hits;
+  s.rows_local = static_cast<std::int64_t>(missing.size());
+  write_fabric_sidecar(name, 0, s, {}, nullptr, &cs);
+  // HPCS_HOST_END
+
+  std::vector<analysis::RunResult> results;
+  results.reserve(rows.size());
+  for (const std::string& row : rows) {
+    analysis::RunResult r;
+    HPCS_CHECK_MSG(analysis::deserialize_run_result(row, r),
+                   "cache returned a malformed row");
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
 /// run_modes with a fabric in front: coordinator mode shards the sweep over
-/// TCP workers (degrading to local execution as needed); any other mode is
-/// plain run_modes. Results come back in mode order either way.
+/// TCP workers (degrading to local execution as needed), seeding shards from
+/// the result cache when one is attached; local mode goes through
+/// run_modes_cached (with a cache) or plain run_modes. Results come back in
+/// mode order either way.
 inline std::vector<analysis::RunResult> run_modes_dist(
     const DistContext& ctx, const char* name, unsigned jobs,
     const std::vector<analysis::SchedMode>& modes,
     const std::function<analysis::RunResult(analysis::SchedMode)>& run,
     exp::EngineStats* host_stats, std::uint64_t seed, const ObsOptions& obs) {
-  if (!ctx.coordinator()) return run_modes(jobs, modes, run, host_stats);
+  if (!ctx.coordinator() && !ctx.cache_on()) return run_modes(jobs, modes, run, host_stats);
 
   const analysis::PaperTableJob* job = analysis::find_paper_table_job(name);
   HPCS_CHECK_MSG(job != nullptr, "driver name missing from paper_table_jobs()");
   HPCS_CHECK_MSG(job->modes == modes, "driver mode list drifted from dist_jobs.cpp");
+
+  if (!ctx.coordinator()) {
+    return run_modes_cached(ctx, name, jobs, modes, run, host_stats, seed, obs);
+  }
 
   dist::CoordinatorConfig cfg;
   cfg.job = name;
@@ -247,7 +360,33 @@ inline std::vector<analysis::RunResult> run_modes_dist(
   }
   std::fprintf(stderr, "dist: coordinating %zu points on 127.0.0.1:%u\n", modes.size(),
                static_cast<unsigned>(bound));
+  // Seed shards from the result cache before serving: a hit completes its
+  // shard outright (never assigned, never computed), and rows the fabric
+  // does compute get persisted afterwards for the next run.
+  cache::ResultCache cache_store(ctx.cache);
+  std::vector<bool> seeded(modes.size(), false);
+  if (ctx.cache_on()) {
+    const std::string& params = cfg.params;
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      std::string payload;
+      const std::uint64_t key =
+          analysis::result_cache_key(name, params, static_cast<std::uint32_t>(i));
+      if (cache_store.get(key, payload)) {
+        coord.seed_row(static_cast<std::uint32_t>(i), std::move(payload),
+                       dist::host::now_ms());
+        seeded[i] = true;
+      }
+    }
+  }
   std::vector<std::string> rows = dist::host::serve_coordinator(coord, *listener);
+  if (ctx.cache_on()) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (seeded[i]) continue;
+      cache_store.put(
+          analysis::result_cache_key(name, cfg.params, static_cast<std::uint32_t>(i)),
+          rows[i]);
+    }
+  }
   // HPCS_HOST_END
 
   const dist::FabricStats& s = coord.stats();
@@ -260,7 +399,8 @@ inline std::vector<analysis::RunResult> run_modes_dist(
                static_cast<long long>(s.shards_retried),
                static_cast<long long>(s.shards_stolen),
                static_cast<long long>(s.rows_stale));
-  write_fabric_sidecar(name, bound, s, coord.shard_spans(), fabric_rec.get());
+  write_fabric_sidecar(name, bound, s, coord.shard_spans(), fabric_rec.get(),
+                       ctx.cache_on() ? &cache_store.stats() : nullptr);
 
   std::vector<analysis::RunResult> results;
   results.reserve(rows.size());

@@ -84,8 +84,15 @@ print(f'Chrome trace loads: {len(doc[\"traceEvents\"])} events')
 
 echo "=== dist-smoke: coordinator + 2 TCP workers vs serial ==="
 # Byte-identity of the sweep fabric against the serial run, plus the
-# fabric-sidecar schema checks. Full contract in scripts/dist_smoke.sh.
+# fabric-sidecar schema checks and the result-cache cold/warm/corrupt pass.
+# Full contract in scripts/dist_smoke.sh.
 scripts/dist_smoke.sh build-ci
+
+echo "=== svc-smoke: hpcs-sweepd + hpcs-submit + worker + cache replay ==="
+# The sweep service's acceptance contract: concurrent tenants, a TCP
+# worker, a byte-identical warm-cache resubmit, status/shutdown, and the
+# v3 daemon sidecar. Full contract in scripts/svc_smoke.sh.
+scripts/svc_smoke.sh build-ci
 
 python3 scripts/check_bench_json.py scripts/bench_golden.json build-ci/bench
 

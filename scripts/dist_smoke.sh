@@ -9,8 +9,13 @@
 # windowed series included) to be byte-identical. Then asserts the fabric
 # sidecar shows both workers connected and doing real row work, carries the
 # per-shard spans and fabric tracepoint counts, and schema-validates the
-# fabric output dir (including the hpcs-dist-fabric-v2 sidecar) with
+# fabric output dir (including the hpcs-dist-fabric-v3 sidecar) with
 # scripts/check_bench_json.py.
+#
+# A second pass exercises the content-addressed result cache (--cache-dir):
+# a cold run populates the store, a warm run must serve every row from it —
+# byte-identical stdout and BENCH json, zero recomputation — and corrupting
+# a blob must degrade to a miss (recompute + re-store), never an error.
 #
 # Needs the table3_metbench and hpcs-distd targets already built in
 # BUILD_DIR. Exit status: 0 on success, 1 on any divergence or timeout.
@@ -77,7 +82,7 @@ echo "serial vs fabric: table, BENCH json, metrics manifest all byte-identical"
 python3 -c "
 import json
 doc = json.load(open('${SMOKE_DIR}/fabric/MANIFEST_table3_metbench.fabric.host.json'))
-assert doc['schema'] == 'hpcs-dist-fabric-v2', doc
+assert doc['schema'] == 'hpcs-dist-fabric-v3', doc
 f = doc['fabric']
 assert f['workers_connected'] == 2, f
 assert f['rows_remote'] + f['rows_local'] == f['shards_total'], f
@@ -104,5 +109,54 @@ sub = {'BENCH_table3_metbench.json': spec['BENCH_table3_metbench.json']}
 json.dump(sub, open('${SMOKE_DIR}/golden_subset.json', 'w'))
 "
 python3 scripts/check_bench_json.py "${SMOKE_DIR}/golden_subset.json" "${SMOKE_DIR}/fabric"
+
+echo "--- result cache: cold run, warm run, corrupt-blob run"
+CACHE_DIR="$PWD/${SMOKE_DIR}/cache-store"
+mkdir -p "${SMOKE_DIR}/cold" "${SMOKE_DIR}/warm" "${SMOKE_DIR}/corrupt"
+(cd "${SMOKE_DIR}/cold" &&
+  "${BENCH_ABS}/table3_metbench" --cache-dir "${CACHE_DIR}" > stdout.txt 2> cache.txt)
+grep -q "cache: 0 hits, 4 misses, 4 stores" "${SMOKE_DIR}/cold/cache.txt" || {
+  echo "ERROR: cold run should miss and store every row"
+  cat "${SMOKE_DIR}/cold/cache.txt"
+  exit 1
+}
+(cd "${SMOKE_DIR}/warm" &&
+  "${BENCH_ABS}/table3_metbench" --cache-dir "${CACHE_DIR}" > stdout.txt 2> cache.txt)
+grep -q "cache: 4 hits, 0 misses, 0 stores" "${SMOKE_DIR}/warm/cache.txt" || {
+  echo "ERROR: warm run should hit every row"
+  cat "${SMOKE_DIR}/warm/cache.txt"
+  exit 1
+}
+
+# One flipped byte in one blob: the next run detects it on read, recomputes
+# that row, re-stores it — and still prints the exact same table.
+blob=$(find "${CACHE_DIR}" -name '*.rcb' | sort | head -1)
+printf 'X' | dd of="${blob}" bs=1 seek=20 conv=notrunc status=none
+(cd "${SMOKE_DIR}/corrupt" &&
+  "${BENCH_ABS}/table3_metbench" --cache-dir "${CACHE_DIR}" > stdout.txt 2> cache.txt)
+grep -q "cache: 3 hits, 1 misses, 1 stores" "${SMOKE_DIR}/corrupt/cache.txt" || {
+  echo "ERROR: corrupt blob should degrade to exactly one miss"
+  cat "${SMOKE_DIR}/corrupt/cache.txt"
+  exit 1
+}
+
+for d in cold warm corrupt; do
+  for f in stdout.txt BENCH_table3_metbench.json; do
+    diff "${SMOKE_DIR}/serial/${f}" "${SMOKE_DIR}/${d}/${f}" >/dev/null || {
+      echo "ERROR: ${d}/${f} differs from the serial reference"
+      exit 1
+    }
+  done
+done
+python3 -c "
+import json
+doc = json.load(open('${SMOKE_DIR}/warm/MANIFEST_table3_metbench.fabric.host.json'))
+assert doc['schema'] == 'hpcs-dist-fabric-v3', doc
+c = doc['cache']
+assert c['hits'] == 4 and c['misses'] == 0 and c['stores'] == 0, c
+assert doc['fabric']['rows_seeded'] == 4, doc['fabric']
+print('cache sidecar ok:', c)
+"
+echo "cache pass: cold/warm/corrupt all byte-identical to serial"
 
 echo "dist-smoke passed"

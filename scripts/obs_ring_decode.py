@@ -53,6 +53,11 @@ TP_NAMES = [
     "dist_retry",
     "dist_steal",
     "dist_heartbeat",
+    "svc_submit",
+    "svc_job_start",
+    "svc_job_done",
+    "cache_hit",
+    "cache_miss",
 ]
 
 

@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# svc-smoke: the sweep service's acceptance contract.
+#
+#   scripts/svc_smoke.sh [BUILD_DIR]     # default: build
+#
+# Boots one hpcs-sweepd (ephemeral ports, result cache, --obs, sidecar),
+# then drives it with hpcs-submit over localhost TCP:
+#
+#   1. two concurrent submissions from different tenants both stream to
+#      completion (the daemon multiplexes sweeps, max-running permitting);
+#   2. a worker (hpcs-distd) attached to the worker port serves remote rows
+#      for a third job;
+#   3. resubmitting a finished sweep is served entirely from the result
+#      cache — and its rows are byte-identical to the fresh run's;
+#   4. --status answers for done and unknown jobs, --shutdown drains the
+#      daemon to a clean exit;
+#   5. the v3 fabric sidecar carries fabric/service/cache/jobs/tracepoints
+#      and passes scripts/check_bench_json.py.
+#
+# Needs the hpcs-sweepd, hpcs-submit and hpcs-distd targets already built
+# in BUILD_DIR. Exit status: 0 on success, 1 on any failure or timeout.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SWEEPD="$PWD/${BUILD_DIR}/tools/hpcs-sweepd/hpcs-sweepd"
+SUBMIT="$PWD/${BUILD_DIR}/tools/hpcs-submit/hpcs-submit"
+DISTD="$PWD/${BUILD_DIR}/tools/hpcs-distd/hpcs-distd"
+SMOKE_DIR="${BUILD_DIR}/svc-smoke"
+
+for bin in "${SWEEPD}" "${SUBMIT}" "${DISTD}"; do
+  [[ -x "${bin}" ]] || {
+    echo "ERROR: ${bin} not built"
+    exit 1
+  }
+done
+
+rm -rf "${SMOKE_DIR}"
+mkdir -p "${SMOKE_DIR}"
+cd "${SMOKE_DIR}"
+
+"${SWEEPD}" --port 0 --worker-port 0 \
+  --port-file client_port.txt --worker-port-file worker_port.txt \
+  --cache-dir cache --max-running 2 --obs \
+  --sidecar MANIFEST_sweepd.fabric.host.json > sweepd.log 2>&1 &
+daemon=$!
+trap 'kill "${daemon}" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 150); do
+  [[ -s client_port.txt && -s worker_port.txt ]] && break
+  sleep 0.1
+done
+[[ -s client_port.txt && -s worker_port.txt ]] || {
+  echo "ERROR: daemon never wrote its port files"
+  exit 1
+}
+ADDR="127.0.0.1:$(cat client_port.txt)"
+WADDR="127.0.0.1:$(cat worker_port.txt)"
+
+echo "--- two concurrent tenants"
+"${SUBMIT}" "${ADDR}" --job table3_metbench --tenant alice > alice.txt &
+a=$!
+"${SUBMIT}" "${ADDR}" --job table4_metbenchvar --tenant bob > bob.txt &
+b=$!
+wait "${a}" || {
+  echo "ERROR: alice's submission failed"
+  cat alice.txt
+  exit 1
+}
+wait "${b}" || {
+  echo "ERROR: bob's submission failed"
+  cat bob.txt
+  exit 1
+}
+grep -q "done: 4 rows" alice.txt && grep -q "done: 4 rows" bob.txt || {
+  echo "ERROR: a stream ended without 4 committed rows"
+  exit 1
+}
+echo "both tenants streamed to completion"
+
+echo "--- worker-served job"
+"${DISTD}" "${WADDR}" --name smoke-w1 > worker.log 2>&1 &
+w=$!
+"${SUBMIT}" "${ADDR}" --job table5_btmz --tenant carol --seed 7 > carol.txt
+grep -q "done: " carol.txt || {
+  echo "ERROR: worker-served job did not finish"
+  exit 1
+}
+kill "${w}" 2>/dev/null || true
+wait "${w}" 2>/dev/null || true
+
+echo "--- warm-cache resubmit is byte-identical"
+"${SUBMIT}" "${ADDR}" --job table3_metbench --tenant alice > alice2.txt
+grep -q "(4 cached)" alice2.txt || {
+  echo "ERROR: resubmitted sweep was not served from the cache"
+  cat alice2.txt
+  exit 1
+}
+# Rows must match the fresh run byte-for-byte, modulo the job id prefix.
+sed 's/^job [0-9]* //' alice.txt | grep '^row' > rows_fresh.txt
+sed 's/^job [0-9]* //' alice2.txt | grep '^row' > rows_cached.txt
+diff rows_fresh.txt rows_cached.txt || {
+  echo "ERROR: cached rows differ from the fresh run"
+  exit 1
+}
+echo "cache replay byte-identical"
+
+echo "--- status and shutdown"
+last_id=$(sed -n 's/^job \([0-9]*\) accepted.*/\1/p' alice2.txt)
+"${SUBMIT}" "${ADDR}" --status "${last_id}" | grep -q "done, 4/4 rows (4 cached)" || {
+  echo "ERROR: --status misreported the cached job"
+  exit 1
+}
+if "${SUBMIT}" "${ADDR}" --status 9999 > status_unknown.txt 2>&1; then
+  echo "ERROR: --status for an unknown job must exit nonzero"
+  exit 1
+fi
+"${SUBMIT}" "${ADDR}" --shutdown | grep -q "draining: 0 jobs remaining" || {
+  echo "ERROR: --shutdown did not report a drained daemon"
+  exit 1
+}
+wait "${daemon}"
+trap - EXIT
+echo "daemon drained and exited"
+
+python3 -c "
+import json
+doc = json.load(open('MANIFEST_sweepd.fabric.host.json'))
+assert doc['schema'] == 'hpcs-dist-fabric-v3', doc
+assert doc['daemon'] == 'hpcs-sweepd', doc
+s = doc['service']
+assert s['jobs_submitted'] == 4 and s['jobs_done'] == 4, s
+f = doc['fabric']
+assert f['workers_connected'] == 1 and f['rows_remote'] >= 1, f
+assert f['rows_seeded'] == 4, f
+c = doc['cache']
+assert c['hits'] == 4 and c['stores'] >= 8, c
+jobs = doc['jobs']
+assert len(jobs) == 4 and all(j['state'] == 'done' for j in jobs), jobs
+tp = doc['tracepoints']
+assert tp['svc_submit'] == 4 and tp['svc_job_done'] == 4, tp
+assert tp['cache_hit'] == 4 and tp['cache_miss'] >= 8, tp
+print('sweepd sidecar ok:', {k: s[k] for k in ('jobs_submitted', 'jobs_done', 'rows_streamed')})
+"
+echo '{}' > empty_golden.json
+python3 ../../scripts/check_bench_json.py empty_golden.json .
+echo "svc-smoke passed"

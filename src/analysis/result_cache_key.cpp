@@ -1,0 +1,20 @@
+#include "analysis/result_cache_key.h"
+
+#include "analysis/run_serialize.h"
+#include "cache/fnv.h"
+#include "dist/wire.h"
+
+namespace hpcs::analysis {
+
+std::uint64_t result_cache_key(const std::string& job, const std::string& params,
+                               std::uint32_t index) {
+  dist::WireWriter w;
+  w.u32(kCacheKeyVersion)
+      .u32(run_result_format_version())
+      .str(job)
+      .str(params)
+      .u32(index);
+  return cache::fnv1a64(w.data());
+}
+
+}  // namespace hpcs::analysis

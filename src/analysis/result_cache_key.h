@@ -1,0 +1,35 @@
+#pragma once
+// Cache key derivation for the content-addressed result store (cache/store.h).
+//
+// A sweep point is a pure function of (job name, params blob, point index) —
+// the same purity contract dist::Coordinator's retry logic and the in-process
+// engine already rely on — so that triple, plus the two format versions that
+// govern how the bytes are produced, IS the content address:
+//
+//     key = FNV-1a-64( kCacheKeyVersion
+//                    | run_result_format_version()   (blob layout)
+//                    | job name                      (length-prefixed)
+//                    | params blob                   (carries kParamsVersion,
+//                    |                                seed, obs config)
+//                    | point index )
+//
+// The material is rendered through dist::WireWriter, so every field is
+// length-delimited/fixed-width and no two distinct inputs can collide by
+// concatenation. Bumping any layer's version (serializer, params encoding,
+// this scheme) silently invalidates the old population instead of decoding
+// stale bytes.
+
+#include <cstdint>
+#include <string>
+
+namespace hpcs::analysis {
+
+/// Bump to orphan every existing cache entry on a key-scheme change.
+inline constexpr std::uint32_t kCacheKeyVersion = 1;
+
+/// 64-bit content address of one sweep point's serialized RunResult.
+[[nodiscard]] std::uint64_t result_cache_key(const std::string& job,
+                                             const std::string& params,
+                                             std::uint32_t index);
+
+}  // namespace hpcs::analysis

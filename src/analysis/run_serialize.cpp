@@ -111,6 +111,8 @@ bool get_windows(dist::WireReader& r, obs::WindowedSeries& s) {
 
 }  // namespace
 
+std::uint32_t run_result_format_version() { return kRunResultVersion; }
+
 std::string serialize_run_result(const RunResult& r) {
   dist::WireWriter w;
   w.u32(kRunResultVersion);

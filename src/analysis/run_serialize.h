@@ -24,4 +24,9 @@ namespace hpcs::analysis {
 /// `out` is unspecified in that case.
 [[nodiscard]] bool deserialize_run_result(const std::string& bytes, RunResult& out);
 
+/// The serializer's format version tag. Cache keys fold it in
+/// (result_cache_key.h) so bumping the layout invalidates every stored blob
+/// instead of feeding old bytes to a new decoder.
+[[nodiscard]] std::uint32_t run_result_format_version();
+
 }  // namespace hpcs::analysis

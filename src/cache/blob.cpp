@@ -1,0 +1,35 @@
+#include "cache/blob.h"
+
+#include "cache/fnv.h"
+#include "dist/wire.h"
+
+namespace hpcs::cache {
+
+std::string encode_result_blob(std::uint64_t key, std::string_view payload) {
+  dist::WireWriter w;
+  w.u32(kBlobMagic)
+      .u32(kBlobVersion)
+      .u64(key)
+      .u64(fnv1a64(payload))
+      .str(payload);
+  return w.take();
+}
+
+BlobVerdict decode_result_blob(std::string_view bytes, std::uint64_t key,
+                               std::string& payload) {
+  dist::WireReader r(bytes);
+  const std::uint32_t magic = r.u32();
+  const std::uint32_t version = r.u32();
+  if (!r.ok() || magic != kBlobMagic) return BlobVerdict::kCorrupt;
+  if (version != kBlobVersion) return BlobVerdict::kVersion;
+  const std::uint64_t blob_key = r.u64();
+  const std::uint64_t checksum = r.u64();
+  std::string body = r.str();
+  if (!r.done()) return BlobVerdict::kCorrupt;  // short read or trailing bytes
+  if (blob_key != key) return BlobVerdict::kCorrupt;
+  if (fnv1a64(body) != checksum) return BlobVerdict::kCorrupt;
+  payload = std::move(body);
+  return BlobVerdict::kOk;
+}
+
+}  // namespace hpcs::cache

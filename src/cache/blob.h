@@ -1,0 +1,41 @@
+#pragma once
+// On-disk format of one cached row: a self-verifying envelope around the
+// serialized RunResult bytes. Layout (all little-endian, via dist wire
+// primitives):
+//
+//     u32 magic   "RCB1"
+//     u32 blob format version (kBlobVersion)
+//     u64 cache key (must match the key the file name claims)
+//     u64 FNV-1a of the payload bytes
+//     str payload (u32 length + bytes)
+//
+// decode_result_blob() is the integrity gate: any mismatch — short file,
+// trailing garbage, flipped bit, foreign key, older format — downgrades to a
+// verdict, never to trusted bytes. The store maps every non-kOk verdict to a
+// cache miss, so a damaged cache can cost time but can never change output.
+//
+// Pure bytes-to-bytes code: file IO lives in store.cpp at HPCS_HOST leaves.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hpcs::cache {
+
+inline constexpr std::uint32_t kBlobMagic = 0x31424352u;  // "RCB1" little-endian
+inline constexpr std::uint32_t kBlobVersion = 1;
+
+enum class BlobVerdict : std::uint8_t {
+  kOk,        ///< envelope intact, key matches, checksum matches
+  kCorrupt,   ///< truncated, bad magic, bad checksum, wrong key, trailing bytes
+  kVersion,   ///< intact envelope from an incompatible format version
+};
+
+/// Wrap `payload` in the envelope above under `key`.
+[[nodiscard]] std::string encode_result_blob(std::uint64_t key, std::string_view payload);
+
+/// Verify `bytes` against `key`; on kOk, `payload` holds the row bytes.
+[[nodiscard]] BlobVerdict decode_result_blob(std::string_view bytes, std::uint64_t key,
+                                             std::string& payload);
+
+}  // namespace hpcs::cache

@@ -1,0 +1,27 @@
+#pragma once
+// FNV-1a 64-bit: the content hash behind the result cache's keys and blob
+// checksums. Chosen over a cryptographic hash deliberately — the cache is a
+// performance layer over a *deterministic* simulator, so a collision cannot
+// corrupt results silently (the blob embeds its key and payload checksum and
+// is re-verified on read) and the hash only has to be stable across
+// platforms, which a pure integer fold is by construction.
+
+#include <cstdint>
+#include <string_view>
+
+namespace hpcs::cache {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                              std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace hpcs::cache

@@ -1,0 +1,190 @@
+#include "cache/store.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "cache/blob.h"
+
+// POSIX file plumbing for the store's HPCS_HOST leaves.
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace hpcs::cache {
+
+namespace {
+
+constexpr const char* kBlobSuffix = ".rcb";
+constexpr const char* kTmpPrefix = ".tmp.";
+
+[[nodiscard]] bool is_hex_pair(const char* name) {
+  const auto hex = [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  };
+  return name[0] != '\0' && name[1] != '\0' && name[2] == '\0' && hex(name[0]) &&
+         hex(name[1]);
+}
+
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// HPCS_HOST_BEGIN — directory scaffolding and blob scanning; file metadata
+// only, nothing here touches deterministic output.
+
+void mkdir_ignore_exists(const std::string& path) {
+  (void)::mkdir(path.c_str(), 0755);
+}
+
+/// Collect every committed blob (temp files from a crashed writer are
+/// invisible here, which is what makes the atomic-write protocol safe to
+/// interrupt anywhere).
+void scan_level2(const std::string& dir2, std::vector<BlobInfo>& out) {
+  DIR* d = ::opendir(dir2.c_str());
+  if (d == nullptr) return;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (!ends_with(name, kBlobSuffix)) continue;  // skips ".", "..", temps
+    BlobInfo info;
+    info.path = dir2 + "/" + name;
+    struct stat st {};
+    if (::stat(info.path.c_str(), &st) != 0) continue;
+    info.bytes = static_cast<std::uint64_t>(st.st_size);
+    info.mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
+                    st.st_mtim.tv_nsec;
+    out.push_back(std::move(info));
+  }
+  ::closedir(d);
+}
+
+// HPCS_HOST_END
+
+}  // namespace
+
+std::string key_hex(std::uint64_t key) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[key & 0xf];
+    key >>= 4;
+  }
+  return out;
+}
+
+ResultCache::ResultCache(CacheConfig cfg) : cfg_(std::move(cfg)) {}
+
+std::string ResultCache::blob_path(std::uint64_t key) const {
+  const std::string hex = key_hex(key);
+  return cfg_.dir + "/" + hex.substr(0, 2) + "/" + hex.substr(2, 2) + "/" + hex +
+         kBlobSuffix;
+}
+
+std::vector<std::string> ResultCache::plan_eviction(std::vector<BlobInfo> entries,
+                                                    std::uint64_t budget) {
+  std::sort(entries.begin(), entries.end(), [](const BlobInfo& a, const BlobInfo& b) {
+    if (a.mtime_ns != b.mtime_ns) return a.mtime_ns < b.mtime_ns;
+    return a.path < b.path;
+  });
+  std::uint64_t total = 0;
+  for (const BlobInfo& e : entries) total += e.bytes;
+  std::vector<std::string> doomed;
+  for (const BlobInfo& e : entries) {
+    if (total <= budget) break;
+    doomed.push_back(e.path);
+    total -= e.bytes;
+  }
+  return doomed;
+}
+
+// HPCS_HOST_BEGIN — the store's read/write/evict leaves. Deliberate file IO:
+// the deterministic machines never call in here; hosts probe the cache
+// between machine steps and feed verified hits back in as seeded rows, so a
+// damaged or empty cache can only cost wall-clock, never change a byte of
+// output.
+
+bool ResultCache::get(std::uint64_t key, std::string& payload) {
+  if (!enabled()) return false;
+  const std::string path = blob_path(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    ++stats_.misses;
+    return false;
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  if (decode_result_blob(bytes, key, payload) != BlobVerdict::kOk) {
+    // Damaged blob: count it, delete it so a later put() repairs the slot,
+    // and report a plain miss — the caller recomputes.
+    ++stats_.corrupt;
+    ++stats_.misses;
+    std::remove(path.c_str());
+    return false;
+  }
+  ++stats_.hits;
+  // Touch: mtime is the LRU recency signal shared with other processes.
+  (void)::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
+  return true;
+}
+
+void ResultCache::put(std::uint64_t key, const std::string& payload) {
+  if (!enabled()) return;
+  const std::string hex = key_hex(key);
+  const std::string dir1 = cfg_.dir + "/" + hex.substr(0, 2);
+  const std::string dir2 = dir1 + "/" + hex.substr(2, 2);
+  mkdir_ignore_exists(cfg_.dir);
+  mkdir_ignore_exists(dir1);
+  mkdir_ignore_exists(dir2);
+  // Same-directory temp + rename(): readers never observe a partial blob,
+  // and a crash in the window leaves only a ".tmp." file scans ignore.
+  const std::string tmp = dir2 + "/" + kTmpPrefix + hex + "." +
+                          std::to_string(::getpid()) + "." + std::to_string(put_seq_++);
+  const std::string blob = encode_result_blob(key, payload);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;  // unwritable cache: silently degrade
+  const bool wrote = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  std::fclose(f);
+  if (!wrote || std::rename(tmp.c_str(), blob_path(key).c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  ++stats_.stores;
+  evict_to_budget();
+}
+
+std::vector<BlobInfo> ResultCache::scan_blobs() const {
+  std::vector<BlobInfo> out;
+  DIR* d = ::opendir(cfg_.dir.c_str());
+  if (d == nullptr) return out;
+  std::vector<std::string> level1;
+  while (const dirent* e = ::readdir(d)) {
+    if (is_hex_pair(e->d_name)) level1.push_back(cfg_.dir + "/" + e->d_name);
+  }
+  ::closedir(d);
+  for (const std::string& dir1 : level1) {
+    DIR* d1 = ::opendir(dir1.c_str());
+    if (d1 == nullptr) continue;
+    while (const dirent* e = ::readdir(d1)) {
+      if (is_hex_pair(e->d_name)) scan_level2(dir1 + "/" + e->d_name, out);
+    }
+    ::closedir(d1);
+  }
+  return out;
+}
+
+void ResultCache::evict_to_budget() {
+  const std::vector<std::string> doomed =
+      plan_eviction(scan_blobs(), cfg_.budget_bytes);
+  for (const std::string& path : doomed) {
+    if (std::remove(path.c_str()) == 0) ++stats_.evictions;
+  }
+}
+
+// HPCS_HOST_END
+
+}  // namespace hpcs::cache

@@ -1,0 +1,86 @@
+#pragma once
+// Content-addressed result store: RunResult blobs keyed by a 64-bit content
+// hash (analysis::result_cache_key), laid out under a two-level fanout
+// directory —
+//
+//     <dir>/ab/cd/abcd0123456789ef.rcb
+//
+// Writes go through a same-directory temp file + rename(), so readers (a
+// second driver, a concurrently running sweep service) only ever observe
+// complete blobs; a crash mid-write leaves a `.tmp.*` file every scan
+// ignores. Reads verify the blob envelope (blob.h) and treat any damage as a
+// miss — the store may lose time, never correctness. Recency is the blob
+// file's mtime (touched on every hit), and put() enforces a byte budget by
+// evicting oldest-first; eviction order is planned by the pure
+// plan_eviction() so the policy is unit-testable without a filesystem.
+//
+// All file IO sits in HPCS_HOST regions: the deterministic machines (the
+// coordinator, the sweep service) never call this class — hosts probe the
+// cache between machine steps and feed hits back in as seeded rows.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcs::cache {
+
+struct CacheConfig {
+  std::string dir;                            ///< empty = cache disabled
+  std::uint64_t budget_bytes = 256ull << 20;  ///< eviction threshold
+};
+
+/// Host-side accounting for sidecars and smoke assertions — observational
+/// only, never part of deterministic output.
+struct CacheStats {
+  std::int64_t hits = 0;       ///< get() served verified bytes
+  std::int64_t misses = 0;     ///< get() found nothing usable (corrupt included)
+  std::int64_t stores = 0;     ///< put() wrote a blob
+  std::int64_t evictions = 0;  ///< blobs removed to respect the budget
+  std::int64_t corrupt = 0;    ///< blobs that failed verification (also misses)
+};
+
+/// One on-disk blob as seen by a directory scan, for eviction planning.
+struct BlobInfo {
+  std::string path;
+  std::uint64_t bytes = 0;
+  std::int64_t mtime_ns = 0;  ///< nanosecond mtime; recency for LRU
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheConfig cfg);
+
+  [[nodiscard]] bool enabled() const { return !cfg_.dir.empty(); }
+
+  /// Verified payload for `key`, or false (miss). A corrupt/truncated/
+  /// version-mismatched blob is deleted, counted, and reported as a miss.
+  [[nodiscard]] bool get(std::uint64_t key, std::string& payload);
+
+  /// Atomically store `payload` under `key`, then evict down to the budget.
+  void put(std::uint64_t key, const std::string& payload);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+  /// Pure path math: fanout location of `key` under the cache dir (tests and
+  /// the smoke script corrupt blobs in place through this).
+  [[nodiscard]] std::string blob_path(std::uint64_t key) const;
+
+  /// Oldest-first eviction plan: the paths to delete so the surviving bytes
+  /// fit `budget`. Ties on mtime break by path, so the plan is deterministic
+  /// for any scan order. Pure — exposed for unit tests.
+  [[nodiscard]] static std::vector<std::string> plan_eviction(std::vector<BlobInfo> entries,
+                                                              std::uint64_t budget);
+
+ private:
+  [[nodiscard]] std::vector<BlobInfo> scan_blobs() const;
+  void evict_to_budget();
+
+  CacheConfig cfg_;
+  CacheStats stats_;
+  std::uint64_t put_seq_ = 0;  ///< temp-file uniquifier within this process
+};
+
+/// 16-digit lowercase hex spelling of a cache key (file names, sidecars).
+[[nodiscard]] std::string key_hex(std::uint64_t key);
+
+}  // namespace hpcs::cache

@@ -83,11 +83,15 @@ void Coordinator::step(std::int64_t now_ms) {
   }
 
   // Shards that exhausted their remote attempts run on the coordinator —
-  // the per-shard escape hatch that guarantees termination.
-  for (std::size_t si = 0; si < shards_.size(); ++si) {
-    Shard& s = shards_[si];
-    if (s.state == ShardState::kPending && s.attempts >= cfg_.max_shard_attempts) {
-      run_shard_locally(si, now_ms);
+  // the per-shard escape hatch that guarantees termination. In manual_local
+  // mode they wait for run_one_local() instead, so one job's stragglers
+  // cannot block a multi-job service loop.
+  if (!cfg_.manual_local) {
+    for (std::size_t si = 0; si < shards_.size(); ++si) {
+      Shard& s = shards_[si];
+      if (s.state == ShardState::kPending && s.attempts >= cfg_.max_shard_attempts) {
+        run_shard_locally(si, now_ms);
+      }
     }
   }
 
@@ -95,7 +99,7 @@ void Coordinator::step(std::int64_t now_ms) {
 
   // Graceful degradation: out of workers entirely. Either nobody connected
   // within the window, or everyone who did is dead.
-  if (!done() && workers_alive() == 0) {
+  if (!cfg_.manual_local && !done() && workers_alive() == 0) {
     const bool nobody_ever = stats_.workers_connected == 0;
     if (!nobody_ever || now_ms - start_ms_ >= cfg_.connect_wait_ms) {
       if (nobody_ever) {
@@ -182,7 +186,7 @@ void Coordinator::handle_frame(std::size_t wi, const Frame& f, std::int64_t now_
       HPCS_TRACEPOINT(obs_, obs::TpId::kTpDistRow, ms_time(now_ms),
                       static_cast<CpuId>(wi), row.index,
                       static_cast<std::int64_t>(row.shard));
-      commit_row(row.index, std::move(row.payload), /*remote=*/true);
+      commit_row(row.index, std::move(row.payload), RowOrigin::kRemote);
       if (row.shard < shards_.size()) {
         Shard& s = shards_[row.shard];
         if (s.state == ShardState::kAssigned && s.owner == static_cast<int>(wi)) {
@@ -329,28 +333,87 @@ void Coordinator::assign_ready_shards(std::int64_t now_ms) {
   }
 }
 
-void Coordinator::commit_row(std::uint32_t index, std::string payload, bool remote) {
+void Coordinator::commit_row(std::uint32_t index, std::string payload, RowOrigin origin) {
   if (row_present_[index] != 0) {
     // Double delivery (stale row after a steal, or a retry racing the
     // original). Points are pure, so the bytes are interchangeable; keep the
-    // first and count the rest.
-    ++stats_.rows_stale;
+    // first and count the rest. A seeded duplicate is not a stale row — the
+    // cache simply lost the race.
+    if (origin != RowOrigin::kSeeded) ++stats_.rows_stale;
     return;
   }
   rows_[index] = std::move(payload);
   row_present_[index] = 1;
   ++committed_;
-  if (remote) {
+  commit_log_.push_back(CommitLogEntry{index, origin});
+  if (origin == RowOrigin::kRemote) {
     ++stats_.rows_remote;
-  } else {
+  } else if (origin == RowOrigin::kLocal) {
     ++stats_.rows_local;
+  } else {
+    ++stats_.rows_seeded;
   }
+}
+
+void Coordinator::seed_row(std::uint32_t index, std::string payload, std::int64_t now_ms) {
+  if (index >= rows_.size()) return;
+  commit_row(index, std::move(payload), RowOrigin::kSeeded);
+  const std::size_t si = index / cfg_.shard_size;
+  Shard& s = shards_[si];
+  if (s.state == ShardState::kDone) return;
+  const bool complete =
+      std::all_of(s.indices.begin(), s.indices.end(),
+                  [this](std::uint32_t i) { return row_present_[i] != 0; });
+  // Only an unassigned shard is closed out here; an assigned one stays with
+  // its owner until DONE/requeue so the peer bookkeeping keeps a single path.
+  if (complete && s.state == ShardState::kPending) {
+    mark_done(s, now_ms, "cache");
+  }
+}
+
+bool Coordinator::run_one_local(std::int64_t now_ms) {
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& s = shards_[si];
+    if (s.state != ShardState::kPending) continue;
+    for (const std::uint32_t i : s.indices) {
+      if (row_present_[i] != 0) continue;
+      commit_row(i, local_fn_(i), RowOrigin::kLocal);
+      const bool complete =
+          std::all_of(s.indices.begin(), s.indices.end(),
+                      [this](std::uint32_t k) { return row_present_[k] != 0; });
+      if (complete) {
+        mark_done(s, now_ms, "local");
+        s.owner = -1;
+        ++stats_.shards_local;
+      }
+      maybe_finish(now_ms);
+      return true;
+    }
+    // Every row already present (seeds/stale overlap): close the shard out.
+    mark_done(s, now_ms, "local");
+    s.owner = -1;
+  }
+  return false;
+}
+
+std::vector<Coordinator::CommittedRow> Coordinator::drain_new_rows() {
+  std::vector<CommittedRow> out;
+  out.reserve(commit_log_.size() - drain_cursor_);
+  for (; drain_cursor_ < commit_log_.size(); ++drain_cursor_) {
+    const CommitLogEntry& e = commit_log_[drain_cursor_];
+    CommittedRow r;
+    r.index = e.index;
+    r.seeded = e.origin == RowOrigin::kSeeded;
+    r.payload = rows_[e.index];
+    out.push_back(std::move(r));
+  }
+  return out;
 }
 
 void Coordinator::run_shard_locally(std::size_t si, std::int64_t now_ms) {
   Shard& s = shards_[si];
   for (const std::uint32_t i : s.indices) {
-    if (row_present_[i] == 0) commit_row(i, local_fn_(i), /*remote=*/false);
+    if (row_present_[i] == 0) commit_row(i, local_fn_(i), RowOrigin::kLocal);
   }
   mark_done(s, now_ms, "local");
   s.owner = -1;
@@ -369,7 +432,7 @@ void Coordinator::run_remaining_locally(std::int64_t now_ms) {
   std::vector<std::string> out =
       runner.map(todo.size(), [&](std::size_t k) { return local_fn_(todo[k]); });
   for (std::size_t k = 0; k < todo.size(); ++k) {
-    commit_row(todo[k], std::move(out[k]), /*remote=*/false);
+    commit_row(todo[k], std::move(out[k]), RowOrigin::kLocal);
   }
   for (Shard& s : shards_) {
     if (s.state != ShardState::kDone) {
@@ -421,6 +484,7 @@ std::vector<std::string> Coordinator::take_rows() {
   HPCS_CHECK_MSG(done(), "take_rows() before the fabric completed");
   row_present_.clear();
   committed_ = 0;
+  drain_cursor_ = commit_log_.size();  // payload slots are gone with rows_
   return std::move(rows_);
 }
 

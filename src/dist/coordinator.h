@@ -54,6 +54,7 @@ struct FabricStats {
   std::int64_t shards_local = 0;       ///< executed by the local fallback
   std::int64_t rows_remote = 0;        ///< rows committed from workers
   std::int64_t rows_local = 0;         ///< rows committed by local fallback
+  std::int64_t rows_seeded = 0;        ///< rows pre-committed via seed_row()
   std::int64_t rows_stale = 0;         ///< duplicate/late rows discarded
   std::int64_t frames_bad = 0;         ///< corrupt frames / decode failures
   bool fell_back_local = false;        ///< the no-workers degradation path ran
@@ -83,6 +84,12 @@ struct CoordinatorConfig {
   std::int64_t retry_backoff_base_ms = 100;
   std::int64_t retry_backoff_cap_ms = 5000;
   int max_shard_attempts = 4;
+  /// When true, step() never executes points itself — no exhausted-attempt
+  /// shard runs, no all-workers-dead bulk fallback. The owner drives local
+  /// progress one point at a time through run_one_local(), which is how the
+  /// sweep service interleaves many jobs fairly instead of letting one
+  /// coordinator block the loop on a bulk drain.
+  bool manual_local = false;
 };
 
 class Coordinator {
@@ -99,6 +106,30 @@ class Coordinator {
   void step(std::int64_t now_ms);
 
   [[nodiscard]] bool done() const { return committed_ == rows_.size(); }
+
+  /// Pre-commit one row from outside the fabric (a content-addressed cache
+  /// hit). Points are pure, so a seeded row is byte-interchangeable with a
+  /// computed one; a shard whose every row is seeded is marked done by
+  /// "cache" and never assigned. Seeding an already-committed index is a
+  /// no-op (not a stale row).
+  void seed_row(std::uint32_t index, std::string payload, std::int64_t now_ms);
+
+  /// Execute exactly one pending point through the local task function.
+  /// Returns false when nothing is pending (everything committed or
+  /// currently assigned to a live worker). This is the manual_local drain
+  /// primitive: callers decide how often local compute runs and on whose
+  /// behalf.
+  bool run_one_local(std::int64_t now_ms);
+
+  /// Rows committed since the previous call, in commit order (remote, local,
+  /// and seeded alike; `seeded` tells cache writers what not to re-store).
+  /// Payloads are copies — take_rows() is still the index-ordered bulk exit.
+  struct CommittedRow {
+    std::uint32_t index = 0;
+    bool seeded = false;
+    std::string payload;
+  };
+  [[nodiscard]] std::vector<CommittedRow> drain_new_rows();
 
   /// All rows in index order; valid once done(). Leaves the coordinator
   /// empty.
@@ -120,6 +151,7 @@ class Coordinator {
 
  private:
   enum class ShardState : std::uint8_t { kPending, kAssigned, kDone };
+  enum class RowOrigin : std::uint8_t { kRemote, kLocal, kSeeded };
 
   struct Shard {
     std::vector<std::uint32_t> indices;
@@ -150,7 +182,7 @@ class Coordinator {
   void kill_peer(std::size_t wi, const char* why, std::int64_t now_ms);
   void requeue_shard(std::size_t si, std::int64_t now_ms, bool stolen);
   void assign_ready_shards(std::int64_t now_ms);
-  void commit_row(std::uint32_t index, std::string payload, bool remote);
+  void commit_row(std::uint32_t index, std::string payload, RowOrigin origin);
   void run_shard_locally(std::size_t si, std::int64_t now_ms);
   void run_remaining_locally(std::int64_t now_ms);
   [[nodiscard]] std::int64_t backoff_ms(int attempts) const;
@@ -162,6 +194,12 @@ class Coordinator {
   std::vector<std::string> rows_;       ///< index-addressed slots
   std::vector<char> row_present_;       ///< slot committed?
   std::size_t committed_ = 0;
+  struct CommitLogEntry {
+    std::uint32_t index = 0;
+    RowOrigin origin = RowOrigin::kRemote;
+  };
+  std::vector<CommitLogEntry> commit_log_;  ///< commit order, for drain_new_rows
+  std::size_t drain_cursor_ = 0;
   std::vector<Shard> shards_;
   std::vector<WorkerPeer> workers_;
   FabricStats stats_;

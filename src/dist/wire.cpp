@@ -78,17 +78,31 @@ std::string WireReader::str() {
   return s;
 }
 
-std::string encode_frame(const Frame& f) {
-  const std::uint32_t len = static_cast<std::uint32_t>(f.payload.size()) + 1;
+std::string encode_raw_frame(std::uint8_t type, std::string_view payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size()) + 1;
   std::string out;
   out.reserve(4 + len);
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
-  out.push_back(static_cast<char>(f.type));
-  out += f.payload;
+  out.push_back(static_cast<char>(type));
+  out.append(payload.data(), payload.size());
   return out;
 }
 
+std::string encode_frame(const Frame& f) {
+  return encode_raw_frame(static_cast<std::uint8_t>(f.type), f.payload);
+}
+
 FrameDecoder::Result FrameDecoder::next(Frame& out) {
+  RawFrame raw;
+  const Result r = raw_.next(raw);
+  if (r == Result::kFrame) {
+    out.type = static_cast<FrameType>(raw.type);
+    out.payload = std::move(raw.payload);
+  }
+  return r;
+}
+
+RawFrameDecoder::Result RawFrameDecoder::next(RawFrame& out) {
   if (broken_) return Result::kError;
   // Compact once the consumed prefix dominates, so a long-lived stream does
   // not hold every frame it ever saw.
@@ -110,12 +124,12 @@ FrameDecoder::Result FrameDecoder::next(Frame& out) {
   }
   if (avail < 4 + static_cast<std::size_t>(len)) return Result::kNeedMore;
   const std::uint8_t type = static_cast<std::uint8_t>(buf_[pos_ + 4]);
-  if (!frame_type_valid(type)) {
+  if (!valid_(type)) {
     broken_ = true;
     error_ = "bad frame type " + std::to_string(type);
     return Result::kError;
   }
-  out.type = static_cast<FrameType>(type);
+  out.type = type;
   out.payload.assign(buf_, pos_ + 5, len - 1);
   pos_ += 4 + static_cast<std::size_t>(len);
   return Result::kFrame;

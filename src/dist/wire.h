@@ -111,10 +111,24 @@ class WireReader {
 };
 
 /// Render one frame as its on-the-wire bytes (length prefix included).
+/// `type` is whatever u8 namespace the protocol layer defines — the dist
+/// fabric and the svc client API share this framing but not their type
+/// spaces.
+[[nodiscard]] std::string encode_raw_frame(std::uint8_t type, std::string_view payload);
 [[nodiscard]] std::string encode_frame(const Frame& f);
 
-/// Incremental frame reassembly over an arbitrary byte stream.
-class FrameDecoder {
+/// One reassembled frame before the protocol layer types it.
+struct RawFrame {
+  std::uint8_t type = 0;
+  std::string payload;
+};
+
+/// Incremental frame reassembly over an arbitrary byte stream, shared by
+/// every protocol that speaks the length-prefixed format. The type-validity
+/// predicate is the only protocol-specific part: a frame whose type byte the
+/// predicate rejects kills the stream at the framing layer, before any
+/// payload is trusted.
+class RawFrameDecoder {
  public:
   enum class Result {
     kFrame,     ///< `out` holds the next complete frame
@@ -122,17 +136,38 @@ class FrameDecoder {
     kError,     ///< stream corrupt (bad type or length); connection is dead
   };
 
+  using TypeValid = bool (*)(std::uint8_t);
+
+  explicit RawFrameDecoder(TypeValid valid) : valid_(valid) {}
+
   void feed(std::string_view bytes) { buf_.append(bytes.data(), bytes.size()); }
-  [[nodiscard]] Result next(Frame& out);
+  [[nodiscard]] Result next(RawFrame& out);
   [[nodiscard]] const std::string& error() const { return error_; }
   /// Bytes buffered but not yet consumed (truncated-tail detection).
   [[nodiscard]] std::size_t pending_bytes() const { return buf_.size() - pos_; }
 
  private:
+  TypeValid valid_;
   std::string buf_;
   std::size_t pos_ = 0;
   std::string error_;
   bool broken_ = false;
+};
+
+/// Fabric-typed view of the shared reassembly core.
+class FrameDecoder {
+ public:
+  using Result = RawFrameDecoder::Result;
+
+  FrameDecoder() : raw_(&frame_type_valid) {}
+
+  void feed(std::string_view bytes) { raw_.feed(bytes); }
+  [[nodiscard]] Result next(Frame& out);
+  [[nodiscard]] const std::string& error() const { return raw_.error(); }
+  [[nodiscard]] std::size_t pending_bytes() const { return raw_.pending_bytes(); }
+
+ private:
+  RawFrameDecoder raw_;
 };
 
 }  // namespace hpcs::dist

@@ -1,0 +1,51 @@
+#include "svc/host/service_loop.h"
+
+#include "analysis/result_cache_key.h"
+#include "dist/host/host_clock.h"
+
+namespace hpcs::svc::host {
+
+// HPCS_HOST_BEGIN — the daemon's poll loop: wall clock in, cache file IO at
+// the ResultCache leaves. Row bytes pass through untouched; a cache hit is
+// only ever a verified blob that decodes to the same bytes a fresh run
+// produces, so determinism stays the machine's problem (solved).
+
+void serve_sweep(SweepService& svc, dist::Listener& clients,
+                 dist::Listener& workers, cache::ResultCache& cache) {
+  using dist::host::now_ms;
+  using dist::host::sleep_ms;
+  while (!svc.done()) {
+    bool progressed = false;
+    for (;;) {
+      std::unique_ptr<dist::Connection> conn = clients.poll_accept();
+      if (conn == nullptr) break;
+      svc.adopt_client(std::move(conn), now_ms());
+      progressed = true;
+    }
+    for (;;) {
+      std::unique_ptr<dist::Connection> conn = workers.poll_accept();
+      if (conn == nullptr) break;
+      svc.adopt_worker(std::move(conn), now_ms());
+      progressed = true;
+    }
+    svc.step(now_ms());
+    for (CacheQuery& q : svc.take_cache_queries()) {
+      const std::uint64_t key = analysis::result_cache_key(q.job, q.params, q.index);
+      std::string payload;
+      const bool hit = cache.enabled() && cache.get(key, payload);
+      svc.cache_result(q.job_id, q.index, hit, std::move(payload), now_ms());
+      progressed = true;
+    }
+    for (const CacheStoreReq& s : svc.take_cache_stores()) {
+      if (!cache.enabled()) break;
+      cache.put(analysis::result_cache_key(s.job, s.params, s.index), s.payload);
+      progressed = true;
+    }
+    if (!progressed) sleep_ms(1);
+  }
+  svc.step(now_ms());  // flush closes to surviving clients
+}
+
+// HPCS_HOST_END
+
+}  // namespace hpcs::svc::host

@@ -1,0 +1,21 @@
+#pragma once
+// Wall-clock loop that drives a SweepService over real transports — the
+// seam `hpcs-sweepd` stands on. Accepts client and worker connections,
+// steps the machine, and pumps the cache effect queues against a real
+// ResultCache: probe answers go back in as seeded rows, freshly computed
+// rows get persisted. The machine itself never touches the clock, the
+// sockets, or the filesystem (svc/service.h explains why).
+
+#include "cache/store.h"
+#include "dist/transport.h"
+#include "svc/service.h"
+
+namespace hpcs::svc::host {
+
+/// Drive `svc` until done() (i.e. a client sent SHUTDOWN and every job
+/// drained). `cache` may be disabled (empty dir); it is probed for every
+/// admitted point and fed every computed row.
+void serve_sweep(SweepService& svc, dist::Listener& clients,
+                 dist::Listener& workers, cache::ResultCache& cache);
+
+}  // namespace hpcs::svc::host

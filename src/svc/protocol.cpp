@@ -1,0 +1,193 @@
+#include "svc/protocol.h"
+
+namespace hpcs::svc {
+
+namespace {
+using dist::WireReader;
+using dist::WireWriter;
+
+[[nodiscard]] bool job_state_from_u8(std::uint8_t v, JobState& out) {
+  if (v > static_cast<std::uint8_t>(JobState::kCancelled)) return false;
+  out = static_cast<JobState>(v);
+  return true;
+}
+}  // namespace
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+SvcFrame encode_submit_job(const SubmitJob& m) {
+  WireWriter w;
+  w.u32(m.version).str(m.tenant).str(m.job).str(m.params);
+  return SvcFrame{SvcFrameType::kSubmitJob, w.take()};
+}
+
+SvcFrame encode_submit_ack(const SubmitAck& m) {
+  WireWriter w;
+  w.u8(m.accept ? 1 : 0).str(m.reason).u64(m.job_id).u64(m.count);
+  return SvcFrame{SvcFrameType::kSubmitAck, w.take()};
+}
+
+SvcFrame encode_job_status(const JobStatus& m) {
+  WireWriter w;
+  w.u64(m.job_id);
+  return SvcFrame{SvcFrameType::kJobStatus, w.take()};
+}
+
+SvcFrame encode_status(const Status& m) {
+  WireWriter w;
+  w.u64(m.job_id)
+      .u8(m.known ? 1 : 0)
+      .u8(static_cast<std::uint8_t>(m.state))
+      .u64(m.total)
+      .u64(m.done)
+      .u64(m.cached);
+  return SvcFrame{SvcFrameType::kStatus, w.take()};
+}
+
+SvcFrame encode_stream_rows(const StreamRows& m) {
+  WireWriter w;
+  w.u64(m.job_id);
+  return SvcFrame{SvcFrameType::kStreamRows, w.take()};
+}
+
+SvcFrame encode_svc_row(const SvcRow& m) {
+  WireWriter w;
+  w.u64(m.job_id).u32(m.index).str(m.payload);
+  return SvcFrame{SvcFrameType::kRow, w.take()};
+}
+
+SvcFrame encode_job_done(const JobDone& m) {
+  WireWriter w;
+  w.u64(m.job_id).u8(static_cast<std::uint8_t>(m.state)).u64(m.total).u64(m.cached);
+  return SvcFrame{SvcFrameType::kJobDone, w.take()};
+}
+
+SvcFrame encode_cancel(const Cancel& m) {
+  WireWriter w;
+  w.u64(m.job_id);
+  return SvcFrame{SvcFrameType::kCancel, w.take()};
+}
+
+SvcFrame encode_cancel_ack(const CancelAck& m) {
+  WireWriter w;
+  w.u64(m.job_id).u8(m.ok ? 1 : 0);
+  return SvcFrame{SvcFrameType::kCancelAck, w.take()};
+}
+
+SvcFrame encode_shutdown() { return SvcFrame{SvcFrameType::kShutdown, {}}; }
+
+SvcFrame encode_shutdown_ack(const ShutdownAck& m) {
+  WireWriter w;
+  w.u64(m.jobs_remaining);
+  return SvcFrame{SvcFrameType::kShutdownAck, w.take()};
+}
+
+SvcFrame encode_svc_error(const SvcError& m) {
+  WireWriter w;
+  w.str(m.reason);
+  return SvcFrame{SvcFrameType::kError, w.take()};
+}
+
+bool decode_submit_job(const SvcFrame& f, SubmitJob& out) {
+  if (f.type != SvcFrameType::kSubmitJob) return false;
+  WireReader r(f.payload);
+  out.version = r.u32();
+  out.tenant = r.str();
+  out.job = r.str();
+  out.params = r.str();
+  return r.done();
+}
+
+bool decode_submit_ack(const SvcFrame& f, SubmitAck& out) {
+  if (f.type != SvcFrameType::kSubmitAck) return false;
+  WireReader r(f.payload);
+  out.accept = r.u8() != 0;
+  out.reason = r.str();
+  out.job_id = r.u64();
+  out.count = r.u64();
+  return r.done();
+}
+
+bool decode_job_status(const SvcFrame& f, JobStatus& out) {
+  if (f.type != SvcFrameType::kJobStatus) return false;
+  WireReader r(f.payload);
+  out.job_id = r.u64();
+  return r.done();
+}
+
+bool decode_status(const SvcFrame& f, Status& out) {
+  if (f.type != SvcFrameType::kStatus) return false;
+  WireReader r(f.payload);
+  out.job_id = r.u64();
+  out.known = r.u8() != 0;
+  const std::uint8_t state = r.u8();
+  out.total = r.u64();
+  out.done = r.u64();
+  out.cached = r.u64();
+  return r.done() && job_state_from_u8(state, out.state);
+}
+
+bool decode_stream_rows(const SvcFrame& f, StreamRows& out) {
+  if (f.type != SvcFrameType::kStreamRows) return false;
+  WireReader r(f.payload);
+  out.job_id = r.u64();
+  return r.done();
+}
+
+bool decode_svc_row(const SvcFrame& f, SvcRow& out) {
+  if (f.type != SvcFrameType::kRow) return false;
+  WireReader r(f.payload);
+  out.job_id = r.u64();
+  out.index = r.u32();
+  out.payload = r.str();
+  return r.done();
+}
+
+bool decode_job_done(const SvcFrame& f, JobDone& out) {
+  if (f.type != SvcFrameType::kJobDone) return false;
+  WireReader r(f.payload);
+  out.job_id = r.u64();
+  const std::uint8_t state = r.u8();
+  out.total = r.u64();
+  out.cached = r.u64();
+  return r.done() && job_state_from_u8(state, out.state);
+}
+
+bool decode_cancel(const SvcFrame& f, Cancel& out) {
+  if (f.type != SvcFrameType::kCancel) return false;
+  WireReader r(f.payload);
+  out.job_id = r.u64();
+  return r.done();
+}
+
+bool decode_cancel_ack(const SvcFrame& f, CancelAck& out) {
+  if (f.type != SvcFrameType::kCancelAck) return false;
+  WireReader r(f.payload);
+  out.job_id = r.u64();
+  out.ok = r.u8() != 0;
+  return r.done();
+}
+
+bool decode_shutdown_ack(const SvcFrame& f, ShutdownAck& out) {
+  if (f.type != SvcFrameType::kShutdownAck) return false;
+  WireReader r(f.payload);
+  out.jobs_remaining = r.u64();
+  return r.done();
+}
+
+bool decode_svc_error(const SvcFrame& f, SvcError& out) {
+  if (f.type != SvcFrameType::kError) return false;
+  WireReader r(f.payload);
+  out.reason = r.str();
+  return r.done();
+}
+
+}  // namespace hpcs::svc

@@ -1,0 +1,115 @@
+#pragma once
+// Typed view of the sweep-service client frames (svc/wire.h carries the
+// bytes; this header carries the meaning). The params blob stays opaque at
+// this layer exactly like the fabric's: the service forwards it to the job
+// registry and into cache keys without knowing what a run is.
+//
+// Every decode_* returns false on a malformed payload (truncated, trailing
+// bytes, out-of-range enums); the server treats that as a corrupt client and
+// closes the session, clients treat it as a corrupt server and give up.
+
+#include <cstdint>
+#include <string>
+
+#include "svc/wire.h"
+
+namespace hpcs::svc {
+
+/// Lifecycle of one submitted sweep. Queued jobs wait for a running slot;
+/// running jobs own a dist::Coordinator; kDone/kCancelled are terminal.
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning,
+  kDone,
+  kCancelled,
+};
+
+[[nodiscard]] const char* job_state_name(JobState s);
+
+struct SubmitJob {
+  std::uint32_t version = kSvcProtoVersion;
+  std::string tenant;  ///< fair-share accounting bucket
+  std::string job;     ///< registry name (e.g. "table3_metbench")
+  std::string params;  ///< opaque blob (analysis::encode_job_params)
+};
+
+struct SubmitAck {
+  bool accept = false;
+  std::string reason;        ///< set when rejected
+  std::uint64_t job_id = 0;  ///< server-assigned, valid when accepted
+  std::uint64_t count = 0;   ///< sweep points in the job
+};
+
+struct JobStatus {
+  std::uint64_t job_id = 0;
+};
+
+struct Status {
+  std::uint64_t job_id = 0;
+  bool known = false;  ///< false: the id matches no job this server has seen
+  JobState state = JobState::kQueued;
+  std::uint64_t total = 0;   ///< points in the job
+  std::uint64_t done = 0;    ///< rows committed so far
+  std::uint64_t cached = 0;  ///< rows served from the result cache
+};
+
+struct StreamRows {
+  std::uint64_t job_id = 0;
+};
+
+struct SvcRow {
+  std::uint64_t job_id = 0;
+  std::uint32_t index = 0;
+  std::string payload;  ///< serialized RunResult bytes, byte-identical anywhere
+};
+
+struct JobDone {
+  std::uint64_t job_id = 0;
+  JobState state = JobState::kDone;  ///< terminal: kDone or kCancelled
+  std::uint64_t total = 0;
+  std::uint64_t cached = 0;
+};
+
+struct Cancel {
+  std::uint64_t job_id = 0;
+};
+
+struct CancelAck {
+  std::uint64_t job_id = 0;
+  bool ok = false;  ///< false: unknown id or already terminal
+};
+
+struct ShutdownAck {
+  std::uint64_t jobs_remaining = 0;  ///< still draining when nonzero
+};
+
+struct SvcError {
+  std::string reason;
+};
+
+[[nodiscard]] SvcFrame encode_submit_job(const SubmitJob& m);
+[[nodiscard]] SvcFrame encode_submit_ack(const SubmitAck& m);
+[[nodiscard]] SvcFrame encode_job_status(const JobStatus& m);
+[[nodiscard]] SvcFrame encode_status(const Status& m);
+[[nodiscard]] SvcFrame encode_stream_rows(const StreamRows& m);
+[[nodiscard]] SvcFrame encode_svc_row(const SvcRow& m);
+[[nodiscard]] SvcFrame encode_job_done(const JobDone& m);
+[[nodiscard]] SvcFrame encode_cancel(const Cancel& m);
+[[nodiscard]] SvcFrame encode_cancel_ack(const CancelAck& m);
+[[nodiscard]] SvcFrame encode_shutdown();
+[[nodiscard]] SvcFrame encode_shutdown_ack(const ShutdownAck& m);
+[[nodiscard]] SvcFrame encode_svc_error(const SvcError& m);
+
+[[nodiscard]] bool decode_submit_job(const SvcFrame& f, SubmitJob& out);
+[[nodiscard]] bool decode_submit_ack(const SvcFrame& f, SubmitAck& out);
+[[nodiscard]] bool decode_job_status(const SvcFrame& f, JobStatus& out);
+[[nodiscard]] bool decode_status(const SvcFrame& f, Status& out);
+[[nodiscard]] bool decode_stream_rows(const SvcFrame& f, StreamRows& out);
+[[nodiscard]] bool decode_svc_row(const SvcFrame& f, SvcRow& out);
+[[nodiscard]] bool decode_job_done(const SvcFrame& f, JobDone& out);
+[[nodiscard]] bool decode_cancel(const SvcFrame& f, Cancel& out);
+[[nodiscard]] bool decode_cancel_ack(const SvcFrame& f, CancelAck& out);
+[[nodiscard]] bool decode_shutdown_ack(const SvcFrame& f, ShutdownAck& out);
+[[nodiscard]] bool decode_svc_error(const SvcFrame& f, SvcError& out);
+
+}  // namespace hpcs::svc

@@ -1,0 +1,479 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
+
+namespace hpcs::svc {
+
+namespace {
+constexpr const char* kTag = "svc";
+
+/// Same clock convention as the coordinator's tracepoints: now_ms scaled to
+/// the nanosecond domain TraceEntry uses.
+[[nodiscard]] SimTime ms_time(std::int64_t now_ms) {
+  return SimTime(now_ms * 1'000'000);
+}
+
+void add_fabric(dist::FabricStats& into, const dist::FabricStats& from) {
+  into.workers_connected += from.workers_connected;
+  into.workers_rejected += from.workers_rejected;
+  into.workers_dead += from.workers_dead;
+  into.shards_total += from.shards_total;
+  into.shards_assigned += from.shards_assigned;
+  into.shards_retried += from.shards_retried;
+  into.shards_stolen += from.shards_stolen;
+  into.shards_local += from.shards_local;
+  into.rows_remote += from.rows_remote;
+  into.rows_local += from.rows_local;
+  into.rows_seeded += from.rows_seeded;
+  into.rows_stale += from.rows_stale;
+  into.frames_bad += from.frames_bad;
+  into.fell_back_local = into.fell_back_local || from.fell_back_local;
+}
+}  // namespace
+
+SweepService::SweepService(ServiceConfig cfg, const dist::JobRegistry& registry)
+    : cfg_(std::move(cfg)), registry_(registry) {
+  if (cfg_.max_running == 0) cfg_.max_running = 1;
+}
+
+void SweepService::adopt_client(std::unique_ptr<dist::Connection> conn, std::int64_t) {
+  ClientSession s;
+  s.conn = std::move(conn);
+  clients_.push_back(std::move(s));
+  ++stats_.clients_connected;
+}
+
+void SweepService::adopt_worker(std::unique_ptr<dist::Connection> conn, std::int64_t) {
+  pending_workers_.push_back(std::move(conn));
+}
+
+bool SweepService::done() const {
+  if (!draining_) return false;
+  for (const Job& j : jobs_) {
+    if (j.state == JobState::kQueued || j.state == JobState::kRunning) return false;
+  }
+  return true;
+}
+
+std::size_t SweepService::running_count() const {
+  std::size_t n = 0;
+  for (const Job& j : jobs_) {
+    if (j.state == JobState::kRunning) ++n;
+  }
+  return n;
+}
+
+std::int64_t SweepService::tenant_service(const std::string& tenant) const {
+  std::int64_t points = 0;
+  for (const Job& j : jobs_) {
+    if (j.tenant == tenant && j.state != JobState::kQueued) {
+      points += static_cast<std::int64_t>(j.count);
+    }
+  }
+  return points;
+}
+
+SweepService::Job* SweepService::find_job(std::uint64_t id) {
+  for (Job& j : jobs_) {
+    if (j.id == id) return &j;
+  }
+  return nullptr;
+}
+
+void SweepService::step(std::int64_t now_ms) {
+  for (std::size_t ci = 0; ci < clients_.size(); ++ci) pump_client(ci, now_ms);
+
+  admit_jobs(now_ms);
+  bind_workers(now_ms);
+
+  for (Job& j : jobs_) {
+    if (j.state == JobState::kRunning && j.coord != nullptr) j.coord->step(now_ms);
+  }
+
+  run_one_local_point(now_ms);
+
+  for (Job& j : jobs_) {
+    if (j.state != JobState::kRunning || j.coord == nullptr) continue;
+    drain_rows(j, now_ms);
+    if (j.coord->done()) finish_job(j, JobState::kDone, now_ms);
+  }
+
+  // Drained: nothing left to serve, tell every surviving client by closing.
+  if (done()) {
+    for (ClientSession& s : clients_) {
+      if (!s.dead) s.conn->close();
+    }
+  }
+}
+
+void SweepService::pump_client(std::size_t ci, std::int64_t now_ms) {
+  ClientSession& s = clients_[ci];
+  if (s.dead) return;
+  const std::string bytes = s.conn->poll_recv();
+  if (!bytes.empty()) s.decoder.feed(bytes);
+  SvcFrame f;
+  for (;;) {
+    const SvcFrameDecoder::Result r = s.decoder.next(f);
+    if (r == SvcFrameDecoder::Result::kNeedMore) break;
+    if (r == SvcFrameDecoder::Result::kError) {
+      ++stats_.frames_bad;
+      kill_client(ci, s.decoder.error().c_str());
+      return;
+    }
+    handle_client_frame(ci, f, now_ms);
+    if (s.dead) return;
+  }
+  if (s.conn->closed()) {
+    if (s.decoder.pending_bytes() != 0) ++stats_.frames_bad;
+    kill_client(ci, "connection closed");
+  }
+}
+
+void SweepService::handle_client_frame(std::size_t ci, const SvcFrame& f,
+                                       std::int64_t now_ms) {
+  switch (f.type) {
+    case SvcFrameType::kSubmitJob: {
+      SubmitJob m;
+      if (!decode_submit_job(f, m)) {
+        ++stats_.frames_bad;
+        kill_client(ci, "malformed SUBMIT_JOB");
+        return;
+      }
+      SubmitAck ack;
+      dist::ResolvedJob resolved;
+      if (draining_) {
+        ack.reason = "draining: no new jobs";
+      } else if (m.version != kSvcProtoVersion) {
+        ack.reason = "protocol version mismatch";
+      } else if (!registry_.resolve(m.job, m.params, resolved)) {
+        ack.reason = "unknown job or malformed params";
+      } else {
+        Job j;
+        j.id = next_job_id_++;
+        j.tenant = m.tenant;
+        j.name = m.job;
+        j.params = m.params;
+        j.count = resolved.count;
+        j.fn = std::move(resolved.fn);
+        j.submit_ms = now_ms;
+        ack.accept = true;
+        ack.job_id = j.id;
+        ack.count = j.count;
+        ++stats_.jobs_submitted;
+        HPCS_TRACEPOINT(obs_, obs::TpId::kTpSvcSubmit, ms_time(now_ms), 0,
+                        static_cast<std::int64_t>(j.id),
+                        static_cast<std::int64_t>(j.count));
+        jobs_.push_back(std::move(j));
+      }
+      if (!ack.accept) ++stats_.jobs_rejected;
+      send_to_client(ci, encode_submit_ack(ack));
+      return;
+    }
+    case SvcFrameType::kJobStatus: {
+      JobStatus m;
+      if (!decode_job_status(f, m)) {
+        ++stats_.frames_bad;
+        kill_client(ci, "malformed JOB_STATUS");
+        return;
+      }
+      Status st;
+      st.job_id = m.job_id;
+      if (const Job* j = find_job(m.job_id)) {
+        st.known = true;
+        st.state = j->state;
+        st.total = j->count;
+        st.done = j->row_log.size();
+        st.cached = j->cached;
+      }
+      send_to_client(ci, encode_status(st));
+      return;
+    }
+    case SvcFrameType::kStreamRows: {
+      StreamRows m;
+      if (!decode_stream_rows(f, m)) {
+        ++stats_.frames_bad;
+        kill_client(ci, "malformed STREAM_ROWS");
+        return;
+      }
+      Job* j = find_job(m.job_id);
+      if (j == nullptr) {
+        send_to_client(ci, encode_svc_error(SvcError{"unknown job"}));
+        return;
+      }
+      if (std::find(j->subscribers.begin(), j->subscribers.end(), ci) ==
+          j->subscribers.end()) {
+        j->subscribers.push_back(ci);
+      }
+      // Replay everything already committed, then the live stream continues.
+      for (const auto& [index, payload] : j->row_log) {
+        SvcRow row;
+        row.job_id = j->id;
+        row.index = index;
+        row.payload = payload;
+        send_to_client(ci, encode_svc_row(row));
+        ++stats_.rows_streamed;
+      }
+      if (j->state == JobState::kDone || j->state == JobState::kCancelled) {
+        JobDone d;
+        d.job_id = j->id;
+        d.state = j->state;
+        d.total = j->count;
+        d.cached = j->cached;
+        send_to_client(ci, encode_job_done(d));
+      }
+      return;
+    }
+    case SvcFrameType::kCancel: {
+      Cancel m;
+      if (!decode_cancel(f, m)) {
+        ++stats_.frames_bad;
+        kill_client(ci, "malformed CANCEL");
+        return;
+      }
+      Job* j = find_job(m.job_id);
+      CancelAck ack;
+      ack.job_id = m.job_id;
+      ack.ok = j != nullptr &&
+               (j->state == JobState::kQueued || j->state == JobState::kRunning);
+      send_to_client(ci, encode_cancel_ack(ack));
+      if (ack.ok) finish_job(*j, JobState::kCancelled, now_ms);
+      return;
+    }
+    case SvcFrameType::kShutdown: {
+      draining_ = true;
+      ShutdownAck ack;
+      for (const Job& j : jobs_) {
+        if (j.state == JobState::kQueued || j.state == JobState::kRunning) {
+          ++ack.jobs_remaining;
+        }
+      }
+      HPCS_LOG_INFO(kTag, "shutdown requested: draining %llu jobs",
+                    static_cast<unsigned long long>(ack.jobs_remaining));
+      send_to_client(ci, encode_shutdown_ack(ack));
+      return;
+    }
+    case SvcFrameType::kError: {
+      SvcError e;
+      if (decode_svc_error(f, e)) {
+        HPCS_LOG_WARN(kTag, "client error: %s", e.reason.c_str());
+      }
+      kill_client(ci, "client reported error");
+      return;
+    }
+    case SvcFrameType::kSubmitAck:
+    case SvcFrameType::kStatus:
+    case SvcFrameType::kRow:
+    case SvcFrameType::kJobDone:
+    case SvcFrameType::kCancelAck:
+    case SvcFrameType::kShutdownAck:
+      // Server-only frames arriving *at* the server: corrupt client.
+      ++stats_.frames_bad;
+      kill_client(ci, "unexpected frame");
+      return;
+  }
+}
+
+void SweepService::kill_client(std::size_t ci, const char* why) {
+  ClientSession& s = clients_[ci];
+  if (s.dead) return;
+  HPCS_LOG_INFO(kTag, "client %zu removed: %s", ci, why);
+  s.conn->close();
+  s.dead = true;
+  ++stats_.clients_dead;
+}
+
+void SweepService::send_to_client(std::size_t ci, const SvcFrame& f) {
+  ClientSession& s = clients_[ci];
+  if (s.dead) return;
+  if (!s.conn->send(encode_svc_frame(f))) {
+    s.conn->close();
+    s.dead = true;
+    ++stats_.clients_dead;
+  }
+}
+
+void SweepService::admit_jobs(std::int64_t now_ms) {
+  while (running_count() < cfg_.max_running) {
+    // Fair-share admission: of the queued jobs, the least-served tenant
+    // goes first; ties resolve FIFO by job id (jobs_ is id-ordered).
+    Job* pick = nullptr;
+    std::int64_t pick_service = 0;
+    for (Job& j : jobs_) {
+      if (j.state != JobState::kQueued) continue;
+      const std::int64_t service = tenant_service(j.tenant);
+      if (pick == nullptr || service < pick_service) {
+        pick = &j;
+        pick_service = service;
+      }
+    }
+    if (pick == nullptr) return;
+    pick->state = JobState::kRunning;
+    pick->start_ms = now_ms;
+    dist::CoordinatorConfig cc = cfg_.coord;
+    cc.job = pick->name;
+    cc.params = pick->params;
+    cc.manual_local = true;  // the service owns local progress
+    pick->coord = std::make_unique<dist::Coordinator>(cc, pick->count, pick->fn);
+    pick->coord->set_obs(obs_);
+    if (cfg_.cache_enabled) {
+      pick->queries_outstanding = pick->count;
+      for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(pick->count); ++i) {
+        cache_queries_.push_back(CacheQuery{pick->id, i, pick->name, pick->params});
+      }
+    }
+    HPCS_TRACEPOINT(obs_, obs::TpId::kTpSvcJobStart, ms_time(now_ms), 0,
+                    static_cast<std::int64_t>(pick->id),
+                    static_cast<std::int64_t>(pick->count));
+    HPCS_LOG_INFO(kTag, "job %llu (%s) started: %zu points for tenant '%s'",
+                  static_cast<unsigned long long>(pick->id), pick->name.c_str(),
+                  pick->count, pick->tenant.c_str());
+  }
+}
+
+void SweepService::bind_workers(std::int64_t now_ms) {
+  while (!pending_workers_.empty()) {
+    // Spread the fleet: the running job with the fewest live workers gets
+    // the next connection; ties resolve to the lowest job id.
+    Job* pick = nullptr;
+    for (Job& j : jobs_) {
+      if (j.state != JobState::kRunning || j.coord == nullptr) continue;
+      if (pick == nullptr ||
+          j.coord->workers_alive() < pick->coord->workers_alive()) {
+        pick = &j;
+      }
+    }
+    if (pick == nullptr) return;  // nothing running: connections stay parked
+    pick->coord->adopt(std::move(pending_workers_.front()), now_ms);
+    pending_workers_.erase(pending_workers_.begin());
+  }
+}
+
+void SweepService::run_one_local_point(std::int64_t now_ms) {
+  // One local point per step, for the least-served tenant among running jobs
+  // that have no live workers and no cache probes in flight. Jobs with live
+  // workers progress remotely; jobs awaiting probes would waste the compute.
+  Job* pick = nullptr;
+  std::int64_t pick_local = 0;
+  for (Job& j : jobs_) {
+    if (j.state != JobState::kRunning || j.coord == nullptr) continue;
+    if (j.coord->workers_alive() != 0 || j.queries_outstanding != 0) continue;
+    std::int64_t tenant_local = 0;
+    for (const Job& o : jobs_) {
+      if (o.tenant == j.tenant) tenant_local += o.rows_local;
+    }
+    if (pick == nullptr || tenant_local < pick_local) {
+      pick = &j;
+      pick_local = tenant_local;
+    }
+  }
+  if (pick != nullptr && pick->coord->run_one_local(now_ms)) ++pick->rows_local;
+}
+
+void SweepService::drain_rows(Job& job, std::int64_t) {
+  for (dist::Coordinator::CommittedRow& r : job.coord->drain_new_rows()) {
+    if (r.seeded) {
+      ++job.cached;
+    } else if (cfg_.cache_enabled) {
+      cache_stores_.push_back(
+          CacheStoreReq{job.id, r.index, job.name, job.params, r.payload});
+    }
+    job.row_log.emplace_back(r.index, std::move(r.payload));
+    SvcRow row;
+    row.job_id = job.id;
+    row.index = r.index;
+    row.payload = job.row_log.back().second;
+    for (const std::size_t ci : job.subscribers) {
+      send_to_client(ci, encode_svc_row(row));
+      ++stats_.rows_streamed;
+    }
+  }
+}
+
+void SweepService::finish_job(Job& job, JobState final_state, std::int64_t now_ms) {
+  if (job.coord != nullptr) {
+    // Flush anything committed since the last drain (a cancel can land
+    // between pumps), then fold this fabric's counters into the totals.
+    drain_rows(job, now_ms);
+    const dist::FabricStats& fs = job.coord->stats();
+    job.rows_local = fs.rows_local;
+    job.rows_remote = fs.rows_remote;
+    add_fabric(fabric_totals_, fs);
+    job.coord.reset();  // closes this job's worker connections
+  }
+  job.state = final_state;
+  job.done_ms = now_ms;
+  if (final_state == JobState::kDone) {
+    ++stats_.jobs_done;
+  } else {
+    ++stats_.jobs_cancelled;
+  }
+  HPCS_TRACEPOINT(obs_, obs::TpId::kTpSvcJobDone, ms_time(now_ms), 0,
+                  static_cast<std::int64_t>(job.id),
+                  static_cast<std::int64_t>(job.state));
+  HPCS_LOG_INFO(kTag, "job %llu (%s) %s: %zu rows (%llu cached)",
+                static_cast<unsigned long long>(job.id), job.name.c_str(),
+                job_state_name(job.state), job.row_log.size(),
+                static_cast<unsigned long long>(job.cached));
+  JobDone d;
+  d.job_id = job.id;
+  d.state = job.state;
+  d.total = job.count;
+  d.cached = job.cached;
+  for (const std::size_t ci : job.subscribers) {
+    send_to_client(ci, encode_job_done(d));
+  }
+}
+
+std::vector<CacheQuery> SweepService::take_cache_queries() {
+  return std::exchange(cache_queries_, {});
+}
+
+std::vector<CacheStoreReq> SweepService::take_cache_stores() {
+  return std::exchange(cache_stores_, {});
+}
+
+void SweepService::cache_result(std::uint64_t job_id, std::uint32_t index, bool hit,
+                                std::string payload, std::int64_t now_ms) {
+  Job* j = find_job(job_id);
+  if (j == nullptr) return;
+  if (j->queries_outstanding > 0) --j->queries_outstanding;
+  if (j->state != JobState::kRunning || j->coord == nullptr) return;
+  if (hit) {
+    ++stats_.cache_hits;
+    HPCS_TRACEPOINT(obs_, obs::TpId::kTpCacheHit, ms_time(now_ms), 0,
+                    static_cast<std::int64_t>(job_id),
+                    static_cast<std::int64_t>(index));
+    j->coord->seed_row(index, std::move(payload), now_ms);
+  } else {
+    ++stats_.cache_misses;
+    HPCS_TRACEPOINT(obs_, obs::TpId::kTpCacheMiss, ms_time(now_ms), 0,
+                    static_cast<std::int64_t>(job_id),
+                    static_cast<std::int64_t>(index));
+  }
+}
+
+std::vector<JobSpan> SweepService::job_spans() const {
+  std::vector<JobSpan> spans;
+  spans.reserve(jobs_.size());
+  for (const Job& j : jobs_) {
+    JobSpan sp;
+    sp.id = j.id;
+    sp.tenant = j.tenant;
+    sp.job = j.name;
+    sp.state = j.state;
+    sp.submit_ms = j.submit_ms;
+    sp.start_ms = j.start_ms;
+    sp.done_ms = j.done_ms;
+    sp.total = j.count;
+    sp.cached = j.cached;
+    sp.rows_local = j.rows_local;
+    sp.rows_remote = j.rows_remote;
+    spans.push_back(std::move(sp));
+  }
+  return spans;
+}
+
+}  // namespace hpcs::svc

@@ -1,0 +1,197 @@
+#pragma once
+// SweepService: the long-running, multi-tenant core of `hpcs-sweepd`. One
+// service multiplexes many concurrent sweeps — each an independent
+// dist::Coordinator — over one worker fleet and one client port, as a pure
+// `now_ms`-driven state machine in the exact mold of the coordinator itself:
+// no threads, no sockets, no clock, no file IO. Transports arrive via
+// adopt_client()/adopt_worker(), time is the step() argument, and the result
+// cache is reached only through effect queues the *host* pumps between steps
+// (take_cache_queries -> probe -> cache_result; take_cache_stores -> put).
+// That inversion is what keeps the determinism contract intact: a sweep row
+// is byte-identical whether it was computed locally, remotely, or replayed
+// from a cache blob, and the loopback tests (tests/test_svc.cpp) can drive
+// every schedule — worker kill mid-job, cancel, drain — reproducibly.
+//
+// Scheduling policy:
+//   * Admission: at most cfg.max_running jobs hold coordinators; among
+//     queued jobs the tenant with the least service (points started) goes
+//     first, ties FIFO by job id.
+//   * Worker binding: an adopted worker connection is handed to the running
+//     job with the fewest live workers (ties: lowest job id) — the fleet
+//     spreads instead of piling onto the first job.
+//   * Local drain: each step executes at most ONE point locally, on behalf
+//     of the least-served tenant among running jobs that currently have no
+//     live workers (coordinators run manual_local, so a straggling job can
+//     never monopolize the loop with a bulk fallback). Fair-share
+//     interleaving across tenants is a consequence: N workerless jobs make
+//     round-robin progress one point at a time.
+//   * Shutdown: SHUTDOWN flips the service into draining — new submits are
+//     rejected, running and queued jobs finish normally, and done() turns
+//     true once every job is terminal (the host loop then exits).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/registry.h"
+#include "dist/transport.h"
+#include "obs/recorder.h"
+#include "svc/protocol.h"
+
+namespace hpcs::svc {
+
+struct ServiceConfig {
+  std::uint32_t max_running = 2;  ///< concurrent coordinators
+  bool cache_enabled = false;     ///< emit cache queries / store requests
+  /// Template for each job's coordinator; job/params are filled per job and
+  /// manual_local is forced on (the service owns local progress).
+  dist::CoordinatorConfig coord;
+};
+
+/// Host-side service counters for the v3 fabric sidecar and smoke
+/// assertions. Observational only.
+struct SvcStats {
+  std::int64_t jobs_submitted = 0;
+  std::int64_t jobs_rejected = 0;   ///< version mismatch, unknown job, draining
+  std::int64_t jobs_done = 0;
+  std::int64_t jobs_cancelled = 0;
+  std::int64_t clients_connected = 0;
+  std::int64_t clients_dead = 0;    ///< closed or corrupt client sessions
+  std::int64_t rows_streamed = 0;   ///< ROW frames sent to subscribers
+  std::int64_t frames_bad = 0;
+  std::int64_t cache_hits = 0;      ///< via cache_result(hit=true)
+  std::int64_t cache_misses = 0;
+};
+
+/// One job's queue lifetime for the sidecar's "jobs" array. Times are the
+/// service's now_ms — host data, never deterministic output.
+struct JobSpan {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::string job;
+  JobState state = JobState::kQueued;
+  std::int64_t submit_ms = -1;
+  std::int64_t start_ms = -1;  ///< -1 = never left the queue
+  std::int64_t done_ms = -1;   ///< -1 = not terminal yet
+  std::uint64_t total = 0;
+  std::uint64_t cached = 0;       ///< rows seeded from the result cache
+  std::int64_t rows_local = 0;    ///< from the job's fabric stats
+  std::int64_t rows_remote = 0;
+};
+
+/// Cache probe the host must answer with cache_result(). Carries the key
+/// material (job name + params blob + index) so key derivation stays at the
+/// host: the machine never sees a hash, a path, or a filesystem.
+struct CacheQuery {
+  std::uint64_t job_id = 0;
+  std::uint32_t index = 0;
+  std::string job;
+  std::string params;
+};
+
+/// Freshly computed row the host should persist.
+struct CacheStoreReq {
+  std::uint64_t job_id = 0;
+  std::uint32_t index = 0;
+  std::string job;
+  std::string params;
+  std::string payload;
+};
+
+class SweepService {
+ public:
+  /// `registry` must outlive the service; it resolves every submitted job
+  /// (the same registration workers hold, which is what makes a point
+  /// byte-identical wherever it runs).
+  SweepService(ServiceConfig cfg, const dist::JobRegistry& registry);
+
+  /// Hand over one accepted client connection.
+  void adopt_client(std::unique_ptr<dist::Connection> conn, std::int64_t now_ms);
+  /// Hand over one accepted worker connection; it is bound to a running job
+  /// on the next step.
+  void adopt_worker(std::unique_ptr<dist::Connection> conn, std::int64_t now_ms);
+
+  /// Pump everything once: client frames, job admission, worker binding,
+  /// coordinator steps, one fair-share local point, row fan-out, completion.
+  void step(std::int64_t now_ms);
+
+  /// True once draining and every job is terminal; the host loop exits.
+  [[nodiscard]] bool done() const;
+  [[nodiscard]] bool draining() const { return draining_; }
+
+  /// Cache effect queues (host side). take_cache_queries() drains pending
+  /// probes; the host answers each with cache_result(). take_cache_stores()
+  /// drains rows to persist.
+  [[nodiscard]] std::vector<CacheQuery> take_cache_queries();
+  void cache_result(std::uint64_t job_id, std::uint32_t index, bool hit,
+                    std::string payload, std::int64_t now_ms);
+  [[nodiscard]] std::vector<CacheStoreReq> take_cache_stores();
+
+  [[nodiscard]] const SvcStats& stats() const { return stats_; }
+  /// Aggregate fabric counters across every coordinator this service ran.
+  [[nodiscard]] const dist::FabricStats& fabric_totals() const { return fabric_totals_; }
+  /// Every job ever submitted, in id order.
+  [[nodiscard]] std::vector<JobSpan> job_spans() const;
+
+  /// Fabric/service observability recorder (same null-pointer seam as the
+  /// coordinator's); forwarded to each job's coordinator.
+  void set_obs(obs::Recorder* rec) { obs_ = rec; }
+
+ private:
+  struct ClientSession {
+    std::unique_ptr<dist::Connection> conn;
+    SvcFrameDecoder decoder;
+    bool dead = false;
+  };
+
+  struct Job {
+    std::uint64_t id = 0;
+    std::string tenant;
+    std::string name;
+    std::string params;
+    JobState state = JobState::kQueued;
+    std::size_t count = 0;
+    dist::TaskFn fn;
+    std::unique_ptr<dist::Coordinator> coord;
+    /// Rows in commit order, kept for replay to late subscribers.
+    std::vector<std::pair<std::uint32_t, std::string>> row_log;
+    std::vector<std::size_t> subscribers;  ///< client session indices
+    std::int64_t submit_ms = -1;
+    std::int64_t start_ms = -1;
+    std::int64_t done_ms = -1;
+    std::uint64_t cached = 0;             ///< rows seeded from the cache
+    std::uint64_t queries_outstanding = 0;  ///< cache probes not yet answered
+    std::int64_t rows_local = 0;    ///< live count; fabric snapshot at completion
+    std::int64_t rows_remote = 0;
+  };
+
+  void pump_client(std::size_t ci, std::int64_t now_ms);
+  void handle_client_frame(std::size_t ci, const SvcFrame& f, std::int64_t now_ms);
+  void kill_client(std::size_t ci, const char* why);
+  void send_to_client(std::size_t ci, const SvcFrame& f);
+  void admit_jobs(std::int64_t now_ms);
+  void bind_workers(std::int64_t now_ms);
+  void drain_rows(Job& job, std::int64_t now_ms);
+  void run_one_local_point(std::int64_t now_ms);
+  void finish_job(Job& job, JobState final_state, std::int64_t now_ms);
+  [[nodiscard]] Job* find_job(std::uint64_t id);
+  [[nodiscard]] std::size_t running_count() const;
+  [[nodiscard]] std::int64_t tenant_service(const std::string& tenant) const;
+
+  ServiceConfig cfg_;
+  const dist::JobRegistry& registry_;
+  std::vector<ClientSession> clients_;
+  std::vector<std::unique_ptr<dist::Connection>> pending_workers_;
+  std::vector<Job> jobs_;  ///< append-only, id order
+  std::vector<CacheQuery> cache_queries_;
+  std::vector<CacheStoreReq> cache_stores_;
+  SvcStats stats_;
+  dist::FabricStats fabric_totals_;
+  obs::Recorder* obs_ = nullptr;
+  std::uint64_t next_job_id_ = 1;
+  bool draining_ = false;
+};
+
+}  // namespace hpcs::svc

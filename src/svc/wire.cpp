@@ -1,0 +1,44 @@
+#include "svc/wire.h"
+
+#include <utility>
+
+namespace hpcs::svc {
+
+bool svc_frame_type_valid(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(SvcFrameType::kSubmitJob) &&
+         t <= static_cast<std::uint8_t>(SvcFrameType::kError);
+}
+
+const char* svc_frame_type_name(SvcFrameType t) {
+  switch (t) {
+    case SvcFrameType::kSubmitJob: return "SUBMIT_JOB";
+    case SvcFrameType::kSubmitAck: return "SUBMIT_ACK";
+    case SvcFrameType::kJobStatus: return "JOB_STATUS";
+    case SvcFrameType::kStatus: return "STATUS";
+    case SvcFrameType::kStreamRows: return "STREAM_ROWS";
+    case SvcFrameType::kRow: return "ROW";
+    case SvcFrameType::kJobDone: return "JOB_DONE";
+    case SvcFrameType::kCancel: return "CANCEL";
+    case SvcFrameType::kCancelAck: return "CANCEL_ACK";
+    case SvcFrameType::kShutdown: return "SHUTDOWN";
+    case SvcFrameType::kShutdownAck: return "SHUTDOWN_ACK";
+    case SvcFrameType::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::string encode_svc_frame(const SvcFrame& f) {
+  return dist::encode_raw_frame(static_cast<std::uint8_t>(f.type), f.payload);
+}
+
+SvcFrameDecoder::Result SvcFrameDecoder::next(SvcFrame& out) {
+  dist::RawFrame raw;
+  const Result r = raw_.next(raw);
+  if (r == Result::kFrame) {
+    out.type = static_cast<SvcFrameType>(raw.type);
+    out.payload = std::move(raw.payload);
+  }
+  return r;
+}
+
+}  // namespace hpcs::svc

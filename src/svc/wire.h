@@ -1,0 +1,78 @@
+#pragma once
+// Sweep-service client API framing: the same length-prefixed wire format as
+// the dist fabric (u32 len | u8 type | payload, everything little-endian via
+// dist::WireWriter/WireReader) with its own frame-type space and version.
+// The conversation is
+//
+//   client -> SUBMIT_JOB   {version, tenant, job, params blob}
+//   server -> SUBMIT_ACK   {accept, reason | job id, point count}
+//   client -> JOB_STATUS   {job id}
+//   server -> STATUS       {job id, known, state, total, done, cached}
+//   client -> STREAM_ROWS  {job id}                    (subscribe)
+//   server -> ROW          {job id, index, payload}    (replayed + live)
+//   server -> JOB_DONE     {job id, final state, total, cached}
+//   client -> CANCEL       {job id}
+//   server -> CANCEL_ACK   {job id, ok}
+//   client -> SHUTDOWN     {}                          (drain: finish + exit)
+//   server -> SHUTDOWN_ACK {jobs remaining}
+//   either -> ERROR        {reason}                    (fatal, then close)
+//
+// Reassembly reuses dist::RawFrameDecoder with this protocol's own validity
+// predicate, so corrupt peers die at the framing layer exactly like fabric
+// peers do.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dist/wire.h"
+
+namespace hpcs::svc {
+
+/// Client-API protocol version carried in SUBMIT_JOB; bumped on any frame
+/// layout change. Independent of the fabric's dist::kProtoVersion.
+inline constexpr std::uint32_t kSvcProtoVersion = 1;
+
+enum class SvcFrameType : std::uint8_t {
+  kSubmitJob = 1,  ///< client -> server: version, tenant, job, params
+  kSubmitAck,      ///< server -> client: accept/reject, job id, count
+  kJobStatus,      ///< client -> server: job id
+  kStatus,         ///< server -> client: state/progress snapshot
+  kStreamRows,     ///< client -> server: subscribe to a job's rows
+  kRow,            ///< server -> client: one committed row
+  kJobDone,        ///< server -> client: job reached a terminal state
+  kCancel,         ///< client -> server: cancel a job
+  kCancelAck,      ///< server -> client: cancel outcome
+  kShutdown,       ///< client -> server: drain and exit
+  kShutdownAck,    ///< server -> client: drain begun, jobs remaining
+  kError,          ///< either direction: fatal condition, reason string
+};
+
+/// True when `t` is one of the SvcFrameType enumerators above.
+[[nodiscard]] bool svc_frame_type_valid(std::uint8_t t);
+[[nodiscard]] const char* svc_frame_type_name(SvcFrameType t);
+
+struct SvcFrame {
+  SvcFrameType type = SvcFrameType::kError;
+  std::string payload;
+};
+
+[[nodiscard]] std::string encode_svc_frame(const SvcFrame& f);
+
+/// Service-typed view of the shared reassembly core (dist::RawFrameDecoder).
+class SvcFrameDecoder {
+ public:
+  using Result = dist::RawFrameDecoder::Result;
+
+  SvcFrameDecoder() : raw_(&svc_frame_type_valid) {}
+
+  void feed(std::string_view bytes) { raw_.feed(bytes); }
+  [[nodiscard]] Result next(SvcFrame& out);
+  [[nodiscard]] const std::string& error() const { return raw_.error(); }
+  [[nodiscard]] std::size_t pending_bytes() const { return raw_.pending_bytes(); }
+
+ private:
+  dist::RawFrameDecoder raw_;
+};
+
+}  // namespace hpcs::svc

@@ -1,0 +1,28 @@
+// Cache-purity fixture, negative twin of machine_pos.cpp: the planner
+// ranks a caller-supplied (size, mtime) inventory — mtimes are data, not
+// clock reads — and the filesystem probe sits inside a declared HPCS_HOST
+// region, the src/cache/store.cpp convention. Nothing may be reported.
+#include <cstdio>
+
+namespace hpcs::cache {
+
+class EvictionPlanner {
+ public:
+  void stamp(long long mtime_ns);
+  bool probe();
+  long long seen_ns_ = 0;
+};
+
+void EvictionPlanner::stamp(long long mtime_ns) { seen_ns_ = mtime_ns; }
+
+// HPCS_HOST_BEGIN — blob inventory scan: deliberate file IO feeding the
+// pure planner nothing but (path, size, mtime) tuples.
+bool EvictionPlanner::probe() {
+  std::FILE* f = std::fopen("blob.rcb", "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+// HPCS_HOST_END
+
+}  // namespace hpcs::cache

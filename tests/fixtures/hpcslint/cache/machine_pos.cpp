@@ -1,0 +1,29 @@
+// Cache-purity fixture (positive): eviction planning under a cache/ path
+// segment stamps entries with the live clock and probes the filesystem
+// while ranking them. Both are purity errors: the plan must be a pure
+// function of the scanned (size, mtime) inventory so a replayed run evicts
+// the same blobs, and the inventory itself arrives via an HPCS_HOST scan.
+#include <chrono>
+#include <cstdio>
+
+namespace hpcs::cache {
+
+class EvictionPlanner {
+ public:
+  void stamp();
+  bool probe();
+  long long seen_ns_ = 0;
+};
+
+void EvictionPlanner::stamp() {
+  seen_ns_ = std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+bool EvictionPlanner::probe() {
+  std::FILE* f = std::fopen("blob.rcb", "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace hpcs::cache

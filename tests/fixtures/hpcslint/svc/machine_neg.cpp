@@ -1,0 +1,31 @@
+// Svc-purity fixture, negative twin of machine_pos.cpp: the same service
+// shape, but admission is driven from a now_ms parameter and the journal
+// write sits inside a declared HPCS_HOST region (the svc/host seam).
+// Nothing may be reported.
+#include <cstdio>
+
+namespace hpcs::svc {
+
+class SweepService {
+ public:
+  void admit(long long now_ms);
+  void finish();
+  long long deadline_ms_ = 0;
+  int jobs_done_ = 0;
+};
+
+void SweepService::admit(long long now_ms) { deadline_ms_ = now_ms + 50; }
+
+// HPCS_HOST_BEGIN — job journal: records an already-decided completion
+// count to the host filesystem; never feeds back into scheduling decisions.
+void SweepService::finish() {
+  std::FILE* f = std::fopen("jobs.log", "ab");
+  if (f != nullptr) {
+    std::fwrite(&jobs_done_, sizeof(jobs_done_), 1, f);
+    std::fclose(f);
+  }
+  ++jobs_done_;
+}
+// HPCS_HOST_END
+
+}  // namespace hpcs::svc

@@ -1,0 +1,33 @@
+// Svc-purity fixture (positive): a sweep-service state machine under an
+// svc/ path segment reads the steady clock while deciding admission and
+// writes a journal file while finishing a job. Both must be flagged
+// dist-purity: the service machine is replayed from now_ms and its queues,
+// so any host environment source makes a replay diverge from the live run.
+#include <chrono>
+#include <cstdio>
+
+namespace hpcs::svc {
+
+class SweepService {
+ public:
+  void admit();
+  void finish();
+  long long deadline_ms_ = 0;
+  int jobs_done_ = 0;
+};
+
+void SweepService::admit() {
+  deadline_ms_ =
+      std::chrono::steady_clock::now().time_since_epoch().count() + 50;
+}
+
+void SweepService::finish() {
+  std::FILE* f = std::fopen("jobs.log", "ab");
+  if (f != nullptr) {
+    std::fwrite(&jobs_done_, sizeof(jobs_done_), 1, f);
+    std::fclose(f);
+  }
+  ++jobs_done_;
+}
+
+}  // namespace hpcs::svc

@@ -1,0 +1,286 @@
+// Tests of the content-addressed result cache (src/cache) and its key
+// derivation (analysis/result_cache_key.h): FNV vectors, blob envelope
+// verdicts, the on-disk store's atomic-write/corruption/eviction behavior,
+// and two handles sharing one directory (the daemon + a bench run do
+// exactly that). Everything runs in a mkdtemp scratch dir.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/result_cache_key.h"
+#include "cache/blob.h"
+#include "cache/fnv.h"
+#include "cache/store.h"
+
+namespace hpcs {
+namespace {
+
+using cache::BlobVerdict;
+using cache::CacheConfig;
+using cache::ResultCache;
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char buf[] = "/tmp/hpcs_cache_test_XXXXXX";
+    const char* p = ::mkdtemp(buf);
+    EXPECT_NE(p, nullptr);
+    path = p;
+  }
+  ~TempDir() {
+    // Best-effort recursive cleanup; the tree is at most three levels deep.
+    const std::string cmd = "rm -rf '" + path + "'";
+    (void)std::system(cmd.c_str());
+  }
+};
+
+ResultCache make_store(const TempDir& dir, std::uint64_t budget = 256u << 20) {
+  CacheConfig cfg;
+  cfg.dir = dir.path;
+  cfg.budget_bytes = budget;
+  return ResultCache(cfg);
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+void set_mtime(const std::string& path, std::int64_t sec) {
+  timespec ts[2];
+  ts[0].tv_sec = sec;
+  ts[0].tv_nsec = 0;
+  ts[1].tv_sec = sec;
+  ts[1].tv_nsec = 0;
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), ts, 0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a and key derivation
+
+TEST(CacheFnv, MatchesPublishedVectors) {
+  EXPECT_EQ(cache::fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(cache::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(cache::fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(CacheKey, StableAndSensitiveToEveryInput) {
+  const std::uint64_t k = analysis::result_cache_key("unit", "params", 0);
+  EXPECT_EQ(k, analysis::result_cache_key("unit", "params", 0));
+  EXPECT_NE(k, analysis::result_cache_key("unit2", "params", 0));
+  EXPECT_NE(k, analysis::result_cache_key("unit", "params2", 0));
+  EXPECT_NE(k, analysis::result_cache_key("unit", "params", 1));
+  // Field boundaries are length-prefixed: shifting a byte between job and
+  // params must not collide.
+  EXPECT_NE(analysis::result_cache_key("ab", "c", 0),
+            analysis::result_cache_key("a", "bc", 0));
+}
+
+TEST(CacheKey, HexFormatsSixteenLowercaseDigits) {
+  EXPECT_EQ(cache::key_hex(0), "0000000000000000");
+  EXPECT_EQ(cache::key_hex(0xdeadbeef01234567ull), "deadbeef01234567");
+}
+
+// ---------------------------------------------------------------------------
+// Blob envelope
+
+TEST(CacheBlob, RoundTripsAndVerifies) {
+  const std::uint64_t key = 0x1122334455667788ull;
+  const std::string payload = "serialized run result bytes";
+  const std::string blob = cache::encode_result_blob(key, payload);
+  std::string out;
+  EXPECT_EQ(cache::decode_result_blob(blob, key, out), BlobVerdict::kOk);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(CacheBlob, RejectsCorruptionShortReadsAndVersionDrift) {
+  const std::uint64_t key = 42;
+  std::string blob = cache::encode_result_blob(key, "payload");
+  std::string out;
+
+  // Wrong key (a hash collision or a misfiled blob).
+  EXPECT_EQ(cache::decode_result_blob(blob, key + 1, out), BlobVerdict::kCorrupt);
+
+  // Flipped payload byte: checksum catches it.
+  std::string flipped = blob;
+  flipped[flipped.size() - 1] ^= 0x01;
+  EXPECT_EQ(cache::decode_result_blob(flipped, key, out), BlobVerdict::kCorrupt);
+
+  // Truncation at every prefix length never passes.
+  for (std::size_t n = 0; n < blob.size(); ++n) {
+    EXPECT_NE(cache::decode_result_blob(blob.substr(0, n), key, out), BlobVerdict::kOk);
+  }
+
+  // Trailing garbage is corruption, not slack.
+  EXPECT_EQ(cache::decode_result_blob(blob + "x", key, out), BlobVerdict::kCorrupt);
+
+  // Version bump: distinguishable from corruption (upgrades evict cleanly).
+  std::string vbump = blob;
+  vbump[4] ^= 0x01;  // version field, little-endian low byte
+  EXPECT_EQ(cache::decode_result_blob(vbump, key, out), BlobVerdict::kVersion);
+
+  // Wrong magic is just corruption.
+  std::string mbad = blob;
+  mbad[0] ^= 0x01;
+  EXPECT_EQ(cache::decode_result_blob(mbad, key, out), BlobVerdict::kCorrupt);
+}
+
+// ---------------------------------------------------------------------------
+// Store
+
+TEST(CacheStore, DisabledWhenDirEmpty) {
+  ResultCache store{CacheConfig{}};
+  EXPECT_FALSE(store.enabled());
+  std::string out;
+  EXPECT_FALSE(store.get(1, out));
+  store.put(1, "payload");  // no-op, no crash
+  EXPECT_EQ(store.stats().stores, 0);
+}
+
+TEST(CacheStore, PutThenGetRoundTripsAcrossHandles) {
+  TempDir dir;
+  ResultCache writer = make_store(dir);
+  writer.put(7, "row-seven");
+  EXPECT_EQ(writer.stats().stores, 1);
+
+  // A second handle on the same directory (reader and writer are separate
+  // processes in real deployments) sees the blob immediately.
+  ResultCache reader = make_store(dir);
+  std::string out;
+  EXPECT_TRUE(reader.get(7, out));
+  EXPECT_EQ(out, "row-seven");
+  EXPECT_EQ(reader.stats().hits, 1);
+
+  // And the reverse direction works too.
+  reader.put(9, "row-nine");
+  EXPECT_TRUE(writer.get(9, out));
+  EXPECT_EQ(out, "row-nine");
+
+  // Missing key: a miss, never an error.
+  EXPECT_FALSE(writer.get(12345, out));
+  EXPECT_EQ(writer.stats().misses, 1);
+}
+
+TEST(CacheStore, CorruptBlobDegradesToMissAndIsDeleted) {
+  TempDir dir;
+  ResultCache store = make_store(dir);
+  store.put(11, "precious bytes");
+  const std::string path = store.blob_path(11);
+
+  // Flip one byte in place.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 20, SEEK_SET), 0);
+  std::fputc('X', f);
+  std::fclose(f);
+
+  std::string out;
+  EXPECT_FALSE(store.get(11, out));
+  EXPECT_EQ(store.stats().corrupt, 1);
+  EXPECT_EQ(store.stats().misses, 1);
+  // The poisoned file is gone: the next run recomputes and re-stores.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+  store.put(11, "precious bytes");
+  EXPECT_TRUE(store.get(11, out));
+  EXPECT_EQ(out, "precious bytes");
+}
+
+TEST(CacheStore, LeftoverTempFilesAreInvisible) {
+  TempDir dir;
+  ResultCache store = make_store(dir);
+  store.put(3, "real");
+  // A crashed writer leaves a temp next to the blob; it must be ignored by
+  // reads and by the eviction scan.
+  const std::string blob = store.blob_path(3);
+  const std::string temp = blob.substr(0, blob.rfind('/') + 1) + ".tmp.dead.1.1";
+  write_file(temp, "half-written junk");
+
+  std::string out;
+  EXPECT_TRUE(store.get(3, out));
+  EXPECT_EQ(out, "real");
+
+  // Another put runs the eviction scan; the junk is neither counted against
+  // the budget nor deleted (a live writer might still own it).
+  store.put(4, "other");
+  EXPECT_EQ(store.stats().evictions, 0);
+  EXPECT_EQ(::access(temp.c_str(), F_OK), 0);
+}
+
+TEST(CacheStore, PlanEvictionDropsOldestFirstUntilUnderBudget) {
+  std::vector<cache::BlobInfo> entries = {
+      {"c.rcb", 100, /*mtime_ns=*/30},
+      {"a.rcb", 100, /*mtime_ns=*/10},
+      {"b.rcb", 100, /*mtime_ns=*/20},
+  };
+  // Budget fits two blobs: the oldest one goes.
+  auto plan = ResultCache::plan_eviction(entries, 200);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0], "a.rcb");
+  // Budget fits nothing: everything goes, oldest first.
+  plan = ResultCache::plan_eviction(entries, 0);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0], "a.rcb");
+  EXPECT_EQ(plan[1], "b.rcb");
+  EXPECT_EQ(plan[2], "c.rcb");
+  // Equal mtimes: path breaks the tie deterministically.
+  for (auto& e : entries) e.mtime_ns = 5;
+  plan = ResultCache::plan_eviction(entries, 200);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0], "a.rcb");
+}
+
+TEST(CacheStore, EvictionUnderTightBudgetKeepsTheRecentlyTouched) {
+  TempDir dir;
+  // Budget sized to hold two of the three 48-byte blobs, not all three.
+  ResultCache store = make_store(dir, /*budget=*/100);
+  store.put(1, std::string(20, 'a'));
+  store.put(2, std::string(20, 'b'));
+  set_mtime(store.blob_path(1), 1000);
+  set_mtime(store.blob_path(2), 2000);
+  // The third put blows the budget; the oldest (key 1) must be evicted.
+  store.put(3, std::string(20, 'c'));
+  EXPECT_GE(store.stats().evictions, 1);
+  std::string out;
+  EXPECT_FALSE(store.get(1, out));
+  EXPECT_TRUE(store.get(3, out));
+}
+
+TEST(CacheStore, GetRefreshesLruOrder) {
+  TempDir dir;
+  ResultCache store = make_store(dir, /*budget=*/100);
+  store.put(1, std::string(20, 'a'));
+  store.put(2, std::string(20, 'b'));
+  set_mtime(store.blob_path(1), 1000);
+  set_mtime(store.blob_path(2), 2000);
+  // Touch key 1: its mtime moves to now, far past the stamped 2000s epoch.
+  std::string out;
+  EXPECT_TRUE(store.get(1, out));
+  // Now key 2 is the LRU entry and should be the eviction victim.
+  store.put(3, std::string(20, 'c'));
+  EXPECT_TRUE(store.get(1, out));
+  EXPECT_FALSE(store.get(2, out));
+}
+
+TEST(CacheStore, UnwritableDirectoryDegradesSilently) {
+  CacheConfig cfg;
+  cfg.dir = "/proc/definitely/not/writable";
+  ResultCache store{cfg};
+  store.put(5, "bytes");  // swallowed
+  std::string out;
+  EXPECT_FALSE(store.get(5, out));
+  EXPECT_EQ(store.stats().stores, 0);
+}
+
+}  // namespace
+}  // namespace hpcs

@@ -851,6 +851,79 @@ TEST(DistJobs, WindowedManifestByteIdenticalToSerialOverLoopback) {
   EXPECT_EQ(obs::render_manifest_json("table3_metbench", fabric), reference);
 }
 
+// ---------------------------------------------------------------------------
+// Coordinator primitives behind the sweep service (seed/run-one/drain)
+
+TEST(DistFabric, SeedRowCompletesShardsAndDrainExposesOrigin) {
+  const std::size_t kCount = 5;
+  CoordinatorConfig cfg = test_cfg(/*shard_size=*/1);
+  cfg.manual_local = true;
+  Coordinator coord(cfg, kCount, task);
+
+  // Seed rows 1 and 3 (cache hits); their one-point shards complete outright
+  // and are never assigned or executed.
+  coord.seed_row(1, task(1), 10);
+  coord.seed_row(3, task(3), 10);
+  EXPECT_EQ(coord.stats().rows_seeded, 2);
+  EXPECT_FALSE(coord.done());
+
+  auto drained = coord.drain_new_rows();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(drained[0].seeded);
+  EXPECT_EQ(drained[0].index, 1u);
+  EXPECT_TRUE(drained[1].seeded);
+  EXPECT_EQ(drained[1].index, 3u);
+  // The drain cursor advances: nothing new yet.
+  EXPECT_TRUE(coord.drain_new_rows().empty());
+
+  // One local point per call, skipping the completed shards.
+  while (coord.run_one_local(20)) {
+  }
+  EXPECT_TRUE(coord.done());
+  drained = coord.drain_new_rows();
+  ASSERT_EQ(drained.size(), 3u);
+  for (const auto& r : drained) {
+    EXPECT_FALSE(r.seeded);
+    EXPECT_EQ(r.payload, task(r.index));
+  }
+  EXPECT_EQ(coord.stats().rows_local, 3);
+  EXPECT_EQ(coord.stats().rows_seeded, 2);
+  EXPECT_EQ(coord.take_rows(), serial_rows(kCount));
+}
+
+TEST(DistFabric, SeededDuplicateIsIgnoredWithoutCountingStale) {
+  CoordinatorConfig cfg = test_cfg(/*shard_size=*/1);
+  cfg.manual_local = true;
+  Coordinator coord(cfg, 2, task);
+  coord.seed_row(0, task(0), 5);
+  coord.seed_row(0, "different bytes never overwrite", 6);
+  EXPECT_EQ(coord.stats().rows_seeded, 1);
+  EXPECT_EQ(coord.stats().rows_stale, 0);
+  while (coord.run_one_local(10)) {
+  }
+  EXPECT_EQ(coord.take_rows(), serial_rows(2));
+}
+
+TEST(DistFabric, ManualLocalNeverBulkRunsWithoutWorkers) {
+  CoordinatorConfig cfg = test_cfg(/*shard_size=*/1);
+  cfg.connect_wait_ms = 10;
+  cfg.manual_local = true;
+  Coordinator coord(cfg, 3, task);
+  // Far past connect_wait with no workers: a normal coordinator would have
+  // fallen back to bulk local execution by now. Manual mode must not.
+  for (std::int64_t t = 0; t < 1000; t += 100) coord.step(t);
+  EXPECT_FALSE(coord.done());
+  EXPECT_FALSE(coord.stats().fell_back_local);
+  EXPECT_EQ(coord.stats().rows_local, 0);
+  // The owner drains it one point at a time instead.
+  EXPECT_TRUE(coord.run_one_local(2000));
+  EXPECT_TRUE(coord.run_one_local(2000));
+  EXPECT_TRUE(coord.run_one_local(2000));
+  EXPECT_FALSE(coord.run_one_local(2000));
+  EXPECT_TRUE(coord.done());
+  EXPECT_EQ(coord.take_rows(), serial_rows(3));
+}
+
 TEST(DistJobs, ParamsCarryTheWindowPeriod) {
   // --obs-window must reach the workers: a remote row computed without the
   // window period would render a different manifest than the serial run.

@@ -754,6 +754,43 @@ TEST(HpcslintDistPurity, HostRegionAndNowMsDrivenTwinIsClean) {
   EXPECT_EQ(count_rule(fs, "wallclock"), 0);
 }
 
+TEST(HpcslintDistPurity, FlagsHostSourcesInServiceMachineCode) {
+  // The sweep service rides the same purity contract as dist/: an svc/
+  // state machine reading the clock in admission and journalling to a file
+  // in finish() is flagged on both functions.
+  const auto fs = lint_fixture("svc/machine_pos.cpp");
+  EXPECT_EQ(count_rule(fs, "dist-purity"), 2);
+  bool admit_flagged = false;
+  bool finish_flagged = false;
+  for (const Finding& f : fs) {
+    if (f.rule != "dist-purity") continue;
+    EXPECT_NE(f.message.find("now_ms"), std::string::npos) << f.message;
+    if (f.message.find("admit") != std::string::npos) admit_flagged = true;
+    if (f.message.find("finish") != std::string::npos) finish_flagged = true;
+  }
+  EXPECT_TRUE(admit_flagged);
+  EXPECT_TRUE(finish_flagged);
+}
+
+TEST(HpcslintDistPurity, ServiceHostRegionTwinIsClean) {
+  const auto fs = lint_fixture("svc/machine_neg.cpp");
+  EXPECT_EQ(count_rule(fs, "dist-purity"), 0);
+  EXPECT_EQ(count_rule(fs, "wallclock"), 0);
+}
+
+TEST(HpcslintDistPurity, FlagsHostSourcesInCacheMachineCode) {
+  // The result cache's planning code is pure too: clock stamps and
+  // filesystem probes outside HPCS_HOST regions are purity errors.
+  const auto fs = lint_fixture("cache/machine_pos.cpp");
+  EXPECT_EQ(count_rule(fs, "dist-purity"), 2);
+}
+
+TEST(HpcslintDistPurity, CacheHostRegionTwinIsClean) {
+  const auto fs = lint_fixture("cache/machine_neg.cpp");
+  EXPECT_EQ(count_rule(fs, "dist-purity"), 0);
+  EXPECT_EQ(count_rule(fs, "wallclock"), 0);
+}
+
 TEST(HpcslintDistPurity, SarifRoundTripCoversTheRuleFamily) {
   const auto fs = lint_fixture("dist/machine_pos.cpp");
   ASSERT_GE(count_rule(fs, "dist-purity"), 1);

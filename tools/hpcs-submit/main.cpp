@@ -1,0 +1,254 @@
+// hpcs-submit: command-line client for hpcs-sweepd. Speaks the svc wire
+// protocol (svc/wire.h) over the daemon's client port.
+//
+//   hpcs-submit HOST:PORT --job NAME [--seed N] [--obs] [--tenant T]
+//                         [--no-stream]          submit a sweep
+//   hpcs-submit HOST:PORT --status ID            query one job
+//   hpcs-submit HOST:PORT --cancel ID            cancel one job
+//   hpcs-submit HOST:PORT --shutdown             drain the daemon and exit
+//
+// The default verb submits and then subscribes (STREAM_ROWS): every
+// committed row is decoded back into a RunResult and printed as it lands —
+// whether the daemon computed it locally, a worker sent it, or the result
+// cache replayed it, the bytes (and so this output) are identical.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/dist_jobs.h"
+#include "analysis/experiment.h"
+#include "analysis/run_serialize.h"
+#include "dist/host/dist_options.h"
+#include "dist/host/host_clock.h"
+#include "dist/host/tcp_transport.h"
+#include "svc/protocol.h"
+
+namespace {
+
+using namespace hpcs;
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "usage: hpcs-submit HOST:PORT --job NAME [--seed N] [--obs]\n"
+               "                   [--tenant T] [--no-stream]\n"
+               "       hpcs-submit HOST:PORT --status ID\n"
+               "       hpcs-submit HOST:PORT --cancel ID\n"
+               "       hpcs-submit HOST:PORT --shutdown\n");
+  std::exit(code);
+}
+
+// HPCS_HOST_BEGIN — a blocking one-shot client: argv, connect, frame pump.
+
+/// Block until one whole frame arrives (or the server goes away / the
+/// decoder flags corruption). Exits 1 on failure: a half-answered client
+/// has nothing useful left to do.
+svc::SvcFrame recv_frame(dist::Connection& conn, svc::SvcFrameDecoder& dec) {
+  using dist::host::sleep_ms;
+  svc::SvcFrame f;
+  for (;;) {
+    const auto r = dec.next(f);
+    if (r == svc::SvcFrameDecoder::Result::kFrame) return f;
+    if (r == svc::SvcFrameDecoder::Result::kError) {
+      std::fprintf(stderr, "error: corrupt server frame: %s\n", dec.error().c_str());
+      std::exit(1);
+    }
+    const std::string bytes = conn.poll_recv();
+    if (!bytes.empty()) {
+      dec.feed(bytes);
+      continue;
+    }
+    if (conn.closed()) {
+      std::fprintf(stderr, "error: server closed the connection\n");
+      std::exit(1);
+    }
+    sleep_ms(1);
+  }
+}
+
+void send_frame(dist::Connection& conn, const svc::SvcFrame& f) {
+  if (!conn.send(svc::encode_svc_frame(f))) {
+    std::fprintf(stderr, "error: server closed the connection\n");
+    std::exit(1);
+  }
+}
+
+int print_row(const svc::SvcRow& row) {
+  analysis::RunResult r;
+  if (!analysis::deserialize_run_result(row.payload, r)) {
+    std::fprintf(stderr, "error: job %llu row %u: malformed payload\n",
+                 static_cast<unsigned long long>(row.job_id), row.index);
+    return 1;
+  }
+  std::printf("job %llu row %u: %-18s exec %.3f s (util %.3f..%.3f)\n",
+              static_cast<unsigned long long>(row.job_id), row.index,
+              analysis::sched_mode_name(r.mode), r.exec_time.sec(), r.min_util(),
+              r.max_util());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target;
+  std::string job;
+  std::string tenant = "default";
+  std::uint64_t seed = 42;
+  bool obs_on = false;
+  bool stream = true;
+  std::uint64_t status_id = 0;
+  std::uint64_t cancel_id = 0;
+  bool do_status = false;
+  bool do_cancel = false;
+  bool do_shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage(0);
+    } else if (std::strcmp(a, "--job") == 0 && i + 1 < argc) {
+      job = argv[++i];
+    } else if (std::strcmp(a, "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(a, "--obs") == 0) {
+      obs_on = true;
+    } else if (std::strcmp(a, "--tenant") == 0 && i + 1 < argc) {
+      tenant = argv[++i];
+    } else if (std::strcmp(a, "--no-stream") == 0) {
+      stream = false;
+    } else if (std::strcmp(a, "--status") == 0 && i + 1 < argc) {
+      do_status = true;
+      status_id = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(a, "--cancel") == 0 && i + 1 < argc) {
+      do_cancel = true;
+      cancel_id = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(a, "--shutdown") == 0) {
+      do_shutdown = true;
+    } else if (a[0] == '-') {
+      usage(2);
+    } else if (target.empty()) {
+      target = a;
+    } else {
+      usage(2);
+    }
+  }
+  if (target.empty()) usage(2);
+  const int verbs = (job.empty() ? 0 : 1) + (do_status ? 1 : 0) + (do_cancel ? 1 : 0) +
+                    (do_shutdown ? 1 : 0);
+  if (verbs != 1) usage(2);
+
+  // Reuse the worker-spec parser for HOST:PORT validation.
+  dist::host::DistOptions opt;
+  std::string err;
+  if (!dist::host::parse_dist_spec("worker:" + target, opt, err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 2;
+  }
+  auto conn = dist::host::tcp_connect(opt.hostname, opt.port, err);
+  if (conn == nullptr) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  svc::SvcFrameDecoder dec;
+
+  if (do_status) {
+    send_frame(*conn, svc::encode_job_status({status_id}));
+    const svc::SvcFrame f = recv_frame(*conn, dec);
+    svc::Status st;
+    if (f.type != svc::SvcFrameType::kStatus || !svc::decode_status(f, st)) {
+      std::fprintf(stderr, "error: unexpected %s reply\n", svc::svc_frame_type_name(f.type));
+      return 1;
+    }
+    if (!st.known) {
+      std::printf("job %llu: unknown\n", static_cast<unsigned long long>(st.job_id));
+      return 1;
+    }
+    std::printf("job %llu: %s, %llu/%llu rows (%llu cached)\n",
+                static_cast<unsigned long long>(st.job_id), svc::job_state_name(st.state),
+                static_cast<unsigned long long>(st.done),
+                static_cast<unsigned long long>(st.total),
+                static_cast<unsigned long long>(st.cached));
+    return 0;
+  }
+
+  if (do_cancel) {
+    send_frame(*conn, svc::encode_cancel({cancel_id}));
+    const svc::SvcFrame f = recv_frame(*conn, dec);
+    svc::CancelAck ack;
+    if (f.type != svc::SvcFrameType::kCancelAck || !svc::decode_cancel_ack(f, ack)) {
+      std::fprintf(stderr, "error: unexpected %s reply\n", svc::svc_frame_type_name(f.type));
+      return 1;
+    }
+    std::printf("job %llu: %s\n", static_cast<unsigned long long>(ack.job_id),
+                ack.ok ? "cancelled" : "not cancellable");
+    return ack.ok ? 0 : 1;
+  }
+
+  if (do_shutdown) {
+    send_frame(*conn, svc::encode_shutdown());
+    const svc::SvcFrame f = recv_frame(*conn, dec);
+    svc::ShutdownAck ack;
+    if (f.type != svc::SvcFrameType::kShutdownAck || !svc::decode_shutdown_ack(f, ack)) {
+      std::fprintf(stderr, "error: unexpected %s reply\n", svc::svc_frame_type_name(f.type));
+      return 1;
+    }
+    std::printf("draining: %llu jobs remaining\n",
+                static_cast<unsigned long long>(ack.jobs_remaining));
+    return 0;
+  }
+
+  // Submit (and, by default, stream).
+  svc::SubmitJob submit;
+  submit.tenant = tenant;
+  submit.job = job;
+  obs::ObsConfig ocfg;
+  ocfg.enabled = obs_on;
+  submit.params = analysis::encode_job_params(seed, ocfg);
+  send_frame(*conn, svc::encode_submit_job(submit));
+  const svc::SvcFrame af = recv_frame(*conn, dec);
+  svc::SubmitAck ack;
+  if (af.type != svc::SvcFrameType::kSubmitAck || !svc::decode_submit_ack(af, ack)) {
+    std::fprintf(stderr, "error: unexpected %s reply\n", svc::svc_frame_type_name(af.type));
+    return 1;
+  }
+  if (!ack.accept) {
+    std::fprintf(stderr, "error: rejected: %s\n", ack.reason.c_str());
+    return 1;
+  }
+  std::printf("job %llu accepted: %s, %llu points\n",
+              static_cast<unsigned long long>(ack.job_id), job.c_str(),
+              static_cast<unsigned long long>(ack.count));
+  if (!stream) return 0;
+
+  send_frame(*conn, svc::encode_stream_rows({ack.job_id}));
+  for (;;) {
+    const svc::SvcFrame f = recv_frame(*conn, dec);
+    if (f.type == svc::SvcFrameType::kRow) {
+      svc::SvcRow row;
+      if (!svc::decode_svc_row(f, row)) {
+        std::fprintf(stderr, "error: malformed ROW frame\n");
+        return 1;
+      }
+      if (print_row(row) != 0) return 1;
+      continue;
+    }
+    if (f.type == svc::SvcFrameType::kJobDone) {
+      svc::JobDone done;
+      if (!svc::decode_job_done(f, done)) {
+        std::fprintf(stderr, "error: malformed JOB_DONE frame\n");
+        return 1;
+      }
+      std::printf("job %llu %s: %llu rows (%llu cached)\n",
+                  static_cast<unsigned long long>(done.job_id),
+                  svc::job_state_name(done.state),
+                  static_cast<unsigned long long>(done.total),
+                  static_cast<unsigned long long>(done.cached));
+      return done.state == svc::JobState::kDone ? 0 : 1;
+    }
+    std::fprintf(stderr, "error: unexpected %s frame mid-stream\n",
+                 svc::svc_frame_type_name(f.type));
+    return 1;
+  }
+}
+
+// HPCS_HOST_END

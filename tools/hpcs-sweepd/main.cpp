@@ -1,0 +1,258 @@
+// hpcs-sweepd: persistent sweep coordinator daemon. Listens on two ports —
+// one for clients (hpcs-submit, svc wire protocol) and one for workers
+// (hpcs-distd, fabric protocol) — and multiplexes any number of submitted
+// sweeps onto per-job dist::Coordinators with fair-share tenant
+// interleaving and an optional content-addressed result cache.
+//
+//   hpcs-sweepd [--port N] [--worker-port N]
+//               [--port-file PATH] [--worker-port-file PATH]
+//               [--cache-dir DIR] [--cache-budget BYTES]
+//               [--max-running N] [--obs] [--sidecar PATH]
+//
+// Ports default to 0 (ephemeral); use the port files to hand them to
+// scripts. --cache-dir (or HPCS_CACHE_DIR) turns the result cache on: every
+// admitted point is probed first and every freshly computed row is
+// persisted, so resubmitting an identical job replays byte-identical rows
+// without running a single simulation. The daemon exits when a client sends
+// SHUTDOWN and every job has drained; --sidecar then gets the v3 fabric
+// sidecar (aggregate fabric counters, cache counters, per-job queue spans).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/dist_jobs.h"
+#include "bench_json.h"
+#include "cache/store.h"
+#include "dist/host/host_clock.h"
+#include "dist/host/tcp_transport.h"
+#include "dist/registry.h"
+#include "obs/recorder.h"
+#include "svc/host/service_loop.h"
+#include "svc/service.h"
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "usage: hpcs-sweepd [--port N] [--worker-port N]\n"
+               "                   [--port-file PATH] [--worker-port-file PATH]\n"
+               "                   [--cache-dir DIR] [--cache-budget BYTES]\n"
+               "                   [--max-running N] [--obs] [--sidecar PATH]\n");
+  std::exit(code);
+}
+
+// HPCS_HOST_BEGIN — daemon plumbing: argv, env, port files, the sidecar.
+
+void write_port_file(const std::string& path, std::uint16_t port, const char* flag) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s %s\n", flag, path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "%u\n", static_cast<unsigned>(port));
+  std::fclose(f);
+}
+
+/// MANIFEST-style host sidecar, schema hpcs-dist-fabric-v3: the daemon's
+/// aggregate fabric counters, service counters, cache counters and per-job
+/// queue spans. Same contract as the bench sidecars — host data, never part
+/// of deterministic output. scripts/check_bench_json.py validates it.
+void write_svc_sidecar(const std::string& path, std::uint16_t client_port,
+                       const hpcs::svc::SweepService& svc,
+                       const hpcs::cache::ResultCache& cache, hpcs::obs::Recorder* rec) {
+  using hpcs::bench::JsonObject;
+  const hpcs::dist::FabricStats& s = svc.fabric_totals();
+  const hpcs::svc::SvcStats& v = svc.stats();
+  JsonObject root;
+  root.field("schema", "hpcs-dist-fabric-v3")
+      .field("daemon", "hpcs-sweepd")
+      .field("port", client_port);
+  JsonObject fabric;
+  fabric.field("workers_connected", s.workers_connected)
+      .field("workers_rejected", s.workers_rejected)
+      .field("workers_dead", s.workers_dead)
+      .field("shards_total", s.shards_total)
+      .field("shards_assigned", s.shards_assigned)
+      .field("shards_retried", s.shards_retried)
+      .field("shards_stolen", s.shards_stolen)
+      .field("shards_local", s.shards_local)
+      .field("rows_remote", s.rows_remote)
+      .field("rows_local", s.rows_local)
+      .field("rows_seeded", s.rows_seeded)
+      .field("rows_stale", s.rows_stale)
+      .field("frames_bad", s.frames_bad)
+      .field("fell_back_local", s.fell_back_local ? 1 : 0);
+  root.object("fabric", fabric);
+  JsonObject service;
+  service.field("jobs_submitted", v.jobs_submitted)
+      .field("jobs_rejected", v.jobs_rejected)
+      .field("jobs_done", v.jobs_done)
+      .field("jobs_cancelled", v.jobs_cancelled)
+      .field("clients_connected", v.clients_connected)
+      .field("clients_dead", v.clients_dead)
+      .field("rows_streamed", v.rows_streamed)
+      .field("frames_bad", v.frames_bad);
+  root.object("service", service);
+  const hpcs::cache::CacheStats& c = cache.stats();
+  JsonObject cj;
+  cj.field("hits", c.hits)
+      .field("misses", c.misses)
+      .field("stores", c.stores)
+      .field("evictions", c.evictions)
+      .field("corrupt", c.corrupt);
+  root.object("cache", cj);
+  std::vector<JsonObject> job_objs;
+  for (const hpcs::svc::JobSpan& j : svc.job_spans()) {
+    JsonObject o;
+    o.field("id", static_cast<std::int64_t>(j.id))
+        .field("tenant", j.tenant)
+        .field("job", j.job)
+        .field("state", hpcs::svc::job_state_name(j.state))
+        .field("submit_ms", j.submit_ms)
+        .field("start_ms", j.start_ms)
+        .field("done_ms", j.done_ms)
+        .field("total", static_cast<std::int64_t>(j.total))
+        .field("cached", static_cast<std::int64_t>(j.cached))
+        .field("rows_local", j.rows_local)
+        .field("rows_remote", j.rows_remote);
+    job_objs.push_back(std::move(o));
+  }
+  root.array("jobs", job_objs);
+  if (rec != nullptr) {
+    JsonObject tps;
+    hpcs::obs::MetricsRegistry& m = rec->metrics();
+    for (const hpcs::obs::TpId id :
+         {hpcs::obs::TpId::kTpSvcSubmit, hpcs::obs::TpId::kTpSvcJobStart,
+          hpcs::obs::TpId::kTpSvcJobDone, hpcs::obs::TpId::kTpCacheHit,
+          hpcs::obs::TpId::kTpCacheMiss, hpcs::obs::TpId::kTpDistAssign,
+          hpcs::obs::TpId::kTpDistRow, hpcs::obs::TpId::kTpDistRetry,
+          hpcs::obs::TpId::kTpDistSteal, hpcs::obs::TpId::kTpDistHeartbeat}) {
+      tps.field(hpcs::obs::tp_name(id),
+                m.counter(std::string("tp.") + hpcs::obs::tp_name(id)).value());
+    }
+    root.object("tracepoints", tps);
+  }
+  if (!hpcs::bench::write_json_file(path, root)) {
+    std::fprintf(stderr, "error: cannot write --sidecar %s\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hpcs;
+
+  std::uint16_t client_port = 0;
+  std::uint16_t worker_port = 0;
+  std::string client_port_file;
+  std::string worker_port_file;
+  std::string cache_dir;
+  std::uint64_t cache_budget = cache::CacheConfig{}.budget_bytes;
+  std::uint32_t max_running = 2;
+  bool obs_on = false;
+  std::string sidecar_path;
+  if (const char* env = std::getenv("HPCS_CACHE_DIR")) cache_dir = env;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage(0);
+    } else if (std::strcmp(a, "--port") == 0 && i + 1 < argc) {
+      client_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(a, "--worker-port") == 0 && i + 1 < argc) {
+      worker_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(a, "--port-file") == 0 && i + 1 < argc) {
+      client_port_file = argv[++i];
+    } else if (std::strcmp(a, "--worker-port-file") == 0 && i + 1 < argc) {
+      worker_port_file = argv[++i];
+    } else if (std::strcmp(a, "--cache-dir") == 0 && i + 1 < argc) {
+      cache_dir = argv[++i];
+    } else if (std::strcmp(a, "--cache-budget") == 0 && i + 1 < argc) {
+      const long long v = std::atoll(argv[++i]);
+      if (v < 1) usage(2);
+      cache_budget = static_cast<std::uint64_t>(v);
+    } else if (std::strcmp(a, "--max-running") == 0 && i + 1 < argc) {
+      const long v = std::atol(argv[++i]);
+      if (v < 1 || v > 64) usage(2);
+      max_running = static_cast<std::uint32_t>(v);
+    } else if (std::strcmp(a, "--obs") == 0) {
+      obs_on = true;
+    } else if (std::strcmp(a, "--sidecar") == 0 && i + 1 < argc) {
+      sidecar_path = argv[++i];
+    } else {
+      usage(2);
+    }
+  }
+
+  std::string err;
+  std::uint16_t client_bound = 0;
+  auto clients = dist::host::tcp_listen(client_port, client_bound, err);
+  if (clients == nullptr) {
+    std::fprintf(stderr, "error: client listener: %s\n", err.c_str());
+    return 1;
+  }
+  std::uint16_t worker_bound = 0;
+  auto workers = dist::host::tcp_listen(worker_port, worker_bound, err);
+  if (workers == nullptr) {
+    std::fprintf(stderr, "error: worker listener: %s\n", err.c_str());
+    return 1;
+  }
+  write_port_file(client_port_file, client_bound, "--port-file");
+  write_port_file(worker_port_file, worker_bound, "--worker-port-file");
+
+  dist::JobRegistry reg;
+  analysis::register_paper_table_jobs(reg);
+
+  svc::ServiceConfig cfg;
+  cfg.max_running = max_running;
+  cfg.cache_enabled = !cache_dir.empty();
+  // Same generous host-run timeouts as the bench drivers' coordinator mode:
+  // a point is a whole table run and sanitizer builds are 10-20x slower.
+  cfg.coord.shard_size = 1;
+  cfg.coord.connect_wait_ms = 0;  // the service decides local progress
+  cfg.coord.liveness_timeout_ms = 60000;
+  cfg.coord.shard_timeout_ms = 300000;
+
+  cache::CacheConfig ccfg;
+  ccfg.dir = cache_dir;
+  ccfg.budget_bytes = cache_budget;
+  cache::ResultCache cache(ccfg);
+
+  std::unique_ptr<obs::Recorder> rec;
+  svc::SweepService svc(cfg, reg);
+  if (obs_on) {
+    obs::ObsConfig ocfg;
+    ocfg.enabled = true;
+    ocfg.window_ns = 0;  // windows are sim-time; the service has none
+    rec = std::make_unique<obs::Recorder>(ocfg, /*num_cpus=*/1);
+    svc.set_obs(rec.get());
+  }
+
+  std::fprintf(stderr,
+               "hpcs-sweepd: clients on 127.0.0.1:%u, workers on 127.0.0.1:%u, "
+               "cache %s, max-running %u\n",
+               static_cast<unsigned>(client_bound), static_cast<unsigned>(worker_bound),
+               cache.enabled() ? cache_dir.c_str() : "off",
+               static_cast<unsigned>(max_running));
+  svc::host::serve_sweep(svc, *clients, *workers, cache);
+
+  const svc::SvcStats& v = svc.stats();
+  const cache::CacheStats& c = cache.stats();
+  std::printf(
+      "hpcs-sweepd: %lld jobs done, %lld cancelled, %lld rejected; "
+      "cache %lld hits / %lld misses / %lld stores\n",
+      static_cast<long long>(v.jobs_done), static_cast<long long>(v.jobs_cancelled),
+      static_cast<long long>(v.jobs_rejected), static_cast<long long>(c.hits),
+      static_cast<long long>(c.misses), static_cast<long long>(c.stores));
+  if (!sidecar_path.empty()) {
+    write_svc_sidecar(sidecar_path, client_bound, svc, cache, rec.get());
+  }
+  return 0;
+}
+
+// HPCS_HOST_END

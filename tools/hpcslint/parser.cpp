@@ -146,18 +146,20 @@ bool is_protected_file(const std::string& file) {
 }
 
 bool is_pure_machine_file(const std::string& file) {
-  bool dist = false, host = false;
+  bool machine = false, host = false;
   std::string seg;
   for (const char c : file) {
     if (c == '/' || c == '\\') {
-      if (seg == "dist") dist = true;
+      // The sweep fabric (`dist`), the service layer riding on it (`svc`),
+      // and the result cache (`cache`) are all replayed-from-now_ms zones.
+      if (seg == "dist" || seg == "svc" || seg == "cache") machine = true;
       if (seg == "host") host = true;
       seg.clear();
     } else {
       seg += c;
     }
   }
-  return dist && !host;
+  return machine && !host;
 }
 
 namespace {

@@ -210,9 +210,10 @@ struct TuIndex {
 /// True when `file` (a path or label) contains a protected path component.
 [[nodiscard]] bool is_protected_file(const std::string& file);
 /// True when `file` lives in the pure state-machine zone of the sweep fabric:
-/// under a `dist` path component but not under `dist/host`. Functions there
-/// (plus the deterministic core) are subject to the dist-purity rule — they
-/// must be driven by `now_ms` and config, never by the host environment.
+/// under a `dist`, `svc`, or `cache` path component but not under a `host`
+/// one (e.g. `dist/host`, `svc/host`). Functions there (plus the
+/// deterministic core) are subject to the dist-purity rule — they must be
+/// driven by `now_ms` and config, never by the host environment.
 [[nodiscard]] bool is_pure_machine_file(const std::string& file);
 
 /// Parse one TU. `file` becomes Finding::file and decides path-based
